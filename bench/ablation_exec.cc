@@ -1,0 +1,69 @@
+// Ablation A3: executor join strategies on the movie schema (DESIGN.md
+// row A3): index-backed hash joins (default) vs forced nested loops.
+// Uses google-benchmark over representative personalization-shaped
+// queries.
+
+#include <memory>
+
+#include "benchmark/benchmark.h"
+#include "qp/data/movie_db.h"
+#include "qp/exec/executor.h"
+#include "qp/query/sql_parser.h"
+
+namespace qp {
+namespace {
+
+const Database& SharedDb() {
+  static Database* db = [] {
+    MovieDbConfig config;
+    config.num_movies = 2000;
+    config.num_actors = 800;
+    config.num_directors = 150;
+    config.num_theatres = 20;
+    auto generated = GenerateMovieDatabase(config);
+    return new Database(std::move(generated).value());
+  }();
+  return *db;
+}
+
+const char* QueryFor(int index) {
+  switch (index) {
+    case 0:  // Single join + selective predicate.
+      return "select MV.title from MOVIE MV, GENRE GN where "
+             "MV.mid=GN.mid and GN.genre='western'";
+    case 1:  // Two-hop chain (typical transitive preference shape).
+      return "select distinct MV.title from MOVIE MV, CAST CA, ACTOR AC "
+             "where MV.mid=CA.mid and CA.aid=AC.aid and "
+             "AC.name='Actor #3'";
+    default:  // Three-hop with a date filter (the tonight query shape).
+      return "select distinct MV.title from MOVIE MV, PLAY PL, THEATRE TH "
+             "where MV.mid=PL.mid and PL.tid=TH.tid and "
+             "TH.region='downtown' and PL.date='2003-07-02'";
+  }
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  Executor executor(&SharedDb());
+  auto query = ParseSelectQuery(QueryFor(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto result = executor.Execute(*query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HashJoin)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_NestedLoop(benchmark::State& state) {
+  Executor executor(&SharedDb());
+  executor.set_join_strategy(JoinStrategy::kNestedLoop);
+  auto query = ParseSelectQuery(QueryFor(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto result = executor.Execute(*query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NestedLoop)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace qp
+
+BENCHMARK_MAIN();

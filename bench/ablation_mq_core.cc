@@ -1,0 +1,102 @@
+// Ablation A4: the shared-core MQ execution optimization (paper Section 8
+// future work: "other ways for the efficient execution of personalized
+// queries"). Naive MQ execution re-runs the original query inside every
+// one of the K partial queries; shared-core materializes the common block
+// once and joins each preference chain on top.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "qp/core/selection.h"
+#include "qp/core/integration.h"
+#include "qp/exec/executor.h"
+#include "qp/util/string_util.h"
+#include "qp/util/timer.h"
+
+namespace qp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation A4", "MQ execution: shared-core vs naive (ms, "
+              "bindings)",
+              "shared-core time grows more slowly with K (the common "
+              "block runs once instead of K times)");
+
+  BenchEnv env;
+  Executor shared(&env.db());
+  Executor naive(&env.db());
+  naive.set_shared_core(false);
+  PreferenceIntegrator integrator;
+
+  std::vector<SelectQuery> queries = env.MakeQueries(5, 2024);
+  // Add a core-heavy query — an unselective three-way join like "which
+  // movies play in which theatres" — where re-running the core per part
+  // is what hurts the naive strategy.
+  {
+    SelectQuery heavy;
+    (void)heavy.AddVariable("MV", "MOVIE");
+    (void)heavy.AddVariable("PL", "PLAY");
+    (void)heavy.AddVariable("TH", "THEATRE");
+    heavy.AddProjection("MV", "title");
+    heavy.set_where(ConditionNode::MakeAnd(
+        {ConditionNode::MakeAtom(
+             AtomicCondition::Join("MV", "mid", "PL", "mid")),
+         ConditionNode::MakeAtom(
+             AtomicCondition::Join("PL", "tid", "TH", "tid"))}));
+    queries.push_back(std::move(heavy));
+    queries.push_back(queries.back());
+  }
+  Rng rng(515);
+
+  PrintRow({"K", "shared (ms)", "naive (ms)", "shared bind", "naive bind"});
+  for (size_t k : {2, 5, 10, 20, 40, 60}) {
+    double shared_ms = 0;
+    double naive_ms = 0;
+    size_t shared_bindings = 0;
+    size_t naive_bindings = 0;
+    size_t runs = 0;
+    for (size_t p = 0; p < 6; ++p) {
+      UserProfile profile = env.MakeProfile(150, &rng);
+      auto graph = PersonalizationGraph::Build(&env.schema(), profile);
+      if (!graph.ok()) continue;
+      PreferenceSelector selector(&*graph);
+      for (const SelectQuery& query : queries) {
+        auto prefs =
+            selector.Select(query, InterestCriterion::TopCount(k));
+        if (!prefs.ok() || prefs->size() < 2) continue;
+        IntegrationParams params;
+        params.min_satisfied = 1;
+        auto mq = integrator.BuildMultipleQueries(query, *prefs, params);
+        if (!mq.ok()) continue;
+
+        ExecutorStats shared_stats;
+        WallTimer timer;
+        auto a = shared.Execute(*mq, &shared_stats);
+        shared_ms += timer.ElapsedMillis();
+        ExecutorStats naive_stats;
+        timer.Restart();
+        auto b = naive.Execute(*mq, &naive_stats);
+        naive_ms += timer.ElapsedMillis();
+        if (!a.ok() || !b.ok()) continue;
+        shared_bindings += shared_stats.bindings;
+        naive_bindings += naive_stats.bindings;
+        ++runs;
+      }
+    }
+    if (runs == 0) continue;
+    PrintRow({std::to_string(k), FormatDouble(shared_ms / runs, 4),
+              FormatDouble(naive_ms / runs, 4),
+              std::to_string(shared_bindings / runs),
+              std::to_string(naive_bindings / runs)});
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qp
+
+int main() {
+  qp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qp {
+namespace bench {
+
+BenchEnv::BenchEnv(double scale, uint64_t seed) : schema_(MovieSchema()) {
+  MovieDbConfig config;
+  config.num_movies = static_cast<size_t>(6000 * scale);
+  config.num_actors = static_cast<size_t>(2500 * scale);
+  config.num_directors = static_cast<size_t>(400 * scale);
+  config.num_theatres = static_cast<size_t>(40 * scale);
+  config.num_days = 14;
+  config.plays_per_theatre_per_day = 3;
+  config.seed = seed;
+  auto db = GenerateMovieDatabase(config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bench: database generation failed: %s\n",
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  db_ = std::make_unique<Database>(std::move(db).value());
+  auto pools = MovieCandidatePools(*db_);
+  if (!pools.ok()) {
+    std::fprintf(stderr, "bench: candidate pools failed: %s\n",
+                 pools.status().ToString().c_str());
+    std::abort();
+  }
+  profiles_ =
+      std::make_unique<ProfileGenerator>(&schema_, std::move(pools).value());
+}
+
+UserProfile BenchEnv::MakeProfile(size_t num_selections, Rng* rng) const {
+  ProfileGeneratorOptions options;
+  options.num_selections = num_selections;
+  auto profile = profiles_->Generate(options, rng);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "bench: profile generation failed: %s\n",
+                 profile.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(profile).value();
+}
+
+std::vector<SelectQuery> BenchEnv::MakeQueries(size_t n,
+                                               uint64_t seed) const {
+  WorkloadGenerator workload(db_.get(), seed);
+  auto queries = workload.RandomQueries(n);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "bench: workload generation failed: %s\n",
+                 queries.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(queries).value();
+}
+
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& paper_expectation) {
+  std::printf("\n=== %s: %s ===\n", figure.c_str(), title.c_str());
+  std::printf("paper shape: %s\n", paper_expectation.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-14s", i == 0 ? "" : " ", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace qp

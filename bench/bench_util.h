@@ -1,0 +1,53 @@
+#ifndef QP_BENCH_BENCH_UTIL_H_
+#define QP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/relational/database.h"
+
+namespace qp {
+namespace bench {
+
+/// Shared fixture for the figure-reproduction benchmarks: one generated
+/// movie database (the IMDb stand-in), candidate pools for profile
+/// generation, and a query workload — the analogue of the paper's setup
+/// ("data from the Internet Movies Database", "100 randomly created
+/// queries", synthetic profiles).
+class BenchEnv {
+ public:
+  /// `scale` multiplies the default database size. Deterministic.
+  explicit BenchEnv(double scale = 1.0, uint64_t seed = 20040301);
+
+  const Database& db() const { return *db_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Draws a profile with `num_selections` stored atomic selections.
+  UserProfile MakeProfile(size_t num_selections, Rng* rng) const;
+
+  /// Draws `n` random queries.
+  std::vector<SelectQuery> MakeQueries(size_t n, uint64_t seed) const;
+
+ private:
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ProfileGenerator> profiles_;
+};
+
+/// Prints a header in a uniform style so bench outputs are grep-able:
+/// === <figure id>: <title> ===
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& paper_expectation);
+
+/// Prints one aligned data row: label followed by columns.
+void PrintRow(const std::vector<std::string>& cells);
+
+}  // namespace bench
+}  // namespace qp
+
+#endif  // QP_BENCH_BENCH_UTIL_H_

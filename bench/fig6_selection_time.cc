@@ -1,0 +1,75 @@
+// Figure 6: Preference Selection Time with Profile Size.
+//
+// For profile sizes 10..100 (number of stored atomic selections) and
+// K in {5, 10, 15}, measures the average execution time of the preference
+// selection algorithm over many (profile, query) combinations, exactly as
+// the paper does (100 profiles per size, L = 1, M = 0).
+
+#include <vector>
+
+#include "bench_util.h"
+#include "qp/core/selection.h"
+#include "qp/graph/personalization_graph.h"
+#include "qp/util/string_util.h"
+#include "qp/util/timer.h"
+
+namespace qp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 6", "Preference Selection Time with Profile Size",
+      "smaller profiles take LONGER (preferences sparsely placed over the "
+      "schema force wider expansion before K selections are found); "
+      "higher K costs more");
+
+  BenchEnv env;
+  const size_t kProfilesPerSize = 25;
+  const size_t kQueriesPerProfile = 8;
+  const std::vector<size_t> ks = {5, 10, 15};
+
+  std::vector<SelectQuery> queries =
+      env.MakeQueries(kQueriesPerProfile, /*seed=*/7);
+
+  PrintRow({"profile_size", "K=5 (ms)", "K=10 (ms)", "K=15 (ms)",
+            "popped@K=15"});
+  Rng rng(99);
+  for (size_t size = 10; size <= 100; size += 10) {
+    std::vector<double> totals(ks.size(), 0.0);
+    size_t runs = 0;
+    size_t popped = 0;
+    for (size_t p = 0; p < kProfilesPerSize; ++p) {
+      UserProfile profile = env.MakeProfile(size, &rng);
+      auto graph = PersonalizationGraph::Build(&env.schema(), profile);
+      if (!graph.ok()) continue;
+      PreferenceSelector selector(&*graph);
+      for (const SelectQuery& query : queries) {
+        for (size_t ki = 0; ki < ks.size(); ++ki) {
+          SelectionStats stats;
+          WallTimer timer;
+          auto selected = selector.Select(
+              query, InterestCriterion::TopCount(ks[ki]), &stats);
+          totals[ki] += timer.ElapsedMillis();
+          if (!selected.ok()) continue;
+          if (ki == ks.size() - 1) popped += stats.paths_popped;
+        }
+        ++runs;
+      }
+    }
+    PrintRow({std::to_string(size), FormatDouble(totals[0] / runs, 4),
+              FormatDouble(totals[1] / runs, 4),
+              FormatDouble(totals[2] / runs, 4),
+              std::to_string(popped / (kProfilesPerSize *
+                                       kQueriesPerProfile))});
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qp
+
+int main() {
+  qp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Figure 7: Size of the Results of Personalized Queries.
+//
+// (a) % of the initial query's rows returned by the personalized query as
+//     K grows (L = 1): grows with K.
+// (b) same as L grows with K = 10: shrinks with L.
+// (c) same as L grows with K = 60: shrinks with L; the paper notes the
+//     curve shape matches (b) despite the different axis scales.
+//
+// Following the paper: random profiles, random queries, M = 0, the MQ
+// integration form, and the ratio of personalized to initial result
+// cardinalities. For the L sweeps the top-K preferences are selected once
+// per (profile, query) pair and the same pairs are reused for every L, as
+// in the paper's "several different values of K and L" runs.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "qp/core/integration.h"
+#include "qp/core/selection.h"
+#include "qp/exec/executor.h"
+#include "qp/util/string_util.h"
+
+namespace qp {
+namespace bench {
+namespace {
+
+class Fig7 {
+ public:
+  Fig7() : env_(), executor_(&env_.db()) {}
+
+  /// Sweep over K at L=1. The top-max(K) preferences are selected once
+  /// per (profile, query) pair; K then takes prefixes of that ranked
+  /// list, so every K is measured on the same population (as the paper
+  /// does with its fixed 200 profiles).
+  void SweepK(const std::vector<size_t>& ks) {
+    const size_t max_k = ks.back();
+    struct Pair {
+      SelectQuery query;
+      std::vector<PreferencePath> prefs;
+      double original_rows;
+    };
+    std::vector<Pair> pairs;
+    std::vector<PersonalizationGraph> graphs;
+    Rng rng(4057);
+    std::vector<SelectQuery> queries = env_.MakeQueries(8, 4057);
+    for (size_t p = 0; p < 24 && pairs.size() < 60; ++p) {
+      UserProfile profile = env_.MakeProfile(150, &rng);
+      auto graph = PersonalizationGraph::Build(&env_.schema(), profile);
+      if (!graph.ok()) continue;
+      graphs.push_back(std::move(graph).value());
+      PreferenceSelector selector(&graphs.back());
+      for (const SelectQuery& query : queries) {
+        auto prefs =
+            selector.Select(query, InterestCriterion::TopCount(max_k));
+        if (!prefs.ok() || prefs->size() < max_k) continue;
+        double original = OriginalRows(query);
+        if (original <= 0) continue;
+        pairs.push_back({query, std::move(prefs).value(), original});
+      }
+    }
+
+    PreferenceIntegrator integrator;
+    PrintRow({"K", "% of initial rows", "pairs"});
+    for (size_t k : ks) {
+      double sum = 0;
+      size_t n = 0;
+      for (const Pair& pair : pairs) {
+        std::vector<PreferencePath> prefix(pair.prefs.begin(),
+                                           pair.prefs.begin() + k);
+        IntegrationParams params;
+        params.min_satisfied = 1;
+        auto mq =
+            integrator.BuildMultipleQueries(pair.query, prefix, params);
+        if (!mq.ok()) continue;
+        auto result = executor_.Execute(*mq);
+        if (!result.ok()) continue;
+        sum += 100.0 * result->num_rows() / pair.original_rows;
+        ++n;
+      }
+      PrintRow({std::to_string(k), FormatDouble(n ? sum / n : 0, 4),
+                std::to_string(n)});
+    }
+  }
+
+  /// Sweep over L at fixed K: preferences selected once per pair; only
+  /// pairs with at least K related preferences participate, so the same
+  /// population is measured at every L.
+  void SweepL(size_t k, const std::vector<size_t>& ls,
+              size_t profile_size) {
+    struct Pair {
+      SelectQuery query;
+      std::vector<PreferencePath> prefs;
+      double original_rows;
+    };
+    std::vector<Pair> pairs;
+    std::vector<PersonalizationGraph> graphs;
+    Rng rng(k * 7919 + 23);
+    std::vector<SelectQuery> queries = env_.MakeQueries(8, k * 13 + 5);
+    for (size_t p = 0; p < 24 && pairs.size() < 60; ++p) {
+      UserProfile profile = env_.MakeProfile(profile_size, &rng);
+      auto graph = PersonalizationGraph::Build(&env_.schema(), profile);
+      if (!graph.ok()) continue;
+      graphs.push_back(std::move(graph).value());
+      PreferenceSelector selector(&graphs.back());
+      for (const SelectQuery& query : queries) {
+        auto prefs =
+            selector.Select(query, InterestCriterion::TopCount(k));
+        if (!prefs.ok() || prefs->size() < k) continue;
+        double original = OriginalRows(query);
+        if (original <= 0) continue;
+        pairs.push_back({query, std::move(prefs).value(), original});
+      }
+    }
+
+    PreferenceIntegrator integrator;
+    PrintRow({"L", "% of initial rows", "pairs"});
+    for (size_t l : ls) {
+      double sum = 0;
+      size_t n = 0;
+      for (const Pair& pair : pairs) {
+        IntegrationParams params;
+        params.min_satisfied = l;
+        auto mq =
+            integrator.BuildMultipleQueries(pair.query, pair.prefs, params);
+        if (!mq.ok()) continue;
+        auto result = executor_.Execute(*mq);
+        if (!result.ok()) continue;
+        sum += 100.0 * result->num_rows() / pair.original_rows;
+        ++n;
+      }
+      PrintRow({std::to_string(l), FormatDouble(n ? sum / n : 0, 4),
+                std::to_string(n)});
+    }
+  }
+
+ private:
+  double OriginalRows(const SelectQuery& query) {
+    SelectQuery distinct = query;
+    distinct.set_distinct(true);
+    auto original = executor_.Execute(distinct);
+    if (!original.ok()) return 0;
+    return static_cast<double>(original->num_rows());
+  }
+
+  BenchEnv env_;
+  Executor executor_;
+};
+
+void Run() {
+  Fig7 fig;
+
+  PrintHeader("Figure 7(a)", "Result size with K (L=1, % of initial rows)",
+              "grows with K (more preferences widen the disjunction)");
+  fig.SweepK({10, 20, 30, 40, 50});
+
+  PrintHeader("Figure 7(b)", "Result size with L (K=10, % of initial rows)",
+              "shrinks as L grows (each row must satisfy more preferences)");
+  fig.SweepL(10, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 120);
+
+  PrintHeader("Figure 7(c)", "Result size with L (K=60, % of initial rows)",
+              "shrinks as L grows; same curve shape as 7(b) at a larger "
+              "scale");
+  fig.SweepL(60, {1, 5, 10, 15, 20, 25}, 180);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qp
+
+int main() {
+  qp::bench::Run();
+  return 0;
+}

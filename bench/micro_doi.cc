@@ -1,0 +1,75 @@
+// Ablation A2: micro-costs of the degree-of-interest combinators and the
+// alternative functions satisfying the same axioms (DESIGN.md row A2).
+// Uses google-benchmark.
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "qp/pref/doi.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+std::vector<double> MakeDegrees(size_t n) {
+  Rng rng(n * 7 + 1);
+  std::vector<double> degrees;
+  degrees.reserve(n);
+  for (size_t i = 0; i < n; ++i) degrees.push_back(rng.NextDouble());
+  return degrees;
+}
+
+void BM_TransitiveProduct(benchmark::State& state) {
+  std::vector<double> degrees = MakeDegrees(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveDoi(degrees));
+  }
+}
+BENCHMARK(BM_TransitiveProduct)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TransitiveMin(benchmark::State& state) {
+  std::vector<double> degrees = MakeDegrees(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveMinDoi(degrees));
+  }
+}
+BENCHMARK(BM_TransitiveMin)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ConjunctiveNoisyOr(benchmark::State& state) {
+  std::vector<double> degrees = MakeDegrees(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConjunctiveDoi(degrees));
+  }
+}
+BENCHMARK(BM_ConjunctiveNoisyOr)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ConjunctiveMax(benchmark::State& state) {
+  std::vector<double> degrees = MakeDegrees(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConjunctiveMaxDoi(degrees));
+  }
+}
+BENCHMARK(BM_ConjunctiveMax)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DisjunctiveAverage(benchmark::State& state) {
+  std::vector<double> degrees = MakeDegrees(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DisjunctiveDoi(degrees));
+  }
+}
+BENCHMARK(BM_DisjunctiveAverage)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ConjunctiveAccumulator(benchmark::State& state) {
+  std::vector<double> degrees = MakeDegrees(state.range(0));
+  for (auto _ : state) {
+    ConjunctiveAccumulator acc;
+    for (double d : degrees) acc.Add(d);
+    benchmark::DoNotOptimize(acc.Degree());
+  }
+}
+BENCHMARK(BM_ConjunctiveAccumulator)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace qp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Paper-scale sanity run: the paper's prototype ran against an IMDb
+// extract with over 340,000 movies. This bench builds a database in that
+// cardinality class (scaled by QP_SCALE_MOVIES, default 50,000 so the
+// whole bench suite stays fast; set QP_SCALE_MOVIES=340000 for the full
+// size) and reports absolute end-to-end numbers for the personalization
+// pipeline — showing the in-memory substrate holds up at the paper's
+// data scale, not just at benchmark scale.
+
+#include <cstdlib>
+#include <vector>
+
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/util/string_util.h"
+#include "qp/util/timer.h"
+
+int main() {
+  using namespace qp;
+
+  size_t num_movies = 50000;
+  if (const char* env = std::getenv("QP_SCALE_MOVIES")) {
+    num_movies = static_cast<size_t>(std::atoll(env));
+  }
+
+  MovieDbConfig config;
+  config.num_movies = num_movies;
+  config.num_actors = num_movies / 3;
+  config.num_directors = num_movies / 25;
+  config.num_theatres = 200;
+  config.num_days = 14;
+  config.plays_per_theatre_per_day = 5;
+  config.seed = 340000;
+
+  std::printf("=== Paper-scale run: %zu movies ===\n", num_movies);
+  WallTimer timer;
+  auto db = GenerateMovieDatabase(config);
+  if (!db.ok()) {
+    std::printf("generation failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu rows in %s ms\n", db->TotalRows(),
+              FormatDouble(timer.ElapsedMillis(), 4).c_str());
+
+  Schema schema = MovieSchema();
+  auto pools = MovieCandidatePools(*db);
+  if (!pools.ok()) return 1;
+  ProfileGenerator profiles(&schema, std::move(pools).value());
+  ProfileGeneratorOptions popt;
+  popt.num_selections = 100;
+  Rng rng(7);
+  auto profile = profiles.Generate(popt, &rng);
+  if (!profile.ok()) return 1;
+  auto graph = PersonalizationGraph::Build(&schema, *profile);
+  if (!graph.ok()) return 1;
+  Personalizer personalizer(&*graph);
+  Executor executor(&*db);
+
+  WorkloadGenerator workload(&*db, 11);
+  auto queries = workload.RandomQueries(10);
+  if (!queries.ok()) return 1;
+
+  double initial_total = 0;
+  double personalize_total = 0;
+  double personalized_exec_total = 0;
+  size_t runs = 0;
+  for (const SelectQuery& query : *queries) {
+    timer.Restart();
+    auto initial = executor.Execute(query);
+    double initial_ms = timer.ElapsedMillis();
+    if (!initial.ok()) continue;
+
+    PersonalizationOptions options;
+    options.criterion = InterestCriterion::TopCount(10);
+    options.integration.min_satisfied = 1;
+    timer.Restart();
+    auto outcome = personalizer.Personalize(query, options);
+    double personalization_ms = timer.ElapsedMillis();
+    if (!outcome.ok()) continue;
+    timer.Restart();
+    auto personalized = executor.Execute(*outcome->mq);
+    double personalized_ms = timer.ElapsedMillis();
+    if (!personalized.ok()) continue;
+
+    initial_total += initial_ms;
+    personalize_total += personalization_ms;
+    personalized_exec_total += personalized_ms;
+    ++runs;
+  }
+  if (runs == 0) return 1;
+  std::printf("avg over %zu random queries (K=10, L=1):\n", runs);
+  std::printf("  initial execution      %s ms\n",
+              FormatDouble(initial_total / runs, 4).c_str());
+  std::printf("  personalization        %s ms\n",
+              FormatDouble(personalize_total / runs, 4).c_str());
+  std::printf("  personalized execution %s ms\n",
+              FormatDouble(personalized_exec_total / runs, 4).c_str());
+  return 0;
+}

@@ -1,0 +1,298 @@
+// qpshell: an interactive (and pipe-scriptable) personalized-query shell.
+//
+//   $ ./build/examples/qpshell
+//   qp> \julie
+//   qp> select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid and
+//       PL.date='2/7/2003'
+//   ... ranked, personalized results ...
+//
+// Type \help for the command list. Non-interactive use:
+//   printf '\\julie\nselect ...\n' | ./build/examples/qpshell
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/pref/profile_learner.h"
+#include "qp/query/sql_parser.h"
+#include "qp/query/sql_writer.h"
+#include "qp/relational/csv.h"
+#include "qp/util/string_util.h"
+
+namespace {
+
+using namespace qp;
+
+class Shell {
+ public:
+  Shell() : schema_(MovieSchema()) {
+    auto db = BuildPaperDatabase();
+    if (db.ok()) db_ = std::make_unique<Database>(std::move(db).value());
+    SetProfile(JulieProfile(), "Julie (paper example)");
+  }
+
+  int Run() {
+    bool tty = isatty(fileno(stdin)) != 0;
+    std::string line;
+    if (tty) {
+      std::printf("qp shell — personalized queries over the movie "
+                  "database. \\help for commands.\n");
+    }
+    for (;;) {
+      if (tty) std::printf("qp> ");
+      if (!std::getline(std::cin, line)) break;
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty()) continue;
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      Dispatch(std::string(trimmed));
+    }
+    return 0;
+  }
+
+ private:
+  void Dispatch(const std::string& line) {
+    if (line[0] != '\\') {
+      RunPersonalized(line);
+      return;
+    }
+    std::istringstream in(line.substr(1));
+    std::string command;
+    in >> command;
+    std::string arg;
+    std::getline(in, arg);
+    arg = std::string(StripWhitespace(arg));
+
+    if (command == "help") {
+      Help();
+    } else if (command == "julie") {
+      SetProfile(JulieProfile(), "Julie (paper example)");
+    } else if (command == "rob") {
+      SetProfile(RobProfile(), "Rob (paper example)");
+    } else if (command == "profile") {
+      LoadProfile(arg);
+    } else if (command == "pref") {
+      AddPreference(arg);
+    } else if (command == "show") {
+      std::printf("profile (%s):\n%s", profile_name_.c_str(),
+                  profile_.Serialize().c_str());
+    } else if (command == "graph") {
+      if (graph_) std::printf("%s", graph_->DebugString().c_str());
+    } else if (command == "gen") {
+      Generate(arg);
+    } else if (command == "paper") {
+      auto db = BuildPaperDatabase();
+      if (Check(db.status())) {
+        db_ = std::make_unique<Database>(std::move(db).value());
+        std::printf("loaded the paper's example database (%zu rows)\n",
+                    db_->TotalRows());
+      }
+    } else if (command == "save") {
+      if (db_) Check(SaveDatabaseCsv(*db_, arg));
+    } else if (command == "load") {
+      Database db(schema_);
+      if (Check(LoadDatabaseCsv(&db, arg))) {
+        db_ = std::make_unique<Database>(std::move(db));
+        std::printf("loaded %zu rows from %s\n", db_->TotalRows(),
+                    arg.c_str());
+      }
+    } else if (command == "k") {
+      options_.criterion = InterestCriterion::TopCount(
+          static_cast<size_t>(std::atoll(arg.c_str())));
+    } else if (command == "l") {
+      options_.integration.min_satisfied =
+          static_cast<size_t>(std::atoll(arg.c_str()));
+    } else if (command == "m") {
+      options_.integration.mandatory_count =
+          static_cast<size_t>(std::atoll(arg.c_str()));
+    } else if (command == "topn") {
+      options_.top_n = static_cast<size_t>(std::atoll(arg.c_str()));
+    } else if (command == "negatives") {
+      options_.max_negative = static_cast<size_t>(std::atoll(arg.c_str()));
+    } else if (command == "negmode") {
+      options_.integration.negative_mode =
+          arg == "veto" ? NegativeMode::kVeto : NegativeMode::kPenalty;
+    } else if (command == "mode") {
+      options_.approach = (arg == "sq")
+                              ? IntegrationApproach::kSingleQuery
+                              : IntegrationApproach::kMultipleQueries;
+    } else if (command == "explain") {
+      Explain(arg);
+    } else if (command == "raw") {
+      RunRaw(arg);
+    } else if (command == "learn") {
+      Learn(arg);
+    } else {
+      std::printf("unknown command \\%s — try \\help\n", command.c_str());
+    }
+  }
+
+  void Help() {
+    std::printf(
+        "queries:\n"
+        "  <sql>               personalize + execute (ranked)\n"
+        "  \\raw <sql>          execute without personalization\n"
+        "  \\explain <sql>      show selected preferences + rewritten SQL\n"
+        "profiles:\n"
+        "  \\julie | \\rob       the paper's example users\n"
+        "  \\profile <file>     load a profile ([ cond, doi ] per line)\n"
+        "  \\pref [ c, d ]      add one preference to the profile\n"
+        "  \\learn <sql>        observe a query; profile is re-learned\n"
+        "  \\show | \\graph      print profile / personalization graph\n"
+        "data:\n"
+        "  \\paper              the paper's mini database (default)\n"
+        "  \\gen [movies]       synthetic IMDb-style database\n"
+        "  \\save <dir> | \\load <dir>   CSV export / import\n"
+        "options:\n"
+        "  \\k N  \\l N  \\m N    top-K / at-least-L / mandatory-M\n"
+        "  \\mode sq|mq  \\topn N  \\negatives N  \\negmode veto|penalty\n"
+        "  \\quit\n");
+  }
+
+  bool Check(const Status& status) {
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+    return status.ok();
+  }
+
+  void SetProfile(UserProfile profile, std::string name) {
+    auto graph = PersonalizationGraph::Build(&schema_, profile);
+    if (!Check(graph.status())) return;
+    profile_ = std::move(profile);
+    profile_name_ = std::move(name);
+    graph_ = std::make_unique<PersonalizationGraph>(std::move(graph).value());
+    std::printf("profile: %s (%zu selections, %zu joins, %zu dislikes)\n",
+                profile_name_.c_str(),
+                profile_.NumSelections() -
+                    graph_->num_negative_selection_edges(),
+                profile_.NumJoins(),
+                graph_->num_negative_selection_edges());
+  }
+
+  void LoadProfile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("error: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto profile = UserProfile::Parse(buffer.str());
+    if (Check(profile.status())) {
+      SetProfile(std::move(profile).value(), path);
+    }
+  }
+
+  void AddPreference(const std::string& text) {
+    auto parsed = UserProfile::Parse(text);
+    if (!Check(parsed.status())) return;
+    UserProfile updated = profile_;
+    for (const AtomicPreference& pref : parsed->preferences()) {
+      updated.AddOrUpdate(pref);
+    }
+    SetProfile(std::move(updated), profile_name_ + " (edited)");
+  }
+
+  void Generate(const std::string& arg) {
+    MovieDbConfig config;
+    if (!arg.empty()) {
+      config.num_movies = static_cast<size_t>(std::atoll(arg.c_str()));
+    }
+    auto db = GenerateMovieDatabase(config);
+    if (Check(db.status())) {
+      db_ = std::make_unique<Database>(std::move(db).value());
+      std::printf("generated %zu rows (%zu movies)\n", db_->TotalRows(),
+                  config.num_movies);
+    }
+  }
+
+  Result<SelectQuery> Parse(const std::string& sql) {
+    auto query = ParseSelectQuery(sql);
+    if (!query.ok()) return query.status();
+    QP_RETURN_IF_ERROR(query->Validate(schema_));
+    return query;
+  }
+
+  void RunRaw(const std::string& sql) {
+    if (db_ == nullptr) return;
+    auto query = Parse(sql);
+    if (!Check(query.status())) return;
+    Executor executor(db_.get());
+    auto result = executor.Execute(*query);
+    if (Check(result.status())) {
+      std::printf("%s(%zu rows)\n", result->DebugString().c_str(),
+                  result->num_rows());
+    }
+  }
+
+  void Explain(const std::string& sql) {
+    if (graph_ == nullptr) return;
+    auto query = Parse(sql);
+    if (!Check(query.status())) return;
+    Personalizer personalizer(graph_.get());
+    auto outcome = personalizer.Personalize(*query, options_);
+    if (!Check(outcome.status())) return;
+    std::printf("selected preferences (K=%zu):\n", outcome->selected.size());
+    for (const PreferencePath& pref : outcome->selected) {
+      std::printf("  %s\n", pref.ToString().c_str());
+    }
+    for (const PreferencePath& pref : outcome->negatives) {
+      std::printf("  dislike: %s\n", pref.ToString().c_str());
+    }
+    std::printf("personalized query:\n  %s\n",
+                outcome->sq.has_value() ? ToSql(*outcome->sq).c_str()
+                                        : ToSql(*outcome->mq).c_str());
+  }
+
+  void RunPersonalized(const std::string& sql) {
+    if (db_ == nullptr || graph_ == nullptr) return;
+    auto query = Parse(sql);
+    if (!Check(query.status())) return;
+    Personalizer personalizer(graph_.get());
+    PersonalizationOutcome outcome;
+    auto result =
+        personalizer.PersonalizeAndExecute(*query, options_, *db_, &outcome);
+    if (!Check(result.status())) return;
+    std::printf("%s(%zu rows; %zu preferences applied; selection %.3f ms, "
+                "integration %.3f ms)\n",
+                result->DebugString().c_str(), result->num_rows(),
+                outcome.selected.size() + outcome.negatives.size(),
+                outcome.selection_millis, outcome.integration_millis);
+  }
+
+  void Learn(const std::string& sql) {
+    auto query = Parse(sql);
+    if (!Check(query.status())) return;
+    if (learner_ == nullptr) {
+      learner_ = std::make_unique<ProfileLearner>(&schema_);
+    }
+    if (!Check(learner_->Observe(*query))) return;
+    auto profile = learner_->BuildProfile();
+    if (Check(profile.status())) {
+      SetProfile(std::move(profile).value(),
+                 "learned from " + std::to_string(learner_->num_observed()) +
+                     " queries");
+    }
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+  UserProfile profile_;
+  std::string profile_name_;
+  std::unique_ptr<PersonalizationGraph> graph_;
+  std::unique_ptr<ProfileLearner> learner_;
+  PersonalizationOptions options_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

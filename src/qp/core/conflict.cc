@@ -1,0 +1,49 @@
+#include "qp/core/conflict.h"
+
+namespace qp {
+
+bool ConflictDetector::ConflictsWithQuery(const PreferencePath& path,
+                                          const QueryGraph& query_graph) {
+  if (!path.is_selection()) return false;
+  if (!path.AllJoinsToOne()) return false;
+
+  // Mirror the path's join chain inside the query graph.
+  std::string alias = path.anchor_alias();
+  for (const JoinEdge& join : path.joins()) {
+    std::optional<std::string> next =
+        query_graph.FollowJoin(alias, join.from, join.to);
+    if (!next.has_value()) return false;  // Query does not constrain this
+                                          // chain; a fresh chain is used.
+    alias = *std::move(next);
+  }
+
+  const SelectionEdge& selection = *path.selection();
+  // Soft selections never conflict: they admit a whole neighbourhood.
+  if (selection.is_near()) return false;
+  for (const auto& [column, value] : query_graph.SelectionsOn(alias)) {
+    if (column == selection.attribute.column && value != selection.value) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ConflictDetector::Conflicting(const PreferencePath& a,
+                                   const PreferencePath& b) {
+  if (!a.is_selection() || !b.is_selection()) return false;
+  if (a.anchor_alias() != b.anchor_alias()) return false;
+  if (!a.AllJoinsToOne() || !b.AllJoinsToOne()) return false;
+  if (a.joins().size() != b.joins().size()) return false;
+  for (size_t i = 0; i < a.joins().size(); ++i) {
+    if (!(a.joins()[i].from == b.joins()[i].from) ||
+        !(a.joins()[i].to == b.joins()[i].to)) {
+      return false;
+    }
+  }
+  const SelectionEdge& sa = *a.selection();
+  const SelectionEdge& sb = *b.selection();
+  if (sa.is_near() || sb.is_near()) return false;  // Soft: no conflicts.
+  return sa.attribute == sb.attribute && sa.value != sb.value;
+}
+
+}  // namespace qp

@@ -1,0 +1,39 @@
+#include "qp/core/context.h"
+
+#include <algorithm>
+
+namespace qp {
+
+PersonalizationOptions DeriveOptions(const QueryContext& context,
+                                     const PersonalizationOptions& base) {
+  PersonalizationOptions options = base;
+
+  size_t k = 25;
+  size_t top_n = 0;
+  switch (context.device) {
+    case QueryContext::Device::kPhone:
+      k = 3;
+      top_n = 10;
+      break;
+    case QueryContext::Device::kTablet:
+      k = 10;
+      top_n = 25;
+      break;
+    case QueryContext::Device::kWorkstation:
+      k = 25;
+      top_n = 0;
+      break;
+  }
+  if (context.max_latency_ms.has_value() && *context.max_latency_ms < 50) {
+    k = std::max<size_t>(1, k / 2);
+  }
+  if (context.bandwidth_kbps.has_value() && *context.bandwidth_kbps < 256) {
+    top_n = top_n == 0 ? 10 : std::min<size_t>(top_n, 10);
+  }
+
+  options.criterion = InterestCriterion::TopCount(k);
+  options.top_n = top_n;
+  return options;
+}
+
+}  // namespace qp

@@ -1,0 +1,45 @@
+#ifndef QP_CORE_CONTEXT_H_
+#define QP_CORE_CONTEXT_H_
+
+#include <optional>
+
+#include "qp/core/personalizer.h"
+
+namespace qp {
+
+/// The context of a query (paper Section 4): the personalization
+/// parameters K, M and L "may be automatically derived at query time
+/// considering various aspects that comprise the context of a query ...
+/// desired response time, available bandwidth ... if the user sends a
+/// request using her mobile phone, then the system may decide to consider
+/// a few top preferences; when the user switches to her computer, then
+/// the system may decide to consider all her preferences."
+struct QueryContext {
+  enum class Device {
+    kPhone,        // Constrained: few preferences, short answers.
+    kTablet,       // Middle ground.
+    kWorkstation,  // Unconstrained: consider many preferences.
+  };
+
+  Device device = Device::kWorkstation;
+  /// Desired response-time budget; tighter budgets shrink K.
+  std::optional<double> max_latency_ms;
+  /// Rough downstream bandwidth; low bandwidth caps delivered rows.
+  std::optional<double> bandwidth_kbps;
+};
+
+/// Derives personalization options from the query context, starting from
+/// `base` (whose criterion/integration fields are overridden where the
+/// context dictates):
+///  - device class sets K (top-count 3 / 10 / 25) and a delivery cap
+///    (top_n 10 / 25 / unlimited);
+///  - a latency budget under 50 ms halves K (minimum 1);
+///  - bandwidth under 256 kbps caps delivery at 10 rows.
+/// Deterministic and side-effect free; callers remain free to override
+/// any field afterwards.
+PersonalizationOptions DeriveOptions(const QueryContext& context,
+                                     const PersonalizationOptions& base = {});
+
+}  // namespace qp
+
+#endif  // QP_CORE_CONTEXT_H_

@@ -1,0 +1,347 @@
+#include "qp/core/integration.h"
+
+#include <cctype>
+#include <map>
+
+#include "qp/core/conflict.h"
+
+namespace qp {
+namespace {
+
+/// Allocates tuple variables in `query` for preference paths and
+/// materializes each path's conditions against those variables,
+/// implementing the Section 6 sharing rule (share along to-one prefixes,
+/// diverge at the first to-many join).
+class VariableAllocator {
+ public:
+  explicit VariableAllocator(SelectQuery* query) : query_(query) {}
+
+  std::vector<AtomicCondition> Materialize(const PreferencePath& path) {
+    std::vector<AtomicCondition> atoms;
+    std::string current = path.anchor_alias();
+    std::string chain_key = current;
+    bool sharable = true;  // Still on the (possibly shared) to-one prefix.
+    for (const JoinEdge& edge : path.joins()) {
+      chain_key += "|" + edge.from.ToString() + "=" + edge.to.ToString();
+      std::string target;
+      if (edge.cardinality == JoinCardinality::kToOne && sharable) {
+        auto it = shared_.find(chain_key);
+        if (it != shared_.end()) {
+          target = it->second;
+        } else {
+          target = NewVariable(edge.to.table);
+          shared_.emplace(chain_key, target);
+        }
+      } else {
+        // First to-many join (or anything after one): fresh variables so
+        // independent preferences stay independent.
+        sharable = false;
+        target = NewVariable(edge.to.table);
+      }
+      atoms.push_back(AtomicCondition::Join(current, edge.from.column,
+                                            target, edge.to.column));
+      current = std::move(target);
+    }
+    if (path.selection().has_value()) {
+      if (path.selection()->is_near()) {
+        atoms.push_back(AtomicCondition::Near(
+            current, path.selection()->attribute.column,
+            path.selection()->value, path.selection()->near_width));
+      } else {
+        atoms.push_back(AtomicCondition::Selection(
+            current, path.selection()->attribute.column,
+            path.selection()->value));
+      }
+    }
+    return atoms;
+  }
+
+ private:
+  std::string NewVariable(const std::string& table) {
+    std::string prefix;
+    for (char c : table.substr(0, 2)) {
+      prefix += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    std::string alias = query_->FreshAlias(prefix);
+    // AddVariable cannot fail: FreshAlias guarantees uniqueness.
+    (void)query_->AddVariable(alias, table);
+    return alias;
+  }
+
+  SelectQuery* query_;
+  std::map<std::string, std::string> shared_;
+};
+
+/// AND of `atoms` as a condition tree, dropping exact duplicates
+/// ("any repeated conditions are removed").
+ConditionPtr Conjunction(const std::vector<AtomicCondition>& atoms) {
+  std::vector<AtomicCondition> unique;
+  for (const AtomicCondition& atom : atoms) {
+    bool seen = false;
+    for (const AtomicCondition& u : unique) {
+      if (u == atom) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(atom);
+  }
+  std::vector<ConditionPtr> nodes;
+  nodes.reserve(unique.size());
+  for (AtomicCondition& atom : unique) {
+    nodes.push_back(ConditionNode::MakeAtom(std::move(atom)));
+  }
+  return ConditionNode::MakeAnd(std::move(nodes));
+}
+
+/// C(n, k) with saturation at `cap`.
+size_t CombinationsCapped(size_t n, size_t k, size_t cap) {
+  if (k > n) return 0;
+  size_t result = 1;
+  for (size_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+    if (result > cap) return cap + 1;
+  }
+  return result;
+}
+
+Status CheckParams(size_t num_preferences, const IntegrationParams& params) {
+  if (params.mandatory_count > num_preferences) {
+    return Status::InvalidArgument(
+        "M = " + std::to_string(params.mandatory_count) + " exceeds K = " +
+        std::to_string(num_preferences));
+  }
+  if (!params.min_degree.has_value() &&
+      params.min_satisfied > num_preferences - params.mandatory_count) {
+    return Status::InvalidArgument(
+        "L = " + std::to_string(params.min_satisfied) + " exceeds K - M = " +
+        std::to_string(num_preferences - params.mandatory_count));
+  }
+  return Status::Ok();
+}
+
+Status CheckMandatoryConflicts(const std::vector<PreferencePath>& preferences,
+                               size_t mandatory_count) {
+  for (size_t i = 0; i < mandatory_count; ++i) {
+    for (size_t j = i + 1; j < mandatory_count; ++j) {
+      if (ConflictDetector::Conflicting(preferences[i], preferences[j])) {
+        return Status::FailedPrecondition(
+            "mandatory preferences conflict: " +
+            preferences[i].ConditionString() + " vs " +
+            preferences[j].ConditionString());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SelectQuery> PreferenceIntegrator::BuildSingleQuery(
+    const SelectQuery& original,
+    const std::vector<PreferencePath>& preferences,
+    const IntegrationParams& params) const {
+  for (const PreferencePath& pref : preferences) {
+    if (pref.is_negative()) {
+      return Status::Unimplemented(
+          "negative preferences cannot be expressed in the single-query "
+          "form (no negation in the condition language); use the MQ form");
+    }
+  }
+  if (preferences.empty()) return original;
+  if (params.min_degree.has_value()) {
+    return Status::InvalidArgument(
+        "a minimum result degree (min_degree) is only expressible in the "
+        "MQ form");
+  }
+  QP_RETURN_IF_ERROR(CheckParams(preferences.size(), params));
+  QP_RETURN_IF_ERROR(
+      CheckMandatoryConflicts(preferences, params.mandatory_count));
+
+  const size_t k = preferences.size();
+  const size_t m = params.mandatory_count;
+  const size_t l = params.min_satisfied;
+
+  SelectQuery result = original;
+  result.set_distinct(true);
+  VariableAllocator allocator(&result);
+
+  std::vector<std::vector<AtomicCondition>> conditions;
+  conditions.reserve(k);
+  for (const PreferencePath& path : preferences) {
+    conditions.push_back(allocator.Materialize(path));
+  }
+
+  // Mandatory block: conjunction of the top-M conditions.
+  std::vector<AtomicCondition> mandatory_atoms;
+  for (size_t i = 0; i < m; ++i) {
+    mandatory_atoms.insert(mandatory_atoms.end(), conditions[i].begin(),
+                           conditions[i].end());
+  }
+
+  // Optional block: disjunction over all conflict-free L-subsets.
+  ConditionPtr disjunction;
+  if (l > 0) {
+    if (CombinationsCapped(k - m, l, params.max_combinations) >
+        params.max_combinations) {
+      return Status::OutOfRange(
+          "SQ would enumerate more than " +
+          std::to_string(params.max_combinations) + " combinations");
+    }
+    // Precompute the pairwise conflict relation among optional conditions.
+    const size_t optional = k - m;
+    std::vector<std::vector<bool>> conflicting(
+        optional, std::vector<bool>(optional, false));
+    for (size_t i = 0; i < optional; ++i) {
+      for (size_t j = i + 1; j < optional; ++j) {
+        conflicting[i][j] = conflicting[j][i] = ConflictDetector::Conflicting(
+            preferences[m + i], preferences[m + j]);
+      }
+    }
+    std::vector<ConditionPtr> disjuncts;
+    std::vector<size_t> combo;
+    // Recursive enumeration of conflict-free L-subsets in lexicographic
+    // order (so higher-degree conditions lead the disjunction).
+    auto enumerate = [&](auto&& self, size_t next) -> void {
+      if (combo.size() == l) {
+        std::vector<AtomicCondition> atoms;
+        for (size_t idx : combo) {
+          atoms.insert(atoms.end(), conditions[m + idx].begin(),
+                       conditions[m + idx].end());
+        }
+        disjuncts.push_back(Conjunction(atoms));
+        return;
+      }
+      for (size_t i = next; i < optional; ++i) {
+        bool ok = true;
+        for (size_t chosen : combo) {
+          if (conflicting[chosen][i]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        combo.push_back(i);
+        self(self, i + 1);
+        combo.pop_back();
+      }
+    };
+    enumerate(enumerate, 0);
+    if (disjuncts.empty()) {
+      return Status::FailedPrecondition(
+          "no conflict-free combination of " + std::to_string(l) +
+          " preferences exists");
+    }
+    disjunction = ConditionNode::MakeOr(std::move(disjuncts));
+  }
+
+  result.set_where(ConditionNode::MakeAnd(
+      {original.where(), Conjunction(mandatory_atoms), disjunction}));
+  return result;
+}
+
+Result<CompoundQuery> PreferenceIntegrator::BuildMultipleQueries(
+    const SelectQuery& original,
+    const std::vector<PreferencePath>& preferences,
+    const IntegrationParams& params) const {
+  return BuildMultipleQueries(original, preferences, {}, params);
+}
+
+Result<CompoundQuery> PreferenceIntegrator::BuildMultipleQueries(
+    const SelectQuery& original,
+    const std::vector<PreferencePath>& preferences,
+    const std::vector<PreferencePath>& negatives,
+    const IntegrationParams& params) const {
+  // Dislikes attach to the compound after the positive structure exists.
+  auto attach_negatives = [&](CompoundQuery* compound) -> Status {
+    for (const PreferencePath& dislike : negatives) {
+      if (!dislike.is_negative()) {
+        return Status::InvalidArgument(
+            "positive preference passed as a dislike: " +
+            dislike.ToString());
+      }
+      SelectQuery part = original;
+      part.set_distinct(true);
+      VariableAllocator allocator(&part);
+      std::vector<AtomicCondition> atoms = allocator.Materialize(dislike);
+      part.set_where(
+          ConditionNode::Conjoin(original.where(), Conjunction(atoms)));
+      if (params.negative_mode == NegativeMode::kVeto) {
+        compound->AddExclusion(std::move(part));
+      } else {
+        compound->AddPart(std::move(part), -dislike.AbsDoi());
+      }
+    }
+    return Status::Ok();
+  };
+
+  CompoundQuery compound;
+  if (preferences.empty()) {
+    SelectQuery part = original;
+    part.set_distinct(true);
+    compound.AddPart(std::move(part), 0.0);
+    compound.set_having(HavingClause::None());
+    QP_RETURN_IF_ERROR(attach_negatives(&compound));
+    compound.set_order_by_degree(!negatives.empty() &&
+                                 params.order_by_degree);
+    return compound;
+  }
+  QP_RETURN_IF_ERROR(CheckParams(preferences.size(), params));
+  QP_RETURN_IF_ERROR(
+      CheckMandatoryConflicts(preferences, params.mandatory_count));
+
+  const size_t k = preferences.size();
+  const size_t m = params.mandatory_count;
+  const size_t l = params.min_satisfied;
+
+  // Degenerate form: nothing optional to count — a single partial query
+  // with the mandatory conditions.
+  const bool mandatory_only =
+      (k == m) || (l == 0 && !params.min_degree.has_value());
+  if (mandatory_only) {
+    SelectQuery part = original;
+    part.set_distinct(true);
+    VariableAllocator allocator(&part);
+    std::vector<AtomicCondition> atoms;
+    for (size_t i = 0; i < m; ++i) {
+      std::vector<AtomicCondition> cond =
+          allocator.Materialize(preferences[i]);
+      atoms.insert(atoms.end(), cond.begin(), cond.end());
+    }
+    part.set_where(
+        ConditionNode::Conjoin(original.where(), Conjunction(atoms)));
+    compound.AddPart(std::move(part), m == 0 ? 0.0 : preferences[0].doi());
+    compound.set_having(HavingClause::None());
+    compound.set_order_by_degree(false);
+    QP_RETURN_IF_ERROR(attach_negatives(&compound));
+    return compound;
+  }
+
+  for (size_t i = m; i < k; ++i) {
+    SelectQuery part = original;
+    part.set_distinct(true);
+    VariableAllocator allocator(&part);
+    std::vector<AtomicCondition> atoms;
+    for (size_t j = 0; j < m; ++j) {
+      std::vector<AtomicCondition> cond =
+          allocator.Materialize(preferences[j]);
+      atoms.insert(atoms.end(), cond.begin(), cond.end());
+    }
+    std::vector<AtomicCondition> cond = allocator.Materialize(preferences[i]);
+    atoms.insert(atoms.end(), cond.begin(), cond.end());
+    part.set_where(
+        ConditionNode::Conjoin(original.where(), Conjunction(atoms)));
+    compound.AddPart(std::move(part), preferences[i].doi());
+  }
+
+  if (params.min_degree.has_value()) {
+    compound.set_having(HavingClause::DegreeAbove(*params.min_degree));
+  } else {
+    compound.set_having(HavingClause::CountAtLeast(l));
+  }
+  compound.set_order_by_degree(params.order_by_degree);
+  QP_RETURN_IF_ERROR(attach_negatives(&compound));
+  return compound;
+}
+
+}  // namespace qp

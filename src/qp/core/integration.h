@@ -1,0 +1,97 @@
+#ifndef QP_CORE_INTEGRATION_H_
+#define QP_CORE_INTEGRATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "qp/graph/preference_path.h"
+#include "qp/query/query.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// How negative (dislike) preferences are enforced.
+enum class NegativeMode {
+  /// Rows matching a dislike are removed from the answer (an EXCEPT
+  /// block per dislike).
+  kVeto,
+  /// Rows matching a dislike stay but their estimated degree of interest
+  /// becomes signed: the noisy-or of satisfied likes minus the noisy-or
+  /// of satisfied dislike magnitudes (a negative-degree part per
+  /// dislike). Rows matching only dislikes rank below everything else.
+  kPenalty,
+};
+
+/// Parameters of preference integration (paper Sections 4 and 6).
+struct IntegrationParams {
+  /// M: the top `mandatory_count` selected preferences must be satisfied
+  /// by every result.
+  size_t mandatory_count = 0;
+  /// L: results must satisfy at least this many of the remaining K - M
+  /// preferences. 0 means "mandatory only". Ignored when `min_degree` is
+  /// set (MQ only).
+  size_t min_satisfied = 1;
+  /// Alternative to L: minimum estimated degree of interest per result
+  /// row, enforced via HAVING DEGREE_OF_CONJUNCTION(doi) > min_degree.
+  /// Only expressible in the MQ form.
+  std::optional<double> min_degree;
+  /// Rank results by estimated degree of interest (MQ form).
+  bool order_by_degree = true;
+  /// Safety bound on the number of L-subsets SQ may enumerate
+  /// (C(K-M, L) grows combinatorially).
+  size_t max_combinations = 1000000;
+  /// Enforcement of negative preferences (MQ only).
+  NegativeMode negative_mode = NegativeMode::kPenalty;
+};
+
+/// Builds personalized queries from the K selected preferences.
+///
+/// Tuple-variable allocation follows Section 6: preferences sharing a
+/// common prefix of to-one joins share the corresponding tuple variables
+/// (forced — the joined tuple is functionally determined); from the first
+/// to-many join onwards every preference gets fresh variables, so
+/// independent preferences are not accidentally required to be met by the
+/// same object (the "A. Hopkins as Batman" pitfall).
+class PreferenceIntegrator {
+ public:
+  PreferenceIntegrator() = default;
+
+  /// SQ (single query): the original query extended with one complex
+  /// qualification — the conjunction of the mandatory conditions AND the
+  /// disjunction of all conjunctions of L non-mutually-conflicting
+  /// conditions from the remaining K - M. The result is DISTINCT.
+  /// Fails (kFailedPrecondition) if mandatory preferences conflict
+  /// pairwise or no valid L-subset exists; (kInvalidArgument) if
+  /// M > K or L > K - M.
+  Result<SelectQuery> BuildSingleQuery(
+      const SelectQuery& original,
+      const std::vector<PreferencePath>& preferences,
+      const IntegrationParams& params) const;
+
+  /// MQ (multiple queries): K - M partial queries — the original plus the
+  /// mandatory conditions plus one optional preference each — combined by
+  /// UNION ALL, GROUP BY the original projection, HAVING count(*) >= L
+  /// (or DEGREE_OF_CONJUNCTION(doi) > min_degree), ORDER BY estimated
+  /// degree. Each part carries its preference's degree of interest.
+  /// With K - M == 0 the compound degenerates to one part (original +
+  /// mandatory conditions).
+  Result<CompoundQuery> BuildMultipleQueries(
+      const SelectQuery& original,
+      const std::vector<PreferencePath>& preferences,
+      const IntegrationParams& params) const;
+
+  /// MQ with dislikes: `negatives` are negative transitive selections
+  /// (PreferencePath::is_negative()); per params.negative_mode each
+  /// becomes an EXCEPT block (veto) or a negative-degree penalty part.
+  /// The single-query form cannot express dislikes (its condition
+  /// language has no negation), so BuildSingleQuery rejects them.
+  Result<CompoundQuery> BuildMultipleQueries(
+      const SelectQuery& original,
+      const std::vector<PreferencePath>& preferences,
+      const std::vector<PreferencePath>& negatives,
+      const IntegrationParams& params) const;
+};
+
+}  // namespace qp
+
+#endif  // QP_CORE_INTEGRATION_H_

@@ -1,0 +1,64 @@
+#include "qp/core/interest_criterion.h"
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+
+bool InterestCriterion::Accepts(const CriterionState& state,
+                                double candidate_doi) const {
+  switch (kind_) {
+    case Kind::kTopCount:
+      return static_cast<double>(state.count) < threshold_;
+    case Kind::kMinDegree:
+      return candidate_doi > threshold_;
+    case Kind::kDisjunctiveAbove:
+      return (state.sum + candidate_doi) /
+                 static_cast<double>(state.count + 1) >
+             threshold_;
+    case Kind::kConjunctiveUntil:
+      return state.ConjunctiveDegree() <= threshold_;
+  }
+  return false;
+}
+
+bool InterestCriterion::MightAcceptLater(const CriterionState& state,
+                                         double candidate_doi,
+                                         double max_remaining_doi) const {
+  switch (kind_) {
+    case Kind::kTopCount:
+    case Kind::kMinDegree:
+    case Kind::kConjunctiveUntil:
+      // Acceptance never turns from false to true as the state grows:
+      // the count only increases, d_t > d ignores the state, and the
+      // conjunctive degree only increases. Accepts is already admissible.
+      return Accepts(state, candidate_doi);
+    case Kind::kDisjunctiveAbove:
+      // Preferences accepted before this candidate is evaluated all have
+      // degree <= max_remaining_doi. If that bound exceeds the
+      // threshold, enough such additions can lift the running average
+      // arbitrarily close to it, eventually carrying any candidate.
+      // Otherwise every addition keeps the rejection inequality
+      // (sum + d <= (t+1)*theta) intact, so "accept now" is the best
+      // case the candidate will ever see.
+      return max_remaining_doi > threshold_ ||
+             Accepts(state, candidate_doi);
+  }
+  return false;
+}
+
+std::string InterestCriterion::ToString() const {
+  switch (kind_) {
+    case Kind::kTopCount:
+      return "top-count(" + std::to_string(static_cast<size_t>(threshold_)) +
+             ")";
+    case Kind::kMinDegree:
+      return "min-degree(" + FormatDouble(threshold_) + ")";
+    case Kind::kDisjunctiveAbove:
+      return "disjunctive-above(" + FormatDouble(threshold_) + ")";
+    case Kind::kConjunctiveUntil:
+      return "conjunctive-until(" + FormatDouble(threshold_) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace qp

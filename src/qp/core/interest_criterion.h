@@ -1,0 +1,101 @@
+#ifndef QP_CORE_INTEREST_CRITERION_H_
+#define QP_CORE_INTEREST_CRITERION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace qp {
+
+/// Running state over the preferences accepted so far, maintained by the
+/// selection loop so each criterion can be evaluated incrementally.
+struct CriterionState {
+  size_t count = 0;
+  double sum = 0.0;               // For the disjunctive (average) criterion.
+  double conj_complement = 1.0;   // prod(1 - d_i), for the conjunctive one.
+
+  void Add(double doi) {
+    ++count;
+    sum += doi;
+    conj_complement *= (1.0 - doi);
+  }
+  double ConjunctiveDegree() const { return 1.0 - conj_complement; }
+  double DisjunctiveDegree() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// The interest criterion CI of paper Table 1, deciding how many of the
+/// related preferences are selected (the K in top-K). The selection
+/// algorithm requires the accepted set to be a prefix of the preferences
+/// in decreasing-degree order, i.e. acceptance must be monotone: every
+/// criterion here accepts a candidate iff it would accept any candidate
+/// with a higher degree in the same state.
+class InterestCriterion {
+ public:
+  enum class Kind {
+    /// t <= r: select at most `r` preferences.
+    kTopCount,
+    /// d_t > d: select preferences with degree of interest greater than d.
+    kMinDegree,
+    /// (d_1 + ... + d_t)/t > d: keep selecting while the disjunction of
+    /// the selected preferences stays above d.
+    kDisjunctiveAbove,
+    /// Select preferences until the conjunction of the selected ones
+    /// exceeds d (1 - prod(1-d_i) > d stops further selection). This is
+    /// the downward-closed reading of Table 1's conjunctive criterion —
+    /// the literal "max t with conjunction > d" is upward-closed and
+    /// would select everything, defeating early termination.
+    kConjunctiveUntil,
+  };
+
+  static InterestCriterion TopCount(size_t r) {
+    return InterestCriterion(Kind::kTopCount, static_cast<double>(r));
+  }
+  static InterestCriterion MinDegree(double d) {
+    return InterestCriterion(Kind::kMinDegree, d);
+  }
+  static InterestCriterion DisjunctiveAbove(double d) {
+    return InterestCriterion(Kind::kDisjunctiveAbove, d);
+  }
+  static InterestCriterion ConjunctiveUntil(double d) {
+    return InterestCriterion(Kind::kConjunctiveUntil, d);
+  }
+
+  Kind kind() const { return kind_; }
+  double threshold() const { return threshold_; }
+
+  /// True iff CI(P_K ∪ {candidate}) holds, where `state` summarizes P_K
+  /// and `candidate_doi` is the candidate's degree of interest. Used when
+  /// a transitive selection is popped: at that moment `state` is exactly
+  /// the top-prefix the paper's definition evaluates CI against.
+  bool Accepts(const CriterionState& state, double candidate_doi) const;
+
+  /// Admissible variant used for join-path expansion and termination.
+  /// Figure 5 checks CI there directly, which is only sound for criteria
+  /// whose acceptance cannot *become* true as more preferences are
+  /// accepted — t <= r and d_t > d, but not the disjunctive average,
+  /// where a low-degree candidate rejected against a small prefix may be
+  /// accepted once richer preferences join the prefix.
+  ///
+  /// MightAcceptLater answers: could a candidate of degree
+  /// `candidate_doi` be accepted in any state reachable from `state` by
+  /// first accepting candidates of degree at most `max_remaining_doi`
+  /// (the degree of the path being expanded bounds everything still in
+  /// or entering the queue)? It is monotone in `candidate_doi`, so the
+  /// best-first expansion may stop at the first failing edge without
+  /// losing completeness (Theorem 2).
+  bool MightAcceptLater(const CriterionState& state, double candidate_doi,
+                        double max_remaining_doi) const;
+
+  /// "top-count(5)", "min-degree(0.6)", ...
+  std::string ToString() const;
+
+ private:
+  InterestCriterion(Kind kind, double threshold)
+      : kind_(kind), threshold_(threshold) {}
+
+  Kind kind_;
+  double threshold_;
+};
+
+}  // namespace qp
+
+#endif  // QP_CORE_INTEREST_CRITERION_H_

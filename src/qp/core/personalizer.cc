@@ -1,0 +1,80 @@
+#include "qp/core/personalizer.h"
+
+#include <algorithm>
+
+#include "qp/util/timer.h"
+
+namespace qp {
+
+Result<PersonalizationOutcome> Personalizer::Personalize(
+    const SelectQuery& query, const PersonalizationOptions& options) const {
+  PersonalizationOutcome outcome;
+  PreferenceSelector selector(graph_);
+
+  WallTimer timer;
+  QP_ASSIGN_OR_RETURN(
+      outcome.selected,
+      selector.Select(query, options.criterion, &outcome.selection_stats,
+                      options.semantic_filter));
+  if (options.max_negative > 0) {
+    QP_ASSIGN_OR_RETURN(
+        outcome.negatives,
+        selector.SelectNegative(query, options.max_negative,
+                                options.negative_min_doi));
+  }
+  outcome.selection_millis = timer.ElapsedMillis();
+
+  // Derive M from a degree threshold when requested: the selected list is
+  // degree-sorted, so the mandatory preferences form its prefix. L is
+  // clamped so the K = M corner stays valid.
+  IntegrationParams params = options.integration;
+  if (options.mandatory_min_doi.has_value()) {
+    size_t mandatory = 0;
+    while (mandatory < outcome.selected.size() &&
+           outcome.selected[mandatory].doi() >= *options.mandatory_min_doi) {
+      ++mandatory;
+    }
+    params.mandatory_count = mandatory;
+    params.min_satisfied = std::min(params.min_satisfied,
+                                    outcome.selected.size() - mandatory);
+  }
+
+  PreferenceIntegrator integrator;
+  timer.Restart();
+  if (options.approach == IntegrationApproach::kSingleQuery) {
+    if (!outcome.negatives.empty()) {
+      return Status::Unimplemented(
+          "dislikes require the MQ integration approach");
+    }
+    QP_ASSIGN_OR_RETURN(SelectQuery sq,
+                        integrator.BuildSingleQuery(query, outcome.selected,
+                                                    params));
+    outcome.sq = std::move(sq);
+  } else {
+    QP_ASSIGN_OR_RETURN(
+        CompoundQuery mq,
+        integrator.BuildMultipleQueries(query, outcome.selected,
+                                        outcome.negatives, params));
+    outcome.mq = std::move(mq);
+  }
+  outcome.integration_millis = timer.ElapsedMillis();
+  return outcome;
+}
+
+Result<ResultSet> Personalizer::PersonalizeAndExecute(
+    const SelectQuery& query, const PersonalizationOptions& options,
+    const Database& db, PersonalizationOutcome* outcome) const {
+  QP_ASSIGN_OR_RETURN(PersonalizationOutcome local,
+                      Personalize(query, options));
+  Executor executor(&db);
+  Result<ResultSet> result =
+      local.sq.has_value() ? executor.Execute(*local.sq)
+                           : executor.Execute(*local.mq);
+  if (result.ok() && options.top_n > 0) {
+    result.value().Truncate(options.top_n);
+  }
+  if (outcome != nullptr) *outcome = std::move(local);
+  return result;
+}
+
+}  // namespace qp

@@ -1,0 +1,94 @@
+#ifndef QP_CORE_PERSONALIZER_H_
+#define QP_CORE_PERSONALIZER_H_
+
+#include <optional>
+#include <vector>
+
+#include "qp/core/integration.h"
+#include "qp/core/interest_criterion.h"
+#include "qp/core/selection.h"
+#include "qp/exec/executor.h"
+#include "qp/graph/personalization_graph.h"
+#include "qp/query/query.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// Which preference integration form to produce/execute.
+enum class IntegrationApproach {
+  kSingleQuery,     // SQ: one complex qualification.
+  kMultipleQueries, // MQ: UNION ALL + GROUP BY + HAVING (ranked).
+};
+
+/// Everything needed to personalize one query for one user.
+struct PersonalizationOptions {
+  /// How many top preferences affect the query (determines K).
+  InterestCriterion criterion = InterestCriterion::TopCount(5);
+  /// M, L / min_degree, ranking, SQ safety bound and negative mode.
+  IntegrationParams integration;
+  /// Alternative way to fix M (paper Section 4: "a criterion for M could
+  /// be that preferences with a degree of interest equal to 1 are
+  /// considered mandatory"): selected preferences with degree >= this
+  /// threshold become the mandatory prefix, overriding
+  /// integration.mandatory_count.
+  std::optional<double> mandatory_min_doi;
+  IntegrationApproach approach = IntegrationApproach::kMultipleQueries;
+  /// Dislike handling (negative-preference extension): up to
+  /// `max_negative` related dislikes of magnitude >= `negative_min_doi`
+  /// are enforced per integration.negative_mode. 0 disables dislikes.
+  /// Requires the MQ approach when any dislike is selected.
+  size_t max_negative = 0;
+  double negative_min_doi = 0.0;
+  /// Deliver only the top `top_n` ranked rows (0 = all) — the paper's
+  /// "delivery of top-N results in order of estimated degree of
+  /// interest" future-work item. Applies to ranked (MQ) execution.
+  size_t top_n = 0;
+  /// Optional semantic-level relatedness knowledge (see semantics.h).
+  /// Not owned; must outlive the personalization call.
+  const SemanticFilter* semantic_filter = nullptr;
+};
+
+/// The output of the personalization pipeline, including per-phase wall
+/// times (the quantities plotted in the paper's Figures 6, 8-10).
+struct PersonalizationOutcome {
+  /// The K selected preferences, degree non-increasing.
+  std::vector<PreferencePath> selected;
+  /// Selected dislikes, |degree| non-increasing (empty unless
+  /// options.max_negative > 0).
+  std::vector<PreferencePath> negatives;
+  /// Exactly one of these is set, per PersonalizationOptions::approach.
+  std::optional<SelectQuery> sq;
+  std::optional<CompoundQuery> mq;
+  double selection_millis = 0.0;
+  double integration_millis = 0.0;
+  SelectionStats selection_stats;
+};
+
+/// Facade tying the pipeline together: preference selection over the
+/// user's personalization graph, then preference integration into the
+/// original query; optionally execution with ranked results.
+class Personalizer {
+ public:
+  /// `graph` is retained and must outlive the personalizer.
+  explicit Personalizer(const PersonalizationGraph* graph) : graph_(graph) {}
+
+  /// Runs selection + integration. With zero selected preferences the
+  /// outcome carries the original query unchanged (as SQ) or as a single
+  /// partial query (as MQ).
+  Result<PersonalizationOutcome> Personalize(
+      const SelectQuery& query, const PersonalizationOptions& options) const;
+
+  /// Personalize + execute against `db`. MQ outcomes produce ranked
+  /// results (per-row satisfied-preference counts and degrees). If
+  /// `outcome` is non-null the intermediate artifacts are stored there.
+  Result<ResultSet> PersonalizeAndExecute(
+      const SelectQuery& query, const PersonalizationOptions& options,
+      const Database& db, PersonalizationOutcome* outcome = nullptr) const;
+
+ private:
+  const PersonalizationGraph* graph_;
+};
+
+}  // namespace qp
+
+#endif  // QP_CORE_PERSONALIZER_H_

@@ -1,0 +1,56 @@
+#include "qp/core/query_graph.h"
+
+namespace qp {
+
+const std::vector<std::pair<std::string, Value>> QueryGraph::kNoSelections;
+
+Result<QueryGraph> QueryGraph::Build(const SelectQuery& query,
+                                     const Schema& schema) {
+  QP_RETURN_IF_ERROR(query.Validate(schema));
+  QueryGraph graph;
+  graph.variables_ = query.from();
+  for (const TupleVariable& var : graph.variables_) {
+    graph.tables_.insert(var.table);
+  }
+  if (query.where() != nullptr) {
+    std::vector<AtomicCondition> atoms;
+    query.where()->CollectAtoms(&atoms);
+    for (const AtomicCondition& atom : atoms) {
+      if (atom.is_selection()) {
+        graph.selections_[atom.var()].emplace_back(atom.column(),
+                                                   atom.value());
+      } else {
+        const TupleVariable* left = query.FindVariable(atom.left_var());
+        const TupleVariable* right = query.FindVariable(atom.right_var());
+        graph.joins_.push_back(
+            {atom.left_var(),
+             AttributeRef{left->table, atom.left_column()},
+             atom.right_var(),
+             AttributeRef{right->table, atom.right_column()}});
+      }
+    }
+  }
+  return graph;
+}
+
+const std::vector<std::pair<std::string, Value>>& QueryGraph::SelectionsOn(
+    const std::string& alias) const {
+  auto it = selections_.find(alias);
+  return it == selections_.end() ? kNoSelections : it->second;
+}
+
+std::optional<std::string> QueryGraph::FollowJoin(
+    const std::string& alias, const AttributeRef& from,
+    const AttributeRef& to) const {
+  for (const JoinAtomInfo& join : joins_) {
+    if (join.left_var == alias && join.left == from && join.right == to) {
+      return join.right_var;
+    }
+    if (join.right_var == alias && join.right == from && join.left == to) {
+      return join.left_var;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qp

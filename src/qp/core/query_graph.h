@@ -1,0 +1,74 @@
+#ifndef QP_CORE_QUERY_GRAPH_H_
+#define QP_CORE_QUERY_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "qp/query/query.h"
+#include "qp/relational/schema.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// The query represented as a sub-graph on top of the personalization
+/// graph (paper Section 5): its tuple variables are (possibly replicated)
+/// relation nodes, its atomic conditions are selection and join edges.
+/// Preference paths attach to a tuple variable and expand outwards.
+///
+/// The paper's framework targets conjunctive queries; accordingly every
+/// atom of the qualification is treated as if conjunctive when deciding
+/// relatedness and conflicts.
+class QueryGraph {
+ public:
+  /// Validates `query` against `schema` and extracts the structure below.
+  /// Copies everything it needs; neither argument is retained.
+  static Result<QueryGraph> Build(const SelectQuery& query,
+                                  const Schema& schema);
+
+  const std::vector<TupleVariable>& variables() const { return variables_; }
+
+  /// True if some tuple variable ranges over `table` — used by the cycle
+  /// pruning rule (paths must not expand into a relation of the query).
+  bool UsesTable(const std::string& table) const {
+    return tables_.contains(table);
+  }
+
+  /// Equality selections of the query on variable `alias`, as
+  /// (column, value) pairs.
+  const std::vector<std::pair<std::string, Value>>& SelectionsOn(
+      const std::string& alias) const;
+
+  /// Follows the query's join edges: starting from variable `alias`, finds
+  /// a join atom matching the schema join `from = to` (with `from` on the
+  /// `alias` side) and returns the variable on the other side, or nullopt
+  /// if the query contains no such join. Used by syntactic conflict
+  /// detection to mirror a preference path inside the query graph.
+  std::optional<std::string> FollowJoin(const std::string& alias,
+                                        const AttributeRef& from,
+                                        const AttributeRef& to) const;
+
+ private:
+  QueryGraph() = default;
+
+  struct JoinAtomInfo {
+    std::string left_var;
+    AttributeRef left;
+    std::string right_var;
+    AttributeRef right;
+  };
+
+  std::vector<TupleVariable> variables_;
+  std::unordered_set<std::string> tables_;
+  std::unordered_map<std::string, std::vector<std::pair<std::string, Value>>>
+      selections_;
+  std::vector<JoinAtomInfo> joins_;
+
+  static const std::vector<std::pair<std::string, Value>> kNoSelections;
+};
+
+}  // namespace qp
+
+#endif  // QP_CORE_QUERY_GRAPH_H_

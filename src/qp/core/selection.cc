@@ -1,0 +1,210 @@
+#include "qp/core/selection.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "qp/core/conflict.h"
+
+namespace qp {
+namespace {
+
+/// Queue entry: candidate path plus an insertion sequence number so that
+/// among equal degrees, earlier-inserted (shorter) paths come out first —
+/// the paper's "place after the last path with degree >= its degree".
+struct Candidate {
+  PreferencePath path;
+  uint64_t seq;
+};
+
+struct CandidateOrder {
+  /// std::priority_queue pops the *largest*; define "larger" as higher
+  /// degree, then smaller sequence number.
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.path.doi() != b.path.doi()) return a.path.doi() < b.path.doi();
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<PreferencePath>> PreferenceSelector::Select(
+    const SelectQuery& query, const InterestCriterion& criterion,
+    SelectionStats* stats, const SemanticFilter* semantic) const {
+  QP_ASSIGN_OR_RETURN(QueryGraph query_graph,
+                      QueryGraph::Build(query, graph_->schema()));
+
+  SelectionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder>
+      queue;
+  uint64_t seq = 0;
+  auto push = [&](PreferencePath path) {
+    queue.push(Candidate{std::move(path), seq++});
+    ++stats->paths_pushed;
+    stats->max_queue_size = std::max(stats->max_queue_size, queue.size());
+  };
+
+  // Step 1 (Figure 5): seed with every atomic element syntactically
+  // related to the query — selection and join edges leaving the relations
+  // of the query's tuple variables.
+  for (const TupleVariable& var : query.from()) {
+    PreferencePath root(var.alias, var.table);
+    for (const SelectionEdge& edge : graph_->SelectionsOn(var.table)) {
+      PreferencePath path = root.ExtendedBy(edge);
+      if (ConflictDetector::ConflictsWithQuery(path, query_graph)) {
+        ++stats->pruned_conflict;
+        continue;
+      }
+      if (semantic != nullptr && !semantic->IsRelated(path, query)) {
+        ++stats->pruned_semantic;
+        continue;
+      }
+      push(std::move(path));
+    }
+    for (const JoinEdge& edge : graph_->JoinsFrom(var.table)) {
+      if (query_graph.UsesTable(edge.to.table)) {
+        // Expanding into a relation of the query would traverse the query
+        // graph rather than expand outwards.
+        ++stats->pruned_cycle;
+        continue;
+      }
+      push(root.ExtendedBy(edge));
+    }
+  }
+
+  // Step 2: best-first expansion.
+  std::vector<PreferencePath> selected;
+  CriterionState state;
+  while (!queue.empty()) {
+    PreferencePath path = queue.top().path;
+    queue.pop();
+    ++stats->paths_popped;
+
+    if (path.is_selection()) {
+      if (!criterion.Accepts(state, path.doi())) break;
+      state.Add(path.doi());
+      selected.push_back(std::move(path));
+      continue;
+    }
+
+    // A transitive join: expand unless the criterion rules out anything
+    // it could ever produce (its degree bounds every extension, and the
+    // admissible check accounts for state growth before evaluation).
+    if (!criterion.MightAcceptLater(state, path.doi(), path.doi())) break;
+
+    const std::string& end = path.EndTable();
+    // Merge the two presorted adjacency lists in decreasing edge degree so
+    // extensions are generated in decreasing path degree, enabling the
+    // early break below.
+    const auto& selections = graph_->SelectionsOn(end);
+    const auto& joins = graph_->JoinsFrom(end);
+    size_t si = 0;
+    size_t ji = 0;
+    while (si < selections.size() || ji < joins.size()) {
+      bool take_selection =
+          ji >= joins.size() ||
+          (si < selections.size() && selections[si].doi >= joins[ji].doi);
+      double edge_doi =
+          take_selection ? selections[si].doi : joins[ji].doi;
+      if (!criterion.MightAcceptLater(state, path.doi() * edge_doi,
+                                      path.doi())) {
+        // Remaining edges have lower degree; none can pass.
+        ++stats->pruned_criterion;
+        break;
+      }
+      if (take_selection) {
+        PreferencePath extended = path.ExtendedBy(selections[si]);
+        ++si;
+        if (ConflictDetector::ConflictsWithQuery(extended, query_graph)) {
+          ++stats->pruned_conflict;
+          continue;
+        }
+        if (semantic != nullptr && !semantic->IsRelated(extended, query)) {
+          ++stats->pruned_semantic;
+          continue;
+        }
+        push(std::move(extended));
+      } else {
+        const JoinEdge& edge = joins[ji];
+        ++ji;
+        if (path.VisitsTable(edge.to.table) ||
+            query_graph.UsesTable(edge.to.table)) {
+          ++stats->pruned_cycle;
+          continue;
+        }
+        push(path.ExtendedBy(edge));
+      }
+    }
+  }
+  return selected;
+}
+
+Result<std::vector<PreferencePath>> PreferenceSelector::SelectNegative(
+    const SelectQuery& query, size_t max_count, double min_abs_doi) const {
+  QP_ASSIGN_OR_RETURN(QueryGraph query_graph,
+                      QueryGraph::Build(query, graph_->schema()));
+  std::unordered_set<std::string> forbidden;
+  for (const TupleVariable& var : query.from()) forbidden.insert(var.table);
+
+  std::vector<PreferencePath> all;
+  for (const TupleVariable& var : query.from()) {
+    std::vector<PreferencePath> paths = EnumerateNegativeTransitiveSelections(
+        *graph_, var.alias, var.table, forbidden);
+    for (PreferencePath& path : paths) {
+      if (path.AbsDoi() < min_abs_doi) continue;
+      if (ConflictDetector::ConflictsWithQuery(path, query_graph)) continue;
+      all.push_back(std::move(path));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const PreferencePath& a, const PreferencePath& b) {
+                     if (a.AbsDoi() != b.AbsDoi()) {
+                       return a.AbsDoi() > b.AbsDoi();
+                     }
+                     return a.Length() < b.Length();
+                   });
+  if (all.size() > max_count) {
+    all.erase(all.begin() + static_cast<ptrdiff_t>(max_count), all.end());
+  }
+  return all;
+}
+
+Result<std::vector<PreferencePath>> PreferenceSelector::SelectBruteForce(
+    const SelectQuery& query, const InterestCriterion& criterion,
+    size_t* enumerated, const SemanticFilter* semantic) const {
+  QP_ASSIGN_OR_RETURN(QueryGraph query_graph,
+                      QueryGraph::Build(query, graph_->schema()));
+
+  std::unordered_set<std::string> forbidden;
+  for (const TupleVariable& var : query.from()) forbidden.insert(var.table);
+
+  std::vector<PreferencePath> all;
+  for (const TupleVariable& var : query.from()) {
+    std::vector<PreferencePath> paths = EnumerateTransitiveSelections(
+        *graph_, var.alias, var.table, forbidden);
+    for (PreferencePath& path : paths) {
+      if (ConflictDetector::ConflictsWithQuery(path, query_graph)) continue;
+      if (semantic != nullptr && !semantic->IsRelated(path, query)) continue;
+      all.push_back(std::move(path));
+    }
+  }
+  if (enumerated != nullptr) *enumerated = all.size();
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const PreferencePath& a, const PreferencePath& b) {
+                     if (a.doi() != b.doi()) return a.doi() > b.doi();
+                     return a.Length() < b.Length();
+                   });
+
+  std::vector<PreferencePath> selected;
+  CriterionState state;
+  for (PreferencePath& path : all) {
+    if (!criterion.Accepts(state, path.doi())) break;
+    state.Add(path.doi());
+    selected.push_back(std::move(path));
+  }
+  return selected;
+}
+
+}  // namespace qp

@@ -1,0 +1,177 @@
+#include "qp/data/movie_db.h"
+
+#include <array>
+#include <cstdio>
+#include <unordered_set>
+
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+constexpr std::array<const char*, 15> kGenres = {
+    "comedy",  "thriller",  "sci-fi", "drama",   "adventure",
+    "romance", "horror",    "crime",  "fantasy", "animation",
+    "war",     "western",   "musical", "mystery", "documentary"};
+
+constexpr std::array<const char*, 8> kRegions = {
+    "downtown", "uptown", "midtown", "harbor",
+    "west end", "east side", "old town", "suburbs"};
+
+}  // namespace
+
+std::string GenreName(size_t i) { return kGenres[i % kGenres.size()]; }
+std::string RegionName(size_t i) { return kRegions[i % kRegions.size()]; }
+std::string ActorName(size_t i) { return "Actor #" + std::to_string(i); }
+std::string DirectorName(size_t i) {
+  return "Director #" + std::to_string(i);
+}
+std::string MovieTitle(size_t i) { return "Movie #" + std::to_string(i); }
+std::string TheatreName(size_t i) {
+  return "Theatre #" + std::to_string(i);
+}
+std::string PlayDate(size_t day) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "2003-07-%02zu", day % 28 + 1);
+  return buf;
+}
+
+Schema MovieSchema() {
+  Schema schema;
+  auto str = DataType::kString;
+  auto i64 = DataType::kInt64;
+  // AddTable cannot fail here (no duplicates); assert via (void).
+  (void)schema.AddTable(TableSchema("THEATRE",
+                                    {{"tid", i64},
+                                     {"name", str},
+                                     {"phone", str},
+                                     {"region", str}},
+                                    {"tid"}));
+  (void)schema.AddTable(TableSchema(
+      "PLAY", {{"tid", i64}, {"mid", i64}, {"date", str}}, {}));
+  (void)schema.AddTable(TableSchema(
+      "MOVIE", {{"mid", i64}, {"title", str}, {"year", i64}}, {"mid"}));
+  (void)schema.AddTable(TableSchema(
+      "CAST",
+      {{"mid", i64}, {"aid", i64}, {"award", str}, {"role", str}}, {}));
+  (void)schema.AddTable(
+      TableSchema("ACTOR", {{"aid", i64}, {"name", str}}, {"aid"}));
+  (void)schema.AddTable(
+      TableSchema("DIRECTED", {{"mid", i64}, {"did", i64}}, {}));
+  (void)schema.AddTable(
+      TableSchema("DIRECTOR", {{"did", i64}, {"name", str}}, {"did"}));
+  (void)schema.AddTable(
+      TableSchema("GENRE", {{"mid", i64}, {"genre", str}}, {}));
+
+  (void)schema.AddForeignKey({"PLAY", "tid"}, {"THEATRE", "tid"});
+  (void)schema.AddForeignKey({"PLAY", "mid"}, {"MOVIE", "mid"});
+  (void)schema.AddForeignKey({"CAST", "mid"}, {"MOVIE", "mid"});
+  (void)schema.AddForeignKey({"CAST", "aid"}, {"ACTOR", "aid"});
+  (void)schema.AddForeignKey({"DIRECTED", "mid"}, {"MOVIE", "mid"});
+  (void)schema.AddForeignKey({"DIRECTED", "did"}, {"DIRECTOR", "did"});
+  (void)schema.AddForeignKey({"GENRE", "mid"}, {"MOVIE", "mid"});
+  return schema;
+}
+
+Result<Database> GenerateMovieDatabase(const MovieDbConfig& config) {
+  Database db(MovieSchema());
+  Rng rng(config.seed);
+  ZipfDistribution genre_zipf(config.num_genres, config.zipf_theta);
+  ZipfDistribution actor_zipf(config.num_actors, config.zipf_theta);
+  ZipfDistribution director_zipf(config.num_directors, config.zipf_theta);
+  ZipfDistribution movie_zipf(config.num_movies, config.zipf_theta);
+
+  for (size_t t = 0; t < config.num_theatres; ++t) {
+    QP_RETURN_IF_ERROR(db.Insert(
+        "THEATRE",
+        {Value::Int(static_cast<int64_t>(t)), Value::Str(TheatreName(t)),
+         Value::Str("555-" + std::to_string(1000 + t)),
+         Value::Str(RegionName(rng.Below(config.num_regions)))}));
+  }
+  for (size_t a = 0; a < config.num_actors; ++a) {
+    QP_RETURN_IF_ERROR(
+        db.Insert("ACTOR", {Value::Int(static_cast<int64_t>(a)),
+                            Value::Str(ActorName(a))}));
+  }
+  for (size_t d = 0; d < config.num_directors; ++d) {
+    QP_RETURN_IF_ERROR(
+        db.Insert("DIRECTOR", {Value::Int(static_cast<int64_t>(d)),
+                               Value::Str(DirectorName(d))}));
+  }
+  for (size_t m = 0; m < config.num_movies; ++m) {
+    int64_t year = 1950 + static_cast<int64_t>(rng.Below(55));
+    QP_RETURN_IF_ERROR(
+        db.Insert("MOVIE", {Value::Int(static_cast<int64_t>(m)),
+                            Value::Str(MovieTitle(m)), Value::Int(year)}));
+    // Genres: 1..max distinct, popularity-skewed.
+    size_t num_genres =
+        1 + rng.Below(config.max_genres_per_movie);
+    std::unordered_set<uint64_t> seen_genres;
+    for (size_t g = 0; g < num_genres; ++g) {
+      uint64_t genre = genre_zipf.Sample(&rng);
+      if (!seen_genres.insert(genre).second) continue;
+      QP_RETURN_IF_ERROR(
+          db.Insert("GENRE", {Value::Int(static_cast<int64_t>(m)),
+                              Value::Str(GenreName(genre))}));
+    }
+    // One director per movie.
+    QP_RETURN_IF_ERROR(db.Insert(
+        "DIRECTED",
+        {Value::Int(static_cast<int64_t>(m)),
+         Value::Int(static_cast<int64_t>(director_zipf.Sample(&rng)))}));
+    // Cast.
+    size_t cast_size = config.min_cast +
+                       rng.Below(config.max_cast - config.min_cast + 1);
+    std::unordered_set<uint64_t> seen_actors;
+    for (size_t c = 0; c < cast_size; ++c) {
+      uint64_t actor = actor_zipf.Sample(&rng);
+      if (!seen_actors.insert(actor).second) continue;
+      const char* award = rng.Bernoulli(0.02) ? "oscar" : "none";
+      QP_RETURN_IF_ERROR(db.Insert(
+          "CAST", {Value::Int(static_cast<int64_t>(m)),
+                   Value::Int(static_cast<int64_t>(actor)),
+                   Value::Str(award),
+                   Value::Str("Role " + std::to_string(c))}));
+    }
+  }
+  // Screenings: every theatre schedules popular movies each day.
+  for (size_t t = 0; t < config.num_theatres; ++t) {
+    for (size_t day = 0; day < config.num_days; ++day) {
+      for (size_t s = 0; s < config.plays_per_theatre_per_day; ++s) {
+        QP_RETURN_IF_ERROR(db.Insert(
+            "PLAY",
+            {Value::Int(static_cast<int64_t>(t)),
+             Value::Int(static_cast<int64_t>(movie_zipf.Sample(&rng))),
+             Value::Str(PlayDate(day))}));
+      }
+    }
+  }
+  return db;
+}
+
+Result<std::vector<CandidatePool>> MovieCandidatePools(
+    const Database& db, size_t max_values_per_attribute) {
+  const std::vector<AttributeRef> attributes = {
+      {"GENRE", "genre"},    {"ACTOR", "name"}, {"DIRECTOR", "name"},
+      {"THEATRE", "region"}, {"MOVIE", "year"},
+  };
+  std::vector<CandidatePool> pools;
+  for (const AttributeRef& attr : attributes) {
+    QP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(attr.table));
+    auto col = table->schema().ColumnIndex(attr.column);
+    if (!col.has_value()) {
+      return Status::NotFound("missing column " + attr.ToString());
+    }
+    std::unordered_set<Value, ValueHash> distinct;
+    CandidatePool pool{attr, {}};
+    for (const Row& row : table->rows()) {
+      if (distinct.size() >= max_values_per_attribute) break;
+      if (row[*col].is_null()) continue;
+      if (distinct.insert(row[*col]).second) pool.values.push_back(row[*col]);
+    }
+    if (!pool.values.empty()) pools.push_back(std::move(pool));
+  }
+  return pools;
+}
+
+}  // namespace qp

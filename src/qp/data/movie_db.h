@@ -1,0 +1,67 @@
+#ifndef QP_DATA_MOVIE_DB_H_
+#define QP_DATA_MOVIE_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qp/pref/profile_generator.h"
+#include "qp/relational/database.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// Knobs of the synthetic movie database (the stand-in for the paper's
+/// IMDb extract). Defaults are laptop-benchmark scale; the paper's 340k
+/// movies are reachable by raising `num_movies` (the experiment shapes are
+/// scale-invariant).
+struct MovieDbConfig {
+  size_t num_movies = 5000;
+  size_t num_actors = 2000;
+  size_t num_directors = 400;
+  size_t num_theatres = 40;
+  size_t num_regions = 8;
+  size_t num_genres = 15;
+  /// PLAY rows: for each theatre and each day, this many screenings.
+  size_t num_days = 14;
+  size_t plays_per_theatre_per_day = 3;
+  /// CAST rows per movie are drawn uniformly from [min_cast, max_cast].
+  size_t min_cast = 2;
+  size_t max_cast = 6;
+  /// Movies may carry 1..max_genres_per_movie genres.
+  size_t max_genres_per_movie = 3;
+  /// Popularity skew (genre/actor/director assignment) — Zipf theta.
+  double zipf_theta = 0.8;
+  uint64_t seed = 42;
+};
+
+/// The paper's 8-relation schema with its foreign-key joins:
+///   THEATRE(tid, name, phone, region)      PLAY(tid, mid, date)
+///   MOVIE(mid, title, year)                CAST(mid, aid, award, role)
+///   ACTOR(aid, name)                       DIRECTED(mid, did)
+///   DIRECTOR(did, name)                    GENRE(mid, genre)
+Schema MovieSchema();
+
+/// Generates a populated database per `config`. Deterministic in the seed.
+Result<Database> GenerateMovieDatabase(const MovieDbConfig& config);
+
+/// Canonical generated value spellings, shared by tests/workloads:
+/// genres cycle through a fixed list; names are "Actor #i" etc.
+std::string GenreName(size_t i);
+std::string RegionName(size_t i);
+std::string ActorName(size_t i);
+std::string DirectorName(size_t i);
+std::string MovieTitle(size_t i);
+std::string TheatreName(size_t i);
+std::string PlayDate(size_t day);
+
+/// Harvests candidate (attribute, value) pools for the profile generator
+/// from the value-bearing attributes of the movie schema: GENRE.genre,
+/// ACTOR.name, DIRECTOR.name, THEATRE.region, MOVIE.year. Values are the
+/// distinct values present in `db` (capped per attribute).
+Result<std::vector<CandidatePool>> MovieCandidatePools(
+    const Database& db, size_t max_values_per_attribute = 10000);
+
+}  // namespace qp
+
+#endif  // QP_DATA_MOVIE_DB_H_

@@ -1,0 +1,152 @@
+#include "qp/data/paper_example.h"
+
+#include "qp/data/movie_db.h"
+
+namespace qp {
+namespace {
+
+/// Both users share the structural (join) part of the profile; only the
+/// degrees in the narrative are pinned down by the paper, the rest are
+/// natural completions (both directions of every join are present so
+/// preferences reach the whole schema).
+void AddStandardJoins(UserProfile* profile) {
+  auto join = [&](const char* ft, const char* fc, const char* tt,
+                  const char* tc, double doi) {
+    (void)profile->Add(
+        AtomicPreference::Join({ft, fc}, {tt, tc}, doi));
+  };
+  join("THEATRE", "tid", "PLAY", "tid", 1.0);    // Figure 2, row 1.
+  join("PLAY", "tid", "THEATRE", "tid", 1.0);    // Figure 2, row 2.
+  join("PLAY", "mid", "MOVIE", "mid", 1.0);      // Figure 2, row 3.
+  join("MOVIE", "mid", "PLAY", "mid", 0.8);      // Figure 2, row 4.
+  join("MOVIE", "mid", "GENRE", "mid", 0.9);     // Figure 2, row 5.
+  join("GENRE", "mid", "MOVIE", "mid", 0.9);
+  join("MOVIE", "mid", "CAST", "mid", 0.8);      // Kidman example: 0.8*1*0.9.
+  join("CAST", "mid", "MOVIE", "mid", 0.8);
+  join("CAST", "aid", "ACTOR", "aid", 1.0);
+  join("ACTOR", "aid", "CAST", "aid", 1.0);
+  join("MOVIE", "mid", "DIRECTED", "mid", 1.0);  // Allen example: 1*1*0.7.
+  join("DIRECTED", "mid", "MOVIE", "mid", 1.0);
+  join("DIRECTED", "did", "DIRECTOR", "did", 1.0);
+  join("DIRECTOR", "did", "DIRECTED", "did", 1.0);
+}
+
+void AddSelection(UserProfile* profile, const char* table, const char* column,
+                  const char* value, double doi) {
+  (void)profile->Add(AtomicPreference::Selection({table, column},
+                                                 Value::Str(value), doi));
+}
+
+}  // namespace
+
+UserProfile JulieProfile() {
+  UserProfile profile;
+  AddStandardJoins(&profile);
+  // "She is a fan of comedies, enjoys thrillers, and likes adventures to a
+  // lesser extent."
+  AddSelection(&profile, "GENRE", "genre", "comedy", 0.9);   // Figure 2.
+  AddSelection(&profile, "GENRE", "genre", "thriller", 0.7); // Figure 2.
+  AddSelection(&profile, "GENRE", "genre", "adventure", 0.5);
+  // "Her favourite is D. Lynch followed by W. Allen." The Allen degree is
+  // pinned at 0.7 by the Section 3.3 example; 0.8 places Lynch between
+  // Allen and the comedy path, matching the Section 5 top-3.
+  AddSelection(&profile, "DIRECTOR", "name", "D. Lynch", 0.8);
+  AddSelection(&profile, "DIRECTOR", "name", "W. Allen", 0.7);
+  // "She likes N. Kidman followed by A. Hopkins and I. Rossellini."
+  AddSelection(&profile, "ACTOR", "name", "N. Kidman", 0.9);  // Section 3.2.
+  AddSelection(&profile, "ACTOR", "name", "A. Hopkins", 0.8); // Figure 2.
+  AddSelection(&profile, "ACTOR", "name", "I. Rossellini", 0.6);
+  // "Julie prefers theatres located downtown."
+  AddSelection(&profile, "THEATRE", "region", "downtown", 0.7);
+  return profile;
+}
+
+UserProfile RobProfile() {
+  UserProfile profile;
+  AddStandardJoins(&profile);
+  // "Rob likes sci-fi movies and actress J. Roberts."
+  AddSelection(&profile, "GENRE", "genre", "sci-fi", 0.9);
+  AddSelection(&profile, "ACTOR", "name", "J. Roberts", 0.85);
+  return profile;
+}
+
+SelectQuery TonightQuery() {
+  SelectQuery query;
+  (void)query.AddVariable("MV", "MOVIE");
+  (void)query.AddVariable("PL", "PLAY");
+  query.AddProjection("MV", "title");
+  query.set_where(ConditionNode::MakeAnd({
+      ConditionNode::MakeAtom(
+          AtomicCondition::Join("MV", "mid", "PL", "mid")),
+      ConditionNode::MakeAtom(AtomicCondition::Selection(
+          "PL", "date", Value::Str("2/7/2003"))),
+  }));
+  return query;
+}
+
+Result<Database> BuildPaperDatabase() {
+  Database db(MovieSchema());
+  auto I = [](int64_t v) { return Value::Int(v); };
+  auto S = [](const char* v) { return Value::Str(v); };
+
+  struct MovieRow {
+    int64_t mid;
+    const char* title;
+    int64_t year;
+    std::vector<const char*> genres;
+    int64_t director;
+    std::vector<int64_t> cast;
+  };
+  // Directors: 0 D. Lynch, 1 W. Allen, 2 S. Kubrick, 3 M. Tarkowski.
+  // Actors: 0 N. Kidman, 1 A. Hopkins, 2 I. Rossellini, 3 J. Roberts,
+  //         4 R. Atkinson.
+  const std::vector<MovieRow> movies = {
+      {0, "The Quiet Comedy", 2002, {"comedy"}, 0, {0, 1}},
+      {1, "Laugh Lines", 2001, {"comedy"}, 1, {1}},
+      {2, "Night Chase", 2003, {"thriller"}, 0, {0, 2}},
+      {3, "Space Odyssey", 2003, {"sci-fi"}, 2, {3}},
+      {4, "Asian Cuisine Stories", 2000, {"documentary"}, 3, {4}},
+      {5, "Dream Theatre", 1999, {"comedy", "adventure"}, 1, {0, 3}},
+  };
+  const std::vector<const char*> actors = {
+      "N. Kidman", "A. Hopkins", "I. Rossellini", "J. Roberts",
+      "R. Atkinson"};
+  const std::vector<const char*> directors = {"D. Lynch", "W. Allen",
+                                              "S. Kubrick", "M. Tarkowski"};
+
+  for (size_t i = 0; i < actors.size(); ++i) {
+    QP_RETURN_IF_ERROR(
+        db.Insert("ACTOR", {I(static_cast<int64_t>(i)), S(actors[i])}));
+  }
+  for (size_t i = 0; i < directors.size(); ++i) {
+    QP_RETURN_IF_ERROR(db.Insert(
+        "DIRECTOR", {I(static_cast<int64_t>(i)), S(directors[i])}));
+  }
+  QP_RETURN_IF_ERROR(db.Insert(
+      "THEATRE", {I(0), S("Odeon"), S("555-1000"), S("downtown")}));
+  QP_RETURN_IF_ERROR(
+      db.Insert("THEATRE", {I(1), S("Rex"), S("555-1001"), S("uptown")}));
+
+  for (const MovieRow& movie : movies) {
+    QP_RETURN_IF_ERROR(
+        db.Insert("MOVIE", {I(movie.mid), S(movie.title), I(movie.year)}));
+    for (const char* genre : movie.genres) {
+      QP_RETURN_IF_ERROR(db.Insert("GENRE", {I(movie.mid), S(genre)}));
+    }
+    QP_RETURN_IF_ERROR(
+        db.Insert("DIRECTED", {I(movie.mid), I(movie.director)}));
+    for (size_t c = 0; c < movie.cast.size(); ++c) {
+      QP_RETURN_IF_ERROR(db.Insert(
+          "CAST", {I(movie.mid), I(movie.cast[c]), S("none"),
+                   S(("Role " + std::to_string(c)).c_str())}));
+    }
+    // Every movie plays tonight; alternate theatres.
+    QP_RETURN_IF_ERROR(
+        db.Insert("PLAY", {I(movie.mid % 2), I(movie.mid), S("2/7/2003")}));
+  }
+  // A screening on another night, to make the date selection matter.
+  QP_RETURN_IF_ERROR(db.Insert("PLAY", {I(0), I(4), S("3/7/2003")}));
+  return db;
+}
+
+}  // namespace qp

@@ -1,0 +1,41 @@
+#ifndef QP_DATA_PAPER_EXAMPLE_H_
+#define QP_DATA_PAPER_EXAMPLE_H_
+
+#include "qp/pref/profile.h"
+#include "qp/query/query.h"
+#include "qp/relational/database.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// The paper's running example, reconstructed exactly: Julie's profile
+/// (Figures 2/3 and the narrative of Section 3), Rob's profile, the
+/// motivating "what is shown tonight" query, and a small handcrafted
+/// database instance over the movie schema that makes the worked examples
+/// observable end to end.
+///
+/// Degrees are chosen to reproduce every number computed in the paper:
+///  - N. Kidman transitive selection:  0.8 * 1 * 0.9   = 0.72
+///  - W. Allen transitive selection:   1 * 1 * 0.7     = 0.7
+///  - comedy transitive selection:     0.9 * 0.9       = 0.81
+///  - conjunction(comedy, W. Allen):   1-(1-0.7)(1-0.81) = 0.943
+///  - disjunction(comedy, W. Allen):   (0.7+0.81)/2      = 0.755
+///  - top-3 for the tonight query: comedy (0.81), D. Lynch (0.8),
+///    N. Kidman (0.72) — the set listed at the end of Section 5.
+UserProfile JulieProfile();
+
+/// Rob likes sci-fi movies and actress J. Roberts.
+UserProfile RobProfile();
+
+/// select MV.title from MOVIE MV, PLAY PL
+/// where MV.mid=PL.mid and PL.date='2/7/2003'
+SelectQuery TonightQuery();
+
+/// A compact instance of the movie schema with the entities the examples
+/// mention (N. Kidman, D. Lynch, W. Allen, J. Roberts, comedies,
+/// thrillers, sci-fi, ...) all playing on '2/7/2003'.
+Result<Database> BuildPaperDatabase();
+
+}  // namespace qp
+
+#endif  // QP_DATA_PAPER_EXAMPLE_H_

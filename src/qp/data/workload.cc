@@ -1,0 +1,149 @@
+#include "qp/data/workload.h"
+
+#include <cctype>
+
+namespace qp {
+namespace {
+
+/// Tables worth projecting from (entity relations with a display column).
+struct BaseChoice {
+  const char* table;
+  const char* display_column;
+};
+
+std::string AliasFor(const SelectQuery& query, const std::string& table) {
+  std::string prefix;
+  for (char c : table.substr(0, 2)) {
+    prefix += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return query.FreshAlias(prefix);
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const Database* db, uint64_t seed,
+                                     WorkloadConfig config)
+    : db_(db), rng_(seed), config_(config) {}
+
+std::vector<std::string> WorkloadGenerator::ValueColumns(
+    const std::string& table) const {
+  const Schema& schema = db_->schema();
+  const TableSchema* ts = schema.FindTable(table);
+  std::vector<std::string> out;
+  for (const Column& column : ts->columns()) {
+    bool joined = false;
+    for (const SchemaJoin& join : schema.joins()) {
+      if ((join.left.table == table && join.left.column == column.name) ||
+          (join.right.table == table && join.right.column == column.name)) {
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) out.push_back(column.name);
+  }
+  return out;
+}
+
+Result<Value> WorkloadGenerator::SampleValue(const std::string& table,
+                                             const std::string& column) {
+  QP_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+  if (t->num_rows() == 0) {
+    return Status::FailedPrecondition("cannot sample from empty table " +
+                                      table);
+  }
+  size_t col = *t->schema().ColumnIndex(column);
+  RowId row = static_cast<RowId>(rng_.Below(t->num_rows()));
+  return t->At(row, col);
+}
+
+Result<SelectQuery> WorkloadGenerator::RandomQuery() {
+  const Schema& schema = db_->schema();
+
+  // Entity relations that have at least one value column make good bases.
+  std::vector<BaseChoice> bases;
+  static constexpr BaseChoice kKnownBases[] = {
+      {"MOVIE", "title"}, {"THEATRE", "name"},
+      {"ACTOR", "name"},  {"DIRECTOR", "name"},
+  };
+  for (const BaseChoice& base : kKnownBases) {
+    if (schema.HasTable(base.table)) bases.push_back(base);
+  }
+  if (bases.empty()) {
+    // Generic fallback for non-movie schemas: any table, first column.
+    for (const TableSchema& table : schema.tables()) {
+      bases.push_back({table.name().c_str(),
+                       table.columns().front().name.c_str()});
+    }
+  }
+  const BaseChoice& base = bases[rng_.Below(bases.size())];
+
+  SelectQuery query;
+  std::string base_alias = AliasFor(query, base.table);
+  QP_RETURN_IF_ERROR(query.AddVariable(base_alias, base.table));
+  query.AddProjection(base_alias, base.display_column);
+
+  std::vector<ConditionPtr> atoms;
+  // Random walk over declared joins.
+  size_t extra = rng_.Below(config_.max_extra_relations + 1);
+  for (size_t step = 0; step < extra; ++step) {
+    // Pick a random variable already in the query, then a random join out
+    // of its table into a table not yet present. Copy the source variable:
+    // AddVariable below may reallocate the FROM list.
+    const TupleVariable source =
+        query.from()[rng_.Below(query.from().size())];
+    std::vector<Schema::OutgoingJoin> options;
+    for (const Schema::OutgoingJoin& join :
+         schema.JoinsFrom(source.table)) {
+      bool used = false;
+      for (const TupleVariable& var : query.from()) {
+        if (var.table == join.to.table) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) options.push_back(join);
+    }
+    if (options.empty()) break;
+    const Schema::OutgoingJoin& join = options[rng_.Below(options.size())];
+    std::string alias = AliasFor(query, join.to.table);
+    QP_RETURN_IF_ERROR(query.AddVariable(alias, join.to.table));
+    atoms.push_back(ConditionNode::MakeAtom(
+        AtomicCondition::Join(source.alias, join.from.column, alias,
+                              join.to.column)));
+  }
+
+  // One guaranteed selection (plus an optional second) on value columns
+  // of the included relations. Link relations like DIRECTED have no value
+  // columns, so draw only from variables that do (the base relations all
+  // qualify, so the pool is never empty).
+  std::vector<TupleVariable> eligible;
+  for (const TupleVariable& var : query.from()) {
+    if (!ValueColumns(var.table).empty()) eligible.push_back(var);
+  }
+  size_t num_selections =
+      1 + (rng_.Bernoulli(config_.second_selection_prob) ? 1 : 0);
+  for (size_t s = 0; s < num_selections && !eligible.empty(); ++s) {
+    const TupleVariable& var = eligible[rng_.Below(eligible.size())];
+    std::vector<std::string> columns = ValueColumns(var.table);
+    const std::string& column = columns[rng_.Below(columns.size())];
+    QP_ASSIGN_OR_RETURN(Value value, SampleValue(var.table, column));
+    atoms.push_back(ConditionNode::MakeAtom(
+        AtomicCondition::Selection(var.alias, column, std::move(value))));
+  }
+
+  query.set_where(ConditionNode::MakeAnd(std::move(atoms)));
+  QP_RETURN_IF_ERROR(query.Validate(schema));
+  return query;
+}
+
+Result<std::vector<SelectQuery>> WorkloadGenerator::RandomQueries(size_t n) {
+  std::vector<SelectQuery> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QP_ASSIGN_OR_RETURN(SelectQuery query, RandomQuery());
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace qp

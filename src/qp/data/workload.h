@@ -1,0 +1,59 @@
+#ifndef QP_DATA_WORKLOAD_H_
+#define QP_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qp/query/query.h"
+#include "qp/relational/database.h"
+#include "qp/util/random.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+struct WorkloadConfig {
+  /// Extra relations joined onto the base relation: drawn uniformly from
+  /// [0, max_extra_relations].
+  size_t max_extra_relations = 2;
+  /// Probability of a second selection condition (one is always added so
+  /// queries resemble the paper's "what is shown tonight" requests rather
+  /// than full scans).
+  double second_selection_prob = 0.3;
+};
+
+/// Generates random SPJ queries over a database, the stand-in for the
+/// paper's "set of 100 randomly created queries": a random connected
+/// subgraph of the schema graph (base relation + random walk over declared
+/// joins), join conditions along the walk, 1-2 equality selections with
+/// values sampled from the actual data, projecting a display attribute of
+/// the base relation.
+class WorkloadGenerator {
+ public:
+  /// `db` is retained and must outlive the generator.
+  WorkloadGenerator(const Database* db, uint64_t seed,
+                    WorkloadConfig config = {});
+
+  /// Draws one random query (deterministic in the seed sequence).
+  Result<SelectQuery> RandomQuery();
+
+  /// Convenience: a batch of `n` queries.
+  Result<std::vector<SelectQuery>> RandomQueries(size_t n);
+
+ private:
+  /// Columns of `table` that participate in no declared join — the
+  /// "value" attributes eligible for selections.
+  std::vector<std::string> ValueColumns(const std::string& table) const;
+
+  /// The value of `column` in a uniformly random row of `table`.
+  Result<Value> SampleValue(const std::string& table,
+                            const std::string& column);
+
+  const Database* db_;
+  Rng rng_;
+  WorkloadConfig config_;
+};
+
+}  // namespace qp
+
+#endif  // QP_DATA_WORKLOAD_H_

@@ -1,0 +1,853 @@
+#include "qp/exec/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "qp/pref/doi.h"
+
+namespace qp {
+namespace {
+
+/// A partial assignment of rows to tuple variables; entry i is the row id
+/// bound to variable slot i (meaningful only once the slot is bound).
+using Binding = std::vector<RowId>;
+
+struct BindingHash {
+  size_t operator()(const Binding& b) const {
+    size_t h = 0x12345ULL;
+    for (RowId id : b) h = h * 1000003ULL ^ id;
+    return h;
+  }
+};
+
+/// One tuple variable being joined, with its pushed-down selections.
+struct VarSlot {
+  std::string alias;
+  const Table* table = nullptr;
+  /// (column index, required value) equality selections on this variable.
+  std::vector<std::pair<size_t, Value>> selections;
+  /// (column index, near condition) soft selections: a row matches while
+  /// its satisfaction is > 0; the satisfaction itself scales degrees.
+  std::vector<std::pair<size_t, AtomicCondition>> nears;
+  bool impossible = false;  // Two selections on the same column disagree.
+};
+
+/// A resolved join atom: slots and column indices.
+struct ResolvedJoin {
+  size_t va, ca, vb, cb;
+  bool applied = false;
+};
+
+/// Slots + joins for one conjunctive block.
+struct BuiltConjunct {
+  std::vector<VarSlot> slots;
+  std::vector<ResolvedJoin> joins;
+  std::unordered_map<std::string, size_t> slot_index;
+};
+
+bool RowPassesSlot(const VarSlot& slot, RowId id) {
+  for (const auto& [col, value] : slot.selections) {
+    if (slot.table->At(id, col) != value) return false;
+  }
+  for (const auto& [col, near] : slot.nears) {
+    if (near.Satisfaction(slot.table->At(id, col)) <= 0.0) return false;
+  }
+  return true;
+}
+
+/// Estimated cardinality of a slot after its selections (index-probed
+/// under hash joins).
+size_t EstimateSlot(const VarSlot& slot, JoinStrategy strategy) {
+  if (slot.selections.empty() || strategy == JoinStrategy::kNestedLoop) {
+    return slot.table->num_rows();
+  }
+  size_t best = slot.table->num_rows();
+  for (const auto& [col, value] : slot.selections) {
+    best = std::min(best, slot.table->Lookup(col, value).size());
+  }
+  return best;
+}
+
+/// Resolves `vars` and `atoms` into slots with pushed-down selections and
+/// resolved join atoms. Every atom must reference only aliases in `vars`.
+Result<BuiltConjunct> BuildConjunct(const Database& db,
+                                    const std::vector<TupleVariable>& vars,
+                                    const std::vector<AtomicCondition>& atoms) {
+  BuiltConjunct built;
+  for (const TupleVariable& var : vars) {
+    QP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(var.table));
+    built.slot_index[var.alias] = built.slots.size();
+    built.slots.push_back(VarSlot{var.alias, table, {}, {}, false});
+  }
+  for (const AtomicCondition& atom : atoms) {
+    if (atom.is_selection()) {
+      auto it = built.slot_index.find(atom.var());
+      if (it == built.slot_index.end()) {
+        return Status::Internal("unresolved alias: " + atom.var());
+      }
+      VarSlot& slot = built.slots[it->second];
+      size_t col = *slot.table->schema().ColumnIndex(atom.column());
+      for (const auto& [existing_col, existing_value] : slot.selections) {
+        if (existing_col == col && existing_value != atom.value()) {
+          slot.impossible = true;
+        }
+      }
+      if (!slot.impossible) slot.selections.emplace_back(col, atom.value());
+    } else if (atom.is_near()) {
+      auto it = built.slot_index.find(atom.var());
+      if (it == built.slot_index.end()) {
+        return Status::Internal("unresolved alias: " + atom.var());
+      }
+      VarSlot& slot = built.slots[it->second];
+      size_t col = *slot.table->schema().ColumnIndex(atom.column());
+      slot.nears.emplace_back(col, atom);
+    } else {
+      auto left = built.slot_index.find(atom.left_var());
+      auto right = built.slot_index.find(atom.right_var());
+      if (left == built.slot_index.end() ||
+          right == built.slot_index.end()) {
+        return Status::Internal("unresolved join alias in " + atom.ToSql());
+      }
+      size_t va = left->second;
+      size_t vb = right->second;
+      size_t ca =
+          *built.slots[va].table->schema().ColumnIndex(atom.left_column());
+      size_t cb =
+          *built.slots[vb].table->schema().ColumnIndex(atom.right_column());
+      built.joins.push_back(ResolvedJoin{va, ca, vb, cb, false});
+    }
+  }
+  return built;
+}
+
+/// Executes one conjunctive SPJ block over the given variable slots,
+/// optionally continuing from pre-bound seed bindings (the shared-core
+/// optimization for MQ compounds).
+class ConjunctRunner {
+ public:
+  ConjunctRunner(JoinStrategy strategy, ExecutorStats* stats)
+      : strategy_(strategy), stats_(stats) {}
+
+  /// Fresh run: nothing bound yet.
+  std::vector<Binding> Run(std::vector<VarSlot> slots,
+                           std::vector<ResolvedJoin> joins) {
+    slots_ = std::move(slots);
+    joins_ = std::move(joins);
+    bound_.assign(slots_.size(), false);
+
+    for (const VarSlot& slot : slots_) {
+      if (slot.impossible || slot.table->num_rows() == 0) return {};
+    }
+    size_t seed = CheapestUnbound();
+    std::vector<Binding> bindings = Materialize(seed);
+    bound_[seed] = true;
+    return Loop(std::move(bindings));
+  }
+
+  /// Seeded run: `initial` are bindings over the slots marked in `bound`
+  /// (core variables already joined). Selections on bound slots and joins
+  /// among bound slots are applied as filters first; the remaining slots
+  /// are then joined in as usual.
+  std::vector<Binding> RunSeeded(std::vector<VarSlot> slots,
+                                 std::vector<ResolvedJoin> joins,
+                                 std::vector<Binding> initial,
+                                 std::vector<bool> bound) {
+    slots_ = std::move(slots);
+    joins_ = std::move(joins);
+    bound_ = std::move(bound);
+
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].impossible) return {};
+      if (!bound_[i] && slots_[i].table->num_rows() == 0) return {};
+    }
+    // Part-specific selections on already-bound (core) variables.
+    std::vector<Binding> bindings;
+    bindings.reserve(initial.size());
+    for (Binding& b : initial) {
+      bool keep = true;
+      for (size_t i = 0; i < slots_.size() && keep; ++i) {
+        if (!bound_[i]) continue;
+        if (slots_[i].selections.empty() && slots_[i].nears.empty()) continue;
+        keep = RowPassesSlot(slots_[i], b[i]);
+      }
+      if (keep) bindings.push_back(std::move(b));
+    }
+    ApplyNewlyBoundJoins(&bindings);
+    return Loop(std::move(bindings));
+  }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  std::vector<Binding> Loop(std::vector<Binding> bindings) {
+    while (true) {
+      if (bindings.empty()) return {};
+      size_t next = PickNextJoined();
+      if (next == kNone) {
+        next = CheapestUnbound();
+        if (next == kNone) break;  // All bound.
+        bindings = CrossProduct(std::move(bindings), next);
+      } else {
+        bindings = JoinStep(std::move(bindings), next);
+      }
+      bound_[next] = true;
+      ApplyNewlyBoundJoins(&bindings);
+    }
+    return bindings;
+  }
+
+  size_t Estimate(size_t slot_index) const {
+    return EstimateSlot(slots_[slot_index], strategy_);
+  }
+
+  size_t CheapestUnbound() const {
+    size_t best = kNone;
+    size_t best_cost = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (bound_[i]) continue;
+      size_t cost = Estimate(i);
+      if (best == kNone || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  /// The unbound slot reachable through a join atom from a bound slot
+  /// with the smallest estimate; kNone if the join graph is exhausted.
+  size_t PickNextJoined() const {
+    size_t best = kNone;
+    size_t best_cost = 0;
+    for (const ResolvedJoin& join : joins_) {
+      size_t target = kNone;
+      if (bound_[join.va] && !bound_[join.vb]) target = join.vb;
+      if (bound_[join.vb] && !bound_[join.va]) target = join.va;
+      if (target == kNone) continue;
+      size_t cost = Estimate(target);
+      if (best == kNone || cost < best_cost) {
+        best = target;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  /// All rows of slot `i` passing its selections, as 1-variable bindings
+  /// (padded to full width).
+  std::vector<Binding> Materialize(size_t i) {
+    const VarSlot& slot = slots_[i];
+    std::vector<Binding> out;
+    auto emit = [&](RowId id) {
+      Binding b(slots_.size(), 0);
+      b[i] = id;
+      out.push_back(std::move(b));
+    };
+    if (!slot.selections.empty() && strategy_ == JoinStrategy::kHashJoin) {
+      // Probe the most selective index, re-check the rest.
+      size_t best_col = 0;
+      size_t best_size = static_cast<size_t>(-1);
+      for (size_t s = 0; s < slot.selections.size(); ++s) {
+        size_t size = slot.table
+                          ->Lookup(slot.selections[s].first,
+                                   slot.selections[s].second)
+                          .size();
+        if (size < best_size) {
+          best_size = size;
+          best_col = s;
+        }
+      }
+      for (RowId id : slot.table->Lookup(slot.selections[best_col].first,
+                                         slot.selections[best_col].second)) {
+        if (RowPassesSlot(slot, id)) emit(id);
+      }
+    } else {
+      for (RowId id = 0; id < slot.table->num_rows(); ++id) {
+        if (RowPassesSlot(slot, id)) emit(id);
+      }
+    }
+    if (stats_ != nullptr) stats_->bindings += out.size();
+    return out;
+  }
+
+  std::vector<Binding> CrossProduct(std::vector<Binding> bindings, size_t i) {
+    std::vector<Binding> rows = Materialize(i);
+    std::vector<Binding> out;
+    out.reserve(bindings.size() * rows.size());
+    for (const Binding& b : bindings) {
+      for (const Binding& r : rows) {
+        Binding merged = b;
+        merged[i] = r[i];
+        out.push_back(std::move(merged));
+      }
+    }
+    if (stats_ != nullptr) stats_->bindings += out.size();
+    return out;
+  }
+
+  /// Extends bindings through a join atom that connects a bound slot to
+  /// `target` (the first such atom probes; the rest are checked by
+  /// ApplyNewlyBoundJoins).
+  std::vector<Binding> JoinStep(std::vector<Binding> bindings, size_t target) {
+    const ResolvedJoin* probe = nullptr;
+    for (const ResolvedJoin& join : joins_) {
+      bool forward = bound_[join.va] && join.vb == target;
+      bool backward = bound_[join.vb] && join.va == target;
+      if (forward || backward) {
+        probe = &join;
+        break;
+      }
+    }
+    // probe != nullptr by construction of PickNextJoined.
+    size_t source = probe->va == target ? probe->vb : probe->va;
+    size_t source_col = probe->va == target ? probe->cb : probe->ca;
+    size_t target_col = probe->va == target ? probe->ca : probe->cb;
+
+    const VarSlot& slot = slots_[target];
+    std::vector<Binding> out;
+    for (const Binding& b : bindings) {
+      const Value& key = slots_[source].table->At(b[source], source_col);
+      if (strategy_ == JoinStrategy::kHashJoin) {
+        for (RowId id : slot.table->Lookup(target_col, key)) {
+          if (!RowPassesSlot(slot, id)) continue;
+          Binding merged = b;
+          merged[target] = id;
+          out.push_back(std::move(merged));
+        }
+      } else {
+        for (RowId id = 0; id < slot.table->num_rows(); ++id) {
+          if (slot.table->At(id, target_col) != key) continue;
+          if (!RowPassesSlot(slot, id)) continue;
+          Binding merged = b;
+          merged[target] = id;
+          out.push_back(std::move(merged));
+        }
+      }
+    }
+    if (stats_ != nullptr) stats_->bindings += out.size();
+    return out;
+  }
+
+  /// Filters bindings by join atoms whose two sides just became bound.
+  void ApplyNewlyBoundJoins(std::vector<Binding>* bindings) {
+    for (ResolvedJoin& join : joins_) {
+      if (join.applied || !bound_[join.va] || !bound_[join.vb]) continue;
+      join.applied = true;
+      std::vector<Binding> kept;
+      kept.reserve(bindings->size());
+      for (Binding& b : *bindings) {
+        if (slots_[join.va].table->At(b[join.va], join.ca) ==
+            slots_[join.vb].table->At(b[join.vb], join.cb)) {
+          kept.push_back(std::move(b));
+        }
+      }
+      *bindings = std::move(kept);
+    }
+  }
+
+  JoinStrategy strategy_;
+  ExecutorStats* stats_;
+  std::vector<VarSlot> slots_;
+  std::vector<ResolvedJoin> joins_;
+  std::vector<bool> bound_;
+};
+
+/// Variable aliases referenced by a conjunct plus the projections.
+std::unordered_set<std::string> UsedAliases(
+    const std::vector<AtomicCondition>& atoms,
+    const std::vector<ProjectionItem>& projections) {
+  std::unordered_set<std::string> used;
+  for (const auto& atom : atoms) {
+    for (auto& var : atom.ReferencedVars()) used.insert(std::move(var));
+  }
+  for (const auto& item : projections) used.insert(item.var);
+  return used;
+}
+
+/// Product of the satisfactions of every near condition pushed into
+/// `slots`, evaluated on one binding. 1 when there are none.
+double BindingSatisfaction(const std::vector<VarSlot>& slots,
+                           const Binding& binding) {
+  double sat = 1.0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    for (const auto& [col, near] : slots[i].nears) {
+      sat *= near.Satisfaction(slots[i].table->At(binding[i], col));
+    }
+  }
+  return sat;
+}
+
+bool HasNearAtom(const std::vector<AtomicCondition>& atoms) {
+  for (const AtomicCondition& atom : atoms) {
+    if (atom.is_near()) return true;
+  }
+  return false;
+}
+
+/// Projects one binding according to `projections`.
+Row ProjectBinding(const std::vector<VarSlot>& slots,
+                   const std::vector<ProjectionItem>& projections,
+                   const Binding& binding) {
+  Row row;
+  row.reserve(projections.size());
+  for (const auto& item : projections) {
+    size_t slot = 0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].alias == item.var) {
+        slot = i;
+        break;
+      }
+    }
+    size_t col = *slots[slot].table->schema().ColumnIndex(item.column);
+    row.push_back(slots[slot].table->At(binding[slot], col));
+  }
+  return row;
+}
+
+/// Analysis result of the shared-core optimization: the conjunctive block
+/// common to every part of an MQ compound, plus each part's residue.
+struct SharedCorePlan {
+  std::vector<TupleVariable> core_vars;
+  std::vector<AtomicCondition> core_atoms;
+  struct PartResidue {
+    std::vector<TupleVariable> extra_vars;
+    std::vector<AtomicCondition> extra_atoms;
+    std::vector<AtomicCondition> all_atoms;  // Full conjunct of the part.
+  };
+  std::vector<PartResidue> parts;
+};
+
+bool Contains(const std::vector<TupleVariable>& vars,
+              const TupleVariable& var) {
+  for (const TupleVariable& v : vars) {
+    if (v == var) return true;
+  }
+  return false;
+}
+
+bool ContainsAtom(const std::vector<AtomicCondition>& atoms,
+                  const AtomicCondition& atom) {
+  for (const AtomicCondition& a : atoms) {
+    if (a == atom) return true;
+  }
+  return false;
+}
+
+/// Returns the plan, or nullopt when the optimization does not apply
+/// (OR-qualifications, non-distinct parts, or no common block). Parts
+/// built by PreferenceIntegrator always qualify: they share the original
+/// query verbatim and add one conjunctive preference chain each.
+std::optional<SharedCorePlan> PlanSharedCore(const CompoundQuery& query) {
+  if (query.parts().size() < 2) return std::nullopt;
+
+  std::vector<std::vector<AtomicCondition>> part_atoms;
+  for (const CompoundPart& part : query.parts()) {
+    if (!part.query.distinct()) return std::nullopt;
+    auto dnf = ToDnf(part.query.where());
+    if (dnf.size() != 1) return std::nullopt;
+    part_atoms.push_back(std::move(dnf[0]));
+  }
+
+  SharedCorePlan plan;
+  // Core variables: present (same alias, same table) in every part.
+  const auto& first = query.parts()[0].query;
+  for (const TupleVariable& var : first.from()) {
+    bool everywhere = true;
+    for (size_t p = 1; p < query.parts().size() && everywhere; ++p) {
+      const TupleVariable* found =
+          query.parts()[p].query.FindVariable(var.alias);
+      everywhere = found != nullptr && found->table == var.table;
+    }
+    if (everywhere) plan.core_vars.push_back(var);
+  }
+  if (plan.core_vars.empty()) return std::nullopt;
+
+  // Core atoms: in every part and confined to core variables.
+  for (const AtomicCondition& atom : part_atoms[0]) {
+    bool core = true;
+    for (const std::string& alias : atom.ReferencedVars()) {
+      if (std::none_of(plan.core_vars.begin(), plan.core_vars.end(),
+                       [&](const TupleVariable& v) {
+                         return v.alias == alias;
+                       })) {
+        core = false;
+        break;
+      }
+    }
+    if (!core) continue;
+    for (size_t p = 1; p < part_atoms.size() && core; ++p) {
+      core = ContainsAtom(part_atoms[p], atom);
+    }
+    if (core && !ContainsAtom(plan.core_atoms, atom)) {
+      plan.core_atoms.push_back(atom);
+    }
+  }
+
+  // Residues.
+  for (size_t p = 0; p < query.parts().size(); ++p) {
+    SharedCorePlan::PartResidue residue;
+    for (const TupleVariable& var : query.parts()[p].query.from()) {
+      if (!Contains(plan.core_vars, var)) residue.extra_vars.push_back(var);
+    }
+    for (const AtomicCondition& atom : part_atoms[p]) {
+      if (!ContainsAtom(plan.core_atoms, atom)) {
+        residue.extra_atoms.push_back(atom);
+      }
+    }
+    residue.all_atoms = part_atoms[p];
+    plan.parts.push_back(std::move(residue));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::Execute(const SelectQuery& query,
+                                    ExecutorStats* stats) const {
+  QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
+
+  std::vector<std::string> columns;
+  for (const auto& item : query.projections()) {
+    columns.push_back(item.OutputName());
+  }
+  ResultSet out(columns);
+
+  // SQL semantics: any empty FROM table empties the whole product.
+  for (const TupleVariable& var : query.from()) {
+    QP_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(var.table));
+    if (table->num_rows() == 0) return out;
+  }
+
+  std::vector<std::vector<AtomicCondition>> dnf = ToDnf(query.where());
+
+  auto run_conjunct = [&](const std::vector<AtomicCondition>& atoms,
+                          const std::unordered_set<std::string>* subset)
+      -> Result<std::pair<std::vector<VarSlot>, std::vector<Binding>>> {
+    std::vector<TupleVariable> vars;
+    for (const TupleVariable& var : query.from()) {
+      if (subset != nullptr && !subset->contains(var.alias)) continue;
+      vars.push_back(var);
+    }
+    QP_ASSIGN_OR_RETURN(BuiltConjunct built,
+                        BuildConjunct(*db_, vars, atoms));
+    if (stats != nullptr) ++stats->disjuncts;
+    ConjunctRunner runner(strategy_, stats);
+    std::vector<Binding> bindings =
+        runner.Run(built.slots, std::move(built.joins));
+    return std::make_pair(std::move(built.slots), std::move(bindings));
+  };
+
+  // Soft (near) conditions produce a per-row satisfaction column; a row
+  // reached through several bindings or disjuncts keeps its best match.
+  bool has_near = false;
+  {
+    std::vector<AtomicCondition> atoms;
+    if (query.where() != nullptr) query.where()->CollectAtoms(&atoms);
+    has_near = HasNearAtom(atoms);
+  }
+  std::vector<double> satisfactions;
+
+  if (query.distinct()) {
+    std::unordered_map<Row, double, RowHash, RowEq> best;
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    for (const auto& disjunct : dnf) {
+      std::unordered_set<std::string> used =
+          UsedAliases(disjunct, query.projections());
+      QP_ASSIGN_OR_RETURN(auto result, run_conjunct(disjunct, &used));
+      const auto& [slots, bindings] = result;
+      if (stats != nullptr) stats->raw_rows += bindings.size();
+      for (const Binding& b : bindings) {
+        Row row = ProjectBinding(slots, query.projections(), b);
+        if (has_near) {
+          double sat = BindingSatisfaction(slots, b);
+          auto [it, inserted] = best.emplace(std::move(row), sat);
+          if (!inserted && sat > it->second) it->second = sat;
+        } else if (seen.insert(row).second) {
+          out.AddRow(std::move(row));
+        }
+      }
+    }
+    if (has_near) {
+      for (auto& [row, sat] : best) {
+        out.AddRow(row);
+        satisfactions.push_back(sat);
+      }
+    }
+  } else if (dnf.size() == 1) {
+    QP_ASSIGN_OR_RETURN(auto result, run_conjunct(dnf[0], nullptr));
+    const auto& [slots, bindings] = result;
+    if (stats != nullptr) stats->raw_rows += bindings.size();
+    for (const Binding& b : bindings) {
+      out.AddRow(ProjectBinding(slots, query.projections(), b));
+      if (has_near) satisfactions.push_back(BindingSatisfaction(slots, b));
+    }
+  } else {
+    // OR over the full variable product without DISTINCT: deduplicate at
+    // the binding level so each satisfying assignment counts once.
+    std::unordered_map<Binding, double, BindingHash> seen;
+    std::vector<VarSlot> full_slots;
+    for (const auto& disjunct : dnf) {
+      QP_ASSIGN_OR_RETURN(auto result, run_conjunct(disjunct, nullptr));
+      auto& [slots, bindings] = result;
+      if (stats != nullptr) stats->raw_rows += bindings.size();
+      for (Binding& b : bindings) {
+        double sat = has_near ? BindingSatisfaction(slots, b) : 1.0;
+        auto [it, inserted] = seen.emplace(std::move(b), sat);
+        if (!inserted && sat > it->second) it->second = sat;
+      }
+      full_slots = std::move(slots);
+    }
+    for (const auto& [b, sat] : seen) {
+      out.AddRow(ProjectBinding(full_slots, query.projections(), b));
+      if (has_near) satisfactions.push_back(sat);
+    }
+  }
+
+  if (has_near) out.set_satisfactions(std::move(satisfactions));
+  out.Canonicalize();
+  return out;
+}
+
+Result<ResultSet> Executor::Execute(const CompoundQuery& query,
+                                    ExecutorStats* stats) const {
+  QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
+
+  struct Group {
+    size_t count = 0;                 // Positive parts only (count(*)).
+    ConjunctiveAccumulator degree;    // Positive parts' degrees.
+    ConjunctiveAccumulator dislike;   // |degree| of negative parts.
+  };
+  std::unordered_map<Row, Group, RowHash, RowEq> groups;
+
+  auto accumulate = [&](const Row& row, double part_degree) {
+    Group& group = groups[row];
+    if (part_degree < 0.0) {
+      group.dislike.Add(-part_degree);
+    } else {
+      ++group.count;
+      group.degree.Add(part_degree);
+    }
+  };
+
+  std::optional<SharedCorePlan> plan;
+  if (shared_core_) plan = PlanSharedCore(query);
+
+  if (plan.has_value()) {
+    // Execute the common block once (lazily — only if some part actually
+    // reuses it), then each part's residue on top of the materialized
+    // core bindings.
+    bool core_table_empty = false;
+    for (const TupleVariable& var : plan->core_vars) {
+      QP_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(var.table));
+      if (table->num_rows() == 0) core_table_empty = true;
+    }
+    QP_ASSIGN_OR_RETURN(
+        BuiltConjunct core,
+        BuildConjunct(*db_, plan->core_vars, plan->core_atoms));
+    size_t core_entry_estimate = SIZE_MAX;
+    for (const VarSlot& slot : core.slots) {
+      core_entry_estimate =
+          std::min(core_entry_estimate, EstimateSlot(slot, strategy_));
+    }
+    bool core_materialized = false;
+    std::vector<Binding> core_bindings;
+    auto materialize_core = [&]() {
+      if (core_materialized) return;
+      core_materialized = true;
+      if (core_table_empty) return;
+      if (stats != nullptr) ++stats->disjuncts;
+      ConjunctRunner runner(strategy_, stats);
+      core_bindings = runner.Run(core.slots, std::move(core.joins));
+    };
+
+    for (size_t p = 0; p < query.parts().size(); ++p) {
+      const CompoundPart& part = query.parts()[p];
+      const SharedCorePlan::PartResidue& residue = plan->parts[p];
+      // Slots: core variables first (matching core binding order), then
+      // the part's extra variables.
+      std::vector<TupleVariable> vars = plan->core_vars;
+      vars.insert(vars.end(), residue.extra_vars.begin(),
+                  residue.extra_vars.end());
+      // Core near conditions participate in every part's satisfaction, so
+      // they are re-attached to the part's slot set (they re-filter core
+      // bindings, which is a no-op, and feed BindingSatisfaction).
+      std::vector<AtomicCondition> part_atoms = residue.extra_atoms;
+      for (const AtomicCondition& atom : plan->core_atoms) {
+        if (atom.is_near()) part_atoms.push_back(atom);
+      }
+      QP_ASSIGN_OR_RETURN(BuiltConjunct built,
+                          BuildConjunct(*db_, vars, part_atoms));
+
+      // Cost-based residue strategy, cheapest entry point first:
+      //  - drive: extend each materialized core binding through the
+      //    preference chain (pays ~|core|);
+      //  - merge: run the chain from its own most selective end and
+      //    hash-join back onto the core (pays ~|core| + chain entry);
+      //  - naive: when the part's own cheapest slot (with the *core's*
+      //    selections included) undercuts both, re-running the part from
+      //    scratch beats any reuse of a bloated core — typical for
+      //    unselective base queries with selective preferences.
+      size_t residue_entry = SIZE_MAX;
+      for (size_t i = plan->core_vars.size(); i < built.slots.size(); ++i) {
+        residue_entry =
+            std::min(residue_entry, EstimateSlot(built.slots[i], strategy_));
+      }
+      size_t naive_entry = SIZE_MAX;
+      {
+        QP_ASSIGN_OR_RETURN(BuiltConjunct full,
+                            BuildConjunct(*db_, vars, residue.all_atoms));
+        for (const VarSlot& slot : full.slots) {
+          naive_entry = std::min(naive_entry, EstimateSlot(slot, strategy_));
+        }
+      }
+      // Any core-reusing strategy costs at least ~|core|; if the part's
+      // own cheapest entry point (usually its preference selection) is
+      // far more selective than the core's, fresh execution wins. The 4x
+      // pad absorbs the part's join fan-out.
+      if (naive_entry * 4 < core_entry_estimate) {
+        QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
+        for (size_t i = 0; i < partial.num_rows(); ++i) {
+          accumulate(partial.row(i), part.degree * partial.satisfaction(i));
+        }
+        continue;
+      }
+      materialize_core();
+      const bool drive_from_core =
+          residue.extra_vars.empty() || core_bindings.size() <= residue_entry;
+      if (stats != nullptr) ++stats->core_reuses;
+
+      std::vector<Binding> bindings;
+      if (drive_from_core) {
+        std::vector<bool> bound(vars.size(), false);
+        for (size_t i = 0; i < plan->core_vars.size(); ++i) bound[i] = true;
+        std::vector<Binding> seeded;
+        seeded.reserve(core_bindings.size());
+        for (const Binding& b : core_bindings) {
+          Binding padded(vars.size(), 0);
+          std::copy(b.begin(), b.end(), padded.begin());
+          seeded.push_back(std::move(padded));
+        }
+        ConjunctRunner runner(strategy_, stats);
+        bindings = runner.RunSeeded(built.slots, std::move(built.joins),
+                                    std::move(seeded), std::move(bound));
+      } else {
+        // Anchor core variables: the ones the residue's atoms touch.
+        std::vector<size_t> anchors;  // Indices into the core/var order.
+        {
+          std::unordered_set<std::string> referenced;
+          for (const AtomicCondition& atom : residue.extra_atoms) {
+            for (const std::string& alias : atom.ReferencedVars()) {
+              referenced.insert(alias);
+            }
+          }
+          for (size_t i = 0; i < plan->core_vars.size(); ++i) {
+            if (referenced.contains(plan->core_vars[i].alias)) {
+              anchors.push_back(i);
+            }
+          }
+        }
+        // Run the residue independently over anchors + extras.
+        std::vector<TupleVariable> residue_vars;
+        for (size_t i : anchors) residue_vars.push_back(plan->core_vars[i]);
+        residue_vars.insert(residue_vars.end(), residue.extra_vars.begin(),
+                            residue.extra_vars.end());
+        QP_ASSIGN_OR_RETURN(
+            BuiltConjunct residue_built,
+            BuildConjunct(*db_, residue_vars, residue.extra_atoms));
+        ConjunctRunner runner(strategy_, stats);
+        std::vector<Binding> residue_bindings = runner.Run(
+            residue_built.slots, std::move(residue_built.joins));
+
+        // Hash the residue results by their anchor row ids and merge with
+        // the core bindings.
+        std::unordered_map<Binding, std::vector<const Binding*>, BindingHash>
+            by_anchor;
+        for (const Binding& rb : residue_bindings) {
+          Binding key;
+          key.reserve(anchors.size());
+          for (size_t i = 0; i < anchors.size(); ++i) key.push_back(rb[i]);
+          by_anchor[key].push_back(&rb);
+        }
+        for (const Binding& cb : core_bindings) {
+          Binding key;
+          key.reserve(anchors.size());
+          for (size_t i : anchors) key.push_back(cb[i]);
+          auto it = by_anchor.find(key);
+          if (it == by_anchor.end()) continue;
+          for (const Binding* rb : it->second) {
+            Binding merged(vars.size(), 0);
+            std::copy(cb.begin(), cb.end(), merged.begin());
+            for (size_t e = 0; e < residue.extra_vars.size(); ++e) {
+              merged[plan->core_vars.size() + e] = (*rb)[anchors.size() + e];
+            }
+            bindings.push_back(std::move(merged));
+          }
+        }
+        if (stats != nullptr) stats->bindings += bindings.size();
+      }
+
+      if (stats != nullptr) stats->raw_rows += bindings.size();
+      // Parts are DISTINCT; a row keeps its best soft-condition match.
+      std::unordered_map<Row, double, RowHash, RowEq> best;
+      for (const Binding& b : bindings) {
+        Row row =
+            ProjectBinding(built.slots, part.query.projections(), b);
+        double sat = BindingSatisfaction(built.slots, b);
+        auto [it, inserted] = best.emplace(std::move(row), sat);
+        if (!inserted && sat > it->second) it->second = sat;
+      }
+      for (const auto& [row, sat] : best) {
+        accumulate(row, part.degree * sat);
+      }
+    }
+  } else {
+    for (const CompoundPart& part : query.parts()) {
+      QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
+      for (size_t i = 0; i < partial.num_rows(); ++i) {
+        // Soft conditions scale the part's contribution by how closely
+        // the row matches.
+        accumulate(partial.row(i), part.degree * partial.satisfaction(i));
+      }
+    }
+  }
+
+  // EXCEPT blocks: any row an exclusion query returns is vetoed.
+  std::unordered_set<Row, RowHash, RowEq> vetoed;
+  for (const SelectQuery& exclusion : query.exclusions()) {
+    QP_ASSIGN_OR_RETURN(ResultSet excluded, Execute(exclusion, stats));
+    for (const Row& row : excluded.rows()) {
+      vetoed.insert(row);
+    }
+  }
+
+  std::vector<std::string> columns;
+  if (!query.parts().empty()) {
+    for (const auto& item : query.parts()[0].query.projections()) {
+      columns.push_back(item.OutputName());
+    }
+  }
+  ResultSet out(std::move(columns));
+  for (auto& [row, group] : groups) {
+    if (vetoed.contains(row)) continue;
+    // A row produced only by penalty parts satisfies no positive
+    // preference; it is not part of the personalized answer.
+    if (group.count == 0 && !query.parts().empty()) continue;
+    // Signed combined degree: likes minus dislikes (SignedCombinedDoi).
+    double combined = group.degree.Degree() - group.dislike.Degree();
+    switch (query.having().kind) {
+      case HavingClause::Kind::kNone:
+        break;
+      case HavingClause::Kind::kCountAtLeast:
+        if (group.count < query.having().min_count) continue;
+        break;
+      case HavingClause::Kind::kDegreeAbove:
+        if (combined <= query.having().min_degree) continue;
+        break;
+    }
+    out.AddRankedRow(row, group.count, combined);
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace qp

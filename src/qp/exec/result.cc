@@ -1,0 +1,99 @@
+#include "qp/exec/result.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x3456789ULL;
+  for (const Value& v : row) {
+    h = h * 1000003ULL ^ v.Hash();
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool ResultSet::Contains(const Row& row) const {
+  RowEq eq;
+  for (const Row& r : rows_) {
+    if (eq(r, row)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool RowLess(const Row& a, const Row& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+void ResultSet::Canonicalize() {
+  std::vector<size_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (!degrees_.empty() && degrees_[a] != degrees_[b]) {
+      return degrees_[a] > degrees_[b];
+    }
+    return RowLess(rows_[a], rows_[b]);
+  });
+  std::vector<Row> rows;
+  rows.reserve(rows_.size());
+  std::vector<size_t> counts;
+  std::vector<double> degrees;
+  std::vector<double> satisfactions;
+  for (size_t i : order) {
+    rows.push_back(std::move(rows_[i]));
+    if (!counts_.empty()) counts.push_back(counts_[i]);
+    if (!degrees_.empty()) degrees.push_back(degrees_[i]);
+    if (!satisfactions_.empty()) satisfactions.push_back(satisfactions_[i]);
+  }
+  rows_ = std::move(rows);
+  counts_ = std::move(counts);
+  degrees_ = std::move(degrees);
+  satisfactions_ = std::move(satisfactions);
+}
+
+void ResultSet::Truncate(size_t n) {
+  if (rows_.size() > n) rows_.resize(n);
+  if (counts_.size() > n) counts_.resize(n);
+  if (degrees_.size() > n) degrees_.resize(n);
+  if (satisfactions_.size() > n) satisfactions_.resize(n);
+}
+
+std::string ResultSet::DebugString(size_t max_rows) const {
+  std::string out = Join(columns_, "\t");
+  if (has_ranking()) out += "\t#prefs\tdegree";
+  out += "\n";
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    std::vector<std::string> cells;
+    for (const Value& v : rows_[i]) cells.push_back(v.ToString());
+    out += Join(cells, "\t");
+    if (has_ranking()) {
+      out += "\t" + std::to_string(counts_[i]) + "\t" +
+             FormatDouble(degrees_[i], 4);
+    }
+    out += "\n";
+  }
+  if (rows_.size() > max_rows) {
+    out += "... (" + std::to_string(rows_.size() - max_rows) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace qp

@@ -1,0 +1,86 @@
+#ifndef QP_EXEC_RESULT_H_
+#define QP_EXEC_RESULT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qp/relational/table.h"
+
+namespace qp {
+
+/// Hash / equality functors for whole rows (used for DISTINCT, GROUP BY
+/// and result comparison in tests).
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+/// The materialized output of a query execution: named columns and rows.
+/// Compound (MQ-style) executions additionally carry, per row, the number
+/// of partial queries that produced it (`counts`, the paper's count(*))
+/// and the combined degree of interest (`degrees`, the paper's
+/// DEGREE_OF_CONJUNCTION).
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  void AddRankedRow(Row row, size_t count, double degree) {
+    rows_.push_back(std::move(row));
+    counts_.push_back(count);
+    degrees_.push_back(degree);
+  }
+
+  /// Per-row satisfaction of the query's soft (near) conditions, in
+  /// (0, 1]. Populated only when the executed query contains near
+  /// conditions; satisfaction(i) returns 1 otherwise.
+  bool has_satisfactions() const { return !satisfactions_.empty(); }
+  double satisfaction(size_t i) const {
+    return satisfactions_.empty() ? 1.0 : satisfactions_[i];
+  }
+  /// Attaches the satisfaction column (must align with rows).
+  void set_satisfactions(std::vector<double> satisfactions) {
+    satisfactions_ = std::move(satisfactions);
+  }
+
+  /// Per-row annotations; empty unless produced by a compound execution.
+  bool has_ranking() const { return !degrees_.empty(); }
+  const std::vector<double>& degrees() const { return degrees_; }
+  const std::vector<size_t>& counts() const { return counts_; }
+
+  /// True if some row equals `row`.
+  bool Contains(const Row& row) const;
+
+  /// Sorts rows (and any aligned annotations) into a canonical order:
+  /// by degree descending when ranked, then lexicographically by value.
+  /// Makes executions deterministic regardless of hash iteration order.
+  void Canonicalize();
+
+  /// Keeps only the first `n` rows (with their annotations). Combined
+  /// with Canonicalize's degree ordering this implements top-N delivery.
+  void Truncate(size_t n);
+
+  /// Tab-separated dump with a header line, for examples and debugging.
+  std::string DebugString(size_t max_rows = 50) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  std::vector<size_t> counts_;
+  std::vector<double> degrees_;
+  std::vector<double> satisfactions_;
+};
+
+}  // namespace qp
+
+#endif  // QP_EXEC_RESULT_H_

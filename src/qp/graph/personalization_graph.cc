@@ -1,0 +1,114 @@
+#include "qp/graph/personalization_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+
+const std::vector<JoinEdge> PersonalizationGraph::kNoJoins;
+const std::vector<SelectionEdge> PersonalizationGraph::kNoSelections;
+
+std::string SelectionEdge::ToString() const {
+  if (is_near()) {
+    return "near(" + attribute.ToString() + ", " + value.ToSqlLiteral() +
+           ", " + FormatDouble(near_width) + ") (" + FormatDouble(doi) + ")";
+  }
+  return attribute.ToString() + "=" + value.ToSqlLiteral() + " (" +
+         FormatDouble(doi) + ")";
+}
+
+std::string JoinEdge::ToString() const {
+  return from.ToString() + "=" + to.ToString() + " (" + FormatDouble(doi) +
+         ", " + JoinCardinalityName(cardinality) + ")";
+}
+
+Result<PersonalizationGraph> PersonalizationGraph::Build(
+    const Schema* schema, const UserProfile& profile) {
+  QP_RETURN_IF_ERROR(profile.Validate(*schema));
+  PersonalizationGraph graph(schema);
+
+  for (const AtomicPreference& pref : profile.preferences()) {
+    if (pref.is_selection()) {
+      SelectionEdge edge{pref.attribute(), pref.value(), pref.doi(),
+                         pref.is_near() ? pref.width() : 0.0};
+      if (pref.is_negative()) {
+        graph.negative_selections_on_[pref.attribute().table].push_back(
+            std::move(edge));
+        ++graph.num_negative_selection_edges_;
+        continue;
+      }
+      graph.selections_on_[pref.attribute().table].push_back(
+          std::move(edge));
+      ++graph.num_selection_edges_;
+    } else {
+      QP_ASSIGN_OR_RETURN(
+          JoinCardinality cardinality,
+          schema->JoinCardinalityFrom(pref.attribute(), pref.target()));
+      graph.joins_from_[pref.attribute().table].push_back(
+          JoinEdge{pref.attribute(), pref.target(), pref.doi(), cardinality});
+      ++graph.num_join_edges_;
+    }
+  }
+
+  // The selection algorithm expands candidates in decreasing degree of
+  // interest; keep the adjacency lists presorted. Sorting is stable so
+  // profile order breaks ties deterministically.
+  for (auto& [table, edges] : graph.joins_from_) {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const JoinEdge& a, const JoinEdge& b) {
+                       return a.doi > b.doi;
+                     });
+  }
+  for (auto& [table, edges] : graph.selections_on_) {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const SelectionEdge& a, const SelectionEdge& b) {
+                       return a.doi > b.doi;
+                     });
+  }
+  for (auto& [table, edges] : graph.negative_selections_on_) {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const SelectionEdge& a, const SelectionEdge& b) {
+                       return std::abs(a.doi) > std::abs(b.doi);
+                     });
+  }
+  return graph;
+}
+
+const std::vector<JoinEdge>& PersonalizationGraph::JoinsFrom(
+    const std::string& table) const {
+  auto it = joins_from_.find(table);
+  return it == joins_from_.end() ? kNoJoins : it->second;
+}
+
+const std::vector<SelectionEdge>& PersonalizationGraph::SelectionsOn(
+    const std::string& table) const {
+  auto it = selections_on_.find(table);
+  return it == selections_on_.end() ? kNoSelections : it->second;
+}
+
+const std::vector<SelectionEdge>& PersonalizationGraph::NegativeSelectionsOn(
+    const std::string& table) const {
+  auto it = negative_selections_on_.find(table);
+  return it == negative_selections_on_.end() ? kNoSelections : it->second;
+}
+
+std::string PersonalizationGraph::DebugString() const {
+  std::string out;
+  // Iterate over schema tables for deterministic ordering.
+  for (const TableSchema& table : schema_->tables()) {
+    for (const JoinEdge& edge : JoinsFrom(table.name())) {
+      out += "join      " + edge.ToString() + "\n";
+    }
+    for (const SelectionEdge& edge : SelectionsOn(table.name())) {
+      out += "selection " + edge.ToString() + "\n";
+    }
+    for (const SelectionEdge& edge : NegativeSelectionsOn(table.name())) {
+      out += "dislike   " + edge.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace qp

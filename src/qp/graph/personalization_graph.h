@@ -1,0 +1,103 @@
+#ifndef QP_GRAPH_PERSONALIZATION_GRAPH_H_
+#define QP_GRAPH_PERSONALIZATION_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/pref/profile.h"
+#include "qp/relational/schema.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// A labelled selection edge of the personalization graph: from an
+/// attribute node to a value node, carrying the user's degree of
+/// interest. `near_width` > 0 marks a soft (proximity) edge: the value
+/// node stands for the numeric neighbourhood of `value`.
+struct SelectionEdge {
+  AttributeRef attribute;
+  Value value;
+  double doi = 0.0;
+  double near_width = 0.0;
+
+  bool is_near() const { return near_width > 0.0; }
+
+  /// "GENRE.genre='comedy' (0.9)" / "near(MOVIE.year, 1994, 5) (0.8)".
+  std::string ToString() const;
+};
+
+/// A labelled *directed* join edge: traversal from `from`'s relation to
+/// `to`'s relation. The same schema join appears as up to two edges (one
+/// per direction), each with its own degree of interest, plus the schema
+/// cardinality of the traversal direction.
+struct JoinEdge {
+  AttributeRef from;
+  AttributeRef to;
+  double doi = 0.0;
+  JoinCardinality cardinality = JoinCardinality::kToMany;
+
+  /// "PLAY.mid=MOVIE.mid (1, to-one)".
+  std::string ToString() const;
+};
+
+/// The personalization graph of one user (paper Section 3.1): the schema
+/// graph extended with the value nodes, selection edges and directed join
+/// edges that carry the user's stored degrees of interest. Only edges the
+/// profile mentions exist; adjacency lists are kept sorted by decreasing
+/// degree of interest, which the selection algorithm relies on.
+class PersonalizationGraph {
+ public:
+  /// Builds the graph for `profile` over `schema`. Validates the profile:
+  /// every selection preference must name an existing attribute with a
+  /// matching literal type, every join preference must match a declared
+  /// schema join (whose directional cardinality is copied onto the edge).
+  /// `schema` is retained and must outlive the graph; the profile is not
+  /// retained (its edges are copied).
+  static Result<PersonalizationGraph> Build(const Schema* schema,
+                                            const UserProfile& profile);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Join edges leaving `table` (any of its attributes), sorted by doi desc.
+  const std::vector<JoinEdge>& JoinsFrom(const std::string& table) const;
+
+  /// Positive selection edges on attributes of `table`, sorted by doi
+  /// desc. These feed the (positive) preference selection algorithm.
+  const std::vector<SelectionEdge>& SelectionsOn(
+      const std::string& table) const;
+
+  /// Negative (dislike) selection edges on attributes of `table`, sorted
+  /// by |doi| desc. Kept apart from the positive adjacency so the
+  /// best-first traversal never mixes the two polarities.
+  const std::vector<SelectionEdge>& NegativeSelectionsOn(
+      const std::string& table) const;
+
+  size_t num_join_edges() const { return num_join_edges_; }
+  size_t num_selection_edges() const { return num_selection_edges_; }
+  size_t num_negative_selection_edges() const {
+    return num_negative_selection_edges_;
+  }
+
+  /// Human-readable dump (one edge per line), for the inspector example.
+  std::string DebugString() const;
+
+ private:
+  explicit PersonalizationGraph(const Schema* schema) : schema_(schema) {}
+
+  const Schema* schema_;
+  std::unordered_map<std::string, std::vector<JoinEdge>> joins_from_;
+  std::unordered_map<std::string, std::vector<SelectionEdge>> selections_on_;
+  std::unordered_map<std::string, std::vector<SelectionEdge>>
+      negative_selections_on_;
+  size_t num_join_edges_ = 0;
+  size_t num_selection_edges_ = 0;
+  size_t num_negative_selection_edges_ = 0;
+
+  static const std::vector<JoinEdge> kNoJoins;
+  static const std::vector<SelectionEdge> kNoSelections;
+};
+
+}  // namespace qp
+
+#endif  // QP_GRAPH_PERSONALIZATION_GRAPH_H_

@@ -1,0 +1,52 @@
+#include "qp/pref/doi.h"
+
+#include <algorithm>
+
+namespace qp {
+
+bool IsValidDoi(double d) { return d >= 0.0 && d <= 1.0; }
+
+bool IsValidSignedDoi(double d) { return d >= -1.0 && d <= 1.0; }
+
+double NegativeCombinedDoi(const std::vector<double>& negative_degrees) {
+  ConjunctiveAccumulator acc;
+  for (double dn : negative_degrees) acc.Add(dn < 0 ? -dn : dn);
+  return acc.Degree();
+}
+
+double SignedCombinedDoi(double positive_degree,
+                         const std::vector<double>& negative_degrees) {
+  return positive_degree - NegativeCombinedDoi(negative_degrees);
+}
+
+double TransitiveDoi(const std::vector<double>& degrees) {
+  double product = 1.0;
+  for (double d : degrees) product *= d;
+  return product;
+}
+
+double ConjunctiveDoi(const std::vector<double>& degrees) {
+  ConjunctiveAccumulator acc;
+  for (double d : degrees) acc.Add(d);
+  return acc.Degree();
+}
+
+double DisjunctiveDoi(const std::vector<double>& degrees) {
+  DisjunctiveAccumulator acc;
+  for (double d : degrees) acc.Add(d);
+  return acc.Degree();
+}
+
+double TransitiveMinDoi(const std::vector<double>& degrees) {
+  double min = 1.0;
+  for (double d : degrees) min = std::min(min, d);
+  return min;
+}
+
+double ConjunctiveMaxDoi(const std::vector<double>& degrees) {
+  double max = 0.0;
+  for (double d : degrees) max = std::max(max, d);
+  return max;
+}
+
+}  // namespace qp

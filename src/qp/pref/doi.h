@@ -1,0 +1,86 @@
+#ifndef QP_PREF_DOI_H_
+#define QP_PREF_DOI_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qp {
+
+/// Degree-of-interest algebra (paper Section 3). A degree of interest is a
+/// real in [0, 1]: 0 = no interest, 1 = must-have. The three combination
+/// functions below are the paper's choices; each satisfies the axiom stated
+/// next to it (tested as properties in doi_test.cc).
+
+/// True iff `d` is a valid degree of interest.
+bool IsValidDoi(double d);
+
+/// True iff `d` is a valid *signed* degree of interest in [-1, 1].
+/// Negative degrees express dislike (the generalized preference model the
+/// paper lists as ongoing work): -1 is "must not have", values in (-1, 0)
+/// are soft dislikes. 0 remains "no interest" and is never stored.
+bool IsValidSignedDoi(double d);
+
+/// Combined magnitude of a set of satisfied dislikes: the conjunctive
+/// (noisy-or) combination of their absolute degrees, 1 - prod(1 - |dn|).
+double NegativeCombinedDoi(const std::vector<double>& negative_degrees);
+
+/// Signed degree of interest of a result row under the generalized model:
+/// the positive combined degree minus the combined dislike magnitude,
+/// in [-1, 1]. With no satisfied dislikes this is exactly the paper's
+/// DEGREE_OF_CONJUNCTION; a veto-strength dislike (|dn| = 1) pins the
+/// score at positive_degree - 1 <= 0.
+double SignedCombinedDoi(double positive_degree,
+                         const std::vector<double>& negative_degrees);
+
+/// Degree of interest in a transitive preference composed of atomic
+/// preferences with degrees `degrees`: the product d1*d2*...*dN.
+/// Axiom: TransitiveDoi(D) <= min(D). Empty input yields 1 (the identity).
+double TransitiveDoi(const std::vector<double>& degrees);
+
+/// Degree of interest in the conjunction of preferences:
+/// 1 - (1-d1)(1-d2)...(1-dN) ("noisy-or"). Axiom: result >= max(D).
+/// Empty input yields 0.
+double ConjunctiveDoi(const std::vector<double>& degrees);
+
+/// Degree of interest in the disjunction of preferences: the average
+/// (d1+...+dN)/N. Axiom: min(D) <= result <= max(D). Empty input yields 0.
+double DisjunctiveDoi(const std::vector<double>& degrees);
+
+/// Incremental accumulators for the combination functions, used by the
+/// selection algorithm's interest criteria and by the executor's
+/// DEGREE_OF_CONJUNCTION aggregate, where degrees arrive one at a time.
+class ConjunctiveAccumulator {
+ public:
+  /// Adds one degree to the conjunction.
+  void Add(double degree) { complement_ *= (1.0 - degree); }
+  /// Degree of the conjunction so far (0 when empty).
+  double Degree() const { return 1.0 - complement_; }
+
+ private:
+  double complement_ = 1.0;
+};
+
+class DisjunctiveAccumulator {
+ public:
+  void Add(double degree) {
+    sum_ += degree;
+    ++count_;
+  }
+  /// Degree of the disjunction so far (0 when empty).
+  double Degree() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// Alternative combination functions used only by the ablation benchmark
+/// (bench/micro_doi), to contrast the paper's choices with the other
+/// natural candidates that satisfy the same axioms.
+double TransitiveMinDoi(const std::vector<double>& degrees);
+double ConjunctiveMaxDoi(const std::vector<double>& degrees);
+
+}  // namespace qp
+
+#endif  // QP_PREF_DOI_H_

@@ -1,0 +1,63 @@
+#include "qp/pref/preference.h"
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+
+AtomicPreference AtomicPreference::Selection(AttributeRef attr, Value value,
+                                             double doi) {
+  AtomicPreference p;
+  p.kind_ = Kind::kSelection;
+  p.attribute_ = std::move(attr);
+  p.value_ = std::move(value);
+  p.doi_ = doi;
+  return p;
+}
+
+AtomicPreference AtomicPreference::Join(AttributeRef from, AttributeRef to,
+                                        double doi) {
+  AtomicPreference p;
+  p.kind_ = Kind::kJoin;
+  p.attribute_ = std::move(from);
+  p.target_ = std::move(to);
+  p.doi_ = doi;
+  return p;
+}
+
+AtomicPreference AtomicPreference::NearSelection(AttributeRef attr,
+                                                 Value target, double width,
+                                                 double doi) {
+  AtomicPreference p;
+  p.kind_ = Kind::kNear;
+  p.attribute_ = std::move(attr);
+  p.value_ = std::move(target);
+  p.width_ = width;
+  p.doi_ = doi;
+  return p;
+}
+
+std::string AtomicPreference::ConditionString() const {
+  switch (kind_) {
+    case Kind::kSelection:
+      return attribute_.ToString() + "=" + value_.ToSqlLiteral();
+    case Kind::kNear:
+      return "near(" + attribute_.ToString() + ", " +
+             value_.ToSqlLiteral() + ", " + FormatDouble(width_) + ")";
+    case Kind::kJoin:
+      break;
+  }
+  return attribute_.ToString() + "=" + target_.ToString();
+}
+
+std::string AtomicPreference::ToString() const {
+  return "[ " + ConditionString() + ", " + FormatDouble(doi_) + " ]";
+}
+
+bool AtomicPreference::SameCondition(const AtomicPreference& other) const {
+  if (kind_ != other.kind_) return false;
+  if (!(attribute_ == other.attribute_)) return false;
+  if (is_join()) return target_ == other.target_;
+  return value_ == other.value_ && width_ == other.width_;
+}
+
+}  // namespace qp

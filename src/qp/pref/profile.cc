@@ -1,0 +1,254 @@
+#include "qp/pref/profile.h"
+
+#include <cstdlib>
+
+#include "qp/pref/doi.h"
+#include "qp/query/sql_lexer.h"
+#include "qp/util/string_util.h"
+
+namespace qp {
+
+Status UserProfile::Add(AtomicPreference preference) {
+  if (!IsValidSignedDoi(preference.doi())) {
+    return Status::InvalidArgument("degree of interest out of [-1, 1]: " +
+                                   std::to_string(preference.doi()));
+  }
+  if (preference.doi() == 0.0) {
+    return Status::InvalidArgument(
+        "zero-valued preferences are not stored: " + preference.ToString());
+  }
+  if (preference.is_join() && preference.doi() < 0.0) {
+    return Status::InvalidArgument(
+        "join preferences are structural and cannot be negative: " +
+        preference.ToString());
+  }
+  for (const auto& existing : preferences_) {
+    if (existing.SameCondition(preference)) {
+      return Status::AlreadyExists("preference already stored: " +
+                                   preference.ConditionString());
+    }
+  }
+  preferences_.push_back(std::move(preference));
+  return Status::Ok();
+}
+
+void UserProfile::AddOrUpdate(AtomicPreference preference) {
+  for (auto& existing : preferences_) {
+    if (existing.SameCondition(preference)) {
+      existing = std::move(preference);
+      return;
+    }
+  }
+  preferences_.push_back(std::move(preference));
+}
+
+size_t UserProfile::NumSelections() const {
+  size_t n = 0;
+  for (const auto& p : preferences_) {
+    if (p.is_selection()) ++n;
+  }
+  return n;
+}
+
+size_t UserProfile::NumJoins() const {
+  return preferences_.size() - NumSelections();
+}
+
+const AtomicPreference* UserProfile::FindJoin(const AttributeRef& from,
+                                              const AttributeRef& to) const {
+  for (const auto& p : preferences_) {
+    if (p.is_join() && p.attribute() == from && p.target() == to) return &p;
+  }
+  return nullptr;
+}
+
+const AtomicPreference* UserProfile::FindSelection(const AttributeRef& attr,
+                                                   const Value& value) const {
+  for (const auto& p : preferences_) {
+    if (p.is_selection() && p.attribute() == attr && p.value() == value) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+Status UserProfile::Validate(const Schema& schema) const {
+  for (const auto& p : preferences_) {
+    if (p.is_near()) {
+      QP_ASSIGN_OR_RETURN(DataType type, schema.AttributeType(p.attribute()));
+      if (type != DataType::kInt64 && type != DataType::kDouble) {
+        return Status::InvalidArgument(
+            "near preference requires a numeric attribute: " + p.ToString());
+      }
+      if (p.value().type() != DataType::kInt64 &&
+          p.value().type() != DataType::kDouble) {
+        return Status::InvalidArgument(
+            "near preference requires a numeric target: " + p.ToString());
+      }
+      if (!(p.width() > 0.0)) {
+        return Status::InvalidArgument(
+            "near preference requires a positive width: " + p.ToString());
+      }
+    } else if (p.is_selection()) {
+      QP_ASSIGN_OR_RETURN(DataType type, schema.AttributeType(p.attribute()));
+      if (!p.value().is_null() && p.value().type() != type) {
+        return Status::InvalidArgument(
+            "selection preference type mismatch: " + p.ToString() +
+            " (column is " + DataTypeName(type) + ")");
+      }
+    } else {
+      if (!schema.HasAttribute(p.attribute())) {
+        return Status::NotFound("unknown attribute in preference: " +
+                                p.attribute().ToString());
+      }
+      if (!schema.HasAttribute(p.target())) {
+        return Status::NotFound("unknown attribute in preference: " +
+                                p.target().ToString());
+      }
+      if (schema.FindJoin(p.attribute(), p.target()) == nullptr) {
+        return Status::InvalidArgument(
+            "join preference does not match any declared schema join: " +
+            p.ToString());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string UserProfile::Serialize() const {
+  std::string out;
+  for (const auto& p : preferences_) {
+    out += p.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses one profile entry from `tokens` starting at *pos:
+///   '[' T '.' c '=' (T '.' c | literal) ',' NUMBER ']'
+Result<AtomicPreference> ParseEntry(const std::vector<Token>& tokens,
+                                    size_t* pos) {
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("profile: " + msg + " (near offset " +
+                              std::to_string(tokens[*pos].offset) + ")");
+  };
+  auto expect_symbol = [&](std::string_view s) -> Status {
+    if (!tokens[*pos].IsSymbol(s)) {
+      return error("expected '" + std::string(s) + "', got '" +
+                   tokens[*pos].text + "'");
+    }
+    ++*pos;
+    return Status::Ok();
+  };
+  auto expect_ident = [&]() -> Result<std::string> {
+    if (tokens[*pos].kind != TokenKind::kIdent) {
+      return error("expected identifier, got '" + tokens[*pos].text + "'");
+    }
+    return tokens[(*pos)++].text;
+  };
+
+  auto parse_signed_number = [&]() -> Result<Value> {
+    double sign = 1.0;
+    if (tokens[*pos].IsSymbol("-")) {
+      sign = -1.0;
+      ++*pos;
+    }
+    if (tokens[*pos].kind != TokenKind::kNumber) {
+      return error("expected number, got '" + tokens[*pos].text + "'");
+    }
+    const std::string& text = tokens[(*pos)++].text;
+    if (text.find('.') != std::string::npos) {
+      return Value::Real(sign * std::strtod(text.c_str(), nullptr));
+    }
+    return Value::Int(static_cast<int64_t>(sign) *
+                      std::strtoll(text.c_str(), nullptr, 10));
+  };
+
+  QP_RETURN_IF_ERROR(expect_symbol("["));
+  // Soft preference entry: [ near(T.c, target, width), doi ].
+  if (tokens[*pos].IsKeyword("near") && tokens[*pos + 1].IsSymbol("(")) {
+    *pos += 2;
+    QP_ASSIGN_OR_RETURN(std::string table, expect_ident());
+    QP_RETURN_IF_ERROR(expect_symbol("."));
+    QP_ASSIGN_OR_RETURN(std::string column, expect_ident());
+    QP_RETURN_IF_ERROR(expect_symbol(","));
+    QP_ASSIGN_OR_RETURN(Value target, parse_signed_number());
+    QP_RETURN_IF_ERROR(expect_symbol(","));
+    QP_ASSIGN_OR_RETURN(Value width_value, parse_signed_number());
+    QP_RETURN_IF_ERROR(expect_symbol(")"));
+    QP_RETURN_IF_ERROR(expect_symbol(","));
+    QP_ASSIGN_OR_RETURN(Value doi_value, parse_signed_number());
+    QP_RETURN_IF_ERROR(expect_symbol("]"));
+    return AtomicPreference::NearSelection(
+        {std::move(table), std::move(column)}, std::move(target),
+        width_value.AsNumeric(), doi_value.AsNumeric());
+  }
+
+  QP_ASSIGN_OR_RETURN(std::string table, expect_ident());
+  QP_RETURN_IF_ERROR(expect_symbol("."));
+  QP_ASSIGN_OR_RETURN(std::string column, expect_ident());
+  QP_RETURN_IF_ERROR(expect_symbol("="));
+
+  AttributeRef left{std::move(table), std::move(column)};
+  bool is_join = tokens[*pos].kind == TokenKind::kIdent;
+  AttributeRef right;
+  Value value;
+  if (is_join) {
+    QP_ASSIGN_OR_RETURN(right.table, expect_ident());
+    QP_RETURN_IF_ERROR(expect_symbol("."));
+    QP_ASSIGN_OR_RETURN(right.column, expect_ident());
+  } else if (tokens[*pos].kind == TokenKind::kString) {
+    value = Value::Str(tokens[(*pos)++].text);
+  } else if (tokens[*pos].kind == TokenKind::kNumber) {
+    const std::string& text = tokens[(*pos)++].text;
+    value = text.find('.') != std::string::npos
+                ? Value::Real(std::strtod(text.c_str(), nullptr))
+                : Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+  } else {
+    return error("expected attribute or literal after '='");
+  }
+
+  QP_RETURN_IF_ERROR(expect_symbol(","));
+  double sign = 1.0;
+  if (tokens[*pos].IsSymbol("-")) {
+    sign = -1.0;
+    ++*pos;
+  }
+  if (tokens[*pos].kind != TokenKind::kNumber) {
+    return error("expected degree of interest, got '" + tokens[*pos].text +
+                 "'");
+  }
+  double doi = sign * std::strtod(tokens[(*pos)++].text.c_str(), nullptr);
+  QP_RETURN_IF_ERROR(expect_symbol("]"));
+
+  if (is_join) {
+    return AtomicPreference::Join(std::move(left), std::move(right), doi);
+  }
+  return AtomicPreference::Selection(std::move(left), std::move(value), doi);
+}
+
+}  // namespace
+
+Result<UserProfile> UserProfile::Parse(std::string_view text) {
+  // Strip comment lines before tokenizing.
+  std::string filtered;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    filtered.append(stripped);
+    filtered.push_back('\n');
+  }
+  QP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(filtered));
+
+  UserProfile profile;
+  size_t pos = 0;
+  while (tokens[pos].kind != TokenKind::kEnd) {
+    QP_ASSIGN_OR_RETURN(AtomicPreference pref, ParseEntry(tokens, &pos));
+    QP_RETURN_IF_ERROR(profile.Add(std::move(pref)));
+  }
+  return profile;
+}
+
+}  // namespace qp

@@ -1,0 +1,69 @@
+#ifndef QP_PREF_PROFILE_H_
+#define QP_PREF_PROFILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qp/pref/preference.h"
+#include "qp/relational/schema.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// A user profile: the set of atomic preferences stored for one user
+/// (paper Figure 2). Zero-valued preferences are not stored.
+class UserProfile {
+ public:
+  UserProfile() = default;
+
+  /// Adds a preference. Fails if the degree is outside [0, 1], the degree
+  /// is 0 (zero-valued preferences are not stored), or a preference with
+  /// the same condition already exists.
+  Status Add(AtomicPreference preference);
+
+  /// Adds or replaces the preference with the same condition.
+  void AddOrUpdate(AtomicPreference preference);
+
+  const std::vector<AtomicPreference>& preferences() const {
+    return preferences_;
+  }
+
+  /// Number of stored atomic selection preferences — the paper's notion of
+  /// "profile size" in the Figure 6 experiment.
+  size_t NumSelections() const;
+  size_t NumJoins() const;
+  size_t size() const { return preferences_.size(); }
+  bool empty() const { return preferences_.empty(); }
+
+  /// The stored join preference from `from` to `to`, or nullptr. Direction
+  /// matters: Find(PLAY.mid -> MOVIE.mid) and the reverse are distinct.
+  const AtomicPreference* FindJoin(const AttributeRef& from,
+                                   const AttributeRef& to) const;
+
+  /// The stored selection preference on `attr` = `value`, or nullptr.
+  const AtomicPreference* FindSelection(const AttributeRef& attr,
+                                        const Value& value) const;
+
+  /// Checks every preference against `schema`: attributes must exist,
+  /// selection literal types must match the column type, and every join
+  /// preference must correspond to a declared schema join.
+  Status Validate(const Schema& schema) const;
+
+  /// Renders the profile in the paper's text format, one entry per line:
+  ///   [ PLAY.mid=MOVIE.mid, 1 ]
+  ///   [ GENRE.genre='comedy', 0.9 ]
+  std::string Serialize() const;
+
+  /// Parses the format produced by Serialize. Lines that are empty or
+  /// start with '#' are ignored. Join vs selection is inferred from the
+  /// right-hand side (attribute reference vs literal).
+  static Result<UserProfile> Parse(std::string_view text);
+
+ private:
+  std::vector<AtomicPreference> preferences_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PREF_PROFILE_H_

@@ -1,0 +1,120 @@
+#include "qp/pref/profile_generator.h"
+
+#include <utility>
+
+namespace qp {
+namespace {
+
+double UniformDoi(Rng* rng, double min, double max) {
+  double d = min + (max - min) * rng->NextDouble();
+  // Degrees of 0 are not storable; nudge into (0, 1].
+  if (d <= 0.0) d = 1e-9;
+  if (d > 1.0) d = 1.0;
+  return d;
+}
+
+}  // namespace
+
+ProfileGenerator::ProfileGenerator(const Schema* schema,
+                                   std::vector<CandidatePool> pools)
+    : schema_(schema), pools_(std::move(pools)) {}
+
+namespace {
+
+/// Builds one selection-type preference from a candidate, honouring the
+/// near/negative generation options.
+AtomicPreference MakeSelectionPreference(
+    const CandidatePool& pool, const Value& value,
+    const ProfileGeneratorOptions& options, double doi, Rng* rng) {
+  bool numeric = value.type() == DataType::kInt64 ||
+                 value.type() == DataType::kDouble;
+  bool negative = rng->Bernoulli(options.negative_fraction);
+  if (negative) doi = -doi;
+  if (numeric && rng->Bernoulli(options.near_fraction)) {
+    return AtomicPreference::NearSelection(pool.attribute, value,
+                                           options.near_width, doi);
+  }
+  return AtomicPreference::Selection(pool.attribute, value, doi);
+}
+
+}  // namespace
+
+size_t ProfileGenerator::NumCandidates() const {
+  size_t n = 0;
+  for (const auto& pool : pools_) n += pool.values.size();
+  return n;
+}
+
+Result<UserProfile> ProfileGenerator::Generate(
+    const ProfileGeneratorOptions& options, Rng* rng) const {
+  if (options.num_selections > NumCandidates()) {
+    return Status::InvalidArgument(
+        "requested " + std::to_string(options.num_selections) +
+        " selection preferences but only " + std::to_string(NumCandidates()) +
+        " candidate conditions exist");
+  }
+
+  UserProfile profile;
+  if (options.include_all_joins) {
+    for (const SchemaJoin& join : schema_->joins()) {
+      QP_RETURN_IF_ERROR(profile.Add(AtomicPreference::Join(
+          join.left, join.right,
+          UniformDoi(rng, options.join_min_doi, options.join_max_doi))));
+      QP_RETURN_IF_ERROR(profile.Add(AtomicPreference::Join(
+          join.right, join.left,
+          UniformDoi(rng, options.join_min_doi, options.join_max_doi))));
+    }
+  }
+
+  if (options.weighting == PoolWeighting::kUniformOverCandidates) {
+    // Sample distinct (pool, value-index) pairs via a global index space
+    // so every candidate condition is equally likely.
+    std::vector<std::pair<size_t, size_t>> candidates;
+    candidates.reserve(NumCandidates());
+    for (size_t p = 0; p < pools_.size(); ++p) {
+      for (size_t v = 0; v < pools_[p].values.size(); ++v) {
+        candidates.emplace_back(p, v);
+      }
+    }
+    // Partial Fisher-Yates: shuffle only the prefix we need.
+    for (size_t i = 0; i < options.num_selections; ++i) {
+      size_t j = i + static_cast<size_t>(rng->Below(candidates.size() - i));
+      std::swap(candidates[i], candidates[j]);
+      const CandidatePool& pool = pools_[candidates[i].first];
+      QP_RETURN_IF_ERROR(profile.Add(MakeSelectionPreference(
+          pool, pool.values[candidates[i].second], options,
+          UniformDoi(rng, options.selection_min_doi,
+                     options.selection_max_doi),
+          rng)));
+    }
+    return profile;
+  }
+
+  // Uniform over pools: per-pool shuffled candidate order; draw from a
+  // uniformly chosen non-exhausted pool each round.
+  std::vector<std::vector<size_t>> order(pools_.size());
+  for (size_t p = 0; p < pools_.size(); ++p) {
+    order[p].resize(pools_[p].values.size());
+    for (size_t v = 0; v < order[p].size(); ++v) order[p][v] = v;
+    rng->Shuffle(&order[p]);
+  }
+  std::vector<size_t> next(pools_.size(), 0);
+  for (size_t i = 0; i < options.num_selections; ++i) {
+    std::vector<size_t> live;
+    for (size_t p = 0; p < pools_.size(); ++p) {
+      if (next[p] < order[p].size()) live.push_back(p);
+    }
+    // NumCandidates() was checked above, so some pool is always live.
+    size_t p = live[rng->Below(live.size())];
+    const CandidatePool& pool = pools_[p];
+    QP_RETURN_IF_ERROR(profile.Add(MakeSelectionPreference(
+        pool, pool.values[order[p][next[p]++]], options,
+        UniformDoi(rng, options.selection_min_doi,
+                   options.selection_max_doi),
+        rng)));
+  }
+  QP_RETURN_IF_ERROR(profile.Validate(*schema_));
+  return profile;
+}
+
+}  // namespace qp

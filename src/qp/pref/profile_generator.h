@@ -1,0 +1,82 @@
+#ifndef QP_PREF_PROFILE_GENERATOR_H_
+#define QP_PREF_PROFILE_GENERATOR_H_
+
+#include <vector>
+
+#include "qp/pref/profile.h"
+#include "qp/relational/schema.h"
+#include "qp/util/random.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// Candidate values for selection preferences on one attribute,
+/// e.g. GENRE.genre -> {'comedy', 'thriller', ...}. Pools are typically
+/// harvested from a Database (see qp/data/workload.h).
+struct CandidatePool {
+  AttributeRef attribute;
+  std::vector<Value> values;
+};
+
+/// How selection preferences are distributed over attributes.
+enum class PoolWeighting {
+  /// Each attribute pool is drawn from with equal probability until it
+  /// runs out of fresh values (default — profiles spread evenly over the
+  /// schema's value attributes, like the paper's examples, where genre
+  /// preferences are as common as actor preferences).
+  kUniformOverPools,
+  /// Every candidate (attribute, value) pair is equally likely, so large
+  /// pools (e.g. actor names) dominate.
+  kUniformOverCandidates,
+};
+
+struct ProfileGeneratorOptions {
+  /// Number of atomic selection preferences — the paper's "profile size".
+  size_t num_selections = 50;
+  PoolWeighting weighting = PoolWeighting::kUniformOverPools;
+  /// Fraction of selections drawn from *numeric* pools that become soft
+  /// (near) preferences instead of equality ones. 0 disables (default,
+  /// matching the paper's hard-constraint experiments).
+  double near_fraction = 0.0;
+  /// Half-width assigned to generated near preferences.
+  double near_width = 5.0;
+  /// Fraction of selection preferences generated as dislikes (the degree
+  /// is negated). 0 disables.
+  double negative_fraction = 0.0;
+  /// Selection degrees are drawn uniformly from (min, max].
+  double selection_min_doi = 0.1;
+  double selection_max_doi = 1.0;
+  /// Join degrees are drawn uniformly from (min, max].
+  double join_min_doi = 0.5;
+  double join_max_doi = 1.0;
+  /// If true, the profile stores a join preference for *both* directions
+  /// of every declared schema join, so transitive preferences can reach
+  /// any part of the schema (as in the paper's example profile).
+  bool include_all_joins = true;
+};
+
+/// Generates synthetic user profiles, the stand-in for the paper's profile
+/// generator ("synthetic profiles were automatically produced with the use
+/// of a profile generator").
+class ProfileGenerator {
+ public:
+  /// `schema` must outlive the generator. `pools` supply the candidate
+  /// (attribute, value) pairs selection preferences are drawn from.
+  ProfileGenerator(const Schema* schema, std::vector<CandidatePool> pools);
+
+  /// Draws one profile. Fails if the pools cannot supply
+  /// `options.num_selections` distinct conditions.
+  Result<UserProfile> Generate(const ProfileGeneratorOptions& options,
+                               Rng* rng) const;
+
+  /// Total number of distinct candidate selection conditions.
+  size_t NumCandidates() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<CandidatePool> pools_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PREF_PROFILE_GENERATOR_H_

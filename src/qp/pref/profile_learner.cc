@@ -1,0 +1,99 @@
+#include "qp/pref/profile_learner.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qp {
+
+Status ProfileLearner::Observe(const SelectQuery& query) {
+  QP_RETURN_IF_ERROR(query.Validate(*schema_));
+  if (query.where() == nullptr) {
+    ++num_observed_;
+    return Status::Ok();
+  }
+  std::vector<AtomicCondition> atoms;
+  query.where()->CollectAtoms(&atoms);
+  for (const AtomicCondition& atom : atoms) {
+    if (atom.is_selection()) {
+      const TupleVariable* var = query.FindVariable(atom.var());
+      AttributeRef attr{var->table, atom.column()};
+      std::string key = attr.ToString() + "=" + atom.value().ToSqlLiteral();
+      auto [it, inserted] = selections_.try_emplace(
+          key, SelectionStat{attr, atom.value(), 0});
+      ++it->second.count;
+    } else {
+      const TupleVariable* left = query.FindVariable(atom.left_var());
+      const TupleVariable* right = query.FindVariable(atom.right_var());
+      AttributeRef from{left->table, atom.left_column()};
+      AttributeRef to{right->table, atom.right_column()};
+      if (schema_->FindJoin(from, to) == nullptr) continue;
+      // A join in a query is evidence for both traversal directions.
+      for (int dir = 0; dir < 2; ++dir) {
+        const AttributeRef& a = dir == 0 ? from : to;
+        const AttributeRef& b = dir == 0 ? to : from;
+        std::string key = a.ToString() + "=" + b.ToString();
+        auto [it, inserted] =
+            joins_.try_emplace(key, JoinStat{a, b, 0});
+        ++it->second.count;
+      }
+    }
+  }
+  ++num_observed_;
+  return Status::Ok();
+}
+
+namespace {
+
+/// Linear frequency -> degree mapping; count == max_count hits hi.
+double Scale(size_t count, size_t max_count, double lo, double hi) {
+  if (max_count <= 1) return hi;
+  double t = static_cast<double>(count - 1) /
+             static_cast<double>(max_count - 1);
+  return lo + (hi - lo) * t;
+}
+
+}  // namespace
+
+Result<UserProfile> ProfileLearner::BuildProfile(
+    const ProfileLearnerOptions& options) const {
+  UserProfile profile;
+  if (selections_.empty() && joins_.empty()) return profile;
+
+  size_t max_join_count = 1;
+  for (const auto& [key, stat] : joins_) {
+    max_join_count = std::max(max_join_count, stat.count);
+  }
+  for (const auto& [key, stat] : joins_) {
+    if (stat.count < options.min_occurrences) continue;
+    QP_RETURN_IF_ERROR(profile.Add(AtomicPreference::Join(
+        stat.from, stat.to,
+        Scale(stat.count, max_join_count, options.join_min_doi,
+              options.join_max_doi))));
+  }
+
+  // Rank selections by frequency (ties: key order) and keep the top ones.
+  std::vector<const SelectionStat*> ranked;
+  ranked.reserve(selections_.size());
+  for (const auto& [key, stat] : selections_) {
+    if (stat.count < options.min_occurrences) continue;
+    ranked.push_back(&stat);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const SelectionStat* a, const SelectionStat* b) {
+                     return a->count > b->count;
+                   });
+  if (ranked.size() > options.max_selections) {
+    ranked.resize(options.max_selections);
+  }
+  size_t max_count = ranked.empty() ? 1 : ranked.front()->count;
+  for (const SelectionStat* stat : ranked) {
+    QP_RETURN_IF_ERROR(profile.Add(AtomicPreference::Selection(
+        stat->attribute, stat->value,
+        Scale(stat->count, max_count, options.selection_min_doi,
+              options.selection_max_doi))));
+  }
+  QP_RETURN_IF_ERROR(profile.Validate(*schema_));
+  return profile;
+}
+
+}  // namespace qp

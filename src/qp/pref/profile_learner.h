@@ -1,0 +1,83 @@
+#ifndef QP_PREF_PROFILE_LEARNER_H_
+#define QP_PREF_PROFILE_LEARNER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "qp/pref/profile.h"
+#include "qp/query/query.h"
+#include "qp/relational/schema.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+struct ProfileLearnerOptions {
+  /// Degrees assigned to selection conditions: the most frequent condition
+  /// gets max_doi, a condition seen once gets at least min_doi, linear in
+  /// relative frequency in between.
+  double selection_min_doi = 0.1;
+  double selection_max_doi = 0.9;
+  /// Degrees for join conditions (scaled the same way by join frequency).
+  double join_min_doi = 0.5;
+  double join_max_doi = 1.0;
+  /// Keep only the most frequent selection conditions.
+  size_t max_selections = 200;
+  /// Conditions must appear at least this often to enter the profile.
+  size_t min_occurrences = 1;
+};
+
+/// The Profile Creation module of the paper's architecture (Figure 1):
+/// builds a user profile *implicitly* by monitoring the user's queries.
+/// Every atomic selection condition the user writes is evidence of
+/// interest in that condition; every join tells the system which
+/// relationships matter to the user. Degrees of interest are estimated
+/// from relative frequencies.
+///
+/// Usage: Observe() each query the user issues, then BuildProfile().
+/// The learner is cumulative; profiles can be rebuilt at any time
+/// ("preferences may evolve through time" — the personalization process
+/// is unaffected by profile changes).
+class ProfileLearner {
+ public:
+  /// `schema` is retained and must outlive the learner.
+  explicit ProfileLearner(const Schema* schema) : schema_(schema) {}
+
+  /// Records the atomic conditions of one issued query. Fails if the
+  /// query does not validate against the schema; join atoms that do not
+  /// correspond to declared schema joins are ignored (they cannot become
+  /// join preferences).
+  Status Observe(const SelectQuery& query);
+
+  /// Number of queries observed so far.
+  size_t num_observed() const { return num_observed_; }
+
+  /// Estimates the profile from the observations. Join preferences are
+  /// emitted for both directions of every observed join. Returns an empty
+  /// profile when nothing was observed.
+  Result<UserProfile> BuildProfile(
+      const ProfileLearnerOptions& options = {}) const;
+
+ private:
+  /// Key: "TABLE.column=<literal>" for selections, "A.x=B.y" (directed)
+  /// for joins. std::map keeps BuildProfile deterministic.
+  struct SelectionStat {
+    AttributeRef attribute;
+    Value value;
+    size_t count = 0;
+  };
+  struct JoinStat {
+    AttributeRef from;
+    AttributeRef to;
+    size_t count = 0;
+  };
+
+  const Schema* schema_;
+  std::map<std::string, SelectionStat> selections_;
+  std::map<std::string, JoinStat> joins_;
+  size_t num_observed_ = 0;
+};
+
+}  // namespace qp
+
+#endif  // QP_PREF_PROFILE_LEARNER_H_

@@ -1,0 +1,117 @@
+#include "qp/query/sql_lexer.h"
+
+#include <cctype>
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (kind != TokenKind::kIdent) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kIdent, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!seen_dot && sql[i] == '.'))) {
+        // A '.' is part of the number only if followed by a digit,
+        // otherwise it is the attribute separator (rare after a number,
+        // but keep the rule uniform).
+        if (sql[i] == '.') {
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(
+                                sql[i + 1]))) {
+            break;
+          }
+          seen_dot = true;
+        }
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kNumber, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool terminated = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // Escaped quote.
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          terminated = true;
+          break;
+        }
+        text += sql[i];
+        ++i;
+      }
+      if (!terminated) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({TokenKind::kSymbol, ">=", start});
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '.':
+      case ',':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '=':
+      case '*':
+      case '>':
+      case '-':
+        tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+        ++i;
+        continue;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace qp

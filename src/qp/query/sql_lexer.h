@@ -1,0 +1,42 @@
+#ifndef QP_QUERY_SQL_LEXER_H_
+#define QP_QUERY_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// Token kinds produced by the SQL lexer. Keywords are reported as kIdent;
+/// the parser matches them case-insensitively.
+enum class TokenKind {
+  kIdent,
+  kNumber,   // Integer or decimal literal.
+  kString,   // Single-quoted, with '' as the escape for a quote.
+  kSymbol,   // One of . , ( ) [ ] = * > - and the two-char >=. The square
+             // brackets are used by the profile text format, not by SQL;
+             // '-' only as the sign of negative degree literals.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Identifier text, symbol text, or literal spelling.
+  size_t offset = 0;  // Byte offset into the input, for error messages.
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes `sql`. The final token is always kEnd. Fails on unterminated
+/// strings and unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_SQL_LEXER_H_

@@ -1,0 +1,337 @@
+#include "qp/query/sql_parser.h"
+
+#include <cstdlib>
+
+#include "qp/query/sql_lexer.h"
+
+namespace qp {
+namespace {
+
+/// Recursive-descent parser over the token stream. All Parse* methods
+/// leave the cursor just past what they consumed.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedStatement> ParseStatement() {
+    QP_RETURN_IF_ERROR(ExpectKeyword("select"));
+    // Projection list of the outermost select.
+    bool distinct = ConsumeKeyword("distinct");
+    std::vector<ProjectionItem> outer;
+    QP_RETURN_IF_ERROR(ParseProjectionList(&outer, nullptr));
+    QP_RETURN_IF_ERROR(ExpectKeyword("from"));
+
+    if (Peek().IsSymbol("(")) {
+      if (distinct) {
+        return Error("distinct is not supported on a compound query");
+      }
+      QP_ASSIGN_OR_RETURN(CompoundQuery compound, ParseCompoundTail(outer));
+      return ParsedStatement{std::move(compound)};
+    }
+    QP_ASSIGN_OR_RETURN(SelectQuery select,
+                        ParseSelectTail(distinct, std::move(outer)));
+    QP_RETURN_IF_ERROR(ExpectEnd());
+    return ParsedStatement{std::move(select)};
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (near offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(std::string_view symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Error("expected '" + std::string(keyword) + "', got '" +
+                   Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return Error("expected '" + std::string(symbol) + "', got '" +
+                   Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected identifier, got '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  static Value NumberValue(const std::string& text) {
+    if (text.find('.') != std::string::npos) {
+      return Value::Real(std::strtod(text.c_str(), nullptr));
+    }
+    return Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+  }
+
+  Result<double> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected number, got '" + Peek().text + "'");
+    }
+    return std::strtod(Advance().text.c_str(), nullptr);
+  }
+
+  /// Parses `v.c [, v.c | NUMBER as IDENT]*`. A `NUMBER as doi` item sets
+  /// *degree when `degree` is non-null, and is rejected otherwise.
+  Status ParseProjectionList(std::vector<ProjectionItem>* items,
+                             double* degree) {
+    for (;;) {
+      if (Peek().kind == TokenKind::kNumber || Peek().IsSymbol("-")) {
+        if (degree == nullptr) {
+          return Error("literal projection only allowed inside a compound "
+                       "query part");
+        }
+        double sign = ConsumeSymbol("-") ? -1.0 : 1.0;
+        QP_ASSIGN_OR_RETURN(double d, ExpectNumber());
+        QP_RETURN_IF_ERROR(ExpectKeyword("as"));
+        QP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+        if (name != "doi") {
+          return Error("literal projection must be aliased 'doi'");
+        }
+        *degree = sign * d;
+      } else {
+        QP_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
+        QP_RETURN_IF_ERROR(ExpectSymbol("."));
+        QP_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+        items->push_back({std::move(var), std::move(column)});
+      }
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (items->empty()) return Error("empty projection list");
+    return Status::Ok();
+  }
+
+  /// Parses the rest of a plain select after FROM (the projection list and
+  /// distinct flag were already consumed).
+  Result<SelectQuery> ParseSelectTail(bool distinct,
+                                      std::vector<ProjectionItem> items) {
+    SelectQuery query;
+    query.set_distinct(distinct);
+    for (;;) {
+      QP_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+      QP_ASSIGN_OR_RETURN(std::string alias, ExpectIdent());
+      QP_RETURN_IF_ERROR(query.AddVariable(std::move(alias), std::move(table)));
+      if (!ConsumeSymbol(",")) break;
+    }
+    for (auto& item : items) {
+      query.AddProjection(std::move(item.var), std::move(item.column));
+    }
+    if (ConsumeKeyword("where")) {
+      QP_ASSIGN_OR_RETURN(ConditionPtr where, ParseOrExpr());
+      query.set_where(std::move(where));
+    }
+    return query;
+  }
+
+  /// Parses a full parenthesized-or-not select statement (used for
+  /// compound parts): `select [distinct] items from ... [where ...]`.
+  Result<CompoundPart> ParsePartSelect() {
+    QP_RETURN_IF_ERROR(ExpectKeyword("select"));
+    bool distinct = ConsumeKeyword("distinct");
+    std::vector<ProjectionItem> items;
+    double degree = 0.0;
+    QP_RETURN_IF_ERROR(ParseProjectionList(&items, &degree));
+    QP_RETURN_IF_ERROR(ExpectKeyword("from"));
+    QP_ASSIGN_OR_RETURN(SelectQuery query,
+                        ParseSelectTail(distinct, std::move(items)));
+    return CompoundPart{std::move(query), degree};
+  }
+
+  /// Parses everything after `select <outer> from` when the next token is
+  /// '(' — the compound (MQ) form.
+  Result<CompoundQuery> ParseCompoundTail(
+      const std::vector<ProjectionItem>& outer) {
+    QP_RETURN_IF_ERROR(ExpectSymbol("("));
+    CompoundQuery compound;
+    for (;;) {
+      QP_RETURN_IF_ERROR(ExpectSymbol("("));
+      QP_ASSIGN_OR_RETURN(CompoundPart part, ParsePartSelect());
+      QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      compound.AddPart(std::move(part.query), part.degree);
+      if (ConsumeKeyword("union")) {
+        QP_RETURN_IF_ERROR(ExpectKeyword("all"));
+        continue;
+      }
+      break;
+    }
+    QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    QP_RETURN_IF_ERROR(ExpectIdent().status());  // Derived-table alias.
+    QP_RETURN_IF_ERROR(ExpectKeyword("group"));
+    QP_RETURN_IF_ERROR(ExpectKeyword("by"));
+    std::vector<ProjectionItem> group_by;
+    QP_RETURN_IF_ERROR(ParseProjectionList(&group_by, nullptr));
+    if (group_by != outer) {
+      return Error("group by list must match the outer projection list");
+    }
+    const auto& first = compound.parts().empty()
+                            ? group_by
+                            : compound.parts()[0].query.projections();
+    if (group_by != first) {
+      return Error("group by list must match the part projections");
+    }
+
+    if (ConsumeKeyword("having")) {
+      if (ConsumeKeyword("count")) {
+        QP_RETURN_IF_ERROR(ExpectSymbol("("));
+        QP_RETURN_IF_ERROR(ExpectSymbol("*"));
+        QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+        QP_RETURN_IF_ERROR(ExpectSymbol(">="));
+        QP_ASSIGN_OR_RETURN(double n, ExpectNumber());
+        compound.set_having(HavingClause::CountAtLeast(
+            static_cast<size_t>(n)));
+      } else if (ConsumeKeyword("degree_of_conjunction")) {
+        QP_RETURN_IF_ERROR(ExpectSymbol("("));
+        QP_RETURN_IF_ERROR(ExpectKeyword("doi"));
+        QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+        QP_RETURN_IF_ERROR(ExpectSymbol(">"));
+        QP_ASSIGN_OR_RETURN(double d, ExpectNumber());
+        compound.set_having(HavingClause::DegreeAbove(d));
+      } else {
+        return Error("expected count(*) or degree_of_conjunction(doi)");
+      }
+    }
+    while (ConsumeKeyword("except")) {
+      QP_RETURN_IF_ERROR(ExpectSymbol("("));
+      QP_ASSIGN_OR_RETURN(CompoundPart exclusion, ParsePartSelect());
+      QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      compound.AddExclusion(std::move(exclusion.query));
+    }
+    if (ConsumeKeyword("order")) {
+      QP_RETURN_IF_ERROR(ExpectKeyword("by"));
+      QP_RETURN_IF_ERROR(ExpectKeyword("degree_of_conjunction"));
+      QP_RETURN_IF_ERROR(ExpectSymbol("("));
+      QP_RETURN_IF_ERROR(ExpectKeyword("doi"));
+      QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      QP_RETURN_IF_ERROR(ExpectKeyword("desc"));
+      compound.set_order_by_degree(true);
+    }
+    QP_RETURN_IF_ERROR(ExpectEnd());
+    return compound;
+  }
+
+  Result<ConditionPtr> ParseOrExpr() {
+    std::vector<ConditionPtr> children;
+    QP_ASSIGN_OR_RETURN(ConditionPtr first, ParseAndExpr());
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("or")) {
+      QP_ASSIGN_OR_RETURN(ConditionPtr next, ParseAndExpr());
+      children.push_back(std::move(next));
+    }
+    return ConditionNode::MakeOr(std::move(children));
+  }
+
+  Result<ConditionPtr> ParseAndExpr() {
+    std::vector<ConditionPtr> children;
+    QP_ASSIGN_OR_RETURN(ConditionPtr first, ParsePrimary());
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("and")) {
+      QP_ASSIGN_OR_RETURN(ConditionPtr next, ParsePrimary());
+      children.push_back(std::move(next));
+    }
+    return ConditionNode::MakeAnd(std::move(children));
+  }
+
+  Result<ConditionPtr> ParsePrimary() {
+    if (ConsumeSymbol("(")) {
+      QP_ASSIGN_OR_RETURN(ConditionPtr inner, ParseOrExpr());
+      QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    // near(v.c, target, width) — the soft proximity condition.
+    if (Peek().IsKeyword("near") && Peek(1).IsSymbol("(")) {
+      Advance();
+      Advance();
+      QP_ASSIGN_OR_RETURN(std::string near_var, ExpectIdent());
+      QP_RETURN_IF_ERROR(ExpectSymbol("."));
+      QP_ASSIGN_OR_RETURN(std::string near_column, ExpectIdent());
+      QP_RETURN_IF_ERROR(ExpectSymbol(","));
+      double sign = ConsumeSymbol("-") ? -1.0 : 1.0;
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("near() target must be numeric");
+      }
+      Value target = NumberValue(Advance().text);
+      if (sign < 0) {
+        target = target.type() == DataType::kInt64
+                     ? Value::Int(-target.as_int())
+                     : Value::Real(-target.as_double());
+      }
+      QP_RETURN_IF_ERROR(ExpectSymbol(","));
+      QP_ASSIGN_OR_RETURN(double width, ExpectNumber());
+      QP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return ConditionNode::MakeAtom(AtomicCondition::Near(
+          std::move(near_var), std::move(near_column), std::move(target),
+          width));
+    }
+    QP_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
+    QP_RETURN_IF_ERROR(ExpectSymbol("."));
+    QP_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+    QP_RETURN_IF_ERROR(ExpectSymbol("="));
+    if (Peek().kind == TokenKind::kString) {
+      Value v = Value::Str(Advance().text);
+      return ConditionNode::MakeAtom(AtomicCondition::Selection(
+          std::move(var), std::move(column), std::move(v)));
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      Value v = NumberValue(Advance().text);
+      return ConditionNode::MakeAtom(AtomicCondition::Selection(
+          std::move(var), std::move(column), std::move(v)));
+    }
+    QP_ASSIGN_OR_RETURN(std::string right_var, ExpectIdent());
+    QP_RETURN_IF_ERROR(ExpectSymbol("."));
+    QP_ASSIGN_OR_RETURN(std::string right_column, ExpectIdent());
+    return ConditionNode::MakeAtom(AtomicCondition::Join(
+        std::move(var), std::move(column), std::move(right_var),
+        std::move(right_column)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedStatement> ParseStatement(std::string_view sql) {
+  QP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<SelectQuery> ParseSelectQuery(std::string_view sql) {
+  QP_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql));
+  if (!stmt.is_select()) {
+    return Status::ParseError("expected a plain select query");
+  }
+  return stmt.select();
+}
+
+}  // namespace qp

@@ -1,0 +1,47 @@
+#ifndef QP_QUERY_SQL_PARSER_H_
+#define QP_QUERY_SQL_PARSER_H_
+
+#include <string_view>
+#include <variant>
+
+#include "qp/query/query.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// A parsed SQL statement: either a plain SPJ select or a compound
+/// (UNION ALL / GROUP BY / HAVING) query.
+struct ParsedStatement {
+  std::variant<SelectQuery, CompoundQuery> statement;
+
+  bool is_select() const {
+    return std::holds_alternative<SelectQuery>(statement);
+  }
+  bool is_compound() const {
+    return std::holds_alternative<CompoundQuery>(statement);
+  }
+  const SelectQuery& select() const {
+    return std::get<SelectQuery>(statement);
+  }
+  const CompoundQuery& compound() const {
+    return std::get<CompoundQuery>(statement);
+  }
+};
+
+/// Parses the SQL subset this library emits (see sql_writer.h):
+///   select [distinct] v.c, ... from TABLE alias, ... [where <bool-expr>]
+/// where <bool-expr> is and/or combinations (with parentheses) of equality
+/// selections and joins; and the compound form
+///   select cols from ((select...) union all (select...)) ALIAS
+///   group by cols [having count(*) >= N | degree_of_conjunction(doi) > d]
+///   [order by degree_of_conjunction(doi) desc]
+/// Keywords are case-insensitive. No schema checks are performed here; run
+/// SelectQuery::Validate / CompoundQuery::Validate afterwards if desired.
+Result<ParsedStatement> ParseStatement(std::string_view sql);
+
+/// Convenience wrapper that requires a plain select.
+Result<SelectQuery> ParseSelectQuery(std::string_view sql);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_SQL_PARSER_H_

@@ -1,0 +1,87 @@
+#include "qp/query/sql_writer.h"
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+namespace {
+
+std::string ProjectionSql(const SelectQuery& query, bool with_degree,
+                          double degree) {
+  std::vector<std::string> items;
+  for (const auto& item : query.projections()) {
+    items.push_back(item.var + "." + item.column);
+  }
+  if (with_degree) {
+    // Negative degrees (penalty parts) print with their sign.
+    items.push_back(FormatDouble(degree) + " as doi");
+  }
+  return Join(items, ", ");
+}
+
+std::string SelectSql(const SelectQuery& query, bool with_degree,
+                      double degree) {
+  std::string sql = "select ";
+  if (query.distinct()) sql += "distinct ";
+  sql += ProjectionSql(query, with_degree, degree);
+  sql += " from ";
+  std::vector<std::string> froms;
+  for (const auto& var : query.from()) {
+    froms.push_back(var.table + " " + var.alias);
+  }
+  sql += Join(froms, ", ");
+  if (query.where() != nullptr) {
+    sql += " where " + query.where()->ToSql();
+  }
+  return sql;
+}
+
+}  // namespace
+
+std::string ToSql(const SelectQuery& query) {
+  return SelectSql(query, /*with_degree=*/false, 0.0);
+}
+
+std::string ToSql(const CompoundQuery& query) {
+  const bool degrees = query.UsesDegrees();
+  std::string outer_cols;
+  {
+    std::vector<std::string> cols;
+    if (!query.parts().empty()) {
+      for (const auto& item : query.parts()[0].query.projections()) {
+        cols.push_back(item.var + "." + item.column);
+      }
+    }
+    outer_cols = Join(cols, ", ");
+  }
+
+  std::string sql = "select " + outer_cols + " from (";
+  for (size_t i = 0; i < query.parts().size(); ++i) {
+    if (i > 0) sql += " union all ";
+    sql += "(" + SelectSql(query.parts()[i].query, degrees,
+                           query.parts()[i].degree) +
+           ")";
+  }
+  sql += ") TEMP group by " + outer_cols;
+
+  switch (query.having().kind) {
+    case HavingClause::Kind::kNone:
+      break;
+    case HavingClause::Kind::kCountAtLeast:
+      sql += " having count(*) >= " + std::to_string(query.having().min_count);
+      break;
+    case HavingClause::Kind::kDegreeAbove:
+      sql += " having degree_of_conjunction(doi) > " +
+             FormatDouble(query.having().min_degree);
+      break;
+  }
+  for (const SelectQuery& exclusion : query.exclusions()) {
+    sql += " except (" +
+           SelectSql(exclusion, /*with_degree=*/false, 0.0) + ")";
+  }
+  if (query.order_by_degree()) {
+    sql += " order by degree_of_conjunction(doi) desc";
+  }
+  return sql;
+}
+
+}  // namespace qp

@@ -1,0 +1,28 @@
+#ifndef QP_QUERY_SQL_WRITER_H_
+#define QP_QUERY_SQL_WRITER_H_
+
+#include <string>
+
+#include "qp/query/query.h"
+
+namespace qp {
+
+/// Renders a query as a single-line SQL string in the dialect the parser
+/// accepts, e.g.
+///   select distinct MV.title from MOVIE MV, PLAY PL
+///   where MV.mid=PL.mid and PL.date='2/7/2003'
+std::string ToSql(const SelectQuery& query);
+
+/// Renders a compound (MQ-style) query:
+///   select MV.title from ((select distinct MV.title from ...)
+///   union all (select distinct MV.title from ...)) TEMP
+///   group by MV.title having count(*) >= 2
+///   [except (select ...)]* [order by degree_of_conjunction(doi) desc]
+/// When the compound uses degrees, each part carries a literal degree
+/// column `<d> as doi` (negative for penalty parts) and HAVING/ORDER BY
+/// use degree_of_conjunction(doi). EXCEPT blocks carry veto exclusions.
+std::string ToSql(const CompoundQuery& query);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_SQL_WRITER_H_

@@ -1,0 +1,257 @@
+#include "qp/relational/csv.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace qp {
+namespace {
+
+/// One parsed CSV field: its text plus whether it was quoted (an unquoted
+/// empty field is NULL; a quoted empty field is the empty string).
+struct Field {
+  std::string text;
+  bool quoted = false;
+};
+
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty()) return true;  // Distinguish '' from NULL.
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const Value& value, std::string* out) {
+  if (value.is_null()) return;  // Unquoted empty field.
+  std::string text;
+  switch (value.type()) {
+    case DataType::kInt64:
+      text = std::to_string(value.as_int());
+      break;
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << value.as_double();
+      text = os.str();
+      break;
+    }
+    default:
+      text = value.as_string();
+      break;
+  }
+  if (value.type() == DataType::kString || NeedsQuoting(text)) {
+    out->push_back('"');
+    for (char c : text) {
+      if (c == '"') out->push_back('"');
+      out->push_back(c);
+    }
+    out->push_back('"');
+  } else {
+    out->append(text);
+  }
+}
+
+/// Splits `csv` into records of fields. Handles quoted fields with
+/// embedded separators/newlines/doubled quotes. A trailing newline does
+/// not produce an empty record.
+Result<std::vector<std::vector<Field>>> ParseCsv(std::string_view csv) {
+  std::vector<std::vector<Field>> records;
+  std::vector<Field> record;
+  Field field;
+  size_t i = 0;
+  const size_t n = csv.size();
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field = Field{};
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    // Skip blank lines (a lone unquoted empty field). Note this makes a
+    // single-column all-NULL record unrepresentable; all practical
+    // schemas have >= 2 columns.
+    if (record.size() == 1 && !record[0].quoted && record[0].text.empty()) {
+      record.clear();
+      return;
+    }
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  while (i < n) {
+    char c = csv[i];
+    if (c == '"' && !field_started) {
+      // Quoted field.
+      field.quoted = true;
+      field_started = true;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (csv[i] == '"') {
+          if (i + 1 < n && csv[i + 1] == '"') {
+            field.text.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        field.text.push_back(csv[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("csv: unterminated quoted field");
+      }
+      continue;
+    }
+    if (c == ',') {
+      end_field();
+      ++i;
+      field_started = false;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Normalize \r\n; skip the record boundary.
+      if (c == '\r' && i + 1 < n && csv[i + 1] == '\n') ++i;
+      ++i;
+      end_record();
+      continue;
+    }
+    field.text.push_back(c);
+    field_started = true;
+    ++i;
+  }
+  // Final record without trailing newline.
+  if (field_started || field.quoted || !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+Result<Value> ParseValue(const Field& field, DataType type) {
+  if (!field.quoted && field.text.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || field.text.empty()) {
+        return Status::ParseError("csv: bad int64 '" + field.text + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || field.text.empty()) {
+        return Status::ParseError("csv: bad double '" + field.text + "'");
+      }
+      return Value::Real(v);
+    }
+    default:
+      return Value::Str(field.text);
+  }
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const TableSchema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(',');
+    out.append(schema.column(c).name);
+  }
+  out.push_back('\n');
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendField(row[c], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status AppendCsvToTable(Table* table, std::string_view csv) {
+  QP_ASSIGN_OR_RETURN(auto records, ParseCsv(csv));
+  if (records.empty()) {
+    return Status::ParseError("csv: missing header record");
+  }
+  const TableSchema& schema = table->schema();
+  const auto& header = records[0];
+  if (header.size() != schema.num_columns()) {
+    return Status::ParseError(
+        "csv: header arity " + std::to_string(header.size()) +
+        " != schema arity " + std::to_string(schema.num_columns()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c].text != schema.column(c).name) {
+      return Status::ParseError("csv: header column '" + header[c].text +
+                                "' != schema column '" +
+                                schema.column(c).name + "'");
+    }
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    const auto& record = records[r];
+    if (record.size() != schema.num_columns()) {
+      return Status::ParseError("csv: record " + std::to_string(r) +
+                                " has " + std::to_string(record.size()) +
+                                " fields, expected " +
+                                std::to_string(schema.num_columns()));
+    }
+    Row row;
+    row.reserve(record.size());
+    for (size_t c = 0; c < record.size(); ++c) {
+      QP_ASSIGN_OR_RETURN(Value value,
+                          ParseValue(record[c], schema.column(c).type));
+      row.push_back(std::move(value));
+    }
+    QP_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Status SaveDatabaseCsv(const Database& db, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + directory + ": " +
+                            ec.message());
+  }
+  for (const TableSchema& schema : db.schema().tables()) {
+    QP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(schema.name()));
+    std::filesystem::path path =
+        std::filesystem::path(directory) / (schema.name() + ".csv");
+    std::ofstream out(path);
+    if (!out) {
+      return Status::Internal("cannot open " + path.string() +
+                              " for writing");
+    }
+    out << TableToCsv(*table);
+    if (!out) {
+      return Status::Internal("write failed for " + path.string());
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadDatabaseCsv(Database* db, const std::string& directory) {
+  for (const TableSchema& schema : db->schema().tables()) {
+    std::filesystem::path path =
+        std::filesystem::path(directory) / (schema.name() + ".csv");
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("missing csv file: " + path.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    QP_ASSIGN_OR_RETURN(Table * table, db->GetMutableTable(schema.name()));
+    QP_RETURN_IF_ERROR(AppendCsvToTable(table, buffer.str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace qp

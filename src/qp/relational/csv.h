@@ -1,0 +1,40 @@
+#ifndef QP_RELATIONAL_CSV_H_
+#define QP_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "qp/relational/database.h"
+#include "qp/relational/table.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// CSV import/export for tables and databases, so real datasets (e.g. an
+/// IMDb extract) can be loaded instead of the synthetic generator.
+///
+/// Dialect: RFC-4180-style. The first record is the header and must match
+/// the table schema's column names. Fields containing commas, quotes or
+/// newlines are double-quoted with embedded quotes doubled. SQL NULL is
+/// an *unquoted empty* field; the empty string is a quoted empty field
+/// (""). Values are parsed according to the column's declared type.
+
+/// Renders the whole table, header included.
+std::string TableToCsv(const Table& table);
+
+/// Appends the rows of `csv` to `table`. Fails on header mismatch, arity
+/// mismatch, unparsable values, or malformed quoting; on failure the
+/// table may have received a prefix of the rows.
+Status AppendCsvToTable(Table* table, std::string_view csv);
+
+/// Writes one `<TABLE>.csv` per relation into `directory` (created if
+/// missing).
+Status SaveDatabaseCsv(const Database& db, const std::string& directory);
+
+/// Loads every relation of `db`'s schema from `directory`; missing files
+/// are an error. Rows are appended to the (typically empty) tables.
+Status LoadDatabaseCsv(Database* db, const std::string& directory);
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_CSV_H_

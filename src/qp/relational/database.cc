@@ -1,0 +1,34 @@
+#include "qp/relational/database.h"
+
+namespace qp {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  for (const TableSchema& table : schema_.tables()) {
+    tables_.emplace(table.name(), std::make_unique<Table>(table));
+  }
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("unknown table: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("unknown table: " + name);
+  return it->second.get();
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  QP_ASSIGN_OR_RETURN(Table * t, GetMutableTable(table));
+  return t->Insert(std::move(row));
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->num_rows();
+  return total;
+}
+
+}  // namespace qp

@@ -1,0 +1,45 @@
+#ifndef QP_RELATIONAL_DATABASE_H_
+#define QP_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "qp/relational/schema.h"
+#include "qp/relational/table.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// A schema plus one Table instance per relation. This is the content
+/// store the executor runs against — the stand-in for the paper's
+/// Oracle 9i instance.
+class Database {
+ public:
+  explicit Database(Schema schema);
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  /// The table backing `name`, or error if the relation is unknown.
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Appends a row to `table`.
+  Status Insert(const std::string& table, Row row);
+
+  /// Total number of rows across all relations.
+  size_t TotalRows() const;
+
+ private:
+  Schema schema_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_DATABASE_H_

@@ -1,0 +1,144 @@
+#include "qp/relational/schema.h"
+
+#include <unordered_set>
+
+namespace qp {
+
+const char* JoinCardinalityName(JoinCardinality c) {
+  return c == JoinCardinality::kToOne ? "to-one" : "to-many";
+}
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns,
+                         std::vector<std::string> primary_key)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (const auto& key : primary_key) {
+    auto idx = ColumnIndex(key);
+    if (idx.has_value()) primary_key_.push_back(*idx);
+  }
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::AddTable(TableSchema table) {
+  if (HasTable(table.name())) {
+    return Status::AlreadyExists("table already exists: " + table.name());
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& col : table.columns()) {
+    if (!seen.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column '" + col.name +
+                                     "' in table " + table.name());
+    }
+  }
+  tables_.push_back(std::move(table));
+  return Status::Ok();
+}
+
+Status Schema::AddJoin(AttributeRef left, AttributeRef right,
+                       JoinCardinality left_to_right,
+                       JoinCardinality right_to_left) {
+  if (!HasAttribute(left)) {
+    return Status::NotFound("unknown attribute: " + left.ToString());
+  }
+  if (!HasAttribute(right)) {
+    return Status::NotFound("unknown attribute: " + right.ToString());
+  }
+  if (left.table == right.table) {
+    return Status::InvalidArgument("self joins are not supported: " +
+                                   left.ToString() + " = " + right.ToString());
+  }
+  if (FindJoin(left, right) != nullptr) {
+    return Status::AlreadyExists("join already declared: " + left.ToString() +
+                                 " = " + right.ToString());
+  }
+  Result<DataType> lt = AttributeType(left);
+  Result<DataType> rt = AttributeType(right);
+  if (lt.value() != rt.value()) {
+    return Status::InvalidArgument("join attribute types differ: " +
+                                   left.ToString() + " is " +
+                                   DataTypeName(lt.value()) + ", " +
+                                   right.ToString() + " is " +
+                                   DataTypeName(rt.value()));
+  }
+  joins_.push_back(SchemaJoin{std::move(left), std::move(right),
+                              left_to_right, right_to_left});
+  return Status::Ok();
+}
+
+Status Schema::AddForeignKey(AttributeRef fk, AttributeRef pk) {
+  return AddJoin(std::move(fk), std::move(pk), JoinCardinality::kToOne,
+                 JoinCardinality::kToMany);
+}
+
+const TableSchema* Schema::FindTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+Result<const TableSchema*> Schema::GetTable(const std::string& name) const {
+  const TableSchema* table = FindTable(name);
+  if (table == nullptr) return Status::NotFound("unknown table: " + name);
+  return table;
+}
+
+bool Schema::HasAttribute(const AttributeRef& ref) const {
+  const TableSchema* table = FindTable(ref.table);
+  return table != nullptr && table->HasColumn(ref.column);
+}
+
+Result<DataType> Schema::AttributeType(const AttributeRef& ref) const {
+  const TableSchema* table = FindTable(ref.table);
+  if (table == nullptr) {
+    return Status::NotFound("unknown table: " + ref.table);
+  }
+  auto idx = table->ColumnIndex(ref.column);
+  if (!idx.has_value()) {
+    return Status::NotFound("unknown attribute: " + ref.ToString());
+  }
+  return table->column(*idx).type;
+}
+
+const SchemaJoin* Schema::FindJoin(const AttributeRef& a,
+                                   const AttributeRef& b) const {
+  for (const auto& join : joins_) {
+    if ((join.left == a && join.right == b) ||
+        (join.left == b && join.right == a)) {
+      return &join;
+    }
+  }
+  return nullptr;
+}
+
+Result<JoinCardinality> Schema::JoinCardinalityFrom(
+    const AttributeRef& from, const AttributeRef& to) const {
+  const SchemaJoin* join = FindJoin(from, to);
+  if (join == nullptr) {
+    return Status::NotFound("no declared join between " + from.ToString() +
+                            " and " + to.ToString());
+  }
+  return join->left == from ? join->left_to_right : join->right_to_left;
+}
+
+std::vector<Schema::OutgoingJoin> Schema::JoinsFrom(
+    const std::string& table) const {
+  std::vector<OutgoingJoin> out;
+  for (const auto& join : joins_) {
+    if (join.left.table == table) {
+      out.push_back({join.left, join.right, join.left_to_right});
+    }
+    if (join.right.table == table) {
+      out.push_back({join.right, join.left, join.right_to_left});
+    }
+  }
+  return out;
+}
+
+}  // namespace qp

@@ -1,0 +1,52 @@
+#include "qp/relational/table.h"
+
+namespace qp {
+
+const std::vector<RowId> Table::kEmptyPostings;
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " +
+        schema_.name());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in " + schema_.name() + "." +
+          schema_.column(i).name + ": expected " +
+          DataTypeName(schema_.column(i).type) + ", got " +
+          DataTypeName(row[i].type()));
+    }
+  }
+  RowId id = static_cast<RowId>(rows_.size());
+  // Keep already-built indexes current.
+  for (auto& [col, index] : indexes_) {
+    index[row[col]].push_back(id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+const std::vector<RowId>& Table::Lookup(size_t column,
+                                        const Value& value) const {
+  const ColumnIndex& index = GetOrBuildIndex(column);
+  auto it = index.find(value);
+  if (it == index.end()) return kEmptyPostings;
+  return it->second;
+}
+
+const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
+  auto it = indexes_.find(column);
+  if (it != indexes_.end()) return it->second;
+  ColumnIndex index;
+  index.reserve(rows_.size());
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index[rows_[id][column]].push_back(id);
+  }
+  return indexes_.emplace(column, std::move(index)).first->second;
+}
+
+}  // namespace qp

@@ -1,0 +1,62 @@
+#ifndef QP_RELATIONAL_TABLE_H_
+#define QP_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/relational/schema.h"
+#include "qp/relational/value.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// A tuple; cells are positional against the owning TableSchema.
+using Row = std::vector<Value>;
+
+/// Row identifier within a table (dense, 0-based).
+using RowId = uint32_t;
+
+/// In-memory row store for a single relation, with lazily built hash
+/// indexes per column used by the executor for selections and hash joins.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  /// Movable, not copyable (tables can be large).
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(RowId id) const { return rows_[id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row. Fails unless arity and cell types match the schema
+  /// (NULL is accepted in any column). Invalidates indexes incrementally.
+  Status Insert(Row row);
+
+  /// Row ids whose `column` equals `value`; uses (and builds on first use)
+  /// the hash index for that column.
+  const std::vector<RowId>& Lookup(size_t column, const Value& value) const;
+
+  /// Value of `column` in row `id`.
+  const Value& At(RowId id, size_t column) const { return rows_[id][column]; }
+
+ private:
+  using ColumnIndex = std::unordered_map<Value, std::vector<RowId>, ValueHash>;
+
+  const ColumnIndex& GetOrBuildIndex(size_t column) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  /// column index -> hash index; built on demand, extended on insert.
+  mutable std::unordered_map<size_t, ColumnIndex> indexes_;
+  static const std::vector<RowId> kEmptyPostings;
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_TABLE_H_

@@ -1,0 +1,77 @@
+#ifndef QP_RELATIONAL_VALUE_H_
+#define QP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace qp {
+
+/// Column data types supported by the engine. kNull is the type of the
+/// SQL NULL literal; columns themselves are declared with a concrete type.
+enum class DataType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "null", "int64", "double" or "string".
+const char* DataTypeName(DataType type);
+
+/// A single typed cell. Values are immutable once constructed and cheap to
+/// copy for the numeric types. Comparison across numeric types coerces
+/// int64 to double; comparing a string with a number is always unequal.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  /// Accessors; calling the wrong one is a programming error (asserts).
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Numeric value as double, coercing int64. Requires a numeric type.
+  double AsNumeric() const;
+
+  /// Stable hash suitable for hash joins and group-by.
+  size_t Hash() const;
+
+  /// Debug rendering: 42, 3.5, 'abc', NULL.
+  std::string ToString() const;
+
+  /// SQL literal rendering; strings are single-quoted with '' escaping.
+  std::string ToSqlLiteral() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_VALUE_H_

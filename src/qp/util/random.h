@@ -1,0 +1,68 @@
+#ifndef QP_UTIL_RANDOM_H_
+#define QP_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qp {
+
+/// Deterministic 64-bit PRNG (xoshiro256++), seeded via SplitMix64.
+/// Used everywhere randomness is needed so data generation, workloads and
+/// benchmarks are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so there is no modulo bias.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integers over [0, n). Rank 0 is the most popular item;
+/// probability of rank k is proportional to 1 / (k+1)^theta. Sampling is
+/// O(log n) via binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1. `theta` = 0 degenerates to uniform.
+  ZipfDistribution(uint64_t n, double theta);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace qp
+
+#endif  // QP_UTIL_RANDOM_H_

@@ -1,0 +1,32 @@
+#ifndef QP_UTIL_STRING_UTIL_H_
+#define QP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qp {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a<sep>b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`. Empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with up to `precision` significant digits, trimming
+/// trailing zeros ("0.9", "0.72", "1").
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace qp
+
+#endif  // QP_UTIL_STRING_UTIL_H_

@@ -1,0 +1,132 @@
+#include "common/test_util.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace qp {
+namespace testing_util {
+namespace {
+
+bool EvalCondition(
+    const ConditionPtr& condition,
+    const std::function<const Value&(const std::string&, const std::string&)>&
+        get) {
+  if (condition == nullptr) return true;
+  switch (condition->kind()) {
+    case ConditionNode::Kind::kAtom: {
+      const AtomicCondition& atom = condition->atom();
+      if (atom.is_selection()) {
+        return get(atom.var(), atom.column()) == atom.value();
+      }
+      if (atom.is_near()) {
+        return atom.Satisfaction(get(atom.var(), atom.column())) > 0.0;
+      }
+      return get(atom.left_var(), atom.left_column()) ==
+             get(atom.right_var(), atom.right_column());
+    }
+    case ConditionNode::Kind::kAnd:
+      for (const auto& child : condition->children()) {
+        if (!EvalCondition(child, get)) return false;
+      }
+      return true;
+    case ConditionNode::Kind::kOr:
+      for (const auto& child : condition->children()) {
+        if (EvalCondition(child, get)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Row> ReferenceEvaluate(const Database& db,
+                                   const SelectQuery& query) {
+  std::vector<const Table*> tables;
+  for (const TupleVariable& var : query.from()) {
+    tables.push_back(db.GetTable(var.table).value());
+  }
+
+  std::vector<Row> out;
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  std::vector<size_t> odometer(tables.size(), 0);
+
+  // Any empty table empties the product.
+  for (const Table* table : tables) {
+    if (table->num_rows() == 0) return out;
+  }
+
+  auto get = [&](const std::string& alias,
+                 const std::string& column) -> const Value& {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (query.from()[i].alias == alias) {
+        size_t col = *tables[i]->schema().ColumnIndex(column);
+        return tables[i]->At(static_cast<RowId>(odometer[i]), col);
+      }
+    }
+    static const Value kNull;
+    return kNull;
+  };
+
+  for (;;) {
+    if (EvalCondition(query.where(), get)) {
+      Row row;
+      for (const auto& item : query.projections()) {
+        row.push_back(get(item.var, item.column));
+      }
+      if (!query.distinct() || seen.insert(row).second) {
+        out.push_back(std::move(row));
+      }
+    }
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < odometer.size()) {
+      if (++odometer[i] < tables[i]->num_rows()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == odometer.size()) break;
+  }
+  return out;
+}
+
+bool SameRows(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const Row& row) {
+    std::string k;
+    for (const Value& v : row) {
+      k += v.ToString();
+      k += '\x1f';
+    }
+    return k;
+  };
+  std::vector<std::string> ka;
+  std::vector<std::string> kb;
+  for (const Row& row : a) ka.push_back(key(row));
+  for (const Row& row : b) kb.push_back(key(row));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+std::string RowsToString(const std::vector<Row>& rows) {
+  std::vector<std::string> lines;
+  for (const Row& row : rows) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += " | ";
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace qp

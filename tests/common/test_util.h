@@ -1,0 +1,56 @@
+#ifndef QP_TESTS_COMMON_TEST_UTIL_H_
+#define QP_TESTS_COMMON_TEST_UTIL_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/exec/result.h"
+#include "qp/query/query.h"
+#include "qp/relational/database.h"
+#include "qp/util/status.h"
+
+namespace qp {
+namespace testing_util {
+
+#define QP_ASSERT_OK(expr)                                     \
+  do {                                                         \
+    const ::qp::Status qp_test_status = (expr);                \
+    ASSERT_TRUE(qp_test_status.ok()) << qp_test_status;        \
+  } while (0)
+
+#define QP_EXPECT_OK(expr)                                     \
+  do {                                                         \
+    const ::qp::Status qp_test_status = (expr);                \
+    EXPECT_TRUE(qp_test_status.ok()) << qp_test_status;        \
+  } while (0)
+
+/// Asserts `result_expr` (a Result<T>) is OK and moves its value into
+/// `lhs`, e.g. QP_ASSERT_OK_AND_ASSIGN(Database db, Generate(...));
+#define QP_ASSERT_OK_AND_ASSIGN(lhs, result_expr)              \
+  QP_ASSERT_OK_AND_ASSIGN_IMPL(                                \
+      QP_STATUS_CONCAT(qp_test_result_, __LINE__), lhs, result_expr)
+#define QP_ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, result_expr)    \
+  auto tmp = (result_expr);                                    \
+  ASSERT_TRUE(tmp.ok()) << tmp.status();                       \
+  lhs = std::move(tmp).value()
+
+/// Reference (oracle) evaluation of a SelectQuery by enumerating the full
+/// cross product of the FROM tables and evaluating the condition tree per
+/// assignment. Exponential — only for small test databases. Returns
+/// projected rows; duplicates preserved under SQL bag semantics (distinct
+/// assignments), collapsed when `query.distinct()`.
+std::vector<Row> ReferenceEvaluate(const Database& db,
+                                   const SelectQuery& query);
+
+/// Multiset equality of row collections (order-insensitive).
+bool SameRows(const std::vector<Row>& a, const std::vector<Row>& b);
+
+/// Renders rows as sorted strings, for readable failure messages.
+std::string RowsToString(const std::vector<Row>& rows);
+
+}  // namespace testing_util
+}  // namespace qp
+
+#endif  // QP_TESTS_COMMON_TEST_UTIL_H_

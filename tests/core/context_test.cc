@@ -1,0 +1,84 @@
+#include "qp/core/context.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+
+namespace qp {
+namespace {
+
+TEST(ContextTest, DeviceClassesScaleK) {
+  QueryContext phone{QueryContext::Device::kPhone, {}, {}};
+  QueryContext tablet{QueryContext::Device::kTablet, {}, {}};
+  QueryContext desk{QueryContext::Device::kWorkstation, {}, {}};
+
+  EXPECT_DOUBLE_EQ(DeriveOptions(phone).criterion.threshold(), 3);
+  EXPECT_DOUBLE_EQ(DeriveOptions(tablet).criterion.threshold(), 10);
+  EXPECT_DOUBLE_EQ(DeriveOptions(desk).criterion.threshold(), 25);
+  EXPECT_EQ(DeriveOptions(phone).top_n, 10u);
+  EXPECT_EQ(DeriveOptions(tablet).top_n, 25u);
+  EXPECT_EQ(DeriveOptions(desk).top_n, 0u);
+}
+
+TEST(ContextTest, LatencyBudgetHalvesK) {
+  QueryContext slow{QueryContext::Device::kWorkstation, 40.0, {}};
+  EXPECT_DOUBLE_EQ(DeriveOptions(slow).criterion.threshold(), 12);
+  QueryContext phone{QueryContext::Device::kPhone, 10.0, {}};
+  EXPECT_DOUBLE_EQ(DeriveOptions(phone).criterion.threshold(), 1);
+  QueryContext relaxed{QueryContext::Device::kWorkstation, 500.0, {}};
+  EXPECT_DOUBLE_EQ(DeriveOptions(relaxed).criterion.threshold(), 25);
+}
+
+TEST(ContextTest, LowBandwidthCapsDelivery) {
+  QueryContext thin{QueryContext::Device::kWorkstation, {}, 128.0};
+  EXPECT_EQ(DeriveOptions(thin).top_n, 10u);
+  QueryContext thin_tablet{QueryContext::Device::kTablet, {}, 64.0};
+  EXPECT_EQ(DeriveOptions(thin_tablet).top_n, 10u);
+  QueryContext broadband{QueryContext::Device::kWorkstation, {}, 10000.0};
+  EXPECT_EQ(DeriveOptions(broadband).top_n, 0u);
+}
+
+TEST(ContextTest, BasePreservedForUntouchedFields) {
+  PersonalizationOptions base;
+  base.integration.min_satisfied = 3;
+  base.integration.negative_mode = NegativeMode::kVeto;
+  base.max_negative = 7;
+  base.approach = IntegrationApproach::kSingleQuery;
+  QueryContext phone{QueryContext::Device::kPhone, {}, {}};
+  PersonalizationOptions derived = DeriveOptions(phone, base);
+  EXPECT_EQ(derived.integration.min_satisfied, 3u);
+  EXPECT_EQ(derived.integration.negative_mode, NegativeMode::kVeto);
+  EXPECT_EQ(derived.max_negative, 7u);
+  EXPECT_EQ(derived.approach, IntegrationApproach::kSingleQuery);
+}
+
+TEST(ContextTest, EndToEndPhoneVersusWorkstation) {
+  Schema schema = MovieSchema();
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  auto graph = PersonalizationGraph::Build(&schema, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+
+  QueryContext phone{QueryContext::Device::kPhone, {}, {}};
+  PersonalizationOptions base;
+  base.integration.min_satisfied = 1;
+  PersonalizationOutcome phone_outcome;
+  auto phone_result = personalizer.PersonalizeAndExecute(
+      TonightQuery(), DeriveOptions(phone, base), *db, &phone_outcome);
+  ASSERT_TRUE(phone_result.ok()) << phone_result.status();
+  EXPECT_LE(phone_outcome.selected.size(), 3u);
+
+  QueryContext desk{QueryContext::Device::kWorkstation, {}, {}};
+  PersonalizationOutcome desk_outcome;
+  auto desk_result = personalizer.PersonalizeAndExecute(
+      TonightQuery(), DeriveOptions(desk, base), *db, &desk_outcome);
+  ASSERT_TRUE(desk_result.ok());
+  // The workstation considers more preferences than the phone.
+  EXPECT_GT(desk_outcome.selected.size(), phone_outcome.selected.size());
+  EXPECT_GE(desk_result->num_rows(), phone_result->num_rows());
+}
+
+}  // namespace
+}  // namespace qp

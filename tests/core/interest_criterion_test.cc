@@ -1,0 +1,96 @@
+#include "qp/core/interest_criterion.h"
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+TEST(CriterionStateTest, Accumulates) {
+  CriterionState state;
+  EXPECT_EQ(state.count, 0u);
+  EXPECT_DOUBLE_EQ(state.DisjunctiveDegree(), 0.0);
+  EXPECT_DOUBLE_EQ(state.ConjunctiveDegree(), 0.0);
+  state.Add(0.8);
+  state.Add(0.6);
+  EXPECT_EQ(state.count, 2u);
+  EXPECT_DOUBLE_EQ(state.DisjunctiveDegree(), 0.7);
+  EXPECT_NEAR(state.ConjunctiveDegree(), 1 - 0.2 * 0.4, 1e-12);
+}
+
+TEST(TopCountTest, AcceptsUpToR) {
+  InterestCriterion c = InterestCriterion::TopCount(2);
+  CriterionState state;
+  EXPECT_TRUE(c.Accepts(state, 0.9));
+  state.Add(0.9);
+  EXPECT_TRUE(c.Accepts(state, 0.5));
+  state.Add(0.5);
+  EXPECT_FALSE(c.Accepts(state, 0.99));  // Independent of the degree.
+}
+
+TEST(TopCountTest, ZeroSelectsNothing) {
+  InterestCriterion c = InterestCriterion::TopCount(0);
+  CriterionState state;
+  EXPECT_FALSE(c.Accepts(state, 1.0));
+}
+
+TEST(MinDegreeTest, StrictThreshold) {
+  InterestCriterion c = InterestCriterion::MinDegree(0.6);
+  CriterionState state;
+  EXPECT_TRUE(c.Accepts(state, 0.61));
+  EXPECT_FALSE(c.Accepts(state, 0.6));  // Strictly greater, per Table 1.
+  EXPECT_FALSE(c.Accepts(state, 0.59));
+  // Unbounded in count.
+  for (int i = 0; i < 100; ++i) state.Add(0.9);
+  EXPECT_TRUE(c.Accepts(state, 0.7));
+}
+
+TEST(DisjunctiveAboveTest, KeepsAverageAboveThreshold) {
+  InterestCriterion c = InterestCriterion::DisjunctiveAbove(0.5);
+  CriterionState state;
+  EXPECT_TRUE(c.Accepts(state, 0.9));   // avg {0.9} = 0.9.
+  state.Add(0.9);
+  EXPECT_TRUE(c.Accepts(state, 0.2));   // avg {0.9, 0.2} = 0.55.
+  EXPECT_FALSE(c.Accepts(state, 0.05)); // avg {0.9, 0.05} = 0.475.
+}
+
+TEST(DisjunctiveAboveTest, MonotoneInCandidateDegree) {
+  // Required by the selection algorithm's expansion pruning.
+  InterestCriterion c = InterestCriterion::DisjunctiveAbove(0.4);
+  CriterionState state;
+  state.Add(0.5);
+  // If it accepts d it must accept any d' > d.
+  for (double d = 0.0; d <= 1.0; d += 0.05) {
+    if (c.Accepts(state, d)) {
+      EXPECT_TRUE(c.Accepts(state, std::min(1.0, d + 0.1)));
+    }
+  }
+}
+
+TEST(ConjunctiveUntilTest, StopsOnceConjunctionExceeds) {
+  InterestCriterion c = InterestCriterion::ConjunctiveUntil(0.9);
+  CriterionState state;
+  EXPECT_TRUE(c.Accepts(state, 0.8));
+  state.Add(0.8);  // Conjunction 0.8 <= 0.9: keep going.
+  EXPECT_TRUE(c.Accepts(state, 0.7));
+  state.Add(0.7);  // Conjunction 1-0.2*0.3 = 0.94 > 0.9: stop.
+  EXPECT_FALSE(c.Accepts(state, 0.99));
+}
+
+TEST(CriterionTest, ToString) {
+  EXPECT_EQ(InterestCriterion::TopCount(5).ToString(), "top-count(5)");
+  EXPECT_EQ(InterestCriterion::MinDegree(0.6).ToString(),
+            "min-degree(0.6)");
+  EXPECT_EQ(InterestCriterion::DisjunctiveAbove(0.5).ToString(),
+            "disjunctive-above(0.5)");
+  EXPECT_EQ(InterestCriterion::ConjunctiveUntil(0.9).ToString(),
+            "conjunctive-until(0.9)");
+}
+
+TEST(CriterionTest, KindAndThresholdAccessors) {
+  InterestCriterion c = InterestCriterion::MinDegree(0.25);
+  EXPECT_EQ(c.kind(), InterestCriterion::Kind::kMinDegree);
+  EXPECT_DOUBLE_EQ(c.threshold(), 0.25);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,192 @@
+#include "qp/core/personalizer.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/query/sql_writer.h"
+
+namespace qp {
+namespace {
+
+class PersonalizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    auto db = BuildPaperDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(db).value());
+
+    auto julie = PersonalizationGraph::Build(&schema_, JulieProfile());
+    ASSERT_TRUE(julie.ok());
+    julie_graph_ =
+        std::make_unique<PersonalizationGraph>(std::move(julie).value());
+
+    auto rob = PersonalizationGraph::Build(&schema_, RobProfile());
+    ASSERT_TRUE(rob.ok());
+    rob_graph_ =
+        std::make_unique<PersonalizationGraph>(std::move(rob).value());
+  }
+
+  PersonalizationOptions JulieOptions() {
+    PersonalizationOptions options;
+    options.criterion = InterestCriterion::TopCount(3);
+    options.integration.min_satisfied = 2;
+    return options;
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PersonalizationGraph> julie_graph_;
+  std::unique_ptr<PersonalizationGraph> rob_graph_;
+};
+
+TEST_F(PersonalizerTest, JulieEndToEndMq) {
+  Personalizer personalizer(julie_graph_.get());
+  PersonalizationOutcome outcome;
+  auto result = personalizer.PersonalizeAndExecute(
+      TonightQuery(), JulieOptions(), *db_, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  ASSERT_EQ(outcome.selected.size(), 3u);
+  ASSERT_TRUE(outcome.mq.has_value());
+  EXPECT_FALSE(outcome.sq.has_value());
+
+  ASSERT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->row(0)[0], Value::Str("The Quiet Comedy"));
+  EXPECT_TRUE(result->Contains({Value::Str("Night Chase")}));
+  EXPECT_TRUE(result->Contains({Value::Str("Dream Theatre")}));
+  EXPECT_FALSE(result->Contains({Value::Str("Laugh Lines")}));
+  EXPECT_FALSE(result->Contains({Value::Str("Asian Cuisine Stories")}));
+}
+
+TEST_F(PersonalizerTest, JulieEndToEndSq) {
+  Personalizer personalizer(julie_graph_.get());
+  PersonalizationOptions options = JulieOptions();
+  options.approach = IntegrationApproach::kSingleQuery;
+  PersonalizationOutcome outcome;
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(), options,
+                                                   *db_, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(outcome.sq.has_value());
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+TEST_F(PersonalizerTest, RobGetsDifferentAnswers) {
+  // The motivating example: the same question, different users,
+  // different answers.
+  Personalizer personalizer(rob_graph_.get());
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(2);
+  options.integration.min_satisfied = 1;
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(), options,
+                                                   *db_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Rob: sci-fi (Space Odyssey) or J. Roberts (Space Odyssey, Dream
+  // Theatre).
+  EXPECT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->row(0)[0], Value::Str("Space Odyssey"));
+  EXPECT_TRUE(result->Contains({Value::Str("Dream Theatre")}));
+}
+
+TEST_F(PersonalizerTest, EmptyProfileReturnsOriginalResults) {
+  UserProfile empty;
+  auto graph = PersonalizationGraph::Build(&schema_, empty);
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+  PersonalizationOptions options;
+  PersonalizationOutcome outcome;
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(), options,
+                                                   *db_, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(outcome.selected.empty());
+  EXPECT_EQ(result->num_rows(), 6u);  // All of tonight's movies.
+}
+
+TEST_F(PersonalizerTest, OutcomeCarriesTimings) {
+  Personalizer personalizer(julie_graph_.get());
+  auto outcome = personalizer.Personalize(TonightQuery(), JulieOptions());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->selection_millis, 0.0);
+  EXPECT_GE(outcome->integration_millis, 0.0);
+  EXPECT_GT(outcome->selection_stats.paths_pushed, 0u);
+}
+
+TEST_F(PersonalizerTest, PersonalizedResultIsSubsetOfOriginal) {
+  Personalizer personalizer(julie_graph_.get());
+  Executor executor(db_.get());
+  auto original = executor.Execute(TonightQuery());
+  ASSERT_TRUE(original.ok());
+
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(),
+                                                   JulieOptions(), *db_);
+  ASSERT_TRUE(result.ok());
+  for (const Row& row : result->rows()) {
+    EXPECT_TRUE(original->Contains(row));
+  }
+  EXPECT_LE(result->num_rows(), original->num_rows());
+}
+
+TEST_F(PersonalizerTest, MinDegreeVariant) {
+  Personalizer personalizer(julie_graph_.get());
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(3);
+  options.integration.min_degree = 0.9;
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(), options,
+                                                   *db_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (double degree : result->degrees()) {
+    EXPECT_GT(degree, 0.9);
+  }
+}
+
+TEST_F(PersonalizerTest, MandatoryByDegreeThreshold) {
+  // Paper Section 4: "a criterion for M could be that preferences with a
+  // degree of interest equal to 1 are considered mandatory". Julie's top
+  // tonight preferences are 0.81 / 0.8 / 0.72 — with threshold 0.8 the
+  // first two become mandatory.
+  Personalizer personalizer(julie_graph_.get());
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(3);
+  options.integration.min_satisfied = 1;
+  options.mandatory_min_doi = 0.8;
+  PersonalizationOutcome outcome;
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(), options,
+                                                   *db_, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(outcome.mq.has_value());
+  // K - M = 1 optional preference -> a single partial query.
+  EXPECT_EQ(outcome.mq->parts().size(), 1u);
+  // Comedy AND Lynch mandatory, Kidman optional (L=1): only The Quiet
+  // Comedy satisfies comedy+lynch (and happens to satisfy kidman too).
+  EXPECT_EQ(result->num_rows(), 1u);
+  EXPECT_TRUE(result->Contains({Value::Str("The Quiet Comedy")}));
+}
+
+TEST_F(PersonalizerTest, MandatoryThresholdAboveEverythingIsOriginalFilter) {
+  // Threshold higher than all degrees: M = 0, plain L-of-K behaviour.
+  Personalizer personalizer(julie_graph_.get());
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(3);
+  options.integration.min_satisfied = 2;
+  options.mandatory_min_doi = 0.99;
+  auto result =
+      personalizer.PersonalizeAndExecute(TonightQuery(), options, *db_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 3u);  // Same as the plain K=3/L=2 run.
+}
+
+TEST_F(PersonalizerTest, MqSqlMatchesPaperShape) {
+  Personalizer personalizer(julie_graph_.get());
+  auto outcome = personalizer.Personalize(TonightQuery(), JulieOptions());
+  ASSERT_TRUE(outcome.ok());
+  std::string sql = ToSql(*outcome->mq);
+  EXPECT_NE(sql.find("union all"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("group by MV.title"), std::string::npos) << sql;
+  EXPECT_NE(sql.find(".genre='comedy'"), std::string::npos) << sql;
+  EXPECT_NE(sql.find(".name='N. Kidman'"), std::string::npos) << sql;
+  EXPECT_NE(sql.find(".name='D. Lynch'"), std::string::npos) << sql;
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,94 @@
+#include "qp/core/query_graph.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/query/sql_parser.h"
+
+namespace qp {
+namespace {
+
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override { schema_ = MovieSchema(); }
+
+  QueryGraph Build(const std::string& sql) {
+    auto query = ParseSelectQuery(sql);
+    EXPECT_TRUE(query.ok()) << query.status();
+    auto graph = QueryGraph::Build(*query, schema_);
+    EXPECT_TRUE(graph.ok()) << graph.status();
+    return std::move(graph).value();
+  }
+
+  Schema schema_;
+};
+
+TEST_F(QueryGraphTest, VariablesAndTables) {
+  QueryGraph g = Build(
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid");
+  EXPECT_EQ(g.variables().size(), 2u);
+  EXPECT_TRUE(g.UsesTable("MOVIE"));
+  EXPECT_TRUE(g.UsesTable("PLAY"));
+  EXPECT_FALSE(g.UsesTable("GENRE"));
+}
+
+TEST_F(QueryGraphTest, SelectionsPerVariable) {
+  QueryGraph g = Build(
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid and "
+      "PL.date='2/7/2003' and MV.year=1999");
+  ASSERT_EQ(g.SelectionsOn("PL").size(), 1u);
+  EXPECT_EQ(g.SelectionsOn("PL")[0].first, "date");
+  EXPECT_EQ(g.SelectionsOn("PL")[0].second, Value::Str("2/7/2003"));
+  ASSERT_EQ(g.SelectionsOn("MV").size(), 1u);
+  EXPECT_TRUE(g.SelectionsOn("ZZ").empty());
+}
+
+TEST_F(QueryGraphTest, FollowJoinBothDirections) {
+  QueryGraph g = Build(
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid");
+  // From MV following MOVIE.mid=PLAY.mid reaches PL...
+  auto to_pl = g.FollowJoin("MV", {"MOVIE", "mid"}, {"PLAY", "mid"});
+  ASSERT_TRUE(to_pl.has_value());
+  EXPECT_EQ(*to_pl, "PL");
+  // ...and the reverse direction reaches MV, regardless of the atom's
+  // left/right orientation in the SQL text.
+  auto to_mv = g.FollowJoin("PL", {"PLAY", "mid"}, {"MOVIE", "mid"});
+  ASSERT_TRUE(to_mv.has_value());
+  EXPECT_EQ(*to_mv, "MV");
+}
+
+TEST_F(QueryGraphTest, FollowJoinMissing) {
+  QueryGraph g = Build(
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid");
+  EXPECT_FALSE(
+      g.FollowJoin("MV", {"MOVIE", "mid"}, {"GENRE", "mid"}).has_value());
+  EXPECT_FALSE(
+      g.FollowJoin("PL", {"PLAY", "tid"}, {"THEATRE", "tid"}).has_value());
+}
+
+TEST_F(QueryGraphTest, ReplicatedRelations) {
+  QueryGraph g = Build(
+      "select A1.name from ACTOR A1, ACTOR A2 where A1.name='x' and "
+      "A2.name='y'");
+  EXPECT_EQ(g.variables().size(), 2u);
+  EXPECT_TRUE(g.UsesTable("ACTOR"));
+  EXPECT_EQ(g.SelectionsOn("A1").size(), 1u);
+  EXPECT_EQ(g.SelectionsOn("A2").size(), 1u);
+}
+
+TEST_F(QueryGraphTest, InvalidQueryRejected) {
+  auto query = ParseSelectQuery("select MV.title from MOVIE MV where "
+                                "MV.nope=1");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(QueryGraph::Build(*query, schema_).ok());
+}
+
+TEST_F(QueryGraphTest, NoWhereClause) {
+  QueryGraph g = Build("select MV.title from MOVIE MV");
+  EXPECT_TRUE(g.SelectionsOn("MV").empty());
+  EXPECT_TRUE(g.UsesTable("MOVIE"));
+}
+
+}  // namespace
+}  // namespace qp

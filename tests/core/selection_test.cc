@@ -1,0 +1,222 @@
+#include "qp/core/selection.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/data/workload.h"
+#include "qp/query/sql_parser.h"
+
+namespace qp {
+namespace {
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<PersonalizationGraph>(std::move(graph).value());
+    selector_ = std::make_unique<PreferenceSelector>(graph_.get());
+  }
+
+  Schema schema_;
+  std::unique_ptr<PersonalizationGraph> graph_;
+  std::unique_ptr<PreferenceSelector> selector_;
+};
+
+TEST_F(SelectionTest, PaperTop3ForTonightQuery) {
+  // Section 5's worked result: comedy, D. Lynch, N. Kidman.
+  auto selected =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(3));
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  ASSERT_EQ(selected->size(), 3u);
+
+  EXPECT_EQ((*selected)[0].ConditionString(),
+            "MOVIE.mid=GENRE.mid and GENRE.genre='comedy'");
+  EXPECT_NEAR((*selected)[0].doi(), 0.81, 1e-12);
+
+  EXPECT_EQ((*selected)[1].ConditionString(),
+            "MOVIE.mid=DIRECTED.mid and DIRECTED.did=DIRECTOR.did and "
+            "DIRECTOR.name='D. Lynch'");
+  EXPECT_NEAR((*selected)[1].doi(), 0.8, 1e-12);
+
+  EXPECT_EQ((*selected)[2].ConditionString(),
+            "MOVIE.mid=CAST.mid and CAST.aid=ACTOR.aid and "
+            "ACTOR.name='N. Kidman'");
+  EXPECT_NEAR((*selected)[2].doi(), 0.72, 1e-12);
+}
+
+TEST_F(SelectionTest, DegreesNonIncreasing) {
+  auto selected =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(10));
+  ASSERT_TRUE(selected.ok());
+  for (size_t i = 1; i < selected->size(); ++i) {
+    EXPECT_GE((*selected)[i - 1].doi(), (*selected)[i].doi());
+  }
+}
+
+TEST_F(SelectionTest, AllPathsAnchoredAtQueryVariables) {
+  auto selected =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(20));
+  ASSERT_TRUE(selected.ok());
+  for (const PreferencePath& path : *selected) {
+    EXPECT_TRUE(path.anchor_alias() == "MV" || path.anchor_alias() == "PL");
+    // Expansion never re-enters the query's relations.
+    for (const JoinEdge& join : path.joins()) {
+      EXPECT_NE(join.to.table, "MOVIE");
+      EXPECT_NE(join.to.table, "PLAY");
+    }
+  }
+}
+
+TEST_F(SelectionTest, MinDegreeCriterion) {
+  auto selected = selector_->Select(TonightQuery(),
+                                    InterestCriterion::MinDegree(0.7));
+  ASSERT_TRUE(selected.ok());
+  // Degrees above 0.7: comedy 0.81, lynch 0.8, kidman 0.72. The downtown
+  // path (0.7) fails the strict inequality.
+  ASSERT_EQ(selected->size(), 3u);
+  for (const PreferencePath& path : *selected) {
+    EXPECT_GT(path.doi(), 0.7);
+  }
+}
+
+TEST_F(SelectionTest, TopCountZeroSelectsNothing) {
+  auto selected =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(0));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+}
+
+TEST_F(SelectionTest, LargeKExhaustsRelatedPreferences) {
+  auto selected =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(1000));
+  ASSERT_TRUE(selected.ok());
+  // From MV: 3 genre + 2 director + 3 actor transitive selections;
+  // from PL: 1 theatre region. Total 9.
+  EXPECT_EQ(selected->size(), 9u);
+}
+
+TEST_F(SelectionTest, ConflictingPreferenceExcluded) {
+  // A query already asking for uptown theatres: Julie's downtown
+  // preference must not be selected.
+  auto query = ParseSelectQuery(
+      "select PL.date from PLAY PL, THEATRE TH where PL.tid=TH.tid and "
+      "TH.region='uptown'");
+  ASSERT_TRUE(query.ok());
+  auto selected =
+      selector_->Select(*query, InterestCriterion::TopCount(100));
+  ASSERT_TRUE(selected.ok());
+  for (const PreferencePath& path : *selected) {
+    EXPECT_EQ(path.selection()->value == Value::Str("downtown") &&
+                  path.joins().empty(),
+              false);
+    if (path.selection()->attribute.column == "region") {
+      ADD_FAILURE() << "conflicting region preference selected: "
+                    << path.ToString();
+    }
+  }
+}
+
+TEST_F(SelectionTest, QueryWithNoRelatedPreferences) {
+  UserProfile empty;
+  auto graph = PersonalizationGraph::Build(&schema_, empty);
+  ASSERT_TRUE(graph.ok());
+  PreferenceSelector selector(&*graph);
+  auto selected =
+      selector.Select(TonightQuery(), InterestCriterion::TopCount(5));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+}
+
+TEST_F(SelectionTest, StatsAreTracked) {
+  SelectionStats stats;
+  auto selected = selector_->Select(TonightQuery(),
+                                    InterestCriterion::TopCount(3), &stats);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_GT(stats.paths_pushed, 0u);
+  EXPECT_GT(stats.paths_popped, 0u);
+  EXPECT_GT(stats.max_queue_size, 0u);
+}
+
+TEST_F(SelectionTest, MatchesBruteForceOnPaperExample) {
+  for (size_t k : {1u, 2u, 3u, 5u, 9u, 20u}) {
+    auto fast =
+        selector_->Select(TonightQuery(), InterestCriterion::TopCount(k));
+    auto slow = selector_->SelectBruteForce(TonightQuery(),
+                                            InterestCriterion::TopCount(k));
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    ASSERT_EQ(fast->size(), slow->size()) << "K=" << k;
+    for (size_t i = 0; i < fast->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*fast)[i].doi(), (*slow)[i].doi());
+      EXPECT_TRUE((*fast)[i].SameShape((*slow)[i]))
+          << "K=" << k << " i=" << i << "\nfast: " << (*fast)[i].ToString()
+          << "\nslow: " << (*slow)[i].ToString();
+    }
+  }
+}
+
+/// Completeness (paper Theorems 1-2) on random profiles and random
+/// queries: the best-first algorithm must return exactly what exhaustive
+/// enumeration + greedy criterion application returns.
+class SelectionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionPropertyTest, AgreesWithBruteForce) {
+  Schema schema = MovieSchema();
+  MovieDbConfig config;
+  config.num_movies = 50;
+  config.num_actors = 25;
+  config.num_directors = 10;
+  config.num_theatres = 5;
+  config.seed = GetParam();
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  auto pools = MovieCandidatePools(*db);
+  ASSERT_TRUE(pools.ok());
+  ProfileGenerator profiles(&schema, std::move(pools).value());
+  WorkloadGenerator workload(&*db, GetParam() * 7 + 1);
+  Rng rng(GetParam());
+
+  for (int trial = 0; trial < 10; ++trial) {
+    ProfileGeneratorOptions options;
+    options.num_selections = 10 + rng.Below(40);
+    // Mix in soft preferences: the algorithm must treat them like any
+    // other selection edge.
+    options.near_fraction = 0.3;
+    auto profile = profiles.Generate(options, &rng);
+    ASSERT_TRUE(profile.ok());
+    auto graph = PersonalizationGraph::Build(&schema, *profile);
+    ASSERT_TRUE(graph.ok());
+    PreferenceSelector selector(&*graph);
+
+    auto query = workload.RandomQuery();
+    ASSERT_TRUE(query.ok());
+
+    const InterestCriterion criteria[] = {
+        InterestCriterion::TopCount(1 + rng.Below(15)),
+        InterestCriterion::MinDegree(rng.NextDouble()),
+        InterestCriterion::DisjunctiveAbove(0.3 + 0.4 * rng.NextDouble()),
+    };
+    for (const InterestCriterion& criterion : criteria) {
+      auto fast = selector.Select(*query, criterion);
+      auto slow = selector.SelectBruteForce(*query, criterion);
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      ASSERT_TRUE(slow.ok()) << slow.status();
+      ASSERT_EQ(fast->size(), slow->size())
+          << criterion.ToString() << " trial " << trial;
+      for (size_t i = 0; i < fast->size(); ++i) {
+        // Degrees must agree exactly; shapes may differ only on ties.
+        EXPECT_DOUBLE_EQ((*fast)[i].doi(), (*slow)[i].doi())
+            << criterion.ToString() << " trial " << trial << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionPropertyTest,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+}  // namespace
+}  // namespace qp

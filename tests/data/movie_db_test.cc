@@ -1,0 +1,121 @@
+#include "qp/data/movie_db.h"
+
+#include <unordered_set>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+MovieDbConfig SmallConfig(uint64_t seed = 42) {
+  MovieDbConfig config;
+  config.num_movies = 100;
+  config.num_actors = 40;
+  config.num_directors = 15;
+  config.num_theatres = 8;
+  config.num_days = 4;
+  config.plays_per_theatre_per_day = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MovieDbTest, GeneratesConfiguredCardinalities) {
+  auto db = GenerateMovieDatabase(SmallConfig());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->GetTable("MOVIE").value()->num_rows(), 100u);
+  EXPECT_EQ(db->GetTable("ACTOR").value()->num_rows(), 40u);
+  EXPECT_EQ(db->GetTable("DIRECTOR").value()->num_rows(), 15u);
+  EXPECT_EQ(db->GetTable("THEATRE").value()->num_rows(), 8u);
+  EXPECT_EQ(db->GetTable("PLAY").value()->num_rows(), 8u * 4u * 2u);
+  EXPECT_EQ(db->GetTable("DIRECTED").value()->num_rows(), 100u);
+  // Every movie has at least one genre and at least one cast entry.
+  EXPECT_GE(db->GetTable("GENRE").value()->num_rows(), 100u);
+  EXPECT_GE(db->GetTable("CAST").value()->num_rows(), 100u);
+}
+
+TEST(MovieDbTest, ForeignKeyIntegrity) {
+  auto db = GenerateMovieDatabase(SmallConfig());
+  ASSERT_TRUE(db.ok());
+  auto collect_keys = [&](const char* table, const char* column) {
+    const Table* t = db->GetTable(table).value();
+    size_t col = *t->schema().ColumnIndex(column);
+    std::unordered_set<int64_t> keys;
+    for (const Row& row : t->rows()) keys.insert(row[col].as_int());
+    return keys;
+  };
+  auto check_fk = [&](const char* child, const char* fk_col,
+                      const char* parent, const char* pk_col) {
+    std::unordered_set<int64_t> parents = collect_keys(parent, pk_col);
+    const Table* t = db->GetTable(child).value();
+    size_t col = *t->schema().ColumnIndex(fk_col);
+    for (const Row& row : t->rows()) {
+      EXPECT_TRUE(parents.contains(row[col].as_int()))
+          << child << "." << fk_col << " dangling: " << row[col].ToString();
+    }
+  };
+  check_fk("PLAY", "tid", "THEATRE", "tid");
+  check_fk("PLAY", "mid", "MOVIE", "mid");
+  check_fk("CAST", "mid", "MOVIE", "mid");
+  check_fk("CAST", "aid", "ACTOR", "aid");
+  check_fk("DIRECTED", "mid", "MOVIE", "mid");
+  check_fk("DIRECTED", "did", "DIRECTOR", "did");
+  check_fk("GENRE", "mid", "MOVIE", "mid");
+}
+
+TEST(MovieDbTest, DeterministicInSeed) {
+  auto a = GenerateMovieDatabase(SmallConfig(7));
+  auto b = GenerateMovieDatabase(SmallConfig(7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->TotalRows(), b->TotalRows());
+  const Table* ga = a->GetTable("GENRE").value();
+  const Table* gb = b->GetTable("GENRE").value();
+  ASSERT_EQ(ga->num_rows(), gb->num_rows());
+  for (RowId i = 0; i < ga->num_rows(); ++i) {
+    EXPECT_EQ(ga->row(i)[1], gb->row(i)[1]);
+  }
+}
+
+TEST(MovieDbTest, DifferentSeedsDiffer) {
+  auto a = GenerateMovieDatabase(SmallConfig(1));
+  auto b = GenerateMovieDatabase(SmallConfig(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Table* ga = a->GetTable("GENRE").value();
+  const Table* gb = b->GetTable("GENRE").value();
+  bool any_diff = ga->num_rows() != gb->num_rows();
+  for (RowId i = 0; !any_diff && i < ga->num_rows(); ++i) {
+    any_diff = !(ga->row(i)[1] == gb->row(i)[1]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MovieDbTest, GenrePopularityIsSkewed) {
+  auto db = GenerateMovieDatabase(SmallConfig());
+  ASSERT_TRUE(db.ok());
+  const Table* genre = db->GetTable("GENRE").value();
+  size_t top = 0;
+  size_t rare = 0;
+  for (const Row& row : genre->rows()) {
+    if (row[1] == Value::Str(GenreName(0))) ++top;
+    if (row[1] == Value::Str(GenreName(14))) ++rare;
+  }
+  EXPECT_GT(top, rare);
+}
+
+TEST(MovieDbTest, ValueSpellingHelpers) {
+  EXPECT_EQ(GenreName(0), "comedy");
+  EXPECT_EQ(GenreName(2), "sci-fi");
+  EXPECT_EQ(RegionName(0), "downtown");
+  EXPECT_EQ(ActorName(3), "Actor #3");
+  EXPECT_EQ(DirectorName(1), "Director #1");
+  EXPECT_EQ(MovieTitle(9), "Movie #9");
+  EXPECT_EQ(TheatreName(2), "Theatre #2");
+  EXPECT_EQ(PlayDate(0), "2003-07-01");
+  EXPECT_EQ(PlayDate(9), "2003-07-10");
+}
+
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,127 @@
+#include "qp/data/workload.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/exec/executor.h"
+#include "qp/query/sql_writer.h"
+
+namespace qp {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieDbConfig config;
+    config.num_movies = 80;
+    config.num_actors = 30;
+    config.num_directors = 10;
+    config.num_theatres = 6;
+    auto db = GenerateMovieDatabase(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(db).value());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(WorkloadTest, QueriesValidateAgainstSchema) {
+  WorkloadGenerator gen(db_.get(), 1);
+  for (int i = 0; i < 50; ++i) {
+    auto query = gen.RandomQuery();
+    ASSERT_TRUE(query.ok()) << query.status();
+    QP_EXPECT_OK(query->Validate(db_->schema()));
+  }
+}
+
+TEST_F(WorkloadTest, QueriesAlwaysHaveASelection) {
+  WorkloadGenerator gen(db_.get(), 2);
+  for (int i = 0; i < 50; ++i) {
+    auto query = gen.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    ASSERT_NE(query->where(), nullptr);
+    std::vector<AtomicCondition> atoms;
+    query->where()->CollectAtoms(&atoms);
+    bool has_selection = false;
+    for (const AtomicCondition& atom : atoms) {
+      if (atom.is_selection()) has_selection = true;
+    }
+    EXPECT_TRUE(has_selection) << ToSql(*query);
+  }
+}
+
+TEST_F(WorkloadTest, JoinsConnectDeclaredSchemaJoins) {
+  WorkloadGenerator gen(db_.get(), 3);
+  for (int i = 0; i < 50; ++i) {
+    auto query = gen.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    std::vector<AtomicCondition> atoms;
+    if (query->where() != nullptr) query->where()->CollectAtoms(&atoms);
+    for (const AtomicCondition& atom : atoms) {
+      if (!atom.is_join()) continue;
+      const TupleVariable* left = query->FindVariable(atom.left_var());
+      const TupleVariable* right = query->FindVariable(atom.right_var());
+      ASSERT_NE(left, nullptr);
+      ASSERT_NE(right, nullptr);
+      EXPECT_NE(db_->schema().FindJoin({left->table, atom.left_column()},
+                                       {right->table, atom.right_column()}),
+                nullptr)
+          << ToSql(*query);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, QueriesAreExecutable) {
+  WorkloadGenerator gen(db_.get(), 4);
+  Executor executor(db_.get());
+  for (int i = 0; i < 30; ++i) {
+    auto query = gen.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    auto result = executor.Execute(*query);
+    EXPECT_TRUE(result.ok()) << result.status() << "\n" << ToSql(*query);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicInSeed) {
+  WorkloadGenerator a(db_.get(), 99);
+  WorkloadGenerator b(db_.get(), 99);
+  for (int i = 0; i < 20; ++i) {
+    auto qa = a.RandomQuery();
+    auto qb = b.RandomQuery();
+    ASSERT_TRUE(qa.ok());
+    ASSERT_TRUE(qb.ok());
+    EXPECT_EQ(ToSql(*qa), ToSql(*qb));
+  }
+}
+
+TEST_F(WorkloadTest, BatchGeneration) {
+  WorkloadGenerator gen(db_.get(), 5);
+  auto queries = gen.RandomQueries(25);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 25u);
+}
+
+TEST_F(WorkloadTest, RespectsMaxExtraRelations) {
+  WorkloadConfig config;
+  config.max_extra_relations = 0;
+  WorkloadGenerator gen(db_.get(), 6, config);
+  for (int i = 0; i < 20; ++i) {
+    auto query = gen.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(query->from().size(), 1u);
+  }
+}
+
+TEST_F(WorkloadTest, ProducesVariedBaseTables) {
+  WorkloadGenerator gen(db_.get(), 7);
+  std::unordered_set<std::string> bases;
+  for (int i = 0; i < 60; ++i) {
+    auto query = gen.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    bases.insert(query->from()[0].table);
+  }
+  EXPECT_GE(bases.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qp

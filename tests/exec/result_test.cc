@@ -1,0 +1,110 @@
+#include "qp/exec/result.h"
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+Row R(const char* s) { return {Value::Str(s)}; }
+
+TEST(RowHashTest, EqualRowsHashEqual) {
+  RowHash hash;
+  EXPECT_EQ(hash({Value::Int(1), Value::Str("a")}),
+            hash({Value::Int(1), Value::Str("a")}));
+  // Cross-type numeric equality implies equal hashes.
+  EXPECT_EQ(hash({Value::Int(2)}), hash({Value::Real(2.0)}));
+}
+
+TEST(RowEqTest, ComparesElementwise) {
+  RowEq eq;
+  EXPECT_TRUE(eq({Value::Int(1)}, {Value::Int(1)}));
+  EXPECT_FALSE(eq({Value::Int(1)}, {Value::Int(2)}));
+  EXPECT_FALSE(eq({Value::Int(1)}, {Value::Int(1), Value::Int(1)}));
+  EXPECT_TRUE(eq({}, {}));
+}
+
+TEST(ResultSetTest, BasicAccessors) {
+  ResultSet rs({"x"});
+  EXPECT_EQ(rs.columns(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(rs.num_rows(), 0u);
+  EXPECT_FALSE(rs.has_ranking());
+  rs.AddRow(R("a"));
+  EXPECT_EQ(rs.num_rows(), 1u);
+  EXPECT_TRUE(rs.Contains(R("a")));
+  EXPECT_FALSE(rs.Contains(R("b")));
+}
+
+TEST(ResultSetTest, CanonicalizeSortsByValue) {
+  ResultSet rs({"x"});
+  rs.AddRow(R("c"));
+  rs.AddRow(R("a"));
+  rs.AddRow(R("b"));
+  rs.Canonicalize();
+  EXPECT_EQ(rs.row(0), R("a"));
+  EXPECT_EQ(rs.row(1), R("b"));
+  EXPECT_EQ(rs.row(2), R("c"));
+}
+
+TEST(ResultSetTest, CanonicalizeRankedSortsByDegreeThenValue) {
+  ResultSet rs({"x"});
+  rs.AddRankedRow(R("low"), 1, 0.2);
+  rs.AddRankedRow(R("zz_high"), 3, 0.9);
+  rs.AddRankedRow(R("aa_high"), 2, 0.9);
+  rs.Canonicalize();
+  EXPECT_EQ(rs.row(0), R("aa_high"));  // Tie on degree -> value order.
+  EXPECT_EQ(rs.row(1), R("zz_high"));
+  EXPECT_EQ(rs.row(2), R("low"));
+  EXPECT_EQ(rs.counts()[0], 2u);  // Annotations permuted with the rows.
+  EXPECT_EQ(rs.counts()[1], 3u);
+  EXPECT_DOUBLE_EQ(rs.degrees()[2], 0.2);
+}
+
+TEST(ResultSetTest, SatisfactionDefaultsToOne) {
+  ResultSet rs({"x"});
+  rs.AddRow(R("a"));
+  EXPECT_FALSE(rs.has_satisfactions());
+  EXPECT_DOUBLE_EQ(rs.satisfaction(0), 1.0);
+  rs.set_satisfactions({0.25});
+  EXPECT_TRUE(rs.has_satisfactions());
+  EXPECT_DOUBLE_EQ(rs.satisfaction(0), 0.25);
+}
+
+TEST(ResultSetTest, CanonicalizePermutesSatisfactions) {
+  ResultSet rs({"x"});
+  rs.AddRow(R("b"));
+  rs.AddRow(R("a"));
+  rs.set_satisfactions({0.5, 0.9});
+  rs.Canonicalize();
+  EXPECT_EQ(rs.row(0), R("a"));
+  EXPECT_DOUBLE_EQ(rs.satisfaction(0), 0.9);
+  EXPECT_DOUBLE_EQ(rs.satisfaction(1), 0.5);
+}
+
+TEST(ResultSetTest, DebugStringFormat) {
+  ResultSet rs({"MV.title"});
+  rs.AddRankedRow(R("The Quiet Comedy"), 3, 0.9894);
+  std::string dump = rs.DebugString();
+  EXPECT_NE(dump.find("MV.title\t#prefs\tdegree"), std::string::npos);
+  EXPECT_NE(dump.find("'The Quiet Comedy'\t3\t0.9894"), std::string::npos);
+}
+
+TEST(ResultSetTest, DebugStringTruncates) {
+  ResultSet rs({"x"});
+  for (int i = 0; i < 10; ++i) rs.AddRow({Value::Int(i)});
+  std::string dump = rs.DebugString(3);
+  EXPECT_NE(dump.find("... (7 more)"), std::string::npos);
+}
+
+TEST(ResultSetTest, TruncateWithSatisfactions) {
+  ResultSet rs({"x"});
+  rs.AddRow(R("a"));
+  rs.AddRow(R("b"));
+  rs.set_satisfactions({0.1, 0.2});
+  rs.Truncate(1);
+  EXPECT_EQ(rs.num_rows(), 1u);
+  EXPECT_TRUE(rs.has_satisfactions());
+  EXPECT_DOUBLE_EQ(rs.satisfaction(0), 0.1);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,113 @@
+#include "qp/graph/personalization_graph.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+
+namespace qp {
+namespace {
+
+class PersonalizationGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override { schema_ = MovieSchema(); }
+  Schema schema_;
+};
+
+TEST_F(PersonalizationGraphTest, BuildsFromJulieProfile) {
+  UserProfile julie = JulieProfile();
+  auto graph = PersonalizationGraph::Build(&schema_, julie);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->num_join_edges(), julie.NumJoins());
+  EXPECT_EQ(graph->num_selection_edges(), julie.NumSelections());
+}
+
+TEST_F(PersonalizationGraphTest, AdjacencySortedByDegreeDesc) {
+  auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  for (const TableSchema& table : schema_.tables()) {
+    const auto& joins = graph->JoinsFrom(table.name());
+    for (size_t i = 1; i < joins.size(); ++i) {
+      EXPECT_GE(joins[i - 1].doi, joins[i].doi);
+    }
+    const auto& selections = graph->SelectionsOn(table.name());
+    for (size_t i = 1; i < selections.size(); ++i) {
+      EXPECT_GE(selections[i - 1].doi, selections[i].doi);
+    }
+  }
+}
+
+TEST_F(PersonalizationGraphTest, JoinEdgesCarrySchemaCardinality) {
+  auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  // PLAY -> MOVIE follows the FK: to-one. MOVIE -> PLAY: to-many.
+  bool found_forward = false;
+  bool found_backward = false;
+  for (const JoinEdge& edge : graph->JoinsFrom("PLAY")) {
+    if (edge.to.table == "MOVIE") {
+      EXPECT_EQ(edge.cardinality, JoinCardinality::kToOne);
+      found_forward = true;
+    }
+  }
+  for (const JoinEdge& edge : graph->JoinsFrom("MOVIE")) {
+    if (edge.to.table == "PLAY") {
+      EXPECT_EQ(edge.cardinality, JoinCardinality::kToMany);
+      found_backward = true;
+    }
+  }
+  EXPECT_TRUE(found_forward);
+  EXPECT_TRUE(found_backward);
+}
+
+TEST_F(PersonalizationGraphTest, SelectionsGroupedByTable) {
+  auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->SelectionsOn("GENRE").size(), 3u);   // comedy/thriller/
+                                                        // adventure.
+  EXPECT_EQ(graph->SelectionsOn("ACTOR").size(), 3u);
+  EXPECT_EQ(graph->SelectionsOn("DIRECTOR").size(), 2u);
+  EXPECT_EQ(graph->SelectionsOn("THEATRE").size(), 1u);
+  EXPECT_TRUE(graph->SelectionsOn("PLAY").empty());
+  EXPECT_TRUE(graph->SelectionsOn("NO_SUCH_TABLE").empty());
+}
+
+TEST_F(PersonalizationGraphTest, DirectionalDegreesPreserved) {
+  auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  double play_to_movie = 0;
+  double movie_to_play = 0;
+  for (const JoinEdge& e : graph->JoinsFrom("PLAY")) {
+    if (e.to.table == "MOVIE") play_to_movie = e.doi;
+  }
+  for (const JoinEdge& e : graph->JoinsFrom("MOVIE")) {
+    if (e.to.table == "PLAY") movie_to_play = e.doi;
+  }
+  EXPECT_DOUBLE_EQ(play_to_movie, 1.0);   // Figure 2 row 3.
+  EXPECT_DOUBLE_EQ(movie_to_play, 0.8);   // Figure 2 row 4.
+}
+
+TEST_F(PersonalizationGraphTest, RejectsInvalidProfile) {
+  UserProfile bad;
+  QP_ASSERT_OK(bad.Add(AtomicPreference::Join({"MOVIE", "mid"},
+                                              {"ACTOR", "aid"}, 0.5)));
+  EXPECT_FALSE(PersonalizationGraph::Build(&schema_, bad).ok());
+}
+
+TEST_F(PersonalizationGraphTest, EmptyProfileYieldsEmptyGraph) {
+  UserProfile empty;
+  auto graph = PersonalizationGraph::Build(&schema_, empty);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_join_edges(), 0u);
+  EXPECT_EQ(graph->num_selection_edges(), 0u);
+}
+
+TEST_F(PersonalizationGraphTest, DebugStringListsEdges) {
+  auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  std::string dump = graph->DebugString();
+  EXPECT_NE(dump.find("GENRE.genre='comedy' (0.9)"), std::string::npos);
+  EXPECT_NE(dump.find("PLAY.mid=MOVIE.mid (1, to-one)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,162 @@
+#include "qp/graph/preference_path.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+
+namespace qp {
+namespace {
+
+class PreferencePathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<PersonalizationGraph>(std::move(graph).value());
+  }
+
+  const JoinEdge& FindJoin(const std::string& from_table,
+                           const std::string& to_table) {
+    for (const JoinEdge& e : graph_->JoinsFrom(from_table)) {
+      if (e.to.table == to_table) return e;
+    }
+    ADD_FAILURE() << "no join " << from_table << "->" << to_table;
+    static JoinEdge dummy;
+    return dummy;
+  }
+
+  const SelectionEdge& FindSelection(const std::string& table,
+                                     const std::string& value) {
+    for (const SelectionEdge& e : graph_->SelectionsOn(table)) {
+      if (e.value == Value::Str(value)) return e;
+    }
+    ADD_FAILURE() << "no selection " << table << "=" << value;
+    static SelectionEdge dummy;
+    return dummy;
+  }
+
+  Schema schema_;
+  std::unique_ptr<PersonalizationGraph> graph_;
+};
+
+TEST_F(PreferencePathTest, EmptyPathProperties) {
+  PreferencePath path("MV", "MOVIE");
+  EXPECT_EQ(path.anchor_alias(), "MV");
+  EXPECT_EQ(path.anchor_table(), "MOVIE");
+  EXPECT_FALSE(path.is_selection());
+  EXPECT_DOUBLE_EQ(path.doi(), 1.0);
+  EXPECT_EQ(path.Length(), 0u);
+  EXPECT_EQ(path.EndTable(), "MOVIE");
+  EXPECT_TRUE(path.VisitsTable("MOVIE"));
+  EXPECT_FALSE(path.VisitsTable("GENRE"));
+  EXPECT_TRUE(path.AllJoinsToOne());  // Vacuously.
+}
+
+TEST_F(PreferencePathTest, KidmanTransitiveSelection) {
+  // The Section 3.2 example: degree 0.8 * 1 * 0.9 = 0.72.
+  PreferencePath path("MV", "MOVIE");
+  path = path.ExtendedBy(FindJoin("MOVIE", "CAST"));
+  EXPECT_EQ(path.EndTable(), "CAST");
+  path = path.ExtendedBy(FindJoin("CAST", "ACTOR"));
+  EXPECT_EQ(path.EndTable(), "ACTOR");
+  path = path.ExtendedBy(FindSelection("ACTOR", "N. Kidman"));
+  EXPECT_TRUE(path.is_selection());
+  EXPECT_NEAR(path.doi(), 0.72, 1e-12);
+  EXPECT_EQ(path.Length(), 3u);
+  EXPECT_EQ(path.ConditionString(),
+            "MOVIE.mid=CAST.mid and CAST.aid=ACTOR.aid and "
+            "ACTOR.name='N. Kidman'");
+}
+
+TEST_F(PreferencePathTest, ToStringIncludesDegree) {
+  PreferencePath path("MV", "MOVIE");
+  path = path.ExtendedBy(FindJoin("MOVIE", "GENRE"));
+  path = path.ExtendedBy(FindSelection("GENRE", "comedy"));
+  EXPECT_EQ(path.ToString(),
+            "MOVIE.mid=GENRE.mid and GENRE.genre='comedy' <0.81>");
+}
+
+TEST_F(PreferencePathTest, AllJoinsToOne) {
+  // PLAY -> THEATRE is to-one.
+  PreferencePath to_one("PL", "PLAY");
+  to_one = to_one.ExtendedBy(FindJoin("PLAY", "THEATRE"));
+  EXPECT_TRUE(to_one.AllJoinsToOne());
+  // MOVIE -> GENRE is to-many.
+  PreferencePath to_many("MV", "MOVIE");
+  to_many = to_many.ExtendedBy(FindJoin("MOVIE", "GENRE"));
+  EXPECT_FALSE(to_many.AllJoinsToOne());
+}
+
+TEST_F(PreferencePathTest, SameShape) {
+  PreferencePath a("MV", "MOVIE");
+  a = a.ExtendedBy(FindJoin("MOVIE", "GENRE"));
+  a = a.ExtendedBy(FindSelection("GENRE", "comedy"));
+  PreferencePath b("MV", "MOVIE");
+  b = b.ExtendedBy(FindJoin("MOVIE", "GENRE"));
+  PreferencePath b_sel = b.ExtendedBy(FindSelection("GENRE", "comedy"));
+  PreferencePath c = b.ExtendedBy(FindSelection("GENRE", "thriller"));
+  EXPECT_TRUE(a.SameShape(b_sel));
+  EXPECT_FALSE(a.SameShape(b));       // Selection missing.
+  EXPECT_FALSE(a.SameShape(c));       // Different value.
+  PreferencePath other_anchor("MV2", "MOVIE");
+  other_anchor = other_anchor.ExtendedBy(FindJoin("MOVIE", "GENRE"));
+  other_anchor = other_anchor.ExtendedBy(FindSelection("GENRE", "comedy"));
+  EXPECT_FALSE(a.SameShape(other_anchor));
+}
+
+TEST_F(PreferencePathTest, EnumerateFromMovieAnchor) {
+  std::vector<PreferencePath> paths = EnumerateTransitiveSelections(
+      *graph_, "MV", "MOVIE", {"MOVIE", "PLAY"});
+  // Expected transitive selections reachable from MOVIE without entering
+  // MOVIE or PLAY: 3 genres + 2 directors + 3 actors = 8.
+  EXPECT_EQ(paths.size(), 8u);
+  for (const PreferencePath& path : paths) {
+    EXPECT_TRUE(path.is_selection());
+    EXPECT_FALSE(path.VisitsTable("PLAY"));
+  }
+  // The Kidman path must be among them with degree 0.72.
+  bool found = false;
+  for (const PreferencePath& path : paths) {
+    if (path.selection()->value == Value::Str("N. Kidman")) {
+      EXPECT_NEAR(path.doi(), 0.72, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PreferencePathTest, EnumerateFromPlayAnchor) {
+  std::vector<PreferencePath> paths = EnumerateTransitiveSelections(
+      *graph_, "PL", "PLAY", {"MOVIE", "PLAY"});
+  // Only PLAY -> THEATRE -> region='downtown' (1 * 0.7 = 0.7).
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].doi(), 0.7, 1e-12);
+  EXPECT_EQ(paths[0].selection()->value, Value::Str("downtown"));
+}
+
+TEST_F(PreferencePathTest, EnumerateRespectsAcyclicity) {
+  // Without forbidden tables, paths may wander further but never revisit
+  // a relation.
+  std::vector<PreferencePath> paths =
+      EnumerateTransitiveSelections(*graph_, "GN", "GENRE", {});
+  for (const PreferencePath& path : paths) {
+    std::unordered_set<std::string> visited = {path.anchor_table()};
+    for (const JoinEdge& join : path.joins()) {
+      EXPECT_TRUE(visited.insert(join.to.table).second)
+          << "cycle through " << join.to.table;
+    }
+  }
+}
+
+TEST_F(PreferencePathTest, EmptyGraphYieldsNoPaths) {
+  UserProfile empty;
+  auto graph = PersonalizationGraph::Build(&schema_, empty);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(
+      EnumerateTransitiveSelections(*graph, "MV", "MOVIE", {}).empty());
+}
+
+}  // namespace
+}  // namespace qp

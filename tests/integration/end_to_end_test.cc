@@ -1,0 +1,309 @@
+// End-to-end pipeline tests: generated database + generated profiles +
+// random workload, driven through the Personalizer facade, checking the
+// cross-module invariants the paper relies on.
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/data/workload.h"
+#include "qp/query/sql_parser.h"
+#include "qp/query/sql_writer.h"
+
+namespace qp {
+namespace {
+
+using testing_util::SameRows;
+
+class EndToEndTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    MovieDbConfig config;
+    config.num_movies = 120;
+    config.num_actors = 50;
+    config.num_directors = 15;
+    config.num_theatres = 8;
+    config.num_days = 5;
+    config.seed = GetParam();
+    auto db = GenerateMovieDatabase(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(db).value());
+    auto pools = MovieCandidatePools(*db_);
+    ASSERT_TRUE(pools.ok());
+    profiles_ = std::make_unique<ProfileGenerator>(&schema_,
+                                                   std::move(pools).value());
+    workload_ = std::make_unique<WorkloadGenerator>(db_.get(),
+                                                    GetParam() * 13 + 3);
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ProfileGenerator> profiles_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+};
+
+TEST_P(EndToEndTest, PipelineInvariantsHoldOnRandomWorkload) {
+  Rng rng(GetParam() + 1000);
+  Executor executor(db_.get());
+
+  for (int trial = 0; trial < 8; ++trial) {
+    ProfileGeneratorOptions options;
+    options.num_selections = 20 + rng.Below(30);
+    auto profile = profiles_->Generate(options, &rng);
+    ASSERT_TRUE(profile.ok());
+    // Profiles survive a serialize/parse round trip before use — the
+    // personalization pipeline runs off the re-parsed profile, proving
+    // the storage format carries everything needed.
+    auto reparsed = UserProfile::Parse(profile->Serialize());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    auto graph = PersonalizationGraph::Build(&schema_, *reparsed);
+    ASSERT_TRUE(graph.ok());
+    Personalizer personalizer(&*graph);
+
+    auto query = workload_->RandomQuery();
+    ASSERT_TRUE(query.ok());
+
+    PersonalizationOptions popts;
+    size_t k = 1 + rng.Below(8);
+    popts.criterion = InterestCriterion::TopCount(k);
+    popts.integration.min_satisfied = 1;
+
+    PersonalizationOutcome outcome;
+    auto personalized = personalizer.PersonalizeAndExecute(
+        *query, popts, *db_, &outcome);
+    ASSERT_TRUE(personalized.ok()) << personalized.status();
+
+    // Invariant 1: selected preferences are within K and sorted by
+    // degree, all in (0, 1].
+    EXPECT_LE(outcome.selected.size(), k);
+    for (size_t i = 0; i < outcome.selected.size(); ++i) {
+      EXPECT_GT(outcome.selected[i].doi(), 0.0);
+      EXPECT_LE(outcome.selected[i].doi(), 1.0);
+      if (i > 0) {
+        EXPECT_GE(outcome.selected[i - 1].doi(), outcome.selected[i].doi());
+      }
+    }
+
+    // Invariant 2: with L=1 the personalized result is a subset of the
+    // original result (preferences only narrow the answer).
+    SelectQuery original_distinct = *query;
+    original_distinct.set_distinct(true);
+    auto original = executor.Execute(original_distinct);
+    ASSERT_TRUE(original.ok());
+    for (const Row& row : personalized->rows()) {
+      EXPECT_TRUE(original->Contains(row))
+          << "personalized row not in original result\n"
+          << ToSql(*query);
+    }
+
+    // Invariant 3: ranked output is ordered by non-increasing degree and
+    // every row satisfies at least L=1 preferences.
+    if (personalized->has_ranking()) {
+      for (size_t i = 0; i < personalized->num_rows(); ++i) {
+        if (i > 0) {
+          EXPECT_GE(personalized->degrees()[i - 1],
+                    personalized->degrees()[i]);
+        }
+        if (!outcome.selected.empty()) {
+          EXPECT_GE(personalized->counts()[i], 1u);
+          EXPECT_LE(personalized->counts()[i], outcome.selected.size());
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EndToEndTest, IncreasingLShrinksResults) {
+  Rng rng(GetParam() + 2000);
+  ProfileGeneratorOptions options;
+  options.num_selections = 40;
+  auto profile = profiles_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  auto graph = PersonalizationGraph::Build(&schema_, *profile);
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+
+  auto query = workload_->RandomQuery();
+  ASSERT_TRUE(query.ok());
+
+  PersonalizationOptions popts;
+  popts.criterion = InterestCriterion::TopCount(6);
+  auto k_selected = personalizer.Personalize(*query, popts);
+  ASSERT_TRUE(k_selected.ok());
+  size_t k = k_selected->selected.size();
+  if (k < 2) GTEST_SKIP() << "not enough related preferences";
+
+  size_t previous = SIZE_MAX;
+  for (size_t l = 1; l <= k; ++l) {
+    popts.integration.min_satisfied = l;
+    auto result = personalizer.PersonalizeAndExecute(*query, popts, *db_);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_LE(result->num_rows(), previous) << "L=" << l;
+    previous = result->num_rows();
+  }
+}
+
+TEST_P(EndToEndTest, IncreasingKGrowsResults) {
+  Rng rng(GetParam() + 3000);
+  ProfileGeneratorOptions options;
+  options.num_selections = 40;
+  auto profile = profiles_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  auto graph = PersonalizationGraph::Build(&schema_, *profile);
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+
+  auto query = workload_->RandomQuery();
+  ASSERT_TRUE(query.ok());
+
+  size_t previous = 0;
+  for (size_t k : {1u, 3u, 6u, 10u}) {
+    PersonalizationOptions popts;
+    popts.criterion = InterestCriterion::TopCount(k);
+    popts.integration.min_satisfied = 1;
+    auto result = personalizer.PersonalizeAndExecute(*query, popts, *db_);
+    ASSERT_TRUE(result.ok()) << result.status();
+    // More preferences with L=1 can only widen the disjunction.
+    EXPECT_GE(result->num_rows(), previous) << "K=" << k;
+    previous = result->num_rows();
+  }
+}
+
+TEST_P(EndToEndTest, SqMatchesMqThroughFacade) {
+  Rng rng(GetParam() + 4000);
+  ProfileGeneratorOptions options;
+  options.num_selections = 30;
+  auto profile = profiles_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  auto graph = PersonalizationGraph::Build(&schema_, *profile);
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+
+  auto query = workload_->RandomQuery();
+  ASSERT_TRUE(query.ok());
+
+  PersonalizationOptions popts;
+  popts.criterion = InterestCriterion::TopCount(4);
+  popts.integration.min_satisfied = 1;
+  popts.approach = IntegrationApproach::kMultipleQueries;
+  auto mq_result = personalizer.PersonalizeAndExecute(*query, popts, *db_);
+  popts.approach = IntegrationApproach::kSingleQuery;
+  auto sq_result = personalizer.PersonalizeAndExecute(*query, popts, *db_);
+  ASSERT_TRUE(mq_result.ok()) << mq_result.status();
+  if (!sq_result.ok()) {
+    ASSERT_EQ(sq_result.status().code(), StatusCode::kFailedPrecondition);
+    GTEST_SKIP() << "conflicting preference set";
+  }
+  EXPECT_TRUE(SameRows(mq_result->rows(), sq_result->rows()));
+}
+
+TEST_P(EndToEndTest, PersonalizedSqlRoundTripsThroughParser) {
+  Rng rng(GetParam() + 5000);
+  ProfileGeneratorOptions options;
+  options.num_selections = 30;
+  auto profile = profiles_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  auto graph = PersonalizationGraph::Build(&schema_, *profile);
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+  auto query = workload_->RandomQuery();
+  ASSERT_TRUE(query.ok());
+
+  PersonalizationOptions popts;
+  popts.criterion = InterestCriterion::TopCount(5);
+  popts.integration.min_satisfied = 1;
+  auto outcome = personalizer.Personalize(*query, popts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  std::string sql = ToSql(*outcome->mq);
+  auto parsed = ParseStatement(sql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << sql;
+  ASSERT_TRUE(parsed->is_compound());
+  EXPECT_EQ(ToSql(parsed->compound()), sql);
+}
+
+TEST_P(EndToEndTest, GeneralizedModelKitchenSink) {
+  // Profiles mixing equality, soft (near) and negative preferences,
+  // personalized with dislikes enabled in both modes: the pipeline must
+  // stay well-formed (no errors, ranked order non-increasing, results a
+  // subset of the original, vetoed modes a subset of penalty mode).
+  Rng rng(GetParam() + 6000);
+  Executor executor(db_.get());
+
+  for (int trial = 0; trial < 6; ++trial) {
+    ProfileGeneratorOptions options;
+    options.num_selections = 30;
+    options.near_fraction = 0.5;
+    options.negative_fraction = 0.25;
+    auto profile = profiles_->Generate(options, &rng);
+    ASSERT_TRUE(profile.ok());
+    // Storage round trip with the extended entry kinds.
+    auto reparsed = UserProfile::Parse(profile->Serialize());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    auto graph = PersonalizationGraph::Build(&schema_, *reparsed);
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    Personalizer personalizer(&*graph);
+
+    auto query = workload_->RandomQuery();
+    ASSERT_TRUE(query.ok());
+
+    PersonalizationOptions popts;
+    popts.criterion = InterestCriterion::TopCount(4);
+    popts.integration.min_satisfied = 1;
+    popts.max_negative = 3;
+
+    popts.integration.negative_mode = NegativeMode::kPenalty;
+    auto penalty = personalizer.PersonalizeAndExecute(*query, popts, *db_);
+    ASSERT_TRUE(penalty.ok()) << penalty.status();
+
+    popts.integration.negative_mode = NegativeMode::kVeto;
+    auto veto = personalizer.PersonalizeAndExecute(*query, popts, *db_);
+    ASSERT_TRUE(veto.ok()) << veto.status();
+
+    SelectQuery distinct_original = *query;
+    distinct_original.set_distinct(true);
+    auto original = executor.Execute(distinct_original);
+    ASSERT_TRUE(original.ok());
+
+    EXPECT_LE(veto->num_rows(), penalty->num_rows());
+    for (const Row& row : veto->rows()) {
+      EXPECT_TRUE(penalty->Contains(row));
+    }
+    for (const Row& row : penalty->rows()) {
+      EXPECT_TRUE(original->Contains(row));
+    }
+    for (size_t i = 1; i < penalty->num_rows(); ++i) {
+      EXPECT_GE(penalty->degrees()[i - 1], penalty->degrees()[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndTest,
+                         ::testing::Values(1001, 2002, 3003));
+
+TEST(PaperScenarioTest, JulieAndRobDiffer) {
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  Schema schema = MovieSchema();
+  auto julie_graph = PersonalizationGraph::Build(&schema, JulieProfile());
+  auto rob_graph = PersonalizationGraph::Build(&schema, RobProfile());
+  ASSERT_TRUE(julie_graph.ok());
+  ASSERT_TRUE(rob_graph.ok());
+
+  PersonalizationOptions popts;
+  popts.criterion = InterestCriterion::TopCount(2);
+  popts.integration.min_satisfied = 1;
+
+  Personalizer julie(&*julie_graph);
+  Personalizer rob(&*rob_graph);
+  auto julie_result = julie.PersonalizeAndExecute(TonightQuery(), popts, *db);
+  auto rob_result = rob.PersonalizeAndExecute(TonightQuery(), popts, *db);
+  ASSERT_TRUE(julie_result.ok());
+  ASSERT_TRUE(rob_result.ok());
+  EXPECT_FALSE(SameRows(julie_result->rows(), rob_result->rows()));
+}
+
+}  // namespace
+}  // namespace qp

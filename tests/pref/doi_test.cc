@@ -1,0 +1,197 @@
+#include "qp/pref/doi.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+TEST(DoiTest, Validity) {
+  EXPECT_TRUE(IsValidDoi(0.0));
+  EXPECT_TRUE(IsValidDoi(1.0));
+  EXPECT_TRUE(IsValidDoi(0.5));
+  EXPECT_FALSE(IsValidDoi(-0.01));
+  EXPECT_FALSE(IsValidDoi(1.01));
+}
+
+TEST(DoiTest, PaperTransitiveExample) {
+  // N. Kidman: MOVIE->CAST (0.8), CAST->ACTOR (1), name='N. Kidman' (0.9).
+  EXPECT_NEAR(TransitiveDoi({0.8, 1.0, 0.9}), 0.72, 1e-12);
+}
+
+TEST(DoiTest, PaperConjunctionExample) {
+  // Comedies directed by W. Allen: 1-(1-0.7)(1-0.81) = 0.943.
+  EXPECT_NEAR(ConjunctiveDoi({1.0 * 1.0 * 0.7, 0.9 * 0.9}), 0.943, 1e-12);
+}
+
+TEST(DoiTest, PaperDisjunctionExample) {
+  // Comedy or W. Allen movie: (0.7 + 0.81) / 2 = 0.755.
+  EXPECT_NEAR(DisjunctiveDoi({0.7, 0.81}), 0.755, 1e-12);
+}
+
+TEST(DoiTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(TransitiveDoi({}), 1.0);   // Identity of product.
+  EXPECT_DOUBLE_EQ(ConjunctiveDoi({}), 0.0);
+  EXPECT_DOUBLE_EQ(DisjunctiveDoi({}), 0.0);
+}
+
+TEST(DoiTest, SingletonIsIdentityForAllCombinators) {
+  for (double d : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_DOUBLE_EQ(TransitiveDoi({d}), d);
+    EXPECT_DOUBLE_EQ(ConjunctiveDoi({d}), d);
+    EXPECT_DOUBLE_EQ(DisjunctiveDoi({d}), d);
+  }
+}
+
+TEST(DoiTest, MustHaveDegreesAreAbsorbing) {
+  // A degree-1 preference makes any conjunction degree 1 and never
+  // reduces a transitive degree.
+  EXPECT_DOUBLE_EQ(ConjunctiveDoi({1.0, 0.1}), 1.0);
+  EXPECT_DOUBLE_EQ(TransitiveDoi({1.0, 0.5}), 0.5);
+}
+
+TEST(DoiTest, Accumulators) {
+  ConjunctiveAccumulator conj;
+  EXPECT_DOUBLE_EQ(conj.Degree(), 0.0);
+  conj.Add(0.81);
+  conj.Add(0.8);
+  conj.Add(0.72);
+  EXPECT_NEAR(conj.Degree(), ConjunctiveDoi({0.81, 0.8, 0.72}), 1e-12);
+
+  DisjunctiveAccumulator disj;
+  EXPECT_DOUBLE_EQ(disj.Degree(), 0.0);
+  disj.Add(0.7);
+  disj.Add(0.81);
+  EXPECT_NEAR(disj.Degree(), 0.755, 1e-12);
+  EXPECT_EQ(disj.count(), 2u);
+}
+
+TEST(DoiTest, AlternativeCombinators) {
+  EXPECT_DOUBLE_EQ(TransitiveMinDoi({0.8, 1.0, 0.9}), 0.8);
+  EXPECT_DOUBLE_EQ(ConjunctiveMaxDoi({0.3, 0.9, 0.5}), 0.9);
+  EXPECT_DOUBLE_EQ(TransitiveMinDoi({}), 1.0);
+  EXPECT_DOUBLE_EQ(ConjunctiveMaxDoi({}), 0.0);
+}
+
+/// Property suite: the paper's Section 3 axioms hold for random degree
+/// sets for both the chosen functions and the documented alternatives.
+class DoiAxiomTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<double> RandomDegrees(Rng* rng) {
+    size_t n = 1 + rng->Below(6);
+    std::vector<double> degrees;
+    for (size_t i = 0; i < n; ++i) degrees.push_back(rng->NextDouble());
+    return degrees;
+  }
+};
+
+TEST_P(DoiAxiomTest, TransitiveAtMostMin) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> degrees = RandomDegrees(&rng);
+    double min = *std::min_element(degrees.begin(), degrees.end());
+    EXPECT_LE(TransitiveDoi(degrees), min + 1e-12);
+    EXPECT_LE(TransitiveMinDoi(degrees), min + 1e-12);
+  }
+}
+
+TEST_P(DoiAxiomTest, ConjunctiveAtLeastMax) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> degrees = RandomDegrees(&rng);
+    double max = *std::max_element(degrees.begin(), degrees.end());
+    EXPECT_GE(ConjunctiveDoi(degrees), max - 1e-12);
+    EXPECT_GE(ConjunctiveMaxDoi(degrees), max - 1e-12);
+  }
+}
+
+TEST_P(DoiAxiomTest, DisjunctiveBetweenMinAndMax) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> degrees = RandomDegrees(&rng);
+    double min = *std::min_element(degrees.begin(), degrees.end());
+    double max = *std::max_element(degrees.begin(), degrees.end());
+    double d = DisjunctiveDoi(degrees);
+    EXPECT_GE(d, min - 1e-12);
+    EXPECT_LE(d, max + 1e-12);
+  }
+}
+
+TEST_P(DoiAxiomTest, TransitiveShrinksWithPathLength) {
+  // "The degree of interest in a transitive preference decreases as the
+  // length of the path increases."
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> degrees = RandomDegrees(&rng);
+    double shorter = TransitiveDoi(degrees);
+    degrees.push_back(rng.NextDouble());
+    EXPECT_LE(TransitiveDoi(degrees), shorter + 1e-12);
+  }
+}
+
+TEST_P(DoiAxiomTest, ConjunctionGrowsWithMorePreferences) {
+  // "The degree of interest in multiple preferences satisfied together
+  // increases with the number of these preferences."
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> degrees = RandomDegrees(&rng);
+    double fewer = ConjunctiveDoi(degrees);
+    degrees.push_back(rng.NextDouble());
+    EXPECT_GE(ConjunctiveDoi(degrees), fewer - 1e-12);
+  }
+}
+
+/// The subsumption theorem of Section 3.3, instantiated on the "any L of
+/// the top K" condition class: satisfying more preferences (larger L) is
+/// subsumed by satisfying fewer, so its degree of interest must be at
+/// least as high; enlarging K (adding a weaker K+1-th preference to the
+/// pool) weakens the condition, so its degree must not increase beyond.
+TEST_P(DoiAxiomTest, SubsumptionTheoremOnLOfK) {
+  Rng rng(GetParam());
+  auto degree_of_l_of_k = [](const std::vector<double>& sorted_desc,
+                             size_t l) {
+    // theta(L, K) = OR over all L-subsets of the conjunction of the
+    // subset; degree = disjunctive over conjunctive degrees.
+    std::vector<double> conjunctions;
+    size_t k = sorted_desc.size();
+    std::vector<size_t> combo(l);
+    std::function<void(size_t, size_t)> rec = [&](size_t start, size_t pos) {
+      if (pos == l) {
+        std::vector<double> subset;
+        for (size_t idx : combo) subset.push_back(sorted_desc[idx]);
+        conjunctions.push_back(ConjunctiveDoi(subset));
+        return;
+      }
+      for (size_t i = start; i + (l - pos) <= k; ++i) {
+        combo[pos] = i;
+        rec(i + 1, pos + 1);
+      }
+    };
+    rec(0, 0);
+    return DisjunctiveDoi(conjunctions);
+  };
+
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t k = 2 + rng.Below(4);  // K in [2, 5].
+    std::vector<double> degrees;
+    for (size_t i = 0; i < k; ++i) degrees.push_back(rng.NextDouble());
+    std::sort(degrees.rbegin(), degrees.rend());
+
+    // Larger L => subsumed => degree at least as high.
+    for (size_t l = 1; l < k; ++l) {
+      EXPECT_GE(degree_of_l_of_k(degrees, l + 1),
+                degree_of_l_of_k(degrees, l) - 1e-9)
+          << "K=" << k << " L=" << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoiAxiomTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace qp

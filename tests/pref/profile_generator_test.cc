@@ -1,0 +1,189 @@
+#include "qp/pref/profile_generator.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+
+namespace qp {
+namespace {
+
+class ProfileGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    MovieDbConfig config;
+    config.num_movies = 100;
+    config.num_actors = 50;
+    config.num_directors = 20;
+    config.num_theatres = 10;
+    auto db = GenerateMovieDatabase(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(db).value());
+    auto pools = MovieCandidatePools(*db_);
+    ASSERT_TRUE(pools.ok());
+    generator_ =
+        std::make_unique<ProfileGenerator>(&schema_, std::move(pools).value());
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ProfileGenerator> generator_;
+};
+
+TEST_F(ProfileGeneratorTest, GeneratesRequestedSize) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 30;
+  Rng rng(1);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_EQ(profile->NumSelections(), 30u);
+  // Both directions of all 7 schema joins.
+  EXPECT_EQ(profile->NumJoins(), 14u);
+}
+
+TEST_F(ProfileGeneratorTest, ProfileValidatesAgainstSchema) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 50;
+  Rng rng(2);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  QP_EXPECT_OK(profile->Validate(schema_));
+}
+
+TEST_F(ProfileGeneratorTest, DegreesWithinConfiguredRanges) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 40;
+  options.selection_min_doi = 0.2;
+  options.selection_max_doi = 0.6;
+  options.join_min_doi = 0.7;
+  options.join_max_doi = 0.95;
+  Rng rng(3);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  for (const AtomicPreference& p : profile->preferences()) {
+    if (p.is_selection()) {
+      EXPECT_GE(p.doi(), 0.2);
+      EXPECT_LE(p.doi(), 0.6);
+    } else {
+      EXPECT_GE(p.doi(), 0.7);
+      EXPECT_LE(p.doi(), 0.95);
+    }
+  }
+}
+
+TEST_F(ProfileGeneratorTest, DeterministicInSeed) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 20;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  auto a = generator_->Generate(options, &rng_a);
+  auto b = generator_->Generate(options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE(a->preferences()[i].SameCondition(b->preferences()[i]));
+    EXPECT_DOUBLE_EQ(a->preferences()[i].doi(), b->preferences()[i].doi());
+  }
+}
+
+TEST_F(ProfileGeneratorTest, DistinctConditions) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 60;
+  Rng rng(5);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  // UserProfile::Add rejects duplicates, so reaching the requested size
+  // proves distinctness; double-check pairwise anyway.
+  const auto& prefs = profile->preferences();
+  for (size_t i = 0; i < prefs.size(); ++i) {
+    for (size_t j = i + 1; j < prefs.size(); ++j) {
+      EXPECT_FALSE(prefs[i].SameCondition(prefs[j]));
+    }
+  }
+}
+
+TEST_F(ProfileGeneratorTest, FailsWhenPoolTooSmall) {
+  ProfileGeneratorOptions options;
+  options.num_selections = generator_->NumCandidates() + 1;
+  Rng rng(6);
+  auto profile = generator_->Generate(options, &rng);
+  EXPECT_EQ(profile.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileGeneratorTest, JoinsCanBeDisabled) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 5;
+  options.include_all_joins = false;
+  Rng rng(7);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->NumJoins(), 0u);
+}
+
+TEST_F(ProfileGeneratorTest, GeneratesSoftPreferencesOnNumericPools) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 60;
+  options.near_fraction = 1.0;  // Every numeric candidate becomes soft.
+  options.near_width = 7.0;
+  Rng rng(8);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  size_t nears = 0;
+  for (const AtomicPreference& p : profile->preferences()) {
+    if (p.is_near()) {
+      ++nears;
+      EXPECT_DOUBLE_EQ(p.width(), 7.0);
+      // Only numeric attributes may be soft.
+      EXPECT_TRUE(p.value().type() == DataType::kInt64 ||
+                  p.value().type() == DataType::kDouble);
+    }
+  }
+  EXPECT_GT(nears, 0u);  // MOVIE.year is in the pools.
+  QP_EXPECT_OK(profile->Validate(schema_));
+}
+
+TEST_F(ProfileGeneratorTest, GeneratesDislikes) {
+  ProfileGeneratorOptions options;
+  options.num_selections = 60;
+  options.negative_fraction = 0.5;
+  Rng rng(9);
+  auto profile = generator_->Generate(options, &rng);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  size_t negatives = 0;
+  for (const AtomicPreference& p : profile->preferences()) {
+    if (p.is_selection() && p.is_negative()) ++negatives;
+  }
+  EXPECT_GT(negatives, 10u);
+  EXPECT_LT(negatives, 50u);
+  QP_EXPECT_OK(profile->Validate(schema_));
+}
+
+TEST(MovieCandidatePoolsTest, CoversValueAttributes) {
+  MovieDbConfig config;
+  config.num_movies = 50;
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  auto pools = MovieCandidatePools(*db);
+  ASSERT_TRUE(pools.ok());
+  // genre, actor name, director name, region, year.
+  EXPECT_EQ(pools->size(), 5u);
+  for (const CandidatePool& pool : *pools) {
+    EXPECT_FALSE(pool.values.empty()) << pool.attribute.ToString();
+  }
+}
+
+TEST(MovieCandidatePoolsTest, RespectsCap) {
+  MovieDbConfig config;
+  config.num_movies = 50;
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  auto pools = MovieCandidatePools(*db, 3);
+  ASSERT_TRUE(pools.ok());
+  for (const CandidatePool& pool : *pools) {
+    EXPECT_LE(pool.values.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace qp

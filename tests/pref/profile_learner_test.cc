@@ -1,0 +1,189 @@
+#include "qp/pref/profile_learner.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/data/workload.h"
+#include "qp/query/sql_parser.h"
+
+namespace qp {
+namespace {
+
+class ProfileLearnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    learner_ = std::make_unique<ProfileLearner>(&schema_);
+  }
+
+  void ObserveSql(const std::string& sql, size_t times = 1) {
+    auto query = ParseSelectQuery(sql);
+    ASSERT_TRUE(query.ok()) << query.status();
+    for (size_t i = 0; i < times; ++i) {
+      QP_ASSERT_OK(learner_->Observe(*query));
+    }
+  }
+
+  Schema schema_;
+  std::unique_ptr<ProfileLearner> learner_;
+};
+
+TEST_F(ProfileLearnerTest, EmptyLearnerBuildsEmptyProfile) {
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->empty());
+  EXPECT_EQ(learner_->num_observed(), 0u);
+}
+
+TEST_F(ProfileLearnerTest, ObserveRejectsInvalidQueries) {
+  auto query = ParseSelectQuery("select MV.title from MOVIE MV where "
+                                "MV.nope=1");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(learner_->Observe(*query).ok());
+  EXPECT_EQ(learner_->num_observed(), 0u);
+}
+
+TEST_F(ProfileLearnerTest, LearnsSelectionConditions) {
+  ObserveSql("select MV.title from MOVIE MV, GENRE GN where "
+             "MV.mid=GN.mid and GN.genre='comedy'",
+             3);
+  ObserveSql("select MV.title from MOVIE MV, GENRE GN where "
+             "MV.mid=GN.mid and GN.genre='drama'",
+             1);
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok()) << profile.status();
+
+  const AtomicPreference* comedy =
+      profile->FindSelection({"GENRE", "genre"}, Value::Str("comedy"));
+  const AtomicPreference* drama =
+      profile->FindSelection({"GENRE", "genre"}, Value::Str("drama"));
+  ASSERT_NE(comedy, nullptr);
+  ASSERT_NE(drama, nullptr);
+  // More frequent -> higher degree; the most frequent hits max_doi.
+  EXPECT_GT(comedy->doi(), drama->doi());
+  EXPECT_DOUBLE_EQ(comedy->doi(), 0.9);
+  EXPECT_DOUBLE_EQ(drama->doi(), 0.1);
+}
+
+TEST_F(ProfileLearnerTest, LearnsJoinsInBothDirections) {
+  ObserveSql("select MV.title from MOVIE MV, GENRE GN where "
+             "MV.mid=GN.mid and GN.genre='comedy'");
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok());
+  EXPECT_NE(profile->FindJoin({"MOVIE", "mid"}, {"GENRE", "mid"}), nullptr);
+  EXPECT_NE(profile->FindJoin({"GENRE", "mid"}, {"MOVIE", "mid"}), nullptr);
+}
+
+TEST_F(ProfileLearnerTest, IgnoresUndeclaredJoins) {
+  // MOVIE.mid = ACTOR.aid is a type-valid equality but not a declared
+  // schema join; it must not become a join preference.
+  SelectQuery query;
+  QP_ASSERT_OK(query.AddVariable("MV", "MOVIE"));
+  QP_ASSERT_OK(query.AddVariable("AC", "ACTOR"));
+  query.AddProjection("MV", "title");
+  query.set_where(ConditionNode::MakeAtom(
+      AtomicCondition::Join("MV", "mid", "AC", "aid")));
+  QP_ASSERT_OK(learner_->Observe(query));
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->NumJoins(), 0u);
+}
+
+TEST_F(ProfileLearnerTest, MinOccurrencesFilters) {
+  ObserveSql("select MV.title from MOVIE MV where MV.year=1999", 3);
+  ObserveSql("select MV.title from MOVIE MV where MV.year=2001", 1);
+  ProfileLearnerOptions options;
+  options.min_occurrences = 2;
+  auto profile = learner_->BuildProfile(options);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->NumSelections(), 1u);
+  EXPECT_NE(profile->FindSelection({"MOVIE", "year"}, Value::Int(1999)),
+            nullptr);
+}
+
+TEST_F(ProfileLearnerTest, MaxSelectionsKeepsMostFrequent) {
+  ObserveSql("select MV.title from MOVIE MV where MV.year=1999", 5);
+  ObserveSql("select MV.title from MOVIE MV where MV.year=2000", 4);
+  ObserveSql("select MV.title from MOVIE MV where MV.year=2001", 1);
+  ProfileLearnerOptions options;
+  options.max_selections = 2;
+  auto profile = learner_->BuildProfile(options);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->NumSelections(), 2u);
+  EXPECT_EQ(profile->FindSelection({"MOVIE", "year"}, Value::Int(2001)),
+            nullptr);
+}
+
+TEST_F(ProfileLearnerTest, OccurrenceScalingIsMonotone) {
+  ObserveSql("select MV.title from MOVIE MV where MV.year=1990", 1);
+  ObserveSql("select MV.title from MOVIE MV where MV.year=1991", 2);
+  ObserveSql("select MV.title from MOVIE MV where MV.year=1992", 3);
+  ObserveSql("select MV.title from MOVIE MV where MV.year=1993", 4);
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok());
+  double previous = 0;
+  for (int year = 1990; year <= 1993; ++year) {
+    const AtomicPreference* pref =
+        profile->FindSelection({"MOVIE", "year"}, Value::Int(year));
+    ASSERT_NE(pref, nullptr);
+    EXPECT_GT(pref->doi(), previous);
+    previous = pref->doi();
+  }
+}
+
+TEST_F(ProfileLearnerTest, LearnedProfileDrivesPersonalization) {
+  // A user who keeps asking for comedies: the learned profile should make
+  // the personalized "tonight" answer prefer comedies.
+  ObserveSql("select MV.title from MOVIE MV, GENRE GN where "
+             "MV.mid=GN.mid and GN.genre='comedy'",
+             5);
+  // Include the PLAY join so the tonight query's anchors reach GENRE.
+  ObserveSql("select MV.title from MOVIE MV, PLAY PL, GENRE GN where "
+             "MV.mid=PL.mid and MV.mid=GN.mid and GN.genre='thriller'",
+             1);
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok());
+
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  auto graph = PersonalizationGraph::Build(&schema_, *profile);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  Personalizer personalizer(&*graph);
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(1);
+  options.integration.min_satisfied = 1;
+  PersonalizationOutcome outcome;
+  auto result = personalizer.PersonalizeAndExecute(TonightQuery(), options,
+                                                   *db, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(outcome.selected.size(), 1u);
+  EXPECT_NE(outcome.selected[0].ConditionString().find("comedy"),
+            std::string::npos);
+  // The paper DB has 3 comedies playing tonight.
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+TEST_F(ProfileLearnerTest, LearnsFromGeneratedWorkload) {
+  MovieDbConfig config;
+  config.num_movies = 60;
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  WorkloadGenerator workload(&*db, 123);
+  for (int i = 0; i < 50; ++i) {
+    auto query = workload.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    QP_ASSERT_OK(learner_->Observe(*query));
+  }
+  EXPECT_EQ(learner_->num_observed(), 50u);
+  auto profile = learner_->BuildProfile();
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_GT(profile->NumSelections(), 0u);
+  EXPECT_GT(profile->NumJoins(), 0u);
+  // The learned profile must produce a working personalization graph.
+  EXPECT_TRUE(PersonalizationGraph::Build(&schema_, *profile).ok());
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,214 @@
+#include "qp/pref/profile.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+
+namespace qp {
+namespace {
+
+AtomicPreference Comedy(double doi = 0.9) {
+  return AtomicPreference::Selection({"GENRE", "genre"},
+                                     Value::Str("comedy"), doi);
+}
+
+TEST(AtomicPreferenceTest, SelectionAccessors) {
+  AtomicPreference p = Comedy();
+  EXPECT_TRUE(p.is_selection());
+  EXPECT_EQ(p.attribute().ToString(), "GENRE.genre");
+  EXPECT_EQ(p.value(), Value::Str("comedy"));
+  EXPECT_DOUBLE_EQ(p.doi(), 0.9);
+  EXPECT_EQ(p.ConditionString(), "GENRE.genre='comedy'");
+  EXPECT_EQ(p.ToString(), "[ GENRE.genre='comedy', 0.9 ]");
+}
+
+TEST(AtomicPreferenceTest, JoinAccessors) {
+  AtomicPreference p =
+      AtomicPreference::Join({"PLAY", "mid"}, {"MOVIE", "mid"}, 1.0);
+  EXPECT_TRUE(p.is_join());
+  EXPECT_EQ(p.attribute().ToString(), "PLAY.mid");
+  EXPECT_EQ(p.target().ToString(), "MOVIE.mid");
+  EXPECT_EQ(p.ToString(), "[ PLAY.mid=MOVIE.mid, 1 ]");
+}
+
+TEST(AtomicPreferenceTest, SameConditionIgnoresDegree) {
+  EXPECT_TRUE(Comedy(0.9).SameCondition(Comedy(0.1)));
+  EXPECT_FALSE(Comedy().SameCondition(AtomicPreference::Selection(
+      {"GENRE", "genre"}, Value::Str("thriller"), 0.9)));
+  // Join direction matters.
+  AtomicPreference forward =
+      AtomicPreference::Join({"PLAY", "mid"}, {"MOVIE", "mid"}, 1.0);
+  AtomicPreference backward =
+      AtomicPreference::Join({"MOVIE", "mid"}, {"PLAY", "mid"}, 0.8);
+  EXPECT_FALSE(forward.SameCondition(backward));
+}
+
+TEST(UserProfileTest, AddAndCount) {
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(Comedy()));
+  QP_EXPECT_OK(profile.Add(
+      AtomicPreference::Join({"PLAY", "mid"}, {"MOVIE", "mid"}, 1.0)));
+  EXPECT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile.NumSelections(), 1u);
+  EXPECT_EQ(profile.NumJoins(), 1u);
+  EXPECT_FALSE(profile.empty());
+}
+
+TEST(UserProfileTest, RejectsInvalidDegrees) {
+  UserProfile profile;
+  EXPECT_EQ(profile.Add(Comedy(1.5)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(profile.Add(Comedy(-1.5)).code(), StatusCode::kInvalidArgument);
+  // Zero-valued preferences are not stored (paper Section 3.1).
+  EXPECT_EQ(profile.Add(Comedy(0.0)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UserProfileTest, NegativeSelectionDegreesAllowed) {
+  // The generalized-model extension: dislikes with degrees in [-1, 0).
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(Comedy(-0.8)));
+  EXPECT_TRUE(profile.preferences()[0].is_negative());
+  EXPECT_EQ(profile.preferences()[0].ToString(),
+            "[ GENRE.genre='comedy', -0.8 ]");
+}
+
+TEST(UserProfileTest, NegativeJoinDegreesRejected) {
+  UserProfile profile;
+  EXPECT_EQ(profile
+                .Add(AtomicPreference::Join({"PLAY", "mid"},
+                                            {"MOVIE", "mid"}, -0.5))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(UserProfileTest, NegativeDegreeParseRoundTrip) {
+  auto profile = UserProfile::Parse("[ GENRE.genre='horror', -0.8 ]\n");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  ASSERT_EQ(profile->size(), 1u);
+  EXPECT_DOUBLE_EQ(profile->preferences()[0].doi(), -0.8);
+  EXPECT_EQ(profile->Serialize(), "[ GENRE.genre='horror', -0.8 ]\n");
+}
+
+TEST(UserProfileTest, RejectsDuplicateConditions) {
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(Comedy(0.9)));
+  EXPECT_EQ(profile.Add(Comedy(0.5)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(UserProfileTest, AddOrUpdateReplaces) {
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(Comedy(0.9)));
+  profile.AddOrUpdate(Comedy(0.4));
+  EXPECT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.preferences()[0].doi(), 0.4);
+}
+
+TEST(UserProfileTest, FindJoinIsDirectional) {
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(
+      AtomicPreference::Join({"PLAY", "mid"}, {"MOVIE", "mid"}, 1.0)));
+  EXPECT_NE(profile.FindJoin({"PLAY", "mid"}, {"MOVIE", "mid"}), nullptr);
+  EXPECT_EQ(profile.FindJoin({"MOVIE", "mid"}, {"PLAY", "mid"}), nullptr);
+}
+
+TEST(UserProfileTest, FindSelection) {
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(Comedy()));
+  EXPECT_NE(
+      profile.FindSelection({"GENRE", "genre"}, Value::Str("comedy")),
+      nullptr);
+  EXPECT_EQ(
+      profile.FindSelection({"GENRE", "genre"}, Value::Str("drama")),
+      nullptr);
+}
+
+TEST(UserProfileTest, ValidateAgainstSchema) {
+  Schema schema = MovieSchema();
+  QP_EXPECT_OK(JulieProfile().Validate(schema));
+
+  UserProfile bad_attr;
+  QP_EXPECT_OK(bad_attr.Add(AtomicPreference::Selection(
+      {"GENRE", "nope"}, Value::Str("x"), 0.5)));
+  EXPECT_FALSE(bad_attr.Validate(schema).ok());
+
+  UserProfile bad_type;
+  QP_EXPECT_OK(bad_type.Add(AtomicPreference::Selection(
+      {"MOVIE", "year"}, Value::Str("nineteen-ninety"), 0.5)));
+  EXPECT_FALSE(bad_type.Validate(schema).ok());
+
+  UserProfile bad_join;
+  QP_EXPECT_OK(bad_join.Add(AtomicPreference::Join(
+      {"MOVIE", "mid"}, {"ACTOR", "aid"}, 0.5)));  // Not a declared join.
+  EXPECT_EQ(bad_join.Validate(schema).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UserProfileTest, SerializeMatchesPaperFormat) {
+  UserProfile profile;
+  QP_EXPECT_OK(profile.Add(
+      AtomicPreference::Join({"THEATRE", "tid"}, {"PLAY", "tid"}, 1.0)));
+  QP_EXPECT_OK(profile.Add(Comedy(0.9)));
+  EXPECT_EQ(profile.Serialize(),
+            "[ THEATRE.tid=PLAY.tid, 1 ]\n"
+            "[ GENRE.genre='comedy', 0.9 ]\n");
+}
+
+TEST(UserProfileTest, ParsePaperFigure2) {
+  // Figure 2 of the paper, verbatim (modulo typography).
+  auto profile = UserProfile::Parse(
+      "[ THEATRE.tid=PLAY.tid, 1 ]\n"
+      "[ PLAY.tid=THEATRE.tid, 1 ]\n"
+      "[ PLAY.mid=MOVIE.mid, 1 ]\n"
+      "[ MOVIE.mid=PLAY.mid, 0.8 ]\n"
+      "[ MOVIE.mid=GENRE.mid, 0.9 ]\n"
+      "[ ACTOR.name='A. Hopkins', 0.8 ]\n"
+      "[ GENRE.genre='comedy', 0.9 ]\n"
+      "[ GENRE.genre='thriller', 0.7 ]\n");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_EQ(profile->size(), 8u);
+  EXPECT_EQ(profile->NumSelections(), 3u);
+  EXPECT_EQ(profile->NumJoins(), 5u);
+  const AtomicPreference* hopkins =
+      profile->FindSelection({"ACTOR", "name"}, Value::Str("A. Hopkins"));
+  ASSERT_NE(hopkins, nullptr);
+  EXPECT_DOUBLE_EQ(hopkins->doi(), 0.8);
+}
+
+TEST(UserProfileTest, ParseSkipsCommentsAndBlankLines) {
+  auto profile = UserProfile::Parse(
+      "# Julie's profile\n"
+      "\n"
+      "[ GENRE.genre='comedy', 0.9 ]\n"
+      "   # trailing comment line\n");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->size(), 1u);
+}
+
+TEST(UserProfileTest, ParseHandlesIntegerValues) {
+  auto profile = UserProfile::Parse("[ MOVIE.year=1994, 0.6 ]\n");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->preferences()[0].value(), Value::Int(1994));
+}
+
+TEST(UserProfileTest, ParseErrors) {
+  EXPECT_FALSE(UserProfile::Parse("[ GENRE.genre='comedy' ]").ok());
+  EXPECT_FALSE(UserProfile::Parse("[ GENRE.genre=, 0.9 ]").ok());
+  EXPECT_FALSE(UserProfile::Parse("GENRE.genre='comedy', 0.9").ok());
+  EXPECT_FALSE(UserProfile::Parse("[ GENRE.genre='comedy', 0.9").ok());
+  EXPECT_FALSE(UserProfile::Parse("[ GENRE.genre='comedy', 1.9 ]").ok());
+}
+
+TEST(UserProfileTest, SerializeParseRoundTrip) {
+  UserProfile julie = JulieProfile();
+  auto reparsed = UserProfile::Parse(julie.Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->size(), julie.size());
+  for (size_t i = 0; i < julie.size(); ++i) {
+    EXPECT_TRUE(
+        reparsed->preferences()[i].SameCondition(julie.preferences()[i]));
+    EXPECT_DOUBLE_EQ(reparsed->preferences()[i].doi(),
+                     julie.preferences()[i].doi());
+  }
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,246 @@
+#include "qp/query/condition.h"
+
+#include <functional>
+#include <map>
+
+#include "gtest/gtest.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+AtomicCondition Sel(const std::string& var, const std::string& col,
+                    int64_t v) {
+  return AtomicCondition::Selection(var, col, Value::Int(v));
+}
+
+TEST(AtomicConditionTest, SelectionAccessors) {
+  AtomicCondition c =
+      AtomicCondition::Selection("GN", "genre", Value::Str("comedy"));
+  EXPECT_TRUE(c.is_selection());
+  EXPECT_FALSE(c.is_join());
+  EXPECT_EQ(c.var(), "GN");
+  EXPECT_EQ(c.column(), "genre");
+  EXPECT_EQ(c.value(), Value::Str("comedy"));
+  EXPECT_EQ(c.ToSql(), "GN.genre='comedy'");
+  EXPECT_EQ(c.ReferencedVars(), (std::vector<std::string>{"GN"}));
+}
+
+TEST(AtomicConditionTest, JoinAccessors) {
+  AtomicCondition c = AtomicCondition::Join("MV", "mid", "GN", "mid");
+  EXPECT_TRUE(c.is_join());
+  EXPECT_EQ(c.left_var(), "MV");
+  EXPECT_EQ(c.right_var(), "GN");
+  EXPECT_EQ(c.ToSql(), "MV.mid=GN.mid");
+  EXPECT_EQ(c.ReferencedVars(), (std::vector<std::string>{"MV", "GN"}));
+}
+
+TEST(AtomicConditionTest, Equality) {
+  EXPECT_EQ(Sel("A", "x", 1), Sel("A", "x", 1));
+  EXPECT_NE(Sel("A", "x", 1), Sel("A", "x", 2));
+  EXPECT_NE(Sel("A", "x", 1), Sel("B", "x", 1));
+  EXPECT_EQ(AtomicCondition::Join("A", "x", "B", "y"),
+            AtomicCondition::Join("A", "x", "B", "y"));
+  EXPECT_NE(AtomicCondition::Join("A", "x", "B", "y"),
+            AtomicCondition::Join("B", "y", "A", "x"));  // Direction matters.
+  EXPECT_NE(Sel("A", "x", 1), AtomicCondition::Join("A", "x", "B", "y"));
+}
+
+TEST(ConditionNodeTest, AtomFactory) {
+  ConditionPtr node = ConditionNode::MakeAtom(Sel("A", "x", 1));
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->kind(), ConditionNode::Kind::kAtom);
+  EXPECT_EQ(node->atom(), Sel("A", "x", 1));
+  EXPECT_EQ(node->NumAtoms(), 1u);
+}
+
+TEST(ConditionNodeTest, AndFlattensNested) {
+  ConditionPtr inner = ConditionNode::MakeAnd(
+      {ConditionNode::MakeAtom(Sel("A", "x", 1)),
+       ConditionNode::MakeAtom(Sel("A", "y", 2))});
+  ConditionPtr outer = ConditionNode::MakeAnd(
+      {inner, ConditionNode::MakeAtom(Sel("A", "z", 3))});
+  ASSERT_EQ(outer->kind(), ConditionNode::Kind::kAnd);
+  EXPECT_EQ(outer->children().size(), 3u);
+  EXPECT_EQ(outer->NumAtoms(), 3u);
+}
+
+TEST(ConditionNodeTest, SingleChildCollapses) {
+  ConditionPtr atom = ConditionNode::MakeAtom(Sel("A", "x", 1));
+  EXPECT_EQ(ConditionNode::MakeAnd({atom}), atom);
+  EXPECT_EQ(ConditionNode::MakeOr({atom}), atom);
+}
+
+TEST(ConditionNodeTest, NullChildrenDropped) {
+  ConditionPtr atom = ConditionNode::MakeAtom(Sel("A", "x", 1));
+  ConditionPtr node = ConditionNode::MakeAnd({nullptr, atom, nullptr});
+  EXPECT_EQ(node, atom);
+  EXPECT_EQ(ConditionNode::MakeAnd({nullptr, nullptr}), nullptr);
+}
+
+TEST(ConditionNodeTest, ConjoinHandlesNulls) {
+  ConditionPtr atom = ConditionNode::MakeAtom(Sel("A", "x", 1));
+  EXPECT_EQ(ConditionNode::Conjoin(nullptr, nullptr), nullptr);
+  EXPECT_EQ(ConditionNode::Conjoin(atom, nullptr), atom);
+  EXPECT_EQ(ConditionNode::Conjoin(nullptr, atom), atom);
+  ConditionPtr both = ConditionNode::Conjoin(
+      atom, ConditionNode::MakeAtom(Sel("A", "y", 2)));
+  EXPECT_EQ(both->NumAtoms(), 2u);
+}
+
+TEST(ConditionNodeTest, CollectAtomsPreOrder) {
+  ConditionPtr node = ConditionNode::MakeAnd(
+      {ConditionNode::MakeAtom(Sel("A", "x", 1)),
+       ConditionNode::MakeOr({ConditionNode::MakeAtom(Sel("A", "y", 2)),
+                              ConditionNode::MakeAtom(Sel("A", "z", 3))})});
+  std::vector<AtomicCondition> atoms;
+  node->CollectAtoms(&atoms);
+  ASSERT_EQ(atoms.size(), 3u);
+  EXPECT_EQ(atoms[0], Sel("A", "x", 1));
+  EXPECT_EQ(atoms[1], Sel("A", "y", 2));
+  EXPECT_EQ(atoms[2], Sel("A", "z", 3));
+}
+
+TEST(ConditionNodeTest, ToSqlParenthesizesOrInsideAnd) {
+  ConditionPtr node = ConditionNode::MakeAnd(
+      {ConditionNode::MakeAtom(Sel("A", "x", 1)),
+       ConditionNode::MakeOr({ConditionNode::MakeAtom(Sel("A", "y", 2)),
+                              ConditionNode::MakeAtom(Sel("A", "z", 3))})});
+  EXPECT_EQ(node->ToSql(), "A.x=1 and (A.y=2 or A.z=3)");
+}
+
+TEST(ConditionNodeTest, ToSqlParenthesizesAndInsideOr) {
+  ConditionPtr node = ConditionNode::MakeOr(
+      {ConditionNode::MakeAnd({ConditionNode::MakeAtom(Sel("A", "x", 1)),
+                               ConditionNode::MakeAtom(Sel("A", "y", 2))}),
+       ConditionNode::MakeAtom(Sel("A", "z", 3))});
+  EXPECT_EQ(node->ToSql(), "(A.x=1 and A.y=2) or A.z=3");
+}
+
+TEST(ConditionEqualsTest, StructuralEquality) {
+  auto make = [] {
+    return ConditionNode::MakeAnd(
+        {ConditionNode::MakeAtom(Sel("A", "x", 1)),
+         ConditionNode::MakeOr({ConditionNode::MakeAtom(Sel("A", "y", 2)),
+                                ConditionNode::MakeAtom(Sel("A", "z", 3))})});
+  };
+  EXPECT_TRUE(ConditionEquals(make(), make()));
+  EXPECT_TRUE(ConditionEquals(nullptr, nullptr));
+  EXPECT_FALSE(ConditionEquals(make(), nullptr));
+  EXPECT_FALSE(ConditionEquals(
+      make(), ConditionNode::MakeAtom(Sel("A", "x", 1))));
+}
+
+TEST(DnfTest, NullConditionIsSingleEmptyConjunct) {
+  auto dnf = ToDnf(nullptr);
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_TRUE(dnf[0].empty());
+}
+
+TEST(DnfTest, AtomIsItself) {
+  auto dnf = ToDnf(ConditionNode::MakeAtom(Sel("A", "x", 1)));
+  ASSERT_EQ(dnf.size(), 1u);
+  ASSERT_EQ(dnf[0].size(), 1u);
+  EXPECT_EQ(dnf[0][0], Sel("A", "x", 1));
+}
+
+TEST(DnfTest, DistributesAndOverOr) {
+  // (a) and (b or c) -> ab, ac
+  ConditionPtr node = ConditionNode::MakeAnd(
+      {ConditionNode::MakeAtom(Sel("A", "a", 1)),
+       ConditionNode::MakeOr({ConditionNode::MakeAtom(Sel("A", "b", 2)),
+                              ConditionNode::MakeAtom(Sel("A", "c", 3))})});
+  auto dnf = ToDnf(node);
+  ASSERT_EQ(dnf.size(), 2u);
+  EXPECT_EQ(dnf[0].size(), 2u);
+  EXPECT_EQ(dnf[1].size(), 2u);
+}
+
+TEST(DnfTest, CombinationCount) {
+  // (a or b) and (c or d) -> 4 disjuncts of 2 atoms.
+  ConditionPtr node = ConditionNode::MakeAnd(
+      {ConditionNode::MakeOr({ConditionNode::MakeAtom(Sel("A", "a", 1)),
+                              ConditionNode::MakeAtom(Sel("A", "b", 2))}),
+       ConditionNode::MakeOr({ConditionNode::MakeAtom(Sel("A", "c", 3)),
+                              ConditionNode::MakeAtom(Sel("A", "d", 4))})});
+  auto dnf = ToDnf(node);
+  EXPECT_EQ(dnf.size(), 4u);
+}
+
+// Property: DNF is logically equivalent to the original tree. Random trees
+// over 6 boolean-ish atoms are evaluated under random assignments.
+class DnfPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DnfPropertyTest, DnfEquivalentToTree) {
+  Rng rng(GetParam());
+  // Atom i is "A.c<i>=1"; an assignment maps i -> bool.
+  const int num_atoms = 6;
+  std::function<ConditionPtr(int)> random_tree = [&](int depth) {
+    uint64_t pick = rng.Below(depth >= 3 ? 1 : 3);
+    if (pick == 0) {
+      return ConditionNode::MakeAtom(
+          Sel("A", "c" + std::to_string(rng.Below(num_atoms)), 1));
+    }
+    size_t arity = 2 + rng.Below(2);
+    std::vector<ConditionPtr> children;
+    for (size_t i = 0; i < arity; ++i) {
+      children.push_back(random_tree(depth + 1));
+    }
+    return pick == 1 ? ConditionNode::MakeAnd(std::move(children))
+                     : ConditionNode::MakeOr(std::move(children));
+  };
+
+  std::function<bool(const ConditionPtr&, const std::map<std::string, bool>&)>
+      eval = [&](const ConditionPtr& node,
+                 const std::map<std::string, bool>& assign) -> bool {
+    if (node == nullptr) return true;
+    switch (node->kind()) {
+      case ConditionNode::Kind::kAtom:
+        return assign.at(node->atom().column());
+      case ConditionNode::Kind::kAnd:
+        for (const auto& c : node->children()) {
+          if (!eval(c, assign)) return false;
+        }
+        return true;
+      case ConditionNode::Kind::kOr:
+        for (const auto& c : node->children()) {
+          if (eval(c, assign)) return true;
+        }
+        return false;
+    }
+    return false;
+  };
+
+  for (int trial = 0; trial < 10; ++trial) {
+    ConditionPtr tree = random_tree(0);
+    auto dnf = ToDnf(tree);
+    for (int a = 0; a < 20; ++a) {
+      std::map<std::string, bool> assign;
+      for (int i = 0; i < num_atoms; ++i) {
+        assign["c" + std::to_string(i)] = rng.Bernoulli(0.5);
+      }
+      bool tree_value = eval(tree, assign);
+      bool dnf_value = false;
+      for (const auto& conjunct : dnf) {
+        bool all = true;
+        for (const auto& atom : conjunct) {
+          if (!assign.at(atom.column())) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          dnf_value = true;
+          break;
+        }
+      }
+      EXPECT_EQ(tree_value, dnf_value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,115 @@
+// Robustness tests for the SQL lexer/parser and profile parser: malformed
+// input of any shape must produce a parse error (or parse successfully),
+// never crash, hang, or corrupt state.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/pref/profile.h"
+#include "qp/query/sql_parser.h"
+#include "qp/query/sql_writer.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+const char* kSeeds[] = {
+    "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid and "
+    "PL.date='2/7/2003'",
+    "select distinct MV.title from MOVIE MV where MV.year=1999 or "
+    "(MV.year=2000 and MV.title='x')",
+    "select MV.title from ((select distinct MV.title, 0.81 as doi from "
+    "MOVIE MV) union all (select distinct MV.title, -0.5 as doi from "
+    "MOVIE MV)) TEMP group by MV.title having "
+    "degree_of_conjunction(doi) > 0.5 except (select distinct MV.title "
+    "from MOVIE MV) order by degree_of_conjunction(doi) desc",
+    "select MV.title from MOVIE MV where near(MV.year, 1994, 5)",
+};
+
+TEST(ParserFuzzTest, EveryPrefixOfValidSqlIsHandled) {
+  for (const char* seed : kSeeds) {
+    std::string sql(seed);
+    for (size_t len = 0; len <= sql.size(); ++len) {
+      auto result = ParseStatement(sql.substr(0, len));
+      // Must not crash; outcome (ok or error) is input-dependent.
+      if (result.ok() && len == sql.size()) {
+        SUCCEED();
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomCharacterMutationsAreHandled) {
+  Rng rng(20040308);
+  const std::string charset =
+      "abcdefgSELECTselectfromwhere.,()[]=*>-'\"0123456789 \t\n";
+  for (const char* seed : kSeeds) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string sql(seed);
+      size_t mutations = 1 + rng.Below(4);
+      for (size_t m = 0; m < mutations; ++m) {
+        size_t pos = rng.Below(sql.size());
+        sql[pos] = charset[rng.Below(charset.size())];
+      }
+      auto result = ParseStatement(sql);
+      if (result.ok()) {
+        // Whatever parsed must be writable again without crashing.
+        std::string rewritten = result->is_select()
+                                    ? ToSql(result->select())
+                                    : ToSql(result->compound());
+        EXPECT_FALSE(rewritten.empty());
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenSoupIsHandled) {
+  Rng rng(42424242);
+  const std::vector<std::string> tokens = {
+      "select", "from",  "where", "and",   "or",    "union", "all",
+      "group",  "by",    "having", "count", "near",  "except", "order",
+      "desc",   "MV",    "title", "MOVIE", ".",     ",",     "(",
+      ")",      "=",     "*",     ">=",    ">",     "-",     "'x'",
+      "0.5",    "42",    "doi",   "as",    "TEMP"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string sql;
+    size_t length = 1 + rng.Below(25);
+    for (size_t i = 0; i < length; ++i) {
+      sql += tokens[rng.Below(tokens.size())];
+      sql += " ";
+    }
+    auto result = ParseStatement(sql);
+    (void)result;  // Any outcome but a crash is acceptable.
+  }
+  SUCCEED();
+}
+
+TEST(ProfileParserFuzzTest, PrefixesAndMutations) {
+  const std::string seed =
+      "[ THEATRE.tid=PLAY.tid, 1 ]\n"
+      "[ GENRE.genre='comedy', 0.9 ]\n"
+      "[ near(MOVIE.year, 1994, 5), 0.8 ]\n"
+      "[ GENRE.genre='horror', -0.7 ]\n";
+  for (size_t len = 0; len <= seed.size(); ++len) {
+    auto result = UserProfile::Parse(seed.substr(0, len));
+    (void)result;
+  }
+  Rng rng(77);
+  const std::string charset = "[]=.,'()-0123456789abcGENRE \n#";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = seed;
+    for (int m = 0; m < 3; ++m) {
+      text[rng.Below(text.size())] = charset[rng.Below(charset.size())];
+    }
+    auto result = UserProfile::Parse(text);
+    if (result.ok()) {
+      // Anything accepted must serialize back.
+      EXPECT_FALSE(result->Serialize().empty() && result->size() > 0);
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,141 @@
+#include "qp/query/query.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+
+namespace qp {
+namespace {
+
+TEST(SelectQueryTest, AddVariableRejectsDuplicates) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  EXPECT_EQ(q.AddVariable("MV", "PLAY").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SelectQueryTest, FindVariable) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  ASSERT_NE(q.FindVariable("MV"), nullptr);
+  EXPECT_EQ(q.FindVariable("MV")->table, "MOVIE");
+  EXPECT_EQ(q.FindVariable("ZZ"), nullptr);
+}
+
+TEST(SelectQueryTest, FreshAliasAvoidsCollisions) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("GN", "GENRE"));
+  EXPECT_EQ(q.FreshAlias("GN"), "GN2");
+  QP_EXPECT_OK(q.AddVariable("GN2", "GENRE"));
+  EXPECT_EQ(q.FreshAlias("GN"), "GN3");
+  EXPECT_EQ(q.FreshAlias("CA"), "CA");
+}
+
+TEST(SelectQueryTest, ValidateAcceptsTonightQuery) {
+  QP_EXPECT_OK(TonightQuery().Validate(MovieSchema()));
+}
+
+TEST(SelectQueryTest, ValidateRejectsEmptyFrom) {
+  SelectQuery q;
+  q.AddProjection("MV", "title");
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ValidateRejectsNoProjection) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ValidateRejectsUnknownTable) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("XX", "NOPE"));
+  q.AddProjection("XX", "title");
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ValidateRejectsUnknownColumn) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  q.AddProjection("MV", "nope");
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ValidateRejectsUndeclaredVarInWhere) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  q.AddProjection("MV", "title");
+  q.set_where(ConditionNode::MakeAtom(
+      AtomicCondition::Selection("ZZ", "genre", Value::Str("x"))));
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ValidateRejectsLiteralTypeMismatch) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  q.AddProjection("MV", "title");
+  q.set_where(ConditionNode::MakeAtom(
+      AtomicCondition::Selection("MV", "title", Value::Int(3))));
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ValidateRejectsJoinTypeMismatch) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  QP_EXPECT_OK(q.AddVariable("GN", "GENRE"));
+  q.AddProjection("MV", "title");
+  q.set_where(ConditionNode::MakeAtom(
+      AtomicCondition::Join("MV", "mid", "GN", "genre")));
+  EXPECT_EQ(q.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectQueryTest, ProjectionOutputName) {
+  ProjectionItem item{"MV", "title"};
+  EXPECT_EQ(item.OutputName(), "MV.title");
+}
+
+TEST(CompoundQueryTest, ValidateRequiresParts) {
+  CompoundQuery c;
+  EXPECT_EQ(c.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompoundQueryTest, ValidateChecksArity) {
+  CompoundQuery c;
+  c.AddPart(TonightQuery(), 0.9);
+  SelectQuery other = TonightQuery();
+  other.AddProjection("MV", "year");
+  c.AddPart(other, 0.8);
+  EXPECT_EQ(c.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompoundQueryTest, ValidateChecksDegreeRange) {
+  CompoundQuery c;
+  c.AddPart(TonightQuery(), 1.5);
+  EXPECT_EQ(c.Validate(MovieSchema()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompoundQueryTest, UsesDegrees) {
+  CompoundQuery c;
+  c.AddPart(TonightQuery(), 0.9);
+  EXPECT_FALSE(c.UsesDegrees());
+  c.set_having(HavingClause::CountAtLeast(2));
+  EXPECT_FALSE(c.UsesDegrees());
+  c.set_order_by_degree(true);
+  EXPECT_TRUE(c.UsesDegrees());
+  c.set_order_by_degree(false);
+  c.set_having(HavingClause::DegreeAbove(0.5));
+  EXPECT_TRUE(c.UsesDegrees());
+}
+
+TEST(HavingClauseTest, Factories) {
+  EXPECT_EQ(HavingClause::None().kind, HavingClause::Kind::kNone);
+  HavingClause count = HavingClause::CountAtLeast(3);
+  EXPECT_EQ(count.kind, HavingClause::Kind::kCountAtLeast);
+  EXPECT_EQ(count.min_count, 3u);
+  HavingClause degree = HavingClause::DegreeAbove(0.7);
+  EXPECT_EQ(degree.kind, HavingClause::Kind::kDegreeAbove);
+  EXPECT_DOUBLE_EQ(degree.min_degree, 0.7);
+}
+
+}  // namespace
+}  // namespace qp

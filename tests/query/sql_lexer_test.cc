@@ -1,0 +1,113 @@
+#include "qp/query/sql_lexer.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Tokenize("select Foo _bar b2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[0].text, "select");
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_FALSE((*tokens)[0].IsKeyword("selec"));
+  EXPECT_EQ((*tokens)[1].text, "Foo");
+  EXPECT_EQ((*tokens)[2].text, "_bar");
+  EXPECT_EQ((*tokens)[3].text, "b2");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.14 0.9");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].text, "3.14");
+  EXPECT_EQ((*tokens)[2].text, "0.9");
+}
+
+TEST(LexerTest, NumberFollowedByDotIdent) {
+  // "1.x" must lex as number 1, symbol '.', ident x — not a malformed
+  // decimal.
+  auto tokens = Tokenize("1.x");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "1");
+  EXPECT_TRUE((*tokens)[1].IsSymbol("."));
+  EXPECT_EQ((*tokens)[2].text, "x");
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+}
+
+TEST(LexerTest, StringEscapedQuote) {
+  auto tokens = Tokenize("'O''Hara'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "O'Hara");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("'oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, Symbols) {
+  auto tokens = Tokenize(". , ( ) [ ] = * > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> expected = {".", ",", "(", ")", "[",
+                                       "]", "=", "*", ">", ">="};
+  ASSERT_EQ(tokens->size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE((*tokens)[i].IsSymbol(expected[i]))
+        << i << ": " << (*tokens)[i].text;
+  }
+}
+
+TEST(LexerTest, GreaterEqualIsOneToken) {
+  auto tokens = Tokenize("count(*)>=2");
+  ASSERT_TRUE(tokens.ok());
+  bool found = false;
+  for (const Token& t : *tokens) {
+    if (t.IsSymbol(">=")) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto tokens = Tokenize("select @");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OffsetsTrackPositions) {
+  auto tokens = Tokenize("ab cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 3u);
+}
+
+TEST(LexerTest, RealisticQuery) {
+  auto tokens =
+      Tokenize("select MV.title from MOVIE MV where MV.mid=PL.mid and "
+               "PL.date='2/7/2003'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_GT(tokens->size(), 15u);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace qp

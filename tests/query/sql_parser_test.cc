@@ -1,0 +1,162 @@
+#include "qp/query/sql_parser.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/query/sql_writer.h"
+
+namespace qp {
+namespace {
+
+TEST(SqlParserTest, ParsesTonightQuery) {
+  auto parsed = ParseSelectQuery(
+      "select MV.title from MOVIE MV, PLAY PL "
+      "where MV.mid=PL.mid and PL.date='2/7/2003'");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const SelectQuery& q = *parsed;
+  ASSERT_EQ(q.from().size(), 2u);
+  EXPECT_EQ(q.from()[0].alias, "MV");
+  EXPECT_EQ(q.from()[0].table, "MOVIE");
+  ASSERT_EQ(q.projections().size(), 1u);
+  EXPECT_EQ(q.projections()[0].OutputName(), "MV.title");
+  ASSERT_NE(q.where(), nullptr);
+  EXPECT_EQ(q.where()->NumAtoms(), 2u);
+  QP_EXPECT_OK(q.Validate(MovieSchema()));
+}
+
+TEST(SqlParserTest, ParsesDistinct) {
+  auto parsed =
+      ParseSelectQuery("select distinct MV.title from MOVIE MV");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->distinct());
+}
+
+TEST(SqlParserTest, KeywordsCaseInsensitive) {
+  auto parsed = ParseSelectQuery(
+      "SELECT MV.title FROM MOVIE MV WHERE MV.year=1999");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->where()->atom().value(), Value::Int(1999));
+}
+
+TEST(SqlParserTest, ParsesNumericLiterals) {
+  auto parsed = ParseSelectQuery(
+      "select MV.title from MOVIE MV where MV.year=1985");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->where()->atom().value(), Value::Int(1985));
+}
+
+TEST(SqlParserTest, ParsesParenthesizedOr) {
+  auto parsed = ParseSelectQuery(
+      "select GN.mid from GENRE GN where GN.mid=1 and "
+      "(GN.genre='a' or GN.genre='b')");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->where()->kind(), ConditionNode::Kind::kAnd);
+  EXPECT_EQ(parsed->where()->children()[1]->kind(),
+            ConditionNode::Kind::kOr);
+}
+
+TEST(SqlParserTest, OrBindsLooserThanAnd) {
+  auto parsed = ParseSelectQuery(
+      "select GN.mid from GENRE GN where GN.genre='a' and GN.mid=1 or "
+      "GN.genre='b'");
+  ASSERT_TRUE(parsed.ok());
+  // (a and 1) or b: top node is OR with 2 children.
+  EXPECT_EQ(parsed->where()->kind(), ConditionNode::Kind::kOr);
+  ASSERT_EQ(parsed->where()->children().size(), 2u);
+  EXPECT_EQ(parsed->where()->children()[0]->kind(),
+            ConditionNode::Kind::kAnd);
+}
+
+TEST(SqlParserTest, ErrorOnTrailingInput) {
+  auto parsed =
+      ParseSelectQuery("select MV.title from MOVIE MV garbage garbage");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(SqlParserTest, ErrorOnMissingFrom) {
+  EXPECT_FALSE(ParseSelectQuery("select MV.title").ok());
+}
+
+TEST(SqlParserTest, ErrorOnBadProjection) {
+  EXPECT_FALSE(ParseSelectQuery("select title from MOVIE MV").ok());
+}
+
+TEST(SqlParserTest, ParsesCompoundCountForm) {
+  auto parsed = ParseStatement(
+      "select MV.title from ((select distinct MV.title from MOVIE MV, "
+      "PLAY PL where MV.mid=PL.mid) union all (select distinct MV.title "
+      "from MOVIE MV, GENRE GN where MV.mid=GN.mid)) TEMP group by "
+      "MV.title having count(*) >= 2");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->is_compound());
+  const CompoundQuery& c = parsed->compound();
+  EXPECT_EQ(c.parts().size(), 2u);
+  EXPECT_EQ(c.having().kind, HavingClause::Kind::kCountAtLeast);
+  EXPECT_EQ(c.having().min_count, 2u);
+  EXPECT_FALSE(c.order_by_degree());
+}
+
+TEST(SqlParserTest, ParsesCompoundDegreeForm) {
+  auto parsed = ParseStatement(
+      "select MV.title from ((select distinct MV.title, 0.81 as doi from "
+      "MOVIE MV)) TEMP group by MV.title having "
+      "degree_of_conjunction(doi) > 0.5 order by "
+      "degree_of_conjunction(doi) desc");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->is_compound());
+  const CompoundQuery& c = parsed->compound();
+  ASSERT_EQ(c.parts().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.parts()[0].degree, 0.81);
+  EXPECT_EQ(c.having().kind, HavingClause::Kind::kDegreeAbove);
+  EXPECT_TRUE(c.order_by_degree());
+}
+
+TEST(SqlParserTest, CompoundGroupByMustMatchProjection) {
+  auto parsed = ParseStatement(
+      "select MV.title from ((select distinct MV.title from MOVIE MV)) "
+      "TEMP group by MV.year");
+  EXPECT_FALSE(parsed.ok());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, WriteParseWriteIsStable) {
+  auto first = ParseStatement(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string written = first->is_select() ? ToSql(first->select())
+                                           : ToSql(first->compound());
+  auto second = ParseStatement(written);
+  ASSERT_TRUE(second.ok()) << second.status() << "\nSQL: " << written;
+  std::string rewritten = second->is_select() ? ToSql(second->select())
+                                              : ToSql(second->compound());
+  EXPECT_EQ(written, rewritten);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "select MV.title from MOVIE MV",
+        "select distinct MV.title from MOVIE MV, PLAY PL where "
+        "MV.mid=PL.mid and PL.date='2/7/2003'",
+        "select MV.title, MV.year from MOVIE MV where MV.year=1999",
+        "select GN.mid from GENRE GN where GN.genre='a' or GN.genre='b'",
+        "select MV.title from MOVIE MV where MV.mid=1 and "
+        "(MV.year=1999 or MV.year=2000)",
+        "select MV.title from ((select distinct MV.title from MOVIE MV)) "
+        "TEMP group by MV.title having count(*) >= 1",
+        "select MV.title from ((select distinct MV.title, 0.9 as doi from "
+        "MOVIE MV) union all (select distinct MV.title, 0.72 as doi from "
+        "MOVIE MV, GENRE GN where MV.mid=GN.mid)) TEMP group by MV.title "
+        "having degree_of_conjunction(doi) > 0.25 order by "
+        "degree_of_conjunction(doi) desc"));
+
+TEST(SqlParserTest, RoundTripsPaperQueryExactly) {
+  std::string sql = ToSql(TonightQuery());
+  auto parsed = ParseSelectQuery(sql);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ToSql(*parsed), sql);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,102 @@
+#include "qp/query/sql_writer.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/paper_example.h"
+
+namespace qp {
+namespace {
+
+TEST(SqlWriterTest, TonightQuery) {
+  EXPECT_EQ(ToSql(TonightQuery()),
+            "select MV.title from MOVIE MV, PLAY PL "
+            "where MV.mid=PL.mid and PL.date='2/7/2003'");
+}
+
+TEST(SqlWriterTest, DistinctFlag) {
+  SelectQuery q = TonightQuery();
+  q.set_distinct(true);
+  EXPECT_TRUE(ToSql(q).starts_with("select distinct MV.title"));
+}
+
+TEST(SqlWriterTest, NoWhereClause) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  q.AddProjection("MV", "title");
+  EXPECT_EQ(ToSql(q), "select MV.title from MOVIE MV");
+}
+
+TEST(SqlWriterTest, MultipleProjections) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("MV", "MOVIE"));
+  q.AddProjection("MV", "title");
+  q.AddProjection("MV", "year");
+  EXPECT_EQ(ToSql(q), "select MV.title, MV.year from MOVIE MV");
+}
+
+TEST(SqlWriterTest, DisjunctionParenthesized) {
+  SelectQuery q;
+  QP_EXPECT_OK(q.AddVariable("GN", "GENRE"));
+  q.AddProjection("GN", "mid");
+  q.set_where(ConditionNode::MakeAnd(
+      {ConditionNode::MakeAtom(
+           AtomicCondition::Selection("GN", "genre", Value::Str("comedy"))),
+       ConditionNode::MakeOr(
+           {ConditionNode::MakeAtom(AtomicCondition::Selection(
+                "GN", "genre", Value::Str("thriller"))),
+            ConditionNode::MakeAtom(AtomicCondition::Selection(
+                "GN", "genre", Value::Str("sci-fi")))})}));
+  EXPECT_EQ(ToSql(q),
+            "select GN.mid from GENRE GN where GN.genre='comedy' and "
+            "(GN.genre='thriller' or GN.genre='sci-fi')");
+}
+
+TEST(SqlWriterTest, CompoundCountForm) {
+  // The paper's MQ example shape: union all, group by, having count.
+  CompoundQuery c;
+  SelectQuery part1 = TonightQuery();
+  part1.set_distinct(true);
+  c.AddPart(part1, 0.81);
+  SelectQuery part2 = TonightQuery();
+  part2.set_distinct(true);
+  c.AddPart(part2, 0.72);
+  c.set_having(HavingClause::CountAtLeast(2));
+
+  EXPECT_EQ(
+      ToSql(c),
+      "select MV.title from ((select distinct MV.title from MOVIE MV, "
+      "PLAY PL where MV.mid=PL.mid and PL.date='2/7/2003') union all "
+      "(select distinct MV.title from MOVIE MV, PLAY PL where "
+      "MV.mid=PL.mid and PL.date='2/7/2003')) TEMP group by MV.title "
+      "having count(*) >= 2");
+}
+
+TEST(SqlWriterTest, CompoundDegreeFormEmitsDoiColumns) {
+  CompoundQuery c;
+  SelectQuery part = TonightQuery();
+  part.set_distinct(true);
+  c.AddPart(part, 0.81);
+  c.set_having(HavingClause::DegreeAbove(0.5));
+  c.set_order_by_degree(true);
+
+  std::string sql = ToSql(c);
+  EXPECT_NE(sql.find("0.81 as doi"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("having degree_of_conjunction(doi) > 0.5"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("order by degree_of_conjunction(doi) desc"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(SqlWriterTest, CompoundCountFormOmitsDoiColumns) {
+  CompoundQuery c;
+  SelectQuery part = TonightQuery();
+  part.set_distinct(true);
+  c.AddPart(part, 0.81);
+  c.set_having(HavingClause::CountAtLeast(1));
+  EXPECT_EQ(ToSql(c).find("as doi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,47 @@
+#include "qp/relational/database.h"
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+
+namespace qp {
+namespace {
+
+TEST(DatabaseTest, CreatesTablesFromSchema) {
+  Database db(MovieSchema());
+  EXPECT_TRUE(db.GetTable("MOVIE").ok());
+  EXPECT_TRUE(db.GetTable("GENRE").ok());
+  EXPECT_EQ(db.GetTable("NOPE").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, InsertRoutesToTable) {
+  Database db(MovieSchema());
+  QP_EXPECT_OK(db.Insert(
+      "MOVIE", {Value::Int(1), Value::Str("Solaris"), Value::Int(1972)}));
+  EXPECT_EQ(db.GetTable("MOVIE").value()->num_rows(), 1u);
+  EXPECT_EQ(db.TotalRows(), 1u);
+}
+
+TEST(DatabaseTest, InsertUnknownTableFails) {
+  Database db(MovieSchema());
+  EXPECT_EQ(db.Insert("NOPE", {}).code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, InsertPropagatesTypeErrors) {
+  Database db(MovieSchema());
+  EXPECT_EQ(db.Insert("MOVIE", {Value::Str("bad-mid"), Value::Str("t"),
+                                Value::Int(2000)})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, TotalRowsSumsTables) {
+  Database db(MovieSchema());
+  QP_EXPECT_OK(db.Insert("ACTOR", {Value::Int(1), Value::Str("a")}));
+  QP_EXPECT_OK(db.Insert("ACTOR", {Value::Int(2), Value::Str("b")}));
+  QP_EXPECT_OK(db.Insert("DIRECTOR", {Value::Int(1), Value::Str("d")}));
+  EXPECT_EQ(db.TotalRows(), 3u);
+}
+
+}  // namespace
+}  // namespace qp

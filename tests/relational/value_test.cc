@@ -1,0 +1,98 @@
+#include "qp/relational/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_EQ(Value::Int(42).type(), DataType::kInt64);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Real(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::Str("abc").as_string(), "abc");
+  EXPECT_EQ(Value::Str("abc").type(), DataType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, AsNumericCoercesInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsNumeric(), 3.5);
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, EqualityCrossNumericTypes) {
+  EXPECT_EQ(Value::Int(2), Value::Real(2.0));
+  EXPECT_NE(Value::Int(2), Value::Real(2.5));
+}
+
+TEST(ValueTest, StringsNeverEqualNumbers) {
+  EXPECT_NE(Value::Str("2"), Value::Int(2));
+  EXPECT_NE(Value::Str("2"), Value::Real(2.0));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_NE(Value::Null(), Value::Str(""));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Values that compare equal must hash equal (required by hash joins).
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Real(2.0).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::Str("1"));
+  set.insert(Value::Null());
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Value::Real(1.0)));  // Equal to Int(1).
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Real(0.5).ToString(), "0.5");
+}
+
+TEST(ValueTest, SqlLiteralEscapesQuotes) {
+  EXPECT_EQ(Value::Str("O'Hara").ToSqlLiteral(), "'O''Hara'");
+  EXPECT_EQ(Value::Str("plain").ToSqlLiteral(), "'plain'");
+  EXPECT_EQ(Value::Int(3).ToSqlLiteral(), "3");
+}
+
+TEST(ValueTest, OrderingRanksNullNumbersStrings) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Str("a"));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Real(1.5), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeName(DataType::kNull), "null");
+}
+
+}  // namespace
+}  // namespace qp

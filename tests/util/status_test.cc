@@ -1,0 +1,116 @@
+#include "qp/util/status.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotFound("missing table").message(), "missing table");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("t").ToString(), "not_found: t");
+  EXPECT_EQ(Status::ParseError("p").ToString(), "parse_error: p");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "internal: boom");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "invalid_argument");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("requested failure");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(bool fail) {
+  QP_RETURN_IF_ERROR(FailIf(fail));
+  return Status::Ok();
+}
+
+Result<int> ProduceInt(bool fail) {
+  if (fail) return Status::NotFound("no int");
+  return 7;
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  QP_ASSIGN_OR_RETURN(int v, ProduceInt(fail));
+  return v + 1;
+}
+
+}  // namespace
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  EXPECT_EQ(UsesReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 8);
+  Result<int> err = UsesAssignOrReturn(true);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qp

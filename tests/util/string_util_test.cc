@@ -1,0 +1,64 @@
+#include "qp/util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"x", "y"}, ""), "xy");
+}
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, RoundTripsWithJoin) {
+  std::string original = "one|two|three";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("\t\n abc\r "), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("SELECT"), "select");
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("abcdef", "bcd"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(EndsWith("abcdef", "abc"));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.9), "0.9");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.72), "0.72");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(0.123456789, 3), "0.123");
+  EXPECT_EQ(FormatDouble(123456.0, 3), "1.23e+05");
+}
+
+}  // namespace
+}  // namespace qp
