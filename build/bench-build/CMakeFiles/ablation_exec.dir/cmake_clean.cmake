@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_exec"
+  "../bench/ablation_exec.pdb"
+  "CMakeFiles/ablation_exec.dir/ablation_exec.cc.o"
+  "CMakeFiles/ablation_exec.dir/ablation_exec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mq_core"
+  "../bench/ablation_mq_core.pdb"
+  "CMakeFiles/ablation_mq_core.dir/ablation_mq_core.cc.o"
+  "CMakeFiles/ablation_mq_core.dir/ablation_mq_core.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

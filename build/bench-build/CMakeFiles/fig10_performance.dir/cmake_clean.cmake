@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_performance"
+  "../bench/fig10_performance.pdb"
+  "CMakeFiles/fig10_performance.dir/fig10_performance.cc.o"
+  "CMakeFiles/fig10_performance.dir/fig10_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_selection_time"
+  "../bench/fig6_selection_time.pdb"
+  "CMakeFiles/fig6_selection_time.dir/fig6_selection_time.cc.o"
+  "CMakeFiles/fig6_selection_time.dir/fig6_selection_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_selection_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_result_size"
+  "../bench/fig7_result_size.pdb"
+  "CMakeFiles/fig7_result_size.dir/fig7_result_size.cc.o"
+  "CMakeFiles/fig7_result_size.dir/fig7_result_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_result_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_sq_mq_vs_k.cc" "bench-build/CMakeFiles/fig8_sq_mq_vs_k.dir/fig8_sq_mq_vs_k.cc.o" "gcc" "bench-build/CMakeFiles/fig8_sq_mq_vs_k.dir/fig8_sq_mq_vs_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/qp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/core/CMakeFiles/qp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/data/CMakeFiles/qp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/exec/CMakeFiles/qp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/graph/CMakeFiles/qp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/pref/CMakeFiles/qp_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/query/CMakeFiles/qp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/relational/CMakeFiles/qp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_sq_mq_vs_k"
+  "../bench/fig8_sq_mq_vs_k.pdb"
+  "CMakeFiles/fig8_sq_mq_vs_k.dir/fig8_sq_mq_vs_k.cc.o"
+  "CMakeFiles/fig8_sq_mq_vs_k.dir/fig8_sq_mq_vs_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sq_mq_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_sq_mq_vs_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_sq_mq_vs_l"
+  "../bench/fig9_sq_mq_vs_l.pdb"
+  "CMakeFiles/fig9_sq_mq_vs_l.dir/fig9_sq_mq_vs_l.cc.o"
+  "CMakeFiles/fig9_sq_mq_vs_l.dir/fig9_sq_mq_vs_l.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sq_mq_vs_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

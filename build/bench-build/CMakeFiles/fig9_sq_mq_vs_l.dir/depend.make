@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_sq_mq_vs_l.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_doi"
+  "../bench/micro_doi.pdb"
+  "CMakeFiles/micro_doi.dir/micro_doi.cc.o"
+  "CMakeFiles/micro_doi.dir/micro_doi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_doi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

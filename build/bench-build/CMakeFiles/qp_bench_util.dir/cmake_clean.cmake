@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libqp_bench_util.a"
+  "../lib/libqp_bench_util.pdb"
+  "CMakeFiles/qp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/qp_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libqp_bench_util.a"
+)

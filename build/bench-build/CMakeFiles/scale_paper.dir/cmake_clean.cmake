@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scale_paper"
+  "../bench/scale_paper.pdb"
+  "CMakeFiles/scale_paper.dir/scale_paper.cc.o"
+  "CMakeFiles/scale_paper.dir/scale_paper.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_night.dir/movie_night.cpp.o"
+  "CMakeFiles/movie_night.dir/movie_night.cpp.o.d"
+  "movie_night"
+  "movie_night.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_night.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

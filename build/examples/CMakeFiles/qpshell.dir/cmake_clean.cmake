@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpshell.dir/qpshell.cpp.o"
+  "CMakeFiles/qpshell.dir/qpshell.cpp.o.d"
+  "qpshell"
+  "qpshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("qp/util")
+subdirs("qp/relational")
+subdirs("qp/query")
+subdirs("qp/pref")
+subdirs("qp/graph")
+subdirs("qp/exec")
+subdirs("qp/core")
+subdirs("qp/data")

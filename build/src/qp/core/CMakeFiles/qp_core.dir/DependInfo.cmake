@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/core/conflict.cc" "src/qp/core/CMakeFiles/qp_core.dir/conflict.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/conflict.cc.o.d"
+  "/root/repo/src/qp/core/context.cc" "src/qp/core/CMakeFiles/qp_core.dir/context.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/context.cc.o.d"
+  "/root/repo/src/qp/core/integration.cc" "src/qp/core/CMakeFiles/qp_core.dir/integration.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/integration.cc.o.d"
+  "/root/repo/src/qp/core/interest_criterion.cc" "src/qp/core/CMakeFiles/qp_core.dir/interest_criterion.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/interest_criterion.cc.o.d"
+  "/root/repo/src/qp/core/personalizer.cc" "src/qp/core/CMakeFiles/qp_core.dir/personalizer.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/personalizer.cc.o.d"
+  "/root/repo/src/qp/core/query_graph.cc" "src/qp/core/CMakeFiles/qp_core.dir/query_graph.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/query_graph.cc.o.d"
+  "/root/repo/src/qp/core/selection.cc" "src/qp/core/CMakeFiles/qp_core.dir/selection.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/selection.cc.o.d"
+  "/root/repo/src/qp/core/semantics.cc" "src/qp/core/CMakeFiles/qp_core.dir/semantics.cc.o" "gcc" "src/qp/core/CMakeFiles/qp_core.dir/semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/exec/CMakeFiles/qp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/graph/CMakeFiles/qp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/pref/CMakeFiles/qp_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/query/CMakeFiles/qp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/relational/CMakeFiles/qp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

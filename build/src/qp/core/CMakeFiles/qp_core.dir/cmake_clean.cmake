@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_core.dir/conflict.cc.o"
+  "CMakeFiles/qp_core.dir/conflict.cc.o.d"
+  "CMakeFiles/qp_core.dir/context.cc.o"
+  "CMakeFiles/qp_core.dir/context.cc.o.d"
+  "CMakeFiles/qp_core.dir/integration.cc.o"
+  "CMakeFiles/qp_core.dir/integration.cc.o.d"
+  "CMakeFiles/qp_core.dir/interest_criterion.cc.o"
+  "CMakeFiles/qp_core.dir/interest_criterion.cc.o.d"
+  "CMakeFiles/qp_core.dir/personalizer.cc.o"
+  "CMakeFiles/qp_core.dir/personalizer.cc.o.d"
+  "CMakeFiles/qp_core.dir/query_graph.cc.o"
+  "CMakeFiles/qp_core.dir/query_graph.cc.o.d"
+  "CMakeFiles/qp_core.dir/selection.cc.o"
+  "CMakeFiles/qp_core.dir/selection.cc.o.d"
+  "CMakeFiles/qp_core.dir/semantics.cc.o"
+  "CMakeFiles/qp_core.dir/semantics.cc.o.d"
+  "libqp_core.a"
+  "libqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

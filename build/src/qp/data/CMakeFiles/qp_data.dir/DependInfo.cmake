@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/data/movie_db.cc" "src/qp/data/CMakeFiles/qp_data.dir/movie_db.cc.o" "gcc" "src/qp/data/CMakeFiles/qp_data.dir/movie_db.cc.o.d"
+  "/root/repo/src/qp/data/paper_example.cc" "src/qp/data/CMakeFiles/qp_data.dir/paper_example.cc.o" "gcc" "src/qp/data/CMakeFiles/qp_data.dir/paper_example.cc.o.d"
+  "/root/repo/src/qp/data/workload.cc" "src/qp/data/CMakeFiles/qp_data.dir/workload.cc.o" "gcc" "src/qp/data/CMakeFiles/qp_data.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/pref/CMakeFiles/qp_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/query/CMakeFiles/qp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/relational/CMakeFiles/qp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_data.dir/movie_db.cc.o"
+  "CMakeFiles/qp_data.dir/movie_db.cc.o.d"
+  "CMakeFiles/qp_data.dir/paper_example.cc.o"
+  "CMakeFiles/qp_data.dir/paper_example.cc.o.d"
+  "CMakeFiles/qp_data.dir/workload.cc.o"
+  "CMakeFiles/qp_data.dir/workload.cc.o.d"
+  "libqp_data.a"
+  "libqp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/exec/executor.cc" "src/qp/exec/CMakeFiles/qp_exec.dir/executor.cc.o" "gcc" "src/qp/exec/CMakeFiles/qp_exec.dir/executor.cc.o.d"
+  "/root/repo/src/qp/exec/result.cc" "src/qp/exec/CMakeFiles/qp_exec.dir/result.cc.o" "gcc" "src/qp/exec/CMakeFiles/qp_exec.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/query/CMakeFiles/qp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/pref/CMakeFiles/qp_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/relational/CMakeFiles/qp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

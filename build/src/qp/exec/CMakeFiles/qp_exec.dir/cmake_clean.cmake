@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_exec.dir/executor.cc.o"
+  "CMakeFiles/qp_exec.dir/executor.cc.o.d"
+  "CMakeFiles/qp_exec.dir/result.cc.o"
+  "CMakeFiles/qp_exec.dir/result.cc.o.d"
+  "libqp_exec.a"
+  "libqp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_graph.dir/personalization_graph.cc.o"
+  "CMakeFiles/qp_graph.dir/personalization_graph.cc.o.d"
+  "CMakeFiles/qp_graph.dir/preference_path.cc.o"
+  "CMakeFiles/qp_graph.dir/preference_path.cc.o.d"
+  "libqp_graph.a"
+  "libqp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/pref/doi.cc" "src/qp/pref/CMakeFiles/qp_pref.dir/doi.cc.o" "gcc" "src/qp/pref/CMakeFiles/qp_pref.dir/doi.cc.o.d"
+  "/root/repo/src/qp/pref/preference.cc" "src/qp/pref/CMakeFiles/qp_pref.dir/preference.cc.o" "gcc" "src/qp/pref/CMakeFiles/qp_pref.dir/preference.cc.o.d"
+  "/root/repo/src/qp/pref/profile.cc" "src/qp/pref/CMakeFiles/qp_pref.dir/profile.cc.o" "gcc" "src/qp/pref/CMakeFiles/qp_pref.dir/profile.cc.o.d"
+  "/root/repo/src/qp/pref/profile_generator.cc" "src/qp/pref/CMakeFiles/qp_pref.dir/profile_generator.cc.o" "gcc" "src/qp/pref/CMakeFiles/qp_pref.dir/profile_generator.cc.o.d"
+  "/root/repo/src/qp/pref/profile_learner.cc" "src/qp/pref/CMakeFiles/qp_pref.dir/profile_learner.cc.o" "gcc" "src/qp/pref/CMakeFiles/qp_pref.dir/profile_learner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/query/CMakeFiles/qp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/relational/CMakeFiles/qp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

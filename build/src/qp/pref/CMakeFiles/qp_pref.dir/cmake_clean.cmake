@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_pref.dir/doi.cc.o"
+  "CMakeFiles/qp_pref.dir/doi.cc.o.d"
+  "CMakeFiles/qp_pref.dir/preference.cc.o"
+  "CMakeFiles/qp_pref.dir/preference.cc.o.d"
+  "CMakeFiles/qp_pref.dir/profile.cc.o"
+  "CMakeFiles/qp_pref.dir/profile.cc.o.d"
+  "CMakeFiles/qp_pref.dir/profile_generator.cc.o"
+  "CMakeFiles/qp_pref.dir/profile_generator.cc.o.d"
+  "CMakeFiles/qp_pref.dir/profile_learner.cc.o"
+  "CMakeFiles/qp_pref.dir/profile_learner.cc.o.d"
+  "libqp_pref.a"
+  "libqp_pref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_pref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

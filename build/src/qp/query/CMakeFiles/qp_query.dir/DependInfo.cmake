@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/query/condition.cc" "src/qp/query/CMakeFiles/qp_query.dir/condition.cc.o" "gcc" "src/qp/query/CMakeFiles/qp_query.dir/condition.cc.o.d"
+  "/root/repo/src/qp/query/query.cc" "src/qp/query/CMakeFiles/qp_query.dir/query.cc.o" "gcc" "src/qp/query/CMakeFiles/qp_query.dir/query.cc.o.d"
+  "/root/repo/src/qp/query/sql_lexer.cc" "src/qp/query/CMakeFiles/qp_query.dir/sql_lexer.cc.o" "gcc" "src/qp/query/CMakeFiles/qp_query.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/qp/query/sql_parser.cc" "src/qp/query/CMakeFiles/qp_query.dir/sql_parser.cc.o" "gcc" "src/qp/query/CMakeFiles/qp_query.dir/sql_parser.cc.o.d"
+  "/root/repo/src/qp/query/sql_writer.cc" "src/qp/query/CMakeFiles/qp_query.dir/sql_writer.cc.o" "gcc" "src/qp/query/CMakeFiles/qp_query.dir/sql_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/relational/CMakeFiles/qp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

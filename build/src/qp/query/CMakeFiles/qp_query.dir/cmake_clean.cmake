@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_query.dir/condition.cc.o"
+  "CMakeFiles/qp_query.dir/condition.cc.o.d"
+  "CMakeFiles/qp_query.dir/query.cc.o"
+  "CMakeFiles/qp_query.dir/query.cc.o.d"
+  "CMakeFiles/qp_query.dir/sql_lexer.cc.o"
+  "CMakeFiles/qp_query.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/qp_query.dir/sql_parser.cc.o"
+  "CMakeFiles/qp_query.dir/sql_parser.cc.o.d"
+  "CMakeFiles/qp_query.dir/sql_writer.cc.o"
+  "CMakeFiles/qp_query.dir/sql_writer.cc.o.d"
+  "libqp_query.a"
+  "libqp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

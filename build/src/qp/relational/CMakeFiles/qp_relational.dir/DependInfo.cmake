@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/relational/csv.cc" "src/qp/relational/CMakeFiles/qp_relational.dir/csv.cc.o" "gcc" "src/qp/relational/CMakeFiles/qp_relational.dir/csv.cc.o.d"
+  "/root/repo/src/qp/relational/database.cc" "src/qp/relational/CMakeFiles/qp_relational.dir/database.cc.o" "gcc" "src/qp/relational/CMakeFiles/qp_relational.dir/database.cc.o.d"
+  "/root/repo/src/qp/relational/schema.cc" "src/qp/relational/CMakeFiles/qp_relational.dir/schema.cc.o" "gcc" "src/qp/relational/CMakeFiles/qp_relational.dir/schema.cc.o.d"
+  "/root/repo/src/qp/relational/table.cc" "src/qp/relational/CMakeFiles/qp_relational.dir/table.cc.o" "gcc" "src/qp/relational/CMakeFiles/qp_relational.dir/table.cc.o.d"
+  "/root/repo/src/qp/relational/value.cc" "src/qp/relational/CMakeFiles/qp_relational.dir/value.cc.o" "gcc" "src/qp/relational/CMakeFiles/qp_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qp/util/CMakeFiles/qp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

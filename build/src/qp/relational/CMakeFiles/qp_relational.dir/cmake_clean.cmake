@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_relational.dir/csv.cc.o"
+  "CMakeFiles/qp_relational.dir/csv.cc.o.d"
+  "CMakeFiles/qp_relational.dir/database.cc.o"
+  "CMakeFiles/qp_relational.dir/database.cc.o.d"
+  "CMakeFiles/qp_relational.dir/schema.cc.o"
+  "CMakeFiles/qp_relational.dir/schema.cc.o.d"
+  "CMakeFiles/qp_relational.dir/table.cc.o"
+  "CMakeFiles/qp_relational.dir/table.cc.o.d"
+  "CMakeFiles/qp_relational.dir/value.cc.o"
+  "CMakeFiles/qp_relational.dir/value.cc.o.d"
+  "libqp_relational.a"
+  "libqp_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/util/random.cc" "src/qp/util/CMakeFiles/qp_util.dir/random.cc.o" "gcc" "src/qp/util/CMakeFiles/qp_util.dir/random.cc.o.d"
+  "/root/repo/src/qp/util/status.cc" "src/qp/util/CMakeFiles/qp_util.dir/status.cc.o" "gcc" "src/qp/util/CMakeFiles/qp_util.dir/status.cc.o.d"
+  "/root/repo/src/qp/util/string_util.cc" "src/qp/util/CMakeFiles/qp_util.dir/string_util.cc.o" "gcc" "src/qp/util/CMakeFiles/qp_util.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_util.dir/random.cc.o"
+  "CMakeFiles/qp_util.dir/random.cc.o.d"
+  "CMakeFiles/qp_util.dir/status.cc.o"
+  "CMakeFiles/qp_util.dir/status.cc.o.d"
+  "CMakeFiles/qp_util.dir/string_util.cc.o"
+  "CMakeFiles/qp_util.dir/string_util.cc.o.d"
+  "libqp_util.a"
+  "libqp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_exec_test.dir/exec/compound_exec_test.cc.o"
+  "CMakeFiles/compound_exec_test.dir/exec/compound_exec_test.cc.o.d"
+  "compound_exec_test"
+  "compound_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doi_test.dir/pref/doi_test.cc.o"
+  "CMakeFiles/doi_test.dir/pref/doi_test.cc.o.d"
+  "doi_test"
+  "doi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_criterion_test.dir/core/interest_criterion_test.cc.o"
+  "CMakeFiles/interest_criterion_test.dir/core/interest_criterion_test.cc.o.d"
+  "interest_criterion_test"
+  "interest_criterion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_criterion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_db_test.dir/data/movie_db_test.cc.o"
+  "CMakeFiles/movie_db_test.dir/data/movie_db_test.cc.o.d"
+  "movie_db_test"
+  "movie_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_pref_test.dir/core/negative_pref_test.cc.o"
+  "CMakeFiles/negative_pref_test.dir/core/negative_pref_test.cc.o.d"
+  "negative_pref_test"
+  "negative_pref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_pref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalization_graph_test.dir/graph/personalization_graph_test.cc.o"
+  "CMakeFiles/personalization_graph_test.dir/graph/personalization_graph_test.cc.o.d"
+  "personalization_graph_test"
+  "personalization_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalization_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

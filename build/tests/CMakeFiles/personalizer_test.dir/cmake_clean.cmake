@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalizer_test.dir/core/personalizer_test.cc.o"
+  "CMakeFiles/personalizer_test.dir/core/personalizer_test.cc.o.d"
+  "personalizer_test"
+  "personalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_path_test.dir/graph/preference_path_test.cc.o"
+  "CMakeFiles/preference_path_test.dir/graph/preference_path_test.cc.o.d"
+  "preference_path_test"
+  "preference_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

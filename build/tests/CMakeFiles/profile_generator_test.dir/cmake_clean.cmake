@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_generator_test.dir/pref/profile_generator_test.cc.o"
+  "CMakeFiles/profile_generator_test.dir/pref/profile_generator_test.cc.o.d"
+  "profile_generator_test"
+  "profile_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_learner_test.dir/pref/profile_learner_test.cc.o"
+  "CMakeFiles/profile_learner_test.dir/pref/profile_learner_test.cc.o.d"
+  "profile_learner_test"
+  "profile_learner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

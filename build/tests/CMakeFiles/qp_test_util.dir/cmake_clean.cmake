@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_test_util.dir/common/test_util.cc.o"
+  "CMakeFiles/qp_test_util.dir/common/test_util.cc.o.d"
+  "libqp_test_util.a"
+  "libqp_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

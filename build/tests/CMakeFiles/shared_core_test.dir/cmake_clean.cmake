@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_core_test.dir/exec/shared_core_test.cc.o"
+  "CMakeFiles/shared_core_test.dir/exec/shared_core_test.cc.o.d"
+  "shared_core_test"
+  "shared_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_pref_test.dir/core/soft_pref_test.cc.o"
+  "CMakeFiles/soft_pref_test.dir/core/soft_pref_test.cc.o.d"
+  "soft_pref_test"
+  "soft_pref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_pref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_writer_test.dir/query/sql_writer_test.cc.o"
+  "CMakeFiles/sql_writer_test.dir/query/sql_writer_test.cc.o.d"
+  "sql_writer_test"
+  "sql_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
