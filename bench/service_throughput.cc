@@ -1,0 +1,169 @@
+// Service-layer throughput: batch personalization QPS as a function of
+// worker count, on a generated movie database with randomized profiles
+// and workload queries. Reported counters:
+//   qps        — personalization requests completed per second
+//   speedup_x  — QPS relative to the measured 1-worker baseline
+//   hw_threads — std::thread::hardware_concurrency() (scaling past it is
+//                not physically possible; on a 1-core container every
+//                worker count collapses to ~1x)
+// Run with --benchmark_counters_tabular=true for a readable table.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/service/service.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+constexpr size_t kUsers = 16;
+constexpr size_t kQueries = 8;
+
+const Database& SharedDb() {
+  static Database* db = [] {
+    MovieDbConfig config;
+    config.num_movies = 2000;
+    config.num_actors = 800;
+    config.num_directors = 150;
+    config.num_theatres = 20;
+    auto generated = GenerateMovieDatabase(config);
+    return new Database(std::move(generated).value());
+  }();
+  return *db;
+}
+
+std::vector<UserProfile> SharedProfiles() {
+  static std::vector<UserProfile>* profiles = [] {
+    auto pools = MovieCandidatePools(SharedDb());
+    ProfileGenerator generator(&SharedDb().schema(),
+                               std::move(pools).value());
+    Rng rng(7);
+    ProfileGeneratorOptions options;
+    options.num_selections = 40;
+    auto* result = new std::vector<UserProfile>;
+    for (size_t u = 0; u < kUsers; ++u) {
+      result->push_back(generator.Generate(options, &rng).value());
+    }
+    return result;
+  }();
+  return *profiles;
+}
+
+std::vector<PersonalizationRequest> SharedRequests() {
+  static std::vector<PersonalizationRequest>* requests = [] {
+    WorkloadGenerator workload(&SharedDb(), 31);
+    auto queries = workload.RandomQueries(kQueries).value();
+    auto* result = new std::vector<PersonalizationRequest>;
+    for (size_t u = 0; u < kUsers; ++u) {
+      for (const SelectQuery& query : queries) {
+        PersonalizationRequest request;
+        request.user_id = "user" + std::to_string(u);
+        request.query = query;
+        request.options.criterion = InterestCriterion::TopCount(4);
+        result->push_back(std::move(request));
+      }
+    }
+    return result;
+  }();
+  return *requests;
+}
+
+std::unique_ptr<PersonalizationService> MakeService(size_t workers,
+                                                    bool enable_cache) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.cache_capacity = enable_cache ? 4096 : 0;
+  auto service =
+      std::make_unique<PersonalizationService>(&SharedDb(), options);
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto status =
+        service->profiles().Put("user" + std::to_string(u),
+                                SharedProfiles()[u]);
+    if (!status.ok()) return nullptr;
+  }
+  return service;
+}
+
+/// Wall-clock QPS over `reps` batches, measured outside the benchmark
+/// state so it can also produce the 1-worker baseline.
+double MeasureQps(PersonalizationService& service, int reps) {
+  const auto& requests = SharedRequests();
+  size_t completed = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    completed += service.PersonalizeBatchAndWait(requests).size();
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return seconds > 0 ? static_cast<double>(completed) / seconds : 0;
+}
+
+/// One measured 1-worker QPS per cache mode, so speedup_x for every
+/// worker count is relative to the same serial baseline.
+double BaselineQps(bool enable_cache) {
+  static double with_cache = 0;
+  static double without_cache = 0;
+  double& slot = enable_cache ? with_cache : without_cache;
+  if (slot == 0) {
+    auto service = MakeService(1, enable_cache);
+    if (service != nullptr) {
+      MeasureQps(*service, 1);  // Warm up indexes and allocator.
+      slot = MeasureQps(*service, 3);
+    }
+  }
+  return slot;
+}
+
+void BM_PersonalizeBatch(benchmark::State& state) {
+  size_t workers = static_cast<size_t>(state.range(0));
+  bool enable_cache = state.range(1) != 0;
+  double baseline = BaselineQps(enable_cache);
+  auto service = MakeService(workers, enable_cache);
+  if (service == nullptr) {
+    state.SkipWithError("profile setup failed");
+    return;
+  }
+  const auto& requests = SharedRequests();
+  size_t completed = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    completed += service->PersonalizeBatchAndWait(requests).size();
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  }
+  double qps =
+      seconds > 0 ? static_cast<double>(completed) / seconds : 0;
+  state.counters["qps"] = qps;
+  state.counters["speedup_x"] = baseline > 0 ? qps / baseline : 1.0;
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_PersonalizeBatch)
+    ->ArgNames({"workers", "cache"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace qp
+
+BENCHMARK_MAIN();

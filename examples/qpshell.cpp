@@ -25,6 +25,7 @@
 #include "qp/query/sql_parser.h"
 #include "qp/query/sql_writer.h"
 #include "qp/relational/csv.h"
+#include "qp/service/service.h"
 #include "qp/util/string_util.h"
 
 namespace {
@@ -123,6 +124,8 @@ class Shell {
       options_.approach = (arg == "sq")
                               ? IntegrationApproach::kSingleQuery
                               : IntegrationApproach::kMultipleQueries;
+    } else if (command == "batch") {
+      RunBatch(arg);
     } else if (command == "explain") {
       Explain(arg);
     } else if (command == "raw") {
@@ -140,6 +143,9 @@ class Shell {
         "  <sql>               personalize + execute (ranked)\n"
         "  \\raw <sql>          execute without personalization\n"
         "  \\explain <sql>      show selected preferences + rewritten SQL\n"
+        "  \\batch [N] <file|sql>  personalize concurrently on N workers\n"
+        "                      (<file>: one SQL query per line; a single\n"
+        "                      query is run twice to show the cache)\n"
         "profiles:\n"
         "  \\julie | \\rob       the paper's example users\n"
         "  \\profile <file>     load a profile ([ cond, doi ] per line)\n"
@@ -264,6 +270,83 @@ class Shell {
                 result->DebugString().c_str(), result->num_rows(),
                 outcome.selected.size() + outcome.negatives.size(),
                 outcome.selection_millis, outcome.integration_millis);
+  }
+
+  /// \batch [workers] <file|sql>: pushes a batch of queries through the
+  /// service layer (thread pool + profile store + selection cache) as the
+  /// current profile and reports per-query results plus service stats.
+  void RunBatch(const std::string& arg) {
+    if (db_ == nullptr || graph_ == nullptr) return;
+    std::istringstream in(arg);
+    size_t workers = 0;  // 0 -> hardware concurrency.
+    std::string rest;
+    if (in >> workers) {
+      std::getline(in, rest);
+    } else {
+      rest = arg;
+      workers = 0;
+    }
+    rest = std::string(StripWhitespace(rest));
+    if (rest.empty()) {
+      std::printf("usage: \\batch [workers] <file|sql>\n");
+      return;
+    }
+
+    // A file of queries (one per line), or a single inline query which
+    // is run twice so the second pass demonstrates a cache hit.
+    std::vector<std::string> sqls;
+    std::ifstream file(rest);
+    if (file) {
+      std::string line;
+      while (std::getline(file, line)) {
+        std::string_view trimmed = StripWhitespace(line);
+        if (!trimmed.empty() && trimmed[0] != '#') {
+          sqls.emplace_back(trimmed);
+        }
+      }
+    } else {
+      sqls = {rest, rest};
+    }
+
+    ServiceOptions service_options;
+    service_options.num_workers = workers;
+    PersonalizationService service(db_.get(), service_options);
+    if (!Check(service.profiles().Put(profile_name_, profile_))) return;
+
+    std::vector<PersonalizationRequest> requests;
+    for (const std::string& sql : sqls) {
+      PersonalizationRequest request;
+      request.user_id = profile_name_;
+      auto query = Parse(sql);
+      if (!Check(query.status())) return;
+      request.query = std::move(query).value();
+      request.options = options_;
+      requests.push_back(std::move(request));
+    }
+
+    std::vector<PersonalizationResponse> responses =
+        service.PersonalizeBatchAndWait(requests);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const PersonalizationResponse& response = responses[i];
+      if (!response.status.ok()) {
+        std::printf("[%zu] error: %s\n", i,
+                    response.status.ToString().c_str());
+        continue;
+      }
+      std::printf("[%zu] %zu rows, %zu preferences, %.3f ms%s\n", i,
+                  response.results.num_rows(),
+                  response.outcome.selected.size() +
+                      response.outcome.negatives.size(),
+                  response.execution_millis,
+                  response.cache_hit ? " (cached selection)" : "");
+    }
+    ServiceStats stats = service.stats();
+    std::printf(
+        "batch: %zu requests on %zu workers; cache %zu hit / %zu miss; "
+        "selection %.3f ms, integration %.3f ms, execution %.3f ms\n",
+        stats.requests, service.num_workers(), stats.cache_hits,
+        stats.cache_misses, stats.selection_millis, stats.integration_millis,
+        stats.execution_millis);
   }
 
   void Learn(const std::string& sql) {

@@ -24,6 +24,23 @@ Result<PersonalizationOutcome> Personalizer::Personalize(
   }
   outcome.selection_millis = timer.ElapsedMillis();
 
+  QP_ASSIGN_OR_RETURN(
+      PersonalizationOutcome integrated,
+      IntegrateSelected(query, std::move(outcome.selected),
+                        std::move(outcome.negatives), options));
+  integrated.selection_millis = outcome.selection_millis;
+  integrated.selection_stats = outcome.selection_stats;
+  return integrated;
+}
+
+Result<PersonalizationOutcome> Personalizer::IntegrateSelected(
+    const SelectQuery& query, std::vector<PreferencePath> selected,
+    std::vector<PreferencePath> negatives,
+    const PersonalizationOptions& options) {
+  PersonalizationOutcome outcome;
+  outcome.selected = std::move(selected);
+  outcome.negatives = std::move(negatives);
+
   // Derive M from a degree threshold when requested: the selected list is
   // degree-sorted, so the mandatory preferences form its prefix. L is
   // clamped so the K = M corner stays valid.
@@ -40,7 +57,7 @@ Result<PersonalizationOutcome> Personalizer::Personalize(
   }
 
   PreferenceIntegrator integrator;
-  timer.Restart();
+  WallTimer timer;
   if (options.approach == IntegrationApproach::kSingleQuery) {
     if (!outcome.negatives.empty()) {
       return Status::Unimplemented(

@@ -85,6 +85,17 @@ class Personalizer {
       const SelectQuery& query, const PersonalizationOptions& options,
       const Database& db, PersonalizationOutcome* outcome = nullptr) const;
 
+  /// Integration-only entry point: builds the SQ/MQ outcome from
+  /// preferences that were already selected (e.g. served from the service
+  /// layer's selection cache). `selected` must be degree non-increasing,
+  /// `negatives` |degree| non-increasing — exactly what Select /
+  /// SelectNegative produce. Selection timings/stats in the outcome are
+  /// zero; Personalize is this plus a fresh selection.
+  static Result<PersonalizationOutcome> IntegrateSelected(
+      const SelectQuery& query, std::vector<PreferencePath> selected,
+      std::vector<PreferencePath> negatives,
+      const PersonalizationOptions& options);
+
  private:
   const PersonalizationGraph* graph_;
 };

@@ -1,0 +1,87 @@
+#include "qp/core/query_signature.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+namespace {
+
+std::string AtomKey(const AtomicCondition& atom) {
+  switch (atom.kind()) {
+    case AtomicCondition::Kind::kSelection:
+      return "sel:" + atom.var() + "." + atom.column() + "=" +
+             atom.value().ToSqlLiteral();
+    case AtomicCondition::Kind::kNear:
+      return "near:" + atom.var() + "." + atom.column() + "," +
+             atom.value().ToSqlLiteral() + "," + FormatDouble(atom.width());
+    case AtomicCondition::Kind::kJoin: {
+      // A join atom is symmetric; order the two sides so a=b and b=a
+      // normalize identically.
+      std::string left = atom.left_var() + "." + atom.left_column();
+      std::string right = atom.right_var() + "." + atom.right_column();
+      if (right < left) std::swap(left, right);
+      return "join:" + left + "=" + right;
+    }
+  }
+  return "";
+}
+
+std::string ConditionKey(const ConditionPtr& node) {
+  if (node == nullptr) return "true";
+  switch (node->kind()) {
+    case ConditionNode::Kind::kAtom:
+      return AtomKey(node->atom());
+    case ConditionNode::Kind::kAnd:
+    case ConditionNode::Kind::kOr: {
+      std::vector<std::string> keys;
+      keys.reserve(node->children().size());
+      for (const ConditionPtr& child : node->children()) {
+        keys.push_back(ConditionKey(child));
+      }
+      std::sort(keys.begin(), keys.end());
+      const char* tag =
+          node->kind() == ConditionNode::Kind::kAnd ? "and(" : "or(";
+      return tag + Join(keys, ";") + ")";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const SelectQuery& query) {
+  std::string key = query.distinct() ? "select distinct " : "select ";
+  std::vector<std::string> projections;
+  projections.reserve(query.projections().size());
+  for (const ProjectionItem& item : query.projections()) {
+    projections.push_back(item.OutputName());
+  }
+  key += Join(projections, ",");
+
+  std::vector<std::string> vars;
+  vars.reserve(query.from().size());
+  for (const TupleVariable& var : query.from()) {
+    vars.push_back(var.alias + ":" + var.table);
+  }
+  std::sort(vars.begin(), vars.end());
+  key += " from " + Join(vars, ",");
+  key += " where " + ConditionKey(query.where());
+  return key;
+}
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t QuerySignature(const SelectQuery& query) {
+  return Fnv1a64(CanonicalQueryKey(query));
+}
+
+}  // namespace qp

@@ -1,0 +1,31 @@
+#ifndef QP_CORE_QUERY_SIGNATURE_H_
+#define QP_CORE_QUERY_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "qp/query/query.h"
+
+namespace qp {
+
+/// A normalized, order-insensitive rendering of a SelectQuery, suitable as
+/// a cache key: structurally equal queries — and queries that differ only
+/// in the order of FROM variables or of AND/OR siblings — map to the same
+/// string. Projection order is preserved (it determines the output
+/// columns), condition trees are canonicalized by sorting sibling
+/// renderings, and values are rendered as typed SQL literals so 1 and
+/// '1' stay distinct.
+std::string CanonicalQueryKey(const SelectQuery& query);
+
+/// 64-bit FNV-1a hash of CanonicalQueryKey(query). Equal queries (up to
+/// the normalizations above) have equal signatures; the selection cache
+/// buckets on this and keys on the canonical string, so hash collisions
+/// cost a miss, never a wrong answer.
+uint64_t QuerySignature(const SelectQuery& query);
+
+/// FNV-1a over an arbitrary string (exposed for composing cache keys).
+uint64_t Fnv1a64(const std::string& text);
+
+}  // namespace qp
+
+#endif  // QP_CORE_QUERY_SIGNATURE_H_

@@ -46,9 +46,17 @@ bool RowLess(const Row& a, const Row& b) {
 void ResultSet::Canonicalize() {
   std::vector<size_t> order(rows_.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  // Total order over ranked output: degree desc, then satisfied-count
+  // desc, then row values — so two rows tying on combined degree are not
+  // left to hash-iteration (insertion) order, and parallel and serial
+  // executions emit identical row sequences. stable_sort keeps equal-row
+  // duplicates (bag semantics) aligned with their annotation columns.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (!degrees_.empty() && degrees_[a] != degrees_[b]) {
       return degrees_[a] > degrees_[b];
+    }
+    if (!counts_.empty() && counts_[a] != counts_[b]) {
+      return counts_[a] > counts_[b];
     }
     return RowLess(rows_[a], rows_[b]);
   });

@@ -62,8 +62,10 @@ class ResultSet {
   bool Contains(const Row& row) const;
 
   /// Sorts rows (and any aligned annotations) into a canonical order:
-  /// by degree descending when ranked, then lexicographically by value.
-  /// Makes executions deterministic regardless of hash iteration order.
+  /// by degree descending when ranked, then satisfied-preference count
+  /// descending, then lexicographically by value. Makes executions
+  /// deterministic regardless of hash iteration order — serial and
+  /// thread-pool (service-layer) runs emit identical row sequences.
   void Canonicalize();
 
   /// Keeps only the first `n` rows (with their annotations). Combined

@@ -25,6 +25,10 @@ Status Database::Insert(const std::string& table, Row row) {
   return t->Insert(std::move(row));
 }
 
+void Database::WarmIndexes() const {
+  for (const auto& [name, table] : tables_) table->BuildAllIndexes();
+}
+
 size_t Database::TotalRows() const {
   size_t total = 0;
   for (const auto& [name, table] : tables_) total += table->num_rows();

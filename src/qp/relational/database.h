@@ -35,6 +35,10 @@ class Database {
   /// Total number of rows across all relations.
   size_t TotalRows() const;
 
+  /// Builds every column index of every table, making the database safe
+  /// for concurrent read-only execution (see Table::BuildAllIndexes).
+  void WarmIndexes() const;
+
  private:
   Schema schema_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;

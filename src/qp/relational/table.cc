@@ -38,6 +38,12 @@ const std::vector<RowId>& Table::Lookup(size_t column,
   return it->second;
 }
 
+void Table::BuildAllIndexes() const {
+  for (size_t col = 0; col < schema_.num_columns(); ++col) {
+    GetOrBuildIndex(col);
+  }
+}
+
 const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
   auto it = indexes_.find(column);
   if (it != indexes_.end()) return it->second;

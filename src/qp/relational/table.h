@@ -40,7 +40,15 @@ class Table {
 
   /// Row ids whose `column` equals `value`; uses (and builds on first use)
   /// the hash index for that column.
+  ///
+  /// Thread safety: the lazy build mutates internal state, so concurrent
+  /// Lookup calls are only safe after BuildAllIndexes() — the service
+  /// layer warms every database it shares across workers.
   const std::vector<RowId>& Lookup(size_t column, const Value& value) const;
+
+  /// Eagerly builds the hash index of every column, after which the table
+  /// is safe for concurrent read-only use (Lookup no longer mutates).
+  void BuildAllIndexes() const;
 
   /// Value of `column` in row `id`.
   const Value& At(RowId id, size_t column) const { return rows_[id][column]; }

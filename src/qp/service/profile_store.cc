@@ -1,0 +1,83 @@
+#include "qp/service/profile_store.h"
+
+#include <functional>
+#include <mutex>
+
+namespace qp {
+
+ProfileStore::ProfileStore(const Schema* schema, size_t num_shards)
+    : schema_(schema) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ProfileStore::Shard& ProfileStore::ShardFor(const std::string& user_id) const {
+  size_t h = std::hash<std::string>{}(user_id);
+  return *shards_[h % shards_.size()];
+}
+
+Status ProfileStore::Put(const std::string& user_id, UserProfile profile) {
+  // Build (and validate) outside any lock: graph construction is the
+  // expensive part of an update and must not block readers.
+  QP_ASSIGN_OR_RETURN(PersonalizationGraph graph,
+                      PersonalizationGraph::Build(schema_, profile));
+  auto new_profile =
+      std::make_shared<const UserProfile>(std::move(profile));
+  auto new_graph =
+      std::make_shared<const PersonalizationGraph>(std::move(graph));
+
+  Shard& shard = ShardFor(user_id);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  Entry& entry = shard.users[user_id];
+  entry.profile = std::move(new_profile);
+  entry.graph = std::move(new_graph);
+  entry.epoch = ++shard.next_epoch;
+  return Status::Ok();
+}
+
+Status ProfileStore::Upsert(
+    const std::string& user_id,
+    const std::vector<AtomicPreference>& preferences) {
+  UserProfile updated;
+  {
+    Shard& shard = ShardFor(user_id);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.users.find(user_id);
+    if (it != shard.users.end()) updated = *it->second.profile;
+  }
+  for (const AtomicPreference& pref : preferences) {
+    updated.AddOrUpdate(pref);
+  }
+  return Put(user_id, std::move(updated));
+}
+
+Result<ProfileSnapshot> ProfileStore::Get(const std::string& user_id) const {
+  const Shard& shard = ShardFor(user_id);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  auto it = shard.users.find(user_id);
+  if (it == shard.users.end()) {
+    return Status::NotFound("unknown user: " + user_id);
+  }
+  return ProfileSnapshot{it->second.profile, it->second.graph,
+                         it->second.epoch};
+}
+
+bool ProfileStore::Remove(const std::string& user_id) {
+  Shard& shard = ShardFor(user_id);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.users.erase(user_id) > 0;
+}
+
+size_t ProfileStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->users.size();
+  }
+  return total;
+}
+
+}  // namespace qp

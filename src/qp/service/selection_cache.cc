@@ -1,0 +1,62 @@
+#include "qp/service/selection_cache.h"
+
+namespace qp {
+
+SelectionCache::SelectionCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string SelectionCache::MakeKey(const std::string& user_id,
+                                    uint64_t epoch,
+                                    const std::string& canonical_query_key,
+                                    const InterestCriterion& criterion) {
+  return user_id + "@" + std::to_string(epoch) + "|" + criterion.ToString() +
+         "|" + canonical_query_key;
+}
+
+SelectionCache::Paths SelectionCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->paths;
+}
+
+void SelectionCache::Insert(const std::string& key, Paths paths) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.insertions;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->paths = std::move(paths);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, std::move(paths)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+size_t SelectionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+SelectionCacheStats SelectionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SelectionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace qp

@@ -1,0 +1,80 @@
+#ifndef QP_SERVICE_SELECTION_CACHE_H_
+#define QP_SERVICE_SELECTION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/core/interest_criterion.h"
+#include "qp/graph/preference_path.h"
+#include "qp/query/query.h"
+
+namespace qp {
+
+/// Counters of one cache instance. Snapshot with SelectionCache::stats().
+struct SelectionCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+/// A bounded, thread-safe LRU cache of preference-selection results: the
+/// top-K PreferencePaths the selector extracted for one (user epoch,
+/// normalized query, interest criterion) triple. Re-running best-first
+/// selection dominates the per-query cost for large profiles (paper
+/// Figure 6), and real query streams repeat — the "continuous
+/// re-evaluation under change" workload of Chomicki's preference surveys.
+///
+/// Invalidation is epoch-based: the key embeds the user's ProfileStore
+/// epoch, which every profile mutation bumps, so entries for the old
+/// profile become unreachable immediately and age out through the LRU
+/// bound. Values are immutable shared_ptrs: hits share, never copy.
+class SelectionCache {
+ public:
+  using Paths = std::shared_ptr<const std::vector<PreferencePath>>;
+
+  /// Caches at most `capacity` entries (clamped to >= 1).
+  explicit SelectionCache(size_t capacity);
+
+  /// The composed cache key. Collision-free by construction: the exact
+  /// canonical strings are keyed, not their hashes.
+  static std::string MakeKey(const std::string& user_id, uint64_t epoch,
+                             const std::string& canonical_query_key,
+                             const InterestCriterion& criterion);
+
+  /// The cached selection, or nullptr on miss.
+  Paths Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `paths` under `key`, evicting the least
+  /// recently used entry when full.
+  void Insert(const std::string& key, Paths paths);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  SelectionCacheStats stats() const;
+
+  /// Drops every entry (stats are kept).
+  void Clear();
+
+ private:
+  struct Slot {
+    std::string key;
+    Paths paths;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<Slot> lru_;
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  SelectionCacheStats stats_;
+};
+
+}  // namespace qp
+
+#endif  // QP_SERVICE_SELECTION_CACHE_H_

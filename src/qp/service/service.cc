@@ -1,0 +1,205 @@
+#include "qp/service/service.h"
+
+#include <thread>
+#include <utility>
+
+#include "qp/core/query_signature.h"
+#include "qp/core/selection.h"
+#include "qp/util/timer.h"
+
+namespace qp {
+namespace {
+
+uint64_t Nanos(double millis) {
+  return static_cast<uint64_t>(millis * 1e6);
+}
+
+void MaxInto(std::atomic<size_t>* target, size_t value) {
+  size_t current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+PersonalizationService::PersonalizationService(const Database* db,
+                                               ServiceOptions options)
+    : db_(db),
+      store_(&db->schema(), options.num_shards),
+      cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity),
+      cache_enabled_(options.cache_capacity > 0),
+      pool_(options.num_workers > 0 ? options.num_workers
+                                    : std::thread::hardware_concurrency()) {
+  // Concurrent workers share the database read-only; build every lazy
+  // column index up front so Lookup never mutates under them.
+  db_->WarmIndexes();
+}
+
+PersonalizationResponse PersonalizationService::PersonalizeOne(
+    const PersonalizationRequest& request) {
+  PersonalizationResponse response;
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  auto snapshot = store_.Get(request.user_id);
+  if (!snapshot.ok()) {
+    response.status = snapshot.status();
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  const PersonalizationGraph& graph = *snapshot->graph;
+  PreferenceSelector selector(&graph);
+
+  // Phase 1: preference selection, served from the cache when possible.
+  // A semantic filter changes what Select returns but is not part of the
+  // key (it is an opaque callback), so such requests bypass the cache.
+  WallTimer timer;
+  std::vector<PreferencePath> selected;
+  const bool cacheable =
+      cache_enabled_ && request.options.semantic_filter == nullptr;
+  if (cacheable) {
+    std::string key = SelectionCache::MakeKey(
+        request.user_id, snapshot->epoch, CanonicalQueryKey(request.query),
+        request.options.criterion);
+    SelectionCache::Paths cached = cache_.Lookup(key);
+    if (cached != nullptr) {
+      response.cache_hit = true;
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      selected = *cached;
+    } else {
+      counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      auto fresh = selector.Select(request.query, request.options.criterion,
+                                   &response.outcome.selection_stats);
+      if (!fresh.ok()) {
+        response.status = fresh.status();
+        counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        return response;
+      }
+      selected = std::move(fresh).value();
+      cache_.Insert(
+          key, std::make_shared<const std::vector<PreferencePath>>(selected));
+    }
+  } else {
+    counters_.cache_bypasses.fetch_add(1, std::memory_order_relaxed);
+    auto fresh =
+        selector.Select(request.query, request.options.criterion,
+                        &response.outcome.selection_stats,
+                        request.options.semantic_filter);
+    if (!fresh.ok()) {
+      response.status = fresh.status();
+      counters_.errors.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    selected = std::move(fresh).value();
+  }
+
+  std::vector<PreferencePath> negatives;
+  if (request.options.max_negative > 0) {
+    auto neg = selector.SelectNegative(request.query,
+                                       request.options.max_negative,
+                                       request.options.negative_min_doi);
+    if (!neg.ok()) {
+      response.status = neg.status();
+      counters_.errors.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    negatives = std::move(neg).value();
+  }
+  double selection_millis = timer.ElapsedMillis();
+  counters_.selection_nanos.fetch_add(Nanos(selection_millis),
+                                      std::memory_order_relaxed);
+
+  // Phase 2: integration (identical to the serial Personalizer).
+  auto integrated = Personalizer::IntegrateSelected(
+      request.query, std::move(selected), std::move(negatives),
+      request.options);
+  if (!integrated.ok()) {
+    response.status = integrated.status();
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  SelectionStats selection_stats = response.outcome.selection_stats;
+  response.outcome = std::move(integrated).value();
+  response.outcome.selection_stats = selection_stats;
+  response.outcome.selection_millis = selection_millis;
+  counters_.integration_nanos.fetch_add(
+      Nanos(response.outcome.integration_millis), std::memory_order_relaxed);
+
+  // Phase 3: execution (ranked for MQ), unless the caller only wants the
+  // rewritten query.
+  if (request.execute) {
+    timer.Restart();
+    Executor executor(db_);
+    auto result = response.outcome.sq.has_value()
+                      ? executor.Execute(*response.outcome.sq)
+                      : executor.Execute(*response.outcome.mq);
+    if (!result.ok()) {
+      response.status = result.status();
+      counters_.errors.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    response.results = std::move(result).value();
+    if (request.options.top_n > 0) {
+      response.results.Truncate(request.options.top_n);
+    }
+    response.execution_millis = timer.ElapsedMillis();
+    counters_.execution_nanos.fetch_add(Nanos(response.execution_millis),
+                                        std::memory_order_relaxed);
+  }
+  return response;
+}
+
+std::vector<std::future<PersonalizationResponse>>
+PersonalizationService::PersonalizeBatch(
+    std::vector<PersonalizationRequest> requests) {
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::future<PersonalizationResponse>> futures;
+  futures.reserve(requests.size());
+  for (PersonalizationRequest& request : requests) {
+    auto task = std::make_shared<std::packaged_task<PersonalizationResponse()>>(
+        [this, request = std::move(request)]() {
+          return PersonalizeOne(request);
+        });
+    futures.push_back(task->get_future());
+    pool_.Submit([task] { (*task)(); });
+    MaxInto(&counters_.max_queue_depth, pool_.ApproxQueueDepth());
+  }
+  return futures;
+}
+
+std::vector<PersonalizationResponse>
+PersonalizationService::PersonalizeBatchAndWait(
+    std::vector<PersonalizationRequest> requests) {
+  std::vector<std::future<PersonalizationResponse>> futures =
+      PersonalizeBatch(std::move(requests));
+  std::vector<PersonalizationResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) {
+    responses.push_back(future.get());
+  }
+  return responses;
+}
+
+ServiceStats PersonalizationService::stats() const {
+  ServiceStats stats;
+  stats.requests = counters_.requests.load(std::memory_order_relaxed);
+  stats.batches = counters_.batches.load(std::memory_order_relaxed);
+  stats.errors = counters_.errors.load(std::memory_order_relaxed);
+  stats.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  stats.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
+  stats.cache_bypasses =
+      counters_.cache_bypasses.load(std::memory_order_relaxed);
+  stats.max_queue_depth =
+      counters_.max_queue_depth.load(std::memory_order_relaxed);
+  stats.selection_millis =
+      counters_.selection_nanos.load(std::memory_order_relaxed) / 1e6;
+  stats.integration_millis =
+      counters_.integration_nanos.load(std::memory_order_relaxed) / 1e6;
+  stats.execution_millis =
+      counters_.execution_nanos.load(std::memory_order_relaxed) / 1e6;
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace qp

@@ -1,0 +1,133 @@
+#ifndef QP_SERVICE_SERVICE_H_
+#define QP_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qp/core/personalizer.h"
+#include "qp/exec/executor.h"
+#include "qp/relational/database.h"
+#include "qp/service/profile_store.h"
+#include "qp/service/selection_cache.h"
+#include "qp/service/thread_pool.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// Tuning knobs of a PersonalizationService.
+struct ServiceOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  size_t num_workers = 0;
+  /// Shards of the profile store.
+  size_t num_shards = 16;
+  /// Selection-cache capacity in entries; 0 disables the cache.
+  size_t cache_capacity = 4096;
+};
+
+/// One unit of batch work: personalize (and optionally execute) `query`
+/// for `user_id` under `options`.
+struct PersonalizationRequest {
+  std::string user_id;
+  SelectQuery query;
+  PersonalizationOptions options;
+  /// When false, stop after rewriting (outcome only, no result set) —
+  /// the mode a system pushing personalized SQL to an external DBMS uses.
+  bool execute = true;
+};
+
+/// What a request resolves to. `status` gates the rest; on success
+/// `outcome` always holds the rewrite and `results` the rows when the
+/// request asked for execution.
+struct PersonalizationResponse {
+  Status status = Status::Ok();
+  bool cache_hit = false;
+  PersonalizationOutcome outcome;
+  ResultSet results;
+  double execution_millis = 0.0;
+};
+
+/// Aggregate service counters, mirroring SelectionStats/ExecutorStats one
+/// level up: phase latencies are summed across requests, queue depth is
+/// sampled at submit time. Snapshot via PersonalizationService::stats().
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Requests that bypassed the cache (semantic filter attached, or the
+  /// cache is disabled).
+  uint64_t cache_bypasses = 0;
+  size_t max_queue_depth = 0;
+  double selection_millis = 0.0;
+  double integration_millis = 0.0;
+  double execution_millis = 0.0;
+  SelectionCacheStats cache;
+};
+
+/// The scale-out front door: a thread-pool-backed personalization service
+/// over a shared read-only Database and a sharded ProfileStore, with a
+/// per-user top-K selection cache. Independent (user, query) pairs of a
+/// batch fan out across workers; per-request results are identical to a
+/// serial Personalizer run (the executor canonicalizes row order, the
+/// selector is deterministic, and profile snapshots are immutable).
+class PersonalizationService {
+ public:
+  /// `db` is retained and must outlive the service; its indexes are
+  /// warmed eagerly so concurrent execution never mutates shared state.
+  PersonalizationService(const Database* db, ServiceOptions options = {});
+
+  /// Profile management (thread-safe, usable while batches are in
+  /// flight; see ProfileStore for the snapshot semantics).
+  ProfileStore& profiles() { return store_; }
+  const ProfileStore& profiles() const { return store_; }
+
+  /// Fans the requests across the worker pool; future i resolves to
+  /// request i's response. Errors (unknown user, invalid query) surface
+  /// per-response, never as exceptions.
+  std::vector<std::future<PersonalizationResponse>> PersonalizeBatch(
+      std::vector<PersonalizationRequest> requests);
+
+  /// Convenience: PersonalizeBatch + wait. Response order = request
+  /// order, independent of completion order.
+  std::vector<PersonalizationResponse> PersonalizeBatchAndWait(
+      std::vector<PersonalizationRequest> requests);
+
+  /// The serial path every worker runs; public so callers can compare
+  /// threaded results against an in-thread baseline.
+  PersonalizationResponse PersonalizeOne(const PersonalizationRequest& request);
+
+  size_t num_workers() const { return pool_.num_threads(); }
+  ServiceStats stats() const;
+
+ private:
+  const Database* db_;
+  ProfileStore store_;
+  SelectionCache cache_;
+  bool cache_enabled_;
+  ThreadPool pool_;
+
+  /// Hot counters; folded into ServiceStats snapshots. Durations are
+  /// accumulated in nanoseconds to keep the counters integral.
+  struct AtomicStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> cache_bypasses{0};
+    std::atomic<size_t> max_queue_depth{0};
+    std::atomic<uint64_t> selection_nanos{0};
+    std::atomic<uint64_t> integration_nanos{0};
+    std::atomic<uint64_t> execution_nanos{0};
+  };
+  mutable AtomicStats counters_;
+};
+
+}  // namespace qp
+
+#endif  // QP_SERVICE_SERVICE_H_

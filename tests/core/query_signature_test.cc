@@ -1,0 +1,112 @@
+// Query-signature tests: the canonical key is insensitive to the
+// orderings a cache must not care about (FROM variable order, AND/OR
+// sibling order, join atom side) and sensitive to everything that
+// changes the query's meaning.
+
+#include <string>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/query_signature.h"
+#include "qp/query/sql_parser.h"
+
+namespace qp {
+namespace {
+
+SelectQuery Parse(const std::string& sql) {
+  auto result = ParseSelectQuery(sql);
+  if (!result.ok()) {
+    ADD_FAILURE() << sql << ": " << result.status();
+    return SelectQuery();
+  }
+  return std::move(result).value();
+}
+
+void ExpectSameKey(const std::string& a, const std::string& b) {
+  EXPECT_EQ(CanonicalQueryKey(Parse(a)), CanonicalQueryKey(Parse(b)))
+      << a << "  vs  " << b;
+  EXPECT_EQ(QuerySignature(Parse(a)), QuerySignature(Parse(b)));
+}
+
+void ExpectDifferentKey(const std::string& a, const std::string& b) {
+  EXPECT_NE(CanonicalQueryKey(Parse(a)), CanonicalQueryKey(Parse(b)))
+      << a << "  vs  " << b;
+}
+
+TEST(QuerySignatureTest, EqualQueriesEqualKeys) {
+  const char* sql =
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid and "
+      "PL.date='2/7/2003'";
+  ExpectSameKey(sql, sql);
+}
+
+TEST(QuerySignatureTest, FromOrderDoesNotMatter) {
+  ExpectSameKey(
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid",
+      "select MV.title from PLAY PL, MOVIE MV where MV.mid=PL.mid");
+}
+
+TEST(QuerySignatureTest, ConjunctOrderDoesNotMatter) {
+  ExpectSameKey(
+      "select MV.title from MOVIE MV where MV.year=1999 and MV.title='x'",
+      "select MV.title from MOVIE MV where MV.title='x' and MV.year=1999");
+}
+
+TEST(QuerySignatureTest, DisjunctOrderDoesNotMatter) {
+  ExpectSameKey(
+      "select MV.title from MOVIE MV where MV.year=1999 or MV.year=2000",
+      "select MV.title from MOVIE MV where MV.year=2000 or MV.year=1999");
+}
+
+TEST(QuerySignatureTest, JoinAtomSideDoesNotMatter) {
+  ExpectSameKey(
+      "select MV.title from MOVIE MV, PLAY PL where MV.mid=PL.mid",
+      "select MV.title from MOVIE MV, PLAY PL where PL.mid=MV.mid");
+}
+
+TEST(QuerySignatureTest, NestedSiblingSortIsRecursive) {
+  ExpectSameKey(
+      "select MV.title from MOVIE MV where (MV.year=1999 and MV.title='x') "
+      "or (MV.year=2000 and MV.title='y')",
+      "select MV.title from MOVIE MV where (MV.title='y' and MV.year=2000) "
+      "or (MV.title='x' and MV.year=1999)");
+}
+
+TEST(QuerySignatureTest, MeaningfulDifferencesChangeTheKey) {
+  const char* base = "select MV.title from MOVIE MV where MV.year=1999";
+  // Projection, distinct, predicate value, comparison, structure.
+  ExpectDifferentKey(base, "select MV.year from MOVIE MV where MV.year=1999");
+  ExpectDifferentKey(
+      base, "select distinct MV.title from MOVIE MV where MV.year=1999");
+  ExpectDifferentKey(base,
+                     "select MV.title from MOVIE MV where MV.year=2000");
+  ExpectDifferentKey(base,
+                     "select MV.title from MOVIE MV where MV.title=1999");
+  ExpectDifferentKey(base, "select MV.title from MOVIE MV");
+  // Typed literals: the number 1999 and the string '1999' are distinct.
+  ExpectDifferentKey(base,
+                     "select MV.title from MOVIE MV where MV.year='1999'");
+}
+
+TEST(QuerySignatureTest, ProjectionOrderMatters) {
+  // Output column order is part of the result, so it stays in the key.
+  ExpectDifferentKey("select MV.title, MV.year from MOVIE MV",
+                     "select MV.year, MV.title from MOVIE MV");
+}
+
+TEST(QuerySignatureTest, NearConditionsAreKeyed) {
+  ExpectSameKey("select MV.title from MOVIE MV where near(MV.year, 1994, 5)",
+                "select MV.title from MOVIE MV where near(MV.year, 1994, 5)");
+  ExpectDifferentKey(
+      "select MV.title from MOVIE MV where near(MV.year, 1994, 5)",
+      "select MV.title from MOVIE MV where near(MV.year, 1994, 9)");
+}
+
+TEST(QuerySignatureTest, Fnv1a64KnownVectors) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,117 @@
+// Regression tests for ranked-output determinism. Canonicalize must be a
+// total order — degree desc, then satisfied-count desc, then row values —
+// so two executions that materialize the same multiset of ranked rows in
+// different orders (serial vs thread-pool, hash-iteration luck) emit
+// identical row sequences. Before the total order, equal-degree rows with
+// different counts kept their arrival order, so parallel and serial runs
+// of the same MQ could disagree.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/exec/executor.h"
+#include "qp/exec/result.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+ResultSet FromRanked(
+    const std::vector<std::tuple<std::string, size_t, double>>& rows) {
+  ResultSet result({"title"});
+  for (const auto& [title, count, degree] : rows) {
+    result.AddRankedRow({Value::Str(title)}, count, degree);
+  }
+  return result;
+}
+
+TEST(RankedDeterminismTest, EqualDegreeTiesBreakByCountThenValue) {
+  // Three rows tie at degree 0.8; counts 3 > 2 > 2, then "a" < "b".
+  ResultSet result = FromRanked({
+      {"b", 2, 0.8},
+      {"z", 1, 0.9},
+      {"a", 2, 0.8},
+      {"c", 3, 0.8},
+  });
+  result.Canonicalize();
+  ASSERT_EQ(result.num_rows(), 4u);
+  EXPECT_EQ(result.row(0)[0], Value::Str("z"));
+  EXPECT_EQ(result.row(1)[0], Value::Str("c"));  // count 3 beats count 2.
+  EXPECT_EQ(result.row(2)[0], Value::Str("a"));  // then value order.
+  EXPECT_EQ(result.row(3)[0], Value::Str("b"));
+  EXPECT_EQ(result.counts()[1], 3u);
+}
+
+TEST(RankedDeterminismTest, CanonicalizeIsInsensitiveToArrivalOrder) {
+  // Every permutation of the same ranked multiset canonicalizes to the
+  // same sequence — arrival order (the nondeterministic part of a
+  // parallel merge) must not leak through.
+  std::vector<std::tuple<std::string, size_t, double>> rows = {
+      {"a", 2, 0.8}, {"b", 2, 0.8}, {"c", 3, 0.8},
+      {"d", 1, 0.9}, {"e", 1, 0.72}, {"f", 4, 0.72},
+  };
+  ResultSet reference = FromRanked(rows);
+  reference.Canonicalize();
+  const std::string expected = reference.DebugString(100);
+
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto shuffled = rows;
+    rng.Shuffle(&shuffled);
+    ResultSet permuted = FromRanked(shuffled);
+    permuted.Canonicalize();
+    EXPECT_EQ(permuted.DebugString(100), expected) << "trial " << trial;
+  }
+}
+
+TEST(RankedDeterminismTest, RepeatedMqExecutionsAreBitIdentical) {
+  // End-to-end: personalized (MQ) executions of the same query repeated
+  // against the same database must produce the exact same DebugString,
+  // including the order of equal-degree rows.
+  MovieDbConfig config;
+  config.num_movies = 250;
+  config.num_actors = 120;
+  config.num_directors = 30;
+  config.num_theatres = 6;
+  config.num_days = 3;
+  config.seed = 5;
+  QP_ASSERT_OK_AND_ASSIGN(Database db, GenerateMovieDatabase(config));
+  QP_ASSERT_OK_AND_ASSIGN(auto pools, MovieCandidatePools(db));
+  ProfileGenerator generator(&db.schema(), pools);
+  Rng rng(99);
+  ProfileGeneratorOptions profile_options;
+  profile_options.num_selections = 25;
+  QP_ASSERT_OK_AND_ASSIGN(UserProfile profile,
+                          generator.Generate(profile_options, &rng));
+  QP_ASSERT_OK_AND_ASSIGN(
+      PersonalizationGraph graph,
+      PersonalizationGraph::Build(&db.schema(), profile));
+
+  WorkloadGenerator workload(&db, 13);
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<SelectQuery> queries,
+                          workload.RandomQueries(5));
+  Personalizer personalizer(&graph);
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(5);
+  for (const SelectQuery& query : queries) {
+    QP_ASSERT_OK_AND_ASSIGN(ResultSet first,
+                            personalizer.PersonalizeAndExecute(query, options,
+                                                               db));
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      QP_ASSERT_OK_AND_ASSIGN(
+          ResultSet again,
+          personalizer.PersonalizeAndExecute(query, options, db));
+      EXPECT_EQ(again.DebugString(1000), first.DebugString(1000));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qp

@@ -51,11 +51,11 @@ TEST(ResultSetTest, CanonicalizeRankedSortsByDegreeThenValue) {
   rs.AddRankedRow(R("zz_high"), 3, 0.9);
   rs.AddRankedRow(R("aa_high"), 2, 0.9);
   rs.Canonicalize();
-  EXPECT_EQ(rs.row(0), R("aa_high"));  // Tie on degree -> value order.
-  EXPECT_EQ(rs.row(1), R("zz_high"));
+  EXPECT_EQ(rs.row(0), R("zz_high"));  // Tie on degree -> count desc first,
+  EXPECT_EQ(rs.row(1), R("aa_high"));  // then value order.
   EXPECT_EQ(rs.row(2), R("low"));
-  EXPECT_EQ(rs.counts()[0], 2u);  // Annotations permuted with the rows.
-  EXPECT_EQ(rs.counts()[1], 3u);
+  EXPECT_EQ(rs.counts()[0], 3u);  // Annotations permuted with the rows.
+  EXPECT_EQ(rs.counts()[1], 2u);
   EXPECT_DOUBLE_EQ(rs.degrees()[2], 0.2);
 }
 

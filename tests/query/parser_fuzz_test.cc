@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "qp/core/query_signature.h"
 #include "qp/pref/profile.h"
 #include "qp/query/sql_parser.h"
 #include "qp/query/sql_writer.h"
@@ -62,6 +63,39 @@ TEST(ParserFuzzTest, RandomCharacterMutationsAreHandled) {
       }
     }
   }
+}
+
+TEST(ParserFuzzTest, SqlRoundTripPreservesQuerySignature) {
+  // parse -> ToSql -> reparse must be a signature fixpoint: the written
+  // SQL denotes the same query, so the canonical key (and with it the
+  // service layer's selection-cache key) must come out identical.
+  Rng rng(19283746);
+  const std::string charset =
+      "abcdefgSELECTselectfromwhere.,()[]=*>-'\"0123456789 \t\n";
+  size_t round_tripped = 0;
+  for (const char* seed : kSeeds) {
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string sql(seed);
+      // Trial 0 keeps the seed pristine; later trials mutate it.
+      for (int m = 0; m < trial % 4; ++m) {
+        sql[rng.Below(sql.size())] = charset[rng.Below(charset.size())];
+      }
+      auto parsed = ParseStatement(sql);
+      if (!parsed.ok() || !parsed->is_select()) continue;
+      const SelectQuery& query = parsed->select();
+
+      auto reparsed = ParseStatement(ToSql(query));
+      ASSERT_TRUE(reparsed.ok())
+          << "writer output must reparse: " << ToSql(query);
+      ASSERT_TRUE(reparsed->is_select());
+      EXPECT_EQ(CanonicalQueryKey(query), CanonicalQueryKey(reparsed->select()))
+          << "input: " << sql;
+      EXPECT_EQ(QuerySignature(query), QuerySignature(reparsed->select()));
+      ++round_tripped;
+    }
+  }
+  // The loop must exercise real round trips, not skip everything.
+  EXPECT_GT(round_tripped, 100u);
 }
 
 TEST(ParserFuzzTest, RandomTokenSoupIsHandled) {

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI-style sanitizer sweep: configure, build and run the test suite under
+# ThreadSanitizer and then AddressSanitizer (+UBSan), each in its own
+# build tree so sanitized objects never mix with the regular build.
+#
+# Usage:
+#   tests/run_sanitized.sh            # both sanitizers, full suite
+#   tests/run_sanitized.sh thread     # TSan only
+#   tests/run_sanitized.sh address -R 'service|thread_pool'
+#
+# Extra arguments after the sanitizer name are passed through to ctest
+# (e.g. -R <regex> to restrict which tests run).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+sanitizers=()
+case "${1:-all}" in
+  thread | address) sanitizers=("$1"); shift ;;
+  all) sanitizers=(thread address); [[ $# -gt 0 ]] && shift ;;
+  *) sanitizers=(thread address) ;;
+esac
+CTEST_ARGS=("$@")
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+for sanitizer in "${sanitizers[@]}"; do
+  build_dir="$ROOT/build-$sanitizer"
+  echo "==== [$sanitizer] configuring $build_dir ===="
+  cmake -B "$build_dir" -S "$ROOT" -DQP_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [$sanitizer] building ===="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "==== [$sanitizer] running ctest ===="
+  if [[ "$sanitizer" == thread ]]; then
+    # halt_on_error makes a race fail the test instead of just logging.
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  else
+    export ASAN_OPTIONS="detect_leaks=1 strict_string_checks=1"
+    export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+  fi
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
+  echo "==== [$sanitizer] PASS ===="
+done
+
+echo "All sanitizer runs passed."

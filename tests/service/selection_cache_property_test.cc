@@ -1,0 +1,122 @@
+// Property test for the selection cache: across randomized profiles,
+// queries and interest criteria, a cache-served selection must be
+// bit-identical to an uncached PreferenceSelector::Select run — same
+// paths, same order, same degrees — and the downstream rewritten SQL
+// must match exactly. Catches stale-cache and key-collision bugs.
+
+#include <string>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/selection.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/query/sql_writer.h"
+#include "qp/service/service.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+InterestCriterion RandomCriterion(Rng* rng) {
+  switch (rng->Below(4)) {
+    case 0:
+      return InterestCriterion::TopCount(1 + rng->Below(8));
+    case 1:
+      return InterestCriterion::MinDegree(rng->NextDouble());
+    case 2:
+      return InterestCriterion::DisjunctiveAbove(rng->NextDouble() * 0.8);
+    default:
+      return InterestCriterion::ConjunctiveUntil(rng->NextDouble());
+  }
+}
+
+/// Bit-identical path lists: same length, same anchor/edges/degrees in
+/// the same order. SameShape compares edge sequences including degrees;
+/// doi() equality is exact (==), not approximate.
+void ExpectIdenticalPaths(const std::vector<PreferencePath>& a,
+                          const std::vector<PreferencePath>& b,
+                          size_t trial) {
+  ASSERT_EQ(a.size(), b.size()) << "trial " << trial;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].SameShape(b[i]))
+        << "trial " << trial << " path " << i << ": " << a[i].ToString()
+        << " vs " << b[i].ToString();
+    EXPECT_EQ(a[i].doi(), b[i].doi()) << "trial " << trial << " path " << i;
+  }
+}
+
+TEST(SelectionCachePropertyTest, CachedEqualsUncachedOverRandomizedTrials) {
+  MovieDbConfig config;
+  config.num_movies = 200;
+  config.num_actors = 100;
+  config.num_directors = 30;
+  config.num_theatres = 6;
+  config.num_days = 3;
+  config.seed = 97;
+  QP_ASSERT_OK_AND_ASSIGN(Database db, GenerateMovieDatabase(config));
+  QP_ASSERT_OK_AND_ASSIGN(auto pools, MovieCandidatePools(db));
+  ProfileGenerator generator(&db.schema(), std::move(pools));
+  WorkloadGenerator workload(&db, 4242);
+
+  PersonalizationService service(&db, ServiceOptions{.num_workers = 2});
+
+  constexpr size_t kTrials = 1000;
+  Rng rng(20040307);
+  size_t nonempty = 0;
+  for (size_t trial = 0; trial < kTrials; ++trial) {
+    // Fresh random profile for a fresh user every trial.
+    ProfileGeneratorOptions profile_options;
+    profile_options.num_selections = 5 + rng.Below(30);
+    profile_options.negative_fraction = 0.1;
+    QP_ASSERT_OK_AND_ASSIGN(UserProfile profile,
+                            generator.Generate(profile_options, &rng));
+    std::string user = "user" + std::to_string(trial);
+    QP_ASSERT_OK(service.profiles().Put(user, profile));
+
+    PersonalizationRequest request;
+    request.user_id = user;
+    QP_ASSERT_OK_AND_ASSIGN(request.query, workload.RandomQuery());
+    request.options.criterion = RandomCriterion(&rng);
+    request.execute = false;
+
+    // Uncached ground truth over the same snapshot.
+    QP_ASSERT_OK_AND_ASSIGN(ProfileSnapshot snapshot,
+                            service.profiles().Get(user));
+    PreferenceSelector selector(snapshot.graph.get());
+    QP_ASSERT_OK_AND_ASSIGN(
+        std::vector<PreferencePath> uncached,
+        selector.Select(request.query, request.options.criterion));
+
+    // First service call misses and fills; second must hit and agree.
+    PersonalizationResponse miss = service.PersonalizeOne(request);
+    QP_ASSERT_OK(miss.status);
+    ASSERT_FALSE(miss.cache_hit) << "trial " << trial;
+    PersonalizationResponse hit = service.PersonalizeOne(request);
+    QP_ASSERT_OK(hit.status);
+    ASSERT_TRUE(hit.cache_hit) << "trial " << trial;
+
+    ExpectIdenticalPaths(miss.outcome.selected, uncached, trial);
+    ExpectIdenticalPaths(hit.outcome.selected, uncached, trial);
+    if (!uncached.empty()) ++nonempty;
+
+    // The rewrite built from the cached selection is the same SQL.
+    ASSERT_EQ(miss.outcome.mq.has_value(), hit.outcome.mq.has_value());
+    if (miss.outcome.mq.has_value()) {
+      EXPECT_EQ(ToSql(*miss.outcome.mq), ToSql(*hit.outcome.mq))
+          << "trial " << trial;
+    }
+  }
+  // The trials must actually exercise selection, not vacuous empties.
+  EXPECT_GT(nonempty, kTrials / 4);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, kTrials);
+  EXPECT_EQ(stats.cache_misses, kTrials);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+}  // namespace
+}  // namespace qp

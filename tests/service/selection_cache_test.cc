@@ -1,0 +1,161 @@
+// SelectionCache unit tests: hit/miss accounting, LRU eviction bound,
+// epoch-keyed invalidation, and concurrent access sanity.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/core/interest_criterion.h"
+#include "qp/service/selection_cache.h"
+
+namespace qp {
+namespace {
+
+SelectionCache::Paths MakePaths(size_t n) {
+  std::vector<PreferencePath> paths;
+  for (size_t i = 0; i < n; ++i) {
+    paths.emplace_back("MV", "MOVIE");
+  }
+  return std::make_shared<const std::vector<PreferencePath>>(
+      std::move(paths));
+}
+
+TEST(SelectionCacheTest, HitAfterInsertMissBefore) {
+  SelectionCache cache(8);
+  std::string key = SelectionCache::MakeKey(
+      "julie", 1, "select MV.title from MV:MOVIE where true",
+      InterestCriterion::TopCount(5));
+
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, MakePaths(3));
+  SelectionCache::Paths hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 3u);
+
+  SelectionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(SelectionCacheTest, KeyDistinguishesEpochQueryAndCriterion) {
+  // Any component changing must change the key: the epoch is how profile
+  // mutations invalidate, the criterion is part of what was computed.
+  std::string base = SelectionCache::MakeKey(
+      "julie", 1, "q1", InterestCriterion::TopCount(5));
+  EXPECT_NE(base, SelectionCache::MakeKey("julie", 2, "q1",
+                                          InterestCriterion::TopCount(5)));
+  EXPECT_NE(base, SelectionCache::MakeKey("julie", 1, "q2",
+                                          InterestCriterion::TopCount(5)));
+  EXPECT_NE(base, SelectionCache::MakeKey("julie", 1, "q1",
+                                          InterestCriterion::TopCount(6)));
+  EXPECT_NE(base, SelectionCache::MakeKey("julie", 1, "q1",
+                                          InterestCriterion::MinDegree(0.5)));
+  EXPECT_NE(base, SelectionCache::MakeKey("rob", 1, "q1",
+                                          InterestCriterion::TopCount(5)));
+  // Same components, same key.
+  EXPECT_EQ(base, SelectionCache::MakeKey("julie", 1, "q1",
+                                          InterestCriterion::TopCount(5)));
+}
+
+TEST(SelectionCacheTest, EpochBumpInvalidates) {
+  SelectionCache cache(8);
+  auto criterion = InterestCriterion::TopCount(5);
+  cache.Insert(SelectionCache::MakeKey("julie", 1, "q", criterion),
+               MakePaths(2));
+  // After a profile mutation the caller looks up under the new epoch:
+  // a miss, never the stale entry.
+  EXPECT_EQ(cache.Lookup(SelectionCache::MakeKey("julie", 2, "q", criterion)),
+            nullptr);
+}
+
+TEST(SelectionCacheTest, LruEvictionBound) {
+  SelectionCache cache(4);
+  auto criterion = InterestCriterion::TopCount(5);
+  auto key = [&](int i) {
+    return SelectionCache::MakeKey("u", 1, "q" + std::to_string(i),
+                                   criterion);
+  };
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert(key(i), MakePaths(1));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 6u);
+  // The four most recent survive; the oldest six are gone.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(cache.Lookup(key(i)), nullptr);
+  for (int i = 6; i < 10; ++i) EXPECT_NE(cache.Lookup(key(i)), nullptr);
+}
+
+TEST(SelectionCacheTest, LookupRefreshesRecency) {
+  SelectionCache cache(2);
+  auto criterion = InterestCriterion::TopCount(5);
+  auto key = [&](int i) {
+    return SelectionCache::MakeKey("u", 1, "q" + std::to_string(i),
+                                   criterion);
+  };
+  cache.Insert(key(0), MakePaths(1));
+  cache.Insert(key(1), MakePaths(1));
+  EXPECT_NE(cache.Lookup(key(0)), nullptr);  // 0 becomes most recent.
+  cache.Insert(key(2), MakePaths(1));        // Evicts 1, not 0.
+  EXPECT_NE(cache.Lookup(key(0)), nullptr);
+  EXPECT_EQ(cache.Lookup(key(1)), nullptr);
+  EXPECT_NE(cache.Lookup(key(2)), nullptr);
+}
+
+TEST(SelectionCacheTest, InsertSameKeyReplaces) {
+  SelectionCache cache(4);
+  std::string key = SelectionCache::MakeKey(
+      "u", 1, "q", InterestCriterion::TopCount(5));
+  cache.Insert(key, MakePaths(1));
+  cache.Insert(key, MakePaths(5));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 5u);
+}
+
+TEST(SelectionCacheTest, ClearDropsEntriesKeepsStats) {
+  SelectionCache cache(4);
+  std::string key = SelectionCache::MakeKey(
+      "u", 1, "q", InterestCriterion::TopCount(5));
+  cache.Insert(key, MakePaths(1));
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SelectionCacheTest, ConcurrentMixedAccess) {
+  // Hammer one small cache from several threads; correctness here is
+  // "no crash, bounded size, every hit returns an intact vector" (TSan
+  // covers the rest).
+  SelectionCache cache(16);
+  auto criterion = InterestCriterion::TopCount(5);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = SelectionCache::MakeKey(
+            "u" + std::to_string((t + i) % 8), 1, "q" + std::to_string(i % 8),
+            criterion);
+        if (i % 3 == 0) {
+          cache.Insert(key, MakePaths(static_cast<size_t>(i % 5)));
+        } else {
+          auto hit = cache.Lookup(key);
+          if (hit != nullptr) {
+            ASSERT_LT(hit->size(), 5u);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,215 @@
+// PersonalizationService end-to-end tests: batch results must be
+// bit-identical to a serial Personalizer baseline for every (user,
+// query) pair, across worker counts and repeated rounds (the thread-pool
+// stress of the concurrency suite), with the cache both cold and warm.
+
+#include <string>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/data/workload.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/service/service.h"
+
+namespace qp {
+namespace {
+
+class ServiceBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieDbConfig config;
+    config.num_movies = 300;
+    config.num_actors = 150;
+    config.num_directors = 40;
+    config.num_theatres = 8;
+    config.num_days = 4;
+    config.seed = 20040308;
+    QP_ASSERT_OK_AND_ASSIGN(Database db, GenerateMovieDatabase(config));
+    db_ = std::make_unique<Database>(std::move(db));
+    QP_ASSERT_OK_AND_ASSIGN(auto pools, MovieCandidatePools(*db_));
+    generator_ = std::make_unique<ProfileGenerator>(&db_->schema(),
+                                                    std::move(pools));
+  }
+
+  UserProfile MakeProfile(uint64_t seed, size_t num_selections = 30) {
+    Rng rng(seed);
+    ProfileGeneratorOptions options;
+    options.num_selections = num_selections;
+    auto profile = generator_->Generate(options, &rng);
+    EXPECT_TRUE(profile.ok()) << profile.status();
+    return std::move(profile).value();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ProfileGenerator> generator_;
+};
+
+/// The serial ground truth for one request.
+Result<ResultSet> SerialBaseline(const Database& db,
+                                 const PersonalizationGraph& graph,
+                                 const PersonalizationRequest& request) {
+  Personalizer personalizer(&graph);
+  return personalizer.PersonalizeAndExecute(request.query, request.options,
+                                            db);
+}
+
+TEST_F(ServiceBatchTest, BatchMatchesSerialBaselineAcrossWorkerCounts) {
+  constexpr size_t kUsers = 4;
+  constexpr size_t kQueries = 6;
+
+  // Shared request set over several users and queries.
+  WorkloadGenerator workload(db_.get(), 7);
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<SelectQuery> queries,
+                          workload.RandomQueries(kQueries));
+  std::vector<UserProfile> profiles;
+  for (size_t u = 0; u < kUsers; ++u) profiles.push_back(MakeProfile(u + 1));
+
+  std::vector<PersonalizationRequest> requests;
+  for (size_t u = 0; u < kUsers; ++u) {
+    for (const SelectQuery& query : queries) {
+      PersonalizationRequest request;
+      request.user_id = "user" + std::to_string(u);
+      request.query = query;
+      request.options.criterion = InterestCriterion::TopCount(4);
+      requests.push_back(std::move(request));
+    }
+  }
+
+  // Serial baseline, straight through the Personalizer.
+  std::vector<std::string> expected;
+  for (const PersonalizationRequest& request : requests) {
+    size_t u = static_cast<size_t>(request.user_id.back() - '0');
+    QP_ASSERT_OK_AND_ASSIGN(
+        PersonalizationGraph graph,
+        PersonalizationGraph::Build(&db_->schema(), profiles[u]));
+    QP_ASSERT_OK_AND_ASSIGN(ResultSet result,
+                            SerialBaseline(*db_, graph, request));
+    expected.push_back(result.DebugString(1000));
+  }
+
+  for (size_t workers : {1u, 2u, 4u}) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    PersonalizationService service(db_.get(), options);
+    for (size_t u = 0; u < kUsers; ++u) {
+      QP_ASSERT_OK(
+          service.profiles().Put("user" + std::to_string(u), profiles[u]));
+    }
+    // Two rounds: cold cache, then warm (every selection a hit).
+    for (int round = 0; round < 2; ++round) {
+      std::vector<PersonalizationResponse> responses =
+          service.PersonalizeBatchAndWait(requests);
+      ASSERT_EQ(responses.size(), requests.size());
+      for (size_t i = 0; i < responses.size(); ++i) {
+        ASSERT_TRUE(responses[i].status.ok())
+            << workers << " workers, request " << i << ": "
+            << responses[i].status;
+        EXPECT_EQ(responses[i].results.DebugString(1000), expected[i])
+            << workers << " workers, round " << round << ", request " << i;
+        EXPECT_EQ(responses[i].cache_hit, round == 1);
+      }
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 2 * requests.size());
+    EXPECT_EQ(stats.cache_hits, requests.size());
+    EXPECT_EQ(stats.cache_misses, requests.size());
+    EXPECT_EQ(stats.errors, 0u);
+  }
+}
+
+TEST_F(ServiceBatchTest, UnknownUserAndBadQuerySurfacePerResponse) {
+  PersonalizationService service(db_.get(), ServiceOptions{.num_workers = 2});
+  QP_ASSERT_OK(service.profiles().Put("julie", MakeProfile(42)));
+
+  WorkloadGenerator workload(db_.get(), 3);
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<SelectQuery> queries,
+                          workload.RandomQueries(1));
+
+  PersonalizationRequest good;
+  good.user_id = "julie";
+  good.query = queries[0];
+
+  PersonalizationRequest unknown = good;
+  unknown.user_id = "nobody";
+
+  PersonalizationRequest bad = good;
+  SelectQuery broken;
+  QP_ASSERT_OK(broken.AddVariable("X", "NO_SUCH_TABLE"));
+  broken.AddProjection("X", "nope");
+  bad.query = broken;
+
+  std::vector<PersonalizationResponse> responses =
+      service.PersonalizeBatchAndWait({good, unknown, bad});
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_FALSE(responses[1].status.ok());
+  EXPECT_FALSE(responses[2].status.ok());
+  EXPECT_EQ(service.stats().errors, 2u);
+}
+
+TEST_F(ServiceBatchTest, ProfileMutationInvalidatesCachedSelections) {
+  PersonalizationService service(db_.get(), ServiceOptions{.num_workers = 2});
+  QP_ASSERT_OK(service.profiles().Put("julie", MakeProfile(1)));
+
+  WorkloadGenerator workload(db_.get(), 11);
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<SelectQuery> queries,
+                          workload.RandomQueries(1));
+  PersonalizationRequest request;
+  request.user_id = "julie";
+  request.query = queries[0];
+  request.execute = false;
+
+  PersonalizationResponse first = service.PersonalizeOne(request);
+  QP_ASSERT_OK(first.status);
+  EXPECT_FALSE(first.cache_hit);
+  PersonalizationResponse second = service.PersonalizeOne(request);
+  QP_ASSERT_OK(second.status);
+  EXPECT_TRUE(second.cache_hit);
+
+  // Swap in a different profile: the cached selection must not be served.
+  QP_ASSERT_OK(service.profiles().Put("julie", MakeProfile(2)));
+  PersonalizationResponse third = service.PersonalizeOne(request);
+  QP_ASSERT_OK(third.status);
+  EXPECT_FALSE(third.cache_hit);
+
+  // And the fresh selection must match a from-scratch baseline.
+  QP_ASSERT_OK_AND_ASSIGN(ProfileSnapshot snapshot,
+                          service.profiles().Get("julie"));
+  Personalizer personalizer(snapshot.graph.get());
+  QP_ASSERT_OK_AND_ASSIGN(
+      PersonalizationOutcome baseline,
+      personalizer.Personalize(request.query, request.options));
+  ASSERT_EQ(third.outcome.selected.size(), baseline.selected.size());
+  for (size_t i = 0; i < baseline.selected.size(); ++i) {
+    EXPECT_TRUE(third.outcome.selected[i].SameShape(baseline.selected[i]));
+  }
+}
+
+TEST_F(ServiceBatchTest, PaperExampleThroughTheService) {
+  // The paper's worked example survives the service path: Julie's top
+  // preferences personalize the "tonight" query identically to the
+  // direct pipeline (which the end-to-end test pins to the paper).
+  QP_ASSERT_OK_AND_ASSIGN(Database paper_db, BuildPaperDatabase());
+  PersonalizationService service(&paper_db,
+                                 ServiceOptions{.num_workers = 2});
+  QP_ASSERT_OK(service.profiles().Put("julie", JulieProfile()));
+
+  PersonalizationRequest request;
+  request.user_id = "julie";
+  request.query = TonightQuery();
+  request.options.criterion = InterestCriterion::TopCount(3);
+
+  PersonalizationResponse response = service.PersonalizeOne(request);
+  QP_ASSERT_OK(response.status);
+  ASSERT_EQ(response.outcome.selected.size(), 3u);
+  EXPECT_NEAR(response.outcome.selected[0].doi(), 0.81, 1e-9);
+  EXPECT_NEAR(response.outcome.selected[1].doi(), 0.8, 1e-9);
+  EXPECT_NEAR(response.outcome.selected[2].doi(), 0.72, 1e-9);
+  EXPECT_GT(response.results.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,122 @@
+// Stress tests for the work-stealing thread pool: correctness of every
+// submitted task across N threads x M batches, submissions from worker
+// threads (the stealing path), and teardown with work still queued.
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/service/thread_pool.h"
+
+namespace qp {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+
+  constexpr int kTasks = 1000;
+  std::atomic<int> done{0};
+  std::vector<std::promise<int>> results(kTasks);
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) futures.push_back(results[i].get_future());
+
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([i, &done, &results] {
+      results[i].set_value(i * i);
+      done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::promise<int> p;
+  auto f = p.get_future();
+  pool.Submit([&p] { p.set_value(7); });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTest, StressManyBatchesDeterministicResults) {
+  // N threads x M batches of tasks computing a pure function; every batch
+  // must produce exactly the serial answer no matter how work is stolen.
+  constexpr size_t kThreads = 8;
+  constexpr int kBatches = 20;
+  constexpr int kTasksPerBatch = 64;
+  ThreadPool pool(kThreads);
+
+  auto f = [](int batch, int i) { return batch * 1000003 + i * i; };
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    std::vector<std::promise<int>> results(kTasksPerBatch);
+    std::vector<std::future<int>> futures;
+    for (auto& r : results) futures.push_back(r.get_future());
+    for (int i = 0; i < kTasksPerBatch; ++i) {
+      pool.Submit([&, i] { results[i].set_value(f(batch, i)); });
+    }
+    for (int i = 0; i < kTasksPerBatch; ++i) {
+      EXPECT_EQ(futures[i].get(), f(batch, i)) << "batch " << batch;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThreadIsStealable) {
+  // A task fans out subtasks from inside the pool; with one producer
+  // worker, the children land on its own deque and must be stolen (or
+  // drained) by the others for the count to converge.
+  ThreadPool pool(4);
+  constexpr int kChildren = 200;
+  std::atomic<int> done{0};
+  std::promise<void> all_done;
+  auto all_done_future = all_done.get_future();
+
+  pool.Submit([&] {
+    for (int i = 0; i < kChildren; ++i) {
+      pool.Submit([&] {
+        if (done.fetch_add(1) + 1 == kChildren) all_done.set_value();
+      });
+    }
+  });
+  all_done_future.wait();
+  EXPECT_EQ(done.load(), kChildren);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  constexpr int kTasks = 300;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor runs with most tasks still queued.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, QueueDepthReflectsBacklog) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> started;
+  pool.Submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // Worker is now blocked inside the task.
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([gate] { gate.wait(); });
+  }
+  EXPECT_EQ(pool.ApproxQueueDepth(), 5u);
+  release.set_value();
+}
+
+}  // namespace
+}  // namespace qp
