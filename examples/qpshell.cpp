@@ -26,6 +26,7 @@
 #include "qp/query/sql_writer.h"
 #include "qp/relational/csv.h"
 #include "qp/service/service.h"
+#include "qp/storage/durable_profile_store.h"
 #include "qp/util/string_util.h"
 
 namespace {
@@ -96,6 +97,10 @@ class Shell {
                     db_->TotalRows());
       }
     } else if (command == "save") {
+      SaveProfile(arg);
+    } else if (command == "open") {
+      OpenProfiles(arg);
+    } else if (command == "savedb") {
       if (db_) Check(SaveDatabaseCsv(*db_, arg));
     } else if (command == "load") {
       Database db(schema_);
@@ -152,10 +157,12 @@ class Shell {
         "  \\pref [ c, d ]      add one preference to the profile\n"
         "  \\learn <sql>        observe a query; profile is re-learned\n"
         "  \\show | \\graph      print profile / personalization graph\n"
+        "  \\save <dir>         persist the profile (WAL + snapshot store)\n"
+        "  \\open <dir> [user]  recover profiles from a durable store\n"
         "data:\n"
         "  \\paper              the paper's mini database (default)\n"
         "  \\gen [movies]       synthetic IMDb-style database\n"
-        "  \\save <dir> | \\load <dir>   CSV export / import\n"
+        "  \\savedb <dir> | \\load <dir>  CSV export / import\n"
         "options:\n"
         "  \\k N  \\l N  \\m N    top-K / at-least-L / mandatory-M\n"
         "  \\mode sq|mq  \\topn N  \\negatives N  \\negmode veto|penalty\n"
@@ -203,6 +210,74 @@ class Shell {
       updated.AddOrUpdate(pref);
     }
     SetProfile(std::move(updated), profile_name_ + " (edited)");
+  }
+
+  /// \save <dir>: write the current profile through a durable store —
+  /// WAL append, then checkpoint so the directory holds a fresh snapshot.
+  void SaveProfile(const std::string& arg) {
+    if (arg.empty()) {
+      std::printf("usage: \\save <dir>\n");
+      return;
+    }
+    storage::StorageOptions options;
+    options.dir = arg;
+    options.background_compaction = false;
+    auto store = storage::DurableProfileStore::Open(&schema_, options);
+    if (!Check(store.status())) return;
+    if (!Check((*store)->Put(profile_name_, profile_))) return;
+    if (!Check((*store)->Checkpoint())) return;
+    storage::StorageStats stats = (*store)->storage_stats();
+    if (!Check((*store)->Close())) return;
+    std::printf("saved profile '%s' to %s (snapshot at seqno %llu)\n",
+                profile_name_.c_str(), arg.c_str(),
+                static_cast<unsigned long long>(stats.last_appended_seqno));
+  }
+
+  /// \open <dir> [user]: recover a durable store (snapshot + WAL replay)
+  /// and make one of its profiles current.
+  void OpenProfiles(const std::string& arg) {
+    std::istringstream in(arg);
+    std::string dir;
+    in >> dir;
+    std::string user;
+    std::getline(in, user);
+    user = std::string(StripWhitespace(user));
+    if (dir.empty()) {
+      std::printf("usage: \\open <dir> [user]\n");
+      return;
+    }
+    storage::StorageOptions options;
+    options.dir = dir;
+    options.background_compaction = false;
+    auto store = storage::DurableProfileStore::Open(&schema_, options);
+    if (!Check(store.status())) return;
+    storage::StorageStats stats = (*store)->storage_stats();
+    auto all = (*store)->All();
+    std::printf(
+        "opened %s: %zu profiles (%llu from snapshot, %llu WAL records "
+        "replayed, %llu torn bytes dropped) in %llu ms\n",
+        dir.c_str(), all.size(),
+        static_cast<unsigned long long>(stats.snapshot_users_loaded),
+        static_cast<unsigned long long>(stats.records_replayed),
+        static_cast<unsigned long long>(stats.torn_bytes_truncated),
+        static_cast<unsigned long long>(stats.recovery_millis));
+    Check((*store)->Close());
+    if (all.empty()) return;
+    if (user.empty() && all.size() > 1) {
+      for (const auto& [user_id, snapshot] : all) {
+        std::printf("  %s (%zu preferences)\n", user_id.c_str(),
+                    snapshot.profile->size());
+      }
+      std::printf("pick one with \\open %s <user>\n", dir.c_str());
+      return;
+    }
+    for (const auto& [user_id, snapshot] : all) {
+      if (user.empty() || user_id == user) {
+        SetProfile(*snapshot.profile, user_id);
+        return;
+      }
+    }
+    std::printf("no profile '%s' in %s\n", user.c_str(), dir.c_str());
   }
 
   void Generate(const std::string& arg) {

@@ -1,7 +1,9 @@
 #include "qp/service/profile_store.h"
 
+#include <algorithm>
 #include <functional>
 #include <mutex>
+#include <utility>
 
 namespace qp {
 
@@ -65,10 +67,31 @@ Result<ProfileSnapshot> ProfileStore::Get(const std::string& user_id) const {
                          it->second.epoch};
 }
 
-bool ProfileStore::Remove(const std::string& user_id) {
+Status ProfileStore::Remove(const std::string& user_id) {
   Shard& shard = ShardFor(user_id);
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  return shard.users.erase(user_id) > 0;
+  if (shard.users.erase(user_id) == 0) {
+    return Status::NotFound("unknown user: " + user_id);
+  }
+  // Burn an epoch so a later re-insert of the same user can never revisit
+  // an epoch a cache entry might still be keyed on.
+  ++shard.next_epoch;
+  return Status::Ok();
+}
+
+std::vector<std::pair<std::string, ProfileSnapshot>> ProfileStore::All()
+    const {
+  std::vector<std::pair<std::string, ProfileSnapshot>> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const auto& [user_id, entry] : shard->users) {
+      out.emplace_back(user_id, ProfileSnapshot{entry.profile, entry.graph,
+                                                entry.epoch});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 size_t ProfileStore::size() const {

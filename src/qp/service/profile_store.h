@@ -6,6 +6,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qp/graph/personalization_graph.h"
@@ -55,9 +56,17 @@ class ProfileStore {
   /// The user's current snapshot; NotFound for unknown users.
   Result<ProfileSnapshot> Get(const std::string& user_id) const;
 
-  /// Removes the user (snapshots already taken stay valid). No-op status
-  /// reports whether the user existed.
-  bool Remove(const std::string& user_id);
+  /// Removes the user (snapshots already taken stay valid); NotFound if
+  /// the user does not exist. Like every other mutator this returns a
+  /// Status — callers that only care whether anything happened can test
+  /// `Remove(id).ok()`.
+  Status Remove(const std::string& user_id);
+
+  /// Every user's current snapshot, sorted by user id (deterministic —
+  /// the storage layer serializes this into snapshot files). Each shard
+  /// is read under its shared lock; the result is a point-in-time view
+  /// per shard, not a global atomic cut.
+  std::vector<std::pair<std::string, ProfileSnapshot>> All() const;
 
   size_t size() const;
   const Schema& schema() const { return *schema_; }

@@ -26,8 +26,17 @@ void MaxInto(std::atomic<size_t>* target, size_t value) {
 
 PersonalizationService::PersonalizationService(const Database* db,
                                                ServiceOptions options)
+    : PersonalizationService(
+          db, options,
+          std::make_unique<storage::DurableProfileStore>(&db->schema(),
+                                                         options.num_shards)) {
+}
+
+PersonalizationService::PersonalizationService(
+    const Database* db, ServiceOptions options,
+    std::unique_ptr<storage::DurableProfileStore> store)
     : db_(db),
-      store_(&db->schema(), options.num_shards),
+      store_(std::move(store)),
       cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity),
       cache_enabled_(options.cache_capacity > 0),
       pool_(options.num_workers > 0 ? options.num_workers
@@ -37,12 +46,27 @@ PersonalizationService::PersonalizationService(const Database* db,
   db_->WarmIndexes();
 }
 
+Result<std::unique_ptr<PersonalizationService>>
+PersonalizationService::OpenDurable(const Database* db,
+                                    ServiceOptions options) {
+  if (options.storage.dir.empty()) {
+    return Status::InvalidArgument(
+        "OpenDurable requires options.storage.dir");
+  }
+  QP_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::DurableProfileStore> store,
+      storage::DurableProfileStore::Open(&db->schema(), options.storage,
+                                         options.num_shards));
+  return std::unique_ptr<PersonalizationService>(
+      new PersonalizationService(db, options, std::move(store)));
+}
+
 PersonalizationResponse PersonalizationService::PersonalizeOne(
     const PersonalizationRequest& request) {
   PersonalizationResponse response;
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
 
-  auto snapshot = store_.Get(request.user_id);
+  auto snapshot = store_->Get(request.user_id);
   if (!snapshot.ok()) {
     response.status = snapshot.status();
     counters_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -199,6 +223,7 @@ ServiceStats PersonalizationService::stats() const {
   stats.execution_millis =
       counters_.execution_nanos.load(std::memory_order_relaxed) / 1e6;
   stats.cache = cache_.stats();
+  stats.storage = store_->storage_stats();
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #include "qp/service/profile_store.h"
 #include "qp/service/selection_cache.h"
 #include "qp/service/thread_pool.h"
+#include "qp/storage/durable_profile_store.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -26,6 +27,10 @@ struct ServiceOptions {
   size_t num_shards = 16;
   /// Selection-cache capacity in entries; 0 disables the cache.
   size_t cache_capacity = 4096;
+  /// Profile durability (WAL + snapshots). Leave `storage.dir` empty for
+  /// a purely in-memory store; set it (via OpenDurable) to recover
+  /// profiles across restarts.
+  storage::StorageOptions storage;
 };
 
 /// One unit of batch work: personalize (and optionally execute) `query`
@@ -67,6 +72,10 @@ struct ServiceStats {
   double integration_millis = 0.0;
   double execution_millis = 0.0;
   SelectionCacheStats cache;
+  /// Durability counters: WAL records/bytes/fsyncs, checkpoints and the
+  /// recovery cost of the Open that produced this service. All zero for
+  /// an in-memory service.
+  storage::StorageStats storage;
 };
 
 /// The scale-out front door: a thread-pool-backed personalization service
@@ -79,12 +88,23 @@ class PersonalizationService {
  public:
   /// `db` is retained and must outlive the service; its indexes are
   /// warmed eagerly so concurrent execution never mutates shared state.
+  /// The profile store is in-memory; `options.storage` is ignored here
+  /// (a constructor cannot surface recovery failures) — use OpenDurable
+  /// for a durable service.
   PersonalizationService(const Database* db, ServiceOptions options = {});
 
+  /// Builds a service whose profile store is durable: opens (or
+  /// initializes) `options.storage.dir`, recovering every profile that
+  /// was stored there — snapshot load + WAL replay. Fails with the
+  /// recovery error on corruption rather than serving partial state.
+  static Result<std::unique_ptr<PersonalizationService>> OpenDurable(
+      const Database* db, ServiceOptions options);
+
   /// Profile management (thread-safe, usable while batches are in
-  /// flight; see ProfileStore for the snapshot semantics).
-  ProfileStore& profiles() { return store_; }
-  const ProfileStore& profiles() const { return store_; }
+  /// flight; see ProfileStore for the snapshot semantics). Mutations on
+  /// a durable service are write-ahead logged.
+  storage::DurableProfileStore& profiles() { return *store_; }
+  const storage::DurableProfileStore& profiles() const { return *store_; }
 
   /// Fans the requests across the worker pool; future i resolves to
   /// request i's response. Errors (unknown user, invalid query) surface
@@ -105,8 +125,11 @@ class PersonalizationService {
   ServiceStats stats() const;
 
  private:
+  PersonalizationService(const Database* db, ServiceOptions options,
+                         std::unique_ptr<storage::DurableProfileStore> store);
+
   const Database* db_;
-  ProfileStore store_;
+  std::unique_ptr<storage::DurableProfileStore> store_;
   SelectionCache cache_;
   bool cache_enabled_;
   ThreadPool pool_;

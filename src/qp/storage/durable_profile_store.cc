@@ -1,0 +1,378 @@
+#include "qp/storage/durable_profile_store.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "qp/storage/record.h"
+#include "qp/util/string_util.h"
+#include "qp/util/timer.h"
+
+namespace qp {
+namespace storage {
+
+DurableProfileStore::DurableProfileStore(const Schema* schema,
+                                         size_t num_shards)
+    : store_(schema, num_shards) {}
+
+DurableProfileStore::DurableProfileStore(const Schema* schema,
+                                         size_t num_shards,
+                                         StorageOptions options)
+    : store_(schema, num_shards),
+      options_(std::move(options)),
+      fs_(options_.fs != nullptr ? options_.fs : DefaultFileSystem()),
+      dir_(options_.dir) {}
+
+Result<std::unique_ptr<DurableProfileStore>> DurableProfileStore::Open(
+    const Schema* schema, StorageOptions options, size_t num_shards) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument(
+        "DurableProfileStore::Open requires a storage directory; use the "
+        "plain constructor for an in-memory store");
+  }
+  std::unique_ptr<DurableProfileStore> store(
+      new DurableProfileStore(schema, num_shards, std::move(options)));
+  WallTimer timer;
+  uint64_t next_seqno = 1;
+  QP_RETURN_IF_ERROR(store->Recover(&next_seqno));
+  store->recovery_millis_ = timer.ElapsedMillis();
+  if (store->options_.background_compaction &&
+      store->options_.compact_threshold_bytes > 0) {
+    store->compaction_running_.store(true, std::memory_order_release);
+    store->compactor_ = std::thread([s = store.get()] { s->CompactionLoop(); });
+  }
+  return store;
+}
+
+DurableProfileStore::~DurableProfileStore() { Close(); }
+
+Status DurableProfileStore::Recover(uint64_t* next_seqno) {
+  QP_RETURN_IF_ERROR(fs_->CreateDir(dir_));
+
+  auto manifest_or = ReadManifest(fs_, dir_);
+  if (!manifest_or.ok() &&
+      manifest_or.status().code() == StatusCode::kNotFound) {
+    // Fresh directory: an empty WAL starting at seqno 1, then the
+    // manifest referencing it (in that order, so the manifest never
+    // names a file that does not exist).
+    manifest_.seqno = 0;
+    manifest_.wal_file = WalFileName(1);
+    QP_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> file,
+        fs_->NewWritableFile(JoinPath(dir_, manifest_.wal_file), true));
+    QP_RETURN_IF_ERROR(file->Sync());
+    QP_RETURN_IF_ERROR(WriteManifest(fs_, dir_, manifest_));
+    wal_ = std::make_unique<WalWriter>(std::move(file), 1, options_.wal);
+    *next_seqno = 1;
+    return Status::Ok();
+  }
+  QP_RETURN_IF_ERROR(manifest_or.status());
+  manifest_ = std::move(manifest_or).value();
+
+  // Base state: the snapshot, wholesale. Its checksum is verified
+  // against the manifest before a single profile is parsed.
+  if (!manifest_.snapshot_file.empty()) {
+    QP_ASSIGN_OR_RETURN(
+        auto users,
+        LoadSnapshot(fs_, JoinPath(dir_, manifest_.snapshot_file),
+                     manifest_.snapshot_bytes, manifest_.snapshot_crc));
+    for (auto& [user_id, profile] : users) {
+      QP_RETURN_IF_ERROR(store_.Put(user_id, std::move(profile)));
+      ++snapshot_users_loaded_;
+    }
+  }
+
+  // Tail state: replay the WAL. A torn final record is the expected
+  // signature of a crash mid-append and is silently dropped; anything
+  // else that fails to verify is real corruption and fails the open.
+  std::string wal_path = JoinPath(dir_, manifest_.wal_file);
+  std::string wal_content;
+  if (auto content_or = fs_->ReadFile(wal_path); content_or.ok()) {
+    wal_content = std::move(content_or).value();
+  } else if (content_or.status().code() != StatusCode::kNotFound) {
+    return content_or.status();
+  }
+  WalReader reader(wal_content, manifest_.seqno + 1);
+  uint64_t last_seqno = manifest_.seqno;
+  for (;;) {
+    WalRecord record;
+    bool has_record = false;
+    QP_RETURN_IF_ERROR(reader.Next(&record, &has_record));
+    if (!has_record) break;
+    QP_ASSIGN_OR_RETURN(ProfileMutation mutation,
+                        DecodeMutation(record.payload));
+    QP_RETURN_IF_ERROR(ApplyMutation(mutation));
+    last_seqno = record.seqno;
+    ++records_replayed_;
+  }
+  torn_bytes_truncated_ = reader.torn_bytes();
+
+  // Reopen the same segment for appending: rewrite its valid prefix
+  // (dropping any torn tail) and continue at last_seqno + 1. The
+  // manifest stays as-is — the segment still starts at seqno+1.
+  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                      fs_->NewWritableFile(wal_path, /*truncate=*/true));
+  if (reader.valid_bytes() > 0) {
+    QP_RETURN_IF_ERROR(
+        file->Append(std::string_view(wal_content).substr(
+            0, reader.valid_bytes())));
+  }
+  QP_RETURN_IF_ERROR(file->Sync());
+  segment_base_bytes_ = reader.valid_bytes();
+  wal_ = std::make_unique<WalWriter>(std::move(file), last_seqno + 1,
+                                     options_.wal);
+  *next_seqno = last_seqno + 1;
+
+  // Sweep leftovers of an interrupted checkpoint: snapshot/WAL files the
+  // committed manifest does not reference, and orphaned temp files.
+  if (auto names_or = fs_->ListDir(dir_); names_or.ok()) {
+    for (const std::string& name : *names_or) {
+      bool is_ours = StartsWith(name, "snapshot-") ||
+                     StartsWith(name, "wal-") || EndsWith(name, ".tmp");
+      bool referenced = name == kManifestName ||
+                        name == manifest_.snapshot_file ||
+                        name == manifest_.wal_file;
+      if (is_ours && !referenced) {
+        fs_->RemoveFile(JoinPath(dir_, name));  // Best effort.
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DurableProfileStore::ApplyMutation(const ProfileMutation& mutation) {
+  switch (mutation.kind) {
+    case ProfileMutation::Kind::kPut:
+      return store_.Put(mutation.user_id, mutation.profile);
+    case ProfileMutation::Kind::kUpsert:
+      return store_.Upsert(mutation.user_id, mutation.preferences);
+    case ProfileMutation::Kind::kRemove: {
+      Status status = store_.Remove(mutation.user_id);
+      // Remove of a user the snapshot no longer contains is fine: the
+      // snapshot may already cover this record (replay is idempotent).
+      if (status.code() == StatusCode::kNotFound) return Status::Ok();
+      return status;
+    }
+  }
+  return Status::Internal("unknown mutation kind");
+}
+
+size_t DurableProfileStore::StripeFor(const std::string& user_id) const {
+  return std::hash<std::string>{}(user_id) % kNumStripes;
+}
+
+Status DurableProfileStore::Put(const std::string& user_id,
+                                UserProfile profile) {
+  if (!durable()) return store_.Put(user_id, std::move(profile));
+  // Validate before logging — the WAL must never contain a mutation
+  // whose replay would fail.
+  QP_RETURN_IF_ERROR(profile.Validate(store_.schema()));
+  ProfileMutation mutation = ProfileMutation::Put(user_id, std::move(profile));
+  std::string payload;
+  EncodeMutation(mutation, &payload);
+
+  std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
+  QP_RETURN_IF_ERROR(wal_->Append(payload, nullptr));
+  Status status = store_.Put(user_id, std::move(mutation.profile));
+  if (!status.ok()) {
+    return Status::Internal("logged mutation failed to apply: " +
+                            status.message());
+  }
+  MaybeKickCompaction();
+  return Status::Ok();
+}
+
+Status DurableProfileStore::Upsert(
+    const std::string& user_id,
+    const std::vector<AtomicPreference>& preferences) {
+  if (!durable()) return store_.Upsert(user_id, preferences);
+
+  std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
+  // Merge under the stripe lock so the validated result is exactly what
+  // replaying this upsert over the logged prefix will produce.
+  UserProfile merged;
+  if (auto current = store_.Get(user_id); current.ok()) {
+    merged = *current->profile;
+  }
+  for (const AtomicPreference& pref : preferences) {
+    merged.AddOrUpdate(pref);
+  }
+  QP_RETURN_IF_ERROR(merged.Validate(store_.schema()));
+
+  std::string payload;
+  EncodeMutation(ProfileMutation::Upsert(user_id, preferences), &payload);
+  QP_RETURN_IF_ERROR(wal_->Append(payload, nullptr));
+  Status status = store_.Put(user_id, std::move(merged));
+  if (!status.ok()) {
+    return Status::Internal("logged mutation failed to apply: " +
+                            status.message());
+  }
+  MaybeKickCompaction();
+  return Status::Ok();
+}
+
+Status DurableProfileStore::Remove(const std::string& user_id) {
+  if (!durable()) return store_.Remove(user_id);
+
+  std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
+  if (auto current = store_.Get(user_id); !current.ok()) {
+    return current.status();  // Unknown user: nothing to log.
+  }
+  std::string payload;
+  EncodeMutation(ProfileMutation::Remove(user_id), &payload);
+  QP_RETURN_IF_ERROR(wal_->Append(payload, nullptr));
+  Status status = store_.Remove(user_id);
+  if (!status.ok()) {
+    return Status::Internal("logged mutation failed to apply: " +
+                            status.message());
+  }
+  MaybeKickCompaction();
+  return Status::Ok();
+}
+
+Status DurableProfileStore::Checkpoint() {
+  if (!durable()) {
+    return Status::FailedPrecondition("store has no storage directory");
+  }
+  // Lock every stripe (in order) so no mutation is between its WAL
+  // append and its in-memory apply: the (seqno, state) cut is exact.
+  std::array<std::unique_lock<std::mutex>, kNumStripes> locks;
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(stripes_[i]);
+  }
+  std::lock_guard<std::mutex> meta(meta_mutex_);
+  return CheckpointLocked();
+}
+
+Status DurableProfileStore::CheckpointLocked() {
+  if (closed_) return Status::FailedPrecondition("store is closed");
+  const uint64_t seqno = wal_->last_appended_seqno();
+  if (seqno == manifest_.seqno) return Status::Ok();  // Nothing new.
+
+  // Make everything the snapshot will contain durable in the old WAL
+  // first: if we crash mid-checkpoint the old generation must already
+  // hold every acknowledged record.
+  QP_RETURN_IF_ERROR(wal_->Sync());
+
+  SnapshotUsers users;
+  for (auto& [user_id, snapshot] : store_.All()) {
+    users.emplace_back(user_id, snapshot.profile);
+  }
+
+  Manifest next;
+  next.seqno = seqno;
+  next.snapshot_file = SnapshotFileName(seqno);
+  next.wal_file = WalFileName(seqno + 1);
+  QP_RETURN_IF_ERROR(WriteSnapshot(fs_, JoinPath(dir_, next.snapshot_file),
+                                   users, &next.snapshot_bytes,
+                                   &next.snapshot_crc));
+  QP_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> new_wal_file,
+      fs_->NewWritableFile(JoinPath(dir_, next.wal_file), true));
+  QP_RETURN_IF_ERROR(new_wal_file->Sync());
+  // The commit point: once the manifest rename lands, the new
+  // generation is what recovery will read. Until then every failure
+  // above leaves the old generation fully intact.
+  QP_RETURN_IF_ERROR(WriteManifest(fs_, dir_, next));
+
+  const Manifest old = manifest_;
+  manifest_ = next;
+  WalWriterStats finished = wal_->stats();
+  retired_.records_appended += finished.records_appended;
+  retired_.bytes_appended += finished.bytes_appended;
+  retired_.fsyncs += finished.fsyncs;
+  wal_->Close();
+  wal_ = std::make_unique<WalWriter>(std::move(new_wal_file), seqno + 1,
+                                     options_.wal);
+  segment_base_bytes_ = 0;
+  ++checkpoints_;
+
+  if (!old.snapshot_file.empty()) {
+    fs_->RemoveFile(JoinPath(dir_, old.snapshot_file));  // Best effort.
+  }
+  fs_->RemoveFile(JoinPath(dir_, old.wal_file));
+  return Status::Ok();
+}
+
+Status DurableProfileStore::Sync() {
+  if (!durable()) return Status::Ok();
+  std::lock_guard<std::mutex> meta(meta_mutex_);
+  if (closed_) return Status::FailedPrecondition("store is closed");
+  return wal_->Sync();
+}
+
+Status DurableProfileStore::Close() {
+  if (compaction_running_.exchange(false, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(compact_mutex_);
+      compact_stop_ = true;
+    }
+    compact_cv_.notify_all();
+    compactor_.join();
+  }
+  if (!durable()) return Status::Ok();
+
+  std::array<std::unique_lock<std::mutex>, kNumStripes> locks;
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(stripes_[i]);
+  }
+  std::lock_guard<std::mutex> meta(meta_mutex_);
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  // A failed Open destroys the store before the WAL writer exists.
+  if (wal_ == nullptr) return Status::Ok();
+  return wal_->Close();
+}
+
+void DurableProfileStore::MaybeKickCompaction() {
+  if (options_.compact_threshold_bytes == 0 ||
+      !compaction_running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const uint64_t segment_bytes =
+      segment_base_bytes_ + wal_->stats().bytes_appended;
+  if (segment_bytes < options_.compact_threshold_bytes) return;
+  {
+    std::lock_guard<std::mutex> lock(compact_mutex_);
+    compact_kick_ = true;
+  }
+  compact_cv_.notify_one();
+}
+
+void DurableProfileStore::CompactionLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compact_mutex_);
+      compact_cv_.wait(lock, [this] { return compact_kick_ || compact_stop_; });
+      if (compact_stop_) return;
+      compact_kick_ = false;
+    }
+    // Failures here surface on the next explicit Checkpoint()/Close();
+    // the store keeps running on the old (intact) generation.
+    Checkpoint();
+  }
+}
+
+StorageStats DurableProfileStore::storage_stats() const {
+  StorageStats stats;
+  stats.durable = durable();
+  stats.recovery_millis = recovery_millis_;
+  stats.snapshot_users_loaded = snapshot_users_loaded_;
+  stats.records_replayed = records_replayed_;
+  stats.torn_bytes_truncated = torn_bytes_truncated_;
+  if (!durable()) return stats;
+  std::lock_guard<std::mutex> meta(meta_mutex_);
+  stats.checkpoints = checkpoints_;
+  if (wal_ != nullptr) {
+    WalWriterStats live = wal_->stats();
+    stats.records_appended = retired_.records_appended + live.records_appended;
+    stats.bytes_appended = retired_.bytes_appended + live.bytes_appended;
+    stats.fsyncs = retired_.fsyncs + live.fsyncs;
+    stats.last_appended_seqno = wal_->last_appended_seqno();
+    stats.last_synced_seqno = wal_->last_synced_seqno();
+    stats.wal_segment_bytes = segment_base_bytes_ + live.bytes_appended;
+  }
+  return stats;
+}
+
+}  // namespace storage
+}  // namespace qp

@@ -1,0 +1,189 @@
+#ifndef QP_STORAGE_DURABLE_PROFILE_STORE_H_
+#define QP_STORAGE_DURABLE_PROFILE_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qp/service/profile_store.h"
+#include "qp/storage/record.h"
+#include "qp/storage/snapshot.h"
+#include "qp/storage/wal.h"
+#include "qp/util/file.h"
+#include "qp/util/status.h"
+
+namespace qp {
+namespace storage {
+
+/// How (and whether) a DurableProfileStore persists its state.
+struct StorageOptions {
+  /// Directory holding MANIFEST, the snapshot and the WAL. Empty
+  /// disables durability entirely — the store becomes a zero-cost
+  /// pass-through over the in-memory ProfileStore.
+  std::string dir;
+  /// WAL fsync policy and interval.
+  WalOptions wal;
+  /// Once the live WAL segment exceeds this many bytes, a checkpoint
+  /// (snapshot + WAL truncation) is triggered. 0 = only explicit
+  /// Checkpoint() calls compact.
+  uint64_t compact_threshold_bytes = 4u << 20;
+  /// Run compaction on a background thread (otherwise the threshold is
+  /// checked but compaction only happens via Checkpoint()).
+  bool background_compaction = true;
+  /// Filesystem to operate on; nullptr = the process-wide POSIX one.
+  /// Tests pass a FaultInjectingFileSystem here.
+  FileSystem* fs = nullptr;
+};
+
+/// Storage-side counters, surfaced through ServiceStats::storage.
+struct StorageStats {
+  bool durable = false;
+  uint64_t records_appended = 0;  // WAL records over the store's lifetime.
+  uint64_t bytes_appended = 0;    // WAL bytes over the store's lifetime.
+  uint64_t fsyncs = 0;
+  uint64_t checkpoints = 0;
+  uint64_t last_appended_seqno = 0;
+  uint64_t last_synced_seqno = 0;
+  uint64_t wal_segment_bytes = 0;  // Live (uncompacted) WAL length.
+  // Recovery outcome of the Open() that produced this store.
+  double recovery_millis = 0.0;
+  uint64_t snapshot_users_loaded = 0;
+  uint64_t records_replayed = 0;
+  uint64_t torn_bytes_truncated = 0;
+};
+
+/// A crash-safe ProfileStore: every mutation is appended to a CRC32C-
+/// framed write-ahead log before it is applied to the in-memory sharded
+/// store, so `Open` on the same directory rebuilds the exact pre-crash
+/// state up to the last synced sequence number.
+///
+/// Layout of a storage directory:
+///   MANIFEST                      committed generation (atomic rename)
+///   snapshot-<seqno>.qps          full state through <seqno>
+///   wal-<first>.log               mutations from <first> onward
+///
+/// Concurrency: mutators serialize per user on a stripe lock that spans
+/// WAL append + in-memory apply, so log order equals apply order for any
+/// one user (cross-user mutations group-commit concurrently). Reads are
+/// lock-free with respect to the WAL — they go straight to the
+/// ProfileStore's shard locks. Checkpoint briefly holds every stripe to
+/// get a consistent (seqno, state) cut.
+///
+/// Epochs: the wrapper inherits the ProfileStore's shard-monotone epoch
+/// counter, and Remove burns an epoch, so remove-then-reinsert always
+/// yields a strictly larger epoch — cached selections of a deleted
+/// profile can never be served for its successor. Epochs are *not*
+/// persisted: they key in-process caches, and a recovered store starts a
+/// fresh process with a fresh (empty) cache.
+class DurableProfileStore {
+ public:
+  /// In-memory pass-through (no directory, nothing persisted).
+  DurableProfileStore(const Schema* schema, size_t num_shards = 16);
+
+  /// Opens (or initializes) the storage directory, recovering durable
+  /// state: load the manifest's snapshot, replay the WAL tail, truncate
+  /// a torn final record. Corruption anywhere before the tail — a bad
+  /// checksum mid-log, a manifest/snapshot mismatch — fails the open
+  /// with a non-OK status rather than serving a silently wrong store.
+  static Result<std::unique_ptr<DurableProfileStore>> Open(
+      const Schema* schema, StorageOptions options, size_t num_shards = 16);
+
+  ~DurableProfileStore();
+
+  DurableProfileStore(const DurableProfileStore&) = delete;
+  DurableProfileStore& operator=(const DurableProfileStore&) = delete;
+
+  /// Mutators mirror ProfileStore but are logged before being applied.
+  /// They validate against the schema *before* logging, so the WAL never
+  /// contains a mutation that cannot be replayed.
+  Status Put(const std::string& user_id, UserProfile profile);
+  Status Upsert(const std::string& user_id,
+                const std::vector<AtomicPreference>& preferences);
+  Status Remove(const std::string& user_id);
+
+  /// Reads delegate to the in-memory store (same snapshot semantics).
+  Result<ProfileSnapshot> Get(const std::string& user_id) const {
+    return store_.Get(user_id);
+  }
+  std::vector<std::pair<std::string, ProfileSnapshot>> All() const {
+    return store_.All();
+  }
+  size_t size() const { return store_.size(); }
+  const Schema& schema() const { return store_.schema(); }
+
+  bool durable() const { return !dir_.empty(); }
+
+  /// Writes a snapshot of the current state and truncates the WAL it
+  /// covers. Blocks mutators for the duration. No-op when nothing was
+  /// logged since the last checkpoint.
+  Status Checkpoint();
+
+  /// Forces every acknowledged mutation to stable storage (useful under
+  /// FsyncPolicy::kInterval / kNever).
+  Status Sync();
+
+  /// Flushes, stops background compaction and closes the WAL. Further
+  /// mutations fail; reads keep working. Called by the destructor.
+  Status Close();
+
+  StorageStats storage_stats() const;
+
+ private:
+  static constexpr size_t kNumStripes = 16;
+
+  DurableProfileStore(const Schema* schema, size_t num_shards,
+                      StorageOptions options);
+
+  Status Recover(uint64_t* next_seqno);
+  Status ApplyMutation(const ProfileMutation& mutation);
+  Status CheckpointLocked();
+  size_t StripeFor(const std::string& user_id) const;
+  void MaybeKickCompaction();
+  void CompactionLoop();
+
+  ProfileStore store_;
+  StorageOptions options_;
+  FileSystem* fs_ = nullptr;
+  std::string dir_;
+
+  /// Per-user mutation serialization; ordered before meta_mutex_.
+  mutable std::array<std::mutex, kNumStripes> stripes_;
+
+  /// Guards wal_, manifest_, the accumulated counters and closed_.
+  /// Mutators may read wal_ while holding only their stripe: the pointer
+  /// is swapped exclusively under *all* stripes (checkpoint/close), which
+  /// any stripe holder excludes.
+  mutable std::mutex meta_mutex_;
+  std::unique_ptr<WalWriter> wal_;
+  Manifest manifest_;
+  uint64_t segment_base_bytes_ = 0;  // Recovered bytes kept in the segment.
+  WalWriterStats retired_;           // Stats of closed WAL segments.
+  uint64_t checkpoints_ = 0;
+  bool closed_ = false;
+
+  double recovery_millis_ = 0.0;
+  uint64_t snapshot_users_loaded_ = 0;
+  uint64_t records_replayed_ = 0;
+  uint64_t torn_bytes_truncated_ = 0;
+
+  std::mutex compact_mutex_;
+  std::condition_variable compact_cv_;
+  bool compact_kick_ = false;
+  bool compact_stop_ = false;
+  /// True while the compaction thread is live; lets mutators test for it
+  /// without touching the std::thread object Close() concurrently joins.
+  std::atomic<bool> compaction_running_{false};
+  std::thread compactor_;
+};
+
+}  // namespace storage
+}  // namespace qp
+
+#endif  // QP_STORAGE_DURABLE_PROFILE_STORE_H_

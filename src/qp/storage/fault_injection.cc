@@ -1,0 +1,203 @@
+#include "qp/storage/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qp {
+namespace storage {
+
+/// Handle onto one in-memory file. All state lives in the shared
+/// FileState so Crash() can revert files while handles are open.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingFileSystem* fs, std::string path,
+                     std::shared_ptr<FaultInjectingFileSystem::FileState> state,
+                     uint64_t generation)
+      : fs_(fs),
+        path_(std::move(path)),
+        state_(std::move(state)),
+        generation_(generation) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    if (closed_) return Status::FailedPrecondition("file closed: " + path_);
+    if (state_->generation != generation_) {
+      return Status::Internal("stale handle after crash: " + path_);
+    }
+    auto short_write = fs_->short_writes_.find(path_);
+    if (short_write != fs_->short_writes_.end()) {
+      size_t keep = std::min(short_write->second, data.size());
+      fs_->short_writes_.erase(short_write);
+      state_->data.append(data.data(), keep);
+      return Status::Internal("injected short write on " + path_);
+    }
+    state_->data.append(data.data(), data.size());
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    if (closed_) return Status::FailedPrecondition("file closed: " + path_);
+    if (state_->generation != generation_) {
+      return Status::Internal("stale handle after crash: " + path_);
+    }
+    if (fs_->fail_syncs_) {
+      return Status::Internal("injected fsync failure on " + path_);
+    }
+    state_->synced_size = state_->data.size();
+    fs_->num_syncs_ += 1;
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    closed_ = true;
+    return Status::Ok();
+  }
+
+ private:
+  FaultInjectingFileSystem* fs_;
+  std::string path_;
+  std::shared_ptr<FaultInjectingFileSystem::FileState> state_;
+  uint64_t generation_;
+  bool closed_ = false;
+};
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::NewWritableFile(const std::string& path,
+                                          bool truncate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = files_[path];
+  if (state == nullptr) {
+    state = std::make_shared<FileState>();
+    state->generation = crash_generation_;
+  } else if (truncate) {
+    state->data.clear();
+    state->synced_size = 0;
+    state->generation = crash_generation_;
+  }
+  return std::unique_ptr<WritableFile>(new FaultInjectingFile(
+      this, path, state, state->generation));
+}
+
+Result<std::string> FaultInjectingFileSystem::ReadFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->data;
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  return Status::Ok();
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingFileSystem::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_.insert(path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> FaultInjectingFileSystem::ListDir(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix.push_back('/');
+  std::vector<std::string> names;
+  for (const auto& [file_path, state] : files_) {
+    if (file_path.size() > prefix.size() &&
+        file_path.compare(0, prefix.size(), prefix) == 0 &&
+        file_path.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(file_path.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+bool FaultInjectingFileSystem::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultInjectingFileSystem::SyncDir(const std::string&) {
+  return Status::Ok();
+}
+
+void FaultInjectingFileSystem::SetSyncFailure(bool fail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_syncs_ = fail;
+}
+
+void FaultInjectingFileSystem::InjectShortWrite(const std::string& path,
+                                                size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  short_writes_[path] = keep_bytes;
+}
+
+Status FaultInjectingFileSystem::FlipBit(const std::string& path,
+                                         size_t offset, int bit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (offset >= it->second->data.size()) {
+    return Status::OutOfRange("flip offset past EOF of " + path);
+  }
+  it->second->data[offset] =
+      static_cast<char>(it->second->data[offset] ^ (1 << (bit & 7)));
+  return Status::Ok();
+}
+
+void FaultInjectingFileSystem::Crash(Rng* rng) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++crash_generation_;
+  for (auto& [path, state] : files_) {
+    size_t unsynced = state->data.size() - state->synced_size;
+    if (unsynced > 0) {
+      // A torn write: a deterministic prefix of the unsynced tail made
+      // it to the platter before power was lost.
+      size_t kept = static_cast<size_t>(rng->Below(unsynced + 1));
+      state->data.resize(state->synced_size + kept);
+    }
+    state->synced_size = state->data.size();
+    state->generation = crash_generation_;
+  }
+}
+
+void FaultInjectingFileSystem::CrashKeepingUnsynced() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++crash_generation_;
+  for (auto& [path, state] : files_) {
+    state->synced_size = state->data.size();
+    state->generation = crash_generation_;
+  }
+}
+
+Result<size_t> FaultInjectingFileSystem::SyncedSize(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->synced_size;
+}
+
+uint64_t FaultInjectingFileSystem::num_syncs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_syncs_;
+}
+
+}  // namespace storage
+}  // namespace qp

@@ -1,0 +1,197 @@
+#include "qp/storage/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "qp/util/crc32c.h"
+#include "qp/util/string_util.h"
+
+namespace qp {
+namespace storage {
+
+const char kManifestName[] = "MANIFEST";
+
+namespace {
+
+const char kSnapshotHeader[] = "qp-snapshot v1";
+const char kManifestHeader[] = "qp-manifest v1";
+
+Status WriteFileAtomic(FileSystem* fs, const std::string& path,
+                       std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                      fs->NewWritableFile(tmp, /*truncate=*/true));
+  QP_RETURN_IF_ERROR(file->Append(content));
+  QP_RETURN_IF_ERROR(file->Sync());
+  QP_RETURN_IF_ERROR(file->Close());
+  return fs->Rename(tmp, path);
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  std::string buf(text);
+  *out = std::strtoull(buf.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t seqno) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "snapshot-%020" PRIu64 ".qps", seqno);
+  return buf;
+}
+
+std::string WalFileName(uint64_t first_seqno) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "wal-%020" PRIu64 ".log", first_seqno);
+  return buf;
+}
+
+Status WriteManifest(FileSystem* fs, const std::string& dir,
+                     const Manifest& manifest) {
+  std::string content = std::string(kManifestHeader) + "\n";
+  content += "seqno " + std::to_string(manifest.seqno) + "\n";
+  if (!manifest.snapshot_file.empty()) {
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof crc_hex, "%08x", manifest.snapshot_crc);
+    content += "snapshot " + manifest.snapshot_file + " " +
+               std::to_string(manifest.snapshot_bytes) + " " + crc_hex + "\n";
+  }
+  content += "wal " + manifest.wal_file + "\n";
+  QP_RETURN_IF_ERROR(
+      WriteFileAtomic(fs, JoinPath(dir, kManifestName), content));
+  return fs->SyncDir(dir);
+}
+
+Result<Manifest> ReadManifest(FileSystem* fs, const std::string& dir) {
+  QP_ASSIGN_OR_RETURN(std::string content,
+                      fs->ReadFile(JoinPath(dir, kManifestName)));
+  auto corrupt = [&](const std::string& what) {
+    return Status::ParseError("corrupt manifest in " + dir + ": " + what);
+  };
+  std::vector<std::string> lines = Split(content, '\n');
+  if (lines.empty() || lines[0] != kManifestHeader) {
+    return corrupt("bad header");
+  }
+  Manifest manifest;
+  bool saw_seqno = false, saw_wal = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = StripWhitespace(lines[i]);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields[0] == "seqno" && fields.size() == 2) {
+      if (!ParseUint64(fields[1], &manifest.seqno)) {
+        return corrupt("bad seqno");
+      }
+      saw_seqno = true;
+    } else if (fields[0] == "snapshot" && fields.size() == 4) {
+      manifest.snapshot_file = fields[1];
+      uint64_t crc;
+      if (!ParseUint64(fields[2], &manifest.snapshot_bytes) ||
+          std::sscanf(fields[3].c_str(), "%" SCNx64, &crc) != 1) {
+        return corrupt("bad snapshot line");
+      }
+      manifest.snapshot_crc = static_cast<uint32_t>(crc);
+    } else if (fields[0] == "wal" && fields.size() == 2) {
+      manifest.wal_file = fields[1];
+      saw_wal = true;
+    } else {
+      return corrupt("unknown line: " + std::string(line));
+    }
+  }
+  if (!saw_seqno || !saw_wal) return corrupt("missing seqno or wal line");
+  return manifest;
+}
+
+Status WriteSnapshot(FileSystem* fs, const std::string& path,
+                     const SnapshotUsers& users, uint64_t* bytes,
+                     uint32_t* crc) {
+  std::string content = std::string(kSnapshotHeader) + "\n";
+  content += "count " + std::to_string(users.size()) + "\n";
+  for (const auto& [user_id, profile] : users) {
+    std::string body = profile->Serialize();
+    content += "user " + std::to_string(user_id.size()) + " " +
+               std::to_string(body.size()) + "\n";
+    content += user_id;
+    content += "\n";
+    content += body;
+  }
+  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                      fs->NewWritableFile(path, /*truncate=*/true));
+  QP_RETURN_IF_ERROR(file->Append(content));
+  QP_RETURN_IF_ERROR(file->Sync());
+  QP_RETURN_IF_ERROR(file->Close());
+  *bytes = content.size();
+  *crc = crc32c::Value(content);
+  return Status::Ok();
+}
+
+Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
+    FileSystem* fs, const std::string& path, uint64_t expected_bytes,
+    uint32_t expected_crc) {
+  QP_ASSIGN_OR_RETURN(std::string content, fs->ReadFile(path));
+  auto corrupt = [&](const std::string& what) {
+    return Status::ParseError("corrupt snapshot " + path + ": " + what);
+  };
+  if (content.size() != expected_bytes) {
+    return corrupt("size mismatch (" + std::to_string(content.size()) +
+                   " vs manifest " + std::to_string(expected_bytes) + ")");
+  }
+  if (crc32c::Value(content) != expected_crc) {
+    return corrupt("checksum mismatch");
+  }
+
+  // The checksum passed, so any framing violation below is a logic bug
+  // rather than disk damage — but report it as corruption regardless.
+  size_t pos = 0;
+  auto read_line = [&](std::string_view* line) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) return false;
+    *line = std::string_view(content).substr(pos, eol - pos);
+    pos = eol + 1;
+    return true;
+  };
+
+  std::string_view line;
+  if (!read_line(&line) || line != kSnapshotHeader) {
+    return corrupt("bad header");
+  }
+  if (!read_line(&line) || !StartsWith(line, "count ")) {
+    return corrupt("missing count");
+  }
+  uint64_t count;
+  if (!ParseUint64(line.substr(6), &count)) return corrupt("bad count");
+
+  std::vector<std::pair<std::string, UserProfile>> users;
+  users.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!read_line(&line) || !StartsWith(line, "user ")) {
+      return corrupt("missing user header");
+    }
+    std::vector<std::string> fields = Split(line, ' ');
+    uint64_t id_len, body_len;
+    if (fields.size() != 3 || !ParseUint64(fields[1], &id_len) ||
+        !ParseUint64(fields[2], &body_len)) {
+      return corrupt("bad user header");
+    }
+    if (pos + id_len + 1 + body_len > content.size()) {
+      return corrupt("user entry past EOF");
+    }
+    std::string user_id = content.substr(pos, id_len);
+    pos += id_len;
+    if (content[pos] != '\n') return corrupt("missing id terminator");
+    ++pos;
+    std::string_view body = std::string_view(content).substr(pos, body_len);
+    pos += body_len;
+    QP_ASSIGN_OR_RETURN(UserProfile profile, UserProfile::Parse(body));
+    users.emplace_back(std::move(user_id), std::move(profile));
+  }
+  if (pos != content.size()) return corrupt("trailing bytes");
+  return users;
+}
+
+}  // namespace storage
+}  // namespace qp

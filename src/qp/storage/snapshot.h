@@ -1,0 +1,65 @@
+#ifndef QP_STORAGE_SNAPSHOT_H_
+#define QP_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qp/pref/profile.h"
+#include "qp/util/file.h"
+#include "qp/util/status.h"
+
+namespace qp {
+namespace storage {
+
+/// The durable directory's source of truth: which snapshot file covers
+/// state up to `seqno`, and which WAL file holds the records after it.
+/// Written atomically (temp + rename), so a reader always sees either
+/// the old or the new generation, never a mix.
+struct Manifest {
+  /// Every mutation with seqno <= this is inside the snapshot.
+  uint64_t seqno = 0;
+  /// Snapshot file name within the directory; empty for a fresh store.
+  std::string snapshot_file;
+  uint64_t snapshot_bytes = 0;
+  uint32_t snapshot_crc = 0;  // CRC32C of the snapshot file's bytes.
+  /// WAL file name; its first record has seqno `seqno + 1`.
+  std::string wal_file;
+};
+
+/// Name of the manifest file within a storage directory.
+extern const char kManifestName[];
+
+/// File-name builders: "snapshot-<seqno>.qps" / "wal-<first_seqno>.log".
+std::string SnapshotFileName(uint64_t seqno);
+std::string WalFileName(uint64_t first_seqno);
+
+Status WriteManifest(FileSystem* fs, const std::string& dir,
+                     const Manifest& manifest);
+Result<Manifest> ReadManifest(FileSystem* fs, const std::string& dir);
+
+/// One user's state inside a snapshot. Profiles are carried as
+/// shared_ptrs on the write side so snapshotting never copies them.
+using SnapshotUsers =
+    std::vector<std::pair<std::string, std::shared_ptr<const UserProfile>>>;
+
+/// Serializes `users` to `path` (profile bodies in the paper's text
+/// round-trip format, byte-length framed), fsyncs it, and reports the
+/// byte count + CRC32C for the manifest.
+Status WriteSnapshot(FileSystem* fs, const std::string& path,
+                     const SnapshotUsers& users, uint64_t* bytes,
+                     uint32_t* crc);
+
+/// Loads and verifies a snapshot written by WriteSnapshot. A size or
+/// checksum mismatch against the manifest values is an error — a
+/// snapshot is either wholly valid or the directory is corrupt.
+Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
+    FileSystem* fs, const std::string& path, uint64_t expected_bytes,
+    uint32_t expected_crc);
+
+}  // namespace storage
+}  // namespace qp
+
+#endif  // QP_STORAGE_SNAPSHOT_H_

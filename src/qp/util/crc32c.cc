@@ -1,0 +1,61 @@
+#include "qp/util/crc32c.h"
+
+#include <array>
+
+namespace qp {
+namespace crc32c {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Reflected Castagnoli.
+
+struct Tables {
+  // table[0] is the classic byte-at-a-time table; tables 1..3 let the
+  // hot loop consume four bytes per iteration (slice-by-4).
+  uint32_t t[4][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Tables& tables = GetTables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = ~init_crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xff] ^ tables.t[2][(crc >> 8) & 0xff] ^
+          tables.t[1][(crc >> 16) & 0xff] ^ tables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p) & 0xff];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace qp

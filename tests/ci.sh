@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The full CI gate, in the order a reviewer wants failures reported:
+#
+#   1. regular build + the whole ctest suite (tier-1: must stay green);
+#   2. the durability/crash-recovery suites under ThreadSanitizer and
+#      AddressSanitizer+UBSan via tests/run_sanitized.sh — the randomized
+#      crash-recovery property suite (>= 500 trials) is only trusted once
+#      it has passed under both.
+#
+# Usage:
+#   tests/ci.sh            # everything
+#   tests/ci.sh --fast     # skip the sanitizer stage (local iteration)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Storage-layer suites that must also pass sanitized. Keep in sync with
+# tests/CMakeLists.txt.
+STORAGE_FILTER='crc32c|wal_test|record_fuzz|snapshot_test|durable_store|crash_recovery|profile_store|thread_pool|service_batch'
+
+echo "==== [ci] regular build ===="
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS"
+
+echo "==== [ci] full test suite ===="
+(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==== [ci] PASS (sanitizers skipped) ===="
+  exit 0
+fi
+
+echo "==== [ci] sanitized storage suites ===="
+tests/run_sanitized.sh all -R "$STORAGE_FILTER"
+
+echo "==== [ci] PASS ===="

@@ -36,8 +36,8 @@ TEST_F(ProfileStoreTest, PutGetRemove) {
   EXPECT_EQ(snapshot.profile->size(), JulieProfile().size());
   EXPECT_GT(snapshot.graph->num_selection_edges(), 0u);
 
-  EXPECT_TRUE(store.Remove("julie"));
-  EXPECT_FALSE(store.Remove("julie"));
+  QP_ASSERT_OK(store.Remove("julie"));
+  EXPECT_EQ(store.Remove("julie").code(), StatusCode::kNotFound);
   EXPECT_FALSE(store.Get("julie").ok());
   EXPECT_EQ(store.size(), 1u);
 
@@ -79,7 +79,7 @@ TEST_F(ProfileStoreTest, RemoveThenReinsertNeverReusesAnEpoch) {
   QP_ASSERT_OK(store.Put("julie", JulieProfile()));
   QP_ASSERT_OK(store.Put("julie", JulieProfile()));
   QP_ASSERT_OK_AND_ASSIGN(ProfileSnapshot before, store.Get("julie"));
-  EXPECT_TRUE(store.Remove("julie"));
+  QP_ASSERT_OK(store.Remove("julie"));
   QP_ASSERT_OK(store.Put("julie", RobProfile()));
   QP_ASSERT_OK_AND_ASSIGN(ProfileSnapshot after, store.Get("julie"));
   EXPECT_GT(after.epoch, before.epoch);

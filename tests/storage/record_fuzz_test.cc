@@ -1,0 +1,244 @@
+// Round-trip fuzzing of the binary WAL record format, the storage-layer
+// extension of the parser/profile fuzz suites: random mutations encode
+// and decode to bit-identical structures, every truncation of a valid
+// encoding is rejected (the format is prefix-free per kind), and random
+// or bit-flipped input never crashes the decoder.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/pref/preference.h"
+#include "qp/pref/profile.h"
+#include "qp/storage/record.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace storage {
+namespace {
+
+std::string RandomString(Rng* rng, size_t max_len) {
+  size_t len = rng->Below(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Full byte range: the codec is length-prefixed, so quotes, newlines
+    // and NUL bytes must all survive.
+    s.push_back(static_cast<char>(rng->Below(256)));
+  }
+  return s;
+}
+
+// An arbitrary finite double, exercising the full mantissa (the text
+// profile format rounds to six significant digits; the binary format
+// must not).
+double RandomDouble(Rng* rng) {
+  for (;;) {
+    uint64_t bits = rng->Next();
+    double d;
+    static_assert(sizeof d == sizeof bits);
+    std::memcpy(&d, &bits, sizeof d);
+    if (std::isfinite(d)) return d;
+  }
+}
+
+AttributeRef RandomAttribute(Rng* rng) {
+  return AttributeRef{RandomString(rng, 12), RandomString(rng, 12)};
+}
+
+Value RandomValue(Rng* rng) {
+  switch (rng->Below(4)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Int(static_cast<int64_t>(rng->Next()));
+    case 2:
+      return Value::Real(RandomDouble(rng));
+    default:
+      return Value::Str(RandomString(rng, 20));
+  }
+}
+
+AtomicPreference RandomPreference(Rng* rng) {
+  switch (rng->Below(3)) {
+    case 0:
+      return AtomicPreference::Selection(RandomAttribute(rng),
+                                         RandomValue(rng), RandomDouble(rng));
+    case 1:
+      return AtomicPreference::Join(RandomAttribute(rng), RandomAttribute(rng),
+                                    RandomDouble(rng));
+    default:
+      return AtomicPreference::NearSelection(RandomAttribute(rng),
+                                             RandomValue(rng),
+                                             RandomDouble(rng),
+                                             RandomDouble(rng));
+  }
+}
+
+ProfileMutation RandomMutation(Rng* rng) {
+  std::string user = RandomString(rng, 16);
+  switch (rng->Below(3)) {
+    case 0: {
+      // Put: profile entries must have pairwise-distinct conditions
+      // (UserProfile dedups on AddOrUpdate), so give each preference a
+      // unique attribute via an index-tagged table name.
+      UserProfile profile;
+      size_t n = rng->Below(6);
+      for (size_t i = 0; i < n; ++i) {
+        AtomicPreference pref = RandomPreference(rng);
+        AttributeRef attr{"T" + std::to_string(i) + pref.attribute().table,
+                          pref.attribute().column};
+        if (pref.is_join()) {
+          profile.AddOrUpdate(
+              AtomicPreference::Join(attr, pref.target(), pref.doi()));
+        } else if (pref.is_near()) {
+          profile.AddOrUpdate(AtomicPreference::NearSelection(
+              attr, pref.value(), pref.width(), pref.doi()));
+        } else {
+          profile.AddOrUpdate(
+              AtomicPreference::Selection(attr, pref.value(), pref.doi()));
+        }
+      }
+      return ProfileMutation::Put(std::move(user), std::move(profile));
+    }
+    case 1: {
+      std::vector<AtomicPreference> prefs;
+      size_t n = rng->Below(6);
+      for (size_t i = 0; i < n; ++i) prefs.push_back(RandomPreference(rng));
+      return ProfileMutation::Upsert(std::move(user), std::move(prefs));
+    }
+    default:
+      return ProfileMutation::Remove(std::move(user));
+  }
+}
+
+void ExpectMutationsEqual(const ProfileMutation& a, const ProfileMutation& b) {
+  ASSERT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.user_id, b.user_id);
+  EXPECT_TRUE(ProfilesEqual(a.profile, b.profile));
+  ASSERT_EQ(a.preferences.size(), b.preferences.size());
+  for (size_t i = 0; i < a.preferences.size(); ++i) {
+    EXPECT_TRUE(PreferencesEqual(a.preferences[i], b.preferences[i]))
+        << "preference " << i;
+  }
+}
+
+TEST(RecordFuzzTest, RandomMutationsRoundTripBitExactly) {
+  Rng rng(20260807);
+  for (int iter = 0; iter < 2000; ++iter) {
+    ProfileMutation mutation = RandomMutation(&rng);
+    std::string encoded;
+    EncodeMutation(mutation, &encoded);
+    auto decoded = DecodeMutation(encoded);
+    ASSERT_TRUE(decoded.ok()) << "iter " << iter << ": " << decoded.status();
+    ExpectMutationsEqual(mutation, *decoded);
+
+    // Determinism: re-encoding the decoded mutation yields the same bytes.
+    std::string re_encoded;
+    EncodeMutation(*decoded, &re_encoded);
+    EXPECT_EQ(encoded, re_encoded) << "iter " << iter;
+  }
+}
+
+TEST(RecordFuzzTest, EveryTruncationIsRejected) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 200; ++iter) {
+    ProfileMutation mutation = RandomMutation(&rng);
+    std::string encoded;
+    EncodeMutation(mutation, &encoded);
+    for (size_t len = 0; len < encoded.size(); ++len) {
+      auto decoded = DecodeMutation(std::string_view(encoded).substr(0, len));
+      EXPECT_FALSE(decoded.ok())
+          << "iter " << iter << ": truncation to " << len << " of "
+          << encoded.size() << " bytes decoded";
+    }
+  }
+}
+
+TEST(RecordFuzzTest, TrailingGarbageIsRejected) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    ProfileMutation mutation = RandomMutation(&rng);
+    std::string encoded;
+    EncodeMutation(mutation, &encoded);
+    encoded.push_back(static_cast<char>(rng.Below(256)));
+    EXPECT_FALSE(DecodeMutation(encoded).ok()) << "iter " << iter;
+  }
+}
+
+TEST(RecordFuzzTest, RandomBytesNeverCrashTheDecoder) {
+  Rng rng(31337);
+  int accepted = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes = RandomString(&rng, 64);
+    auto decoded = DecodeMutation(bytes);  // Must not crash or hang.
+    if (decoded.ok()) ++accepted;
+  }
+  // Random bytes occasionally form a tiny valid record (e.g. a Remove);
+  // the point is that nothing blows up, so only sanity-bound the count.
+  EXPECT_LT(accepted, 5000);
+}
+
+TEST(RecordFuzzTest, BitFlipsNeverCrashTheDecoder) {
+  Rng rng(777);
+  for (int iter = 0; iter < 1000; ++iter) {
+    ProfileMutation mutation = RandomMutation(&rng);
+    std::string encoded;
+    EncodeMutation(mutation, &encoded);
+    if (encoded.empty()) continue;
+    size_t offset = rng.Below(encoded.size());
+    encoded[offset] =
+        static_cast<char>(encoded[offset] ^ (1 << rng.Below(8)));
+    // A flipped degree bit yields a different-but-valid mutation; a
+    // flipped length or tag must fail cleanly. Either way: no crash.
+    DecodeMutation(encoded);
+  }
+}
+
+TEST(RecordFuzzTest, BinaryFormatPreservesBitsTheTextFormatRounds) {
+  // A degree with more than six significant digits: the paper's text
+  // profile format (FormatDouble) rounds it, the WAL must not.
+  const double doi = 0.123456789012345;
+  UserProfile profile;
+  QP_ASSERT_OK(profile.Add(AtomicPreference::Selection(
+      AttributeRef{"GENRE", "genre"}, Value::Str("comedy"), doi)));
+
+  ProfileMutation mutation = ProfileMutation::Put("julie", profile);
+  std::string encoded;
+  EncodeMutation(mutation, &encoded);
+  auto decoded = DecodeMutation(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->profile.size(), 1u);
+  EXPECT_EQ(decoded->profile.preferences()[0].doi(), doi);  // Bit-exact.
+
+  auto reparsed = UserProfile::Parse(profile.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_NE(reparsed->preferences()[0].doi(), doi);  // Text rounds.
+}
+
+TEST(RecordFuzzTest, TextFormatRoundTripsOnTheBenchmarkGrid) {
+  // Degrees on a dyadic grid (k/16) have short exact decimal forms, so
+  // they survive the text format bit-exactly — the property the snapshot
+  // writer (which serializes profiles as text) relies on for the
+  // crash-recovery suite's generated profiles.
+  Rng rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    UserProfile profile;
+    QP_ASSERT_OK(profile.Add(AtomicPreference::Selection(
+        AttributeRef{"GENRE", "genre"}, Value::Str("g" + std::to_string(iter)),
+        static_cast<double>(1 + rng.Below(16)) / 16.0)));
+    QP_ASSERT_OK(profile.Add(AtomicPreference::Join(
+        AttributeRef{"PLAY", "mid"}, AttributeRef{"MOVIE", "mid"},
+        static_cast<double>(1 + rng.Below(16)) / 16.0)));
+    auto reparsed = UserProfile::Parse(profile.Serialize());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_TRUE(ProfilesEqual(profile, *reparsed)) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace qp
