@@ -106,16 +106,31 @@ Status DurableProfileStore::Recover(uint64_t* next_seqno) {
   }
   torn_bytes_truncated_ = reader.torn_bytes();
 
-  // Reopen the same segment for appending: rewrite its valid prefix
-  // (dropping any torn tail) and continue at last_seqno + 1. The
-  // manifest stays as-is — the segment still starts at seqno+1.
-  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                      fs_->NewWritableFile(wal_path, /*truncate=*/true));
-  if (reader.valid_bytes() > 0) {
-    QP_RETURN_IF_ERROR(
-        file->Append(std::string_view(wal_content).substr(
-            0, reader.valid_bytes())));
+  // Drop a torn tail without ever truncating the only durable copy of
+  // acknowledged records: rebuild the valid prefix in a temp file and
+  // atomically rename it over the segment (the same commit pattern as
+  // the manifest). Any failure before the rename leaves the original
+  // segment fully intact, so a crashed or failed recovery is always
+  // retryable. A clean log is not rewritten at all.
+  if (reader.torn_bytes() > 0) {
+    const std::string tmp = wal_path + ".tmp";
+    QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> rebuilt,
+                        fs_->NewWritableFile(tmp, /*truncate=*/true));
+    if (reader.valid_bytes() > 0) {
+      QP_RETURN_IF_ERROR(rebuilt->Append(
+          std::string_view(wal_content).substr(0, reader.valid_bytes())));
+    }
+    QP_RETURN_IF_ERROR(rebuilt->Sync());
+    QP_RETURN_IF_ERROR(rebuilt->Close());
+    QP_RETURN_IF_ERROR(fs_->Rename(tmp, wal_path));
+    QP_RETURN_IF_ERROR(fs_->SyncDir(dir_));
   }
+  // Reopen the segment for appending, continuing at last_seqno + 1 (the
+  // manifest stays as-is — the segment still starts at seqno+1), and
+  // fsync once so everything the recovered state was built from is
+  // durable before new writes land behind it.
+  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                      fs_->NewWritableFile(wal_path, /*truncate=*/false));
   QP_RETURN_IF_ERROR(file->Sync());
   segment_base_bytes_ = reader.valid_bytes();
   wal_ = std::make_unique<WalWriter>(std::move(file), last_seqno + 1,
@@ -240,7 +255,20 @@ Status DurableProfileStore::Checkpoint() {
     locks[i] = std::unique_lock<std::mutex>(stripes_[i]);
   }
   std::lock_guard<std::mutex> meta(meta_mutex_);
-  return CheckpointLocked();
+  Status status = CheckpointLocked();
+  if (closed_) return status;
+  if (status.ok()) {
+    last_checkpoint_error_.clear();
+    compact_backoff_bytes_.store(0, std::memory_order_release);
+  } else {
+    ++failed_checkpoints_;
+    last_checkpoint_error_ = status.message();
+    compact_backoff_bytes_.store(
+        segment_base_bytes_ + wal_->stats().bytes_appended +
+            options_.compact_threshold_bytes,
+        std::memory_order_release);
+  }
+  return status;
 }
 
 Status DurableProfileStore::CheckpointLocked() {
@@ -331,6 +359,9 @@ void DurableProfileStore::MaybeKickCompaction() {
   const uint64_t segment_bytes =
       segment_base_bytes_ + wal_->stats().bytes_appended;
   if (segment_bytes < options_.compact_threshold_bytes) return;
+  if (segment_bytes < compact_backoff_bytes_.load(std::memory_order_acquire)) {
+    return;  // Last checkpoint failed; wait for real growth first.
+  }
   {
     std::lock_guard<std::mutex> lock(compact_mutex_);
     compact_kick_ = true;
@@ -346,8 +377,11 @@ void DurableProfileStore::CompactionLoop() {
       if (compact_stop_) return;
       compact_kick_ = false;
     }
-    // Failures here surface on the next explicit Checkpoint()/Close();
-    // the store keeps running on the old (intact) generation.
+    // Checkpoint() records a failure (failed_checkpoints and the error
+    // message in StorageStats) and arms a growth-based backoff, so a
+    // persistent error neither vanishes silently nor re-kicks a doomed
+    // snapshot write on every mutation. The store keeps running on the
+    // old (intact) generation either way.
     Checkpoint();
   }
 }
@@ -362,6 +396,8 @@ StorageStats DurableProfileStore::storage_stats() const {
   if (!durable()) return stats;
   std::lock_guard<std::mutex> meta(meta_mutex_);
   stats.checkpoints = checkpoints_;
+  stats.failed_checkpoints = failed_checkpoints_;
+  stats.last_checkpoint_error = last_checkpoint_error_;
   if (wal_ != nullptr) {
     WalWriterStats live = wal_->stats();
     stats.records_appended = retired_.records_appended + live.records_appended;

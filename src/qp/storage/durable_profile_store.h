@@ -49,6 +49,11 @@ struct StorageStats {
   uint64_t bytes_appended = 0;    // WAL bytes over the store's lifetime.
   uint64_t fsyncs = 0;
   uint64_t checkpoints = 0;
+  uint64_t failed_checkpoints = 0;
+  /// Message of the most recent checkpoint/compaction failure; cleared
+  /// when one succeeds again. Background compaction failures are not
+  /// returned to any caller, so this is where they surface.
+  std::string last_checkpoint_error;
   uint64_t last_appended_seqno = 0;
   uint64_t last_synced_seqno = 0;
   uint64_t wal_segment_bytes = 0;  // Live (uncompacted) WAL length.
@@ -166,7 +171,16 @@ class DurableProfileStore {
   uint64_t segment_base_bytes_ = 0;  // Recovered bytes kept in the segment.
   WalWriterStats retired_;           // Stats of closed WAL segments.
   uint64_t checkpoints_ = 0;
+  uint64_t failed_checkpoints_ = 0;
+  std::string last_checkpoint_error_;
   bool closed_ = false;
+
+  /// After a failed checkpoint, compaction is not re-kicked until the
+  /// live segment outgrows this (failure point + one threshold), so a
+  /// persistently failing disk is not hammered with a doomed full
+  /// snapshot write on every over-threshold mutation. Atomic because
+  /// mutators read it under only their stripe lock.
+  std::atomic<uint64_t> compact_backoff_bytes_{0};
 
   double recovery_millis_ = 0.0;
   uint64_t snapshot_users_loaded_ = 0;

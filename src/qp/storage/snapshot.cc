@@ -1,8 +1,8 @@
 #include "qp/storage/snapshot.h"
 
+#include <charconv>
 #include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 
 #include "qp/util/crc32c.h"
 #include "qp/util/string_util.h"
@@ -29,11 +29,11 @@ Status WriteFileAtomic(FileSystem* fs, const std::string& path,
 }
 
 bool ParseUint64(std::string_view text, uint64_t* out) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  std::string buf(text);
-  *out = std::strtoull(buf.c_str(), &end, 10);
-  return end != nullptr && *end == '\0';
+  // from_chars refuses signs, whitespace and overflow, so "-1" is
+  // rejected as corrupt rather than wrapped to 2^64-1 like strtoull.
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, *out, 10);
+  return ec == std::errc() && ptr == end;
 }
 
 }  // namespace
@@ -177,13 +177,17 @@ Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
         !ParseUint64(fields[2], &body_len)) {
       return corrupt("bad user header");
     }
-    if (pos + id_len + 1 + body_len > content.size()) {
+    // Bounds-check by subtraction: huge lengths must not wrap the sum.
+    if (id_len >= content.size() - pos) {  // id plus its '\n' terminator.
       return corrupt("user entry past EOF");
     }
     std::string user_id = content.substr(pos, id_len);
     pos += id_len;
     if (content[pos] != '\n') return corrupt("missing id terminator");
     ++pos;
+    if (body_len > content.size() - pos) {
+      return corrupt("user entry past EOF");
+    }
     std::string_view body = std::string_view(content).substr(pos, body_len);
     pos += body_len;
     QP_ASSIGN_OR_RETURN(UserProfile profile, UserProfile::Parse(body));

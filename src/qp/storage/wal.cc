@@ -10,8 +10,10 @@ namespace qp {
 namespace storage {
 
 namespace {
-// Frame header: body size + masked CRC of the body.
-constexpr size_t kHeaderSize = 8;
+// Frame header: body size, masked CRC of the size field, masked CRC of
+// the body. Checksumming the size separately lets the reader trust a
+// frame boundary before the body is even in range.
+constexpr size_t kHeaderSize = 12;
 // The body always starts with the 8-byte sequence number.
 constexpr size_t kMinBodySize = 8;
 }  // namespace
@@ -34,7 +36,10 @@ void EncodeWalRecord(uint64_t seqno, std::string_view payload,
   body.reserve(kMinBodySize + payload.size());
   PutFixed64(&body, seqno);
   body.append(payload.data(), payload.size());
-  PutFixed32(dst, static_cast<uint32_t>(body.size()));
+  std::string size_bytes;
+  PutFixed32(&size_bytes, static_cast<uint32_t>(body.size()));
+  dst->append(size_bytes);
+  PutFixed32(dst, crc32c::Mask(crc32c::Value(size_bytes)));
   PutFixed32(dst, crc32c::Mask(crc32c::Value(body)));
   dst->append(body);
 }
@@ -202,18 +207,35 @@ Status WalReader::Next(WalRecord* record, bool* has_record) {
     done_ = true;
     return Status::Ok();
   }
+  auto corrupt = [&](const char* what) {
+    return Status::ParseError(std::string("corrupt WAL record at offset ") +
+                              std::to_string(pos_) + ": " + what);
+  };
+  const std::string_view size_bytes = data_.substr(pos_, 4);
+  const uint32_t size_crc = DecodeFixed32(data_.data() + pos_ + 4);
+  if (crc32c::Unmask(size_crc) != crc32c::Value(size_bytes)) {
+    // The length field fails its own checksum, so the frame boundary
+    // cannot be trusted. If a complete frame that continues the
+    // sequence exists anywhere in the remainder, truncating here would
+    // silently lose valid records — that is mid-log corruption.
+    // Otherwise the bytes are the garbage prefix of a torn append.
+    if (HasValidFrameAfter(pos_)) {
+      return corrupt("length checksum mismatch");
+    }
+    torn_bytes_ = remaining;
+    done_ = true;
+    return Status::Ok();
+  }
   const uint32_t body_size = DecodeFixed32(data_.data() + pos_);
-  const uint32_t stored_crc = DecodeFixed32(data_.data() + pos_ + 4);
+  const uint32_t stored_crc = DecodeFixed32(data_.data() + pos_ + 8);
+  if (body_size < kMinBodySize) return corrupt("frame too small");
+  // The size is checksummed, so a frame that extends past EOF really
+  // was cut short mid-write: a torn tail.
   if (kHeaderSize + static_cast<size_t>(body_size) > remaining) {
     torn_bytes_ = remaining;
     done_ = true;
     return Status::Ok();
   }
-  auto corrupt = [&](const char* what) {
-    return Status::ParseError(std::string("corrupt WAL record at offset ") +
-                              std::to_string(pos_) + ": " + what);
-  };
-  if (body_size < kMinBodySize) return corrupt("frame too small");
   std::string_view body = data_.substr(pos_ + kHeaderSize, body_size);
   if (crc32c::Unmask(stored_crc) != crc32c::Value(body)) {
     if (pos_ + kHeaderSize + body_size == data_.size()) {
@@ -234,6 +256,27 @@ Status WalReader::Next(WalRecord* record, bool* has_record) {
   record->payload = body.substr(kMinBodySize);
   *has_record = true;
   return Status::Ok();
+}
+
+bool WalReader::HasValidFrameAfter(size_t from) const {
+  // A frame passing both checksums with a seqno that continues this log
+  // is overwhelming evidence of real records beyond the bad bytes (two
+  // independent CRC32Cs colliding on garbage is ~2^-64).
+  for (size_t off = from; off + kHeaderSize <= data_.size(); ++off) {
+    const std::string_view size_bytes = data_.substr(off, 4);
+    const uint32_t size_crc = DecodeFixed32(data_.data() + off + 4);
+    if (crc32c::Unmask(size_crc) != crc32c::Value(size_bytes)) continue;
+    const uint32_t body_size = DecodeFixed32(data_.data() + off);
+    if (body_size < kMinBodySize) continue;
+    if (static_cast<size_t>(body_size) > data_.size() - off - kHeaderSize) {
+      continue;
+    }
+    const uint32_t body_crc = DecodeFixed32(data_.data() + off + 8);
+    const std::string_view body = data_.substr(off + kHeaderSize, body_size);
+    if (crc32c::Unmask(body_crc) != crc32c::Value(body)) continue;
+    if (DecodeFixed64(body.data()) >= expected_seqno_) return true;
+  }
+  return false;
 }
 
 }  // namespace storage

@@ -48,8 +48,14 @@ struct WalWriterStats {
 
 /// On-disk record frame (all integers little-endian):
 ///
-///   [ body_size u32 | masked crc32c(body) u32 | body ]
+///   [ body_size u32 | masked crc32c(size) u32 | masked crc32c(body) u32
+///     | body ]
 ///   body = [ seqno u64 | payload ]
+///
+/// The length field carries its own checksum: a bit flip in body_size
+/// fails the header check instead of sending the reader to a bogus
+/// frame boundary, where mid-log corruption would masquerade as a torn
+/// tail and silently discard every record after it.
 ///
 /// Sequence numbers are assigned by the writer, dense and strictly
 /// increasing; the reader verifies the progression, so a record from a
@@ -115,6 +121,10 @@ struct WalRecord {
 ///   - a corrupt record with more data after it (bit flip, bad seqno,
 ///     bad frame mid-log) is an error — replaying past a hole would
 ///     silently diverge from the pre-crash state.
+/// When the length field's own checksum fails, the reader scans the
+/// remainder for a complete frame that continues the sequence: finding
+/// one proves valid records would be lost by truncating, so the open
+/// fails instead.
 class WalReader {
  public:
   /// `data` must outlive the reader. `expected_first_seqno` anchors the
@@ -132,6 +142,8 @@ class WalReader {
   size_t torn_bytes() const { return torn_bytes_; }
 
  private:
+  bool HasValidFrameAfter(size_t from) const;
+
   std::string_view data_;
   size_t pos_ = 0;
   size_t valid_end_ = 0;

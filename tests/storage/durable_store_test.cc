@@ -181,6 +181,69 @@ TEST_F(DurableStoreTest, TornFinalRecordIsSilentlyTruncated) {
   EXPECT_EQ(again->storage_stats().torn_bytes_truncated, 0u);
 }
 
+TEST_F(DurableStoreTest, FailedRecoveryNeverLosesDurableRecords) {
+  {
+    auto store = MustOpen(Options());
+    ASSERT_NE(store, nullptr);
+    QP_ASSERT_OK(store->Put("julie", JulieProfile()));
+    QP_ASSERT_OK(store->Put("rob", RobProfile()));
+    QP_ASSERT_OK(store->Close());
+  }
+  // A torn tail whose garbage made it to the platter before the crash.
+  {
+    auto file_or = fs_.NewWritableFile(WalPath(1), /*truncate=*/false);
+    QP_ASSERT_OK(file_or.status());
+    QP_ASSERT_OK((*file_or)->Append("torn"));
+    QP_ASSERT_OK((*file_or)->Sync());
+    QP_ASSERT_OK((*file_or)->Close());
+  }
+  QP_ASSERT_OK_AND_ASSIGN(size_t synced_before, fs_.SyncedSize(WalPath(1)));
+  QP_ASSERT_OK_AND_ASSIGN(std::string content_before,
+                          fs_.ReadFile(WalPath(1)));
+
+  // Recovery drops the torn tail via temp file + rename; with fsync
+  // failing, the open fails *without* having touched the segment — the
+  // durable copy of every acknowledged record survives for a retry.
+  fs_.SetSyncFailure(true);
+  EXPECT_FALSE(DurableProfileStore::Open(&schema_, Options()).ok());
+  QP_ASSERT_OK_AND_ASSIGN(size_t synced_after, fs_.SyncedSize(WalPath(1)));
+  EXPECT_EQ(synced_after, synced_before);
+  QP_ASSERT_OK_AND_ASSIGN(std::string content_after,
+                          fs_.ReadFile(WalPath(1)));
+  EXPECT_EQ(content_after, content_before);
+
+  fs_.SetSyncFailure(false);
+  auto store = MustOpen(Options());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->storage_stats().torn_bytes_truncated, 4u);
+}
+
+TEST_F(DurableStoreTest, CheckpointFailureIsRecordedAndClears) {
+  auto store = MustOpen(Options());
+  ASSERT_NE(store, nullptr);
+  QP_ASSERT_OK(store->Put("julie", JulieProfile()));
+  QP_ASSERT_OK(store->Put("rob", RobProfile()));
+
+  // The snapshot write fails (disk full, say); the WAL is untouched, so
+  // the store keeps serving and logging on the old generation, and the
+  // failure is visible in the stats instead of vanishing.
+  fs_.InjectShortWrite(JoinPath("db", SnapshotFileName(2)), 0);
+  EXPECT_FALSE(store->Checkpoint().ok());
+  StorageStats stats = store->storage_stats();
+  EXPECT_EQ(stats.checkpoints, 0u);
+  EXPECT_EQ(stats.failed_checkpoints, 1u);
+  EXPECT_FALSE(stats.last_checkpoint_error.empty());
+
+  // Still writable, and the next successful checkpoint clears the error.
+  QP_ASSERT_OK(store->Put("alice", JulieProfile()));
+  QP_ASSERT_OK(store->Checkpoint());
+  stats = store->storage_stats();
+  EXPECT_EQ(stats.checkpoints, 1u);
+  EXPECT_EQ(stats.failed_checkpoints, 1u);
+  EXPECT_TRUE(stats.last_checkpoint_error.empty());
+}
+
 TEST_F(DurableStoreTest, MidLogCorruptionFailsTheOpen) {
   {
     auto store = MustOpen(Options());
@@ -189,9 +252,9 @@ TEST_F(DurableStoreTest, MidLogCorruptionFailsTheOpen) {
     QP_ASSERT_OK(store->Put("rob", RobProfile()));
     QP_ASSERT_OK(store->Close());
   }
-  // Flip a bit inside record 1's body (offset 8 = start of its seqno).
+  // Flip a bit inside record 1's body (offset 12 = start of its seqno).
   // Valid data follows, so this is corruption, not a torn tail.
-  QP_ASSERT_OK(fs_.FlipBit(WalPath(1), 8, 0));
+  QP_ASSERT_OK(fs_.FlipBit(WalPath(1), 12, 0));
 
   auto store_or = DurableProfileStore::Open(&schema_, Options());
   ASSERT_FALSE(store_or.ok());

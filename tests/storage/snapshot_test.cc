@@ -76,6 +76,26 @@ TEST_F(SnapshotTest, GarbledManifestIsParseError) {
   EXPECT_EQ(ReadManifest(&fs_, "db").status().code(), StatusCode::kParseError);
 }
 
+TEST_F(SnapshotTest, SignedManifestNumbersAreRejected) {
+  // strtoull would wrap "-1" to 2^64-1; the parser must refuse signs
+  // rather than accept a garbage seqno as a huge value.
+  auto write_manifest = [&](const std::string& content) {
+    auto file_or = fs_.NewWritableFile("db/MANIFEST", /*truncate=*/true);
+    QP_ASSERT_OK(file_or.status());
+    QP_ASSERT_OK((*file_or)->Append(content));
+    QP_ASSERT_OK((*file_or)->Close());
+  };
+  write_manifest("qp-manifest v1\nseqno -1\nwal " + WalFileName(1) + "\n");
+  EXPECT_EQ(ReadManifest(&fs_, "db").status().code(), StatusCode::kParseError);
+  write_manifest("qp-manifest v1\nseqno +3\nwal " + WalFileName(1) + "\n");
+  EXPECT_EQ(ReadManifest(&fs_, "db").status().code(), StatusCode::kParseError);
+  write_manifest("qp-manifest v1\nseqno 99999999999999999999999\nwal " +
+                 WalFileName(1) + "\n");  // Overflows uint64.
+  EXPECT_EQ(ReadManifest(&fs_, "db").status().code(), StatusCode::kParseError);
+  write_manifest("qp-manifest v1\nseqno 3\nwal " + WalFileName(1) + "\n");
+  QP_ASSERT_OK(ReadManifest(&fs_, "db").status());
+}
+
 TEST_F(SnapshotTest, ManifestOverwriteIsAtomic) {
   Manifest first;
   first.seqno = 1;

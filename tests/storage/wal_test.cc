@@ -40,17 +40,21 @@ class WalTest : public ::testing::Test {
 TEST_F(WalTest, FrameLayout) {
   std::string frame;
   EncodeWalRecord(7, "abc", &frame);
-  // [size u32][masked crc u32][seqno u64][payload].
-  ASSERT_EQ(frame.size(), 4 + 4 + 8 + 3);
+  // [size u32][masked crc(size) u32][masked crc(body) u32][seqno u64][payload].
+  ASSERT_EQ(frame.size(), 4 + 4 + 4 + 8 + 3);
   Decoder dec(frame);
   uint32_t body_size = 0;
-  uint32_t stored_crc = 0;
+  uint32_t size_crc = 0;
+  uint32_t body_crc = 0;
   ASSERT_TRUE(dec.GetFixed32(&body_size));
-  ASSERT_TRUE(dec.GetFixed32(&stored_crc));
+  ASSERT_TRUE(dec.GetFixed32(&size_crc));
+  ASSERT_TRUE(dec.GetFixed32(&body_crc));
   EXPECT_EQ(body_size, 8u + 3u);
+  EXPECT_EQ(crc32c::Unmask(size_crc),
+            crc32c::Value(std::string_view(frame).substr(0, 4)));
   std::string_view body = frame;
-  body.remove_prefix(8);
-  EXPECT_EQ(crc32c::Unmask(stored_crc), crc32c::Value(body));
+  body.remove_prefix(12);
+  EXPECT_EQ(crc32c::Unmask(body_crc), crc32c::Value(body));
   uint64_t seqno = 0;
   ASSERT_TRUE(dec.GetFixed64(&seqno));
   EXPECT_EQ(seqno, 7u);
@@ -170,7 +174,8 @@ TEST_F(WalTest, CorruptRecordMidLogIsAnError) {
 
   // Flip one payload bit of record 2 — valid data follows, so this is
   // real corruption, not a torn tail.
-  log[first_size + 8 + 8] = static_cast<char>(log[first_size + 8 + 8] ^ 0x40);
+  log[first_size + 12 + 8] =
+      static_cast<char>(log[first_size + 12 + 8] ^ 0x40);
   WalReader reader(log, 1);
   WalRecord record;
   bool has_record = false;
@@ -179,6 +184,47 @@ TEST_F(WalTest, CorruptRecordMidLogIsAnError) {
   Status status = reader.Next(&record, &has_record);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST_F(WalTest, FlippedLengthFieldMidLogIsCorruptionNotTorn) {
+  std::string log;
+  EncodeWalRecord(1, "first", &log);
+  size_t first_size = log.size();
+  EncodeWalRecord(2, "second", &log);
+  EncodeWalRecord(3, "third", &log);
+
+  // Flip a bit in record 2's length field. Its header checksum fails,
+  // and record 3 still verifies after it, so truncating here would
+  // silently lose a valid record — the reader must refuse instead.
+  log[first_size] = static_cast<char>(log[first_size] ^ 0x80);
+  WalReader reader(log, 1);
+  WalRecord record;
+  bool has_record = false;
+  QP_ASSERT_OK(reader.Next(&record, &has_record));
+  ASSERT_TRUE(has_record);
+  Status status = reader.Next(&record, &has_record);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST_F(WalTest, FlippedLengthFieldOnFinalRecordIsTorn) {
+  std::string log;
+  EncodeWalRecord(1, "first", &log);
+  size_t first_size = log.size();
+  EncodeWalRecord(2, "second", &log);
+
+  // Same flip, but nothing valid follows: indistinguishable from the
+  // garbage prefix of a torn append, so the log ends cleanly.
+  log[first_size] = static_cast<char>(log[first_size] ^ 0x80);
+  WalReader reader(log, 1);
+  WalRecord record;
+  bool has_record = false;
+  QP_ASSERT_OK(reader.Next(&record, &has_record));
+  ASSERT_TRUE(has_record);
+  QP_ASSERT_OK(reader.Next(&record, &has_record));
+  EXPECT_FALSE(has_record);
+  EXPECT_EQ(reader.valid_bytes(), first_size);
+  EXPECT_EQ(reader.torn_bytes(), log.size() - first_size);
 }
 
 TEST_F(WalTest, SyncPolicyNeverDefersDurability) {
