@@ -1,0 +1,145 @@
+// Overload behaviour of the service layer: a batch many times larger
+// than the worker pool is thrown at services with different admission /
+// degradation / deadline configurations, and the disposition mix is
+// reported as counters:
+//   full_frac, degraded_frac, shed_frac, deadline_frac
+//     — fraction of requests per disposition (they sum to 1)
+//   completed_qps — requests that produced an answer (full + degraded)
+//                   per second of wall time
+//   answered_ms_p_req — mean wall time per *answered* request
+// A bounded queue should convert the latency collapse of the unbounded
+// config into fast-failing sheds while answered throughput holds.
+// Pass --benchmark_format=json for machine-readable output (this is how
+// tests/ci.sh captures a snapshot).
+//
+// Args: workers, max_queue_depth (0 = unbounded), degrade_queue_depth
+// (0 = off), deadline_us (0 = none).
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/service/service.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+constexpr size_t kUsers = 8;
+constexpr size_t kBatch = 64;  // Many multiples of any worker count used.
+
+const Database& SharedDb() {
+  static Database* db = [] {
+    MovieDbConfig config;
+    config.num_movies = 2000;
+    config.num_actors = 800;
+    config.num_directors = 150;
+    config.num_theatres = 20;
+    auto generated = GenerateMovieDatabase(config);
+    return new Database(std::move(generated).value());
+  }();
+  return *db;
+}
+
+const std::vector<UserProfile>& SharedProfiles() {
+  static std::vector<UserProfile>* profiles = [] {
+    auto pools = MovieCandidatePools(SharedDb());
+    ProfileGenerator generator(&SharedDb().schema(),
+                               std::move(pools).value());
+    Rng rng(11);
+    ProfileGeneratorOptions options;
+    options.num_selections = 40;
+    auto* result = new std::vector<UserProfile>;
+    for (size_t u = 0; u < kUsers; ++u) {
+      result->push_back(generator.Generate(options, &rng).value());
+    }
+    return result;
+  }();
+  return *profiles;
+}
+
+std::vector<PersonalizationRequest> MakeRequests(double deadline_us) {
+  WorkloadGenerator workload(&SharedDb(), 47);
+  auto queries = workload.RandomQueries(8).value();
+  std::vector<PersonalizationRequest> requests;
+  for (size_t i = 0; i < kBatch; ++i) {
+    PersonalizationRequest request;
+    request.user_id = "user" + std::to_string(i % kUsers);
+    request.query = queries[i % queries.size()];
+    request.options.criterion = InterestCriterion::TopCount(6);
+    request.deadline_ms = deadline_us / 1000.0;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void BM_OverloadShedding(benchmark::State& state) {
+  ServiceOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.max_queue_depth = static_cast<size_t>(state.range(1));
+  options.degrade_queue_depth = static_cast<size_t>(state.range(2));
+  options.cache_capacity = 0;  // Every request pays full selection cost.
+  auto service =
+      std::make_unique<PersonalizationService>(&SharedDb(), options);
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto status = service->profiles().Put("user" + std::to_string(u),
+                                          SharedProfiles()[u]);
+    if (!status.ok()) {
+      state.SkipWithError("profile setup failed");
+      return;
+    }
+  }
+  std::vector<PersonalizationRequest> requests =
+      MakeRequests(static_cast<double>(state.range(3)));
+
+  uint64_t full = 0, degraded = 0, shed = 0, deadline = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    auto responses = service->PersonalizeBatchAndWait(requests);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    for (const PersonalizationResponse& response : responses) {
+      switch (response.disposition) {
+        case RequestDisposition::kFull: ++full; break;
+        case RequestDisposition::kDegraded: ++degraded; break;
+        case RequestDisposition::kShed: ++shed; break;
+        case RequestDisposition::kDeadlineExceeded: ++deadline; break;
+      }
+    }
+  }
+  double total = static_cast<double>(full + degraded + shed + deadline);
+  if (total == 0) total = 1;
+  double answered = static_cast<double>(full + degraded);
+  state.counters["full_frac"] = static_cast<double>(full) / total;
+  state.counters["degraded_frac"] = static_cast<double>(degraded) / total;
+  state.counters["shed_frac"] = static_cast<double>(shed) / total;
+  state.counters["deadline_frac"] = static_cast<double>(deadline) / total;
+  state.counters["completed_qps"] = seconds > 0 ? answered / seconds : 0;
+  state.counters["answered_ms_p_req"] =
+      answered > 0 ? seconds * 1000.0 / answered : 0;
+}
+BENCHMARK(BM_OverloadShedding)
+    ->ArgNames({"workers", "queue", "degrade", "deadline_us"})
+    // Unbounded: every request queues and eventually answers.
+    ->Args({2, 0, 0, 0})
+    // Bounded queue: excess sheds immediately.
+    ->Args({2, 8, 0, 0})
+    // Bounded + degradation ladder: step K down before shedding.
+    ->Args({2, 8, 4, 0})
+    // Tight per-request deadlines on top: queued requests expire.
+    ->Args({2, 8, 4, 20000})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace qp
+
+BENCHMARK_MAIN();

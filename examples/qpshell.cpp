@@ -131,6 +131,14 @@ class Shell {
                               : IntegrationApproach::kMultipleQueries;
     } else if (command == "batch") {
       RunBatch(arg);
+    } else if (command == "deadline") {
+      deadline_ms_ = std::atof(arg.c_str());
+    } else if (command == "qbound") {
+      max_queue_depth_ = static_cast<size_t>(std::atoll(arg.c_str()));
+    } else if (command == "degrade") {
+      degrade_queue_depth_ = static_cast<size_t>(std::atoll(arg.c_str()));
+    } else if (command == "stats") {
+      PrintStats();
     } else if (command == "explain") {
       Explain(arg);
     } else if (command == "raw") {
@@ -151,6 +159,8 @@ class Shell {
         "  \\batch [N] <file|sql>  personalize concurrently on N workers\n"
         "                      (<file>: one SQL query per line; a single\n"
         "                      query is run twice to show the cache)\n"
+        "  \\stats              lifecycle breakdown of the last batch\n"
+        "                      (full/degraded/shed/deadline, breaker)\n"
         "profiles:\n"
         "  \\julie | \\rob       the paper's example users\n"
         "  \\profile <file>     load a profile ([ cond, doi ] per line)\n"
@@ -166,6 +176,10 @@ class Shell {
         "options:\n"
         "  \\k N  \\l N  \\m N    top-K / at-least-L / mandatory-M\n"
         "  \\mode sq|mq  \\topn N  \\negatives N  \\negmode veto|penalty\n"
+        "overload (apply to the next \\batch):\n"
+        "  \\deadline MS        per-request deadline (0 = none)\n"
+        "  \\qbound N           shed requests past N queued (0 = unbounded)\n"
+        "  \\degrade N          halve K when the queue exceeds N (0 = off)\n"
         "  \\quit\n");
   }
 
@@ -385,6 +399,8 @@ class Shell {
 
     ServiceOptions service_options;
     service_options.num_workers = workers;
+    service_options.max_queue_depth = max_queue_depth_;
+    service_options.degrade_queue_depth = degrade_queue_depth_;
     PersonalizationService service(db_.get(), service_options);
     if (!Check(service.profiles().Put(profile_name_, profile_))) return;
 
@@ -396,6 +412,7 @@ class Shell {
       if (!Check(query.status())) return;
       request.query = std::move(query).value();
       request.options = options_;
+      request.deadline_ms = deadline_ms_;
       requests.push_back(std::move(request));
     }
 
@@ -404,24 +421,67 @@ class Shell {
     for (size_t i = 0; i < responses.size(); ++i) {
       const PersonalizationResponse& response = responses[i];
       if (!response.status.ok()) {
-        std::printf("[%zu] error: %s\n", i,
+        std::printf("[%zu] %s: %s\n", i, ToString(response.disposition),
                     response.status.ToString().c_str());
         continue;
       }
-      std::printf("[%zu] %zu rows, %zu preferences, %.3f ms%s\n", i,
+      std::printf("[%zu] %zu rows, %zu preferences, %.3f ms%s%s\n", i,
                   response.results.num_rows(),
                   response.outcome.selected.size() +
                       response.outcome.negatives.size(),
                   response.execution_millis,
+                  response.disposition == RequestDisposition::kDegraded
+                      ? " (degraded)"
+                      : "",
                   response.cache_hit ? " (cached selection)" : "");
     }
-    ServiceStats stats = service.stats();
+    last_stats_ = service.stats();
+    last_workers_ = service.num_workers();
+    have_stats_ = true;
     std::printf(
         "batch: %zu requests on %zu workers; cache %zu hit / %zu miss; "
-        "selection %.3f ms, integration %.3f ms, execution %.3f ms\n",
-        stats.requests, service.num_workers(), stats.cache_hits,
-        stats.cache_misses, stats.selection_millis, stats.integration_millis,
-        stats.execution_millis);
+        "selection %.3f ms, integration %.3f ms, execution %.3f ms "
+        "(\\stats for the lifecycle breakdown)\n",
+        last_stats_.requests, last_workers_, last_stats_.cache_hits,
+        last_stats_.cache_misses, last_stats_.selection_millis,
+        last_stats_.integration_millis, last_stats_.execution_millis);
+  }
+
+  /// \stats: the overload/lifecycle breakdown of the most recent \batch —
+  /// how many requests completed full vs degraded, were shed at admission
+  /// or expired in the queue, plus the storage circuit-breaker state.
+  void PrintStats() {
+    if (!have_stats_) {
+      std::printf("no batch has run yet — \\batch first\n");
+      return;
+    }
+    const ServiceStats& stats = last_stats_;
+    uint64_t answered = stats.requests - stats.errors - stats.shed -
+                        stats.deadline_exceeded;
+    uint64_t full = answered - stats.degraded;
+    std::printf(
+        "last batch (%zu requests on %zu workers):\n"
+        "  full               %llu\n"
+        "  degraded           %llu\n"
+        "  shed               %llu\n"
+        "  deadline_exceeded  %llu\n"
+        "  errors             %llu\n"
+        "  peak queue depth   %zu%s\n",
+        stats.requests, last_workers_,
+        static_cast<unsigned long long>(full),
+        static_cast<unsigned long long>(stats.degraded),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.deadline_exceeded),
+        static_cast<unsigned long long>(stats.errors),
+        stats.max_queue_depth,
+        max_queue_depth_ == 0 ? " (queue unbounded)" : "");
+    std::printf(
+        "storage: %llu fsync retries, %llu failed mutations, breaker %s "
+        "(%llu trips)\n",
+        static_cast<unsigned long long>(stats.storage.sync_retries),
+        static_cast<unsigned long long>(stats.storage.mutation_failures),
+        stats.storage.breaker_open ? "OPEN (store is read-only)" : "closed",
+        static_cast<unsigned long long>(stats.storage.breaker_trips));
   }
 
   void Learn(const std::string& sql) {
@@ -446,6 +506,14 @@ class Shell {
   std::unique_ptr<PersonalizationGraph> graph_;
   std::unique_ptr<ProfileLearner> learner_;
   PersonalizationOptions options_;
+  // Overload knobs applied to the next \batch (see \deadline / \qbound /
+  // \degrade), and the stats snapshot \stats reports on.
+  double deadline_ms_ = 0;
+  size_t max_queue_depth_ = 0;
+  size_t degrade_queue_depth_ = 0;
+  ServiceStats last_stats_;
+  size_t last_workers_ = 0;
+  bool have_stats_ = false;
 };
 
 }  // namespace

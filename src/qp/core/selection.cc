@@ -29,7 +29,8 @@ struct CandidateOrder {
 
 Result<std::vector<PreferencePath>> PreferenceSelector::Select(
     const SelectQuery& query, const InterestCriterion& criterion,
-    SelectionStats* stats, const SemanticFilter* semantic) const {
+    SelectionStats* stats, const SemanticFilter* semantic,
+    const CancelToken* cancel) const {
   QP_ASSIGN_OR_RETURN(QueryGraph query_graph,
                       QueryGraph::Build(query, graph_->schema()));
 
@@ -73,10 +74,17 @@ Result<std::vector<PreferencePath>> PreferenceSelector::Select(
     }
   }
 
-  // Step 2: best-first expansion.
+  // Step 2: best-first expansion. The cancel token is polled once per
+  // pop — accepted selections enter `selected` in final (decreasing-doi)
+  // order, so stopping between pops truncates the result to a prefix of
+  // the unconstrained top-K and never reorders or skips within it.
   std::vector<PreferencePath> selected;
   CriterionState state;
   while (!queue.empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      stats->degraded = true;
+      return selected;
+    }
     PreferencePath path = queue.top().path;
     queue.pop();
     ++stats->paths_popped;

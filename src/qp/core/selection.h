@@ -9,6 +9,7 @@
 #include "qp/graph/personalization_graph.h"
 #include "qp/graph/preference_path.h"
 #include "qp/query/query.h"
+#include "qp/util/deadline.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -22,6 +23,11 @@ struct SelectionStats {
   size_t pruned_semantic = 0;    // Rejected by the semantic filter.
   size_t pruned_criterion = 0;   // Expansions cut by the interest criterion.
   size_t max_queue_size = 0;
+  /// True when the run was cut short by a cancel token / deadline. The
+  /// paths returned are then a *prefix* of the unconstrained result in
+  /// decreasing-doi order (the loop emits accepted selections in final
+  /// order, so stopping early truncates, never reorders).
+  bool degraded = false;
 };
 
 /// Preference selection (paper Section 5.2, Figure 5): extracts from the
@@ -46,10 +52,16 @@ class PreferenceSelector {
   /// related preferences (paper: "the algorithm may output only these") —
   /// rejected candidates are pruned like conflicts and do not consume the
   /// interest criterion.
+  ///
+  /// `cancel`, when given, is polled once per queue pop: if it trips, the
+  /// run stops and returns the selections accepted so far with
+  /// stats->degraded set — a valid prefix of the full top-K (decreasing-
+  /// doi order makes truncation semantically clean).
   Result<std::vector<PreferencePath>> Select(
       const SelectQuery& query, const InterestCriterion& criterion,
       SelectionStats* stats = nullptr,
-      const SemanticFilter* semantic = nullptr) const;
+      const SemanticFilter* semantic = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// Reference implementation: exhaustively enumerates every related
   /// non-conflicting transitive selection, sorts by (degree desc, length

@@ -125,8 +125,16 @@ Result<BuiltConjunct> BuildConjunct(const Database& db,
 /// optimization for MQ compounds).
 class ConjunctRunner {
  public:
-  ConjunctRunner(JoinStrategy strategy, ExecutorStats* stats)
-      : strategy_(strategy), stats_(stats) {}
+  ConjunctRunner(JoinStrategy strategy, ExecutorStats* stats,
+                 const CancelToken* cancel = nullptr)
+      : strategy_(strategy), stats_(stats), cancel_(cancel) {}
+
+  /// True when the run was cut short by the cancel token. The bindings of
+  /// the interrupted join step are discarded (they may have unbound
+  /// slots), so a stopped run returns only fully-joined bindings — for a
+  /// fresh Run that means none; callers treat the conjunct's output as
+  /// incomplete and flag the result truncated.
+  bool stopped() const { return stopped_; }
 
   /// Fresh run: nothing bound yet.
   std::vector<Binding> Run(std::vector<VarSlot> slots,
@@ -140,6 +148,7 @@ class ConjunctRunner {
     }
     size_t seed = CheapestUnbound();
     std::vector<Binding> bindings = Materialize(seed);
+    if (stopped_) return {};
     bound_[seed] = true;
     return Loop(std::move(bindings));
   }
@@ -164,6 +173,7 @@ class ConjunctRunner {
     std::vector<Binding> bindings;
     bindings.reserve(initial.size());
     for (Binding& b : initial) {
+      if (PollCancelStrided()) break;
       bool keep = true;
       for (size_t i = 0; i < slots_.size() && keep; ++i) {
         if (!bound_[i]) continue;
@@ -172,15 +182,39 @@ class ConjunctRunner {
       }
       if (keep) bindings.push_back(std::move(b));
     }
+    if (stopped_) return {};
     ApplyNewlyBoundJoins(&bindings);
     return Loop(std::move(bindings));
   }
 
  private:
   static constexpr size_t kNone = static_cast<size_t>(-1);
+  /// Rows between cancel polls in the inner row loops. Small enough that
+  /// a tripped deadline stops within microseconds, large enough that the
+  /// atomic loads never show up in profiles.
+  static constexpr uint64_t kPollStride = 128;
+
+  /// Direct cancel poll, used at coarse boundaries (once per join step).
+  /// Sticky: once tripped the runner stays stopped.
+  bool PollCancel() {
+    if (stopped_) return true;
+    if (cancel_ != nullptr && cancel_->ShouldStop()) stopped_ = true;
+    return stopped_;
+  }
+
+  /// Row-loop poll: consults the token every kPollStride calls.
+  bool PollCancelStrided() {
+    if (stopped_) return true;
+    if (cancel_ == nullptr) return false;
+    if ((++poll_counter_ % kPollStride) != 0) return false;
+    return PollCancel();
+  }
 
   std::vector<Binding> Loop(std::vector<Binding> bindings) {
     while (true) {
+      // Stopping between join steps discards the in-flight bindings:
+      // they may have unbound slots and must not surface as rows.
+      if (PollCancel()) return {};
       if (bindings.empty()) return {};
       size_t next = PickNextJoined();
       if (next == kNone) {
@@ -190,6 +224,7 @@ class ConjunctRunner {
       } else {
         bindings = JoinStep(std::move(bindings), next);
       }
+      if (stopped_) return {};
       bound_[next] = true;
       ApplyNewlyBoundJoins(&bindings);
     }
@@ -259,10 +294,12 @@ class ConjunctRunner {
       }
       for (RowId id : slot.table->Lookup(slot.selections[best_col].first,
                                          slot.selections[best_col].second)) {
+        if (PollCancelStrided()) break;
         if (RowPassesSlot(slot, id)) emit(id);
       }
     } else {
       for (RowId id = 0; id < slot.table->num_rows(); ++id) {
+        if (PollCancelStrided()) break;
         if (RowPassesSlot(slot, id)) emit(id);
       }
     }
@@ -275,6 +312,7 @@ class ConjunctRunner {
     std::vector<Binding> out;
     out.reserve(bindings.size() * rows.size());
     for (const Binding& b : bindings) {
+      if (PollCancelStrided()) break;
       for (const Binding& r : rows) {
         Binding merged = b;
         merged[i] = r[i];
@@ -306,6 +344,7 @@ class ConjunctRunner {
     const VarSlot& slot = slots_[target];
     std::vector<Binding> out;
     for (const Binding& b : bindings) {
+      if (PollCancelStrided()) break;
       const Value& key = slots_[source].table->At(b[source], source_col);
       if (strategy_ == JoinStrategy::kHashJoin) {
         for (RowId id : slot.table->Lookup(target_col, key)) {
@@ -347,6 +386,9 @@ class ConjunctRunner {
 
   JoinStrategy strategy_;
   ExecutorStats* stats_;
+  const CancelToken* cancel_;
+  bool stopped_ = false;
+  uint64_t poll_counter_ = 0;
   std::vector<VarSlot> slots_;
   std::vector<ResolvedJoin> joins_;
   std::vector<bool> bound_;
@@ -520,6 +562,10 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
 
   std::vector<std::vector<AtomicCondition>> dnf = ToDnf(query.where());
 
+  // Cooperative cancellation: a stopped runner discards the conjunct's
+  // in-flight bindings (only fully-joined rows ever surface), and the
+  // whole result is flagged truncated.
+  bool truncated = false;
   auto run_conjunct = [&](const std::vector<AtomicCondition>& atoms,
                           const std::unordered_set<std::string>* subset)
       -> Result<std::pair<std::vector<VarSlot>, std::vector<Binding>>> {
@@ -531,9 +577,10 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
     QP_ASSIGN_OR_RETURN(BuiltConjunct built,
                         BuildConjunct(*db_, vars, atoms));
     if (stats != nullptr) ++stats->disjuncts;
-    ConjunctRunner runner(strategy_, stats);
+    ConjunctRunner runner(strategy_, stats, cancel_);
     std::vector<Binding> bindings =
         runner.Run(built.slots, std::move(built.joins));
+    if (runner.stopped()) truncated = true;
     return std::make_pair(std::move(built.slots), std::move(bindings));
   };
 
@@ -551,6 +598,10 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
     std::unordered_map<Row, double, RowHash, RowEq> best;
     std::unordered_set<Row, RowHash, RowEq> seen;
     for (const auto& disjunct : dnf) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining disjuncts skipped.
+        break;
+      }
       std::unordered_set<std::string> used =
           UsedAliases(disjunct, query.projections());
       QP_ASSIGN_OR_RETURN(auto result, run_conjunct(disjunct, &used));
@@ -587,6 +638,10 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
     std::unordered_map<Binding, double, BindingHash> seen;
     std::vector<VarSlot> full_slots;
     for (const auto& disjunct : dnf) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining disjuncts skipped.
+        break;
+      }
       QP_ASSIGN_OR_RETURN(auto result, run_conjunct(disjunct, nullptr));
       auto& [slots, bindings] = result;
       if (stats != nullptr) stats->raw_rows += bindings.size();
@@ -604,6 +659,7 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
   }
 
   if (has_near) out.set_satisfactions(std::move(satisfactions));
+  out.set_truncated(truncated);
   out.Canonicalize();
   return out;
 }
@@ -628,6 +684,12 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
       group.degree.Add(part_degree);
     }
   };
+
+  // A compound is truncated when any constituent execution was cut short
+  // or whole parts/exclusions were skipped: counts and degrees are then
+  // under-accumulated and dislike vetoes may be under-applied, but every
+  // emitted row is still a genuine answer of some part.
+  bool truncated = false;
 
   std::optional<SharedCorePlan> plan;
   if (shared_core_) plan = PlanSharedCore(query);
@@ -656,11 +718,16 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
       core_materialized = true;
       if (core_table_empty) return;
       if (stats != nullptr) ++stats->disjuncts;
-      ConjunctRunner runner(strategy_, stats);
+      ConjunctRunner runner(strategy_, stats, cancel_);
       core_bindings = runner.Run(core.slots, std::move(core.joins));
+      if (runner.stopped()) truncated = true;
     };
 
     for (size_t p = 0; p < query.parts().size(); ++p) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining parts skipped.
+        break;
+      }
       const CompoundPart& part = query.parts()[p];
       const SharedCorePlan::PartResidue& residue = plan->parts[p];
       // Slots: core variables first (matching core binding order), then
@@ -706,6 +773,7 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
       // pad absorbs the part's join fan-out.
       if (naive_entry * 4 < core_entry_estimate) {
         QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
+        if (partial.truncated()) truncated = true;
         for (size_t i = 0; i < partial.num_rows(); ++i) {
           accumulate(partial.row(i), part.degree * partial.satisfaction(i));
         }
@@ -727,9 +795,10 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
           std::copy(b.begin(), b.end(), padded.begin());
           seeded.push_back(std::move(padded));
         }
-        ConjunctRunner runner(strategy_, stats);
+        ConjunctRunner runner(strategy_, stats, cancel_);
         bindings = runner.RunSeeded(built.slots, std::move(built.joins),
                                     std::move(seeded), std::move(bound));
+        if (runner.stopped()) truncated = true;
       } else {
         // Anchor core variables: the ones the residue's atoms touch.
         std::vector<size_t> anchors;  // Indices into the core/var order.
@@ -754,9 +823,10 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
         QP_ASSIGN_OR_RETURN(
             BuiltConjunct residue_built,
             BuildConjunct(*db_, residue_vars, residue.extra_atoms));
-        ConjunctRunner runner(strategy_, stats);
+        ConjunctRunner runner(strategy_, stats, cancel_);
         std::vector<Binding> residue_bindings = runner.Run(
             residue_built.slots, std::move(residue_built.joins));
+        if (runner.stopped()) truncated = true;
 
         // Hash the residue results by their anchor row ids and merge with
         // the core bindings.
@@ -802,7 +872,12 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
     }
   } else {
     for (const CompoundPart& part : query.parts()) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining parts skipped.
+        break;
+      }
       QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
+      if (partial.truncated()) truncated = true;
       for (size_t i = 0; i < partial.num_rows(); ++i) {
         // Soft conditions scale the part's contribution by how closely
         // the row matches.
@@ -811,10 +886,17 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
     }
   }
 
-  // EXCEPT blocks: any row an exclusion query returns is vetoed.
+  // EXCEPT blocks: any row an exclusion query returns is vetoed. Once
+  // cancelled, remaining exclusions are skipped — dislike vetoes are then
+  // under-applied, which the truncated flag reports.
   std::unordered_set<Row, RowHash, RowEq> vetoed;
   for (const SelectQuery& exclusion : query.exclusions()) {
+    if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+      truncated = true;
+      break;
+    }
     QP_ASSIGN_OR_RETURN(ResultSet excluded, Execute(exclusion, stats));
+    if (excluded.truncated()) truncated = true;
     for (const Row& row : excluded.rows()) {
       vetoed.insert(row);
     }
@@ -846,6 +928,7 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
     }
     out.AddRankedRow(row, group.count, combined);
   }
+  out.set_truncated(truncated);
   out.Canonicalize();
   return out;
 }

@@ -4,6 +4,7 @@
 #include "qp/exec/result.h"
 #include "qp/query/query.h"
 #include "qp/relational/database.h"
+#include "qp/util/deadline.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -63,10 +64,20 @@ class Executor {
   void set_join_strategy(JoinStrategy strategy) { strategy_ = strategy; }
   void set_shared_core(bool enabled) { shared_core_ = enabled; }
 
+  /// Cooperative cancellation: `cancel` (not owned; may be null) is
+  /// polled periodically from the row loops. When it trips, execution
+  /// stops producing and returns the rows fully materialized so far as a
+  /// partial ResultSet flagged truncated() — every returned row is a
+  /// genuine answer, but the set may be incomplete and (for compounds)
+  /// dislike vetoes may be under-applied. The token must outlive the
+  /// Execute call.
+  void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
  private:
   const Database* db_;
   JoinStrategy strategy_ = JoinStrategy::kHashJoin;
   bool shared_core_ = true;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace qp

@@ -58,6 +58,14 @@ class ResultSet {
   const std::vector<double>& degrees() const { return degrees_; }
   const std::vector<size_t>& counts() const { return counts_; }
 
+  /// True when execution was cut short by a cancel token / deadline: the
+  /// rows present are genuine answers of the query, but some answers may
+  /// be missing (and, for ranked compound results, dislike vetoes may be
+  /// incompletely applied). Set by the executor, never cleared by
+  /// Canonicalize/Truncate.
+  bool truncated() const { return truncated_; }
+  void set_truncated(bool truncated) { truncated_ = truncated; }
+
   /// True if some row equals `row`.
   bool Contains(const Row& row) const;
 
@@ -81,6 +89,7 @@ class ResultSet {
   std::vector<size_t> counts_;
   std::vector<double> degrees_;
   std::vector<double> satisfactions_;
+  bool truncated_ = false;
 };
 
 }  // namespace qp

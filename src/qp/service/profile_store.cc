@@ -43,17 +43,50 @@ Status ProfileStore::Put(const std::string& user_id, UserProfile profile) {
 Status ProfileStore::Upsert(
     const std::string& user_id,
     const std::vector<AtomicPreference>& preferences) {
-  UserProfile updated;
-  {
-    Shard& shard = ShardFor(user_id);
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    auto it = shard.users.find(user_id);
-    if (it != shard.users.end()) updated = *it->second.profile;
+  Shard& shard = ShardFor(user_id);
+  while (true) {
+    // Snapshot the base profile and its epoch. 0 means "user absent":
+    // real epochs start at 1 (++next_epoch), and Remove burns an epoch,
+    // so absence is distinguishable from every present state.
+    uint64_t base_epoch = 0;
+    UserProfile updated;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      auto it = shard.users.find(user_id);
+      if (it != shard.users.end()) {
+        updated = *it->second.profile;
+        base_epoch = it->second.epoch;
+      }
+    }
+    for (const AtomicPreference& pref : preferences) {
+      updated.AddOrUpdate(pref);
+    }
+    // Build (and validate) outside the lock, like Put.
+    QP_ASSIGN_OR_RETURN(PersonalizationGraph graph,
+                        PersonalizationGraph::Build(schema_, updated));
+    auto new_profile =
+        std::make_shared<const UserProfile>(std::move(updated));
+    auto new_graph =
+        std::make_shared<const PersonalizationGraph>(std::move(graph));
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mutex);
+      auto it = shard.users.find(user_id);
+      uint64_t current_epoch =
+          it == shard.users.end() ? 0 : it->second.epoch;
+      if (current_epoch != base_epoch) {
+        // Another writer swapped this user between our read and now;
+        // blindly installing would silently drop their preferences.
+        // Re-merge onto the new base (writers make progress: each
+        // failed validation means someone else committed).
+        continue;
+      }
+      Entry& entry = shard.users[user_id];
+      entry.profile = std::move(new_profile);
+      entry.graph = std::move(new_graph);
+      entry.epoch = ++shard.next_epoch;
+      return Status::Ok();
+    }
   }
-  for (const AtomicPreference& pref : preferences) {
-    updated.AddOrUpdate(pref);
-  }
-  return Put(user_id, std::move(updated));
 }
 
 Result<ProfileSnapshot> ProfileStore::Get(const std::string& user_id) const {

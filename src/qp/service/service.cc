@@ -1,5 +1,6 @@
 #include "qp/service/service.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
@@ -22,7 +23,52 @@ void MaxInto(std::atomic<size_t>* target, size_t value) {
   }
 }
 
+/// Atomically reserves one unit in `counter` unless it is at `bound`
+/// (0 = unbounded). The CAS guarantees the counter never exceeds the
+/// bound regardless of concurrent admitters.
+bool TryReserve(std::atomic<size_t>* counter, size_t bound) {
+  if (bound == 0) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  size_t current = counter->load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= bound) return false;
+    if (counter->compare_exchange_weak(current, current + 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+/// The request's latency budget: an explicit deadline_ms wins, else the
+/// context's desired response time, else unbounded.
+Deadline EffectiveDeadline(const PersonalizationRequest& request) {
+  if (request.deadline_ms > 0.0) {
+    return Deadline::AfterMillis(request.deadline_ms);
+  }
+  if (request.context.has_value() &&
+      request.context->max_latency_ms.has_value()) {
+    return Deadline::AfterMillis(*request.context->max_latency_ms);
+  }
+  return Deadline::Infinite();
+}
+
 }  // namespace
+
+const char* ToString(RequestDisposition disposition) {
+  switch (disposition) {
+    case RequestDisposition::kFull:
+      return "full";
+    case RequestDisposition::kDegraded:
+      return "degraded";
+    case RequestDisposition::kShed:
+      return "shed";
+    case RequestDisposition::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
 
 PersonalizationService::PersonalizationService(const Database* db,
                                                ServiceOptions options)
@@ -36,6 +82,7 @@ PersonalizationService::PersonalizationService(
     const Database* db, ServiceOptions options,
     std::unique_ptr<storage::DurableProfileStore> store)
     : db_(db),
+      options_(options),
       store_(std::move(store)),
       cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity),
       cache_enabled_(options.cache_capacity > 0),
@@ -61,10 +108,54 @@ PersonalizationService::OpenDurable(const Database* db,
       new PersonalizationService(db, options, std::move(store)));
 }
 
+bool PersonalizationService::TryAdmit() {
+  if (!TryReserve(&inflight_, options_.max_inflight)) return false;
+  if (!TryReserve(&queued_, options_.max_queue_depth)) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
 PersonalizationResponse PersonalizationService::PersonalizeOne(
     const PersonalizationRequest& request) {
+  CancelToken cancel(EffectiveDeadline(request));
+  if (cancel.ShouldStop()) {
+    PersonalizationResponse response;
+    response.status =
+        Status::DeadlineExceeded("budget exhausted before start");
+    response.disposition = RequestDisposition::kDeadlineExceeded;
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  return PersonalizeInternal(request, &cancel, /*degrade=*/false);
+}
+
+PersonalizationResponse PersonalizationService::PersonalizeInternal(
+    const PersonalizationRequest& request, const CancelToken* cancel,
+    bool degrade) {
   PersonalizationResponse response;
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // Resolve the effective options: the query context (device, budget,
+  // bandwidth) derives criterion/top_n, then queue pressure steps the
+  // top-count K down one rung (halve, minimum 1 — the same rule
+  // DeriveOptions applies to sub-50ms budgets).
+  PersonalizationOptions options =
+      request.context.has_value()
+          ? DeriveOptions(*request.context, request.options)
+          : request.options;
+  bool stepped_down = false;
+  if (degrade &&
+      options.criterion.kind() == InterestCriterion::Kind::kTopCount) {
+    auto k = static_cast<size_t>(options.criterion.threshold());
+    size_t reduced = std::max<size_t>(1, k / 2);
+    if (reduced < k) {
+      options.criterion = InterestCriterion::TopCount(reduced);
+      stepped_down = true;
+    }
+  }
 
   auto snapshot = store_->Get(request.user_id);
   if (!snapshot.ok()) {
@@ -81,11 +172,11 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
   WallTimer timer;
   std::vector<PreferencePath> selected;
   const bool cacheable =
-      cache_enabled_ && request.options.semantic_filter == nullptr;
+      cache_enabled_ && options.semantic_filter == nullptr;
   if (cacheable) {
     std::string key = SelectionCache::MakeKey(
         request.user_id, snapshot->epoch, CanonicalQueryKey(request.query),
-        request.options.criterion);
+        options.criterion);
     SelectionCache::Paths cached = cache_.Lookup(key);
     if (cached != nullptr) {
       response.cache_hit = true;
@@ -93,23 +184,28 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
       selected = *cached;
     } else {
       counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
-      auto fresh = selector.Select(request.query, request.options.criterion,
-                                   &response.outcome.selection_stats);
+      auto fresh = selector.Select(request.query, options.criterion,
+                                   &response.outcome.selection_stats,
+                                   /*semantic=*/nullptr, cancel);
       if (!fresh.ok()) {
         response.status = fresh.status();
         counters_.errors.fetch_add(1, std::memory_order_relaxed);
         return response;
       }
       selected = std::move(fresh).value();
-      cache_.Insert(
-          key, std::make_shared<const std::vector<PreferencePath>>(selected));
+      // A deadline-truncated selection is a valid prefix for *this*
+      // request but must not poison the cache for unconstrained ones.
+      if (!response.outcome.selection_stats.degraded) {
+        cache_.Insert(key, std::make_shared<const std::vector<PreferencePath>>(
+                               selected));
+      }
     }
   } else {
     counters_.cache_bypasses.fetch_add(1, std::memory_order_relaxed);
     auto fresh =
-        selector.Select(request.query, request.options.criterion,
+        selector.Select(request.query, options.criterion,
                         &response.outcome.selection_stats,
-                        request.options.semantic_filter);
+                        options.semantic_filter, cancel);
     if (!fresh.ok()) {
       response.status = fresh.status();
       counters_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -119,10 +215,10 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
   }
 
   std::vector<PreferencePath> negatives;
-  if (request.options.max_negative > 0) {
+  if (options.max_negative > 0) {
     auto neg = selector.SelectNegative(request.query,
-                                       request.options.max_negative,
-                                       request.options.negative_min_doi);
+                                       options.max_negative,
+                                       options.negative_min_doi);
     if (!neg.ok()) {
       response.status = neg.status();
       counters_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -136,8 +232,7 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
 
   // Phase 2: integration (identical to the serial Personalizer).
   auto integrated = Personalizer::IntegrateSelected(
-      request.query, std::move(selected), std::move(negatives),
-      request.options);
+      request.query, std::move(selected), std::move(negatives), options);
   if (!integrated.ok()) {
     response.status = integrated.status();
     counters_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -155,6 +250,7 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
   if (request.execute) {
     timer.Restart();
     Executor executor(db_);
+    executor.set_cancel_token(cancel);
     auto result = response.outcome.sq.has_value()
                       ? executor.Execute(*response.outcome.sq)
                       : executor.Execute(*response.outcome.mq);
@@ -164,12 +260,21 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
       return response;
     }
     response.results = std::move(result).value();
-    if (request.options.top_n > 0) {
-      response.results.Truncate(request.options.top_n);
+    if (options.top_n > 0) {
+      response.results.Truncate(options.top_n);
     }
     response.execution_millis = timer.ElapsedMillis();
     counters_.execution_nanos.fetch_add(Nanos(response.execution_millis),
                                         std::memory_order_relaxed);
+  }
+
+  // Disposition: any reduction — K stepped down, selection cut to a
+  // prefix, execution truncated — makes the (still valid) answer
+  // degraded rather than full.
+  if (stepped_down || response.outcome.selection_stats.degraded ||
+      response.results.truncated()) {
+    response.disposition = RequestDisposition::kDegraded;
+    counters_.degraded.fetch_add(1, std::memory_order_relaxed);
   }
   return response;
 }
@@ -181,12 +286,62 @@ PersonalizationService::PersonalizeBatch(
   std::vector<std::future<PersonalizationResponse>> futures;
   futures.reserve(requests.size());
   for (PersonalizationRequest& request : requests) {
-    auto task = std::make_shared<std::packaged_task<PersonalizationResponse()>>(
-        [this, request = std::move(request)]() {
-          return PersonalizeOne(request);
+    // Admission control: reserve a queue + inflight slot before touching
+    // the pool. A request that does not fit is shed right here — its
+    // future resolves immediately and no worker time is spent on it.
+    if (!TryAdmit()) {
+      PersonalizationResponse shed;
+      shed.status = Status::Unavailable("admission control: queue full");
+      shed.disposition = RequestDisposition::kShed;
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      std::promise<PersonalizationResponse> promise;
+      futures.push_back(promise.get_future());
+      promise.set_value(std::move(shed));
+      continue;
+    }
+    // The budget clock starts now, so it covers time spent in the queue.
+    auto cancel = std::make_shared<CancelToken>(EffectiveDeadline(request));
+    auto promise =
+        std::make_shared<std::promise<PersonalizationResponse>>();
+    futures.push_back(promise->get_future());
+    bool submitted =
+        pool_.Submit([this, request = std::move(request), cancel, promise]() {
+          // This request is now executing, not queued; the depth left
+          // behind decides whether it runs degraded.
+          size_t depth =
+              queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+          PersonalizationResponse response;
+          if (cancel->ShouldStop()) {
+            // The budget died in the queue: never start selection or
+            // execution for it.
+            response.status =
+                Status::DeadlineExceeded("budget exhausted in queue");
+            response.disposition = RequestDisposition::kDeadlineExceeded;
+            counters_.requests.fetch_add(1, std::memory_order_relaxed);
+            counters_.deadline_exceeded.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          } else {
+            const bool degrade = options_.degrade_queue_depth > 0 &&
+                                 depth >= options_.degrade_queue_depth;
+            response = PersonalizeInternal(request, cancel.get(), degrade);
+          }
+          inflight_.fetch_sub(1, std::memory_order_relaxed);
+          promise->set_value(std::move(response));
         });
-    futures.push_back(task->get_future());
-    pool_.Submit([task] { (*task)(); });
+    if (!submitted) {
+      // The pool refused the task (shutting down): release the admission
+      // slots and resolve the future as shed so no caller hangs.
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      PersonalizationResponse shed;
+      shed.status = Status::Unavailable("service shutting down");
+      shed.disposition = RequestDisposition::kShed;
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      promise->set_value(std::move(shed));
+      continue;
+    }
     MaxInto(&counters_.max_queue_depth, pool_.ApproxQueueDepth());
   }
   return futures;
@@ -214,6 +369,10 @@ ServiceStats PersonalizationService::stats() const {
   stats.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
   stats.cache_bypasses =
       counters_.cache_bypasses.load(std::memory_order_relaxed);
+  stats.shed = counters_.shed.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  stats.degraded = counters_.degraded.load(std::memory_order_relaxed);
   stats.max_queue_depth =
       counters_.max_queue_depth.load(std::memory_order_relaxed);
   stats.selection_millis =

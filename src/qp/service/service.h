@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "qp/core/context.h"
 #include "qp/core/personalizer.h"
 #include "qp/exec/executor.h"
 #include "qp/relational/database.h"
@@ -27,6 +29,23 @@ struct ServiceOptions {
   size_t num_shards = 16;
   /// Selection-cache capacity in entries; 0 disables the cache.
   size_t cache_capacity = 4096;
+  /// Admission control: maximum requests waiting for a worker (0 =
+  /// unbounded). A batch request arriving with the queue at the bound is
+  /// shed immediately — its future resolves to Status::Unavailable with
+  /// disposition kShed — instead of growing the queue. The bound is
+  /// enforced with compare-and-swap, so the queue never exceeds it even
+  /// under concurrent submission.
+  size_t max_queue_depth = 0;
+  /// Maximum admitted requests (queued + executing) at once (0 =
+  /// unbounded). Excess requests are shed like max_queue_depth.
+  size_t max_inflight = 0;
+  /// Graceful degradation: when a worker picks up a request and the
+  /// queue behind it is at least this deep (0 = disabled), the request
+  /// runs with its top-count K stepped down (halved, minimum 1 — the
+  /// DeriveOptions tight-budget rule) so the backlog drains faster.
+  /// Degradation kicks in before shedding: it needs a lower watermark
+  /// than max_queue_depth to be useful.
+  size_t degrade_queue_depth = 0;
   /// Profile durability (WAL + snapshots). Leave `storage.dir` empty for
   /// a purely in-memory store; set it (via OpenDurable) to recover
   /// profiles across restarts.
@@ -42,13 +61,44 @@ struct PersonalizationRequest {
   /// When false, stop after rewriting (outcome only, no result set) —
   /// the mode a system pushing personalized SQL to an external DBMS uses.
   bool execute = true;
+  /// Per-request latency budget in milliseconds; <= 0 means none. The
+  /// clock starts at submission, so the budget covers queue wait. A
+  /// request whose budget expires before a worker picks it up resolves to
+  /// Status::DeadlineExceeded without running; one that expires mid-run
+  /// stops cooperatively and returns what it has (disposition kDegraded).
+  double deadline_ms = 0.0;
+  /// Optional query context. When set, the effective options are
+  /// DeriveOptions(*context, options), and — unless deadline_ms is set —
+  /// the context's max_latency_ms doubles as the request budget.
+  std::optional<QueryContext> context;
 };
+
+/// How the service resolved a request, for overload accounting: every
+/// response is exactly one of these.
+enum class RequestDisposition {
+  /// Ran to completion with the requested parameters.
+  kFull,
+  /// Ran, but reduced: K stepped down under queue pressure, selection cut
+  /// to a top-K prefix by the deadline, and/or execution truncated. The
+  /// response is still a valid (partial) answer with Status::Ok.
+  kDegraded,
+  /// Rejected at admission (queue/inflight bound); Status::Unavailable,
+  /// nothing ran.
+  kShed,
+  /// Budget expired before a worker started it; Status::DeadlineExceeded,
+  /// nothing ran.
+  kDeadlineExceeded,
+};
+
+/// "full" | "degraded" | "shed" | "deadline_exceeded".
+const char* ToString(RequestDisposition disposition);
 
 /// What a request resolves to. `status` gates the rest; on success
 /// `outcome` always holds the rewrite and `results` the rows when the
 /// request asked for execution.
 struct PersonalizationResponse {
   Status status = Status::Ok();
+  RequestDisposition disposition = RequestDisposition::kFull;
   bool cache_hit = false;
   PersonalizationOutcome outcome;
   ResultSet results;
@@ -67,6 +117,13 @@ struct ServiceStats {
   /// Requests that bypassed the cache (semantic filter attached, or the
   /// cache is disabled).
   uint64_t cache_bypasses = 0;
+  /// Overload accounting (see RequestDisposition): requests rejected at
+  /// admission, expired before starting, and completed degraded. Requests
+  /// that completed full are requests - errors - shed - deadline_exceeded
+  /// - degraded.
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t degraded = 0;
   size_t max_queue_depth = 0;
   double selection_millis = 0.0;
   double integration_millis = 0.0;
@@ -128,11 +185,28 @@ class PersonalizationService {
   PersonalizationService(const Database* db, ServiceOptions options,
                          std::unique_ptr<storage::DurableProfileStore> store);
 
+  /// Reserves an admission slot (queued + inflight), or returns false
+  /// when either bound is reached — the caller sheds the request. CAS
+  /// bounded, so neither counter ever exceeds its configured bound.
+  bool TryAdmit();
+
+  /// The full pipeline under a cancel token. `degrade` steps the
+  /// criterion's K down before running (queue-pressure response).
+  PersonalizationResponse PersonalizeInternal(
+      const PersonalizationRequest& request, const CancelToken* cancel,
+      bool degrade);
+
   const Database* db_;
+  ServiceOptions options_;
   std::unique_ptr<storage::DurableProfileStore> store_;
   SelectionCache cache_;
   bool cache_enabled_;
   ThreadPool pool_;
+
+  /// Admission state: requests waiting for a worker, and requests
+  /// admitted but not yet completed (queued + executing).
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> inflight_{0};
 
   /// Hot counters; folded into ServiceStats snapshots. Durations are
   /// accumulated in nanoseconds to keep the counters integral.
@@ -143,6 +217,9 @@ class PersonalizationService {
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> cache_bypasses{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> degraded{0};
     std::atomic<size_t> max_queue_depth{0};
     std::atomic<uint64_t> selection_nanos{0};
     std::atomic<uint64_t> integration_nanos{0};

@@ -25,8 +25,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  stopping_.store(true, std::memory_order_release);
+ThreadPool::~ThreadPool() { Shutdown(DrainMode::kDrain); }
+
+void ThreadPool::Shutdown(DrainMode mode) {
+  // First caller wins; everyone else (including the destructor after an
+  // explicit Shutdown) just waits for the join to have happened.
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    while (!joined_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  if (mode == DrainMode::kDiscard) {
+    // Submit re-checks stopping_ under the queue mutex, so after this
+    // sweep no task can sit in a deque: late submitters see stopping_
+    // and bail, earlier ones are cleared here.
+    for (auto& queue : queues_) {
+      std::lock_guard<std::mutex> lock(queue->mutex);
+      pending_.fetch_sub(queue->tasks.size(), std::memory_order_acq_rel);
+      queue->tasks.clear();
+    }
+  }
   {
     // Pair with the workers' wait so no notify is lost between their
     // predicate check and sleep.
@@ -34,9 +53,10 @@ ThreadPool::~ThreadPool() {
   }
   wake_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  joined_.store(true, std::memory_order_release);
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   size_t target;
   if (current_worker.pool == this) {
     target = current_worker.index;
@@ -49,12 +69,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   pending_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    // Checked under the queue mutex: Shutdown sets stopping_ before it
+    // sweeps the deques (kDiscard), so either this push is swept or this
+    // check sees stopping_ — a task can never be left behind unrun.
+    if (stopping_.load(std::memory_order_acquire)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
     queues_[target]->tasks.push_back(std::move(task));
   }
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
   }
   wake_cv_.notify_one();
+  return true;
 }
 
 size_t ThreadPool::ApproxQueueDepth() const {

@@ -23,19 +23,39 @@ namespace qp {
 /// a throwing task terminates, like an exception escaping std::thread.
 class ThreadPool {
  public:
+  /// What Shutdown does with tasks still queued when it is called.
+  enum class DrainMode {
+    /// Run every queued task before the workers exit (the historical
+    /// destructor behavior).
+    kDrain,
+    /// Drop queued tasks on the floor; only tasks already executing
+    /// finish. Callers owning futures for dropped tasks must resolve
+    /// them through some other channel (the service resolves via
+    /// Submit's false return before this can happen).
+    kDiscard,
+  };
+
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains remaining work, then joins the workers.
+  /// Shutdown(kDrain) + join, if not already shut down.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task`. Called from a worker thread, the task goes to that
-  /// worker's own deque (stealable by the rest); from outside the pool,
-  /// deques are fed round-robin.
-  void Submit(std::function<void()> task);
+  /// Stops the pool and joins the workers. Idempotent; the first call
+  /// picks the mode, later calls (and the destructor) are no-ops. After
+  /// Shutdown begins, Submit safely returns false instead of enqueueing.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
+
+  /// Enqueues `task` and returns true. Called from a worker thread, the
+  /// task goes to that worker's own deque (stealable by the rest); from
+  /// outside the pool, deques are fed round-robin. Once Shutdown has
+  /// begun, returns false and the task is NOT enqueued (never UB, never
+  /// silently dropped-but-true): the caller decides how to surface the
+  /// rejection.
+  bool Submit(std::function<void()> task);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -62,6 +82,7 @@ class ThreadPool {
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
   std::atomic<size_t> next_queue_{0};
   std::atomic<size_t> pending_{0};
 };

@@ -175,9 +175,36 @@ size_t DurableProfileStore::StripeFor(const std::string& user_id) const {
   return std::hash<std::string>{}(user_id) % kNumStripes;
 }
 
+Status DurableProfileStore::CheckWritable() const {
+  if (breaker_open_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "storage circuit breaker open after repeated WAL failures; "
+        "store is read-only");
+  }
+  return Status::Ok();
+}
+
+Status DurableProfileStore::LogMutation(const std::string& payload) {
+  Status status = wal_->Append(payload, nullptr);
+  if (status.ok()) {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    return status;
+  }
+  mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t failures =
+      consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (options_.breaker_threshold > 0 &&
+      failures >= static_cast<uint64_t>(options_.breaker_threshold) &&
+      !breaker_open_.exchange(true, std::memory_order_acq_rel)) {
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
 Status DurableProfileStore::Put(const std::string& user_id,
                                 UserProfile profile) {
   if (!durable()) return store_.Put(user_id, std::move(profile));
+  QP_RETURN_IF_ERROR(CheckWritable());
   // Validate before logging — the WAL must never contain a mutation
   // whose replay would fail.
   QP_RETURN_IF_ERROR(profile.Validate(store_.schema()));
@@ -186,7 +213,7 @@ Status DurableProfileStore::Put(const std::string& user_id,
   EncodeMutation(mutation, &payload);
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
-  QP_RETURN_IF_ERROR(wal_->Append(payload, nullptr));
+  QP_RETURN_IF_ERROR(LogMutation(payload));
   Status status = store_.Put(user_id, std::move(mutation.profile));
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
@@ -200,6 +227,7 @@ Status DurableProfileStore::Upsert(
     const std::string& user_id,
     const std::vector<AtomicPreference>& preferences) {
   if (!durable()) return store_.Upsert(user_id, preferences);
+  QP_RETURN_IF_ERROR(CheckWritable());
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
   // Merge under the stripe lock so the validated result is exactly what
@@ -215,7 +243,7 @@ Status DurableProfileStore::Upsert(
 
   std::string payload;
   EncodeMutation(ProfileMutation::Upsert(user_id, preferences), &payload);
-  QP_RETURN_IF_ERROR(wal_->Append(payload, nullptr));
+  QP_RETURN_IF_ERROR(LogMutation(payload));
   Status status = store_.Put(user_id, std::move(merged));
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
@@ -227,6 +255,7 @@ Status DurableProfileStore::Upsert(
 
 Status DurableProfileStore::Remove(const std::string& user_id) {
   if (!durable()) return store_.Remove(user_id);
+  QP_RETURN_IF_ERROR(CheckWritable());
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
   if (auto current = store_.Get(user_id); !current.ok()) {
@@ -234,7 +263,7 @@ Status DurableProfileStore::Remove(const std::string& user_id) {
   }
   std::string payload;
   EncodeMutation(ProfileMutation::Remove(user_id), &payload);
-  QP_RETURN_IF_ERROR(wal_->Append(payload, nullptr));
+  QP_RETURN_IF_ERROR(LogMutation(payload));
   Status status = store_.Remove(user_id);
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
@@ -308,6 +337,7 @@ Status DurableProfileStore::CheckpointLocked() {
   retired_.records_appended += finished.records_appended;
   retired_.bytes_appended += finished.bytes_appended;
   retired_.fsyncs += finished.fsyncs;
+  retired_.sync_retries += finished.sync_retries;
   wal_->Close();
   wal_ = std::make_unique<WalWriter>(std::move(new_wal_file), seqno + 1,
                                      options_.wal);
@@ -394,6 +424,10 @@ StorageStats DurableProfileStore::storage_stats() const {
   stats.records_replayed = records_replayed_;
   stats.torn_bytes_truncated = torn_bytes_truncated_;
   if (!durable()) return stats;
+  stats.mutation_failures =
+      mutation_failures_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  stats.breaker_open = breaker_open_.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> meta(meta_mutex_);
   stats.checkpoints = checkpoints_;
   stats.failed_checkpoints = failed_checkpoints_;
@@ -403,6 +437,7 @@ StorageStats DurableProfileStore::storage_stats() const {
     stats.records_appended = retired_.records_appended + live.records_appended;
     stats.bytes_appended = retired_.bytes_appended + live.bytes_appended;
     stats.fsyncs = retired_.fsyncs + live.fsyncs;
+    stats.sync_retries = retired_.sync_retries + live.sync_retries;
     stats.last_appended_seqno = wal_->last_appended_seqno();
     stats.last_synced_seqno = wal_->last_synced_seqno();
     stats.wal_segment_bytes = segment_base_bytes_ + live.bytes_appended;

@@ -37,6 +37,14 @@ struct StorageOptions {
   /// Run compaction on a background thread (otherwise the threshold is
   /// checked but compaction only happens via Checkpoint()).
   bool background_compaction = true;
+  /// Circuit breaker: after this many *consecutive* failed mutations
+  /// (WAL append/fsync failures that survived the WAL's own retries),
+  /// the store trips to read-only — further mutations fail fast with
+  /// Status::Unavailable instead of hammering a dead disk, while reads
+  /// keep serving the in-memory state. 0 disables the breaker (mutations
+  /// keep returning the WAL's sticky error). The breaker does not
+  /// self-reset: a tripped store stays read-only until reopened.
+  int breaker_threshold = 3;
   /// Filesystem to operate on; nullptr = the process-wide POSIX one.
   /// Tests pass a FaultInjectingFileSystem here.
   FileSystem* fs = nullptr;
@@ -48,6 +56,15 @@ struct StorageStats {
   uint64_t records_appended = 0;  // WAL records over the store's lifetime.
   uint64_t bytes_appended = 0;    // WAL bytes over the store's lifetime.
   uint64_t fsyncs = 0;
+  /// Fsync attempts that failed transiently and were retried by the WAL.
+  uint64_t sync_retries = 0;
+  /// Mutations that failed at the WAL (after its retries).
+  uint64_t mutation_failures = 0;
+  /// Times the circuit breaker tripped the store to read-only (0 or 1 —
+  /// it never closes again within a process).
+  uint64_t breaker_trips = 0;
+  /// True while mutations are being rejected with Unavailable.
+  bool breaker_open = false;
   uint64_t checkpoints = 0;
   uint64_t failed_checkpoints = 0;
   /// Message of the most recent checkpoint/compaction failure; cleared
@@ -148,6 +165,13 @@ class DurableProfileStore {
 
   Status Recover(uint64_t* next_seqno);
   Status ApplyMutation(const ProfileMutation& mutation);
+  /// Appends one mutation payload to the WAL under the caller's stripe
+  /// lock, driving the circuit breaker: success resets the consecutive-
+  /// failure count, failure advances it and trips the breaker at the
+  /// threshold.
+  Status LogMutation(const std::string& payload);
+  /// Fast-fail check mutators run before taking their stripe.
+  Status CheckWritable() const;
   Status CheckpointLocked();
   size_t StripeFor(const std::string& user_id) const;
   void MaybeKickCompaction();
@@ -181,6 +205,13 @@ class DurableProfileStore {
   /// snapshot write on every over-threshold mutation. Atomic because
   /// mutators read it under only their stripe lock.
   std::atomic<uint64_t> compact_backoff_bytes_{0};
+
+  /// Circuit-breaker state. Atomics because mutators read/advance them
+  /// under only their stripe lock, and stats() reads them lock-free.
+  std::atomic<uint64_t> consecutive_failures_{0};
+  std::atomic<uint64_t> mutation_failures_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<bool> breaker_open_{false};
 
   double recovery_millis_ = 0.0;
   uint64_t snapshot_users_loaded_ = 0;

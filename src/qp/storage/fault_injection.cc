@@ -44,6 +44,10 @@ class FaultInjectingFile : public WritableFile {
     if (fs_->fail_syncs_) {
       return Status::Internal("injected fsync failure on " + path_);
     }
+    if (fs_->fail_next_syncs_ > 0) {
+      --fs_->fail_next_syncs_;
+      return Status::Internal("injected transient fsync failure on " + path_);
+    }
     state_->synced_size = state_->data.size();
     fs_->num_syncs_ += 1;
     return Status::Ok();
@@ -140,6 +144,11 @@ Status FaultInjectingFileSystem::SyncDir(const std::string&) {
 void FaultInjectingFileSystem::SetSyncFailure(bool fail) {
   std::lock_guard<std::mutex> lock(mutex_);
   fail_syncs_ = fail;
+}
+
+void FaultInjectingFileSystem::FailNextSyncs(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_next_syncs_ = count;
 }
 
 void FaultInjectingFileSystem::InjectShortWrite(const std::string& path,

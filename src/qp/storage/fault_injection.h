@@ -47,6 +47,12 @@ class FaultInjectingFileSystem : public FileSystem {
   /// Every Sync() on any file fails with Internal until cleared.
   void SetSyncFailure(bool fail);
 
+  /// The next `count` Sync() calls (on any file) fail with Internal,
+  /// then syncs succeed again — a *transient* fsync failure, the case
+  /// retry-with-backoff is meant to absorb. Independent of
+  /// SetSyncFailure (which models a permanently dead disk).
+  void FailNextSyncs(uint64_t count);
+
   /// The next Append on `path` persists only `keep_bytes` of its data,
   /// then returns Internal (a short write).
   void InjectShortWrite(const std::string& path, size_t keep_bytes);
@@ -84,6 +90,7 @@ class FaultInjectingFileSystem : public FileSystem {
   std::map<std::string, std::shared_ptr<FileState>> files_;
   std::set<std::string> dirs_;
   bool fail_syncs_ = false;
+  uint64_t fail_next_syncs_ = 0;
   std::map<std::string, size_t> short_writes_;
   uint64_t num_syncs_ = 0;
   uint64_t crash_generation_ = 0;

@@ -1,6 +1,7 @@
 #include "qp/storage/wal.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "qp/storage/coding.h"
@@ -106,9 +107,11 @@ Status WalWriter::AppendLocked(std::string_view payload,
       const uint64_t batch_max = pending_max_seqno_;
       lock->unlock();
       Status status = file_->Append(batch);
-      if (status.ok()) status = file_->Sync();
+      uint64_t retries = 0;
+      if (status.ok()) status = SyncWithRetries(&retries);
       lock->lock();
       flushing_ = false;
+      stats_.sync_retries += retries;
       if (status.ok()) {
         synced_seqno_ = std::max(synced_seqno_, batch_max);
         stats_.fsyncs += 1;
@@ -142,9 +145,11 @@ Status WalWriter::SyncLocked(std::unique_lock<std::mutex>* lock) {
   lock->unlock();
   Status status;
   if (!batch.empty()) status = file_->Append(batch);
-  if (status.ok()) status = file_->Sync();
+  uint64_t retries = 0;
+  if (status.ok()) status = SyncWithRetries(&retries);
   lock->lock();
   flushing_ = false;
+  stats_.sync_retries += retries;
   if (status.ok()) {
     synced_seqno_ = std::max(synced_seqno_, target);
     last_sync_time_ = std::chrono::steady_clock::now();
@@ -153,6 +158,19 @@ Status WalWriter::SyncLocked(std::unique_lock<std::mutex>* lock) {
     error_ = status;
   }
   cv_.notify_all();
+  return status;
+}
+
+Status WalWriter::SyncWithRetries(uint64_t* retries) {
+  Status status = file_->Sync();
+  std::chrono::milliseconds backoff = options_.retry_backoff;
+  for (int attempt = 0; !status.ok() && attempt < options_.max_sync_retries;
+       ++attempt) {
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+    ++*retries;
+    status = file_->Sync();
+  }
   return status;
 }
 

@@ -37,6 +37,15 @@ struct WalOptions {
   FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
   /// Max time acknowledged records may sit unsynced under kInterval.
   std::chrono::milliseconds sync_interval{50};
+  /// How many times a failed fsync is retried (with exponential backoff
+  /// starting at `retry_backoff`, capped at 100ms per wait) before the
+  /// failure becomes sticky. Retrying fsync is safe — it re-requests
+  /// durability of bytes already handed to the OS; a failed *append* is
+  /// never retried, since a partial write followed by a re-append would
+  /// duplicate frame bytes and corrupt the log. 0 (default) = fail on
+  /// the first error, the historical behavior.
+  int max_sync_retries = 0;
+  std::chrono::milliseconds retry_backoff{1};
 };
 
 /// Counters a writer accumulates over its lifetime.
@@ -44,6 +53,8 @@ struct WalWriterStats {
   uint64_t records_appended = 0;
   uint64_t bytes_appended = 0;
   uint64_t fsyncs = 0;
+  /// Fsync attempts that failed and were retried (successfully or not).
+  uint64_t sync_retries = 0;
 };
 
 /// On-disk record frame (all integers little-endian):
@@ -91,6 +102,11 @@ class WalWriter {
   Status AppendLocked(std::string_view payload, std::unique_lock<std::mutex>* lock,
                       uint64_t* seqno);
   Status SyncLocked(std::unique_lock<std::mutex>* lock);
+  /// file_->Sync() with up to max_sync_retries backoff retries. Called
+  /// UNLOCKED (the flushing_ flag keeps the file exclusively ours);
+  /// `*retries` counts attempts made, for the caller to fold into stats
+  /// once the lock is re-held.
+  Status SyncWithRetries(uint64_t* retries);
 
   const WalOptions options_;
   mutable std::mutex mutex_;

@@ -1,0 +1,105 @@
+#ifndef QP_UTIL_DEADLINE_H_
+#define QP_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace qp {
+
+/// A monotonic-clock deadline (paper Section 4: personalization adapts to
+/// the "desired response time"). Immutable and copyable; the infinite
+/// deadline never expires and never reads the clock, so polling it costs
+/// one branch.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : infinite_(true) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `millis` from now (clamped to >= 0).
+  static Deadline AfterMillis(double millis) {
+    if (millis < 0) millis = 0;
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(millis)));
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry; +infinity when infinite, 0 when past.
+  double remaining_millis() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    double left = std::chrono::duration<double, std::milli>(
+                      at_ - Clock::now())
+                      .count();
+    return left > 0 ? left : 0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Deadline(Clock::time_point at) : infinite_(false), at_(at) {}
+
+  bool infinite_;
+  Clock::time_point at_{};
+};
+
+/// A cooperative cancellation token: an atomic flag any thread may set,
+/// plus a deadline, both cheap to poll from a hot loop. The long-running
+/// algorithms (best-first selection, the executor's row loops) poll
+/// ShouldStop() and, on expiry, return the valid partial work done so far
+/// instead of running to completion.
+///
+/// For deterministic tests (and as a pure cost budget independent of wall
+/// time), set_poll_budget(n) makes the token trip after exactly n polls.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Thread-safe; sticky.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// Trips ShouldStop() after `polls` further calls (each call consumes
+  /// one unit). Negative disables the budget (the default).
+  void set_poll_budget(int64_t polls) {
+    poll_budget_.store(polls, std::memory_order_relaxed);
+  }
+
+  /// The poll the loops run: cancelled flag, then the poll budget, then
+  /// the deadline (the only check that reads the clock). An exhausted
+  /// budget trips the cancelled flag, so the stop is sticky.
+  bool ShouldStop() const {
+    if (cancelled()) return true;
+    if (poll_budget_.load(std::memory_order_relaxed) >= 0 &&
+        poll_budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return deadline_.expired();
+  }
+
+ private:
+  Deadline deadline_;
+  mutable std::atomic<bool> cancelled_{false};
+  /// < 0: no budget. Otherwise decremented per poll; <= 0 trips.
+  mutable std::atomic<int64_t> poll_budget_{-1};
+};
+
+}  // namespace qp
+
+#endif  // QP_UTIL_DEADLINE_H_

@@ -22,6 +22,14 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,
+  /// The operation was refused because the system is saturated or a
+  /// dependency is degraded (load shedding, open circuit breaker).
+  /// Retryable after backoff, unlike kFailedPrecondition.
+  kUnavailable,
+  /// The request's response-time budget expired before the operation
+  /// could start (work that *starts* in time but is cut short returns OK
+  /// with partial, explicitly-flagged results instead).
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lower-case name of a status code
@@ -63,6 +71,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,10 +2,14 @@
 # The full CI gate, in the order a reviewer wants failures reported:
 #
 #   1. regular build + the whole ctest suite (tier-1: must stay green);
-#   2. the durability/crash-recovery suites under ThreadSanitizer and
-#      AddressSanitizer+UBSan via tests/run_sanitized.sh — the randomized
-#      crash-recovery property suite (>= 500 trials) is only trusted once
-#      it has passed under both.
+#   2. the durability/crash-recovery and request-lifecycle suites under
+#      ThreadSanitizer and AddressSanitizer+UBSan via
+#      tests/run_sanitized.sh — the randomized crash-recovery property
+#      suite (>= 500 trials) and the overload/admission tests are only
+#      trusted once they have passed under both;
+#   3. an overload-shedding benchmark snapshot in machine-readable JSON
+#      (build/overload_shedding.json), so a regression in shed/degrade
+#      behaviour shows up as an artifact diff.
 #
 # Usage:
 #   tests/ci.sh            # everything
@@ -17,9 +21,11 @@ cd "$(dirname "$0")/.."
 ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-# Storage-layer suites that must also pass sanitized. Keep in sync with
-# tests/CMakeLists.txt.
+# Suites that must also pass sanitized: the storage/durability layer plus
+# the request-lifecycle (deadline / cancellation / admission) suites.
+# Keep in sync with tests/CMakeLists.txt.
 STORAGE_FILTER='crc32c|wal_test|record_fuzz|snapshot_test|durable_store|crash_recovery|profile_store|thread_pool|service_batch'
+LIFECYCLE_FILTER='deadline_test|selection_deadline|executor_cancel|service_lifecycle|storage_retry'
 
 echo "==== [ci] regular build ===="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -33,7 +39,14 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "==== [ci] sanitized storage suites ===="
-tests/run_sanitized.sh all -R "$STORAGE_FILTER"
+echo "==== [ci] sanitized storage + lifecycle suites ===="
+tests/run_sanitized.sh all -R "$STORAGE_FILTER|$LIFECYCLE_FILTER"
+
+echo "==== [ci] overload shedding benchmark (JSON) ===="
+"$ROOT/build/bench/overload_shedding" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.05 \
+  > "$ROOT/build/overload_shedding.json"
+echo "wrote $ROOT/build/overload_shedding.json"
 
 echo "==== [ci] PASS ===="

@@ -1,5 +1,7 @@
 #include "qp/core/context.h"
 
+#include <algorithm>
+
 #include "common/test_util.h"
 #include "gtest/gtest.h"
 #include "qp/data/movie_db.h"
@@ -37,6 +39,61 @@ TEST(ContextTest, LowBandwidthCapsDelivery) {
   EXPECT_EQ(DeriveOptions(thin_tablet).top_n, 10u);
   QueryContext broadband{QueryContext::Device::kWorkstation, {}, 10000.0};
   EXPECT_EQ(DeriveOptions(broadband).top_n, 0u);
+}
+
+TEST(ContextTest, BudgetOfExactlyFiftyMillisDoesNotHalveK) {
+  // The rule is *under* 50 ms; the boundary itself keeps the device K.
+  QueryContext at_boundary{QueryContext::Device::kWorkstation, 50.0, {}};
+  EXPECT_DOUBLE_EQ(DeriveOptions(at_boundary).criterion.threshold(), 25);
+  QueryContext just_under{QueryContext::Device::kWorkstation, 49.999, {}};
+  EXPECT_DOUBLE_EQ(DeriveOptions(just_under).criterion.threshold(), 12);
+}
+
+TEST(ContextTest, PhoneWithTightBudgetKeepsAtLeastOnePreference) {
+  // Phone K=3, halved → 1, and never below 1 no matter how tight the
+  // budget — a personalized answer with zero preferences would silently
+  // revert to the unpersonalized query.
+  for (double budget : {49.0, 10.0, 1.0, 0.5, 0.0}) {
+    QueryContext phone{QueryContext::Device::kPhone, budget, {}};
+    EXPECT_DOUBLE_EQ(DeriveOptions(phone).criterion.threshold(), 1)
+        << "budget " << budget;
+  }
+}
+
+TEST(ContextTest, BandwidthCapCombinesWithDeviceDeliveryLimit) {
+  // The cap is min(device top_n, 10): it tightens the phone/tablet
+  // limits and bounds the workstation's unlimited delivery, and the
+  // boundary (exactly 256 kbps) is not "low bandwidth".
+  QueryContext thin_phone{QueryContext::Device::kPhone, {}, 100.0};
+  EXPECT_EQ(DeriveOptions(thin_phone).top_n, 10u);
+  QueryContext thin_desk{QueryContext::Device::kWorkstation, {}, 100.0};
+  EXPECT_EQ(DeriveOptions(thin_desk).top_n, 10u);
+  QueryContext boundary{QueryContext::Device::kWorkstation, {}, 256.0};
+  EXPECT_EQ(DeriveOptions(boundary).top_n, 0u);
+
+  // An explicit base top_n is overridden by the derived value: context
+  // derivation owns the delivery cap (callers adjust afterwards if they
+  // must).
+  PersonalizationOptions base;
+  base.top_n = 3;
+  QueryContext desk{QueryContext::Device::kWorkstation, {}, {}};
+  EXPECT_EQ(DeriveOptions(desk, base).top_n, 0u);
+}
+
+TEST(ContextTest, TightBudgetAndThinPipeComposePerDevice) {
+  // Both constraints at once: K halves and delivery caps, independently.
+  for (auto device : {QueryContext::Device::kPhone,
+                      QueryContext::Device::kTablet,
+                      QueryContext::Device::kWorkstation}) {
+    QueryContext context{device, 20.0, 64.0};
+    PersonalizationOptions derived = DeriveOptions(context);
+    size_t device_k = device == QueryContext::Device::kPhone    ? 3
+                      : device == QueryContext::Device::kTablet ? 10
+                                                                : 25;
+    EXPECT_DOUBLE_EQ(derived.criterion.threshold(),
+                     std::max<size_t>(1, device_k / 2));
+    EXPECT_EQ(derived.top_n, 10u);
+  }
 }
 
 TEST(ContextTest, BasePreservedForUntouchedFields) {

@@ -1,0 +1,175 @@
+// Cooperative cancellation of best-first selection: a run cut short by a
+// CancelToken must return an exact *prefix* of the unconstrained result
+// in decreasing-doi order (DESIGN.md Section 9). The poll budget makes
+// the cut deterministic — every possible stopping point is exercised.
+
+#include <memory>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/selection.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/data/workload.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/util/deadline.h"
+
+namespace qp {
+namespace {
+
+class SelectionDeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MovieSchema();
+    auto graph = PersonalizationGraph::Build(&schema_, JulieProfile());
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<PersonalizationGraph>(std::move(graph).value());
+    selector_ = std::make_unique<PreferenceSelector>(graph_.get());
+  }
+
+  Schema schema_;
+  std::unique_ptr<PersonalizationGraph> graph_;
+  std::unique_ptr<PreferenceSelector> selector_;
+};
+
+TEST_F(SelectionDeadlineTest, NullAndUntrippedTokensChangeNothing) {
+  auto baseline =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(9));
+  ASSERT_TRUE(baseline.ok());
+
+  CancelToken token(Deadline::AfterMillis(60000));
+  SelectionStats stats;
+  auto with_token = selector_->Select(
+      TonightQuery(), InterestCriterion::TopCount(9), &stats,
+      /*semantic=*/nullptr, &token);
+  ASSERT_TRUE(with_token.ok());
+  EXPECT_FALSE(stats.degraded);
+  ASSERT_EQ(with_token->size(), baseline->size());
+  for (size_t i = 0; i < baseline->size(); ++i) {
+    EXPECT_TRUE((*with_token)[i].SameShape((*baseline)[i]));
+  }
+}
+
+TEST_F(SelectionDeadlineTest, AlreadyCancelledReturnsEmptyDegraded) {
+  CancelToken token;
+  token.Cancel();
+  SelectionStats stats;
+  auto selected = selector_->Select(
+      TonightQuery(), InterestCriterion::TopCount(9), &stats,
+      /*semantic=*/nullptr, &token);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+  EXPECT_TRUE(stats.degraded);
+}
+
+TEST_F(SelectionDeadlineTest, ExpiredDeadlineDegradesTheRun) {
+  CancelToken token(Deadline::AfterMillis(0));
+  SelectionStats stats;
+  auto selected = selector_->Select(
+      TonightQuery(), InterestCriterion::TopCount(9), &stats,
+      /*semantic=*/nullptr, &token);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_TRUE(selected->empty());
+}
+
+TEST_F(SelectionDeadlineTest, EveryStoppingPointYieldsAPrefix) {
+  auto full =
+      selector_->Select(TonightQuery(), InterestCriterion::TopCount(9));
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->size(), 9u);
+
+  // Walk the poll budget from 0 upwards until the run stops degrading;
+  // each cut must be a prefix of the full result, never a reordering.
+  bool saw_full = false;
+  for (int64_t budget = 0; budget < 2000 && !saw_full; ++budget) {
+    CancelToken token;
+    token.set_poll_budget(budget);
+    SelectionStats stats;
+    auto cut = selector_->Select(
+        TonightQuery(), InterestCriterion::TopCount(9), &stats,
+        /*semantic=*/nullptr, &token);
+    ASSERT_TRUE(cut.ok()) << "budget " << budget;
+    ASSERT_LE(cut->size(), full->size());
+    for (size_t i = 0; i < cut->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*cut)[i].doi(), (*full)[i].doi())
+          << "budget " << budget << " i=" << i;
+      EXPECT_TRUE((*cut)[i].SameShape((*full)[i]))
+          << "budget " << budget << " i=" << i;
+    }
+    if (!stats.degraded) {
+      EXPECT_EQ(cut->size(), full->size());
+      saw_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_full) << "no budget large enough to finish the run";
+}
+
+/// The prefix property on random profiles and queries, against the
+/// brute-force oracle: a degraded run agrees element-by-element with the
+/// exact top-K for as many selections as it returned.
+class SelectionDeadlinePropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionDeadlinePropertyTest, DegradedIsPrefixOfBruteForce) {
+  Schema schema = MovieSchema();
+  MovieDbConfig config;
+  config.num_movies = 50;
+  config.num_actors = 25;
+  config.num_directors = 10;
+  config.num_theatres = 5;
+  config.seed = GetParam();
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  auto pools = MovieCandidatePools(*db);
+  ASSERT_TRUE(pools.ok());
+  ProfileGenerator profiles(&schema, std::move(pools).value());
+  WorkloadGenerator workload(&*db, GetParam() * 13 + 5);
+  Rng rng(GetParam());
+
+  for (int trial = 0; trial < 5; ++trial) {
+    ProfileGeneratorOptions options;
+    options.num_selections = 10 + rng.Below(40);
+    options.near_fraction = 0.3;
+    auto profile = profiles.Generate(options, &rng);
+    ASSERT_TRUE(profile.ok());
+    auto graph = PersonalizationGraph::Build(&schema, *profile);
+    ASSERT_TRUE(graph.ok());
+    PreferenceSelector selector(&*graph);
+
+    auto query = workload.RandomQuery();
+    ASSERT_TRUE(query.ok());
+    const InterestCriterion criterion =
+        InterestCriterion::TopCount(1 + rng.Below(15));
+
+    auto oracle = selector.SelectBruteForce(*query, criterion);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+    for (int64_t budget : {0, 1, 2, 3, 5, 8, 13, 21, 55, 200}) {
+      CancelToken token;
+      token.set_poll_budget(budget);
+      SelectionStats stats;
+      auto cut = selector.Select(*query, criterion, &stats,
+                                 /*semantic=*/nullptr, &token);
+      ASSERT_TRUE(cut.ok()) << cut.status();
+      ASSERT_LE(cut->size(), oracle->size())
+          << "trial " << trial << " budget " << budget;
+      for (size_t i = 0; i < cut->size(); ++i) {
+        // Degrees must agree exactly; shapes may differ only on ties
+        // (same tolerance the completeness property test grants).
+        EXPECT_DOUBLE_EQ((*cut)[i].doi(), (*oracle)[i].doi())
+            << "trial " << trial << " budget " << budget << " i=" << i;
+      }
+      if (!stats.degraded) {
+        EXPECT_EQ(cut->size(), oracle->size())
+            << "trial " << trial << " budget " << budget;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionDeadlinePropertyTest,
+                         ::testing::Values(3, 11, 23));
+
+}  // namespace
+}  // namespace qp

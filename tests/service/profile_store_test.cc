@@ -85,6 +85,41 @@ TEST_F(ProfileStoreTest, RemoveThenReinsertNeverReusesAnEpoch) {
   EXPECT_GT(after.epoch, before.epoch);
 }
 
+TEST_F(ProfileStoreTest, ConcurrentUpsertsNeverLoseAnUpdate) {
+  // Regression: Upsert used to read the profile under a shared lock,
+  // merge, then install under an exclusive lock — two racing upserts of
+  // *different* preferences could both start from the same base and the
+  // second install would silently drop the first writer's preference.
+  // The epoch-validated retry makes the merge atomic: after two threads
+  // each upsert their own preference set, both sets must be present.
+  AtomicPreference mine = AtomicPreference::Selection(
+      AttributeRef{"GENRE", "genre"}, Value::Str("western"), 0.31);
+  AtomicPreference yours = AtomicPreference::Selection(
+      AttributeRef{"ACTOR", "name"}, Value::Str("G. Binoche"), 0.57);
+
+  for (int round = 0; round < 50; ++round) {
+    ProfileStore store(&schema_, 4);
+    QP_ASSERT_OK(store.Put("julie", JulieProfile()));
+
+    std::atomic<bool> go{false};
+    std::thread a([&] {
+      while (!go.load()) std::this_thread::yield();
+      ASSERT_TRUE(store.Upsert("julie", {mine}).ok());
+    });
+    std::thread b([&] {
+      while (!go.load()) std::this_thread::yield();
+      ASSERT_TRUE(store.Upsert("julie", {yours}).ok());
+    });
+    go.store(true);
+    a.join();
+    b.join();
+
+    QP_ASSERT_OK_AND_ASSIGN(ProfileSnapshot snapshot, store.Get("julie"));
+    EXPECT_EQ(snapshot.profile->size(), JulieProfile().size() + 2)
+        << "round " << round << ": a concurrent upsert was lost";
+  }
+}
+
 TEST_F(ProfileStoreTest, SnapshotIsolationUnderConcurrentMutation) {
   // Two writers flip user "julie" between two internally consistent
   // profiles while readers continuously run preference selection on

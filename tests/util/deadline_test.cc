@@ -1,0 +1,120 @@
+#include "qp/util/deadline.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_millis()));
+
+  Deadline infinite = Deadline::Infinite();
+  EXPECT_TRUE(infinite.is_infinite());
+  EXPECT_FALSE(infinite.expired());
+}
+
+TEST(DeadlineTest, ZeroAndNegativeBudgetsAreAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).expired());
+  EXPECT_DOUBLE_EQ(Deadline::AfterMillis(0).remaining_millis(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineExpiresAfterItsBudget) {
+  Deadline deadline = Deadline::AfterMillis(5);
+  EXPECT_FALSE(deadline.is_infinite());
+  EXPECT_GT(deadline.remaining_millis(), 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining_millis(), 0.0);
+}
+
+TEST(DeadlineTest, RemainingIsBoundedByTheBudget) {
+  Deadline deadline = Deadline::AfterMillis(10000);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_LE(deadline.remaining_millis(), 10000.0);
+}
+
+TEST(CancelTokenTest, DefaultNeverStops) {
+  CancelToken token;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(token.ShouldStop());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_TRUE(token.ShouldStop());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineStops) {
+  CancelToken token(Deadline::AfterMillis(0));
+  EXPECT_TRUE(token.ShouldStop());
+  // The deadline tripping does not set the explicit cancel flag.
+  CancelToken fresh(Deadline::AfterMillis(60000));
+  EXPECT_FALSE(fresh.ShouldStop());
+}
+
+TEST(CancelTokenTest, PollBudgetTripsAfterExactlyNPolls) {
+  CancelToken token;
+  token.set_poll_budget(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(token.ShouldStop()) << "poll " << i;
+  }
+  EXPECT_TRUE(token.ShouldStop());
+  // Exhaustion is sticky: the flag stays tripped even though the counter
+  // keeps decrementing past zero.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.ShouldStop());
+}
+
+TEST(CancelTokenTest, NegativeBudgetDisablesTheBudget) {
+  CancelToken token;
+  token.set_poll_budget(3);
+  EXPECT_FALSE(token.ShouldStop());
+  token.set_poll_budget(-1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancelTokenTest, CancelFromAnotherThreadIsObserved) {
+  CancelToken token;
+  std::atomic<bool> observed{false};
+  std::thread poller([&] {
+    while (!token.ShouldStop()) std::this_thread::yield();
+    observed.store(true);
+  });
+  token.Cancel();
+  poller.join();
+  EXPECT_TRUE(observed.load());
+}
+
+TEST(CancelTokenTest, ConcurrentPollersAllObserveTheTrip) {
+  // Budget exhaustion from many threads: every poller must terminate
+  // (the trip is sticky), regardless of who consumed the last unit.
+  CancelToken token;
+  token.set_poll_budget(1000);
+  std::vector<std::thread> pollers;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 4; ++t) {
+    pollers.emplace_back([&] {
+      while (!token.ShouldStop()) {
+      }
+      done.fetch_add(1);
+    });
+  }
+  for (auto& thread : pollers) thread.join();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace qp
