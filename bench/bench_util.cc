@@ -69,5 +69,71 @@ void PrintRow(const std::vector<std::string>& cells) {
   std::printf("\n");
 }
 
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+template <typename T>
+void Upsert(std::vector<std::pair<std::string, T>>* entries,
+            const std::string& name, T value) {
+  for (auto& entry : *entries) {
+    if (entry.first == name) {
+      entry.second = std::move(value);
+      return;
+    }
+  }
+  entries->emplace_back(name, std::move(value));
+}
+
+}  // namespace
+
+void BenchReport::AddScalar(const std::string& name, double value) {
+  Upsert(&scalars_, name, value);
+}
+
+void BenchReport::AddHistogram(const std::string& name,
+                               const obs::HistogramSnapshot& snapshot) {
+  Upsert(&histograms_, name, snapshot);
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\"bench\":\"" + name_ + "\",\"scalars\":{";
+  for (size_t i = 0; i < scalars_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + scalars_[i].first + "\":" + FormatDouble(scalars_[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const auto& [name, snapshot] = histograms_[i];
+    if (i > 0) out += ',';
+    out += '"' + name + "\":{\"count\":" +
+           std::to_string(snapshot.count) +
+           ",\"sum\":" + FormatDouble(snapshot.sum) +
+           ",\"p50\":" + FormatDouble(snapshot.p50()) +
+           ",\"p95\":" + FormatDouble(snapshot.p95()) +
+           ",\"p99\":" + FormatDouble(snapshot.p99()) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool BenchReport::Write() const {
+  std::string line = ToJson() + "\n";
+  const char* path = std::getenv("QP_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') {
+    std::fputs(line.c_str(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) return false;
+  bool ok = std::fputs(line.c_str(), file) >= 0;
+  ok = std::fclose(file) == 0 && ok;
+  return ok;
+}
+
 }  // namespace bench
 }  // namespace qp

@@ -3,11 +3,13 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qp/core/personalizer.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/workload.h"
+#include "qp/obs/metrics.h"
 #include "qp/pref/profile_generator.h"
 #include "qp/relational/database.h"
 
@@ -46,6 +48,42 @@ void PrintHeader(const std::string& figure, const std::string& title,
 
 /// Prints one aligned data row: label followed by columns.
 void PrintRow(const std::vector<std::string>& cells);
+
+/// One benchmark binary's machine-readable sidecar: named scalars plus
+/// histogram percentile summaries, serialized as a single JSON object.
+/// The service/storage benchmarks used to hand-roll their own JSON
+/// emission (via --benchmark_format=json and ad-hoc counters); they now
+/// feed this report instead, so every BENCH_*.json snapshot carries the
+/// same shape — including per-phase latency percentiles from the
+/// observability registry.
+///
+///   {"bench":"<name>",
+///    "scalars":{"<k>":v,...},
+///    "histograms":{"<k>":{"count":n,"sum":s,"p50":...,"p95":...,
+///                         "p99":...},...}}
+///
+/// Keys keep insertion order; re-adding a key overwrites its value (the
+/// benchmark library may re-run a registered function for estimation).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void AddScalar(const std::string& name, double value);
+  void AddHistogram(const std::string& name,
+                    const obs::HistogramSnapshot& snapshot);
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() + '\n' to the file named by $QP_BENCH_JSON
+  /// (appending, one object per benchmark binary run — JSONL), or to
+  /// stdout when the variable is unset. Returns false on I/O failure.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> histograms_;
+};
 
 }  // namespace bench
 }  // namespace qp

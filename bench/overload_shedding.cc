@@ -9,8 +9,9 @@
 //   answered_ms_p_req — mean wall time per *answered* request
 // A bounded queue should convert the latency collapse of the unbounded
 // config into fast-failing sheds while answered throughput holds.
-// Pass --benchmark_format=json for machine-readable output (this is how
-// tests/ci.sh captures a snapshot).
+// Machine-readable output: one BenchReport JSON object (disposition
+// fractions + request-latency percentiles per config) goes to stdout, or
+// to the file named by $QP_BENCH_JSON.
 //
 // Args: workers, max_queue_depth (0 = unbounded), degrade_queue_depth
 // (0 = off), deadline_us (0 = none).
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/workload.h"
@@ -29,6 +31,11 @@
 
 namespace qp {
 namespace {
+
+bench::BenchReport& Report() {
+  static auto* report = new bench::BenchReport("overload_shedding");
+  return *report;
+}
 
 constexpr size_t kUsers = 8;
 constexpr size_t kBatch = 64;  // Many multiples of any worker count used.
@@ -124,6 +131,22 @@ void BM_OverloadShedding(benchmark::State& state) {
   state.counters["completed_qps"] = seconds > 0 ? answered / seconds : 0;
   state.counters["answered_ms_p_req"] =
       answered > 0 ? seconds * 1000.0 / answered : 0;
+
+  std::string label = "w" + std::to_string(state.range(0)) + "_q" +
+                      std::to_string(state.range(1)) + "_d" +
+                      std::to_string(state.range(2)) + "_dl" +
+                      std::to_string(state.range(3));
+  Report().AddScalar("full_frac/" + label, static_cast<double>(full) / total);
+  Report().AddScalar("degraded_frac/" + label,
+                     static_cast<double>(degraded) / total);
+  Report().AddScalar("shed_frac/" + label, static_cast<double>(shed) / total);
+  Report().AddScalar("deadline_frac/" + label,
+                     static_cast<double>(deadline) / total);
+  Report().AddScalar("completed_qps/" + label,
+                     seconds > 0 ? answered / seconds : 0);
+  Report().AddHistogram(
+      "qp_service_request_seconds/" + label,
+      service->metrics()->histogram("qp_service_request_seconds")->Snapshot());
 }
 BENCHMARK(BM_OverloadShedding)
     ->ArgNames({"workers", "queue", "degrade", "deadline_us"})
@@ -142,4 +165,10 @@ BENCHMARK(BM_OverloadShedding)
 }  // namespace
 }  // namespace qp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return qp::Report().Write() ? 0 : 1;
+}

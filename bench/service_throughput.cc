@@ -14,15 +14,22 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/workload.h"
+#include "qp/obs/trace.h"
 #include "qp/pref/profile_generator.h"
 #include "qp/service/service.h"
 #include "qp/util/random.h"
 
 namespace qp {
 namespace {
+
+bench::BenchReport& Report() {
+  static auto* report = new bench::BenchReport("service_throughput");
+  return *report;
+}
 
 constexpr size_t kUsers = 16;
 constexpr size_t kQueries = 8;
@@ -148,6 +155,24 @@ void BM_PersonalizeBatch(benchmark::State& state) {
   state.counters["speedup_x"] = baseline > 0 ? qps / baseline : 1.0;
   state.counters["hw_threads"] =
       static_cast<double>(std::thread::hardware_concurrency());
+
+  std::string label = "w" + std::to_string(workers) +
+                      (enable_cache ? "_cache" : "_nocache");
+  Report().AddScalar("qps/" + label, qps);
+  Report().AddScalar("speedup_x/" + label,
+                     baseline > 0 ? qps / baseline : 1.0);
+  // Per-phase latency percentiles from the service's own registry — the
+  // perf-trajectory numbers tests/ci.sh snapshots across PRs.
+  obs::MetricsRegistry* metrics = service->metrics();
+  Report().AddHistogram("qp_service_request_seconds/" + label,
+                        metrics->histogram("qp_service_request_seconds")
+                            ->Snapshot());
+  Report().AddHistogram("qp_service_selection_seconds/" + label,
+                        metrics->histogram("qp_service_selection_seconds")
+                            ->Snapshot());
+  Report().AddHistogram("qp_service_execution_seconds/" + label,
+                        metrics->histogram("qp_service_execution_seconds")
+                            ->Snapshot());
 }
 BENCHMARK(BM_PersonalizeBatch)
     ->ArgNames({"workers", "cache"})
@@ -163,7 +188,55 @@ BENCHMARK(BM_PersonalizeBatch)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+/// The tracing tax with a sink that discards everything: each iteration
+/// runs the same batch twice, tracing detached then attached to a
+/// NullTraceSink (spans are recorded and the trace is built, then
+/// dropped). overhead_pct is the relative wall-time increase — the
+/// acceptance bar is < 2%, and with tracing compiled out
+/// (QP_OBS_DISABLED) it should be indistinguishable from noise.
+void BM_TraceNullSinkOverhead(benchmark::State& state) {
+  auto service = MakeService(2, /*enable_cache=*/true);
+  if (service == nullptr) {
+    state.SkipWithError("profile setup failed");
+    return;
+  }
+  const auto& requests = SharedRequests();
+  service->PersonalizeBatchAndWait(requests);  // Warm up.
+  obs::NullTraceSink null_sink;
+  double seconds_off = 0, seconds_on = 0;
+  for (auto _ : state) {
+    service->set_trace_sink(nullptr);
+    auto start = std::chrono::steady_clock::now();
+    service->PersonalizeBatchAndWait(requests);
+    seconds_off += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    service->set_trace_sink(&null_sink);
+    start = std::chrono::steady_clock::now();
+    service->PersonalizeBatchAndWait(requests);
+    seconds_on += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  }
+  service->set_trace_sink(nullptr);
+  double overhead_pct =
+      seconds_off > 0 ? (seconds_on - seconds_off) / seconds_off * 100.0
+                      : 0.0;
+  state.counters["overhead_pct"] = overhead_pct;
+  state.counters["traced"] = obs::kTracingCompiledIn ? 1.0 : 0.0;
+  Report().AddScalar("trace_null_sink_overhead_pct", overhead_pct);
+}
+BENCHMARK(BM_TraceNullSinkOverhead)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace qp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return qp::Report().Write() ? 0 : 1;
+}

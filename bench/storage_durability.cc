@@ -20,9 +20,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/paper_example.h"
+#include "qp/obs/metrics.h"
 #include "qp/storage/durable_profile_store.h"
 #include "qp/storage/record.h"
 #include "qp/storage/wal.h"
@@ -31,6 +33,23 @@
 namespace qp {
 namespace storage {
 namespace {
+
+bench::BenchReport& Report() {
+  static auto* report = new bench::BenchReport("storage_durability");
+  return *report;
+}
+
+const char* PolicyLabel(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord:
+      return "every_record";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
 
 /// A fresh directory under /tmp, removed (with its contents) on scope
 /// exit. The benchmarks run against the real POSIX filesystem so the
@@ -107,6 +126,8 @@ void BM_WalAppend(benchmark::State& state) {
   }
   WalOptions options;
   options.fsync = policy;
+  obs::MetricsRegistry registry;
+  options.metrics = &registry;  // For the qp_wal_sync_seconds histogram.
   WalWriter writer(std::move(file).value(), /*first_seqno=*/1, options);
 
   size_t records = 0;
@@ -139,6 +160,13 @@ void BM_WalAppend(benchmark::State& state) {
       static_cast<double>(records) * SharedPayload().size() / (1 << 20),
       benchmark::Counter::kIsRate);
   state.counters["fsyncs"] = static_cast<double>(stats.fsyncs);
+
+  std::string label = std::string(PolicyLabel(policy)) + "_w" +
+                      std::to_string(writers);
+  Report().AddScalar("fsyncs/" + label, static_cast<double>(stats.fsyncs));
+  Report().AddScalar("records/" + label, static_cast<double>(records));
+  Report().AddHistogram("qp_wal_sync_seconds/" + label,
+                        registry.histogram("qp_wal_sync_seconds")->Snapshot());
 }
 BENCHMARK(BM_WalAppend)
     ->ArgNames({"policy", "writers"})
@@ -207,6 +235,11 @@ void BM_Recovery(benchmark::State& state) {
   state.counters["replayed"] = static_cast<double>(replayed);
   state.counters["recovery_ms"] =
       state.iterations() > 0 ? recovery_ms / state.iterations() : 0;
+  std::string label = "m" + std::to_string(num_mutations);
+  Report().AddScalar("replayed/" + label, static_cast<double>(replayed));
+  Report().AddScalar(
+      "recovery_ms/" + label,
+      state.iterations() > 0 ? recovery_ms / state.iterations() : 0);
 }
 BENCHMARK(BM_Recovery)
     ->ArgNames({"mutations"})
@@ -267,6 +300,8 @@ void BM_RecoveryAfterCheckpoint(benchmark::State& state) {
     (*store)->Close();
   }
   state.counters["snapshot_users"] = static_cast<double>(loaded);
+  Report().AddScalar("snapshot_users/m" + std::to_string(num_mutations),
+                     static_cast<double>(loaded));
 }
 BENCHMARK(BM_RecoveryAfterCheckpoint)
     ->ArgNames({"mutations"})
@@ -279,4 +314,10 @@ BENCHMARK(BM_RecoveryAfterCheckpoint)
 }  // namespace storage
 }  // namespace qp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return qp::storage::Report().Write() ? 0 : 1;
+}

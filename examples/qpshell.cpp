@@ -21,6 +21,8 @@
 #include "qp/core/personalizer.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/paper_example.h"
+#include "qp/obs/metrics.h"
+#include "qp/obs/trace.h"
 #include "qp/pref/profile_learner.h"
 #include "qp/query/sql_parser.h"
 #include "qp/query/sql_writer.h"
@@ -139,8 +141,18 @@ class Shell {
       degrade_queue_depth_ = static_cast<size_t>(std::atoll(arg.c_str()));
     } else if (command == "stats") {
       PrintStats();
+    } else if (command == "metrics") {
+      PrintMetrics(arg);
+    } else if (command == "trace") {
+      SetTrace(arg);
     } else if (command == "explain") {
-      Explain(arg);
+      // With SQL: show the rewrite. Without: show the last captured
+      // request trace (\trace on + \batch first).
+      if (arg.empty()) {
+        PrintLastTrace();
+      } else {
+        Explain(arg);
+      }
     } else if (command == "raw") {
       RunRaw(arg);
     } else if (command == "learn") {
@@ -180,6 +192,12 @@ class Shell {
         "  \\deadline MS        per-request deadline (0 = none)\n"
         "  \\qbound N           shed requests past N queued (0 = unbounded)\n"
         "  \\degrade N          halve K when the queue exceeds N (0 = off)\n"
+        "observability:\n"
+        "  \\metrics [json|prom]  dump the metrics registry (accumulated\n"
+        "                      across every \\batch in this session)\n"
+        "  \\trace on|off       capture per-request pipeline traces during\n"
+        "                      \\batch\n"
+        "  \\explain            span tree of the last traced request\n"
         "  \\quit\n");
   }
 
@@ -401,7 +419,11 @@ class Shell {
     service_options.num_workers = workers;
     service_options.max_queue_depth = max_queue_depth_;
     service_options.degrade_queue_depth = degrade_queue_depth_;
+    // Publish into the shell's registry so \metrics accumulates across
+    // batches instead of dying with each transient service.
+    service_options.metrics = &metrics_;
     PersonalizationService service(db_.get(), service_options);
+    if (trace_on_) service.set_trace_sink(&trace_sink_);
     if (!Check(service.profiles().Put(profile_name_, profile_))) return;
 
     std::vector<PersonalizationRequest> requests;
@@ -438,13 +460,51 @@ class Shell {
     last_stats_ = service.stats();
     last_workers_ = service.num_workers();
     have_stats_ = true;
+    service.set_trace_sink(nullptr);
     std::printf(
         "batch: %zu requests on %zu workers; cache %zu hit / %zu miss; "
         "selection %.3f ms, integration %.3f ms, execution %.3f ms "
-        "(\\stats for the lifecycle breakdown)\n",
+        "(\\stats for the lifecycle breakdown%s)\n",
         last_stats_.requests, last_workers_, last_stats_.cache_hits,
         last_stats_.cache_misses, last_stats_.selection_millis,
-        last_stats_.integration_millis, last_stats_.execution_millis);
+        last_stats_.integration_millis, last_stats_.execution_millis,
+        trace_on_ ? "; \\explain for the last trace" : "");
+  }
+
+  /// \metrics [json|prom]: the shell's metrics registry — every \batch
+  /// service publishes into it, so counters and latency histograms
+  /// accumulate across the session.
+  void PrintMetrics(const std::string& arg) {
+    if (arg.empty() || arg == "json") {
+      std::printf("%s\n", metrics_.Export(obs::ExportFormat::kJson).c_str());
+    } else if (arg == "prom" || arg == "prometheus") {
+      std::printf("%s",
+                  metrics_.Export(obs::ExportFormat::kPrometheus).c_str());
+    } else {
+      std::printf("usage: \\metrics [json|prom]\n");
+    }
+  }
+
+  /// \trace on|off: capture per-request pipeline traces during \batch.
+  void SetTrace(const std::string& arg) {
+    if (arg == "on") {
+      trace_on_ = true;
+      std::printf("tracing on — run a \\batch, then \\explain\n");
+    } else if (arg == "off") {
+      trace_on_ = false;
+    } else {
+      std::printf("usage: \\trace on|off\n");
+    }
+  }
+
+  /// \explain (no SQL): the span tree of the last traced request.
+  void PrintLastTrace() {
+    std::shared_ptr<const obs::RequestTrace> last = trace_sink_.last();
+    if (last == nullptr) {
+      std::printf("no trace captured — \\trace on, then run a \\batch\n");
+      return;
+    }
+    std::printf("%s", last->ToString().c_str());
   }
 
   /// \stats: the overload/lifecycle breakdown of the most recent \batch —
@@ -514,6 +574,11 @@ class Shell {
   ServiceStats last_stats_;
   size_t last_workers_ = 0;
   bool have_stats_ = false;
+  // Observability state shared across \batch services: the registry they
+  // publish into (\metrics) and the last-trace sink (\trace, \explain).
+  obs::MetricsRegistry metrics_;
+  obs::LastTraceSink trace_sink_;
+  bool trace_on_ = false;
 };
 
 }  // namespace

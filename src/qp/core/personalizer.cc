@@ -36,10 +36,17 @@ Result<PersonalizationOutcome> Personalizer::Personalize(
 Result<PersonalizationOutcome> Personalizer::IntegrateSelected(
     const SelectQuery& query, std::vector<PreferencePath> selected,
     std::vector<PreferencePath> negatives,
-    const PersonalizationOptions& options) {
+    const PersonalizationOptions& options, obs::RequestTrace* trace) {
   PersonalizationOutcome outcome;
   outcome.selected = std::move(selected);
   outcome.negatives = std::move(negatives);
+
+  obs::ScopedSpan span(trace, "integration");
+  span.Counter("selected", outcome.selected.size());
+  span.Counter("negatives", outcome.negatives.size());
+  span.Counter(
+      "single_query",
+      options.approach == IntegrationApproach::kSingleQuery ? 1 : 0);
 
   // Derive M from a degree threshold when requested: the selected list is
   // degree-sorted, so the mandatory preferences form its prefix. L is
@@ -55,6 +62,7 @@ Result<PersonalizationOutcome> Personalizer::IntegrateSelected(
     params.min_satisfied = std::min(params.min_satisfied,
                                     outcome.selected.size() - mandatory);
   }
+  span.Counter("mandatory", params.mandatory_count);
 
   PreferenceIntegrator integrator;
   WallTimer timer;

@@ -91,10 +91,14 @@ class Personalizer {
   /// `negatives` |degree| non-increasing — exactly what Select /
   /// SelectNegative produce. Selection timings/stats in the outcome are
   /// zero; Personalize is this plus a fresh selection.
+  /// `trace`, when given, receives an "integration" span recording the
+  /// approach, the selected/negative counts, and the derived mandatory
+  /// prefix M.
   static Result<PersonalizationOutcome> IntegrateSelected(
       const SelectQuery& query, std::vector<PreferencePath> selected,
       std::vector<PreferencePath> negatives,
-      const PersonalizationOptions& options);
+      const PersonalizationOptions& options,
+      obs::RequestTrace* trace = nullptr);
 
  private:
   const PersonalizationGraph* graph_;

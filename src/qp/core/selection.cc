@@ -30,6 +30,28 @@ struct CandidateOrder {
 Result<std::vector<PreferencePath>> PreferenceSelector::Select(
     const SelectQuery& query, const InterestCriterion& criterion,
     SelectionStats* stats, const SemanticFilter* semantic,
+    const CancelToken* cancel, obs::RequestTrace* trace) const {
+  SelectionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  obs::ScopedSpan span(trace, "preference_selection");
+  auto result = SelectInternal(query, criterion, stats, semantic, cancel);
+
+  span.Counter("paths_pushed", stats->paths_pushed);
+  span.Counter("paths_popped", stats->paths_popped);
+  span.Counter("pruned_cycle", stats->pruned_cycle);
+  span.Counter("pruned_conflict", stats->pruned_conflict);
+  span.Counter("pruned_semantic", stats->pruned_semantic);
+  span.Counter("pruned_criterion", stats->pruned_criterion);
+  span.Counter("max_queue_size", stats->max_queue_size);
+  span.Counter("degraded", stats->degraded ? 1 : 0);
+  span.Counter("selected", result.ok() ? result->size() : 0);
+  return result;
+}
+
+Result<std::vector<PreferencePath>> PreferenceSelector::SelectInternal(
+    const SelectQuery& query, const InterestCriterion& criterion,
+    SelectionStats* stats, const SemanticFilter* semantic,
     const CancelToken* cancel) const {
   QP_ASSIGN_OR_RETURN(QueryGraph query_graph,
                       QueryGraph::Build(query, graph_->schema()));

@@ -7,6 +7,7 @@
 #include "qp/core/query_graph.h"
 #include "qp/core/semantics.h"
 #include "qp/graph/personalization_graph.h"
+#include "qp/obs/trace.h"
 #include "qp/graph/preference_path.h"
 #include "qp/query/query.h"
 #include "qp/util/deadline.h"
@@ -57,11 +58,17 @@ class PreferenceSelector {
   /// run stops and returns the selections accepted so far with
   /// stats->degraded set — a valid prefix of the full top-K (decreasing-
   /// doi order makes truncation semantically clean).
+  ///
+  /// `trace`, when given, receives a "preference_selection" span whose
+  /// counters are the SelectionStats of the run (paths pushed/popped,
+  /// prune attribution, degraded flag) — the paper's Figure 6 measurement
+  /// attached to the request that paid for it.
   Result<std::vector<PreferencePath>> Select(
       const SelectQuery& query, const InterestCriterion& criterion,
       SelectionStats* stats = nullptr,
       const SemanticFilter* semantic = nullptr,
-      const CancelToken* cancel = nullptr) const;
+      const CancelToken* cancel = nullptr,
+      obs::RequestTrace* trace = nullptr) const;
 
   /// Reference implementation: exhaustively enumerates every related
   /// non-conflicting transitive selection, sorts by (degree desc, length
@@ -84,6 +91,11 @@ class PreferenceSelector {
       double min_abs_doi = 0.0) const;
 
  private:
+  Result<std::vector<PreferencePath>> SelectInternal(
+      const SelectQuery& query, const InterestCriterion& criterion,
+      SelectionStats* stats, const SemanticFilter* semantic,
+      const CancelToken* cancel) const;
+
   const PersonalizationGraph* graph_;
 };
 

@@ -544,8 +544,77 @@ std::optional<SharedCorePlan> PlanSharedCore(const CompoundQuery& query) {
 
 }  // namespace
 
+void Executor::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_disjuncts_ = nullptr;
+    metric_bindings_ = nullptr;
+    metric_raw_rows_ = nullptr;
+    metric_core_reuses_ = nullptr;
+    return;
+  }
+  metric_disjuncts_ = registry->counter("qp_exec_disjuncts_total");
+  metric_bindings_ = registry->counter("qp_exec_bindings_total");
+  metric_raw_rows_ = registry->counter("qp_exec_raw_rows_total");
+  metric_core_reuses_ = registry->counter("qp_exec_core_reuses_total");
+}
+
+void Executor::FinishOuterExecute(obs::ScopedSpan* span,
+                                  const ExecutorStats& entry,
+                                  const ExecutorStats& exit,
+                                  const Result<ResultSet>& result) const {
+  const size_t disjuncts = exit.disjuncts - entry.disjuncts;
+  const size_t bindings = exit.bindings - entry.bindings;
+  const size_t raw_rows = exit.raw_rows - entry.raw_rows;
+  const size_t core_reuses = exit.core_reuses - entry.core_reuses;
+  span->Counter("disjuncts", disjuncts);
+  span->Counter("bindings", bindings);
+  span->Counter("raw_rows", raw_rows);
+  span->Counter("core_reuses", core_reuses);
+  span->Counter("rows", result.ok() ? result.value().num_rows() : 0);
+  span->Counter("truncated",
+                result.ok() && result.value().truncated() ? 1 : 0);
+  span->End();
+  if (metric_disjuncts_ != nullptr) metric_disjuncts_->Add(disjuncts);
+  if (metric_bindings_ != nullptr) metric_bindings_->Add(bindings);
+  if (metric_raw_rows_ != nullptr) metric_raw_rows_->Add(raw_rows);
+  if (metric_core_reuses_ != nullptr) metric_core_reuses_->Add(core_reuses);
+}
+
 Result<ResultSet> Executor::Execute(const SelectQuery& query,
                                     ExecutorStats* stats) const {
+  ExecutorStats local;
+  if (stats == nullptr) stats = &local;
+  // Recursive frames (compound parts / exclusions) skip straight to the
+  // body: the outermost frame already owns the span and metric flush, and
+  // the shared stats pointer is only ever bumped at the working site.
+  if (exec_depth_ > 0) return ExecuteSelect(query, stats);
+
+  obs::ScopedSpan span(trace_, "execution");
+  const ExecutorStats entry = *stats;
+  ++exec_depth_;
+  Result<ResultSet> result = ExecuteSelect(query, stats);
+  --exec_depth_;
+  FinishOuterExecute(&span, entry, *stats, result);
+  return result;
+}
+
+Result<ResultSet> Executor::Execute(const CompoundQuery& query,
+                                    ExecutorStats* stats) const {
+  ExecutorStats local;
+  if (stats == nullptr) stats = &local;
+  if (exec_depth_ > 0) return ExecuteCompound(query, stats);
+
+  obs::ScopedSpan span(trace_, "execution");
+  const ExecutorStats entry = *stats;
+  ++exec_depth_;
+  Result<ResultSet> result = ExecuteCompound(query, stats);
+  --exec_depth_;
+  FinishOuterExecute(&span, entry, *stats, result);
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query,
+                                          ExecutorStats* stats) const {
   QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
 
   std::vector<std::string> columns;
@@ -577,10 +646,13 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
     QP_ASSIGN_OR_RETURN(BuiltConjunct built,
                         BuildConjunct(*db_, vars, atoms));
     if (stats != nullptr) ++stats->disjuncts;
+    obs::ScopedSpan disjunct_span(trace_, "disjunct");
     ConjunctRunner runner(strategy_, stats, cancel_);
     std::vector<Binding> bindings =
         runner.Run(built.slots, std::move(built.joins));
     if (runner.stopped()) truncated = true;
+    disjunct_span.Counter("rows", bindings.size());
+    disjunct_span.Counter("stopped", runner.stopped() ? 1 : 0);
     return std::make_pair(std::move(built.slots), std::move(bindings));
   };
 
@@ -664,8 +736,8 @@ Result<ResultSet> Executor::Execute(const SelectQuery& query,
   return out;
 }
 
-Result<ResultSet> Executor::Execute(const CompoundQuery& query,
-                                    ExecutorStats* stats) const {
+Result<ResultSet> Executor::ExecuteCompound(const CompoundQuery& query,
+                                            ExecutorStats* stats) const {
   QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
 
   struct Group {
@@ -728,6 +800,7 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
         truncated = true;  // Remaining parts skipped.
         break;
       }
+      obs::ScopedSpan part_span(trace_, "part");
       const CompoundPart& part = query.parts()[p];
       const SharedCorePlan::PartResidue& residue = plan->parts[p];
       // Slots: core variables first (matching core binding order), then
@@ -777,6 +850,8 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
         for (size_t i = 0; i < partial.num_rows(); ++i) {
           accumulate(partial.row(i), part.degree * partial.satisfaction(i));
         }
+        part_span.Counter("naive", 1);
+        part_span.Counter("rows", partial.num_rows());
         continue;
       }
       materialize_core();
@@ -795,6 +870,10 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
           std::copy(b.begin(), b.end(), padded.begin());
           seeded.push_back(std::move(padded));
         }
+        // The residue is one conjunctive block: count it like the naive
+        // path (which recurses into Execute) does, so per-part disjunct
+        // attribution is strategy-independent.
+        if (stats != nullptr) ++stats->disjuncts;
         ConjunctRunner runner(strategy_, stats, cancel_);
         bindings = runner.RunSeeded(built.slots, std::move(built.joins),
                                     std::move(seeded), std::move(bound));
@@ -823,6 +902,8 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
         QP_ASSIGN_OR_RETURN(
             BuiltConjunct residue_built,
             BuildConjunct(*db_, residue_vars, residue.extra_atoms));
+        // One conjunctive block, same attribution as the other strategies.
+        if (stats != nullptr) ++stats->disjuncts;
         ConjunctRunner runner(strategy_, stats, cancel_);
         std::vector<Binding> residue_bindings = runner.Run(
             residue_built.slots, std::move(residue_built.joins));
@@ -869,6 +950,8 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
       for (const auto& [row, sat] : best) {
         accumulate(row, part.degree * sat);
       }
+      part_span.Counter(drive_from_core ? "drive" : "merge", 1);
+      part_span.Counter("rows", best.size());
     }
   } else {
     for (const CompoundPart& part : query.parts()) {
@@ -876,6 +959,7 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
         truncated = true;  // Remaining parts skipped.
         break;
       }
+      obs::ScopedSpan part_span(trace_, "part");
       QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
       if (partial.truncated()) truncated = true;
       for (size_t i = 0; i < partial.num_rows(); ++i) {
@@ -883,6 +967,8 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
         // the row matches.
         accumulate(partial.row(i), part.degree * partial.satisfaction(i));
       }
+      part_span.Counter("naive", 1);
+      part_span.Counter("rows", partial.num_rows());
     }
   }
 

@@ -2,6 +2,8 @@
 #define QP_EXEC_EXECUTOR_H_
 
 #include "qp/exec/result.h"
+#include "qp/obs/metrics.h"
+#include "qp/obs/trace.h"
 #include "qp/query/query.h"
 #include "qp/relational/database.h"
 #include "qp/util/deadline.h"
@@ -10,8 +12,15 @@
 namespace qp {
 
 /// Execution counters, for tests and the executor ablation benchmark.
+/// Accumulated through an Execute call tree via a single caller-owned
+/// instance: compound execution passes the same pointer into its part /
+/// exclusion recursions, so every counter is bumped exactly once at the
+/// site that does the work — never again at an enclosing level.
 struct ExecutorStats {
-  /// Number of DNF disjuncts executed (SQ queries pay C(K-M, L) of these).
+  /// Number of conjunctive blocks executed (SQ queries pay C(K-M, L) of
+  /// these). Under the shared-core MQ optimization this counts the core
+  /// materialization plus one per part residue run, keeping per-part
+  /// attribution consistent across the naive / drive / merge strategies.
   size_t disjuncts = 0;
   /// Variable bindings produced across all join steps, including
   /// intermediate ones — a proxy for work done.
@@ -73,11 +82,41 @@ class Executor {
   /// Execute call.
   void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
 
+  /// Request tracing: the outermost Execute contributes an "execution"
+  /// span (with disjunct/binding/row counters); each executed disjunct
+  /// and each compound part nests a child span. Not owned; may be null;
+  /// must outlive the Execute calls.
+  void set_trace(obs::RequestTrace* trace) { trace_ = trace; }
+
+  /// Mirrors ExecutorStats deltas into `registry` (qp_exec_* counters)
+  /// after each outermost Execute. Counter pointers are cached here, so
+  /// the per-query cost is four atomic adds. May be null to unbind.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
+  Result<ResultSet> ExecuteSelect(const SelectQuery& query,
+                                  ExecutorStats* stats) const;
+  Result<ResultSet> ExecuteCompound(const CompoundQuery& query,
+                                    ExecutorStats* stats) const;
+  /// Closes the outermost "execution" span with the stats delta and rows
+  /// produced, and mirrors the delta into the bound registry counters.
+  void FinishOuterExecute(obs::ScopedSpan* span, const ExecutorStats& entry,
+                          const ExecutorStats& exit,
+                          const Result<ResultSet>& result) const;
+
   const Database* db_;
   JoinStrategy strategy_ = JoinStrategy::kHashJoin;
   bool shared_core_ = true;
   const CancelToken* cancel_ = nullptr;
+  obs::RequestTrace* trace_ = nullptr;
+  obs::Counter* metric_disjuncts_ = nullptr;
+  obs::Counter* metric_bindings_ = nullptr;
+  obs::Counter* metric_raw_rows_ = nullptr;
+  obs::Counter* metric_core_reuses_ = nullptr;
+  /// Execute recursion depth (compound -> part / exclusion -> select).
+  /// Spans and metric flushes attach to the outermost frame only; stats
+  /// themselves are incremented exactly once at the working site.
+  mutable size_t exec_depth_ = 0;
 };
 
 }  // namespace qp

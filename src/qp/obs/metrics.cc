@@ -1,0 +1,232 @@
+#include "qp/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace qp {
+namespace obs {
+namespace {
+
+/// Formats a double the way both exports want it: shortest form that
+/// round-trips typical metric values, never locale-dependent.
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // A thread keeps hitting the same shard (good locality) while distinct
+  // threads spread out; no TLS registration cost.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+}
+
+double Histogram::BucketBound(int index) {
+  return std::ldexp(1.0, kMinExponent + index);
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > 0.0)) return 0;  // Zero, negatives and NaN -> first bucket.
+  int exponent = 0;
+  double mantissa = std::frexp(value, &exponent);  // value = m * 2^e, m in [0.5, 1).
+  // Inclusive upper bounds: 2^(e-1) holds exactly-power-of-two values.
+  int ceil_log2 = (mantissa == 0.5) ? exponent - 1 : exponent;
+  int index = ceil_log2 - kMinExponent;
+  if (index < 0) return 0;
+  if (index >= kNumBuckets) return kNumBuckets - 1;
+  return index;
+}
+
+void Histogram::Record(double value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t count = counts_[i].load(std::memory_order_relaxed);
+    if (count > 0) snapshot.buckets.emplace_back(BucketBound(i), count);
+  }
+  return snapshot;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  double rank = p / 100.0 * static_cast<double>(count);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  double lower = 0.0;
+  for (const auto& [bound, bucket_count] : buckets) {
+    double next = static_cast<double>(cumulative + bucket_count);
+    if (rank <= next) {
+      double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(bucket_count);
+      return lower + fraction * (bound - lower);
+    }
+    cumulative += bucket_count;
+    lower = bound;
+  }
+  return buckets.back().first;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    out += FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":{\"count\":" + std::to_string(histogram.count);
+    out += ",\"sum\":" + FormatDouble(histogram.sum);
+    out += ",\"p50\":" + FormatDouble(histogram.p50());
+    out += ",\"p95\":" + FormatDouble(histogram.p95());
+    out += ",\"p99\":" + FormatDouble(histogram.p99());
+    out += ",\"buckets\":[";
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "[" + FormatDouble(histogram.buckets[i].first) + "," +
+             std::to_string(histogram.buckets[i].second) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : histogram.buckets) {
+      cumulative += count;
+      out += name + "_bucket{le=\"" + FormatDouble(bound) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) +
+           "\n";
+    out += name + "_sum " + FormatDouble(histogram.sum) + "\n";
+    out += name + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::Export(ExportFormat format) const {
+  switch (format) {
+    case ExportFormat::kJson:
+      return ToJson();
+    case ExportFormat::kPrometheus:
+      return ToPrometheusText();
+  }
+  return ToJson();
+}
+
+}  // namespace obs
+}  // namespace qp

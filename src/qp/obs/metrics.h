@@ -1,0 +1,189 @@
+#ifndef QP_OBS_METRICS_H_
+#define QP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qp {
+namespace obs {
+
+/// A monotonically increasing counter, sharded across cache lines so
+/// concurrent workers never contend on one atomic. All operations are
+/// seq_cst: on x86 that costs the same as relaxed, and the total order
+/// is what lets readers establish cross-counter invariants (a reader
+/// that observes a disposition increment is guaranteed to also observe
+/// the `requests` increment that program-order preceded it — the
+/// ServiceStats accounting identity relies on this).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_seq_cst);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_seq_cst);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// A settable instantaneous value. Set / SetMax are lock-free; SetMax is
+/// the monotone high-watermark update (peak queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_seq_cst); }
+
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_seq_cst);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_seq_cst)) {
+    }
+  }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_seq_cst);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_seq_cst)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of one histogram, with percentile extraction.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  /// (inclusive upper bound, observations <= bound in this bucket), only
+  /// buckets with a non-zero count, bounds increasing.
+  std::vector<std::pair<double, uint64_t>> buckets;
+
+  /// Interpolated percentile (p in [0, 100]); 0 when empty. Linear
+  /// interpolation between the bucket's bounds, so the error is bounded
+  /// by the log-scale bucket width (~2x at worst, far less in practice
+  /// since neighbouring observations cluster).
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50); }
+  double p95() const { return Percentile(95); }
+  double p99() const { return Percentile(99); }
+};
+
+/// A fixed-bucket log-scale (base-2) histogram of non-negative values.
+/// Bucket i holds observations in (2^(kMinExponent+i-1), 2^(kMinExponent+i)],
+/// covering ~1e-9 .. ~5e8 — recording latencies in seconds, this spans
+/// sub-nanosecond to ~16 years. Record is two wait-free atomic updates;
+/// there is no lock anywhere.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  /// Convenience for callers holding a millisecond duration when the
+  /// histogram's unit is seconds.
+  void RecordMillis(double millis) { Record(millis / 1e3); }
+
+  HistogramSnapshot Snapshot() const;
+
+  static constexpr int kNumBuckets = 60;
+  static constexpr int kMinExponent = -30;  // First bound 2^-30 ~ 0.93e-9.
+
+  /// Inclusive upper bound of bucket `index`.
+  static double BucketBound(int index);
+  /// The bucket `value` falls into.
+  static int BucketFor(double value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Export encodings understood by the ecosystem tooling: a single-line
+/// JSON object (log-friendly), and the Prometheus text exposition format.
+enum class ExportFormat {
+  kJson,
+  kPrometheus,
+};
+
+/// A full registry snapshot, ordered by name (deterministic exports).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  /// "sum":..,"p50":..,"p95":..,"p99":..,"buckets":[[le,count],..]}}} on
+  /// one line.
+  std::string ToJson() const;
+  /// `# TYPE` headers plus one sample per line; histograms emit
+  /// cumulative `_bucket{le="..."}` samples, `_sum` and `_count`.
+  std::string ToPrometheusText() const;
+  std::string Export(ExportFormat format) const;
+};
+
+/// The process's named instruments. Registration (first lookup of a
+/// name) takes a mutex; the returned pointers are stable for the
+/// registry's lifetime, so hot paths look up once and then touch only
+/// the lock-free instruments. Names should follow Prometheus
+/// conventions: `qp_<component>_<what>_<unit>` with `_total` counters.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string Export(ExportFormat format) const {
+    return Snapshot().Export(format);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace qp
+
+#endif  // QP_OBS_METRICS_H_

@@ -1,0 +1,151 @@
+#include "qp/obs/trace.h"
+
+#include <cstdio>
+
+namespace qp {
+namespace obs {
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatMillis(double millis) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", millis);
+  return buffer;
+}
+
+}  // namespace
+
+uint64_t TraceSpan::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+bool TraceSpan::has_counter(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+size_t RequestTrace::StartSpan(std::string name) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.depth = static_cast<int>(open_.size());
+  span.start_millis = SinceStartMillis();
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.size() - 1);
+  return spans_.size() - 1;
+}
+
+void RequestTrace::EndSpan(size_t index) {
+  if (index >= spans_.size()) return;
+  double now = SinceStartMillis();
+  // Close the span and any child left open (out-of-order End).
+  while (!open_.empty() && open_.back() >= index) {
+    TraceSpan& span = spans_[open_.back()];
+    if (span.duration_millis == 0.0) {
+      span.duration_millis = now - span.start_millis;
+    }
+    open_.pop_back();
+  }
+  total_millis_ = now;
+}
+
+void RequestTrace::AddCounter(size_t index, std::string name,
+                              uint64_t value) {
+  if (index >= spans_.size()) return;
+  spans_[index].counters.emplace_back(std::move(name), value);
+}
+
+void RequestTrace::SetDisposition(std::string disposition,
+                                  std::string stopped_phase) {
+  disposition_ = std::move(disposition);
+  stopped_phase_ = std::move(stopped_phase);
+}
+
+const TraceSpan* RequestTrace::FindSpan(std::string_view name) const {
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::string RequestTrace::ToString() const {
+  std::string out = "trace: disposition=" + disposition_;
+  if (!stopped_phase_.empty()) out += " stopped_in=" + stopped_phase_;
+  out += " total=" + FormatMillis(total_millis_) + " ms\n";
+  for (const TraceSpan& span : spans_) {
+    out.append(2 + 2 * static_cast<size_t>(span.depth), ' ');
+    out += span.name + "  " + FormatMillis(span.duration_millis) + " ms";
+    for (const auto& [name, value] : span.counters) {
+      out += "  " + name + "=" + std::to_string(value);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string RequestTrace::ToJson() const {
+  std::string out = "{\"disposition\":";
+  AppendJsonString(disposition_, &out);
+  out += ",\"stopped_phase\":";
+  AppendJsonString(stopped_phase_, &out);
+  out += ",\"total_ms\":" + FormatMillis(total_millis_);
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& span = spans_[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    AppendJsonString(span.name, &out);
+    out += ",\"depth\":" + std::to_string(span.depth);
+    out += ",\"start_ms\":" + FormatMillis(span.start_millis);
+    out += ",\"duration_ms\":" + FormatMillis(span.duration_millis);
+    out += ",\"counters\":{";
+    for (size_t c = 0; c < span.counters.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendJsonString(span.counters[c].first, &out);
+      out += ":" + std::to_string(span.counters[c].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void LastTraceSink::Consume(RequestTrace trace) {
+  auto shared = std::make_shared<const RequestTrace>(std::move(trace));
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_ = std::move(shared);
+}
+
+std::shared_ptr<const RequestTrace> LastTraceSink::last() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_;
+}
+
+}  // namespace obs
+}  // namespace qp

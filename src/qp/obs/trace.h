@@ -1,0 +1,162 @@
+#ifndef QP_OBS_TRACE_H_
+#define QP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qp {
+namespace obs {
+
+/// Define QP_OBS_DISABLED at compile time to stub out every tracing hook
+/// (ScopedSpan becomes an empty object and the pipeline never allocates
+/// a RequestTrace). Metrics counters stay on — they are wait-free
+/// increments — but span bookkeeping, which is the only per-request
+/// allocation tracing adds, vanishes entirely.
+#ifdef QP_OBS_DISABLED
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+/// One timed step of a request, with its domain counters (paths pruned,
+/// rows produced, cache hit, ...). Spans form a tree via `depth`: a span
+/// started while another is open is its child.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;
+  /// Offset from the trace's start, and the span's own wall time.
+  double start_millis = 0.0;
+  double duration_millis = 0.0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  uint64_t counter(std::string_view name) const;
+  bool has_counter(std::string_view name) const;
+};
+
+/// The ordered span record of one request through the personalization
+/// pipeline: parse, preference selection (with prune counters),
+/// integration, execution (with per-disjunct children), cache and
+/// profile-store lookups, WAL sync. Built by exactly one worker thread —
+/// not thread-safe, by design: tracing must not add synchronization to
+/// the hot path. Hand the finished trace to a TraceSink.
+class RequestTrace {
+ public:
+  RequestTrace() : start_(Clock::now()) {}
+
+  /// Opens a span; its depth is the number of currently open spans.
+  /// Returns the span's index for EndSpan/AddCounter.
+  size_t StartSpan(std::string name);
+
+  /// Closes the span (records its duration, pops it from the open
+  /// stack). Closing out of order closes every span opened after it too.
+  void EndSpan(size_t index);
+
+  void AddCounter(size_t index, std::string name, uint64_t value);
+
+  /// How the request resolved ("full", "degraded", "shed",
+  /// "deadline_exceeded", "error") and — when it did not run to
+  /// completion — the pipeline phase it stopped in.
+  void SetDisposition(std::string disposition, std::string stopped_phase);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const TraceSpan* FindSpan(std::string_view name) const;
+  const std::string& disposition() const { return disposition_; }
+  const std::string& stopped_phase() const { return stopped_phase_; }
+  /// Wall time from construction to the last EndSpan (running total).
+  double total_millis() const { return total_millis_; }
+
+  /// Human-readable tree: one line per span, indented by depth, with
+  /// duration and counters. The qpshell \explain rendering.
+  std::string ToString() const;
+  /// Single-line JSON {"disposition":..,"stopped_phase":..,"total_ms":..,
+  /// "spans":[{"name":..,"depth":..,"start_ms":..,"duration_ms":..,
+  /// "counters":{..}},..]}.
+  std::string ToJson() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double SinceStartMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  Clock::time_point start_;
+  std::vector<TraceSpan> spans_;
+  std::vector<size_t> open_;
+  std::string disposition_ = "full";
+  std::string stopped_phase_;
+  double total_millis_ = 0.0;
+};
+
+/// RAII span: opens on construction, closes on destruction (or explicit
+/// End). A null trace makes every method a no-op costing one branch, so
+/// instrumented code needs no `if (trace)` litter; with QP_OBS_DISABLED
+/// the whole object compiles away.
+class ScopedSpan {
+ public:
+#ifdef QP_OBS_DISABLED
+  ScopedSpan(RequestTrace*, const char*) {}
+  void Counter(const char*, uint64_t) {}
+  void End() {}
+#else
+  ScopedSpan(RequestTrace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) index_ = trace_->StartSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+
+  void Counter(const char* name, uint64_t value) {
+    if (trace_ != nullptr) trace_->AddCounter(index_, name, value);
+  }
+
+  void End() {
+    if (trace_ != nullptr) {
+      trace_->EndSpan(index_);
+      trace_ = nullptr;
+    }
+  }
+
+ private:
+  RequestTrace* trace_ = nullptr;
+  size_t index_ = 0;
+#endif
+};
+
+/// Where finished traces go. Implementations must be thread-safe: every
+/// worker delivers its own requests' traces.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Consume(RequestTrace trace) = 0;
+};
+
+/// Discards everything; measures tracing's own overhead in benchmarks.
+class NullTraceSink : public TraceSink {
+ public:
+  void Consume(RequestTrace) override {}
+};
+
+/// Keeps the most recent trace (the qpshell \explain source).
+class LastTraceSink : public TraceSink {
+ public:
+  void Consume(RequestTrace trace) override;
+
+  /// The last consumed trace; nullptr before the first. The shared_ptr
+  /// stays valid while newer traces replace it.
+  std::shared_ptr<const RequestTrace> last() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const RequestTrace> last_;
+};
+
+}  // namespace obs
+}  // namespace qp
+
+#endif  // QP_OBS_TRACE_H_

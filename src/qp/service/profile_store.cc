@@ -7,8 +7,15 @@
 
 namespace qp {
 
-ProfileStore::ProfileStore(const Schema* schema, size_t num_shards)
+ProfileStore::ProfileStore(const Schema* schema, size_t num_shards,
+                           obs::MetricsRegistry* metrics)
     : schema_(schema) {
+  if (metrics != nullptr) {
+    metric_gets_ = metrics->counter("qp_profile_store_gets_total");
+    metric_get_misses_ =
+        metrics->counter("qp_profile_store_get_misses_total");
+    metric_mutations_ = metrics->counter("qp_profile_store_mutations_total");
+  }
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -32,11 +39,14 @@ Status ProfileStore::Put(const std::string& user_id, UserProfile profile) {
       std::make_shared<const PersonalizationGraph>(std::move(graph));
 
   Shard& shard = ShardFor(user_id);
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  Entry& entry = shard.users[user_id];
-  entry.profile = std::move(new_profile);
-  entry.graph = std::move(new_graph);
-  entry.epoch = ++shard.next_epoch;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    Entry& entry = shard.users[user_id];
+    entry.profile = std::move(new_profile);
+    entry.graph = std::move(new_graph);
+    entry.epoch = ++shard.next_epoch;
+  }
+  if (metric_mutations_ != nullptr) metric_mutations_->Add(1);
   return Status::Ok();
 }
 
@@ -84,16 +94,19 @@ Status ProfileStore::Upsert(
       entry.profile = std::move(new_profile);
       entry.graph = std::move(new_graph);
       entry.epoch = ++shard.next_epoch;
+      if (metric_mutations_ != nullptr) metric_mutations_->Add(1);
       return Status::Ok();
     }
   }
 }
 
 Result<ProfileSnapshot> ProfileStore::Get(const std::string& user_id) const {
+  if (metric_gets_ != nullptr) metric_gets_->Add(1);
   const Shard& shard = ShardFor(user_id);
   std::shared_lock<std::shared_mutex> lock(shard.mutex);
   auto it = shard.users.find(user_id);
   if (it == shard.users.end()) {
+    if (metric_get_misses_ != nullptr) metric_get_misses_->Add(1);
     return Status::NotFound("unknown user: " + user_id);
   }
   return ProfileSnapshot{it->second.profile, it->second.graph,
@@ -109,6 +122,7 @@ Status ProfileStore::Remove(const std::string& user_id) {
   // Burn an epoch so a later re-insert of the same user can never revisit
   // an epoch a cache entry might still be keyed on.
   ++shard.next_epoch;
+  if (metric_mutations_ != nullptr) metric_mutations_->Add(1);
   return Status::Ok();
 }
 

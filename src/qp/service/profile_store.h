@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "qp/graph/personalization_graph.h"
+#include "qp/obs/metrics.h"
 #include "qp/pref/profile.h"
 #include "qp/relational/schema.h"
 #include "qp/util/status.h"
@@ -39,8 +40,11 @@ struct ProfileSnapshot {
 class ProfileStore {
  public:
   /// `schema` is retained and must outlive the store (graphs reference
-  /// it). `num_shards` is clamped to >= 1.
-  explicit ProfileStore(const Schema* schema, size_t num_shards = 16);
+  /// it). `num_shards` is clamped to >= 1. `metrics`, when given, counts
+  /// gets (hit/miss split) and mutations as qp_profile_store_* counters
+  /// (not owned; must outlive the store).
+  explicit ProfileStore(const Schema* schema, size_t num_shards = 16,
+                        obs::MetricsRegistry* metrics = nullptr);
 
   /// Inserts or replaces `user_id`'s profile: validates it, builds the
   /// personalization graph, swaps the entry and bumps the user's epoch.
@@ -91,6 +95,9 @@ class ProfileStore {
   Shard& ShardFor(const std::string& user_id) const;
 
   const Schema* schema_;
+  obs::Counter* metric_gets_ = nullptr;
+  obs::Counter* metric_get_misses_ = nullptr;
+  obs::Counter* metric_mutations_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

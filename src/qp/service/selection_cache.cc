@@ -2,8 +2,18 @@
 
 namespace qp {
 
-SelectionCache::SelectionCache(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+SelectionCache::SelectionCache(size_t capacity,
+                               obs::MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (metrics != nullptr) {
+    metric_hits_ = metrics->counter("qp_selection_cache_hits_total");
+    metric_misses_ = metrics->counter("qp_selection_cache_misses_total");
+    metric_insertions_ =
+        metrics->counter("qp_selection_cache_insertions_total");
+    metric_evictions_ =
+        metrics->counter("qp_selection_cache_evictions_total");
+  }
+}
 
 std::string SelectionCache::MakeKey(const std::string& user_id,
                                     uint64_t epoch,
@@ -18,9 +28,11 @@ SelectionCache::Paths SelectionCache::Lookup(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (metric_misses_ != nullptr) metric_misses_->Add(1);
     return nullptr;
   }
   ++stats_.hits;
+  if (metric_hits_ != nullptr) metric_hits_->Add(1);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->paths;
 }
@@ -28,6 +40,7 @@ SelectionCache::Paths SelectionCache::Lookup(const std::string& key) {
 void SelectionCache::Insert(const std::string& key, Paths paths) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.insertions;
+  if (metric_insertions_ != nullptr) metric_insertions_->Add(1);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->paths = std::move(paths);
@@ -40,6 +53,7 @@ void SelectionCache::Insert(const std::string& key, Paths paths) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    if (metric_evictions_ != nullptr) metric_evictions_->Add(1);
   }
 }
 

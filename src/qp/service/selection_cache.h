@@ -11,6 +11,7 @@
 
 #include "qp/core/interest_criterion.h"
 #include "qp/graph/preference_path.h"
+#include "qp/obs/metrics.h"
 #include "qp/query/query.h"
 
 namespace qp {
@@ -38,8 +39,11 @@ class SelectionCache {
  public:
   using Paths = std::shared_ptr<const std::vector<PreferencePath>>;
 
-  /// Caches at most `capacity` entries (clamped to >= 1).
-  explicit SelectionCache(size_t capacity);
+  /// Caches at most `capacity` entries (clamped to >= 1). `metrics`,
+  /// when given, mirrors the stats into qp_selection_cache_* counters
+  /// (looked up once here; not owned, must outlive the cache).
+  explicit SelectionCache(size_t capacity,
+                          obs::MetricsRegistry* metrics = nullptr);
 
   /// The composed cache key. Collision-free by construction: the exact
   /// canonical strings are keyed, not their hashes.
@@ -68,6 +72,10 @@ class SelectionCache {
   };
 
   size_t capacity_;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_insertions_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
   mutable std::mutex mutex_;
   /// Front = most recently used.
   std::list<Slot> lru_;

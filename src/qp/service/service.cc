@@ -1,6 +1,7 @@
 #include "qp/service/service.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -10,18 +11,6 @@
 
 namespace qp {
 namespace {
-
-uint64_t Nanos(double millis) {
-  return static_cast<uint64_t>(millis * 1e6);
-}
-
-void MaxInto(std::atomic<size_t>* target, size_t value) {
-  size_t current = target->load(std::memory_order_relaxed);
-  while (value > current &&
-         !target->compare_exchange_weak(current, value,
-                                        std::memory_order_relaxed)) {
-  }
-}
 
 /// Atomically reserves one unit in `counter` unless it is at `bound`
 /// (0 = unbounded). The CAS guarantees the counter never exceeds the
@@ -72,25 +61,49 @@ const char* ToString(RequestDisposition disposition) {
 
 PersonalizationService::PersonalizationService(const Database* db,
                                                ServiceOptions options)
-    : PersonalizationService(
-          db, options,
-          std::make_unique<storage::DurableProfileStore>(&db->schema(),
-                                                         options.num_shards)) {
-}
+    : PersonalizationService(db, std::move(options), nullptr) {}
 
 PersonalizationService::PersonalizationService(
     const Database* db, ServiceOptions options,
     std::unique_ptr<storage::DurableProfileStore> store)
     : db_(db),
       options_(options),
-      store_(std::move(store)),
-      cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity),
+      owned_metrics_(options.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
+      store_(store != nullptr
+                 ? std::move(store)
+                 : std::make_unique<storage::DurableProfileStore>(
+                       &db->schema(), options.num_shards, metrics_)),
+      cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity,
+             metrics_),
       cache_enabled_(options.cache_capacity > 0),
       pool_(options.num_workers > 0 ? options.num_workers
                                     : std::thread::hardware_concurrency()) {
   // Concurrent workers share the database read-only; build every lazy
   // column index up front so Lookup never mutates under them.
   db_->WarmIndexes();
+  inst_.requests = metrics_->counter("qp_service_requests_total");
+  inst_.batches = metrics_->counter("qp_service_batches_total");
+  inst_.errors = metrics_->counter("qp_service_errors_total");
+  inst_.cache_hits = metrics_->counter("qp_service_cache_hits_total");
+  inst_.cache_misses = metrics_->counter("qp_service_cache_misses_total");
+  inst_.cache_bypasses = metrics_->counter("qp_service_cache_bypasses_total");
+  inst_.shed = metrics_->counter("qp_service_shed_total");
+  inst_.deadline_exceeded =
+      metrics_->counter("qp_service_deadline_exceeded_total");
+  inst_.degraded = metrics_->counter("qp_service_degraded_total");
+  inst_.full = metrics_->counter("qp_service_full_total");
+  inst_.max_queue_depth = metrics_->gauge("qp_service_max_queue_depth");
+  inst_.request_seconds = metrics_->histogram("qp_service_request_seconds");
+  inst_.selection_seconds =
+      metrics_->histogram("qp_service_selection_seconds");
+  inst_.integration_seconds =
+      metrics_->histogram("qp_service_integration_seconds");
+  inst_.execution_seconds =
+      metrics_->histogram("qp_service_execution_seconds");
 }
 
 Result<std::unique_ptr<PersonalizationService>>
@@ -100,12 +113,24 @@ PersonalizationService::OpenDurable(const Database* db,
     return Status::InvalidArgument(
         "OpenDurable requires options.storage.dir");
   }
+  // The registry must exist before the store opens: recovery gauges and
+  // the WAL's instruments are resolved against it during Open.
+  std::unique_ptr<obs::MetricsRegistry> owned;
+  if (options.metrics == nullptr) {
+    owned = std::make_unique<obs::MetricsRegistry>();
+    options.metrics = owned.get();
+  }
+  options.storage.metrics = options.metrics;
   QP_ASSIGN_OR_RETURN(
       std::unique_ptr<storage::DurableProfileStore> store,
       storage::DurableProfileStore::Open(&db->schema(), options.storage,
                                          options.num_shards));
-  return std::unique_ptr<PersonalizationService>(
-      new PersonalizationService(db, options, std::move(store)));
+  std::unique_ptr<PersonalizationService> service(
+      new PersonalizationService(db, std::move(options), std::move(store)));
+  // Hand the registry's ownership to the service (the raw pointer the
+  // members cached stays valid across the move).
+  if (owned != nullptr) service->owned_metrics_ = std::move(owned);
+  return service;
 }
 
 bool PersonalizationService::TryAdmit() {
@@ -117,6 +142,16 @@ bool PersonalizationService::TryAdmit() {
   return true;
 }
 
+void PersonalizationService::TraceUnranRequest(const char* disposition,
+                                               const char* phase) {
+  if (!obs::kTracingCompiledIn) return;
+  obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  obs::RequestTrace trace;
+  trace.SetDisposition(disposition, phase);
+  sink->Consume(std::move(trace));
+}
+
 PersonalizationResponse PersonalizationService::PersonalizeOne(
     const PersonalizationRequest& request) {
   CancelToken cancel(EffectiveDeadline(request));
@@ -125,8 +160,9 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
     response.status =
         Status::DeadlineExceeded("budget exhausted before start");
     response.disposition = RequestDisposition::kDeadlineExceeded;
-    counters_.requests.fetch_add(1, std::memory_order_relaxed);
-    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    inst_.requests->Add(1);
+    inst_.deadline_exceeded->Add(1);
+    TraceUnranRequest("deadline_exceeded", "admission");
     return response;
   }
   return PersonalizeInternal(request, &cancel, /*degrade=*/false);
@@ -135,8 +171,55 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
 PersonalizationResponse PersonalizationService::PersonalizeInternal(
     const PersonalizationRequest& request, const CancelToken* cancel,
     bool degrade) {
+  inst_.requests->Add(1);
+  obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
+  std::optional<obs::RequestTrace> trace;
+  if (obs::kTracingCompiledIn && sink != nullptr) trace.emplace();
+
+  WallTimer timer;
+  PersonalizationResponse response = RunPipeline(
+      request, cancel, degrade, trace.has_value() ? &*trace : nullptr);
+  inst_.request_seconds->RecordMillis(timer.ElapsedMillis());
+
+  // Exactly one disposition counter per request; the admission paths
+  // (shed, expired-in-queue) count theirs at their own sites. `requests`
+  // was incremented above, *before* any disposition — stats() relies on
+  // that order for its accounting identity.
+  if (!response.status.ok()) {
+    inst_.errors->Add(1);
+  } else if (response.disposition == RequestDisposition::kDegraded) {
+    inst_.degraded->Add(1);
+  } else {
+    inst_.full->Add(1);
+  }
+
+  if (trace.has_value()) {
+    std::string phase;
+    if (!response.status.ok()) {
+      // The last span opened is where the pipeline stopped.
+      phase = trace->spans().empty() ? "admission"
+                                     : trace->spans().back().name;
+    } else if (response.disposition == RequestDisposition::kDegraded) {
+      if (response.outcome.selection_stats.degraded) {
+        phase = "preference_selection";
+      } else if (response.results.truncated()) {
+        phase = "execution";
+      } else {
+        phase = "admission";  // K stepped down under queue pressure.
+      }
+    }
+    trace->SetDisposition(
+        response.status.ok() ? ToString(response.disposition) : "error",
+        std::move(phase));
+    sink->Consume(std::move(*trace));
+  }
+  return response;
+}
+
+PersonalizationResponse PersonalizationService::RunPipeline(
+    const PersonalizationRequest& request, const CancelToken* cancel,
+    bool degrade, obs::RequestTrace* trace) {
   PersonalizationResponse response;
-  counters_.requests.fetch_add(1, std::memory_order_relaxed);
 
   // Resolve the effective options: the query context (device, budget,
   // bandwidth) derives criterion/top_n, then queue pressure steps the
@@ -157,10 +240,12 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
     }
   }
 
+  obs::ScopedSpan profile_span(trace, "profile_lookup");
   auto snapshot = store_->Get(request.user_id);
+  profile_span.Counter("found", snapshot.ok() ? 1 : 0);
+  profile_span.End();
   if (!snapshot.ok()) {
     response.status = snapshot.status();
-    counters_.errors.fetch_add(1, std::memory_order_relaxed);
     return response;
   }
   const PersonalizationGraph& graph = *snapshot->graph;
@@ -177,19 +262,21 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
     std::string key = SelectionCache::MakeKey(
         request.user_id, snapshot->epoch, CanonicalQueryKey(request.query),
         options.criterion);
+    obs::ScopedSpan cache_span(trace, "cache_lookup");
     SelectionCache::Paths cached = cache_.Lookup(key);
+    cache_span.Counter("hit", cached != nullptr ? 1 : 0);
+    cache_span.End();
     if (cached != nullptr) {
       response.cache_hit = true;
-      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      inst_.cache_hits->Add(1);
       selected = *cached;
     } else {
-      counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      inst_.cache_misses->Add(1);
       auto fresh = selector.Select(request.query, options.criterion,
                                    &response.outcome.selection_stats,
-                                   /*semantic=*/nullptr, cancel);
+                                   /*semantic=*/nullptr, cancel, trace);
       if (!fresh.ok()) {
         response.status = fresh.status();
-        counters_.errors.fetch_add(1, std::memory_order_relaxed);
         return response;
       }
       selected = std::move(fresh).value();
@@ -201,14 +288,13 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
       }
     }
   } else {
-    counters_.cache_bypasses.fetch_add(1, std::memory_order_relaxed);
+    inst_.cache_bypasses->Add(1);
     auto fresh =
         selector.Select(request.query, options.criterion,
                         &response.outcome.selection_stats,
-                        options.semantic_filter, cancel);
+                        options.semantic_filter, cancel, trace);
     if (!fresh.ok()) {
       response.status = fresh.status();
-      counters_.errors.fetch_add(1, std::memory_order_relaxed);
       return response;
     }
     selected = std::move(fresh).value();
@@ -216,34 +302,34 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
 
   std::vector<PreferencePath> negatives;
   if (options.max_negative > 0) {
+    obs::ScopedSpan negative_span(trace, "negative_selection");
     auto neg = selector.SelectNegative(request.query,
                                        options.max_negative,
                                        options.negative_min_doi);
     if (!neg.ok()) {
       response.status = neg.status();
-      counters_.errors.fetch_add(1, std::memory_order_relaxed);
       return response;
     }
     negatives = std::move(neg).value();
+    negative_span.Counter("selected", negatives.size());
   }
   double selection_millis = timer.ElapsedMillis();
-  counters_.selection_nanos.fetch_add(Nanos(selection_millis),
-                                      std::memory_order_relaxed);
+  inst_.selection_seconds->RecordMillis(selection_millis);
 
   // Phase 2: integration (identical to the serial Personalizer).
   auto integrated = Personalizer::IntegrateSelected(
-      request.query, std::move(selected), std::move(negatives), options);
+      request.query, std::move(selected), std::move(negatives), options,
+      trace);
   if (!integrated.ok()) {
     response.status = integrated.status();
-    counters_.errors.fetch_add(1, std::memory_order_relaxed);
     return response;
   }
   SelectionStats selection_stats = response.outcome.selection_stats;
   response.outcome = std::move(integrated).value();
   response.outcome.selection_stats = selection_stats;
   response.outcome.selection_millis = selection_millis;
-  counters_.integration_nanos.fetch_add(
-      Nanos(response.outcome.integration_millis), std::memory_order_relaxed);
+  inst_.integration_seconds->RecordMillis(
+      response.outcome.integration_millis);
 
   // Phase 3: execution (ranked for MQ), unless the caller only wants the
   // rewritten query.
@@ -251,12 +337,13 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
     timer.Restart();
     Executor executor(db_);
     executor.set_cancel_token(cancel);
+    executor.set_trace(trace);
+    executor.BindMetrics(metrics_);
     auto result = response.outcome.sq.has_value()
                       ? executor.Execute(*response.outcome.sq)
                       : executor.Execute(*response.outcome.mq);
     if (!result.ok()) {
       response.status = result.status();
-      counters_.errors.fetch_add(1, std::memory_order_relaxed);
       return response;
     }
     response.results = std::move(result).value();
@@ -264,8 +351,7 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
       response.results.Truncate(options.top_n);
     }
     response.execution_millis = timer.ElapsedMillis();
-    counters_.execution_nanos.fetch_add(Nanos(response.execution_millis),
-                                        std::memory_order_relaxed);
+    inst_.execution_seconds->RecordMillis(response.execution_millis);
   }
 
   // Disposition: any reduction — K stepped down, selection cut to a
@@ -274,7 +360,6 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
   if (stepped_down || response.outcome.selection_stats.degraded ||
       response.results.truncated()) {
     response.disposition = RequestDisposition::kDegraded;
-    counters_.degraded.fetch_add(1, std::memory_order_relaxed);
   }
   return response;
 }
@@ -282,7 +367,7 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
 std::vector<std::future<PersonalizationResponse>>
 PersonalizationService::PersonalizeBatch(
     std::vector<PersonalizationRequest> requests) {
-  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  inst_.batches->Add(1);
   std::vector<std::future<PersonalizationResponse>> futures;
   futures.reserve(requests.size());
   for (PersonalizationRequest& request : requests) {
@@ -293,8 +378,9 @@ PersonalizationService::PersonalizeBatch(
       PersonalizationResponse shed;
       shed.status = Status::Unavailable("admission control: queue full");
       shed.disposition = RequestDisposition::kShed;
-      counters_.requests.fetch_add(1, std::memory_order_relaxed);
-      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      inst_.requests->Add(1);
+      inst_.shed->Add(1);
+      TraceUnranRequest("shed", "admission");
       std::promise<PersonalizationResponse> promise;
       futures.push_back(promise.get_future());
       promise.set_value(std::move(shed));
@@ -318,9 +404,9 @@ PersonalizationService::PersonalizeBatch(
             response.status =
                 Status::DeadlineExceeded("budget exhausted in queue");
             response.disposition = RequestDisposition::kDeadlineExceeded;
-            counters_.requests.fetch_add(1, std::memory_order_relaxed);
-            counters_.deadline_exceeded.fetch_add(1,
-                                                  std::memory_order_relaxed);
+            inst_.requests->Add(1);
+            inst_.deadline_exceeded->Add(1);
+            TraceUnranRequest("deadline_exceeded", "queue");
           } else {
             const bool degrade = options_.degrade_queue_depth > 0 &&
                                  depth >= options_.degrade_queue_depth;
@@ -337,12 +423,14 @@ PersonalizationService::PersonalizeBatch(
       PersonalizationResponse shed;
       shed.status = Status::Unavailable("service shutting down");
       shed.disposition = RequestDisposition::kShed;
-      counters_.requests.fetch_add(1, std::memory_order_relaxed);
-      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      inst_.requests->Add(1);
+      inst_.shed->Add(1);
+      TraceUnranRequest("shed", "admission");
       promise->set_value(std::move(shed));
       continue;
     }
-    MaxInto(&counters_.max_queue_depth, pool_.ApproxQueueDepth());
+    inst_.max_queue_depth->SetMax(
+        static_cast<double>(pool_.ApproxQueueDepth()));
   }
   return futures;
 }
@@ -362,28 +450,49 @@ PersonalizationService::PersonalizeBatchAndWait(
 
 ServiceStats PersonalizationService::stats() const {
   ServiceStats stats;
-  stats.requests = counters_.requests.load(std::memory_order_relaxed);
-  stats.batches = counters_.batches.load(std::memory_order_relaxed);
-  stats.errors = counters_.errors.load(std::memory_order_relaxed);
-  stats.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
-  stats.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
-  stats.cache_bypasses =
-      counters_.cache_bypasses.load(std::memory_order_relaxed);
-  stats.shed = counters_.shed.load(std::memory_order_relaxed);
-  stats.deadline_exceeded =
-      counters_.deadline_exceeded.load(std::memory_order_relaxed);
-  stats.degraded = counters_.degraded.load(std::memory_order_relaxed);
+  // Read the disposition counters *before* `requests`: requests are
+  // counted at admission and dispositions at resolution (in that program
+  // order, seq_cst), so in this read order the disposition sum can trail
+  // requests — in-flight work — but never exceed it.
+  stats.errors = inst_.errors->Value();
+  stats.shed = inst_.shed->Value();
+  stats.deadline_exceeded = inst_.deadline_exceeded->Value();
+  stats.degraded = inst_.degraded->Value();
+  stats.full = inst_.full->Value();
+  stats.requests = inst_.requests->Value();
+  stats.batches = inst_.batches->Value();
+  stats.cache_hits = inst_.cache_hits->Value();
+  stats.cache_misses = inst_.cache_misses->Value();
+  stats.cache_bypasses = inst_.cache_bypasses->Value();
   stats.max_queue_depth =
-      counters_.max_queue_depth.load(std::memory_order_relaxed);
-  stats.selection_millis =
-      counters_.selection_nanos.load(std::memory_order_relaxed) / 1e6;
+      static_cast<size_t>(inst_.max_queue_depth->Value());
+  stats.selection_millis = inst_.selection_seconds->Snapshot().sum * 1e3;
   stats.integration_millis =
-      counters_.integration_nanos.load(std::memory_order_relaxed) / 1e6;
-  stats.execution_millis =
-      counters_.execution_nanos.load(std::memory_order_relaxed) / 1e6;
+      inst_.integration_seconds->Snapshot().sum * 1e3;
+  stats.execution_millis = inst_.execution_seconds->Snapshot().sum * 1e3;
   stats.cache = cache_.stats();
   stats.storage = store_->storage_stats();
   return stats;
+}
+
+std::string PersonalizationService::DumpMetrics(
+    obs::ExportFormat format) const {
+  // Sampled gauges: refreshed at dump time rather than maintained on the
+  // hot path, so the export is a coherent point-in-time view for free.
+  metrics_->gauge("qp_service_queue_depth")
+      ->Set(static_cast<double>(queued_.load(std::memory_order_relaxed)));
+  metrics_->gauge("qp_service_inflight")
+      ->Set(static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  metrics_->gauge("qp_selection_cache_entries")
+      ->Set(static_cast<double>(cache_.size()));
+  storage::StorageStats storage = store_->storage_stats();
+  if (storage.durable) {
+    metrics_->gauge("qp_storage_wal_segment_bytes")
+        ->Set(static_cast<double>(storage.wal_segment_bytes));
+    metrics_->gauge("qp_storage_breaker_open")
+        ->Set(storage.breaker_open ? 1.0 : 0.0);
+  }
+  return metrics_->Export(format);
 }
 
 }  // namespace qp

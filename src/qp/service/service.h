@@ -12,6 +12,8 @@
 #include "qp/core/context.h"
 #include "qp/core/personalizer.h"
 #include "qp/exec/executor.h"
+#include "qp/obs/metrics.h"
+#include "qp/obs/trace.h"
 #include "qp/relational/database.h"
 #include "qp/service/profile_store.h"
 #include "qp/service/selection_cache.h"
@@ -50,6 +52,11 @@ struct ServiceOptions {
   /// a purely in-memory store; set it (via OpenDurable) to recover
   /// profiles across restarts.
   storage::StorageOptions storage;
+  /// External metrics registry. When null (default) the service creates
+  /// and owns one; either way every layer underneath — cache, profile
+  /// store, WAL — publishes into the same registry, exposed via
+  /// metrics() / DumpMetrics(). Not owned; must outlive the service.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One unit of batch work: personalize (and optionally execute) `query`
@@ -108,6 +115,16 @@ struct PersonalizationResponse {
 /// Aggregate service counters, mirroring SelectionStats/ExecutorStats one
 /// level up: phase latencies are summed across requests, queue depth is
 /// sampled at submit time. Snapshot via PersonalizationService::stats().
+///
+/// This struct is a *view*: the live values are registry instruments
+/// (qp_service_*), and stats() materializes them. The accounting
+/// identity `requests == full + degraded + shed + deadline_exceeded +
+/// errors` holds exactly at quiescence; a concurrent reader may observe
+/// the disposition sum *behind* requests (requests are counted at
+/// admission, dispositions at resolution) but never ahead of it —
+/// stats() reads dispositions first, and the counters' seq_cst ordering
+/// guarantees a disposition increment is never visible without the
+/// requests increment that preceded it.
 struct ServiceStats {
   uint64_t requests = 0;
   uint64_t batches = 0;
@@ -124,6 +141,8 @@ struct ServiceStats {
   uint64_t shed = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t degraded = 0;
+  /// Requests that completed with Status::Ok and no reduction.
+  uint64_t full = 0;
   size_t max_queue_depth = 0;
   double selection_millis = 0.0;
   double integration_millis = 0.0;
@@ -181,6 +200,29 @@ class PersonalizationService {
   size_t num_workers() const { return pool_.num_threads(); }
   ServiceStats stats() const;
 
+  /// The live metrics registry every layer of this service publishes
+  /// into (owned unless ServiceOptions::metrics supplied an external
+  /// one). Stable for the service's lifetime.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Exports the full registry in the given format, first refreshing
+  /// sampled gauges (queue depth, inflight, cache size, live WAL segment
+  /// bytes, breaker state) so the dump is a coherent point-in-time view.
+  std::string DumpMetrics(obs::ExportFormat format) const;
+
+  /// Per-request pipeline tracing: while a sink is attached, every
+  /// request carries an obs::RequestTrace through the pipeline — spans
+  /// for profile lookup, cache lookup, selection, integration and
+  /// execution (with per-disjunct children) — and delivers it to the
+  /// sink on resolution. Shed and queue-expired requests deliver a
+  /// minimal trace recording the disposition and the phase they stopped
+  /// in. nullptr detaches. The sink must be thread-safe and outlive the
+  /// service (or be detached first); toggling mid-flight is safe, but
+  /// requests already past the check keep their previous decision.
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_sink_.store(sink, std::memory_order_release);
+  }
+
  private:
   PersonalizationService(const Database* db, ServiceOptions options,
                          std::unique_ptr<storage::DurableProfileStore> store);
@@ -191,13 +233,31 @@ class PersonalizationService {
   bool TryAdmit();
 
   /// The full pipeline under a cancel token. `degrade` steps the
-  /// criterion's K down before running (queue-pressure response).
+  /// criterion's K down before running (queue-pressure response). This
+  /// wrapper owns the per-request observability: the requests counter,
+  /// the trace (created when a sink is attached, delivered on every
+  /// path), the request-latency histogram and the disposition counter.
   PersonalizationResponse PersonalizeInternal(
       const PersonalizationRequest& request, const CancelToken* cancel,
       bool degrade);
 
+  /// The pipeline itself: profile lookup, cache/selection, integration,
+  /// execution. Pure with respect to accounting except for the cache
+  /// hit/miss/bypass counters and per-phase latency histograms.
+  PersonalizationResponse RunPipeline(const PersonalizationRequest& request,
+                                      const CancelToken* cancel, bool degrade,
+                                      obs::RequestTrace* trace);
+
+  /// Builds and delivers the minimal trace for a request that never ran
+  /// (shed at admission, expired in queue). No-op without a sink.
+  void TraceUnranRequest(const char* disposition, const char* phase);
+
   const Database* db_;
   ServiceOptions options_;
+  /// Declaration order matters: the registry must be live before the
+  /// store and cache below cache their instrument pointers into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
   std::unique_ptr<storage::DurableProfileStore> store_;
   SelectionCache cache_;
   bool cache_enabled_;
@@ -208,24 +268,29 @@ class PersonalizationService {
   std::atomic<size_t> queued_{0};
   std::atomic<size_t> inflight_{0};
 
-  /// Hot counters; folded into ServiceStats snapshots. Durations are
-  /// accumulated in nanoseconds to keep the counters integral.
-  struct AtomicStats {
-    std::atomic<uint64_t> requests{0};
-    std::atomic<uint64_t> batches{0};
-    std::atomic<uint64_t> errors{0};
-    std::atomic<uint64_t> cache_hits{0};
-    std::atomic<uint64_t> cache_misses{0};
-    std::atomic<uint64_t> cache_bypasses{0};
-    std::atomic<uint64_t> shed{0};
-    std::atomic<uint64_t> deadline_exceeded{0};
-    std::atomic<uint64_t> degraded{0};
-    std::atomic<size_t> max_queue_depth{0};
-    std::atomic<uint64_t> selection_nanos{0};
-    std::atomic<uint64_t> integration_nanos{0};
-    std::atomic<uint64_t> execution_nanos{0};
+  std::atomic<obs::TraceSink*> trace_sink_{nullptr};
+
+  /// Hot-path registry instruments, resolved once at construction (the
+  /// registry hands out stable pointers). Phase latencies live in
+  /// histograms; ServiceStats' *_millis sums are the histogram sums.
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_bypasses = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* full = nullptr;
+    obs::Gauge* max_queue_depth = nullptr;
+    obs::Histogram* request_seconds = nullptr;
+    obs::Histogram* selection_seconds = nullptr;
+    obs::Histogram* integration_seconds = nullptr;
+    obs::Histogram* execution_seconds = nullptr;
   };
-  mutable AtomicStats counters_;
+  Instruments inst_;
 };
 
 }  // namespace qp

@@ -11,16 +11,33 @@ namespace qp {
 namespace storage {
 
 DurableProfileStore::DurableProfileStore(const Schema* schema,
-                                         size_t num_shards)
-    : store_(schema, num_shards) {}
+                                         size_t num_shards,
+                                         obs::MetricsRegistry* metrics)
+    : store_(schema, num_shards, metrics) {}
 
 DurableProfileStore::DurableProfileStore(const Schema* schema,
                                          size_t num_shards,
                                          StorageOptions options)
-    : store_(schema, num_shards),
+    : store_(schema, num_shards, options.metrics),
       options_(std::move(options)),
       fs_(options_.fs != nullptr ? options_.fs : DefaultFileSystem()),
-      dir_(options_.dir) {}
+      dir_(options_.dir) {
+  if (options_.metrics != nullptr) {
+    // Thread the registry into every WAL writer this store will create
+    // (Recover and each checkpoint rotation construct from options_.wal).
+    options_.wal.metrics = options_.metrics;
+    metric_mutation_failures_ =
+        options_.metrics->counter("qp_storage_mutation_failures_total");
+    metric_breaker_trips_ =
+        options_.metrics->counter("qp_storage_breaker_trips_total");
+    metric_checkpoints_ =
+        options_.metrics->counter("qp_storage_checkpoints_total");
+    metric_failed_checkpoints_ =
+        options_.metrics->counter("qp_storage_failed_checkpoints_total");
+    gauge_breaker_open_ =
+        options_.metrics->gauge("qp_storage_breaker_open");
+  }
+}
 
 Result<std::unique_ptr<DurableProfileStore>> DurableProfileStore::Open(
     const Schema* schema, StorageOptions options, size_t num_shards) {
@@ -35,6 +52,17 @@ Result<std::unique_ptr<DurableProfileStore>> DurableProfileStore::Open(
   uint64_t next_seqno = 1;
   QP_RETURN_IF_ERROR(store->Recover(&next_seqno));
   store->recovery_millis_ = timer.ElapsedMillis();
+  if (store->options_.metrics != nullptr) {
+    obs::MetricsRegistry* metrics = store->options_.metrics;
+    metrics->gauge("qp_storage_recovery_millis")
+        ->Set(store->recovery_millis_);
+    metrics->gauge("qp_storage_snapshot_users_loaded")
+        ->Set(static_cast<double>(store->snapshot_users_loaded_));
+    metrics->gauge("qp_storage_records_replayed")
+        ->Set(static_cast<double>(store->records_replayed_));
+    metrics->gauge("qp_storage_torn_bytes_truncated")
+        ->Set(static_cast<double>(store->torn_bytes_truncated_));
+  }
   if (store->options_.background_compaction &&
       store->options_.compact_threshold_bytes > 0) {
     store->compaction_running_.store(true, std::memory_order_release);
@@ -191,18 +219,26 @@ Status DurableProfileStore::LogMutation(const std::string& payload) {
     return status;
   }
   mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_mutation_failures_ != nullptr) {
+    metric_mutation_failures_->Add(1);
+  }
   const uint64_t failures =
       consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (options_.breaker_threshold > 0 &&
       failures >= static_cast<uint64_t>(options_.breaker_threshold) &&
       !breaker_open_.exchange(true, std::memory_order_acq_rel)) {
     breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_breaker_trips_ != nullptr) {
+      metric_breaker_trips_->Add(1);
+      gauge_breaker_open_->Set(1.0);
+    }
   }
   return status;
 }
 
 Status DurableProfileStore::Put(const std::string& user_id,
-                                UserProfile profile) {
+                                UserProfile profile,
+                                obs::RequestTrace* trace) {
   if (!durable()) return store_.Put(user_id, std::move(profile));
   QP_RETURN_IF_ERROR(CheckWritable());
   // Validate before logging — the WAL must never contain a mutation
@@ -213,7 +249,11 @@ Status DurableProfileStore::Put(const std::string& user_id,
   EncodeMutation(mutation, &payload);
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
-  QP_RETURN_IF_ERROR(LogMutation(payload));
+  {
+    obs::ScopedSpan span(trace, "wal_append");
+    span.Counter("bytes", payload.size());
+    QP_RETURN_IF_ERROR(LogMutation(payload));
+  }
   Status status = store_.Put(user_id, std::move(mutation.profile));
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
@@ -225,7 +265,8 @@ Status DurableProfileStore::Put(const std::string& user_id,
 
 Status DurableProfileStore::Upsert(
     const std::string& user_id,
-    const std::vector<AtomicPreference>& preferences) {
+    const std::vector<AtomicPreference>& preferences,
+    obs::RequestTrace* trace) {
   if (!durable()) return store_.Upsert(user_id, preferences);
   QP_RETURN_IF_ERROR(CheckWritable());
 
@@ -243,7 +284,11 @@ Status DurableProfileStore::Upsert(
 
   std::string payload;
   EncodeMutation(ProfileMutation::Upsert(user_id, preferences), &payload);
-  QP_RETURN_IF_ERROR(LogMutation(payload));
+  {
+    obs::ScopedSpan span(trace, "wal_append");
+    span.Counter("bytes", payload.size());
+    QP_RETURN_IF_ERROR(LogMutation(payload));
+  }
   Status status = store_.Put(user_id, std::move(merged));
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
@@ -253,7 +298,8 @@ Status DurableProfileStore::Upsert(
   return Status::Ok();
 }
 
-Status DurableProfileStore::Remove(const std::string& user_id) {
+Status DurableProfileStore::Remove(const std::string& user_id,
+                                   obs::RequestTrace* trace) {
   if (!durable()) return store_.Remove(user_id);
   QP_RETURN_IF_ERROR(CheckWritable());
 
@@ -263,7 +309,11 @@ Status DurableProfileStore::Remove(const std::string& user_id) {
   }
   std::string payload;
   EncodeMutation(ProfileMutation::Remove(user_id), &payload);
-  QP_RETURN_IF_ERROR(LogMutation(payload));
+  {
+    obs::ScopedSpan span(trace, "wal_append");
+    span.Counter("bytes", payload.size());
+    QP_RETURN_IF_ERROR(LogMutation(payload));
+  }
   Status status = store_.Remove(user_id);
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
@@ -291,6 +341,9 @@ Status DurableProfileStore::Checkpoint() {
     compact_backoff_bytes_.store(0, std::memory_order_release);
   } else {
     ++failed_checkpoints_;
+    if (metric_failed_checkpoints_ != nullptr) {
+      metric_failed_checkpoints_->Add(1);
+    }
     last_checkpoint_error_ = status.message();
     compact_backoff_bytes_.store(
         segment_base_bytes_ + wal_->stats().bytes_appended +
@@ -343,6 +396,7 @@ Status DurableProfileStore::CheckpointLocked() {
                                      options_.wal);
   segment_base_bytes_ = 0;
   ++checkpoints_;
+  if (metric_checkpoints_ != nullptr) metric_checkpoints_->Add(1);
 
   if (!old.snapshot_file.empty()) {
     fs_->RemoveFile(JoinPath(dir_, old.snapshot_file));  // Best effort.

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "qp/obs/trace.h"
 #include "qp/service/profile_store.h"
 #include "qp/storage/record.h"
 #include "qp/storage/snapshot.h"
@@ -48,6 +49,11 @@ struct StorageOptions {
   /// Filesystem to operate on; nullptr = the process-wide POSIX one.
   /// Tests pass a FaultInjectingFileSystem here.
   FileSystem* fs = nullptr;
+  /// When set, storage event counters (qp_storage_*) and the WAL's own
+  /// instruments (qp_wal_*, threaded through WalOptions::metrics) are
+  /// published here; recovery outcome gauges are set once at Open. Not
+  /// owned; must outlive the store.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Storage-side counters, surfaced through ServiceStats::storage.
@@ -106,8 +112,12 @@ struct StorageStats {
 /// fresh process with a fresh (empty) cache.
 class DurableProfileStore {
  public:
-  /// In-memory pass-through (no directory, nothing persisted).
-  DurableProfileStore(const Schema* schema, size_t num_shards = 16);
+  /// In-memory pass-through (no directory, nothing persisted). When
+  /// `metrics` is given the inner ProfileStore publishes its counters
+  /// there (the qp_storage_* / qp_wal_* families stay silent — there is
+  /// no log to account for).
+  DurableProfileStore(const Schema* schema, size_t num_shards = 16,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Opens (or initializes) the storage directory, recovering durable
   /// state: load the manifest's snapshot, replay the WAL tail, truncate
@@ -124,11 +134,16 @@ class DurableProfileStore {
 
   /// Mutators mirror ProfileStore but are logged before being applied.
   /// They validate against the schema *before* logging, so the WAL never
-  /// contains a mutation that cannot be replayed.
-  Status Put(const std::string& user_id, UserProfile profile);
+  /// contains a mutation that cannot be replayed. `trace`, when given,
+  /// receives a "wal_append" span covering the log write (group commit +
+  /// fsync included) — the durability cost of the mutation.
+  Status Put(const std::string& user_id, UserProfile profile,
+             obs::RequestTrace* trace = nullptr);
   Status Upsert(const std::string& user_id,
-                const std::vector<AtomicPreference>& preferences);
-  Status Remove(const std::string& user_id);
+                const std::vector<AtomicPreference>& preferences,
+                obs::RequestTrace* trace = nullptr);
+  Status Remove(const std::string& user_id,
+                obs::RequestTrace* trace = nullptr);
 
   /// Reads delegate to the in-memory store (same snapshot semantics).
   Result<ProfileSnapshot> Get(const std::string& user_id) const {
@@ -217,6 +232,13 @@ class DurableProfileStore {
   uint64_t snapshot_users_loaded_ = 0;
   uint64_t records_replayed_ = 0;
   uint64_t torn_bytes_truncated_ = 0;
+
+  /// Cached registry instruments (null when StorageOptions::metrics is).
+  obs::Counter* metric_mutation_failures_ = nullptr;
+  obs::Counter* metric_breaker_trips_ = nullptr;
+  obs::Counter* metric_checkpoints_ = nullptr;
+  obs::Counter* metric_failed_checkpoints_ = nullptr;
+  obs::Gauge* gauge_breaker_open_ = nullptr;
 
   std::mutex compact_mutex_;
   std::condition_variable compact_cv_;

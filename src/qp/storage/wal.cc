@@ -52,7 +52,18 @@ WalWriter::WalWriter(std::unique_ptr<WritableFile> file, uint64_t first_seqno,
       next_seqno_(first_seqno),
       synced_seqno_(first_seqno - 1),
       pending_max_seqno_(first_seqno - 1),
-      last_sync_time_(std::chrono::steady_clock::now()) {}
+      last_sync_time_(std::chrono::steady_clock::now()) {
+  if (options_.metrics != nullptr) {
+    metric_records_ =
+        options_.metrics->counter("qp_wal_records_appended_total");
+    metric_bytes_ = options_.metrics->counter("qp_wal_bytes_appended_total");
+    metric_fsyncs_ = options_.metrics->counter("qp_wal_fsyncs_total");
+    metric_sync_retries_ =
+        options_.metrics->counter("qp_wal_sync_retries_total");
+    metric_sync_seconds_ =
+        options_.metrics->histogram("qp_wal_sync_seconds");
+  }
+}
 
 WalWriter::~WalWriter() { Close(); }
 
@@ -74,6 +85,10 @@ Status WalWriter::AppendLocked(std::string_view payload,
   pending_max_seqno_ = s;
   stats_.records_appended += 1;
   stats_.bytes_appended += pending_.size() - size_before;
+  if (metric_records_ != nullptr) {
+    metric_records_->Add(1);
+    metric_bytes_->Add(pending_.size() - size_before);
+  }
   if (seqno != nullptr) *seqno = s;
 
   if (options_.fsync != FsyncPolicy::kEveryRecord) {
@@ -108,13 +123,25 @@ Status WalWriter::AppendLocked(std::string_view payload,
       lock->unlock();
       Status status = file_->Append(batch);
       uint64_t retries = 0;
+      const auto sync_start = std::chrono::steady_clock::now();
       if (status.ok()) status = SyncWithRetries(&retries);
+      const double sync_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sync_start)
+              .count();
       lock->lock();
       flushing_ = false;
       stats_.sync_retries += retries;
+      if (metric_sync_retries_ != nullptr && retries > 0) {
+        metric_sync_retries_->Add(retries);
+      }
       if (status.ok()) {
         synced_seqno_ = std::max(synced_seqno_, batch_max);
         stats_.fsyncs += 1;
+        if (metric_fsyncs_ != nullptr) {
+          metric_fsyncs_->Add(1);
+          metric_sync_seconds_->Record(sync_seconds);
+        }
       } else {
         error_ = status;
       }
@@ -146,14 +173,26 @@ Status WalWriter::SyncLocked(std::unique_lock<std::mutex>* lock) {
   Status status;
   if (!batch.empty()) status = file_->Append(batch);
   uint64_t retries = 0;
+  const auto sync_start = std::chrono::steady_clock::now();
   if (status.ok()) status = SyncWithRetries(&retries);
+  const double sync_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sync_start)
+          .count();
   lock->lock();
   flushing_ = false;
   stats_.sync_retries += retries;
+  if (metric_sync_retries_ != nullptr && retries > 0) {
+    metric_sync_retries_->Add(retries);
+  }
   if (status.ok()) {
     synced_seqno_ = std::max(synced_seqno_, target);
     last_sync_time_ = std::chrono::steady_clock::now();
     stats_.fsyncs += 1;
+    if (metric_fsyncs_ != nullptr) {
+      metric_fsyncs_->Add(1);
+      metric_sync_seconds_->Record(sync_seconds);
+    }
   } else {
     error_ = status;
   }

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "qp/obs/metrics.h"
 #include "qp/util/file.h"
 #include "qp/util/status.h"
 
@@ -46,9 +47,18 @@ struct WalOptions {
   /// the first error, the historical behavior.
   int max_sync_retries = 0;
   std::chrono::milliseconds retry_backoff{1};
+  /// When set, the writer mirrors its stats into qp_wal_* counters and
+  /// records per-fsync latency (including retry backoff) into the
+  /// qp_wal_sync_seconds histogram. Instruments are looked up once at
+  /// construction. Not owned; must outlive the writer.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Counters a writer accumulates over its lifetime.
+/// Counters a writer accumulates over its lifetime. When
+/// WalOptions::metrics is set these are also mirrored, increment for
+/// increment, into the registry (qp_wal_*); the struct remains the
+/// canonical per-writer view because registry counters aggregate across
+/// writer generations (segment rotations).
 struct WalWriterStats {
   uint64_t records_appended = 0;
   uint64_t bytes_appended = 0;
@@ -121,6 +131,11 @@ class WalWriter {
   Status error_;  // Sticky first failure.
   std::chrono::steady_clock::time_point last_sync_time_;
   WalWriterStats stats_;
+  obs::Counter* metric_records_ = nullptr;
+  obs::Counter* metric_bytes_ = nullptr;
+  obs::Counter* metric_fsyncs_ = nullptr;
+  obs::Counter* metric_sync_retries_ = nullptr;
+  obs::Histogram* metric_sync_seconds_ = nullptr;
 };
 
 /// One decoded record.

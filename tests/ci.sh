@@ -2,14 +2,17 @@
 # The full CI gate, in the order a reviewer wants failures reported:
 #
 #   1. regular build + the whole ctest suite (tier-1: must stay green);
-#   2. the durability/crash-recovery and request-lifecycle suites under
-#      ThreadSanitizer and AddressSanitizer+UBSan via
+#   2. the durability/crash-recovery, request-lifecycle and observability
+#      suites under ThreadSanitizer and AddressSanitizer+UBSan via
 #      tests/run_sanitized.sh — the randomized crash-recovery property
-#      suite (>= 500 trials) and the overload/admission tests are only
-#      trusted once they have passed under both;
-#   3. an overload-shedding benchmark snapshot in machine-readable JSON
-#      (build/overload_shedding.json), so a regression in shed/degrade
-#      behaviour shows up as an artifact diff.
+#      suite (>= 500 trials), the overload/admission tests and the
+#      metrics/trace accounting tests are only trusted once they have
+#      passed under both;
+#   3. benchmark snapshots in machine-readable JSON via $QP_BENCH_JSON
+#      (build/bench_report.json: one BenchReport object per line —
+#      overload disposition fractions and service-throughput latency
+#      percentiles), so a regression in shed/degrade behaviour or the
+#      perf trajectory shows up as an artifact diff.
 #
 # Usage:
 #   tests/ci.sh            # everything
@@ -21,11 +24,14 @@ cd "$(dirname "$0")/.."
 ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-# Suites that must also pass sanitized: the storage/durability layer plus
-# the request-lifecycle (deadline / cancellation / admission) suites.
+# Suites that must also pass sanitized: the storage/durability layer, the
+# request-lifecycle (deadline / cancellation / admission) suites, and the
+# observability suites (sharded counters, trace delivery, the stats
+# accounting identity under concurrent readers).
 # Keep in sync with tests/CMakeLists.txt.
 STORAGE_FILTER='crc32c|wal_test|record_fuzz|snapshot_test|durable_store|crash_recovery|profile_store|thread_pool|service_batch'
 LIFECYCLE_FILTER='deadline_test|selection_deadline|executor_cancel|service_lifecycle|storage_retry'
+OBS_FILTER='obs_metrics|obs_trace|service_trace|executor_stats_attribution|service_stats_identity'
 
 echo "==== [ci] regular build ===="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -39,14 +45,20 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "==== [ci] sanitized storage + lifecycle suites ===="
-tests/run_sanitized.sh all -R "$STORAGE_FILTER|$LIFECYCLE_FILTER"
+echo "==== [ci] sanitized storage + lifecycle + obs suites ===="
+tests/run_sanitized.sh all -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER"
 
-echo "==== [ci] overload shedding benchmark (JSON) ===="
-"$ROOT/build/bench/overload_shedding" \
-  --benchmark_format=json \
-  --benchmark_min_time=0.05 \
-  > "$ROOT/build/overload_shedding.json"
-echo "wrote $ROOT/build/overload_shedding.json"
+echo "==== [ci] benchmark snapshots (JSON) ===="
+REPORT="$ROOT/build/bench_report.json"
+rm -f "$REPORT"
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/overload_shedding" \
+  --benchmark_min_time=0.05 >/dev/null
+# Throughput + per-phase latency percentiles for one representative
+# config; the full sweep is a manual run.
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/service_throughput" \
+  --benchmark_filter='PersonalizeBatch/workers:2|TraceNullSinkOverhead' \
+  --benchmark_min_time=0.05 >/dev/null
+echo "wrote $REPORT:"
+cat "$REPORT"
 
 echo "==== [ci] PASS ===="

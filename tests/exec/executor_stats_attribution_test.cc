@@ -1,0 +1,146 @@
+// Regression tests for ExecutorStats attribution: `disjuncts` must
+// count one unit per conjunctive block *per part*, independent of which
+// shared-core strategy (naive recursion, drive, merge) ran the part, and
+// repeated / recursive executions must accumulate linearly — the
+// shared-core residue paths once under-counted by attributing drive and
+// merge residues to the core instead of their parts. The qp_exec_*
+// registry mirrors and the "execution" trace span must report the same
+// deltas as the caller's stats struct.
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/obs/metrics.h"
+#include "qp/obs/trace.h"
+
+namespace qp {
+namespace {
+
+PersonalizationOutcome PaperOutcome() {
+  Schema schema = MovieSchema();
+  auto graph = PersonalizationGraph::Build(&schema, JulieProfile());
+  EXPECT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(3);
+  options.integration.min_satisfied = 2;
+  auto outcome = personalizer.Personalize(TonightQuery(), options);
+  EXPECT_TRUE(outcome.ok());
+  return std::move(outcome).value();
+}
+
+TEST(ExecutorStatsAttributionTest, DisjunctCountIsStrategyIndependent) {
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  PersonalizationOutcome outcome = PaperOutcome();
+  ASSERT_TRUE(outcome.mq.has_value());
+  const size_t parts = outcome.mq->parts().size();
+  ASSERT_GT(parts, 1u);
+
+  Executor with(&*db);
+  Executor without(&*db);
+  without.set_shared_core(false);
+
+  ExecutorStats with_stats;
+  ExecutorStats without_stats;
+  ASSERT_TRUE(with.Execute(*outcome.mq, &with_stats).ok());
+  ASSERT_TRUE(without.Execute(*outcome.mq, &without_stats).ok());
+
+  // Every part is one conjunctive block. Without the shared core each
+  // part runs from scratch: exactly one disjunct per part.
+  EXPECT_EQ(without_stats.disjuncts, parts);
+  // With the shared core, drive/merge residues still count one disjunct
+  // for their part (the regression: they used to be silent), and the
+  // core materialization adds exactly one more when any part reused it.
+  ASSERT_GE(with_stats.core_reuses, 1u);
+  EXPECT_EQ(with_stats.disjuncts, parts + 1);
+}
+
+TEST(ExecutorStatsAttributionTest, SinglePartCompoundCountsOneDisjunct) {
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  CompoundQuery compound;
+  SelectQuery part = TonightQuery();
+  part.set_distinct(true);
+  compound.AddPart(std::move(part), 0.9);
+
+  Executor executor(&*db);
+  ExecutorStats stats;
+  ASSERT_TRUE(executor.Execute(compound, &stats).ok());
+  EXPECT_EQ(stats.core_reuses, 0u);
+  EXPECT_EQ(stats.disjuncts, 1u);
+}
+
+TEST(ExecutorStatsAttributionTest, RepeatedExecutionAccumulatesLinearly) {
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  PersonalizationOutcome outcome = PaperOutcome();
+  ASSERT_TRUE(outcome.mq.has_value());
+
+  Executor executor(&*db);
+  ExecutorStats once;
+  ASSERT_TRUE(executor.Execute(*outcome.mq, &once).ok());
+  ASSERT_GT(once.disjuncts, 0u);
+  ASSERT_GT(once.bindings, 0u);
+
+  // A second run into the same struct must add exactly the same deltas —
+  // no double-counting between the public wrapper and the recursive
+  // frames it delegates to.
+  ExecutorStats twice = once;
+  ASSERT_TRUE(executor.Execute(*outcome.mq, &twice).ok());
+  EXPECT_EQ(twice.disjuncts, 2 * once.disjuncts);
+  EXPECT_EQ(twice.bindings, 2 * once.bindings);
+  EXPECT_EQ(twice.raw_rows, 2 * once.raw_rows);
+  EXPECT_EQ(twice.core_reuses, 2 * once.core_reuses);
+}
+
+TEST(ExecutorStatsAttributionTest, RegistryAndTraceMirrorStatsDeltas) {
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  PersonalizationOutcome outcome = PaperOutcome();
+  ASSERT_TRUE(outcome.mq.has_value());
+
+  obs::MetricsRegistry registry;
+  obs::RequestTrace trace;
+  Executor executor(&*db);
+  executor.BindMetrics(&registry);
+  executor.set_trace(&trace);
+
+  ExecutorStats stats;
+  ASSERT_TRUE(executor.Execute(*outcome.mq, &stats).ok());
+
+  EXPECT_EQ(registry.counter("qp_exec_disjuncts_total")->Value(),
+            stats.disjuncts);
+  EXPECT_EQ(registry.counter("qp_exec_bindings_total")->Value(),
+            stats.bindings);
+  EXPECT_EQ(registry.counter("qp_exec_raw_rows_total")->Value(),
+            stats.raw_rows);
+  EXPECT_EQ(registry.counter("qp_exec_core_reuses_total")->Value(),
+            stats.core_reuses);
+
+  if (obs::kTracingCompiledIn) {
+    const obs::TraceSpan* span = trace.FindSpan("execution");
+    ASSERT_NE(span, nullptr);
+    EXPECT_EQ(span->counter("disjuncts"), stats.disjuncts);
+    EXPECT_EQ(span->counter("bindings"), stats.bindings);
+    EXPECT_EQ(span->counter("core_reuses"), stats.core_reuses);
+    // One "part" child span per MQ part.
+    size_t part_spans = 0;
+    for (const obs::TraceSpan& s : trace.spans()) {
+      if (s.name == "part") ++part_spans;
+    }
+    EXPECT_EQ(part_spans, outcome.mq->parts().size());
+  }
+
+  // Mirrors accumulate across executions just like the struct does.
+  ExecutorStats again;
+  executor.set_trace(nullptr);
+  ASSERT_TRUE(executor.Execute(*outcome.mq, &again).ok());
+  EXPECT_EQ(registry.counter("qp_exec_disjuncts_total")->Value(),
+            stats.disjuncts + again.disjuncts);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,264 @@
+#include "qp/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs_test_parsers.h"
+
+namespace qp {
+namespace obs {
+namespace {
+
+using ::qp::testing_util::JsonParser;
+using ::qp::testing_util::JsonValue;
+using ::qp::testing_util::ParsePrometheusText;
+using ::qp::testing_util::PrometheusMetrics;
+
+TEST(CounterTest, AddAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetSetMaxAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.Value(), 3.5);
+  gauge.SetMax(2.0);  // Below current: no-op.
+  EXPECT_EQ(gauge.Value(), 3.5);
+  gauge.SetMax(7.0);
+  EXPECT_EQ(gauge.Value(), 7.0);
+  gauge.Add(-2.5);
+  EXPECT_EQ(gauge.Value(), 4.5);
+}
+
+TEST(GaugeTest, ConcurrentSetMaxKeepsMaximum) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 5000; ++i) {
+        gauge.SetMax(static_cast<double>(t * 10000 + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gauge.Value(), (kThreads - 1) * 10000 + 4999);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  // Bucket i covers (2^(min+i-1), 2^(min+i)]: the bound itself belongs
+  // to its own bucket, anything just above spills into the next.
+  for (int i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    double bound = Histogram::BucketBound(i);
+    EXPECT_EQ(Histogram::BucketFor(bound), i) << "bound " << bound;
+    EXPECT_EQ(Histogram::BucketFor(bound * 1.001), i + 1) << "bound " << bound;
+  }
+  // Out-of-range values clamp to the edge buckets instead of losing data.
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, SnapshotCountSumAndBuckets) {
+  Histogram histogram;
+  histogram.Record(0.001);
+  histogram.Record(0.001);
+  histogram.Record(0.1);
+  histogram.RecordMillis(100.0);  // Same as Record(0.1).
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_NEAR(snapshot.sum, 0.202, 1e-12);
+  uint64_t bucket_total = 0;
+  double last_bound = 0.0;
+  for (const auto& [bound, count] : snapshot.buckets) {
+    EXPECT_GT(bound, last_bound) << "bounds must be increasing";
+    EXPECT_GT(count, 0u) << "empty buckets must be omitted";
+    last_bound = bound;
+    bucket_total += count;
+  }
+  EXPECT_EQ(bucket_total, snapshot.count);
+}
+
+TEST(HistogramTest, PercentilesBracketObservations) {
+  Histogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.Record(0.010);
+  for (int i = 0; i < 10; ++i) histogram.Record(1.0);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // p50 lands in the 10ms bucket; log-scale interpolation error is
+  // bounded by one bucket width (2x).
+  EXPECT_GE(snapshot.p50(), 0.010 / 2);
+  EXPECT_LE(snapshot.p50(), 0.010 * 2);
+  // p99 lands in the 1s bucket.
+  EXPECT_GE(snapshot.p99(), 1.0 / 2);
+  EXPECT_LE(snapshot.p99(), 1.0 * 2);
+  // Percentiles are monotone in p.
+  EXPECT_LE(snapshot.p50(), snapshot.p95());
+  EXPECT_LE(snapshot.p95(), snapshot.p99());
+  // Empty histogram: all percentiles are 0.
+  EXPECT_EQ(HistogramSnapshot{}.Percentile(99), 0.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("qp_test_a_total");
+  Gauge* gauge = registry.gauge("qp_test_b");
+  Histogram* histogram = registry.histogram("qp_test_c_seconds");
+  // Re-registering more instruments must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("qp_test_extra_" + std::to_string(i) + "_total");
+  }
+  EXPECT_EQ(registry.counter("qp_test_a_total"), counter);
+  EXPECT_EQ(registry.gauge("qp_test_b"), gauge);
+  EXPECT_EQ(registry.histogram("qp_test_c_seconds"), histogram);
+  counter->Add(5);
+  EXPECT_EQ(registry.counter("qp_test_a_total")->Value(), 5u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUse) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.counter("qp_shared_total")->Add();
+        registry.histogram("qp_shared_seconds")->Record(0.001);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("qp_shared_total")->Value(), 8000u);
+  EXPECT_EQ(registry.histogram("qp_shared_seconds")->Snapshot().count, 8000u);
+}
+
+MetricsRegistry* PopulatedRegistry() {
+  auto* registry = new MetricsRegistry;
+  registry->counter("qp_test_requests_total")->Add(42);
+  registry->counter("qp_test_errors_total");  // Registered but zero.
+  registry->gauge("qp_test_queue_depth")->Set(3.5);
+  Histogram* histogram = registry->histogram("qp_test_latency_seconds");
+  histogram->Record(0.001);
+  histogram->Record(0.001);
+  histogram->Record(0.1);
+  return registry;
+}
+
+// Acceptance criterion: the JSON export round-trips through an
+// independent parser and reproduces every registered value.
+TEST(MetricsExportTest, JsonRoundTrip) {
+  std::unique_ptr<MetricsRegistry> registry(PopulatedRegistry());
+  std::string json = registry->Export(ExportFormat::kJson);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be single-line";
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* requests = counters->Find("qp_test_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->number, 42.0);
+  const JsonValue* errors = counters->Find("qp_test_errors_total");
+  ASSERT_NE(errors, nullptr) << "zero-valued counters must still export";
+  EXPECT_EQ(errors->number, 0.0);
+
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* depth = gauges->Find("qp_test_queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->number, 3.5);
+
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* latency = histograms->Find("qp_test_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  const JsonValue* count = latency->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 3.0);
+  const JsonValue* sum = latency->Find("sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_NEAR(sum->number, 0.102, 1e-9);
+  const JsonValue* p50 = latency->Find("p50");
+  ASSERT_NE(p50, nullptr);
+  EXPECT_GT(p50->number, 0.0);
+  const JsonValue* buckets = latency->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->kind, JsonValue::Kind::kArray);
+  double bucket_total = 0;
+  for (const JsonValue& bucket : buckets->array) {
+    ASSERT_EQ(bucket.array.size(), 2u);  // [le, count]
+    bucket_total += bucket.array[1].number;
+  }
+  EXPECT_EQ(bucket_total, 3.0);
+}
+
+// Acceptance criterion: the Prometheus text export round-trips through
+// an independent line parser — `# TYPE` declarations for every
+// instrument, exact counter/gauge values, and cumulative histogram
+// buckets consistent with `_count` and `_sum`.
+TEST(MetricsExportTest, PrometheusRoundTrip) {
+  std::unique_ptr<MetricsRegistry> registry(PopulatedRegistry());
+  std::string text = registry->Export(ExportFormat::kPrometheus);
+
+  PrometheusMetrics parsed;
+  ASSERT_TRUE(ParsePrometheusText(text, &parsed)) << text;
+
+  EXPECT_EQ(parsed.types["qp_test_requests_total"], "counter");
+  EXPECT_EQ(parsed.types["qp_test_queue_depth"], "gauge");
+  EXPECT_EQ(parsed.types["qp_test_latency_seconds"], "histogram");
+
+  EXPECT_EQ(parsed.samples["qp_test_requests_total"], 42.0);
+  EXPECT_EQ(parsed.samples["qp_test_errors_total"], 0.0);
+  EXPECT_EQ(parsed.samples["qp_test_queue_depth"], 3.5);
+  EXPECT_EQ(parsed.samples["qp_test_latency_seconds_count"], 3.0);
+  EXPECT_NEAR(parsed.samples["qp_test_latency_seconds_sum"], 0.102, 1e-9);
+
+  const auto& buckets = parsed.buckets["qp_test_latency_seconds_bucket"];
+  ASSERT_FALSE(buckets.empty());
+  // Cumulative bucket counts are non-decreasing in le order and the
+  // +Inf bucket equals _count.
+  std::vector<std::pair<double, double>> ordered;
+  double inf_count = -1;
+  for (const auto& [le, cumulative] : buckets) {
+    if (le == "+Inf") {
+      inf_count = cumulative;
+    } else {
+      ordered.emplace_back(std::strtod(le.c_str(), nullptr), cumulative);
+    }
+  }
+  EXPECT_EQ(inf_count, 3.0);
+  std::sort(ordered.begin(), ordered.end());
+  double last = 0;
+  for (const auto& [le, cumulative] : ordered) {
+    EXPECT_GE(cumulative, last) << "cumulative counts must not decrease";
+    last = cumulative;
+  }
+  EXPECT_EQ(last, 3.0) << "last finite bucket holds all observations";
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qp

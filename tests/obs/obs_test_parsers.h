@@ -1,0 +1,205 @@
+#ifndef QP_TESTS_OBS_OBS_TEST_PARSERS_H_
+#define QP_TESTS_OBS_OBS_TEST_PARSERS_H_
+
+// Minimal parsers for the two DumpMetrics export formats, used by the
+// round-trip tests: if these independent readers can reconstruct the
+// registry's values from the emitted text, real consumers (log
+// pipelines, Prometheus scrapers) can too. They accept exactly the
+// subset the emitters produce — not general JSON / exposition text.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qp {
+namespace testing_util {
+
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser over the single-line JSON our exporters
+/// emit. Returns false on any syntax it does not understand.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    return ParseValue(out) && (SkipSpace(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            int code = std::strtol(
+                std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16);
+            pos_ += 4;
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      out->kind = JsonValue::Kind::kObject;
+      ++pos_;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
+          return false;
+        }
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      out->kind = JsonValue::Kind::kArray;
+      ++pos_;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return ParseNumber(&out->number);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Parsed Prometheus text exposition: plain samples by name, histogram
+/// bucket samples by (name, le-label), and the `# TYPE` declarations.
+struct PrometheusMetrics {
+  std::map<std::string, double> samples;
+  std::map<std::string, std::map<std::string, double>> buckets;
+  std::map<std::string, std::string> types;
+};
+
+inline bool ParsePrometheusText(const std::string& text,
+                                PrometheusMetrics* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>"
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string rest = line.substr(7);
+        size_t space = rest.find(' ');
+        if (space == std::string::npos) return false;
+        (*out).types[rest.substr(0, space)] = rest.substr(space + 1);
+      }
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) return false;
+    std::string name = line.substr(0, space);
+    double value = std::strtod(line.c_str() + space + 1, nullptr);
+    size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+      (*out).samples[name] = value;
+      continue;
+    }
+    // Only histogram buckets carry labels: name_bucket{le="<bound>"}.
+    std::string base = name.substr(0, brace);
+    std::string labels = name.substr(brace);
+    const std::string prefix = "{le=\"";
+    if (labels.rfind(prefix, 0) != 0 || labels.size() < prefix.size() + 2 ||
+        labels.substr(labels.size() - 2) != "\"}") {
+      return false;
+    }
+    std::string le =
+        labels.substr(prefix.size(), labels.size() - prefix.size() - 2);
+    (*out).buckets[base][le] = value;
+  }
+  return true;
+}
+
+}  // namespace testing_util
+}  // namespace qp
+
+#endif  // QP_TESTS_OBS_OBS_TEST_PARSERS_H_
