@@ -29,6 +29,7 @@
 #include "qp/relational/csv.h"
 #include "qp/service/service.h"
 #include "qp/storage/durable_profile_store.h"
+#include "qp/util/fault_hub.h"
 #include "qp/util/string_util.h"
 
 namespace {
@@ -157,6 +158,10 @@ class Shell {
       RunRaw(arg);
     } else if (command == "learn") {
       Learn(arg);
+    } else if (command == "chaos") {
+      SetChaos(arg);
+    } else if (command == "health") {
+      PrintHealth();
     } else {
       std::printf("unknown command \\%s — try \\help\n", command.c_str());
     }
@@ -198,6 +203,12 @@ class Shell {
         "  \\trace on|off       capture per-request pipeline traces during\n"
         "                      \\batch\n"
         "  \\explain            span tree of the last traced request\n"
+        "robustness:\n"
+        "  \\chaos <seed>|off   arm a deterministic random fault schedule\n"
+        "                      over every fault site (same seed, same\n"
+        "                      faults) / disarm and clear it\n"
+        "  \\health             fault-site summary + breaker/scrubber/\n"
+        "                      quarantine state of the last batch\n"
         "  \\quit\n");
   }
 
@@ -510,6 +521,59 @@ class Shell {
   /// \stats: the overload/lifecycle breakdown of the most recent \batch —
   /// how many requests completed full vs degraded, were shed at admission
   /// or expired in the queue, plus the storage circuit-breaker state.
+  void SetChaos(const std::string& arg) {
+    if (arg == "off" || arg.empty()) {
+      FaultHub::Global()->Reset();
+      std::printf("chaos off — every fault site disarmed\n");
+      return;
+    }
+    const uint64_t seed =
+        static_cast<uint64_t>(std::strtoull(arg.c_str(), nullptr, 10));
+    FaultHub::Global()->ArmRandom(seed, FaultHub::KnownSites());
+    std::printf(
+        "chaos armed with seed %llu across %zu fault sites — the same\n"
+        "seed always yields the same fault schedule. \\chaos off to heal,\n"
+        "\\health to see what fired.\n",
+        static_cast<unsigned long long>(seed), FaultHub::KnownSites().size());
+  }
+
+  void PrintHealth() {
+    FaultHub* hub = FaultHub::Global();
+    if (hub->armed()) {
+      std::printf("chaos ARMED (seed %llu, %llu faults fired)\n",
+                  static_cast<unsigned long long>(hub->seed()),
+                  static_cast<unsigned long long>(hub->total_fires()));
+    } else {
+      std::printf("chaos off\n");
+    }
+    std::printf("%s", hub->Summary().c_str());
+    if (!have_stats_) {
+      std::printf("no batch has run yet — \\batch for service health\n");
+      return;
+    }
+    const storage::StorageStats& storage = last_stats_.storage;
+    std::printf(
+        "breaker: %s — %llu trips, %llu probes, %llu recoveries "
+        "(epoch %llu, next backoff %llums)\n",
+        storage.breaker_open ? "OPEN (store read-only until a probe heals it)"
+                             : "closed",
+        static_cast<unsigned long long>(storage.breaker_trips),
+        static_cast<unsigned long long>(storage.breaker_probes),
+        static_cast<unsigned long long>(storage.breaker_recoveries),
+        static_cast<unsigned long long>(storage.breaker_epoch),
+        static_cast<unsigned long long>(storage.breaker_backoff_ms));
+    std::printf(
+        "scrubber: %llu passes, %llu corruptions found, %llu repaired "
+        "(%llu failed), %llu profiles quarantined%s%s\n",
+        static_cast<unsigned long long>(storage.scrubs),
+        static_cast<unsigned long long>(storage.scrub_corruptions),
+        static_cast<unsigned long long>(storage.repairs),
+        static_cast<unsigned long long>(storage.repair_failures),
+        static_cast<unsigned long long>(storage.quarantined_profiles),
+        storage.last_scrub_error.empty() ? "" : "\n  last finding: ",
+        storage.last_scrub_error.c_str());
+  }
+
   void PrintStats() {
     if (!have_stats_) {
       std::printf("no batch has run yet — \\batch first\n");

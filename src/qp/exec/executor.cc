@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "qp/pref/doi.h"
+#include "qp/util/fault_hub.h"
 
 namespace qp {
 namespace {
@@ -73,6 +74,11 @@ size_t EstimateSlot(const VarSlot& slot, JoinStrategy strategy) {
 Result<BuiltConjunct> BuildConjunct(const Database& db,
                                     const std::vector<TupleVariable>& vars,
                                     const std::vector<AtomicCondition>& atoms) {
+  // Chaos site covering every disjunct drive (select, compound core and
+  // residues). Error mode surfaces as a per-response error; delay mode
+  // stalls the disjunct, which under a deadline becomes a truncated —
+  // still exact-prefix — result.
+  QP_RETURN_IF_ERROR(QP_FAULT_POINT("exec.disjunct"));
   BuiltConjunct built;
   for (const TupleVariable& var : vars) {
     QP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(var.table));

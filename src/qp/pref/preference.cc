@@ -53,6 +53,38 @@ std::string AtomicPreference::ToString() const {
   return "[ " + ConditionString() + ", " + FormatDouble(doi_) + " ]";
 }
 
+namespace {
+
+/// Literal rendering whose parse yields the identical Value: reals need
+/// the round-trip formatter (ToSqlLiteral's 6 significant digits would
+/// silently perturb a stored degree-of-interest or target).
+std::string ExactLiteral(const Value& value) {
+  if (value.type() == DataType::kDouble) {
+    return FormatDoubleRoundTrip(value.as_double());
+  }
+  return value.ToSqlLiteral();
+}
+
+}  // namespace
+
+std::string AtomicPreference::Serialize() const {
+  std::string condition;
+  switch (kind_) {
+    case Kind::kSelection:
+      condition = attribute_.ToString() + "=" + ExactLiteral(value_);
+      break;
+    case Kind::kNear:
+      condition = "near(" + attribute_.ToString() + ", " +
+                  ExactLiteral(value_) + ", " +
+                  FormatDoubleRoundTrip(width_) + ")";
+      break;
+    case Kind::kJoin:
+      condition = attribute_.ToString() + "=" + target_.ToString();
+      break;
+  }
+  return "[ " + condition + ", " + FormatDoubleRoundTrip(doi_) + " ]";
+}
+
 bool AtomicPreference::SameCondition(const AtomicPreference& other) const {
   if (kind_ != other.kind_) return false;
   if (!(attribute_ == other.attribute_)) return false;

@@ -66,6 +66,12 @@ class AtomicPreference {
   /// "[ GENRE.genre='comedy', 0.9 ]".
   std::string ToString() const;
 
+  /// Same grammar as ToString but with round-trip-exact numerics (doi,
+  /// width, real literals): what UserProfile::Serialize persists, so a
+  /// snapshot/parse cycle reproduces the preference bit for bit. For
+  /// short degrees like 0.9 the two renderings are identical.
+  std::string Serialize() const;
+
   /// True if both describe the same condition (degree ignored).
   bool SameCondition(const AtomicPreference& other) const;
 

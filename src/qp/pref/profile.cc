@@ -118,7 +118,7 @@ Status UserProfile::Validate(const Schema& schema) const {
 std::string UserProfile::Serialize() const {
   std::string out;
   for (const auto& p : preferences_) {
-    out += p.ToString();
+    out += p.Serialize();
     out += "\n";
   }
   return out;

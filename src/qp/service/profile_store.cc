@@ -126,6 +126,26 @@ Status ProfileStore::Remove(const std::string& user_id) {
   return Status::Ok();
 }
 
+void ProfileStore::InstallUnvalidatedForTest(const std::string& user_id,
+                                             UserProfile profile) {
+  auto new_profile = std::make_shared<const UserProfile>(std::move(profile));
+  Shard& shard = ShardFor(user_id);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  Entry& entry = shard.users[user_id];
+  entry.profile = std::move(new_profile);
+  if (entry.graph == nullptr) {
+    // A brand-new corrupt entry still needs *a* graph so readers do not
+    // dereference null; an empty one matches "graph out of sync with
+    // profile", which is exactly what the scrubber must detect.
+    auto empty = PersonalizationGraph::Build(schema_, UserProfile());
+    if (empty.ok()) {
+      entry.graph = std::make_shared<const PersonalizationGraph>(
+          std::move(empty).value());
+    }
+  }
+  entry.epoch = ++shard.next_epoch;
+}
+
 std::vector<std::pair<std::string, ProfileSnapshot>> ProfileStore::All()
     const {
   std::vector<std::pair<std::string, ProfileSnapshot>> out;

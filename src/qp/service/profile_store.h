@@ -75,6 +75,14 @@ class ProfileStore {
   size_t size() const;
   const Schema& schema() const { return *schema_; }
 
+  /// Chaos/test backdoor: installs `profile` for `user_id` *without*
+  /// validation and without rebuilding the personalization graph (the
+  /// previous graph, if any, is kept) — the in-memory signature of a
+  /// corrupted entry. The epoch still bumps, so caches notice. Only the
+  /// integrity scrubber's tests and the chaos harness should call this.
+  void InstallUnvalidatedForTest(const std::string& user_id,
+                                 UserProfile profile);
+
  private:
   struct Entry {
     std::shared_ptr<const UserProfile> profile;

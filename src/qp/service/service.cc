@@ -7,6 +7,7 @@
 
 #include "qp/core/query_signature.h"
 #include "qp/core/selection.h"
+#include "qp/util/fault_hub.h"
 #include "qp/util/timer.h"
 
 namespace qp {
@@ -134,6 +135,10 @@ PersonalizationService::OpenDurable(const Database* db,
 }
 
 bool PersonalizationService::TryAdmit() {
+  // Chaos site: an injected admission refusal takes the existing shed
+  // path — the future still resolves, the accounting identity still
+  // holds. Delay mode models a slow admission check instead.
+  if (!QP_FAULT_POINT("service.admit").ok()) return false;
   if (!TryReserve(&inflight_, options_.max_inflight)) return false;
   if (!TryReserve(&queued_, options_.max_queue_depth)) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
@@ -248,6 +253,33 @@ PersonalizationResponse PersonalizationService::RunPipeline(
     response.status = snapshot.status();
     return response;
   }
+  // A profile the integrity scrubber quarantined is served degraded: the
+  // raw query runs unpersonalized (an exact, if unranked, answer) rather
+  // than personalizing from state known to violate its invariants. The
+  // scrubber's repair path lifts the quarantine once the profile is
+  // rebuilt from the last good snapshot + WAL replay.
+  if (store_->IsQuarantined(request.user_id)) {
+    obs::ScopedSpan quarantine_span(trace, "quarantined_bypass");
+    response.outcome.sq = request.query;
+    if (request.execute) {
+      WallTimer exec_timer;
+      Executor executor(db_);
+      executor.set_cancel_token(cancel);
+      executor.set_trace(trace);
+      executor.BindMetrics(metrics_);
+      auto result = executor.Execute(request.query);
+      if (!result.ok()) {
+        response.status = result.status();
+        return response;
+      }
+      response.results = std::move(result).value();
+      if (options.top_n > 0) response.results.Truncate(options.top_n);
+      response.execution_millis = exec_timer.ElapsedMillis();
+      inst_.execution_seconds->RecordMillis(response.execution_millis);
+    }
+    response.disposition = RequestDisposition::kDegraded;
+    return response;
+  }
   const PersonalizationGraph& graph = *snapshot->graph;
   PreferenceSelector selector(&graph);
 
@@ -256,8 +288,18 @@ PersonalizationResponse PersonalizationService::RunPipeline(
   // key (it is an opaque callback), so such requests bypass the cache.
   WallTimer timer;
   std::vector<PreferencePath> selected;
-  const bool cacheable =
+  bool cacheable =
       cache_enabled_ && options.semantic_filter == nullptr;
+  // Chaos site: a faulted cache lookup degrades to a bypass — the
+  // request recomputes its selection (correct, just slower) rather than
+  // failing or serving a stale entry.
+  if (cacheable) {
+    FaultAction cache_fault = QP_FAULT_ACTION("cache.lookup");
+    cache_fault.Sleep();
+    if (cache_fault.fire && cache_fault.mode != FaultMode::kDelay) {
+      cacheable = false;
+    }
+  }
   if (cacheable) {
     std::string key = SelectionCache::MakeKey(
         request.user_id, snapshot->epoch, CanonicalQueryKey(request.query),
@@ -491,6 +533,8 @@ std::string PersonalizationService::DumpMetrics(
         ->Set(static_cast<double>(storage.wal_segment_bytes));
     metrics_->gauge("qp_storage_breaker_open")
         ->Set(storage.breaker_open ? 1.0 : 0.0);
+    metrics_->gauge("qp_storage_quarantined_profiles")
+        ->Set(static_cast<double>(storage.quarantined_profiles));
   }
   return metrics_->Export(format);
 }

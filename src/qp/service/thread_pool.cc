@@ -1,5 +1,7 @@
 #include "qp/service/thread_pool.h"
 
+#include "qp/util/fault_hub.h"
+
 namespace qp {
 namespace {
 
@@ -57,6 +59,10 @@ void ThreadPool::Shutdown(DrainMode mode) {
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  // Chaos site: a refused submission. Callers already handle `false`
+  // (the service sheds the request), so an injected refusal exercises
+  // exactly the shutdown-race path.
+  if (!QP_FAULT_POINT("pool.submit").ok()) return false;
   size_t target;
   if (current_worker.pool == this) {
     target = current_worker.index;

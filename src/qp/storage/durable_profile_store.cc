@@ -1,6 +1,7 @@
 #include "qp/storage/durable_profile_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "qp/storage/record.h"
@@ -9,6 +10,14 @@
 
 namespace qp {
 namespace storage {
+
+namespace {
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 DurableProfileStore::DurableProfileStore(const Schema* schema,
                                          size_t num_shards,
@@ -22,6 +31,8 @@ DurableProfileStore::DurableProfileStore(const Schema* schema,
       options_(std::move(options)),
       fs_(options_.fs != nullptr ? options_.fs : DefaultFileSystem()),
       dir_(options_.dir) {
+  breaker_backoff_ms_.store(options_.breaker_backoff.count(),
+                            std::memory_order_relaxed);
   if (options_.metrics != nullptr) {
     // Thread the registry into every WAL writer this store will create
     // (Recover and each checkpoint rotation construct from options_.wal).
@@ -30,12 +41,24 @@ DurableProfileStore::DurableProfileStore(const Schema* schema,
         options_.metrics->counter("qp_storage_mutation_failures_total");
     metric_breaker_trips_ =
         options_.metrics->counter("qp_storage_breaker_trips_total");
+    metric_breaker_probes_ =
+        options_.metrics->counter("qp_storage_breaker_probes_total");
+    metric_breaker_recoveries_ =
+        options_.metrics->counter("qp_storage_breaker_recoveries_total");
     metric_checkpoints_ =
         options_.metrics->counter("qp_storage_checkpoints_total");
     metric_failed_checkpoints_ =
         options_.metrics->counter("qp_storage_failed_checkpoints_total");
+    metric_scrubs_ = options_.metrics->counter("qp_storage_scrubs_total");
+    metric_scrub_corruptions_ =
+        options_.metrics->counter("qp_storage_scrub_corruptions_total");
+    metric_repairs_ = options_.metrics->counter("qp_storage_repairs_total");
+    metric_repair_failures_ =
+        options_.metrics->counter("qp_storage_repair_failures_total");
     gauge_breaker_open_ =
         options_.metrics->gauge("qp_storage_breaker_open");
+    gauge_quarantined_ =
+        options_.metrics->gauge("qp_storage_quarantined_profiles");
   }
 }
 
@@ -67,6 +90,10 @@ Result<std::unique_ptr<DurableProfileStore>> DurableProfileStore::Open(
       store->options_.compact_threshold_bytes > 0) {
     store->compaction_running_.store(true, std::memory_order_release);
     store->compactor_ = std::thread([s = store.get()] { s->CompactionLoop(); });
+  }
+  if (store->options_.scrub_interval.count() > 0) {
+    store->scrubber_running_.store(true, std::memory_order_release);
+    store->scrubber_ = std::thread([s = store.get()] { s->ScrubLoop(); });
   }
   return store;
 }
@@ -203,13 +230,98 @@ size_t DurableProfileStore::StripeFor(const std::string& user_id) const {
   return std::hash<std::string>{}(user_id) % kNumStripes;
 }
 
-Status DurableProfileStore::CheckWritable() const {
-  if (breaker_open_.load(std::memory_order_acquire)) {
-    return Status::Unavailable(
-        "storage circuit breaker open after repeated WAL failures; "
-        "store is read-only");
+Status DurableProfileStore::AdmitMutation() {
+  const int state = breaker_state_.load(std::memory_order_acquire);
+  if (state == kClosed) return Status::Ok();
+  if (state == kOpen && options_.breaker_backoff.count() > 0) {
+    const int64_t opened_ns = breaker_opened_ns_.load(std::memory_order_acquire);
+    const int64_t backoff_ms =
+        breaker_backoff_ms_.load(std::memory_order_acquire);
+    if (SteadyNowNs() - opened_ns >= backoff_ms * 1000000) {
+      int expected = kOpen;
+      if (breaker_state_.compare_exchange_strong(expected, kHalfOpen,
+                                                 std::memory_order_acq_rel)) {
+        // This mutation won the half-open race and carries the probe: a
+        // recovery checkpoint that re-tests the disk end to end. On
+        // success the breaker is closed and the mutation proceeds
+        // normally (onto the fresh WAL generation); on failure the
+        // breaker re-opened with a doubled backoff inside ProbeRecover.
+        Status probe = ProbeRecover();
+        if (probe.ok()) return Status::Ok();
+        return Status::Unavailable("storage breaker probe failed: " +
+                                   probe.message());
+      }
+    }
   }
-  return Status::Ok();
+  return Status::Unavailable(
+      "storage circuit breaker open after repeated WAL failures; "
+      "store is read-only");
+}
+
+void DurableProfileStore::OpenBreaker(BreakerState from) {
+  int expected = from;
+  if (!breaker_state_.compare_exchange_strong(expected, kOpen,
+                                              std::memory_order_acq_rel)) {
+    return;
+  }
+  if (from == kHalfOpen) {
+    // A failed probe: the disk is still sick, wait longer before the
+    // next one (exponential, capped).
+    const int64_t current = breaker_backoff_ms_.load(std::memory_order_relaxed);
+    breaker_backoff_ms_.store(
+        std::min<int64_t>(std::max<int64_t>(current, 1) * 2,
+                          options_.breaker_backoff_max.count()),
+        std::memory_order_relaxed);
+  } else {
+    breaker_backoff_ms_.store(options_.breaker_backoff.count(),
+                              std::memory_order_relaxed);
+  }
+  breaker_opened_ns_.store(SteadyNowNs(), std::memory_order_release);
+  breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_breaker_trips_ != nullptr) {
+    metric_breaker_trips_->Add(1);
+    gauge_breaker_open_->Set(1.0);
+  }
+}
+
+Status DurableProfileStore::ProbeRecover() {
+  breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_breaker_probes_ != nullptr) metric_breaker_probes_->Add(1);
+  // The probe is a checkpoint: exclusive cut under every stripe, exactly
+  // like Checkpoint(). The caller holds no stripe yet (AdmitMutation
+  // runs before the mutation takes one), so the ordering is safe.
+  std::array<std::unique_lock<std::mutex>, kNumStripes> locks;
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(stripes_[i]);
+  }
+  std::lock_guard<std::mutex> meta(meta_mutex_);
+  if (closed_) {
+    OpenBreaker(kHalfOpen);
+    return Status::FailedPrecondition("store is closed");
+  }
+  Status status = CheckpointLocked(/*for_recovery=*/true);
+  if (status.ok()) {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    last_checkpoint_error_.clear();
+    compact_backoff_bytes_.store(0, std::memory_order_release);
+    breaker_backoff_ms_.store(options_.breaker_backoff.count(),
+                              std::memory_order_relaxed);
+    breaker_epoch_.fetch_add(1, std::memory_order_relaxed);
+    breaker_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_breaker_recoveries_ != nullptr) {
+      metric_breaker_recoveries_->Add(1);
+      gauge_breaker_open_->Set(0.0);
+    }
+    breaker_state_.store(kClosed, std::memory_order_release);
+  } else {
+    ++failed_checkpoints_;
+    if (metric_failed_checkpoints_ != nullptr) {
+      metric_failed_checkpoints_->Add(1);
+    }
+    last_checkpoint_error_ = status.message();
+    OpenBreaker(kHalfOpen);
+  }
+  return status;
 }
 
 Status DurableProfileStore::LogMutation(const std::string& payload) {
@@ -225,13 +337,8 @@ Status DurableProfileStore::LogMutation(const std::string& payload) {
   const uint64_t failures =
       consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (options_.breaker_threshold > 0 &&
-      failures >= static_cast<uint64_t>(options_.breaker_threshold) &&
-      !breaker_open_.exchange(true, std::memory_order_acq_rel)) {
-    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
-    if (metric_breaker_trips_ != nullptr) {
-      metric_breaker_trips_->Add(1);
-      gauge_breaker_open_->Set(1.0);
-    }
+      failures >= static_cast<uint64_t>(options_.breaker_threshold)) {
+    OpenBreaker(kClosed);
   }
   return status;
 }
@@ -240,7 +347,7 @@ Status DurableProfileStore::Put(const std::string& user_id,
                                 UserProfile profile,
                                 obs::RequestTrace* trace) {
   if (!durable()) return store_.Put(user_id, std::move(profile));
-  QP_RETURN_IF_ERROR(CheckWritable());
+  QP_RETURN_IF_ERROR(AdmitMutation());
   // Validate before logging — the WAL must never contain a mutation
   // whose replay would fail.
   QP_RETURN_IF_ERROR(profile.Validate(store_.schema()));
@@ -268,7 +375,7 @@ Status DurableProfileStore::Upsert(
     const std::vector<AtomicPreference>& preferences,
     obs::RequestTrace* trace) {
   if (!durable()) return store_.Upsert(user_id, preferences);
-  QP_RETURN_IF_ERROR(CheckWritable());
+  QP_RETURN_IF_ERROR(AdmitMutation());
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
   // Merge under the stripe lock so the validated result is exactly what
@@ -301,7 +408,7 @@ Status DurableProfileStore::Upsert(
 Status DurableProfileStore::Remove(const std::string& user_id,
                                    obs::RequestTrace* trace) {
   if (!durable()) return store_.Remove(user_id);
-  QP_RETURN_IF_ERROR(CheckWritable());
+  QP_RETURN_IF_ERROR(AdmitMutation());
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
   if (auto current = store_.Get(user_id); !current.ok()) {
@@ -353,15 +460,30 @@ Status DurableProfileStore::Checkpoint() {
   return status;
 }
 
-Status DurableProfileStore::CheckpointLocked() {
+Status DurableProfileStore::CheckpointLocked(bool for_recovery) {
   if (closed_) return Status::FailedPrecondition("store is closed");
-  const uint64_t seqno = wal_->last_appended_seqno();
-  if (seqno == manifest_.seqno) return Status::Ok();  // Nothing new.
+  uint64_t seqno = wal_->last_appended_seqno();
+  if (!for_recovery) {
+    if (seqno == manifest_.seqno) return Status::Ok();  // Nothing new.
 
-  // Make everything the snapshot will contain durable in the old WAL
-  // first: if we crash mid-checkpoint the old generation must already
-  // hold every acknowledged record.
-  QP_RETURN_IF_ERROR(wal_->Sync());
+    // Make everything the snapshot will contain durable in the old WAL
+    // first: if we crash mid-checkpoint the old generation must already
+    // hold every acknowledged record.
+    QP_RETURN_IF_ERROR(wal_->Sync());
+  } else {
+    // For a breaker-recovery probe or a scrub repair the current WAL
+    // writer is dead or its generation damaged, so its Sync would fail
+    // (or re-persist garbage); the in-memory state already equals
+    // exactly the acknowledged mutations, and writing it out as a fresh
+    // snapshot + empty WAL generation *is* the probe/repair. The
+    // "nothing new" early-return is skipped too: rotation itself is the
+    // point even when no records landed since the last manifest. The
+    // rotation consumes one logical tick so the new generation's file
+    // names can never collide with the committed one's — a recovery at
+    // an unchanged seqno must not overwrite (and then garbage-collect)
+    // the very snapshot the live manifest references.
+    ++seqno;
+  }
 
   SnapshotUsers users;
   for (auto& [user_id, snapshot] : store_.All()) {
@@ -398,10 +520,12 @@ Status DurableProfileStore::CheckpointLocked() {
   ++checkpoints_;
   if (metric_checkpoints_ != nullptr) metric_checkpoints_->Add(1);
 
-  if (!old.snapshot_file.empty()) {
+  if (!old.snapshot_file.empty() && old.snapshot_file != next.snapshot_file) {
     fs_->RemoveFile(JoinPath(dir_, old.snapshot_file));  // Best effort.
   }
-  fs_->RemoveFile(JoinPath(dir_, old.wal_file));
+  if (old.wal_file != next.wal_file) {
+    fs_->RemoveFile(JoinPath(dir_, old.wal_file));
+  }
   return Status::Ok();
 }
 
@@ -413,6 +537,14 @@ Status DurableProfileStore::Sync() {
 }
 
 Status DurableProfileStore::Close() {
+  if (scrubber_running_.exchange(false, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(scrub_mutex_);
+      scrub_stop_ = true;
+    }
+    scrub_cv_.notify_all();
+    scrubber_.join();
+  }
   if (compaction_running_.exchange(false, std::memory_order_acq_rel)) {
     {
       std::lock_guard<std::mutex> lock(compact_mutex_);
@@ -481,7 +613,24 @@ StorageStats DurableProfileStore::storage_stats() const {
   stats.mutation_failures =
       mutation_failures_.load(std::memory_order_relaxed);
   stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
-  stats.breaker_open = breaker_open_.load(std::memory_order_acquire);
+  stats.breaker_open =
+      breaker_state_.load(std::memory_order_acquire) != kClosed;
+  stats.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
+  stats.breaker_recoveries =
+      breaker_recoveries_.load(std::memory_order_relaxed);
+  stats.breaker_epoch = breaker_epoch_.load(std::memory_order_relaxed);
+  stats.breaker_backoff_ms =
+      breaker_backoff_ms_.load(std::memory_order_relaxed);
+  stats.scrubs = scrubs_.load(std::memory_order_relaxed);
+  stats.scrub_corruptions = scrub_corruptions_.load(std::memory_order_relaxed);
+  stats.repairs = repairs_.load(std::memory_order_relaxed);
+  stats.repair_failures = repair_failures_.load(std::memory_order_relaxed);
+  stats.quarantined_profiles =
+      quarantine_count_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> scrub_lock(scrub_error_mutex_);
+    stats.last_scrub_error = last_scrub_error_;
+  }
   std::lock_guard<std::mutex> meta(meta_mutex_);
   stats.checkpoints = checkpoints_;
   stats.failed_checkpoints = failed_checkpoints_;

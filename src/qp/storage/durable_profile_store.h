@@ -3,18 +3,21 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "qp/obs/trace.h"
 #include "qp/service/profile_store.h"
 #include "qp/storage/record.h"
+#include "qp/storage/scrub.h"
 #include "qp/storage/snapshot.h"
 #include "qp/storage/wal.h"
 #include "qp/util/file.h"
@@ -43,9 +46,27 @@ struct StorageOptions {
   /// the store trips to read-only — further mutations fail fast with
   /// Status::Unavailable instead of hammering a dead disk, while reads
   /// keep serving the in-memory state. 0 disables the breaker (mutations
-  /// keep returning the WAL's sticky error). The breaker does not
-  /// self-reset: a tripped store stays read-only until reopened.
+  /// keep returning the WAL's sticky error).
   int breaker_threshold = 3;
+  /// Half-open self-healing: once the breaker has been open this long,
+  /// the next mutation is admitted as a *probe* — it runs a recovery
+  /// checkpoint (snapshot of the acknowledged in-memory state + a fresh
+  /// WAL generation, committed by the usual manifest rename) to re-test
+  /// the disk. Success closes the breaker and the store is writable
+  /// again without a restart; failure re-opens it with the backoff
+  /// doubled (capped at breaker_backoff_max). 0 restores the old one-way
+  /// behavior: a tripped store stays read-only until reopened.
+  std::chrono::milliseconds breaker_backoff{200};
+  std::chrono::milliseconds breaker_backoff_max{10000};
+  /// Background integrity scrubber cadence: every interval a low-
+  /// priority pass re-verifies the committed generation on disk
+  /// (snapshot CRC, WAL frame CRCs) and the in-memory profile
+  /// invariants, quarantining profiles that fail (served degraded,
+  /// excluded from selection) and — when scrub_auto_repair is set —
+  /// rebuilding them from the last good snapshot + WAL replay.
+  /// 0 disables the background thread; ScrubOnce() still works.
+  std::chrono::milliseconds scrub_interval{0};
+  bool scrub_auto_repair = true;
   /// Filesystem to operate on; nullptr = the process-wide POSIX one.
   /// Tests pass a FaultInjectingFileSystem here.
   FileSystem* fs = nullptr;
@@ -66,11 +87,30 @@ struct StorageStats {
   uint64_t sync_retries = 0;
   /// Mutations that failed at the WAL (after its retries).
   uint64_t mutation_failures = 0;
-  /// Times the circuit breaker tripped the store to read-only (0 or 1 —
-  /// it never closes again within a process).
+  /// Times the circuit breaker tripped the store to read-only. A true
+  /// counter: every open — first trip or a failed probe re-opening —
+  /// increments it.
   uint64_t breaker_trips = 0;
+  /// Half-open recovery accounting: probes attempted, probes that closed
+  /// the breaker, and the breaker generation (bumped on every successful
+  /// recovery — state written before the epoch bump is from a previous
+  /// breaker life).
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_recoveries = 0;
+  uint64_t breaker_epoch = 0;
+  /// The backoff a re-open would currently wait before probing again.
+  uint64_t breaker_backoff_ms = 0;
   /// True while mutations are being rejected with Unavailable.
   bool breaker_open = false;
+  /// Integrity scrubber accounting: completed passes, findings (disk CRC
+  /// damage + in-memory invariant violations), repairs, and the profiles
+  /// currently quarantined.
+  uint64_t scrubs = 0;
+  uint64_t scrub_corruptions = 0;
+  uint64_t repairs = 0;
+  uint64_t repair_failures = 0;
+  uint64_t quarantined_profiles = 0;
+  std::string last_scrub_error;
   uint64_t checkpoints = 0;
   uint64_t failed_checkpoints = 0;
   /// Message of the most recent checkpoint/compaction failure; cleared
@@ -172,8 +212,42 @@ class DurableProfileStore {
 
   StorageStats storage_stats() const;
 
+  /// One synchronous integrity pass (the background scrubber runs
+  /// exactly this on its cadence): re-verify the committed generation on
+  /// disk and every in-memory profile's invariants; quarantine
+  /// violators; auto-repair when configured. `report`/`trace` optional.
+  /// Returns non-OK only when the pass itself could not run (closed
+  /// store) — findings are reported, not returned.
+  Status ScrubOnce(ScrubReport* report = nullptr,
+                   obs::RequestTrace* trace = nullptr);
+
+  /// Rebuilds one user's profile from durable truth — last good snapshot
+  /// + a WAL replay filtered to that user — installs it (validated) and
+  /// lifts the quarantine. The repair path behind scrub_auto_repair.
+  Status RepairUser(const std::string& user_id);
+
+  /// Quarantine surface: quarantined users are excluded from
+  /// personalization (the service serves their raw queries, degraded)
+  /// until repaired. IsQuarantined is hot-path cheap: one relaxed load
+  /// while the set is empty.
+  bool IsQuarantined(const std::string& user_id) const;
+  std::vector<std::string> QuarantinedUsers() const;
+
+  /// Chaos/test backdoor: plants an unvalidated profile in memory (the
+  /// WAL and durable state stay intact) — the damage ScrubOnce must
+  /// detect, quarantine and repair.
+  void CorruptInMemoryForTest(const std::string& user_id,
+                              UserProfile profile);
+
  private:
   static constexpr size_t kNumStripes = 16;
+
+  /// Breaker state machine: kClosed —(threshold consecutive failures)→
+  /// kOpen —(backoff elapsed, a mutation arrives)→ kHalfOpen —(probe
+  /// checkpoint succeeds)→ kClosed, or —(probe fails)→ kOpen with the
+  /// backoff doubled. Stored in an atomic int; mutators read it before
+  /// taking their stripe.
+  enum BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
 
   DurableProfileStore(const Schema* schema, size_t num_shards,
                       StorageOptions options);
@@ -185,12 +259,33 @@ class DurableProfileStore {
   /// failure count, failure advances it and trips the breaker at the
   /// threshold.
   Status LogMutation(const std::string& payload);
-  /// Fast-fail check mutators run before taking their stripe.
-  Status CheckWritable() const;
-  Status CheckpointLocked();
+  /// Admission check mutators run before taking their stripe: Ok while
+  /// the breaker is closed; fast-fail Unavailable while it is open —
+  /// except that once the backoff has elapsed, exactly one caller wins
+  /// the half-open CAS and runs the recovery probe inline.
+  Status AdmitMutation();
+  /// Transitions the breaker to open (from closed on a trip, from
+  /// half-open on a failed probe — doubling the backoff), counting the
+  /// trip and stamping the reopen time.
+  void OpenBreaker(BreakerState from);
+  /// The half-open probe: a recovery checkpoint under all stripes —
+  /// snapshot of the acknowledged in-memory state + fresh WAL generation
+  /// — that re-tests the disk. Success closes the breaker.
+  Status ProbeRecover();
+  /// `for_recovery` skips the (dead) WAL's fsync and forces rotation
+  /// even when no new records were logged since the manifest.
+  Status CheckpointLocked(bool for_recovery = false);
   size_t StripeFor(const std::string& user_id) const;
   void MaybeKickCompaction();
   void CompactionLoop();
+  void ScrubLoop();
+  /// Disk half of a scrub pass: manifest/snapshot CRC + WAL frame walk.
+  /// Returns the number of corruptions found (0 = clean); repairs by
+  /// forcing a recovery checkpoint from the intact in-memory state.
+  void ScrubDisk(ScrubReport* report, obs::RequestTrace* trace);
+  /// Memory half: per-profile invariant re-check, quarantine + repair.
+  void ScrubMemory(ScrubReport* report, obs::RequestTrace* trace);
+  void SetQuarantined(const std::string& user_id, bool quarantined);
 
   ProfileStore store_;
   StorageOptions options_;
@@ -226,7 +321,30 @@ class DurableProfileStore {
   std::atomic<uint64_t> consecutive_failures_{0};
   std::atomic<uint64_t> mutation_failures_{0};
   std::atomic<uint64_t> breaker_trips_{0};
-  std::atomic<bool> breaker_open_{false};
+  std::atomic<int> breaker_state_{kClosed};
+  /// Steady-clock nanos at the moment the breaker (re)opened, and the
+  /// backoff the next probe waits for. Written only by the thread that
+  /// performed the open transition.
+  std::atomic<int64_t> breaker_opened_ns_{0};
+  std::atomic<int64_t> breaker_backoff_ms_{0};
+  std::atomic<uint64_t> breaker_probes_{0};
+  std::atomic<uint64_t> breaker_recoveries_{0};
+  std::atomic<uint64_t> breaker_epoch_{0};
+
+  /// Quarantine set maintained by the scrubber. The atomic count lets
+  /// the per-request IsQuarantined check skip the mutex entirely in the
+  /// (overwhelmingly common) empty case.
+  mutable std::mutex quarantine_mutex_;
+  std::unordered_set<std::string> quarantined_;
+  std::atomic<size_t> quarantine_count_{0};
+
+  /// Scrubber accounting (lock-free; last_scrub_error_ under its mutex).
+  std::atomic<uint64_t> scrubs_{0};
+  std::atomic<uint64_t> scrub_corruptions_{0};
+  std::atomic<uint64_t> repairs_{0};
+  std::atomic<uint64_t> repair_failures_{0};
+  mutable std::mutex scrub_error_mutex_;
+  std::string last_scrub_error_;
 
   double recovery_millis_ = 0.0;
   uint64_t snapshot_users_loaded_ = 0;
@@ -236,9 +354,16 @@ class DurableProfileStore {
   /// Cached registry instruments (null when StorageOptions::metrics is).
   obs::Counter* metric_mutation_failures_ = nullptr;
   obs::Counter* metric_breaker_trips_ = nullptr;
+  obs::Counter* metric_breaker_probes_ = nullptr;
+  obs::Counter* metric_breaker_recoveries_ = nullptr;
   obs::Counter* metric_checkpoints_ = nullptr;
   obs::Counter* metric_failed_checkpoints_ = nullptr;
+  obs::Counter* metric_scrubs_ = nullptr;
+  obs::Counter* metric_scrub_corruptions_ = nullptr;
+  obs::Counter* metric_repairs_ = nullptr;
+  obs::Counter* metric_repair_failures_ = nullptr;
   obs::Gauge* gauge_breaker_open_ = nullptr;
+  obs::Gauge* gauge_quarantined_ = nullptr;
 
   std::mutex compact_mutex_;
   std::condition_variable compact_cv_;
@@ -248,6 +373,14 @@ class DurableProfileStore {
   /// without touching the std::thread object Close() concurrently joins.
   std::atomic<bool> compaction_running_{false};
   std::thread compactor_;
+
+  /// Background scrubber thread, mirroring the compactor's lifecycle.
+  std::mutex scrub_mutex_;
+  std::condition_variable scrub_cv_;
+  bool scrub_kick_ = false;
+  bool scrub_stop_ = false;
+  std::atomic<bool> scrubber_running_{false};
+  std::thread scrubber_;
 };
 
 }  // namespace storage

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "qp/util/fault_hub.h"
+
 namespace qp {
 namespace storage {
 
@@ -19,6 +21,12 @@ class FaultInjectingFile : public WritableFile {
         generation_(generation) {}
 
   Status Append(std::string_view data) override {
+    // The seeded chaos schedule generalizes the one-shot knobs below:
+    // kPartial keeps a fraction of the payload (a torn write), kError
+    // drops it all. Evaluated (and any delay slept) before the FS lock
+    // so a stall never convoys unrelated files.
+    FaultAction fault = QP_FAULT_ACTION("fs.append");
+    fault.Sleep();
     std::lock_guard<std::mutex> lock(fs_->mutex_);
     if (closed_) return Status::FailedPrecondition("file closed: " + path_);
     if (state_->generation != generation_) {
@@ -31,11 +39,22 @@ class FaultInjectingFile : public WritableFile {
       state_->data.append(data.data(), keep);
       return Status::Internal("injected short write on " + path_);
     }
+    if (fault.fire && fault.mode == FaultMode::kPartial) {
+      size_t keep = static_cast<size_t>(
+          static_cast<double>(data.size()) * fault.partial_fraction);
+      state_->data.append(data.data(), std::min(keep, data.size()));
+      return Status::Internal("injected short write on " + path_);
+    }
+    if (fault.fire && fault.mode == FaultMode::kError) {
+      return fault.ToStatus("fs.append");
+    }
     state_->data.append(data.data(), data.size());
     return Status::Ok();
   }
 
   Status Sync() override {
+    FaultAction fault = QP_FAULT_ACTION("fs.sync");
+    fault.Sleep();
     std::lock_guard<std::mutex> lock(fs_->mutex_);
     if (closed_) return Status::FailedPrecondition("file closed: " + path_);
     if (state_->generation != generation_) {
@@ -47,6 +66,11 @@ class FaultInjectingFile : public WritableFile {
     if (fs_->fail_next_syncs_ > 0) {
       --fs_->fail_next_syncs_;
       return Status::Internal("injected transient fsync failure on " + path_);
+    }
+    // A partial fsync has no meaningful shape; it degenerates to a
+    // failure with nothing marked durable.
+    if (fault.fire && fault.mode != FaultMode::kDelay) {
+      return fault.ToStatus("fs.sync");
     }
     state_->synced_size = state_->data.size();
     fs_->num_syncs_ += 1;
@@ -86,6 +110,11 @@ FaultInjectingFileSystem::NewWritableFile(const std::string& path,
 
 Result<std::string> FaultInjectingFileSystem::ReadFile(
     const std::string& path) {
+  FaultAction fault = QP_FAULT_ACTION("fs.read");
+  fault.Sleep();
+  if (fault.fire && fault.mode != FaultMode::kDelay) {
+    return fault.ToStatus("fs.read");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);

@@ -6,6 +6,7 @@
 
 #include "qp/storage/coding.h"
 #include "qp/util/crc32c.h"
+#include "qp/util/fault_hub.h"
 
 namespace qp {
 namespace storage {
@@ -79,6 +80,11 @@ Status WalWriter::AppendLocked(std::string_view payload,
   if (file_ == nullptr) {
     return Status::FailedPrecondition("wal writer is closed");
   }
+  // Chaos site: a transient append refusal. Fails this one mutation
+  // without poisoning the writer (no seqno consumed, no sticky error),
+  // so it exercises the caller's failure accounting and the breaker's
+  // consecutive-failure counting.
+  QP_RETURN_IF_ERROR(QP_FAULT_POINT("wal.append"));
   const uint64_t s = next_seqno_++;
   const size_t size_before = pending_.size();
   EncodeWalRecord(s, payload, &pending_);
@@ -201,14 +207,20 @@ Status WalWriter::SyncLocked(std::unique_lock<std::mutex>* lock) {
 }
 
 Status WalWriter::SyncWithRetries(uint64_t* retries) {
-  Status status = file_->Sync();
+  // The chaos site sits inside the retry loop so an injected fsync
+  // failure is indistinguishable from a real one: it burns a retry,
+  // backs off, and only defeats the writer if it keeps firing past the
+  // retry budget (at which point the error goes sticky upstream).
+  Status status = QP_FAULT_POINT("wal.sync");
+  if (status.ok()) status = file_->Sync();
   std::chrono::milliseconds backoff = options_.retry_backoff;
   for (int attempt = 0; !status.ok() && attempt < options_.max_sync_retries;
        ++attempt) {
     std::this_thread::sleep_for(backoff);
     backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
     ++*retries;
-    status = file_->Sync();
+    status = QP_FAULT_POINT("wal.sync");
+    if (status.ok()) status = file_->Sync();
   }
   return status;
 }

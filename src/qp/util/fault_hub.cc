@@ -1,0 +1,249 @@
+#include "qp/util/fault_hub.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+/// SplitMix64 finalizer: the avalanche permutation used to turn
+/// (seed, site, call-index) into an independent uniform coin. Any bit
+/// change in the input flips each output bit with probability ~1/2.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a 64-bit hash (top 53 bits).
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashSite(std::string_view site) {
+  // FNV-1a, stable across platforms (std::hash is not guaranteed to be).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const char* ModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kError:
+      return "error";
+    case FaultMode::kDelay:
+      return "delay";
+    case FaultMode::kPartial:
+      return "partial";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Status FaultAction::ToStatus(std::string_view site) const {
+  return Status(error_code,
+                "injected fault at " + std::string(site));
+}
+
+void FaultAction::Sleep() const {
+  if (!fire || mode != FaultMode::kDelay) return;
+  std::this_thread::sleep_for(std::min<std::chrono::microseconds>(
+      delay, std::chrono::microseconds(50000)));
+}
+
+FaultHub* FaultHub::Global() {
+  static FaultHub* hub = new FaultHub();
+  return hub;
+}
+
+void FaultHub::Arm(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultHub::Disarm() { armed_.store(false, std::memory_order_release); }
+
+void FaultHub::Reset() {
+  Disarm();
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  sites_.clear();
+}
+
+void FaultHub::SetRule(const std::string& site, FaultRule rule) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_ptr<Site>& slot = sites_[site];
+  if (slot == nullptr) slot = std::make_unique<Site>();
+  slot->rule = rule;
+  slot->has_rule = true;
+}
+
+void FaultHub::ClearRule(const std::string& site) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second->has_rule = false;
+}
+
+void FaultHub::ArmRandom(uint64_t seed,
+                         const std::vector<std::string>& sites) {
+  // One independent rule per site, all derived from the seed; iteration
+  // order does not matter because each site's stream is keyed by its
+  // name, not by draw order.
+  for (const std::string& site : sites) {
+    Rng rng(Mix(seed) ^ HashSite(site));
+    FaultRule rule;
+    rule.probability = 0.01 + 0.09 * rng.NextDouble();  // 1% .. 10%
+    const double mode_draw = rng.NextDouble();
+    if (mode_draw < 0.60) {
+      rule.mode = FaultMode::kError;
+    } else if (mode_draw < 0.85) {
+      rule.mode = FaultMode::kDelay;
+      rule.delay = std::chrono::microseconds(rng.Range(200, 3000));
+    } else {
+      rule.mode = FaultMode::kPartial;
+      rule.partial_fraction = 0.1 + 0.8 * rng.NextDouble();
+    }
+    SetRule(site, rule);
+  }
+  Arm(seed);
+}
+
+FaultAction FaultHub::Evaluate(std::string_view site) {
+  if (!armed_.load(std::memory_order_relaxed)) return FaultAction{};
+  // Every touch of a Site happens under mutex_ (shared for the common
+  // path): Reset() clears the map under the unique lock, so holding the
+  // shared lock for the whole evaluation is what keeps a concurrent
+  // Reset from destroying the Site mid-use. The counters are atomics,
+  // so shared holders on different threads don't contend beyond the
+  // lock itself.
+  const std::string key(site);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = sites_.find(key);
+  if (it == sites_.end()) {
+    lock.unlock();
+    {
+      std::unique_lock<std::shared_mutex> create(mutex_);
+      std::unique_ptr<Site>& slot = sites_[key];
+      if (slot == nullptr) slot = std::make_unique<Site>();
+    }
+    lock.lock();
+    it = sites_.find(key);
+    // A Reset between the creation and the re-find disarms the hub;
+    // treat it as this call losing the race and injecting nothing.
+    if (it == sites_.end()) return FaultAction{};
+  }
+  Site* s = it->second.get();
+  const uint64_t n = s->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (!s->has_rule) return FaultAction{};
+  const FaultRule rule = s->rule;
+
+  bool fire = false;
+  if (rule.fire_on_nth != 0 && n == rule.fire_on_nth) fire = true;
+  if (!fire && rule.fire_every != 0 && n % rule.fire_every == 0) fire = true;
+  if (!fire && rule.probability > 0.0) {
+    const uint64_t h =
+        Mix(seed_.load(std::memory_order_relaxed) ^ Mix(HashSite(site)) ^
+            Mix(n * 0x9e3779b97f4a7c15ULL));
+    fire = ToUnit(h) < rule.probability;
+  }
+  if (!fire) return FaultAction{};
+
+  if (rule.max_fires != 0) {
+    // Reserve a fire slot; once the budget is spent the site goes quiet.
+    if (s->fires.fetch_add(1, std::memory_order_relaxed) >= rule.max_fires) {
+      s->fires.fetch_sub(1, std::memory_order_relaxed);
+      return FaultAction{};
+    }
+  } else {
+    s->fires.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  FaultAction action;
+  action.fire = true;
+  action.mode = rule.mode;
+  action.error_code = rule.error_code;
+  action.delay = rule.delay;
+  action.partial_fraction = rule.partial_fraction;
+  return action;
+}
+
+Status FaultHub::Check(std::string_view site) {
+  FaultAction action = Evaluate(site);
+  if (!action.fire) return Status::Ok();
+  if (action.mode == FaultMode::kDelay) {
+    action.Sleep();
+    return Status::Ok();
+  }
+  return action.ToStatus(site);
+}
+
+uint64_t FaultHub::calls(const std::string& site) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end()
+             ? 0
+             : it->second->calls.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultHub::fires(const std::string& site) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultHub::total_fires() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, site] : sites_) {
+    total += site->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FaultHub::Summary() const {
+  std::ostringstream out;
+  out << "fault hub: " << (armed() ? "armed" : "disarmed");
+  if (armed()) out << " seed=" << seed();
+  out << "\n";
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const Site& s = *sites_.at(name);
+    out << "  " << name
+        << " calls=" << s.calls.load(std::memory_order_relaxed)
+        << " fires=" << s.fires.load(std::memory_order_relaxed);
+    if (s.has_rule) {
+      out << " mode=" << ModeName(s.rule.mode) << " p=" << s.rule.probability;
+      if (s.rule.fire_on_nth != 0) out << " nth=" << s.rule.fire_on_nth;
+      if (s.rule.fire_every != 0) out << " every=" << s.rule.fire_every;
+      if (s.rule.max_fires != 0) out << " max=" << s.rule.max_fires;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+const std::vector<std::string>& FaultHub::KnownSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "fs.append",     "fs.read",      "fs.sync",     "wal.append",
+      "wal.sync",      "service.admit", "cache.lookup", "pool.submit",
+      "exec.disjunct",
+  };
+  return *sites;
+}
+
+}  // namespace qp

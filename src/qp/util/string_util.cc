@@ -1,6 +1,7 @@
 #include "qp/util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace qp {
@@ -60,6 +61,21 @@ std::string FormatDouble(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
   return buf;
+}
+
+std::string FormatDoubleRoundTrip(double value) {
+  // Fixed notation can need ~310 digits before the point plus the
+  // fractional shortest-round-trip tail.
+  char buf[384];
+  auto result =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::fixed);
+  if (result.ec != std::errc()) {
+    // Unrepresentable in the buffer (cannot happen for finite doubles at
+    // this size); fall back to max-precision fixed.
+    std::snprintf(buf, sizeof(buf), "%.17f", value);
+    return buf;
+  }
+  return std::string(buf, result.ptr);
 }
 
 }  // namespace qp

@@ -27,6 +27,12 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// trailing zeros ("0.9", "0.72", "1").
 std::string FormatDouble(double value, int precision = 6);
 
+/// Formats a double so parsing it back yields the identical bits: the
+/// shortest fixed-notation decimal that round-trips (never scientific
+/// notation, so the profile/query lexers can read it back). The
+/// persistence formatter — display paths keep FormatDouble.
+std::string FormatDoubleRoundTrip(double value);
+
 }  // namespace qp
 
 #endif  // QP_UTIL_STRING_UTIL_H_

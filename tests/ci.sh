@@ -2,17 +2,23 @@
 # The full CI gate, in the order a reviewer wants failures reported:
 #
 #   1. regular build + the whole ctest suite (tier-1: must stay green);
-#   2. the durability/crash-recovery, request-lifecycle and observability
-#      suites under ThreadSanitizer and AddressSanitizer+UBSan via
-#      tests/run_sanitized.sh — the randomized crash-recovery property
-#      suite (>= 500 trials), the overload/admission tests and the
-#      metrics/trace accounting tests are only trusted once they have
-#      passed under both;
-#   3. benchmark snapshots in machine-readable JSON via $QP_BENCH_JSON
+#   2. the durability/crash-recovery, request-lifecycle, observability
+#      and chaos/robustness suites under ThreadSanitizer and
+#      AddressSanitizer+UBSan via tests/run_sanitized.sh — the randomized
+#      crash-recovery property suite (>= 500 trials), the overload/
+#      admission tests, the metrics/trace accounting tests and the seeded
+#      chaos trials (QP_CHAOS_TRIALS=100 per sanitizer, >= 200 total;
+#      every trial prints its seed, so a failure names its exact replay)
+#      are only trusted once they have passed under both;
+#   3. a compile check that -DQP_FAULTS_DISABLED=ON still builds: the
+#      fault sites must stub to literal no-ops in production builds;
+#   4. benchmark snapshots in machine-readable JSON via $QP_BENCH_JSON
 #      (build/bench_report.json: one BenchReport object per line —
-#      overload disposition fractions and service-throughput latency
-#      percentiles), so a regression in shed/degrade behaviour or the
-#      perf trajectory shows up as an artifact diff.
+#      overload disposition fractions, service-throughput latency
+#      percentiles, and fault-recovery costs: breaker time-to-recover
+#      and the steady-state scrub tax), so a regression in
+#      shed/degrade/recovery behaviour or the perf trajectory shows up
+#      as an artifact diff.
 #
 # Usage:
 #   tests/ci.sh            # everything
@@ -32,6 +38,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 STORAGE_FILTER='crc32c|wal_test|record_fuzz|snapshot_test|durable_store|crash_recovery|profile_store|thread_pool|service_batch'
 LIFECYCLE_FILTER='deadline_test|selection_deadline|executor_cancel|service_lifecycle|storage_retry'
 OBS_FILTER='obs_metrics|obs_trace|service_trace|executor_stats_attribution|service_stats_identity'
+CHAOS_FILTER='fault_hub|breaker_recovery|scrubber_test|bitflip_robustness|chaos_property'
 
 echo "==== [ci] regular build ===="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -45,8 +52,21 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "==== [ci] sanitized storage + lifecycle + obs suites ===="
-tests/run_sanitized.sh all -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER"
+echo "==== [ci] sanitized storage + lifecycle + obs + chaos suites ===="
+# 100 seeded chaos trials per sanitizer build (>= 200 total). A failing
+# or hanging trial prints "[chaos] trial N seed=S" before it runs, so
+# the log always names the seed to replay.
+QP_CHAOS_TRIALS=100 \
+  tests/run_sanitized.sh all \
+  -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER|$CHAOS_FILTER"
+
+echo "==== [ci] QP_FAULTS_DISABLED compile check ===="
+# Production builds compile every fault site to a literal no-op; this
+# gate catches a site whose disabled stub no longer typechecks.
+cmake -B "$ROOT/build-nofaults" -S "$ROOT" -DQP_FAULTS_DISABLED=ON >/dev/null
+cmake --build "$ROOT/build-nofaults" -j "$JOBS" \
+  --target qp_storage qp_service qpshell fault_hub_test
+(cd "$ROOT/build-nofaults" && ctest -R fault_hub_test --output-on-failure)
 
 echo "==== [ci] benchmark snapshots (JSON) ===="
 REPORT="$ROOT/build/bench_report.json"
@@ -57,6 +77,10 @@ QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/overload_shedding" \
 # config; the full sweep is a manual run.
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/service_throughput" \
   --benchmark_filter='PersonalizeBatch/workers:2|TraceNullSinkOverhead' \
+  --benchmark_min_time=0.05 >/dev/null
+# Robustness costs: disarmed fault-point overhead, breaker
+# time-to-recover, steady-state scrub tax (acceptance bar: < 2%).
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fault_recovery" \
   --benchmark_min_time=0.05 >/dev/null
 echo "wrote $REPORT:"
 cat "$REPORT"

@@ -250,9 +250,13 @@ TEST(RecordFuzzTest, BitFlipsNeverCrashTheDecoder) {
   }
 }
 
-TEST(RecordFuzzTest, BinaryFormatPreservesBitsTheTextFormatRounds) {
-  // A degree with more than six significant digits: the paper's text
-  // profile format (FormatDouble) rounds it, the WAL must not.
+TEST(RecordFuzzTest, BothDurableFormatsPreserveBitsOnlyTheDisplayRounds) {
+  // A degree with more than six significant digits: the display
+  // rendering (ToString, 6 significant digits) rounds it, but both
+  // durable formats must not — the binary WAL record and the text
+  // snapshot (UserProfile::Serialize, which renders degrees with the
+  // round-trip formatter; the chaos suite caught the earlier display
+  // rendering silently perturbing snapshotted degrees).
   const double doi = 0.123456789012345;
   UserProfile profile;
   QP_ASSERT_OK(profile.Add(AtomicPreference::Selection(
@@ -268,7 +272,11 @@ TEST(RecordFuzzTest, BinaryFormatPreservesBitsTheTextFormatRounds) {
 
   auto reparsed = UserProfile::Parse(profile.Serialize());
   ASSERT_TRUE(reparsed.ok());
-  EXPECT_NE(reparsed->preferences()[0].doi(), doi);  // Text rounds.
+  EXPECT_EQ(reparsed->preferences()[0].doi(), doi);  // Text is exact too.
+
+  auto displayed = UserProfile::Parse(profile.preferences()[0].ToString());
+  ASSERT_TRUE(displayed.ok());
+  EXPECT_NE(displayed->preferences()[0].doi(), doi);  // Display rounds.
 }
 
 TEST(RecordFuzzTest, TextFormatRoundTripsOnTheBenchmarkGrid) {

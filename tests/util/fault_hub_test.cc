@@ -1,0 +1,250 @@
+#include "qp/util/fault_hub.h"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace qp {
+namespace {
+
+/// Every test arms/resets the process-global hub, so each uses the
+/// ScopedFaultInjection RAII guard to guarantee no schedule leaks.
+
+TEST(FaultHubTest, DisarmedNeverFires) {
+  FaultHub* hub = FaultHub::Global();
+  hub->Reset();
+  FaultRule always;
+  always.probability = 1.0;
+  hub->SetRule("t.disarmed", always);  // Rule present but hub not armed.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(hub->Evaluate("t.disarmed").fire);
+    EXPECT_TRUE(hub->Check("t.disarmed").ok());
+  }
+  EXPECT_EQ(hub->total_fires(), 0u);
+  // Disarmed evaluation does not even count calls (single-load fast path).
+  EXPECT_EQ(hub->calls("t.disarmed"), 0u);
+  hub->Reset();
+}
+
+TEST(FaultHubTest, FireOnNthFiresExactlyOnce) {
+  ScopedFaultInjection chaos(1);
+  FaultRule rule;
+  rule.fire_on_nth = 3;
+  FaultHub::Global()->SetRule("t.nth", rule);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(FaultHub::Global()->Evaluate("t.nth").fire);
+  }
+  EXPECT_EQ(fired, std::vector<bool>({false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(FaultHub::Global()->calls("t.nth"), 6u);
+  EXPECT_EQ(FaultHub::Global()->fires("t.nth"), 1u);
+}
+
+TEST(FaultHubTest, FireEveryFiresPeriodically) {
+  ScopedFaultInjection chaos(1);
+  FaultRule rule;
+  rule.fire_every = 4;
+  FaultHub::Global()->SetRule("t.every", rule);
+  int fires = 0;
+  for (int i = 1; i <= 12; ++i) {
+    bool fire = FaultHub::Global()->Evaluate("t.every").fire;
+    EXPECT_EQ(fire, i % 4 == 0) << "call " << i;
+    fires += fire;
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(FaultHubTest, MaxFiresCapsTheSchedule) {
+  ScopedFaultInjection chaos(1);
+  FaultRule rule;
+  rule.probability = 1.0;
+  rule.max_fires = 2;
+  FaultHub::Global()->SetRule("t.capped", rule);
+  int fires = 0;
+  for (int i = 0; i < 50; ++i) {
+    fires += FaultHub::Global()->Evaluate("t.capped").fire;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(FaultHubTest, SameSeedSameSchedule) {
+  FaultRule rule;
+  rule.probability = 0.3;
+  std::vector<bool> first;
+  {
+    ScopedFaultInjection chaos(42);
+    FaultHub::Global()->SetRule("t.repro", rule);
+    for (int i = 0; i < 200; ++i) {
+      first.push_back(FaultHub::Global()->Evaluate("t.repro").fire);
+    }
+  }
+  std::vector<bool> second;
+  {
+    ScopedFaultInjection chaos(42);
+    FaultHub::Global()->SetRule("t.repro", rule);
+    for (int i = 0; i < 200; ++i) {
+      second.push_back(FaultHub::Global()->Evaluate("t.repro").fire);
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultHubTest, DifferentSeedsDiverge) {
+  FaultRule rule;
+  rule.probability = 0.5;
+  auto run = [&](uint64_t seed) {
+    ScopedFaultInjection chaos(seed);
+    FaultHub::Global()->SetRule("t.diverge", rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(FaultHub::Global()->Evaluate("t.diverge").fire);
+    }
+    return fired;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(FaultHubTest, SitesAreIndependentStreams) {
+  // Interleaving calls to a second site must not shift the first site's
+  // schedule: decisions are pure hashes of (seed, site, index).
+  FaultRule rule;
+  rule.probability = 0.4;
+  std::vector<bool> alone;
+  {
+    ScopedFaultInjection chaos(7);
+    FaultHub::Global()->SetRule("t.a", rule);
+    for (int i = 0; i < 100; ++i) {
+      alone.push_back(FaultHub::Global()->Evaluate("t.a").fire);
+    }
+  }
+  std::vector<bool> interleaved;
+  {
+    ScopedFaultInjection chaos(7);
+    FaultHub::Global()->SetRule("t.a", rule);
+    FaultHub::Global()->SetRule("t.b", rule);
+    for (int i = 0; i < 100; ++i) {
+      interleaved.push_back(FaultHub::Global()->Evaluate("t.a").fire);
+      FaultHub::Global()->Evaluate("t.b");
+      FaultHub::Global()->Evaluate("t.b");
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultHubTest, ProbabilityIsRoughlyHonored) {
+  ScopedFaultInjection chaos(99);
+  FaultRule rule;
+  rule.probability = 0.2;
+  FaultHub::Global()->SetRule("t.prob", rule);
+  int fires = 0;
+  const int kCalls = 5000;
+  for (int i = 0; i < kCalls; ++i) {
+    fires += FaultHub::Global()->Evaluate("t.prob").fire;
+  }
+  // 0.2 * 5000 = 1000 expected; a generous +/-20% band keeps this
+  // deterministic test far from flaking while still catching a broken
+  // hash-to-uniform mapping.
+  EXPECT_GT(fires, 800);
+  EXPECT_LT(fires, 1200);
+}
+
+TEST(FaultHubTest, CheckMapsModesToStatuses) {
+  ScopedFaultInjection chaos(1);
+  FaultRule error;
+  error.fire_on_nth = 1;
+  error.mode = FaultMode::kError;
+  error.error_code = StatusCode::kDeadlineExceeded;
+  FaultHub::Global()->SetRule("t.err", error);
+  Status status = FaultHub::Global()->Check("t.err");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("t.err"), std::string::npos);
+  EXPECT_TRUE(FaultHub::Global()->Check("t.err").ok());  // Call 2: clean.
+
+  FaultRule delay;
+  delay.fire_on_nth = 1;
+  delay.mode = FaultMode::kDelay;
+  delay.delay = std::chrono::microseconds(100);
+  FaultHub::Global()->SetRule("t.delay", delay);
+  // A delay fault stalls but still succeeds.
+  EXPECT_TRUE(FaultHub::Global()->Check("t.delay").ok());
+
+  FaultRule partial;
+  partial.fire_on_nth = 1;
+  partial.mode = FaultMode::kPartial;
+  FaultHub::Global()->SetRule("t.partial", partial);
+  // Check() has no partial semantics: degenerates to an error.
+  EXPECT_FALSE(FaultHub::Global()->Check("t.partial").ok());
+}
+
+TEST(FaultHubTest, ArmRandomIsDeterministicPerSeed) {
+  const std::vector<std::string>& sites = FaultHub::KnownSites();
+  ASSERT_FALSE(sites.empty());
+  auto run = [&](uint64_t seed) {
+    FaultHub::Global()->Reset();
+    FaultHub::Global()->ArmRandom(seed, sites);
+    std::vector<bool> fired;
+    for (int i = 0; i < 50; ++i) {
+      for (const std::string& site : sites) {
+        fired.push_back(FaultHub::Global()->Evaluate(site).fire);
+      }
+    }
+    FaultHub::Global()->Reset();
+    return fired;
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(1235));
+}
+
+TEST(FaultHubTest, ScopedInjectionResetsEverything) {
+  {
+    ScopedFaultInjection chaos(5);
+    FaultRule rule;
+    rule.probability = 1.0;
+    FaultHub::Global()->SetRule("t.scoped", rule);
+    EXPECT_TRUE(FaultHub::Global()->Evaluate("t.scoped").fire);
+  }
+  EXPECT_FALSE(FaultHub::Global()->armed());
+  EXPECT_EQ(FaultHub::Global()->total_fires(), 0u);
+  EXPECT_FALSE(FaultHub::Global()->Evaluate("t.scoped").fire);
+}
+
+TEST(FaultHubTest, ConcurrentEvaluationIsSafeAndCounted) {
+  ScopedFaultInjection chaos(11);
+  FaultRule rule;
+  rule.probability = 0.5;
+  rule.max_fires = 64;
+  FaultHub::Global()->SetRule("t.mt", rule);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        FaultHub::Global()->Evaluate("t.mt");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(FaultHub::Global()->calls("t.mt"),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread);
+  // max_fires is a hard cap even under contention (reserve-or-rollback).
+  EXPECT_LE(FaultHub::Global()->fires("t.mt"), 64u);
+}
+
+TEST(FaultHubTest, SummaryNamesArmedSites) {
+  ScopedFaultInjection chaos(3);
+  FaultRule rule;
+  rule.fire_on_nth = 1;
+  FaultHub::Global()->SetRule("t.summary", rule);
+  FaultHub::Global()->Evaluate("t.summary");
+  std::string summary = FaultHub::Global()->Summary();
+  EXPECT_NE(summary.find("t.summary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp
