@@ -1,14 +1,20 @@
-// Ablation A3: executor join strategies on the movie schema (DESIGN.md
-// row A3): index-backed hash joins (default) vs forced nested loops.
-// Uses google-benchmark over representative personalization-shaped
-// queries.
+// Ablation A3: executor engine and join strategies on the movie schema
+// (DESIGN.md row A3): the tuple-at-a-time engine vs the vectorized
+// columnar batch engine, each with index-backed hash joins (default) and
+// forced nested loops. Uses google-benchmark over representative
+// personalization-shaped queries, then writes a BenchReport JSON sidecar
+// ($QP_BENCH_JSON) with mean per-query times and the vectorized speedup
+// so CI snapshots can diff strategies.
 
 #include <memory>
+#include <string>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "qp/data/movie_db.h"
 #include "qp/exec/executor.h"
 #include "qp/query/sql_parser.h"
+#include "qp/util/timer.h"
 
 namespace qp {
 namespace {
@@ -26,6 +32,8 @@ const Database& SharedDb() {
   return *db;
 }
 
+constexpr int kQueries = 3;
+
 const char* QueryFor(int index) {
   switch (index) {
     case 0:  // Single join + selective predicate.
@@ -42,28 +50,96 @@ const char* QueryFor(int index) {
   }
 }
 
-void BM_HashJoin(benchmark::State& state) {
+Executor MakeExecutor(ExecStrategy engine, JoinStrategy joins) {
   Executor executor(&SharedDb());
-  auto query = ParseSelectQuery(QueryFor(static_cast<int>(state.range(0))));
-  for (auto _ : state) {
-    auto result = executor.Execute(*query);
-    benchmark::DoNotOptimize(result);
-  }
+  executor.set_exec_strategy(engine);
+  executor.set_join_strategy(joins);
+  return executor;
 }
-BENCHMARK(BM_HashJoin)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_NestedLoop(benchmark::State& state) {
-  Executor executor(&SharedDb());
-  executor.set_join_strategy(JoinStrategy::kNestedLoop);
+void RunQuery(benchmark::State& state, ExecStrategy engine,
+              JoinStrategy joins) {
+  Executor executor = MakeExecutor(engine, joins);
   auto query = ParseSelectQuery(QueryFor(static_cast<int>(state.range(0))));
   for (auto _ : state) {
     auto result = executor.Execute(*query);
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_NestedLoop)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TupleHashJoin(benchmark::State& state) {
+  RunQuery(state, ExecStrategy::kTuple, JoinStrategy::kHashJoin);
+}
+BENCHMARK(BM_TupleHashJoin)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_VectorizedHashJoin(benchmark::State& state) {
+  RunQuery(state, ExecStrategy::kVectorized, JoinStrategy::kHashJoin);
+}
+BENCHMARK(BM_VectorizedHashJoin)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TupleNestedLoop(benchmark::State& state) {
+  RunQuery(state, ExecStrategy::kTuple, JoinStrategy::kNestedLoop);
+}
+BENCHMARK(BM_TupleNestedLoop)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_VectorizedNestedLoop(benchmark::State& state) {
+  RunQuery(state, ExecStrategy::kVectorized, JoinStrategy::kNestedLoop);
+}
+BENCHMARK(BM_VectorizedNestedLoop)->Arg(0)->Arg(1)->Arg(2);
+
+/// Mean wall time per execution over `iters` runs, in milliseconds.
+double MeanMillis(Executor* executor, const SelectQuery& query,
+                  int iters) {
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    auto result = executor->Execute(query);
+    benchmark::DoNotOptimize(result);
+  }
+  return timer.ElapsedMillis() / iters;
+}
+
+/// The machine-readable snapshot: per-query mean times for both engines
+/// (hash joins — the production configuration) and the aggregate
+/// tuple/vectorized ratio.
+void WriteReport() {
+  bench::BenchReport report("ablation_exec");
+  const int kIters = 30;
+  double total_tuple = 0;
+  double total_vec = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    auto query = ParseSelectQuery(QueryFor(q));
+    Executor tuple =
+        MakeExecutor(ExecStrategy::kTuple, JoinStrategy::kHashJoin);
+    Executor vec =
+        MakeExecutor(ExecStrategy::kVectorized, JoinStrategy::kHashJoin);
+    // Warm both paths once so lazily built postings indexes don't skew
+    // whichever engine runs first.
+    (void)tuple.Execute(*query);
+    (void)vec.Execute(*query);
+    const double tuple_ms = MeanMillis(&tuple, *query, kIters);
+    const double vec_ms = MeanMillis(&vec, *query, kIters);
+    total_tuple += tuple_ms;
+    total_vec += vec_ms;
+    const std::string qq = std::to_string(q);
+    report.AddScalar("q" + qq + "_tuple_ms", tuple_ms);
+    report.AddScalar("q" + qq + "_vec_ms", vec_ms);
+  }
+  report.AddScalar("total_tuple_ms", total_tuple);
+  report.AddScalar("total_vec_ms", total_vec);
+  if (total_vec > 0) {
+    report.AddScalar("vec_speedup", total_tuple / total_vec);
+  }
+  report.Write();
+}
 
 }  // namespace
 }  // namespace qp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  qp::WriteReport();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "qp/core/personalizer.h"
+#include "qp/exec/executor.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/paper_example.h"
 #include "qp/obs/metrics.h"
@@ -132,6 +133,8 @@ class Shell {
       options_.approach = (arg == "sq")
                               ? IntegrationApproach::kSingleQuery
                               : IntegrationApproach::kMultipleQueries;
+    } else if (command == "exec") {
+      SetExec(arg);
     } else if (command == "batch") {
       RunBatch(arg);
     } else if (command == "deadline") {
@@ -193,6 +196,8 @@ class Shell {
         "options:\n"
         "  \\k N  \\l N  \\m N    top-K / at-least-L / mandatory-M\n"
         "  \\mode sq|mq  \\topn N  \\negatives N  \\negmode veto|penalty\n"
+        "  \\exec sq|mq|vec|tuple  integration approach and executor\n"
+        "                      engine (vectorized batch vs tuple-at-a-time)\n"
         "overload (apply to the next \\batch):\n"
         "  \\deadline MS        per-request deadline (0 = none)\n"
         "  \\qbound N           shed requests past N queued (0 = unbounded)\n"
@@ -343,11 +348,36 @@ class Shell {
     return query;
   }
 
+  /// \exec sq|mq|vec|tuple: one knob for "how do queries run" — the
+  /// integration approach (which personalized query gets built) and the
+  /// executor engine (which runtime evaluates it). With no argument,
+  /// prints the current setting.
+  void SetExec(const std::string& arg) {
+    if (arg == "sq" || arg == "mq") {
+      options_.approach = (arg == "sq")
+                              ? IntegrationApproach::kSingleQuery
+                              : IntegrationApproach::kMultipleQueries;
+    } else if (arg == "vec" || arg == "vectorized") {
+      exec_strategy_ = ExecStrategy::kVectorized;
+    } else if (arg == "tuple") {
+      exec_strategy_ = ExecStrategy::kTuple;
+    } else if (!arg.empty()) {
+      std::printf("usage: \\exec sq|mq|vec|tuple\n");
+      return;
+    }
+    std::printf(
+        "approach=%s engine=%s\n",
+        options_.approach == IntegrationApproach::kSingleQuery ? "sq" : "mq",
+        exec_strategy_ == ExecStrategy::kVectorized ? "vectorized"
+                                                    : "tuple");
+  }
+
   void RunRaw(const std::string& sql) {
     if (db_ == nullptr) return;
     auto query = Parse(sql);
     if (!Check(query.status())) return;
     Executor executor(db_.get());
+    executor.set_exec_strategy(exec_strategy_);
     auto result = executor.Execute(*query);
     if (Check(result.status())) {
       std::printf("%s(%zu rows)\n", result->DebugString().c_str(),
@@ -379,10 +409,15 @@ class Shell {
     auto query = Parse(sql);
     if (!Check(query.status())) return;
     Personalizer personalizer(graph_.get());
-    PersonalizationOutcome outcome;
-    auto result =
-        personalizer.PersonalizeAndExecute(*query, options_, *db_, &outcome);
+    auto personalized = personalizer.Personalize(*query, options_);
+    if (!Check(personalized.status())) return;
+    PersonalizationOutcome outcome = std::move(personalized).value();
+    Executor executor(db_.get());
+    executor.set_exec_strategy(exec_strategy_);
+    auto result = outcome.sq.has_value() ? executor.Execute(*outcome.sq)
+                                         : executor.Execute(*outcome.mq);
     if (!Check(result.status())) return;
+    if (options_.top_n > 0) result.value().Truncate(options_.top_n);
     std::printf("%s(%zu rows; %zu preferences applied; selection %.3f ms, "
                 "integration %.3f ms)\n",
                 result->DebugString().c_str(), result->num_rows(),
@@ -630,6 +665,9 @@ class Shell {
   std::unique_ptr<PersonalizationGraph> graph_;
   std::unique_ptr<ProfileLearner> learner_;
   PersonalizationOptions options_;
+  // Executor engine used by the in-shell execution paths (<sql>, \raw);
+  // \exec vec|tuple switches it, \exec sq|mq is a \mode alias.
+  ExecStrategy exec_strategy_ = ExecStrategy::kVectorized;
   // Overload knobs applied to the next \batch (see \deadline / \qbound /
   // \degrade), and the stats snapshot \stats reports on.
   double deadline_ms_ = 0;

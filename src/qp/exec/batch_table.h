@@ -1,0 +1,162 @@
+#ifndef QP_EXEC_BATCH_TABLE_H_
+#define QP_EXEC_BATCH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/relational/table.h"
+
+namespace qp {
+
+/// One contiguous typed column of a BatchTable. Unlike a Table column
+/// (rows of Value variants), a BatchColumn stores its cells in a single
+/// typed vector — row ids for binding columns, int64/double/string for
+/// late-materialized payload columns — plus an optional null mask, so the
+/// executor's batch loops run over flat arrays instead of chasing
+/// per-tuple allocations.
+class BatchColumn {
+ public:
+  enum class Type { kRowId, kInt64, kDouble, kString };
+
+  explicit BatchColumn(Type type = Type::kRowId) : type_(type) {}
+
+  /// Column type backing a relational column of `type`. kNull-typed
+  /// columns (possible only for all-NULL literals) are carried as int64
+  /// with every cell null.
+  static Type TypeFor(DataType type);
+
+  /// Late materialization: gathers `table` column `col` at `ids` into a
+  /// contiguous typed column (one pass, no Value copies for numerics).
+  static BatchColumn FromTable(const Table& table, size_t col,
+                               const std::vector<RowId>& ids);
+
+  /// A binding column over the given row ids.
+  static BatchColumn RowIds(std::vector<RowId> ids);
+
+  Type type() const { return type_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  void Reserve(size_t n);
+
+  /// Appends. AppendValue requires the value's type to match (or NULL).
+  void AppendRowId(RowId id);
+  void AppendValue(const Value& v);
+  void AppendFrom(const BatchColumn& other, size_t i);
+
+  /// Cell accessors.
+  RowId row_id_at(size_t i) const { return row_ids_[i]; }
+  /// Whole-column view of a kRowId column (the gather source for late
+  /// materialization).
+  const std::vector<RowId>& row_ids() const { return row_ids_; }
+  int64_t int_at(size_t i) const { return ints_[i]; }
+  double double_at(size_t i) const { return doubles_[i]; }
+  const std::string& string_at(size_t i) const { return strings_[i]; }
+  bool is_null(size_t i) const {
+    return !nulls_.empty() && nulls_[i] != 0;
+  }
+  /// Cell as a Value (NULL-aware) — the boundary back to row-at-a-time
+  /// consumers (ResultSet rows).
+  Value ValueAt(size_t i) const;
+
+  /// Cell hash / equality, the building blocks of batch hash joins,
+  /// group-by and duplicate elimination.
+  uint64_t HashAt(size_t i) const;
+  bool CellEquals(size_t i, const BatchColumn& other, size_t j) const;
+
+  /// New column with the cells at `indices` (repeats/reorders allowed).
+  BatchColumn Gather(const std::vector<uint32_t>& indices) const;
+  /// In-place compaction: keeps cell i iff keep[i] != 0.
+  void Filter(const std::vector<uint8_t>& keep);
+
+ private:
+  Type type_;
+  std::vector<RowId> row_ids_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  /// Empty when the column has no nulls; else aligned with the cells.
+  std::vector<uint8_t> nulls_;
+};
+
+/// A batch of rows in columnar form: a fixed number of *slots* (stable
+/// indices, matching the executor's tuple-variable slots), each either
+/// holding a live BatchColumn or dropped. Dropping a slot's column after
+/// the last join that touches it (z3's tuple_set::delete_columns idiom)
+/// releases its storage and narrows every later gather/filter pass, which
+/// is what keeps the SQ duplicate-explosion and MQ UNION ALL paths on
+/// narrow batches.
+class BatchTable {
+ public:
+  BatchTable() = default;
+  /// `num_slots` slots, all initially absent; zero rows.
+  explicit BatchTable(size_t num_slots) : columns_(num_slots) {}
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_slots() const { return columns_.size(); }
+  bool has_column(size_t slot) const { return columns_[slot].live; }
+  size_t live_columns() const;
+
+  const BatchColumn& column(size_t slot) const { return columns_[slot].col; }
+
+  /// Installs `col` at `slot`. When the table has live columns the size
+  /// must match num_rows(); when it has none the table adopts the
+  /// column's size as its row count.
+  void SetColumn(size_t slot, BatchColumn col);
+  /// Releases the slot's storage. The slot index stays valid (absent).
+  void DropColumn(size_t slot);
+
+  /// Sets the row count of a table with no live columns (a conjunct whose
+  /// every slot was dropped still has a row multiplicity).
+  void SetNumRowsColumnless(size_t n);
+
+  /// New table with the rows at `indices`, gathering only live columns.
+  BatchTable GatherRows(const std::vector<uint32_t>& indices) const;
+  /// In-place compaction keeping rows where keep[i] != 0.
+  void FilterRows(const std::vector<uint8_t>& keep);
+  /// Appends row `row` of `src` (slot-compatible tables only: every live
+  /// slot here must be live in src).
+  void AppendRowFrom(const BatchTable& src, size_t row);
+
+  /// Hash / equality of one row restricted to `slots` (all live).
+  uint64_t RowHash(size_t row, const std::vector<size_t>& slots) const;
+  bool RowsEqual(size_t row, const BatchTable& other, size_t other_row,
+                 const std::vector<size_t>& slots,
+                 const std::vector<size_t>& other_slots) const;
+
+ private:
+  struct Slot {
+    BatchColumn col;
+    bool live = false;
+  };
+  std::vector<Slot> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Vectorized hash join over batch key columns: build once over the key
+/// slots of a build-side batch, then probe with rows of another batch.
+/// Collisions are resolved by cell-level comparison at probe time, so
+/// matches are exact.
+class BatchHashTable {
+ public:
+  /// `build` is retained and must outlive the hash table.
+  BatchHashTable(const BatchTable* build, std::vector<size_t> key_slots);
+
+  /// Appends to `out` the build-side row indices whose key equals row
+  /// `row` of `probe` (keyed by `probe_slots`, same arity as the build
+  /// key).
+  void Probe(const BatchTable& probe, size_t row,
+             const std::vector<size_t>& probe_slots,
+             std::vector<uint32_t>* out) const;
+
+ private:
+  const BatchTable* build_;
+  std::vector<size_t> key_slots_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+};
+
+}  // namespace qp
+
+#endif  // QP_EXEC_BATCH_TABLE_H_

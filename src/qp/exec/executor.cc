@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "qp/exec/batch_table.h"
 #include "qp/pref/doi.h"
 #include "qp/util/fault_hub.h"
 
@@ -400,6 +401,309 @@ class ConjunctRunner {
   std::vector<bool> bound_;
 };
 
+/// Columnar twin of ConjunctRunner: the working set is a BatchTable with
+/// one contiguous RowId column per slot instead of a vector of per-row
+/// Binding allocations. Join steps emit (source row, matched id) index
+/// pairs and gather the surviving columns in one pass; slots whose column
+/// no later join or projection needs are dropped after each step so wide
+/// conjuncts narrow as they go. Stats counters are bumped at the exact
+/// sites ConjunctRunner bumps them (Materialize, cross product, probe
+/// output), so both engines report identical ExecutorStats.
+class BatchRunner {
+ public:
+  BatchRunner(JoinStrategy strategy, ExecutorStats* stats,
+              const CancelToken* cancel = nullptr)
+      : strategy_(strategy), stats_(stats), cancel_(cancel) {}
+
+  /// Same contract as ConjunctRunner::stopped(): a stopped run discards
+  /// the in-flight batch and returns an empty one.
+  bool stopped() const { return stopped_; }
+
+  /// Fresh run. `needed[i]` marks slots whose column must survive to the
+  /// end (projections, near conditions, dedup keys); the rest may be
+  /// dropped once every join touching them has been applied.
+  BatchTable Run(std::vector<VarSlot> slots, std::vector<ResolvedJoin> joins,
+                 std::vector<bool> needed) {
+    const size_t width = slots.size();
+    slots_ = std::move(slots);
+    joins_ = std::move(joins);
+    needed_ = std::move(needed);
+    bound_.assign(width, false);
+    batch_ = BatchTable(width);
+
+    for (const VarSlot& slot : slots_) {
+      if (slot.impossible || slot.table->num_rows() == 0) {
+        return BatchTable(width);
+      }
+    }
+    size_t seed = CheapestUnbound();
+    std::vector<RowId> ids = MaterializeIds(seed);
+    if (stopped_) return BatchTable(width);
+    batch_.SetColumn(seed, BatchColumn::RowIds(std::move(ids)));
+    bound_[seed] = true;
+    return Loop();
+  }
+
+  /// Seeded run over an initial batch whose `bound` slots carry core
+  /// bindings (the shared-core optimization).
+  BatchTable RunSeeded(std::vector<VarSlot> slots,
+                       std::vector<ResolvedJoin> joins, BatchTable initial,
+                       std::vector<bool> bound, std::vector<bool> needed) {
+    const size_t width = slots.size();
+    slots_ = std::move(slots);
+    joins_ = std::move(joins);
+    needed_ = std::move(needed);
+    bound_ = std::move(bound);
+    batch_ = std::move(initial);
+
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].impossible) return BatchTable(width);
+      if (!bound_[i] && slots_[i].table->num_rows() == 0) {
+        return BatchTable(width);
+      }
+    }
+    // Part-specific selections on already-bound (core) variables.
+    std::vector<uint8_t> keep(batch_.num_rows(), 1);
+    for (size_t r = 0; r < batch_.num_rows(); ++r) {
+      if (PollCancelStrided()) break;
+      bool ok = true;
+      for (size_t i = 0; i < slots_.size() && ok; ++i) {
+        if (!bound_[i]) continue;
+        if (slots_[i].selections.empty() && slots_[i].nears.empty()) continue;
+        ok = RowPassesSlot(slots_[i], batch_.column(i).row_id_at(r));
+      }
+      keep[r] = ok ? 1 : 0;
+    }
+    if (stopped_) return BatchTable(width);
+    batch_.FilterRows(keep);
+    ApplyNewlyBoundJoins();
+    return Loop();
+  }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  static constexpr uint64_t kPollStride = 128;
+
+  bool PollCancel() {
+    if (stopped_) return true;
+    if (cancel_ != nullptr && cancel_->ShouldStop()) stopped_ = true;
+    return stopped_;
+  }
+
+  bool PollCancelStrided() {
+    if (stopped_) return true;
+    if (cancel_ == nullptr) return false;
+    if ((++poll_counter_ % kPollStride) != 0) return false;
+    return PollCancel();
+  }
+
+  BatchTable Loop() {
+    const size_t width = slots_.size();
+    while (true) {
+      // Stopping between join steps discards the in-flight batch: it may
+      // have unbound slots and must not surface as rows.
+      if (PollCancel()) return BatchTable(width);
+      if (batch_.num_rows() == 0) return BatchTable(width);
+      size_t next = PickNextJoined();
+      if (next == kNone) {
+        next = CheapestUnbound();
+        if (next == kNone) break;  // All bound.
+        CrossProductStep(next);
+      } else {
+        JoinStep(next);
+      }
+      if (stopped_) return BatchTable(width);
+      bound_[next] = true;
+      ApplyNewlyBoundJoins();
+      DropDeadColumns();
+    }
+    return std::move(batch_);
+  }
+
+  size_t Estimate(size_t slot_index) const {
+    return EstimateSlot(slots_[slot_index], strategy_);
+  }
+
+  size_t CheapestUnbound() const {
+    size_t best = kNone;
+    size_t best_cost = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (bound_[i]) continue;
+      size_t cost = Estimate(i);
+      if (best == kNone || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  size_t PickNextJoined() const {
+    size_t best = kNone;
+    size_t best_cost = 0;
+    for (const ResolvedJoin& join : joins_) {
+      size_t target = kNone;
+      if (bound_[join.va] && !bound_[join.vb]) target = join.vb;
+      if (bound_[join.vb] && !bound_[join.va]) target = join.va;
+      if (target == kNone) continue;
+      size_t cost = Estimate(target);
+      if (best == kNone || cost < best_cost) {
+        best = target;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  /// Row ids of slot `i` passing its selections — the column-oriented
+  /// Materialize (no per-row Binding allocations).
+  std::vector<RowId> MaterializeIds(size_t i) {
+    const VarSlot& slot = slots_[i];
+    std::vector<RowId> out;
+    if (!slot.selections.empty() && strategy_ == JoinStrategy::kHashJoin) {
+      size_t best_col = 0;
+      size_t best_size = static_cast<size_t>(-1);
+      for (size_t s = 0; s < slot.selections.size(); ++s) {
+        size_t size = slot.table
+                          ->Lookup(slot.selections[s].first,
+                                   slot.selections[s].second)
+                          .size();
+        if (size < best_size) {
+          best_size = size;
+          best_col = s;
+        }
+      }
+      for (RowId id : slot.table->Lookup(slot.selections[best_col].first,
+                                         slot.selections[best_col].second)) {
+        if (PollCancelStrided()) break;
+        if (RowPassesSlot(slot, id)) out.push_back(id);
+      }
+    } else {
+      for (RowId id = 0; id < slot.table->num_rows(); ++id) {
+        if (PollCancelStrided()) break;
+        if (RowPassesSlot(slot, id)) out.push_back(id);
+      }
+    }
+    if (stats_ != nullptr) stats_->bindings += out.size();
+    return out;
+  }
+
+  void CrossProductStep(size_t i) {
+    std::vector<RowId> ids = MaterializeIds(i);
+    const size_t n = batch_.num_rows();
+    const size_t m = ids.size();
+    std::vector<uint32_t> base;
+    std::vector<RowId> tiled;
+    base.reserve(n * m);
+    tiled.reserve(n * m);
+    for (size_t b = 0; b < n; ++b) {
+      if (PollCancelStrided()) break;
+      for (size_t r = 0; r < m; ++r) {
+        base.push_back(static_cast<uint32_t>(b));
+        tiled.push_back(ids[r]);
+      }
+    }
+    batch_ = batch_.GatherRows(base);
+    batch_.SetColumn(i, BatchColumn::RowIds(std::move(tiled)));
+    if (stats_ != nullptr) stats_->bindings += batch_.num_rows();
+  }
+
+  /// Probes `target` through the first join atom connecting it to a bound
+  /// slot (the rest are checked by ApplyNewlyBoundJoins), gathering the
+  /// surviving rows column-wise.
+  void JoinStep(size_t target) {
+    const ResolvedJoin* probe = nullptr;
+    for (const ResolvedJoin& join : joins_) {
+      bool forward = bound_[join.va] && join.vb == target;
+      bool backward = bound_[join.vb] && join.va == target;
+      if (forward || backward) {
+        probe = &join;
+        break;
+      }
+    }
+    // probe != nullptr by construction of PickNextJoined.
+    size_t source = probe->va == target ? probe->vb : probe->va;
+    size_t source_col = probe->va == target ? probe->cb : probe->ca;
+    size_t target_col = probe->va == target ? probe->ca : probe->cb;
+
+    const VarSlot& slot = slots_[target];
+    const Table* source_table = slots_[source].table;
+    const BatchColumn& src = batch_.column(source);
+    const size_t n = batch_.num_rows();
+    std::vector<uint32_t> base;
+    std::vector<RowId> matched;
+    for (size_t b = 0; b < n; ++b) {
+      if (PollCancelStrided()) break;
+      const Value& key = source_table->At(src.row_id_at(b), source_col);
+      if (strategy_ == JoinStrategy::kHashJoin) {
+        for (RowId id : slot.table->Lookup(target_col, key)) {
+          if (!RowPassesSlot(slot, id)) continue;
+          base.push_back(static_cast<uint32_t>(b));
+          matched.push_back(id);
+        }
+      } else {
+        for (RowId id = 0; id < slot.table->num_rows(); ++id) {
+          if (slot.table->At(id, target_col) != key) continue;
+          if (!RowPassesSlot(slot, id)) continue;
+          base.push_back(static_cast<uint32_t>(b));
+          matched.push_back(id);
+        }
+      }
+    }
+    batch_ = batch_.GatherRows(base);
+    batch_.SetColumn(target, BatchColumn::RowIds(std::move(matched)));
+    if (stats_ != nullptr) stats_->bindings += batch_.num_rows();
+  }
+
+  /// Filters the batch by join atoms whose two sides just became bound.
+  void ApplyNewlyBoundJoins() {
+    for (ResolvedJoin& join : joins_) {
+      if (join.applied || !bound_[join.va] || !bound_[join.vb]) continue;
+      join.applied = true;
+      const size_t n = batch_.num_rows();
+      std::vector<uint8_t> keep(n);
+      const BatchColumn& a = batch_.column(join.va);
+      const BatchColumn& b = batch_.column(join.vb);
+      for (size_t r = 0; r < n; ++r) {
+        keep[r] = slots_[join.va].table->At(a.row_id_at(r), join.ca) ==
+                          slots_[join.vb].table->At(b.row_id_at(r), join.cb)
+                      ? 1
+                      : 0;
+      }
+      batch_.FilterRows(keep);
+    }
+  }
+
+  /// Drops bound columns that no projection/near needs and no unapplied
+  /// join references (z3's delete_columns idiom) — later gathers and
+  /// filters then move strictly narrower batches.
+  void DropDeadColumns() {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (!bound_[i] || !batch_.has_column(i) || needed_[i]) continue;
+      bool referenced = false;
+      for (const ResolvedJoin& join : joins_) {
+        if (join.applied) continue;
+        if (join.va == i || join.vb == i) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) batch_.DropColumn(i);
+    }
+  }
+
+  JoinStrategy strategy_;
+  ExecutorStats* stats_;
+  const CancelToken* cancel_;
+  bool stopped_ = false;
+  uint64_t poll_counter_ = 0;
+  std::vector<VarSlot> slots_;
+  std::vector<ResolvedJoin> joins_;
+  std::vector<bool> bound_;
+  std::vector<bool> needed_;
+  BatchTable batch_;
+};
+
 /// Variable aliases referenced by a conjunct plus the projections.
 std::unordered_set<std::string> UsedAliases(
     const std::vector<AtomicCondition>& atoms,
@@ -450,6 +754,68 @@ Row ProjectBinding(const std::vector<VarSlot>& slots,
     row.push_back(slots[slot].table->At(binding[slot], col));
   }
   return row;
+}
+
+/// Which slots' columns must survive a batch run: projected slots and
+/// slots carrying near conditions (needed for BatchSatisfactions). Pass
+/// `all` for paths that dedup at the binding level across disjuncts.
+std::vector<bool> NeededSlots(const std::vector<VarSlot>& slots,
+                              const std::vector<ProjectionItem>& projections,
+                              bool all) {
+  std::vector<bool> needed(slots.size(), all);
+  if (all) return needed;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].nears.empty()) needed[i] = true;
+    for (const auto& item : projections) {
+      if (slots[i].alias == item.var) needed[i] = true;
+    }
+  }
+  return needed;
+}
+
+/// Late materialization: projects a whole batch in one column-at-a-time
+/// pass (each projected payload column is gathered from its base table
+/// once), then assembles the output rows.
+std::vector<Row> ProjectBatch(const std::vector<VarSlot>& slots,
+                              const std::vector<ProjectionItem>& projections,
+                              const BatchTable& batch) {
+  std::vector<Row> rows(batch.num_rows());
+  if (batch.num_rows() == 0) return rows;
+  for (Row& row : rows) row.reserve(projections.size());
+  for (const auto& item : projections) {
+    size_t slot = 0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].alias == item.var) {
+        slot = i;
+        break;
+      }
+    }
+    size_t col = *slots[slot].table->schema().ColumnIndex(item.column);
+    BatchColumn payload = BatchColumn::FromTable(
+        *slots[slot].table, col, batch.column(slot).row_ids());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      rows[r].push_back(payload.ValueAt(r));
+    }
+  }
+  return rows;
+}
+
+/// Batch twin of BindingSatisfaction: per-row product of every near
+/// condition's satisfaction, multiplying factors in the same (slot, near)
+/// order so the doubles are bit-identical to the tuple engine's.
+std::vector<double> BatchSatisfactions(const std::vector<VarSlot>& slots,
+                                       const BatchTable& batch) {
+  std::vector<double> sat(batch.num_rows(), 1.0);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].nears.empty()) continue;
+    const std::vector<RowId>& ids = batch.column(i).row_ids();
+    for (const auto& [col, near] : slots[i].nears) {
+      for (size_t r = 0; r < ids.size(); ++r) {
+        sat[r] *= near.Satisfaction(slots[i].table->At(ids[r], col));
+      }
+    }
+  }
+  return sat;
 }
 
 /// Analysis result of the shared-core optimization: the conjunctive block
@@ -548,6 +914,63 @@ std::optional<SharedCorePlan> PlanSharedCore(const CompoundQuery& query) {
   return plan;
 }
 
+/// Per-row accumulation state for compound grouping/ranking, shared by
+/// both engines.
+struct CompoundGroup {
+  size_t count = 0;                // Positive parts only (count(*)).
+  ConjunctiveAccumulator degree;   // Positive parts' degrees.
+  ConjunctiveAccumulator dislike;  // |degree| of negative parts.
+};
+using CompoundGroupMap =
+    std::unordered_map<Row, CompoundGroup, RowHash, RowEq>;
+
+void AccumulateGroup(CompoundGroupMap* groups, const Row& row,
+                     double part_degree) {
+  CompoundGroup& group = (*groups)[row];
+  if (part_degree < 0.0) {
+    group.dislike.Add(-part_degree);
+  } else {
+    ++group.count;
+    group.degree.Add(part_degree);
+  }
+}
+
+/// Grouping, HAVING, dislike vetoes and ranking over the accumulated
+/// groups — the engine-independent tail of compound execution.
+ResultSet BuildCompoundResult(
+    const CompoundQuery& query, const CompoundGroupMap& groups,
+    const std::unordered_set<Row, RowHash, RowEq>& vetoed, bool truncated) {
+  std::vector<std::string> columns;
+  if (!query.parts().empty()) {
+    for (const auto& item : query.parts()[0].query.projections()) {
+      columns.push_back(item.OutputName());
+    }
+  }
+  ResultSet out(std::move(columns));
+  for (const auto& [row, group] : groups) {
+    if (vetoed.contains(row)) continue;
+    // A row produced only by penalty parts satisfies no positive
+    // preference; it is not part of the personalized answer.
+    if (group.count == 0 && !query.parts().empty()) continue;
+    // Signed combined degree: likes minus dislikes (SignedCombinedDoi).
+    double combined = group.degree.Degree() - group.dislike.Degree();
+    switch (query.having().kind) {
+      case HavingClause::Kind::kNone:
+        break;
+      case HavingClause::Kind::kCountAtLeast:
+        if (group.count < query.having().min_count) continue;
+        break;
+      case HavingClause::Kind::kDegreeAbove:
+        if (combined <= query.having().min_degree) continue;
+        break;
+    }
+    out.AddRankedRow(row, group.count, combined);
+  }
+  out.set_truncated(truncated);
+  out.Canonicalize();
+  return out;
+}
+
 }  // namespace
 
 void Executor::BindMetrics(obs::MetricsRegistry* registry) {
@@ -621,6 +1044,39 @@ Result<ResultSet> Executor::Execute(const CompoundQuery& query,
 
 Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query,
                                           ExecutorStats* stats) const {
+  return exec_ == ExecStrategy::kVectorized ? ExecuteSelectVec(query, stats)
+                                            : ExecuteSelectTuple(query, stats);
+}
+
+Result<ResultSet> Executor::ExecuteCompound(const CompoundQuery& query,
+                                            ExecutorStats* stats) const {
+  return exec_ == ExecStrategy::kVectorized
+             ? ExecuteCompoundVec(query, stats)
+             : ExecuteCompoundTuple(query, stats);
+}
+
+Status Executor::CollectExclusions(
+    const CompoundQuery& query, ExecutorStats* stats,
+    std::unordered_set<Row, RowHash, RowEq>* vetoed, bool* truncated) const {
+  // EXCEPT blocks: any row an exclusion query returns is vetoed. Once
+  // cancelled, remaining exclusions are skipped — dislike vetoes are then
+  // under-applied, which the truncated flag reports.
+  for (const SelectQuery& exclusion : query.exclusions()) {
+    if (*truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+      *truncated = true;
+      break;
+    }
+    QP_ASSIGN_OR_RETURN(ResultSet excluded, Execute(exclusion, stats));
+    if (excluded.truncated()) *truncated = true;
+    for (const Row& row : excluded.rows()) {
+      vetoed->insert(row);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ResultSet> Executor::ExecuteSelectTuple(const SelectQuery& query,
+                                               ExecutorStats* stats) const {
   QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
 
   std::vector<std::string> columns;
@@ -742,25 +1198,13 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query,
   return out;
 }
 
-Result<ResultSet> Executor::ExecuteCompound(const CompoundQuery& query,
-                                            ExecutorStats* stats) const {
+Result<ResultSet> Executor::ExecuteCompoundTuple(const CompoundQuery& query,
+                                                 ExecutorStats* stats) const {
   QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
 
-  struct Group {
-    size_t count = 0;                 // Positive parts only (count(*)).
-    ConjunctiveAccumulator degree;    // Positive parts' degrees.
-    ConjunctiveAccumulator dislike;   // |degree| of negative parts.
-  };
-  std::unordered_map<Row, Group, RowHash, RowEq> groups;
-
+  CompoundGroupMap groups;
   auto accumulate = [&](const Row& row, double part_degree) {
-    Group& group = groups[row];
-    if (part_degree < 0.0) {
-      group.dislike.Add(-part_degree);
-    } else {
-      ++group.count;
-      group.degree.Add(part_degree);
-    }
+    AccumulateGroup(&groups, row, part_degree);
   };
 
   // A compound is truncated when any constituent execution was cut short
@@ -978,51 +1422,388 @@ Result<ResultSet> Executor::ExecuteCompound(const CompoundQuery& query,
     }
   }
 
-  // EXCEPT blocks: any row an exclusion query returns is vetoed. Once
-  // cancelled, remaining exclusions are skipped — dislike vetoes are then
-  // under-applied, which the truncated flag reports.
   std::unordered_set<Row, RowHash, RowEq> vetoed;
-  for (const SelectQuery& exclusion : query.exclusions()) {
-    if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
-      truncated = true;
-      break;
+  QP_RETURN_IF_ERROR(CollectExclusions(query, stats, &vetoed, &truncated));
+  return BuildCompoundResult(query, groups, vetoed, truncated);
+}
+
+Result<ResultSet> Executor::ExecuteSelectVec(const SelectQuery& query,
+                                             ExecutorStats* stats) const {
+  QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
+
+  std::vector<std::string> columns;
+  for (const auto& item : query.projections()) {
+    columns.push_back(item.OutputName());
+  }
+  ResultSet out(columns);
+
+  // SQL semantics: any empty FROM table empties the whole product.
+  for (const TupleVariable& var : query.from()) {
+    QP_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(var.table));
+    if (table->num_rows() == 0) return out;
+  }
+
+  std::vector<std::vector<AtomicCondition>> dnf = ToDnf(query.where());
+
+  // Cooperative cancellation: a stopped runner discards the conjunct's
+  // in-flight batch (only fully-joined rows ever surface), and the whole
+  // result is flagged truncated.
+  bool truncated = false;
+  auto run_conjunct = [&](const std::vector<AtomicCondition>& atoms,
+                          const std::unordered_set<std::string>* subset,
+                          bool need_all)
+      -> Result<std::pair<std::vector<VarSlot>, BatchTable>> {
+    std::vector<TupleVariable> vars;
+    for (const TupleVariable& var : query.from()) {
+      if (subset != nullptr && !subset->contains(var.alias)) continue;
+      vars.push_back(var);
     }
-    QP_ASSIGN_OR_RETURN(ResultSet excluded, Execute(exclusion, stats));
-    if (excluded.truncated()) truncated = true;
-    for (const Row& row : excluded.rows()) {
-      vetoed.insert(row);
+    QP_ASSIGN_OR_RETURN(BuiltConjunct built,
+                        BuildConjunct(*db_, vars, atoms));
+    if (stats != nullptr) ++stats->disjuncts;
+    obs::ScopedSpan disjunct_span(trace_, "disjunct");
+    BatchRunner runner(strategy_, stats, cancel_);
+    BatchTable batch =
+        runner.Run(built.slots, std::move(built.joins),
+                   NeededSlots(built.slots, query.projections(), need_all));
+    if (runner.stopped()) truncated = true;
+    disjunct_span.Counter("rows", batch.num_rows());
+    disjunct_span.Counter("stopped", runner.stopped() ? 1 : 0);
+    return std::make_pair(std::move(built.slots), std::move(batch));
+  };
+
+  bool has_near = false;
+  {
+    std::vector<AtomicCondition> atoms;
+    if (query.where() != nullptr) query.where()->CollectAtoms(&atoms);
+    has_near = HasNearAtom(atoms);
+  }
+  std::vector<double> satisfactions;
+
+  if (query.distinct()) {
+    // Row-level dedup; a row reached through several bindings or
+    // disjuncts keeps its best soft-condition match.
+    std::unordered_map<Row, double, RowHash, RowEq> best;
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    for (const auto& disjunct : dnf) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining disjuncts skipped.
+        break;
+      }
+      std::unordered_set<std::string> used =
+          UsedAliases(disjunct, query.projections());
+      QP_ASSIGN_OR_RETURN(auto result, run_conjunct(disjunct, &used, false));
+      const auto& [slots, batch] = result;
+      if (stats != nullptr) stats->raw_rows += batch.num_rows();
+      std::vector<Row> rows = ProjectBatch(slots, query.projections(), batch);
+      std::vector<double> sats;
+      if (has_near) sats = BatchSatisfactions(slots, batch);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (has_near) {
+          auto [it, inserted] = best.emplace(std::move(rows[i]), sats[i]);
+          if (!inserted && sats[i] > it->second) it->second = sats[i];
+        } else if (seen.insert(rows[i]).second) {
+          out.AddRow(std::move(rows[i]));
+        }
+      }
+    }
+    if (has_near) {
+      for (auto& [row, sat] : best) {
+        out.AddRow(row);
+        satisfactions.push_back(sat);
+      }
+    }
+  } else if (dnf.size() == 1) {
+    QP_ASSIGN_OR_RETURN(auto result, run_conjunct(dnf[0], nullptr, false));
+    const auto& [slots, batch] = result;
+    if (stats != nullptr) stats->raw_rows += batch.num_rows();
+    std::vector<Row> rows = ProjectBatch(slots, query.projections(), batch);
+    if (has_near) satisfactions = BatchSatisfactions(slots, batch);
+    for (Row& row : rows) out.AddRow(std::move(row));
+  } else {
+    // OR over the full variable product without DISTINCT: deduplicate at
+    // the binding level, accumulating distinct bindings into a columnar
+    // `seen` batch keyed on every slot (hash buckets resolve collisions
+    // by cell comparison).
+    BatchTable distinct_bindings;
+    std::vector<double> best_sat;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    std::vector<size_t> all_slots;
+    std::vector<VarSlot> full_slots;
+    for (const auto& disjunct : dnf) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining disjuncts skipped.
+        break;
+      }
+      QP_ASSIGN_OR_RETURN(auto result, run_conjunct(disjunct, nullptr, true));
+      auto& [slots, batch] = result;
+      if (stats != nullptr) stats->raw_rows += batch.num_rows();
+      if (all_slots.empty()) {
+        distinct_bindings = BatchTable(slots.size());
+        for (size_t s = 0; s < slots.size(); ++s) {
+          all_slots.push_back(s);
+          distinct_bindings.SetColumn(s, BatchColumn::RowIds({}));
+        }
+      }
+      std::vector<double> sats;
+      if (has_near) sats = BatchSatisfactions(slots, batch);
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        double sat = has_near ? sats[i] : 1.0;
+        std::vector<uint32_t>& bucket = buckets[batch.RowHash(i, all_slots)];
+        int64_t found = -1;
+        for (uint32_t idx : bucket) {
+          if (distinct_bindings.RowsEqual(idx, batch, i, all_slots,
+                                          all_slots)) {
+            found = static_cast<int64_t>(idx);
+            break;
+          }
+        }
+        if (found < 0) {
+          bucket.push_back(static_cast<uint32_t>(distinct_bindings.num_rows()));
+          distinct_bindings.AppendRowFrom(batch, i);
+          best_sat.push_back(sat);
+        } else if (sat > best_sat[found]) {
+          best_sat[found] = sat;
+        }
+      }
+      full_slots = std::move(slots);
+    }
+    std::vector<Row> rows =
+        ProjectBatch(full_slots, query.projections(), distinct_bindings);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out.AddRow(std::move(rows[i]));
+      if (has_near) satisfactions.push_back(best_sat[i]);
     }
   }
 
-  std::vector<std::string> columns;
-  if (!query.parts().empty()) {
-    for (const auto& item : query.parts()[0].query.projections()) {
-      columns.push_back(item.OutputName());
-    }
-  }
-  ResultSet out(std::move(columns));
-  for (auto& [row, group] : groups) {
-    if (vetoed.contains(row)) continue;
-    // A row produced only by penalty parts satisfies no positive
-    // preference; it is not part of the personalized answer.
-    if (group.count == 0 && !query.parts().empty()) continue;
-    // Signed combined degree: likes minus dislikes (SignedCombinedDoi).
-    double combined = group.degree.Degree() - group.dislike.Degree();
-    switch (query.having().kind) {
-      case HavingClause::Kind::kNone:
-        break;
-      case HavingClause::Kind::kCountAtLeast:
-        if (group.count < query.having().min_count) continue;
-        break;
-      case HavingClause::Kind::kDegreeAbove:
-        if (combined <= query.having().min_degree) continue;
-        break;
-    }
-    out.AddRankedRow(row, group.count, combined);
-  }
+  if (has_near) out.set_satisfactions(std::move(satisfactions));
   out.set_truncated(truncated);
   out.Canonicalize();
   return out;
+}
+
+Result<ResultSet> Executor::ExecuteCompoundVec(const CompoundQuery& query,
+                                               ExecutorStats* stats) const {
+  QP_RETURN_IF_ERROR(query.Validate(db_->schema()));
+
+  CompoundGroupMap groups;
+  auto accumulate = [&](const Row& row, double part_degree) {
+    AccumulateGroup(&groups, row, part_degree);
+  };
+
+  bool truncated = false;
+
+  std::optional<SharedCorePlan> plan;
+  if (shared_core_) plan = PlanSharedCore(query);
+
+  if (plan.has_value()) {
+    // Execute the common block once (lazily — only if some part actually
+    // reuses it), keeping the core as a columnar batch; each part's
+    // residue then drives from or merges onto those columns.
+    bool core_table_empty = false;
+    for (const TupleVariable& var : plan->core_vars) {
+      QP_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(var.table));
+      if (table->num_rows() == 0) core_table_empty = true;
+    }
+    QP_ASSIGN_OR_RETURN(
+        BuiltConjunct core,
+        BuildConjunct(*db_, plan->core_vars, plan->core_atoms));
+    size_t core_entry_estimate = SIZE_MAX;
+    for (const VarSlot& slot : core.slots) {
+      core_entry_estimate =
+          std::min(core_entry_estimate, EstimateSlot(slot, strategy_));
+    }
+    const size_t core_n = plan->core_vars.size();
+    bool core_materialized = false;
+    BatchTable core_batch(core_n);
+    auto materialize_core = [&]() {
+      if (core_materialized) return;
+      core_materialized = true;
+      if (core_table_empty) return;
+      if (stats != nullptr) ++stats->disjuncts;
+      BatchRunner runner(strategy_, stats, cancel_);
+      // Every core column is needed: parts project them and residues
+      // join through them.
+      core_batch = runner.Run(core.slots, std::move(core.joins),
+                              std::vector<bool>(core_n, true));
+      if (runner.stopped()) truncated = true;
+    };
+
+    for (size_t p = 0; p < query.parts().size(); ++p) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining parts skipped.
+        break;
+      }
+      obs::ScopedSpan part_span(trace_, "part");
+      const CompoundPart& part = query.parts()[p];
+      const SharedCorePlan::PartResidue& residue = plan->parts[p];
+      // Slots: core variables first (matching core column order), then
+      // the part's extra variables.
+      std::vector<TupleVariable> vars = plan->core_vars;
+      vars.insert(vars.end(), residue.extra_vars.begin(),
+                  residue.extra_vars.end());
+      // Core near conditions participate in every part's satisfaction, so
+      // they are re-attached to the part's slot set.
+      std::vector<AtomicCondition> part_atoms = residue.extra_atoms;
+      for (const AtomicCondition& atom : plan->core_atoms) {
+        if (atom.is_near()) part_atoms.push_back(atom);
+      }
+      QP_ASSIGN_OR_RETURN(BuiltConjunct built,
+                          BuildConjunct(*db_, vars, part_atoms));
+
+      // Cost model identical to the tuple engine (see
+      // ExecuteCompoundTuple): naive vs drive vs merge.
+      size_t residue_entry = SIZE_MAX;
+      for (size_t i = core_n; i < built.slots.size(); ++i) {
+        residue_entry =
+            std::min(residue_entry, EstimateSlot(built.slots[i], strategy_));
+      }
+      size_t naive_entry = SIZE_MAX;
+      {
+        QP_ASSIGN_OR_RETURN(BuiltConjunct full,
+                            BuildConjunct(*db_, vars, residue.all_atoms));
+        for (const VarSlot& slot : full.slots) {
+          naive_entry = std::min(naive_entry, EstimateSlot(slot, strategy_));
+        }
+      }
+      if (naive_entry * 4 < core_entry_estimate) {
+        QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
+        if (partial.truncated()) truncated = true;
+        for (size_t i = 0; i < partial.num_rows(); ++i) {
+          accumulate(partial.row(i), part.degree * partial.satisfaction(i));
+        }
+        part_span.Counter("naive", 1);
+        part_span.Counter("rows", partial.num_rows());
+        continue;
+      }
+      materialize_core();
+      const bool drive_from_core =
+          residue.extra_vars.empty() ||
+          core_batch.num_rows() <= residue_entry;
+      if (stats != nullptr) ++stats->core_reuses;
+
+      std::vector<bool> needed =
+          NeededSlots(built.slots, part.query.projections(), false);
+      BatchTable part_batch(vars.size());
+      if (drive_from_core) {
+        std::vector<bool> bound(vars.size(), false);
+        BatchTable seeded(vars.size());
+        for (size_t i = 0; i < core_n; ++i) {
+          bound[i] = true;
+          // Copies the core column; an unmaterialized (empty) core simply
+          // installs empty columns.
+          seeded.SetColumn(i, core_batch.column(i));
+        }
+        // The residue is one conjunctive block: count it like the naive
+        // path (which recurses into Execute) does, so per-part disjunct
+        // attribution is strategy-independent.
+        if (stats != nullptr) ++stats->disjuncts;
+        BatchRunner runner(strategy_, stats, cancel_);
+        part_batch =
+            runner.RunSeeded(built.slots, std::move(built.joins),
+                             std::move(seeded), std::move(bound), needed);
+        if (runner.stopped()) truncated = true;
+      } else {
+        // Anchor core variables: the ones the residue's atoms touch.
+        std::vector<size_t> anchors;  // Indices into the core/var order.
+        {
+          std::unordered_set<std::string> referenced;
+          for (const AtomicCondition& atom : residue.extra_atoms) {
+            for (const std::string& alias : atom.ReferencedVars()) {
+              referenced.insert(alias);
+            }
+          }
+          for (size_t i = 0; i < core_n; ++i) {
+            if (referenced.contains(plan->core_vars[i].alias)) {
+              anchors.push_back(i);
+            }
+          }
+        }
+        // Run the residue independently over anchors + extras, keeping
+        // every residue column (anchors are join keys, extras may be
+        // projected or carry nears).
+        std::vector<TupleVariable> residue_vars;
+        for (size_t i : anchors) residue_vars.push_back(plan->core_vars[i]);
+        residue_vars.insert(residue_vars.end(), residue.extra_vars.begin(),
+                            residue.extra_vars.end());
+        QP_ASSIGN_OR_RETURN(
+            BuiltConjunct residue_built,
+            BuildConjunct(*db_, residue_vars, residue.extra_atoms));
+        // One conjunctive block, same attribution as the other strategies.
+        if (stats != nullptr) ++stats->disjuncts;
+        BatchRunner runner(strategy_, stats, cancel_);
+        BatchTable residue_batch =
+            runner.Run(residue_built.slots, std::move(residue_built.joins),
+                       std::vector<bool>(residue_vars.size(), true));
+        if (runner.stopped()) truncated = true;
+
+        // Vectorized merge: hash-build over the residue's anchor columns,
+        // probe with the core batch, then gather both sides column-wise
+        // into the merged part batch.
+        std::vector<size_t> residue_keys;
+        for (size_t i = 0; i < anchors.size(); ++i) residue_keys.push_back(i);
+        BatchHashTable by_anchor(&residue_batch, residue_keys);
+        std::vector<uint32_t> core_idx;
+        std::vector<uint32_t> residue_idx;
+        std::vector<uint32_t> matches;
+        for (size_t r = 0; r < core_batch.num_rows(); ++r) {
+          matches.clear();
+          by_anchor.Probe(core_batch, r, anchors, &matches);
+          for (uint32_t m : matches) {
+            core_idx.push_back(static_cast<uint32_t>(r));
+            residue_idx.push_back(m);
+          }
+        }
+        for (size_t i = 0; i < core_n; ++i) {
+          part_batch.SetColumn(i, core_batch.column(i).Gather(core_idx));
+        }
+        for (size_t e = 0; e < residue.extra_vars.size(); ++e) {
+          part_batch.SetColumn(
+              core_n + e,
+              residue_batch.column(anchors.size() + e).Gather(residue_idx));
+        }
+        if (part_batch.live_columns() == 0) {
+          part_batch.SetNumRowsColumnless(core_idx.size());
+        }
+        if (stats != nullptr) stats->bindings += part_batch.num_rows();
+      }
+
+      if (stats != nullptr) stats->raw_rows += part_batch.num_rows();
+      // Parts are DISTINCT; a row keeps its best soft-condition match.
+      std::vector<Row> rows =
+          ProjectBatch(built.slots, part.query.projections(), part_batch);
+      std::vector<double> sats = BatchSatisfactions(built.slots, part_batch);
+      std::unordered_map<Row, double, RowHash, RowEq> best;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        auto [it, inserted] = best.emplace(std::move(rows[i]), sats[i]);
+        if (!inserted && sats[i] > it->second) it->second = sats[i];
+      }
+      for (const auto& [row, sat] : best) {
+        accumulate(row, part.degree * sat);
+      }
+      part_span.Counter(drive_from_core ? "drive" : "merge", 1);
+      part_span.Counter("rows", best.size());
+    }
+  } else {
+    for (const CompoundPart& part : query.parts()) {
+      if (truncated || (cancel_ != nullptr && cancel_->ShouldStop())) {
+        truncated = true;  // Remaining parts skipped.
+        break;
+      }
+      obs::ScopedSpan part_span(trace_, "part");
+      QP_ASSIGN_OR_RETURN(ResultSet partial, Execute(part.query, stats));
+      if (partial.truncated()) truncated = true;
+      for (size_t i = 0; i < partial.num_rows(); ++i) {
+        accumulate(partial.row(i), part.degree * partial.satisfaction(i));
+      }
+      part_span.Counter("naive", 1);
+      part_span.Counter("rows", partial.num_rows());
+    }
+  }
+
+  std::unordered_set<Row, RowHash, RowEq> vetoed;
+  QP_RETURN_IF_ERROR(CollectExclusions(query, stats, &vetoed, &truncated));
+  return BuildCompoundResult(query, groups, vetoed, truncated);
 }
 
 }  // namespace qp

@@ -1,6 +1,8 @@
 #ifndef QP_EXEC_EXECUTOR_H_
 #define QP_EXEC_EXECUTOR_H_
 
+#include <unordered_set>
+
 #include "qp/exec/result.h"
 #include "qp/obs/metrics.h"
 #include "qp/obs/trace.h"
@@ -41,6 +43,20 @@ enum class JoinStrategy {
   kNestedLoop,
 };
 
+/// Execution engine knob. Both engines produce canonically identical
+/// ResultSets and identical ExecutorStats (pinned by the differential
+/// oracle and the stats-attribution regression suite); they differ only
+/// in how intermediate bindings are represented.
+enum class ExecStrategy {
+  /// Tuple-at-a-time: each intermediate binding is a heap-allocated
+  /// vector<RowId>. The original engine, kept as the differential oracle.
+  kTuple,
+  /// Columnar batches (BatchTable): one contiguous RowId column per tuple
+  /// variable, gather/filter join steps, late materialization of payload
+  /// columns, column drop after the last join that needs a slot.
+  kVectorized,
+};
+
 /// Evaluates queries against an in-memory Database. The executor handles
 /// the SQL subset the personalization framework emits:
 ///  - SelectQuery: arbitrary and/or trees of equality selections and
@@ -73,6 +89,12 @@ class Executor {
   void set_join_strategy(JoinStrategy strategy) { strategy_ = strategy; }
   void set_shared_core(bool enabled) { shared_core_ = enabled; }
 
+  /// Selects the execution engine (default: vectorized batches). The
+  /// tuple engine remains available as the differential-testing oracle
+  /// and for ablation benchmarks.
+  void set_exec_strategy(ExecStrategy strategy) { exec_ = strategy; }
+  ExecStrategy exec_strategy() const { return exec_; }
+
   /// Cooperative cancellation: `cancel` (not owned; may be null) is
   /// polled periodically from the row loops. When it trips, execution
   /// stops producing and returns the rows fully materialized so far as a
@@ -94,10 +116,26 @@ class Executor {
   void BindMetrics(obs::MetricsRegistry* registry);
 
  private:
+  /// Strategy dispatchers.
   Result<ResultSet> ExecuteSelect(const SelectQuery& query,
                                   ExecutorStats* stats) const;
   Result<ResultSet> ExecuteCompound(const CompoundQuery& query,
                                     ExecutorStats* stats) const;
+  /// Tuple-at-a-time engine.
+  Result<ResultSet> ExecuteSelectTuple(const SelectQuery& query,
+                                       ExecutorStats* stats) const;
+  Result<ResultSet> ExecuteCompoundTuple(const CompoundQuery& query,
+                                         ExecutorStats* stats) const;
+  /// Columnar batch engine.
+  Result<ResultSet> ExecuteSelectVec(const SelectQuery& query,
+                                     ExecutorStats* stats) const;
+  Result<ResultSet> ExecuteCompoundVec(const CompoundQuery& query,
+                                       ExecutorStats* stats) const;
+  /// EXCEPT blocks, shared by both compound engines: rows returned by any
+  /// exclusion query land in `vetoed`.
+  Status CollectExclusions(const CompoundQuery& query, ExecutorStats* stats,
+                           std::unordered_set<Row, RowHash, RowEq>* vetoed,
+                           bool* truncated) const;
   /// Closes the outermost "execution" span with the stats delta and rows
   /// produced, and mirrors the delta into the bound registry counters.
   void FinishOuterExecute(obs::ScopedSpan* span, const ExecutorStats& entry,
@@ -106,6 +144,7 @@ class Executor {
 
   const Database* db_;
   JoinStrategy strategy_ = JoinStrategy::kHashJoin;
+  ExecStrategy exec_ = ExecStrategy::kVectorized;
   bool shared_core_ = true;
   const CancelToken* cancel_ = nullptr;
   obs::RequestTrace* trace_ = nullptr;

@@ -2,21 +2,26 @@
 # The full CI gate, in the order a reviewer wants failures reported:
 #
 #   1. regular build + the whole ctest suite (tier-1: must stay green);
-#   2. the durability/crash-recovery, request-lifecycle, observability
-#      and chaos/robustness suites under ThreadSanitizer and
-#      AddressSanitizer+UBSan via tests/run_sanitized.sh — the randomized
-#      crash-recovery property suite (>= 500 trials), the overload/
-#      admission tests, the metrics/trace accounting tests and the seeded
-#      chaos trials (QP_CHAOS_TRIALS=100 per sanitizer, >= 200 total;
-#      every trial prints its seed, so a failure names its exact replay)
-#      are only trusted once they have passed under both;
+#   2. the durability/crash-recovery, request-lifecycle, observability,
+#      chaos/robustness and executor-engine suites under ThreadSanitizer
+#      and AddressSanitizer+UBSan via tests/run_sanitized.sh — the
+#      randomized crash-recovery property suite (>= 500 trials), the
+#      overload/admission tests, the metrics/trace accounting tests, the
+#      seeded chaos trials (QP_CHAOS_TRIALS=100 per sanitizer, >= 200
+#      total) and the executor differential oracle (vectorized vs tuple;
+#      QP_EXEC_TRIALS=150 per sanitizer — the full 800-trial sweep runs
+#      unsanitized in stage 1; every trial prints its seed, so a failure
+#      names its exact replay) are only trusted once they have passed
+#      under both;
 #   3. a compile check that -DQP_FAULTS_DISABLED=ON still builds: the
 #      fault sites must stub to literal no-ops in production builds;
 #   4. benchmark snapshots in machine-readable JSON via $QP_BENCH_JSON
 #      (build/bench_report.json: one BenchReport object per line —
 #      overload disposition fractions, service-throughput latency
-#      percentiles, and fault-recovery costs: breaker time-to-recover
-#      and the steady-state scrub tax), so a regression in
+#      percentiles, fault-recovery costs: breaker time-to-recover and
+#      the steady-state scrub tax, and executor-engine timings — the
+#      ablation_exec / fig8 / fig9 reports record both the tuple and the
+#      vectorized engine plus their speedup ratio), so a regression in
 #      shed/degrade/recovery behaviour or the perf trajectory shows up
 #      as an artifact diff.
 #
@@ -39,6 +44,7 @@ STORAGE_FILTER='crc32c|wal_test|record_fuzz|snapshot_test|durable_store|crash_re
 LIFECYCLE_FILTER='deadline_test|selection_deadline|executor_cancel|service_lifecycle|storage_retry'
 OBS_FILTER='obs_metrics|obs_trace|service_trace|executor_stats_attribution|service_stats_identity'
 CHAOS_FILTER='fault_hub|breaker_recovery|scrubber_test|bitflip_robustness|chaos_property'
+EXEC_FILTER='batch_table|exec_differential|vectorized_cancel'
 
 echo "==== [ci] regular build ===="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -52,13 +58,15 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "==== [ci] sanitized storage + lifecycle + obs + chaos suites ===="
-# 100 seeded chaos trials per sanitizer build (>= 200 total). A failing
-# or hanging trial prints "[chaos] trial N seed=S" before it runs, so
-# the log always names the seed to replay.
-QP_CHAOS_TRIALS=100 \
+echo "==== [ci] sanitized storage + lifecycle + obs + chaos + exec suites ===="
+# 100 seeded chaos trials per sanitizer build (>= 200 total), and 150
+# executor differential trials per sanitizer build (the unsanitized
+# 800-trial sweep already ran in stage 1). A failing or hanging trial
+# prints "[chaos] trial N seed=S" / "[diff] trial N seed=S" before it
+# runs, so the log always names the seed to replay.
+QP_CHAOS_TRIALS=100 QP_EXEC_TRIALS=150 \
   tests/run_sanitized.sh all \
-  -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER|$CHAOS_FILTER"
+  -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER|$CHAOS_FILTER|$EXEC_FILTER"
 
 echo "==== [ci] QP_FAULTS_DISABLED compile check ===="
 # Production builds compile every fault site to a literal no-op; this
@@ -82,6 +90,13 @@ QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/service_throughput" \
 # time-to-recover, steady-state scrub tax (acceptance bar: < 2%).
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fault_recovery" \
   --benchmark_min_time=0.05 >/dev/null
+# Executor-engine timings: both strategies (tuple vs vectorized batch)
+# per query shape / K / L, plus the aggregate vec_speedup* ratios — the
+# before/after evidence for the columnar executor.
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/ablation_exec" \
+  --benchmark_min_time=0.05 >/dev/null
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fig8_sq_mq_vs_k" >/dev/null
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fig9_sq_mq_vs_l" >/dev/null
 echo "wrote $REPORT:"
 cat "$REPORT"
 

@@ -1,0 +1,248 @@
+// BatchTable / BatchColumn / BatchHashTable edge cases: empty batches,
+// single-row batches, all-duplicate keys, null cells, and column values
+// at the int64 type boundaries. These are the primitives the vectorized
+// executor is built on, so their append/gather/filter/drop semantics are
+// pinned here independently of any query.
+
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "qp/exec/batch_table.h"
+#include "qp/relational/schema.h"
+#include "qp/relational/table.h"
+
+namespace qp {
+namespace {
+
+TableSchema MixedSchema() {
+  return TableSchema("T", {{"i", DataType::kInt64},
+                           {"d", DataType::kDouble},
+                           {"s", DataType::kString}});
+}
+
+TEST(BatchColumnTest, EmptyColumnBasics) {
+  BatchColumn col(BatchColumn::Type::kInt64);
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_TRUE(col.empty());
+  BatchColumn gathered = col.Gather({});
+  EXPECT_EQ(gathered.size(), 0u);
+  col.Filter({});
+  EXPECT_EQ(col.size(), 0u);
+}
+
+TEST(BatchColumnTest, Int64TypeBoundaries) {
+  BatchColumn col(BatchColumn::Type::kInt64);
+  const int64_t lo = std::numeric_limits<int64_t>::min();
+  const int64_t hi = std::numeric_limits<int64_t>::max();
+  col.AppendValue(Value::Int(lo));
+  col.AppendValue(Value::Int(hi));
+  col.AppendValue(Value::Int(0));
+  col.AppendValue(Value::Int(-1));
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.int_at(0), lo);
+  EXPECT_EQ(col.int_at(1), hi);
+  EXPECT_EQ(col.ValueAt(0), Value::Int(lo));
+  EXPECT_EQ(col.ValueAt(1), Value::Int(hi));
+  // Boundary values hash distinctly and compare exactly.
+  EXPECT_NE(col.HashAt(0), col.HashAt(1));
+  EXPECT_TRUE(col.CellEquals(0, col, 0));
+  EXPECT_FALSE(col.CellEquals(0, col, 1));
+  EXPECT_FALSE(col.CellEquals(2, col, 3));
+}
+
+TEST(BatchColumnTest, DoubleZeroesHashAlike) {
+  BatchColumn col(BatchColumn::Type::kDouble);
+  col.AppendValue(Value::Real(0.0));
+  col.AppendValue(Value::Real(-0.0));
+  // -0.0 == 0.0, so the hash must collapse the two bit patterns.
+  EXPECT_TRUE(col.CellEquals(0, col, 1));
+  EXPECT_EQ(col.HashAt(0), col.HashAt(1));
+}
+
+TEST(BatchColumnTest, NullCellsTrackedAndRoundTripped) {
+  BatchColumn col(BatchColumn::Type::kString);
+  col.AppendValue(Value::Str("a"));
+  col.AppendValue(Value::Null());
+  col.AppendValue(Value::Str(""));
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.is_null(0));
+  EXPECT_TRUE(col.is_null(1));
+  EXPECT_FALSE(col.is_null(2));
+  EXPECT_EQ(col.ValueAt(1), Value::Null());
+  EXPECT_EQ(col.ValueAt(2), Value::Str(""));
+  // NULL equals NULL (grouping semantics), never a real cell — not even
+  // the empty string the null slot physically stores.
+  EXPECT_TRUE(col.CellEquals(1, col, 1));
+  EXPECT_FALSE(col.CellEquals(1, col, 2));
+  EXPECT_NE(col.HashAt(1), col.HashAt(2));
+  // Null mask survives gather and filter.
+  BatchColumn gathered = col.Gather({2, 1, 1, 0});
+  ASSERT_EQ(gathered.size(), 4u);
+  EXPECT_TRUE(gathered.is_null(1));
+  EXPECT_TRUE(gathered.is_null(2));
+  EXPECT_FALSE(gathered.is_null(3));
+  gathered.Filter({0, 1, 0, 1});
+  ASSERT_EQ(gathered.size(), 2u);
+  EXPECT_TRUE(gathered.is_null(0));
+  EXPECT_EQ(gathered.ValueAt(1), Value::Str("a"));
+  // AppendFrom propagates nullness.
+  BatchColumn copy(BatchColumn::Type::kString);
+  copy.AppendFrom(col, 1);
+  copy.AppendFrom(col, 0);
+  EXPECT_TRUE(copy.is_null(0));
+  EXPECT_EQ(copy.ValueAt(1), Value::Str("a"));
+}
+
+TEST(BatchColumnTest, FromTableLateMaterialization) {
+  Table table(MixedSchema());
+  ASSERT_TRUE(
+      table.Insert({Value::Int(1), Value::Real(1.5), Value::Str("x")}).ok());
+  ASSERT_TRUE(
+      table.Insert({Value::Int(2), Value::Null(), Value::Str("y")}).ok());
+  ASSERT_TRUE(
+      table.Insert({Value::Int(3), Value::Real(-2.5), Value::Null()}).ok());
+
+  // Gather out of order with a repeat — exactly what a binding column
+  // produces after joins.
+  std::vector<RowId> ids = {2, 0, 0, 1};
+  BatchColumn ints = BatchColumn::FromTable(table, 0, ids);
+  BatchColumn doubles = BatchColumn::FromTable(table, 1, ids);
+  BatchColumn strings = BatchColumn::FromTable(table, 2, ids);
+  ASSERT_EQ(ints.size(), 4u);
+  EXPECT_EQ(ints.int_at(0), 3);
+  EXPECT_EQ(ints.int_at(1), 1);
+  EXPECT_EQ(ints.int_at(2), 1);
+  EXPECT_EQ(ints.int_at(3), 2);
+  EXPECT_EQ(doubles.ValueAt(0), Value::Real(-2.5));
+  EXPECT_TRUE(doubles.is_null(3));
+  EXPECT_TRUE(strings.is_null(0));
+  EXPECT_EQ(strings.ValueAt(1), Value::Str("x"));
+  // Empty gather: legal, yields an empty column.
+  EXPECT_EQ(BatchColumn::FromTable(table, 0, {}).size(), 0u);
+}
+
+TEST(BatchTableTest, EmptyTableAndSingleRow) {
+  BatchTable empty(3);
+  EXPECT_EQ(empty.num_rows(), 0u);
+  EXPECT_EQ(empty.num_slots(), 3u);
+  EXPECT_EQ(empty.live_columns(), 0u);
+  EXPECT_FALSE(empty.has_column(0));
+
+  BatchTable one(2);
+  one.SetColumn(0, BatchColumn::RowIds({7}));
+  EXPECT_EQ(one.num_rows(), 1u);  // Adopted from the first live column.
+  one.SetColumn(1, BatchColumn::RowIds({9}));
+  EXPECT_EQ(one.live_columns(), 2u);
+  EXPECT_EQ(one.column(1).row_id_at(0), 9u);
+  BatchTable gathered = one.GatherRows({0, 0, 0});
+  EXPECT_EQ(gathered.num_rows(), 3u);
+  EXPECT_EQ(gathered.column(0).row_id_at(2), 7u);
+}
+
+TEST(BatchTableTest, DropColumnKeepsRowCountAndSlotIndices) {
+  BatchTable batch(3);
+  batch.SetColumn(0, BatchColumn::RowIds({1, 2, 3}));
+  batch.SetColumn(2, BatchColumn::RowIds({4, 5, 6}));
+  ASSERT_EQ(batch.num_rows(), 3u);
+  batch.DropColumn(0);
+  EXPECT_FALSE(batch.has_column(0));
+  EXPECT_TRUE(batch.has_column(2));
+  EXPECT_EQ(batch.num_rows(), 3u);  // Multiplicity survives the drop.
+  EXPECT_EQ(batch.live_columns(), 1u);
+  // Gather and filter only touch live columns.
+  BatchTable g = batch.GatherRows({2, 0});
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_FALSE(g.has_column(0));
+  EXPECT_EQ(g.column(2).row_id_at(0), 6u);
+  batch.FilterRows({1, 0, 1});
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.column(2).row_id_at(1), 6u);
+  // Dropping every column leaves a pure multiplicity, still settable.
+  batch.DropColumn(2);
+  EXPECT_EQ(batch.live_columns(), 0u);
+  EXPECT_EQ(batch.num_rows(), 2u);
+  batch.SetNumRowsColumnless(5);
+  EXPECT_EQ(batch.num_rows(), 5u);
+}
+
+TEST(BatchTableTest, AppendRowFromAccumulates) {
+  BatchTable src(2);
+  src.SetColumn(0, BatchColumn::RowIds({1, 2}));
+  src.SetColumn(1, BatchColumn::RowIds({3, 4}));
+  BatchTable acc(2);
+  acc.SetColumn(0, BatchColumn::RowIds({}));
+  acc.SetColumn(1, BatchColumn::RowIds({}));
+  acc.AppendRowFrom(src, 1);
+  acc.AppendRowFrom(src, 0);
+  ASSERT_EQ(acc.num_rows(), 2u);
+  EXPECT_EQ(acc.column(0).row_id_at(0), 2u);
+  EXPECT_EQ(acc.column(1).row_id_at(0), 4u);
+  EXPECT_EQ(acc.column(0).row_id_at(1), 1u);
+  EXPECT_TRUE(acc.RowsEqual(0, src, 1, {0, 1}, {0, 1}));
+  EXPECT_FALSE(acc.RowsEqual(0, src, 0, {0, 1}, {0, 1}));
+  EXPECT_EQ(acc.RowHash(0, {0, 1}), src.RowHash(1, {0, 1}));
+}
+
+TEST(BatchHashTableTest, EmptyBuildSideMatchesNothing) {
+  BatchTable build(1);
+  build.SetColumn(0, BatchColumn::RowIds({}));
+  BatchHashTable ht(&build, {0});
+  BatchTable probe(1);
+  probe.SetColumn(0, BatchColumn::RowIds({42}));
+  std::vector<uint32_t> out;
+  ht.Probe(probe, 0, {0}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BatchHashTableTest, AllDuplicateKeysReturnEveryMatch) {
+  // Every build row has the same key: a probe must surface all of them,
+  // in build order (join fan-out correctness).
+  BatchTable build(2);
+  build.SetColumn(0, BatchColumn::RowIds({5, 5, 5, 5}));
+  build.SetColumn(1, BatchColumn::RowIds({0, 1, 2, 3}));
+  BatchHashTable ht(&build, {0});
+  BatchTable probe(1);
+  probe.SetColumn(0, BatchColumn::RowIds({5, 6}));
+  std::vector<uint32_t> out;
+  ht.Probe(probe, 0, {0}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1, 2, 3}));
+  out.clear();
+  ht.Probe(probe, 1, {0}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BatchHashTableTest, CompositeKeysVerifyCellEquality) {
+  BatchTable build(2);
+  build.SetColumn(0, BatchColumn::RowIds({1, 1, 2}));
+  build.SetColumn(1, BatchColumn::RowIds({10, 20, 10}));
+  BatchHashTable ht(&build, {0, 1});
+  BatchTable probe(2);
+  probe.SetColumn(0, BatchColumn::RowIds({1, 2, 2}));
+  probe.SetColumn(1, BatchColumn::RowIds({20, 10, 20}));
+  std::vector<uint32_t> out;
+  ht.Probe(probe, 0, {0, 1}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1}));
+  out.clear();
+  ht.Probe(probe, 1, {0, 1}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2}));
+  out.clear();
+  ht.Probe(probe, 2, {0, 1}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BatchHashTableTest, EmptyKeyMatchesEverything) {
+  // A zero-arity key (the merge path with no anchor variables) degrades
+  // to a cross product: every build row matches every probe row.
+  BatchTable build(1);
+  build.SetColumn(0, BatchColumn::RowIds({0, 1, 2}));
+  BatchHashTable ht(&build, {});
+  BatchTable probe(1);
+  probe.SetColumn(0, BatchColumn::RowIds({9}));
+  std::vector<uint32_t> out;
+  ht.Probe(probe, 0, {}, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,369 @@
+// The executor differential oracle: the vectorized batch engine must be
+// observationally identical to the tuple-at-a-time engine. Thousands of
+// seeded trials draw a random profile, a random SPJ query and random
+// K/L/near/negative knobs, personalize it both as SQ and MQ, execute
+// through both engines, and assert canonicalized result equality
+// (DebugString pins rows, order, satisfactions, counts and degrees) plus
+// identical ExecutorStats. Additional trials check the truncation
+// contract under mid-flight cancellation and result equality when an
+// armed `exec.disjunct` chaos fault hits both engines the same way.
+//
+// Every trial prints "[diff] trial N seed=S" before running, so a
+// failure names its exact replay. QP_EXEC_TRIALS overrides the trial
+// count (CI's sanitizer stage lowers it; the default of 800 randomized
+// trials yields well over 1000 differential executions on its own —
+// most trials compare both an SQ and an MQ plan — plus the K/L grid,
+// cancellation and chaos sweeps on top).
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/workload.h"
+#include "qp/exec/executor.h"
+#include "qp/graph/personalization_graph.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/util/deadline.h"
+#include "qp/util/fault_hub.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+size_t TrialsFromEnv(size_t fallback) {
+  const char* env = std::getenv("QP_EXEC_TRIALS");
+  if (env == nullptr || *env == '\0') return fallback;
+  long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// Multiset containment: every row of `part` appears in `whole` at least
+/// as many times.
+bool SubMultiset(const std::vector<Row>& part, const std::vector<Row>& whole) {
+  std::unordered_map<Row, int, RowHash, RowEq> counts;
+  for (const Row& row : whole) ++counts[row];
+  for (const Row& row : part) {
+    if (--counts[row] < 0) return false;
+  }
+  return true;
+}
+
+bool StatsEqual(const ExecutorStats& a, const ExecutorStats& b) {
+  return a.disjuncts == b.disjuncts && a.bindings == b.bindings &&
+         a.raw_rows == b.raw_rows && a.core_reuses == b.core_reuses;
+}
+
+/// Shared fixture state: a small but join-rich database (every relation
+/// populated) reused across trials — regenerating it per trial would
+/// dominate the suite's runtime without adding coverage, since the
+/// randomness that matters (profiles, queries, K/L) is per-trial.
+class ExecDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MovieDbConfig config;
+    config.num_movies = 120;
+    config.num_actors = 80;
+    config.num_directors = 25;
+    config.num_theatres = 6;
+    config.num_regions = 4;
+    config.num_genres = 8;
+    config.num_days = 4;
+    config.plays_per_theatre_per_day = 2;
+    config.seed = 20260809;
+    auto db = GenerateMovieDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = new Database(std::move(db).value());
+    schema_ = new Schema(MovieSchema());
+    auto pools = MovieCandidatePools(*db_);
+    ASSERT_TRUE(pools.ok()) << pools.status();
+    pools_ = new std::vector<CandidatePool>(std::move(pools).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete pools_;
+    pools_ = nullptr;
+    delete schema_;
+    schema_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  /// One random personalization setup drawn from `seed`: profile, query
+  /// and options. Returns false when this seed's profile/query draw is
+  /// degenerate (generator could not satisfy the request) — the trial is
+  /// skipped, which the caller counts.
+  struct Trial {
+    SelectQuery query;
+    PersonalizationOptions options;
+    std::unique_ptr<PersonalizationGraph> graph;
+  };
+  static bool DrawTrial(uint64_t seed, Trial* out) {
+    Rng rng(seed);
+    ProfileGeneratorOptions profile_options;
+    profile_options.num_selections = 10 + rng.Below(30);
+    profile_options.near_fraction = rng.Below(3) == 0 ? 0.3 : 0.0;
+    profile_options.negative_fraction = rng.Below(4) == 0 ? 0.2 : 0.0;
+    ProfileGenerator generator(schema_, *pools_);
+    auto profile = generator.Generate(profile_options, &rng);
+    if (!profile.ok()) return false;
+    auto graph = PersonalizationGraph::Build(schema_, *profile);
+    if (!graph.ok()) return false;
+
+    WorkloadGenerator workload(db_, rng.Next());
+    auto query = workload.RandomQuery();
+    if (!query.ok()) return false;
+
+    PersonalizationOptions options;
+    const size_t k = 1 + rng.Below(6);
+    options.criterion = InterestCriterion::TopCount(k);
+    options.integration.mandatory_count = rng.Below(2);
+    options.integration.min_satisfied = 1 + rng.Below(3);
+    if (rng.Below(4) == 0) options.max_negative = 1 + rng.Below(2);
+
+    out->query = std::move(query).value();
+    out->options = options;
+    out->graph = std::make_unique<PersonalizationGraph>(
+        std::move(graph).value());
+    return true;
+  }
+
+  /// Executes `query` through one engine.
+  template <typename Query>
+  static Result<ResultSet> Run(const Query& query, ExecStrategy engine,
+                               ExecutorStats* stats,
+                               const CancelToken* cancel = nullptr) {
+    Executor executor(db_);
+    executor.set_exec_strategy(engine);
+    if (cancel != nullptr) executor.set_cancel_token(cancel);
+    return executor.Execute(query, stats);
+  }
+
+  /// Asserts tuple == vectorized for one personalized query (both SQ and
+  /// MQ where produced). Adds the number of differential comparisons
+  /// made to *comparisons (0 when personalization failed for this draw).
+  static void CheckTrial(const Trial& trial, uint64_t seed,
+                         size_t* comparisons) {
+    Personalizer personalizer(trial.graph.get());
+    for (IntegrationApproach approach :
+         {IntegrationApproach::kSingleQuery,
+          IntegrationApproach::kMultipleQueries}) {
+      PersonalizationOptions options = trial.options;
+      options.approach = approach;
+      if (options.max_negative > 0 &&
+          approach == IntegrationApproach::kSingleQuery) {
+        options.max_negative = 0;  // Dislikes require MQ.
+      }
+      auto outcome = personalizer.Personalize(trial.query, options);
+      if (!outcome.ok()) continue;  // Degenerate draw (e.g. C(K-M,L) cap).
+
+      ExecutorStats tuple_stats;
+      ExecutorStats vec_stats;
+      Result<ResultSet> tuple_result =
+          outcome->sq.has_value()
+              ? Run(*outcome->sq, ExecStrategy::kTuple, &tuple_stats)
+              : Run(*outcome->mq, ExecStrategy::kTuple, &tuple_stats);
+      Result<ResultSet> vec_result =
+          outcome->sq.has_value()
+              ? Run(*outcome->sq, ExecStrategy::kVectorized, &vec_stats)
+              : Run(*outcome->mq, ExecStrategy::kVectorized, &vec_stats);
+      ASSERT_EQ(tuple_result.ok(), vec_result.ok()) << "seed=" << seed;
+      if (!tuple_result.ok()) continue;
+      // Canonicalized equality: rows, order, counts, degrees,
+      // satisfactions and the truncated flag all serialize into
+      // DebugString.
+      EXPECT_EQ(tuple_result->DebugString(100000),
+                vec_result->DebugString(100000))
+          << "seed=" << seed << " approach="
+          << (outcome->sq.has_value() ? "SQ" : "MQ");
+      EXPECT_EQ(tuple_result->truncated(), vec_result->truncated())
+          << "seed=" << seed;
+      EXPECT_TRUE(StatsEqual(tuple_stats, vec_stats))
+          << "seed=" << seed << " tuple={" << tuple_stats.disjuncts << ","
+          << tuple_stats.bindings << "," << tuple_stats.raw_rows << ","
+          << tuple_stats.core_reuses << "} vec={" << vec_stats.disjuncts
+          << "," << vec_stats.bindings << "," << vec_stats.raw_rows << ","
+          << vec_stats.core_reuses << "}";
+      ++*comparisons;
+    }
+  }
+
+  static Database* db_;
+  static Schema* schema_;
+  static std::vector<CandidatePool>* pools_;
+};
+
+Database* ExecDifferentialTest::db_ = nullptr;
+Schema* ExecDifferentialTest::schema_ = nullptr;
+std::vector<CandidatePool>* ExecDifferentialTest::pools_ = nullptr;
+
+TEST_F(ExecDifferentialTest, RandomizedPersonalizedQueriesAgree) {
+  const size_t trials = TrialsFromEnv(800);
+  size_t comparisons = 0;
+  for (size_t n = 0; n < trials; ++n) {
+    const uint64_t seed = 0x5EED0000ULL + n;
+    if ((n % 100) == 0) {
+      std::printf("[diff] trial %zu/%zu seed=%llu (%zu comparisons so far)\n",
+                  n, trials, static_cast<unsigned long long>(seed),
+                  comparisons);
+    }
+    Trial trial;
+    if (!DrawTrial(seed, &trial)) continue;
+    CheckTrial(trial, seed, &comparisons);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      std::printf("[diff] FAILED at trial %zu seed=%llu\n", n,
+                  static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+  std::printf("[diff] %zu trials -> %zu differential comparisons\n", trials,
+              comparisons);
+  // The suite is meaningless if the generator mostly produced degenerate
+  // draws; demand that the overwhelming majority personalized + executed,
+  // and that the headline >= 1000 differential-execution bar is met.
+  EXPECT_GE(comparisons, trials);
+  if (trials >= 800) EXPECT_GE(comparisons, 1000u);
+}
+
+TEST_F(ExecDifferentialTest, KAndLSweepAgrees) {
+  // Deterministic K/L grid over one profile/query draw per cell — the
+  // paper's fig8/fig9 axes, differentially checked.
+  const size_t trials = TrialsFromEnv(800);
+  const size_t per_cell = std::max<size_t>(1, trials / 60);
+  size_t comparisons = 0;
+  for (size_t k = 1; k <= 6; ++k) {
+    for (size_t l = 1; l <= 3; ++l) {
+      for (size_t rep = 0; rep < per_cell; ++rep) {
+        const uint64_t seed = 0xF16000ULL + k * 1000 + l * 100 + rep;
+        Trial trial;
+        if (!DrawTrial(seed, &trial)) continue;
+        trial.options.criterion = InterestCriterion::TopCount(k);
+        trial.options.integration.min_satisfied = l;
+        CheckTrial(trial, seed, &comparisons);
+        if (HasFatalFailure() || HasNonfatalFailure()) {
+          std::printf("[diff] FAILED at K=%zu L=%zu seed=%llu\n", k, l,
+                      static_cast<unsigned long long>(seed));
+          return;
+        }
+      }
+    }
+  }
+  std::printf("[diff] K/L sweep -> %zu differential comparisons\n",
+              comparisons);
+  EXPECT_GT(comparisons, 0u);
+}
+
+TEST_F(ExecDifferentialTest, CancellationPrefixAgreesAcrossEngines) {
+  // Under a poll budget each engine independently guarantees the
+  // truncation contract: every produced row is a genuine answer (a
+  // sub-multiset of its own full result). The engines poll at different
+  // rates, so the cut points differ — the contract, not bitwise equality
+  // of partial results, is the cross-engine property.
+  const size_t trials = std::max<size_t>(20, TrialsFromEnv(800) / 12);
+  size_t checked = 0;
+  for (size_t n = 0; n < trials; ++n) {
+    const uint64_t seed = 0xCA7C0DEULL + n;
+    Trial trial;
+    if (!DrawTrial(seed, &trial)) continue;
+    Personalizer personalizer(trial.graph.get());
+    PersonalizationOptions options = trial.options;
+    options.approach = IntegrationApproach::kSingleQuery;
+    options.max_negative = 0;
+    auto outcome = personalizer.Personalize(trial.query, options);
+    if (!outcome.ok() || !outcome->sq.has_value()) continue;
+
+    for (ExecStrategy engine :
+         {ExecStrategy::kTuple, ExecStrategy::kVectorized}) {
+      ExecutorStats full_stats;
+      auto full = Run(*outcome->sq, engine, &full_stats);
+      ASSERT_TRUE(full.ok()) << "seed=" << seed;
+      for (int64_t budget : {0, 1, 3, 7, 19, 53, 211}) {
+        CancelToken token;
+        token.set_poll_budget(budget);
+        ExecutorStats cut_stats;
+        auto cut = Run(*outcome->sq, engine, &cut_stats, &token);
+        ASSERT_TRUE(cut.ok()) << "seed=" << seed << " budget=" << budget;
+        EXPECT_TRUE(SubMultiset(cut->rows(), full->rows()))
+            << "seed=" << seed << " budget=" << budget << " engine="
+            << (engine == ExecStrategy::kTuple ? "tuple" : "vec");
+        if (!cut->truncated()) {
+          EXPECT_EQ(cut->DebugString(100000), full->DebugString(100000))
+              << "seed=" << seed << " budget=" << budget;
+        }
+      }
+    }
+    ++checked;
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      std::printf("[diff] FAILED cancellation at seed=%llu\n",
+                  static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+  std::printf("[diff] cancellation sweep over %zu personalized queries\n",
+              checked);
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(ExecDifferentialTest, ChaosFaultHitsBothEnginesIdentically) {
+  // Arm the exec.disjunct fault site deterministically: both engines
+  // call QP_FAULT_POINT from the same shared BuildConjunct, so the Nth
+  // disjunct of a query faults identically regardless of engine — the
+  // error (or, for later disjuncts, the identical partial result) must
+  // match.
+#ifdef QP_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  const size_t trials = std::max<size_t>(20, TrialsFromEnv(800) / 12);
+  size_t checked = 0;
+  for (size_t n = 0; n < trials; ++n) {
+    const uint64_t seed = 0xC4A05ULL + n;
+    Trial trial;
+    if (!DrawTrial(seed, &trial)) continue;
+    Personalizer personalizer(trial.graph.get());
+    PersonalizationOptions options = trial.options;
+    options.approach = IntegrationApproach::kMultipleQueries;
+    auto outcome = personalizer.Personalize(trial.query, options);
+    if (!outcome.ok() || !outcome->mq.has_value()) continue;
+
+    for (uint64_t nth : {1u, 2u, 3u}) {
+      auto run_faulted = [&](ExecStrategy engine) {
+        ScopedFaultInjection injection(seed);
+        FaultRule rule;
+        rule.fire_on_nth = nth;
+        rule.max_fires = 1;
+        rule.mode = FaultMode::kError;
+        FaultHub::Global()->SetRule("exec.disjunct", rule);
+        ExecutorStats stats;
+        return Run(*outcome->mq, engine, &stats);
+      };
+      auto tuple_result = run_faulted(ExecStrategy::kTuple);
+      auto vec_result = run_faulted(ExecStrategy::kVectorized);
+      ASSERT_EQ(tuple_result.ok(), vec_result.ok())
+          << "seed=" << seed << " nth=" << nth;
+      if (tuple_result.ok()) {
+        EXPECT_EQ(tuple_result->DebugString(100000),
+                  vec_result->DebugString(100000))
+            << "seed=" << seed << " nth=" << nth;
+      } else {
+        EXPECT_EQ(tuple_result.status().code(), vec_result.status().code())
+            << "seed=" << seed << " nth=" << nth;
+      }
+    }
+    ++checked;
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      std::printf("[diff] FAILED chaos at seed=%llu\n",
+                  static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+  std::printf("[diff] chaos sweep over %zu personalized queries\n", checked);
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace qp

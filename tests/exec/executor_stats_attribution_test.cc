@@ -96,6 +96,48 @@ TEST(ExecutorStatsAttributionTest, RepeatedExecutionAccumulatesLinearly) {
   EXPECT_EQ(twice.core_reuses, 2 * once.core_reuses);
 }
 
+TEST(ExecutorStatsAttributionTest, VectorizedEngineReportsIdenticalStats) {
+  // The count model is engine-independent: the vectorized batch engine
+  // must attribute disjuncts/bindings/raw_rows/core_reuses at exactly
+  // the sites the tuple engine does, across naive, drive and merge
+  // residue strategies and with the shared core disabled.
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  PersonalizationOutcome outcome = PaperOutcome();
+  ASSERT_TRUE(outcome.mq.has_value());
+  const size_t parts = outcome.mq->parts().size();
+
+  for (bool shared_core : {true, false}) {
+    Executor tuple(&*db);
+    tuple.set_exec_strategy(ExecStrategy::kTuple);
+    tuple.set_shared_core(shared_core);
+    Executor vec(&*db);
+    vec.set_exec_strategy(ExecStrategy::kVectorized);
+    vec.set_shared_core(shared_core);
+
+    ExecutorStats tuple_stats;
+    ExecutorStats vec_stats;
+    ASSERT_TRUE(tuple.Execute(*outcome.mq, &tuple_stats).ok());
+    ASSERT_TRUE(vec.Execute(*outcome.mq, &vec_stats).ok());
+
+    EXPECT_EQ(vec_stats.disjuncts, tuple_stats.disjuncts)
+        << "shared_core=" << shared_core;
+    EXPECT_EQ(vec_stats.bindings, tuple_stats.bindings)
+        << "shared_core=" << shared_core;
+    EXPECT_EQ(vec_stats.raw_rows, tuple_stats.raw_rows)
+        << "shared_core=" << shared_core;
+    EXPECT_EQ(vec_stats.core_reuses, tuple_stats.core_reuses)
+        << "shared_core=" << shared_core;
+    // And the absolute count model still holds on the vectorized path.
+    if (shared_core) {
+      ASSERT_GE(vec_stats.core_reuses, 1u);
+      EXPECT_EQ(vec_stats.disjuncts, parts + 1);
+    } else {
+      EXPECT_EQ(vec_stats.disjuncts, parts);
+    }
+  }
+}
+
 TEST(ExecutorStatsAttributionTest, RegistryAndTraceMirrorStatsDeltas) {
   auto db = BuildPaperDatabase();
   ASSERT_TRUE(db.ok());

@@ -1,0 +1,196 @@
+// Cancellation-prefix property for the vectorized batch engine,
+// mirroring the tuple-path sweep in executor_cancel_test.cc: at every
+// poll budget the truncated result must be a sub-multiset of the full
+// answer (a stopped batch step discards its in-flight batch, so only
+// fully-joined rows surface), and an untruncated run must equal the full
+// answer exactly. A chaos case additionally arms the exec.disjunct fault
+// site and drives it through the batch loop.
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/core/personalizer.h"
+#include "qp/data/movie_db.h"
+#include "qp/data/paper_example.h"
+#include "qp/exec/executor.h"
+#include "qp/query/sql_parser.h"
+#include "qp/util/deadline.h"
+#include "qp/util/fault_hub.h"
+
+namespace qp {
+namespace {
+
+bool SubMultiset(const std::vector<Row>& part, const std::vector<Row>& whole) {
+  std::unordered_map<Row, int, RowHash, RowEq> counts;
+  for (const Row& row : whole) ++counts[row];
+  for (const Row& row : part) {
+    if (--counts[row] < 0) return false;
+  }
+  return true;
+}
+
+class VectorizedCancelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildPaperDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::make_unique<Database>(std::move(db).value());
+  }
+
+  SelectQuery Parse(const std::string& sql) {
+    auto query = ParseSelectQuery(sql);
+    EXPECT_TRUE(query.ok()) << query.status();
+    return std::move(query).value();
+  }
+
+  Executor MakeVec(const CancelToken* token = nullptr) {
+    Executor executor(db_.get());
+    executor.set_exec_strategy(ExecStrategy::kVectorized);
+    if (token != nullptr) executor.set_cancel_token(token);
+    return executor;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(VectorizedCancelTest, PreCancelledSelectIsEmptyAndTruncated) {
+  CancelToken token;
+  token.Cancel();
+  Executor executor = MakeVec(&token);
+  auto result = executor.Execute(Parse("select MV.title from MOVIE MV"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST_F(VectorizedCancelTest, EveryCutIsASubMultisetOfTheFullAnswer) {
+  // Two DNF conjuncts over a join: cancellation can land inside a batch
+  // materialization, a gather step, between conjuncts, or after both.
+  SelectQuery query = Parse(
+      "select MV.title from MOVIE MV, GENRE GN where MV.mid=GN.mid and "
+      "(GN.genre='comedy' or MV.year=2003)");
+  Executor plain = MakeVec();
+  auto full = plain.Execute(query);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->num_rows(), 0u);
+
+  bool saw_truncated = false;
+  bool saw_full = false;
+  for (int64_t budget = 0; budget < 400 && !saw_full; ++budget) {
+    CancelToken token;
+    token.set_poll_budget(budget);
+    Executor executor = MakeVec(&token);
+    auto cut = executor.Execute(query);
+    ASSERT_TRUE(cut.ok()) << "budget " << budget;
+    EXPECT_TRUE(SubMultiset(cut->rows(), full->rows()))
+        << "budget " << budget << " produced a row the full run did not";
+    if (cut->truncated()) {
+      saw_truncated = true;
+    } else {
+      EXPECT_EQ(cut->num_rows(), full->num_rows()) << "budget " << budget;
+      saw_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_truncated);
+  EXPECT_TRUE(saw_full) << "no budget large enough to finish the run";
+}
+
+TEST_F(VectorizedCancelTest, CompoundQueryHonoursTheToken) {
+  Schema schema = MovieSchema();
+  auto graph = PersonalizationGraph::Build(&schema, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(3);
+  auto outcome = personalizer.Personalize(TonightQuery(), options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->mq.has_value());
+
+  Executor plain = MakeVec();
+  auto full = plain.Execute(*outcome->mq);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated());
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  Executor executor = MakeVec(&cancelled);
+  auto stopped = executor.Execute(*outcome->mq);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_TRUE(stopped->truncated());
+  EXPECT_EQ(stopped->num_rows(), 0u);
+
+  bool saw_full = false;
+  for (int64_t budget = 0; budget < 600 && !saw_full; ++budget) {
+    CancelToken token;
+    token.set_poll_budget(budget);
+    Executor bounded = MakeVec(&token);
+    auto cut = bounded.Execute(*outcome->mq);
+    ASSERT_TRUE(cut.ok()) << "budget " << budget;
+    if (!cut->truncated()) {
+      EXPECT_EQ(cut->DebugString(1000), full->DebugString(1000))
+          << "budget " << budget;
+      saw_full = true;
+    } else {
+      EXPECT_LE(cut->num_rows(), full->num_rows()) << "budget " << budget;
+    }
+  }
+  EXPECT_TRUE(saw_full) << "no budget large enough to finish the run";
+}
+
+TEST_F(VectorizedCancelTest, SharedCoreAndFallbackBothTruncate) {
+  Schema schema = MovieSchema();
+  auto graph = PersonalizationGraph::Build(&schema, JulieProfile());
+  ASSERT_TRUE(graph.ok());
+  Personalizer personalizer(&*graph);
+  PersonalizationOptions options;
+  options.criterion = InterestCriterion::TopCount(3);
+  auto outcome = personalizer.Personalize(TonightQuery(), options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->mq.has_value());
+
+  for (bool shared_core : {true, false}) {
+    CancelToken token;
+    token.set_poll_budget(5);
+    Executor executor = MakeVec(&token);
+    executor.set_shared_core(shared_core);
+    auto cut = executor.Execute(*outcome->mq);
+    ASSERT_TRUE(cut.ok()) << "shared_core=" << shared_core;
+    EXPECT_TRUE(cut->truncated()) << "shared_core=" << shared_core;
+  }
+}
+
+TEST_F(VectorizedCancelTest, ChaosFaultSurfacesThroughBatchLoop) {
+  // exec.disjunct armed in error mode: the fault fires inside
+  // BuildConjunct before the batch loop runs a single step, and must
+  // surface as the injected error through the vectorized path (engine
+  // parity for chaos dispositions).
+#ifdef QP_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  SelectQuery query = Parse(
+      "select MV.title from MOVIE MV, GENRE GN where MV.mid=GN.mid");
+
+  {
+    ScopedFaultInjection chaos(11);
+    FaultRule rule;
+    rule.fire_on_nth = 1;
+    rule.max_fires = 1;
+    rule.mode = FaultMode::kError;
+    FaultHub::Global()->SetRule("exec.disjunct", rule);
+    Executor executor = MakeVec();
+    auto result = executor.Execute(query);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(FaultHub::Global()->fires("exec.disjunct"), 1u);
+  }
+
+  // Disarmed again: the same executor path runs clean.
+  Executor executor = MakeVec();
+  auto result = executor.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->truncated());
+}
+
+}  // namespace
+}  // namespace qp
