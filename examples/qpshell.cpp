@@ -29,6 +29,7 @@
 #include "qp/query/sql_writer.h"
 #include "qp/relational/csv.h"
 #include "qp/service/service.h"
+#include "qp/shard/sharded_service.h"
 #include "qp/storage/durable_profile_store.h"
 #include "qp/util/fault_hub.h"
 #include "qp/util/string_util.h"
@@ -165,6 +166,12 @@ class Shell {
       SetChaos(arg);
     } else if (command == "health") {
       PrintHealth();
+    } else if (command == "shards") {
+      Shards(arg);
+    } else if (command == "kill") {
+      KillShard(arg);
+    } else if (command == "recover") {
+      RecoverShard(arg);
     } else {
       std::printf("unknown command \\%s — try \\help\n", command.c_str());
     }
@@ -214,6 +221,18 @@ class Shell {
         "                      faults) / disarm and clear it\n"
         "  \\health             fault-site summary + breaker/scrubber/\n"
         "                      quarantine state of the last batch\n"
+        "scale-out:\n"
+        "  \\shards N [hot] [dir]  open an N-shard cluster (hash-routed,\n"
+        "                      one durable store per shard under <dir>,\n"
+        "                      default qpshell-cluster). hot > 0 keeps at\n"
+        "                      most `hot` profiles per shard in memory\n"
+        "                      (tiered: the rest page from disk). \\batch\n"
+        "                      routes through the cluster; \\stats and\n"
+        "                      \\health grow per-shard rows\n"
+        "  \\shards             per-shard residency/breaker/scrub rows\n"
+        "  \\shards off         close the cluster (back to in-process)\n"
+        "  \\kill I | \\recover I  drop / reopen shard I — survivors keep\n"
+        "                      serving; recovery replays snapshot + WAL\n"
         "  \\quit\n");
   }
 
@@ -461,17 +480,6 @@ class Shell {
       sqls = {rest, rest};
     }
 
-    ServiceOptions service_options;
-    service_options.num_workers = workers;
-    service_options.max_queue_depth = max_queue_depth_;
-    service_options.degrade_queue_depth = degrade_queue_depth_;
-    // Publish into the shell's registry so \metrics accumulates across
-    // batches instead of dying with each transient service.
-    service_options.metrics = &metrics_;
-    PersonalizationService service(db_.get(), service_options);
-    if (trace_on_) service.set_trace_sink(&trace_sink_);
-    if (!Check(service.profiles().Put(profile_name_, profile_))) return;
-
     std::vector<PersonalizationRequest> requests;
     for (const std::string& sql : sqls) {
       PersonalizationRequest request;
@@ -484,8 +492,29 @@ class Shell {
       requests.push_back(std::move(request));
     }
 
-    std::vector<PersonalizationResponse> responses =
-        service.PersonalizeBatchAndWait(requests);
+    // With a cluster open (\shards), the batch hash-routes across its
+    // shards; otherwise a transient in-process service runs it.
+    std::vector<PersonalizationResponse> responses;
+    if (sharded_ != nullptr) {
+      if (!Check(sharded_->PutProfile(profile_name_, profile_))) return;
+      responses = sharded_->PersonalizeBatchAndWait(std::move(requests));
+    } else {
+      ServiceOptions service_options;
+      service_options.num_workers = workers;
+      service_options.max_queue_depth = max_queue_depth_;
+      service_options.degrade_queue_depth = degrade_queue_depth_;
+      // Publish into the shell's registry so \metrics accumulates across
+      // batches instead of dying with each transient service.
+      service_options.metrics = &metrics_;
+      PersonalizationService service(db_.get(), service_options);
+      if (trace_on_) service.set_trace_sink(&trace_sink_);
+      if (!Check(service.profiles().Put(profile_name_, profile_))) return;
+      responses = service.PersonalizeBatchAndWait(requests);
+      last_stats_ = service.stats();
+      last_workers_ = service.num_workers();
+      have_stats_ = true;
+      service.set_trace_sink(nullptr);
+    }
     for (size_t i = 0; i < responses.size(); ++i) {
       const PersonalizationResponse& response = responses[i];
       if (!response.status.ok()) {
@@ -503,10 +532,16 @@ class Shell {
                       : "",
                   response.cache_hit ? " (cached selection)" : "");
     }
-    last_stats_ = service.stats();
-    last_workers_ = service.num_workers();
-    have_stats_ = true;
-    service.set_trace_sink(nullptr);
+    if (sharded_ != nullptr) {
+      shard::ShardedStats stats = sharded_->stats();
+      std::printf(
+          "batch: %zu requests hash-routed across %zu/%zu live shards; "
+          "router shed %llu (\\stats for per-shard rows%s)\n",
+          responses.size(), sharded_->alive_shards(), sharded_->num_shards(),
+          static_cast<unsigned long long>(stats.router.shed),
+          trace_on_ ? "; \\explain for the last trace" : "");
+      return;
+    }
     std::printf(
         "batch: %zu requests on %zu workers; cache %zu hit / %zu miss; "
         "selection %.3f ms, integration %.3f ms, execution %.3f ms "
@@ -535,9 +570,11 @@ class Shell {
   void SetTrace(const std::string& arg) {
     if (arg == "on") {
       trace_on_ = true;
+      if (sharded_ != nullptr) sharded_->set_trace_sink(&trace_sink_);
       std::printf("tracing on — run a \\batch, then \\explain\n");
     } else if (arg == "off") {
       trace_on_ = false;
+      if (sharded_ != nullptr) sharded_->set_trace_sink(nullptr);
     } else {
       std::printf("usage: \\trace on|off\n");
     }
@@ -572,6 +609,151 @@ class Shell {
         static_cast<unsigned long long>(seed), FaultHub::KnownSites().size());
   }
 
+  /// \shards N [hot] [dir]: open a hash-routed cluster; \shards off
+  /// closes it; bare \shards prints the per-shard rows.
+  void Shards(const std::string& arg) {
+    if (arg == "off") {
+      if (sharded_ == nullptr) {
+        std::printf("no cluster open\n");
+        return;
+      }
+      sharded_.reset();
+      std::printf("cluster closed — \\batch runs in-process again "
+                  "(state stays in %s)\n", sharded_dir_.c_str());
+      return;
+    }
+    if (arg.empty()) {
+      if (sharded_ == nullptr) {
+        std::printf("no cluster open — \\shards N [hot] [dir]\n");
+      } else {
+        PrintShardRows();
+      }
+      return;
+    }
+    if (db_ == nullptr) return;
+    std::istringstream in(arg);
+    size_t num_shards = 0;
+    if (!(in >> num_shards) || num_shards == 0) {
+      std::printf("usage: \\shards N [hot] [dir] | \\shards off\n");
+      return;
+    }
+    size_t hot_capacity = 0;
+    std::string dir = "qpshell-cluster";
+    std::string token;
+    if (in >> token) {
+      char* end = nullptr;
+      unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+      if (end != token.c_str() && *end == '\0') {
+        hot_capacity = static_cast<size_t>(value);
+        if (in >> token) dir = token;
+      } else {
+        dir = token;
+      }
+    }
+    sharded_.reset();  // Close (flush) any previous cluster first.
+    shard::ShardedOptions options;
+    options.num_shards = num_shards;
+    options.dir = dir;
+    options.service.max_queue_depth = max_queue_depth_;
+    options.service.degrade_queue_depth = degrade_queue_depth_;
+    options.service.metrics = &metrics_;
+    options.service.storage.hot_capacity = hot_capacity;
+    auto sharded =
+        shard::ShardedPersonalizationService::Open(db_.get(), options);
+    if (!Check(sharded.status())) return;
+    sharded_ = std::move(sharded).value();
+    sharded_dir_ = dir;
+    if (trace_on_) sharded_->set_trace_sink(&trace_sink_);
+    if (!Check(sharded_->PutProfile(profile_name_, profile_))) return;
+    std::printf(
+        "cluster open: %zu shards under %s/shard-<i>%s; current profile "
+        "'%s' routed to shard %zu. \\batch now fans out across shards.\n",
+        num_shards, dir.c_str(),
+        hot_capacity > 0
+            ? (" (tiered: <= " + std::to_string(hot_capacity) +
+               " hot profiles per shard)").c_str()
+            : " (untiered)",
+        profile_name_.c_str(), sharded_->ShardFor(profile_name_));
+  }
+
+  void KillShard(const std::string& arg) {
+    if (sharded_ == nullptr) {
+      std::printf("no cluster open — \\shards N first\n");
+      return;
+    }
+    size_t index = static_cast<size_t>(std::atoll(arg.c_str()));
+    if (!Check(sharded_->KillShard(index))) return;
+    std::printf("shard %zu down (%zu/%zu alive) — its users shed, "
+                "survivors serve. \\recover %zu to heal.\n",
+                index, sharded_->alive_shards(), sharded_->num_shards(),
+                index);
+  }
+
+  void RecoverShard(const std::string& arg) {
+    if (sharded_ == nullptr) {
+      std::printf("no cluster open — \\shards N first\n");
+      return;
+    }
+    size_t index = static_cast<size_t>(std::atoll(arg.c_str()));
+    if (!Check(sharded_->RecoverShard(index))) return;
+    auto shard = sharded_->Shard(index);
+    storage::StorageStats stats =
+        shard == nullptr ? storage::StorageStats{} : shard->stats().storage;
+    std::printf("shard %zu recovered (%zu/%zu alive): %llu profiles from "
+                "snapshot, %llu WAL records replayed in %.1f ms — every "
+                "acknowledged mutation survives the cycle\n",
+                index, sharded_->alive_shards(), sharded_->num_shards(),
+                static_cast<unsigned long long>(stats.snapshot_users_loaded),
+                static_cast<unsigned long long>(stats.records_replayed),
+                stats.recovery_millis);
+  }
+
+  /// The per-shard table behind \shards / \stats / \health: liveness,
+  /// traffic, hot/cold residency, breaker and scrubber state per row.
+  void PrintShardRows() {
+    shard::ShardedStats stats = sharded_->stats();
+    std::printf(
+        "router: %llu requests, %llu mutations, %llu shed, %llu cache "
+        "entries invalidated, %llu kills / %llu recoveries\n",
+        static_cast<unsigned long long>(stats.router.requests),
+        static_cast<unsigned long long>(stats.router.mutations),
+        static_cast<unsigned long long>(stats.router.shed),
+        static_cast<unsigned long long>(stats.router.invalidated_entries),
+        static_cast<unsigned long long>(stats.router.shard_kills),
+        static_cast<unsigned long long>(stats.router.shard_recoveries));
+    // Lifecycle counters (requests/shed/...) aggregate cluster-wide in
+    // the shared registry — the router line above. Each row below is
+    // strictly per-shard state: its population, residency, selection
+    // cache, breaker and scrubber.
+    std::printf("shard  state  users  resident     cold   loads  evict  "
+                "cache h/m  breaker  scrub\n");
+    for (const shard::ShardRow& row : stats.shards) {
+      if (!row.alive) {
+        std::printf("%5zu  DOWN\n", row.shard_id);
+        continue;
+      }
+      auto shard = sharded_->Shard(row.shard_id);
+      size_t users = shard == nullptr ? 0 : shard->profiles().size();
+      const storage::TierStats& tier = row.stats.tier;
+      std::string resident =
+          tier.enabled ? std::to_string(tier.hot_resident) + "/" +
+                             std::to_string(tier.hot_capacity)
+                       : "all";
+      std::string cache = std::to_string(row.stats.cache.hits) + "/" +
+                          std::to_string(row.stats.cache.misses);
+      std::string scrub =
+          std::to_string(row.stats.storage.scrubs) + " passes/" +
+          std::to_string(row.stats.storage.scrub_corruptions) + " corrupt";
+      std::printf("%5zu  up    %5zu  %8s  %7zu  %6llu  %5llu  %9s  %7s  %s\n",
+                  row.shard_id, users, resident.c_str(), tier.cold_users,
+                  static_cast<unsigned long long>(tier.cold_loads),
+                  static_cast<unsigned long long>(tier.evictions),
+                  cache.c_str(),
+                  row.stats.storage.breaker_open ? "OPEN" : "closed",
+                  scrub.c_str());
+    }
+  }
+
   void PrintHealth() {
     FaultHub* hub = FaultHub::Global();
     if (hub->armed()) {
@@ -582,6 +764,37 @@ class Shell {
       std::printf("chaos off\n");
     }
     std::printf("%s", hub->Summary().c_str());
+    if (sharded_ != nullptr) {
+      // Per-shard health: each row is an independent failure domain with
+      // its own breaker and scrubber.
+      shard::ShardedStats stats = sharded_->stats();
+      std::printf("cluster: %zu/%zu shards alive\n",
+                  sharded_->alive_shards(), sharded_->num_shards());
+      for (const shard::ShardRow& row : stats.shards) {
+        if (!row.alive) {
+          std::printf("  shard %zu: DOWN — \\recover %zu\n", row.shard_id,
+                      row.shard_id);
+          continue;
+        }
+        const storage::StorageStats& st = row.stats.storage;
+        const storage::TierStats& tier = row.stats.tier;
+        std::printf(
+            "  shard %zu: breaker %s (%llu trips), scrubber %llu passes / "
+            "%llu corruptions (%llu quarantined), tier %s, %llu load "
+            "failures\n",
+            row.shard_id, st.breaker_open ? "OPEN" : "closed",
+            static_cast<unsigned long long>(st.breaker_trips),
+            static_cast<unsigned long long>(st.scrubs),
+            static_cast<unsigned long long>(st.scrub_corruptions),
+            static_cast<unsigned long long>(st.quarantined_profiles),
+            tier.enabled ? (std::to_string(tier.hot_resident) + "/" +
+                            std::to_string(tier.hot_capacity) + " hot")
+                               .c_str()
+                         : "off",
+            static_cast<unsigned long long>(tier.load_failures));
+      }
+      return;
+    }
     if (!have_stats_) {
       std::printf("no batch has run yet — \\batch for service health\n");
       return;
@@ -610,6 +823,10 @@ class Shell {
   }
 
   void PrintStats() {
+    if (sharded_ != nullptr) {
+      PrintShardRows();
+      return;
+    }
     if (!have_stats_) {
       std::printf("no batch has run yet — \\batch first\n");
       return;
@@ -681,6 +898,10 @@ class Shell {
   obs::MetricsRegistry metrics_;
   obs::LastTraceSink trace_sink_;
   bool trace_on_ = false;
+  // The scale-out cluster (\shards): while open, \batch hash-routes
+  // through it and \stats/\health report per-shard rows.
+  std::unique_ptr<shard::ShardedPersonalizationService> sharded_;
+  std::string sharded_dir_;
 };
 
 }  // namespace

@@ -12,6 +12,8 @@ SelectionCache::SelectionCache(size_t capacity,
         metrics->counter("qp_selection_cache_insertions_total");
     metric_evictions_ =
         metrics->counter("qp_selection_cache_evictions_total");
+    metric_user_invalidations_ =
+        metrics->counter("qp_selection_cache_user_invalidations_total");
   }
 }
 
@@ -39,22 +41,75 @@ SelectionCache::Paths SelectionCache::Lookup(const std::string& key) {
 
 void SelectionCache::Insert(const std::string& key, Paths paths) {
   std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(/*user_id=*/"", key, std::move(paths));
+}
+
+void SelectionCache::Insert(const std::string& user_id,
+                            const std::string& key, Paths paths) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(user_id, key, std::move(paths));
+}
+
+void SelectionCache::InsertLocked(const std::string& user_id,
+                                  const std::string& key, Paths paths) {
   ++stats_.insertions;
   if (metric_insertions_ != nullptr) metric_insertions_->Add(1);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->paths = std::move(paths);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    auto lru_it = it->second;  // UnindexLocked below invalidates `it`.
+    if (lru_it->user_id != user_id) {
+      // Same key, different (or newly declared) owner: re-home it.
+      UnindexLocked(*lru_it);
+      lru_it->user_id = user_id;
+      index_[key] = lru_it;
+      if (!user_id.empty()) by_user_[user_id].insert(key);
+    }
+    lru_it->paths = std::move(paths);
+    lru_.splice(lru_.begin(), lru_, lru_it);
     return;
   }
-  lru_.push_front(Slot{key, std::move(paths)});
+  lru_.push_front(Slot{key, user_id, std::move(paths)});
   index_[key] = lru_.begin();
+  if (!user_id.empty()) by_user_[user_id].insert(key);
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
+    UnindexLocked(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
     if (metric_evictions_ != nullptr) metric_evictions_->Add(1);
   }
+}
+
+void SelectionCache::UnindexLocked(const Slot& slot) {
+  index_.erase(slot.key);
+  if (slot.user_id.empty()) return;
+  auto it = by_user_.find(slot.user_id);
+  if (it == by_user_.end()) return;
+  it->second.erase(slot.key);
+  if (it->second.empty()) by_user_.erase(it);
+}
+
+size_t SelectionCache::EraseUser(const std::string& user_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_user_.find(user_id);
+  if (it == by_user_.end()) return 0;
+  // Move the key set out first: the erase loop must not walk a container
+  // it is shrinking.
+  std::unordered_set<std::string> keys = std::move(it->second);
+  by_user_.erase(it);
+  size_t erased = 0;
+  for (const std::string& key : keys) {
+    auto slot = index_.find(key);
+    if (slot == index_.end()) continue;
+    auto lru_it = slot->second;
+    index_.erase(slot);
+    lru_.erase(lru_it);
+    ++erased;
+  }
+  stats_.user_invalidations += erased;
+  if (metric_user_invalidations_ != nullptr && erased > 0) {
+    metric_user_invalidations_->Add(erased);
+  }
+  return erased;
 }
 
 size_t SelectionCache::size() const {
@@ -71,6 +126,7 @@ void SelectionCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  by_user_.clear();
 }
 
 }  // namespace qp

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "qp/core/interest_criterion.h"
@@ -22,6 +23,9 @@ struct SelectionCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// EraseUser calls (not entries dropped): each is one targeted
+  /// per-user invalidation, e.g. after a routed mutation.
+  uint64_t user_invalidations = 0;
 };
 
 /// A bounded, thread-safe LRU cache of preference-selection results: the
@@ -55,8 +59,19 @@ class SelectionCache {
   Paths Lookup(const std::string& key);
 
   /// Inserts (or refreshes) `paths` under `key`, evicting the least
-  /// recently used entry when full.
+  /// recently used entry when full. The overload taking `user_id` also
+  /// indexes the entry by owner so EraseUser can drop exactly that
+  /// user's entries; the two-argument form leaves the entry unowned
+  /// (epoch aging still applies).
   void Insert(const std::string& key, Paths paths);
+  void Insert(const std::string& user_id, const std::string& key, Paths paths);
+
+  /// Drops every entry owned by `user_id` — and nothing else. The
+  /// surgical invalidation a mutation path wants: epoch keying already
+  /// makes stale entries unreachable, but they would otherwise squat in
+  /// the LRU until aged out; this frees the capacity immediately without
+  /// touching other users' live entries. Returns the number dropped.
+  size_t EraseUser(const std::string& user_id);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -68,18 +83,27 @@ class SelectionCache {
  private:
   struct Slot {
     std::string key;
+    std::string user_id;  // Empty when inserted without an owner.
     Paths paths;
   };
+
+  void InsertLocked(const std::string& user_id, const std::string& key,
+                    Paths paths);
+  /// Unlinks one LRU slot from index_ and by_user_ (not from lru_).
+  void UnindexLocked(const Slot& slot);
 
   size_t capacity_;
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_insertions_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
+  obs::Counter* metric_user_invalidations_ = nullptr;
   mutable std::mutex mutex_;
   /// Front = most recently used.
   std::list<Slot> lru_;
   std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  /// Owner index: user id -> that user's cache keys.
+  std::unordered_map<std::string, std::unordered_set<std::string>> by_user_;
   SelectionCacheStats stats_;
 };
 

@@ -66,7 +66,7 @@ PersonalizationService::PersonalizationService(const Database* db,
 
 PersonalizationService::PersonalizationService(
     const Database* db, ServiceOptions options,
-    std::unique_ptr<storage::DurableProfileStore> store)
+    std::unique_ptr<storage::ProfileBackend> store)
     : db_(db),
       options_(options),
       owned_metrics_(options.metrics == nullptr
@@ -226,6 +226,13 @@ PersonalizationResponse PersonalizationService::RunPipeline(
     bool degrade, obs::RequestTrace* trace) {
   PersonalizationResponse response;
 
+  // A sharded deployment stamps which shard served the request on its
+  // trace — the marker the router's observability contract promises.
+  if (options_.shard_id >= 0 && trace != nullptr) {
+    obs::ScopedSpan shard_span(trace, "shard");
+    shard_span.Counter("id", static_cast<uint64_t>(options_.shard_id));
+  }
+
   // Resolve the effective options: the query context (device, budget,
   // bandwidth) derives criterion/top_n, then queue pressure steps the
   // top-count K down one rung (halve, minimum 1 — the same rule
@@ -325,8 +332,9 @@ PersonalizationResponse PersonalizationService::RunPipeline(
       // A deadline-truncated selection is a valid prefix for *this*
       // request but must not poison the cache for unconstrained ones.
       if (!response.outcome.selection_stats.degraded) {
-        cache_.Insert(key, std::make_shared<const std::vector<PreferencePath>>(
-                               selected));
+        cache_.Insert(request.user_id, key,
+                      std::make_shared<const std::vector<PreferencePath>>(
+                          selected));
       }
     }
   } else {
@@ -514,6 +522,7 @@ ServiceStats PersonalizationService::stats() const {
   stats.execution_millis = inst_.execution_seconds->Snapshot().sum * 1e3;
   stats.cache = cache_.stats();
   stats.storage = store_->storage_stats();
+  stats.tier = store_->tier_stats();
   return stats;
 }
 
@@ -535,6 +544,13 @@ std::string PersonalizationService::DumpMetrics(
         ->Set(storage.breaker_open ? 1.0 : 0.0);
     metrics_->gauge("qp_storage_quarantined_profiles")
         ->Set(static_cast<double>(storage.quarantined_profiles));
+  }
+  storage::TierStats tier = store_->tier_stats();
+  if (tier.enabled) {
+    metrics_->gauge("qp_tier_hot_resident")
+        ->Set(static_cast<double>(tier.hot_resident));
+    metrics_->gauge("qp_tier_cold_users")
+        ->Set(static_cast<double>(tier.cold_users));
   }
   return metrics_->Export(format);
 }

@@ -57,6 +57,10 @@ struct ServiceOptions {
   /// store, WAL — publishes into the same registry, exposed via
   /// metrics() / DumpMetrics(). Not owned; must outlive the service.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Set by the sharded front end: this service is shard `shard_id` of a
+  /// ShardedPersonalizationService. >= 0 stamps a "shard" span (with the
+  /// id) on every request trace; -1 (default) = standalone service.
+  int shard_id = -1;
 };
 
 /// One unit of batch work: personalize (and optionally execute) `query`
@@ -152,6 +156,8 @@ struct ServiceStats {
   /// recovery cost of the Open that produced this service. All zero for
   /// an in-memory service.
   storage::StorageStats storage;
+  /// Hot/cold residency counters; enabled only for a tiered backend.
+  storage::TierStats tier;
 };
 
 /// The scale-out front door: a thread-pool-backed personalization service
@@ -176,11 +182,25 @@ class PersonalizationService {
   static Result<std::unique_ptr<PersonalizationService>> OpenDurable(
       const Database* db, ServiceOptions options);
 
+  /// Service over a caller-built storage backend — the constructor the
+  /// sharded front end uses to hand each shard its own (tiered, durable)
+  /// store. `backend` must not be null.
+  PersonalizationService(const Database* db, ServiceOptions options,
+                         std::unique_ptr<storage::ProfileBackend> backend);
+
   /// Profile management (thread-safe, usable while batches are in
   /// flight; see ProfileStore for the snapshot semantics). Mutations on
   /// a durable service are write-ahead logged.
-  storage::DurableProfileStore& profiles() { return *store_; }
-  const storage::DurableProfileStore& profiles() const { return *store_; }
+  storage::ProfileBackend& profiles() { return *store_; }
+  const storage::ProfileBackend& profiles() const { return *store_; }
+
+  /// Drops user_id's selection-cache entries (and only theirs) — the
+  /// targeted invalidation a routed mutation issues. Epoch keying already
+  /// prevents stale hits; this frees the capacity they occupied. Returns
+  /// the number of entries dropped.
+  size_t InvalidateUserSelections(const std::string& user_id) {
+    return cache_.EraseUser(user_id);
+  }
 
   /// Fans the requests across the worker pool; future i resolves to
   /// request i's response. Errors (unknown user, invalid query) surface
@@ -224,9 +244,6 @@ class PersonalizationService {
   }
 
  private:
-  PersonalizationService(const Database* db, ServiceOptions options,
-                         std::unique_ptr<storage::DurableProfileStore> store);
-
   /// Reserves an admission slot (queued + inflight), or returns false
   /// when either bound is reached — the caller sheds the request. CAS
   /// bounded, so neither counter ever exceeds its configured bound.
@@ -258,7 +275,7 @@ class PersonalizationService {
   /// store and cache below cache their instrument pointers into it.
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
-  std::unique_ptr<storage::DurableProfileStore> store_;
+  std::unique_ptr<storage::ProfileBackend> store_;
   SelectionCache cache_;
   bool cache_enabled_;
   ThreadPool pool_;

@@ -1,0 +1,348 @@
+#include "qp/shard/sharded_service.h"
+
+#include <future>
+#include <unordered_map>
+#include <utility>
+
+#include "qp/storage/durable_profile_store.h"
+#include "qp/util/fault_hub.h"
+#include "qp/util/file.h"
+
+namespace qp {
+namespace shard {
+
+namespace {
+
+/// FNV-1a over the user id: stable across runs (unlike std::hash, whose
+/// value is implementation-defined), so a recovered cluster routes every
+/// user to the directory that holds their profile.
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string ShardDir(const std::string& root, size_t index) {
+  return JoinPath(root, "shard-" + std::to_string(index));
+}
+
+}  // namespace
+
+ShardedPersonalizationService::ShardedPersonalizationService(
+    const Database* db, ShardedOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      owned_metrics_(options_.service.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(options_.service.metrics != nullptr ? options_.service.metrics
+                                                   : owned_metrics_.get()),
+      slots_(options_.num_shards) {
+  metric_requests_ = metrics_->counter("qp_router_requests_total");
+  metric_mutations_ = metrics_->counter("qp_router_mutations_total");
+  metric_shed_ = metrics_->counter("qp_router_shed_total");
+  metric_invalidated_ =
+      metrics_->counter("qp_router_invalidated_entries_total");
+  metric_kills_ = metrics_->counter("qp_router_shard_kills_total");
+  metric_recoveries_ = metrics_->counter("qp_router_shard_recoveries_total");
+}
+
+ShardedPersonalizationService::~ShardedPersonalizationService() = default;
+
+Result<std::unique_ptr<ShardedPersonalizationService>>
+ShardedPersonalizationService::Open(const Database* db,
+                                    ShardedOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument(
+        "ShardedPersonalizationService requires a storage directory");
+  }
+  std::unique_ptr<ShardedPersonalizationService> sharded(
+      new ShardedPersonalizationService(db, std::move(options)));
+  FileSystem* fs = sharded->options_.service.storage.fs != nullptr
+                       ? sharded->options_.service.storage.fs
+                       : DefaultFileSystem();
+  QP_RETURN_IF_ERROR(fs->CreateDir(sharded->options_.dir));
+  for (size_t i = 0; i < sharded->options_.num_shards; ++i) {
+    QP_ASSIGN_OR_RETURN(sharded->slots_[i], sharded->OpenShard(i));
+  }
+  return sharded;
+}
+
+Result<std::shared_ptr<PersonalizationService>>
+ShardedPersonalizationService::OpenShard(size_t index) {
+  ServiceOptions opts = options_.service;
+  opts.shard_id = static_cast<int>(index);
+  opts.metrics = metrics_;
+  opts.storage.dir = ShardDir(options_.dir, index);
+  opts.storage.metrics = metrics_;
+  QP_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::DurableProfileStore> store,
+      storage::DurableProfileStore::Open(&db_->schema(), opts.storage,
+                                         opts.num_shards));
+  auto service = std::make_shared<PersonalizationService>(db_, opts,
+                                                          std::move(store));
+  service->set_trace_sink(trace_sink_.load(std::memory_order_acquire));
+  return service;
+}
+
+size_t ShardedPersonalizationService::ShardFor(
+    const std::string& user_id) const {
+  return Fnv1a(user_id) % options_.num_shards;
+}
+
+std::shared_ptr<PersonalizationService> ShardedPersonalizationService::Route(
+    const std::string& user_id, size_t* shard_index) const {
+  const size_t index = ShardFor(user_id);
+  if (shard_index != nullptr) *shard_index = index;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return slots_[index];
+}
+
+PersonalizationResponse ShardedPersonalizationService::ShedResponse(
+    const std::string& reason) const {
+  metric_shed_->Add(1);
+  PersonalizationResponse response;
+  response.status = Status::Unavailable(reason);
+  response.disposition = RequestDisposition::kShed;
+  return response;
+}
+
+PersonalizationResponse ShardedPersonalizationService::Personalize(
+    const PersonalizationRequest& request) {
+  metric_requests_->Add(1);
+  if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
+    return ShedResponse("shard routing failed: " + fault.message());
+  }
+  size_t index = 0;
+  std::shared_ptr<PersonalizationService> shard = Route(request.user_id,
+                                                        &index);
+  if (shard == nullptr) {
+    return ShedResponse("shard " + std::to_string(index) + " is down");
+  }
+  return shard->PersonalizeOne(request);
+}
+
+std::vector<PersonalizationResponse>
+ShardedPersonalizationService::PersonalizeBatchAndWait(
+    std::vector<PersonalizationRequest> requests) {
+  std::vector<PersonalizationResponse> responses(requests.size());
+
+  // One consistent routing snapshot for the whole batch: every shard
+  // pointer is copied under a single shared-lock hold, then the fan-out
+  // runs lock-free (a concurrent kill cannot invalidate the copies).
+  std::vector<std::shared_ptr<PersonalizationService>> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    shards = slots_;
+  }
+
+  // Group request indexes by owner shard; shed dead-shard and
+  // fault-routed requests immediately.
+  std::unordered_map<size_t, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    metric_requests_->Add(1);
+    if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
+      responses[i] = ShedResponse("shard routing failed: " + fault.message());
+      continue;
+    }
+    const size_t index = ShardFor(requests[i].user_id);
+    if (shards[index] == nullptr) {
+      responses[i] =
+          ShedResponse("shard " + std::to_string(index) + " is down");
+      continue;
+    }
+    by_shard[index].push_back(i);
+  }
+
+  // Fan out: every shard's sub-batch submits to its own worker pool
+  // before any result is awaited, so shards run concurrently.
+  std::vector<std::pair<size_t, std::vector<std::future<PersonalizationResponse>>>>
+      inflight;
+  inflight.reserve(by_shard.size());
+  for (auto& [index, request_indexes] : by_shard) {
+    std::vector<PersonalizationRequest> sub;
+    sub.reserve(request_indexes.size());
+    for (size_t i : request_indexes) sub.push_back(std::move(requests[i]));
+    inflight.emplace_back(index,
+                          shards[index]->PersonalizeBatch(std::move(sub)));
+  }
+  for (auto& [index, futures] : inflight) {
+    const std::vector<size_t>& request_indexes = by_shard[index];
+    for (size_t j = 0; j < futures.size(); ++j) {
+      responses[request_indexes[j]] = futures[j].get();
+    }
+  }
+  return responses;
+}
+
+Status ShardedPersonalizationService::PutProfile(const std::string& user_id,
+                                                 UserProfile profile) {
+  metric_mutations_->Add(1);
+  if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard routing failed: " + fault.message());
+  }
+  size_t index = 0;
+  auto shard = Route(user_id, &index);
+  if (shard == nullptr) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard " + std::to_string(index) + " is down");
+  }
+  QP_RETURN_IF_ERROR(shard->profiles().Put(user_id, std::move(profile)));
+  metric_invalidated_->Add(
+      static_cast<uint64_t>(shard->InvalidateUserSelections(user_id)));
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::UpsertProfile(
+    const std::string& user_id,
+    const std::vector<AtomicPreference>& preferences) {
+  metric_mutations_->Add(1);
+  if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard routing failed: " + fault.message());
+  }
+  size_t index = 0;
+  auto shard = Route(user_id, &index);
+  if (shard == nullptr) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard " + std::to_string(index) + " is down");
+  }
+  QP_RETURN_IF_ERROR(shard->profiles().Upsert(user_id, preferences));
+  metric_invalidated_->Add(
+      static_cast<uint64_t>(shard->InvalidateUserSelections(user_id)));
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::RemoveProfile(
+    const std::string& user_id) {
+  metric_mutations_->Add(1);
+  if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard routing failed: " + fault.message());
+  }
+  size_t index = 0;
+  auto shard = Route(user_id, &index);
+  if (shard == nullptr) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard " + std::to_string(index) + " is down");
+  }
+  QP_RETURN_IF_ERROR(shard->profiles().Remove(user_id));
+  metric_invalidated_->Add(
+      static_cast<uint64_t>(shard->InvalidateUserSelections(user_id)));
+  return Status::Ok();
+}
+
+Result<ProfileSnapshot> ShardedPersonalizationService::GetProfile(
+    const std::string& user_id) {
+  size_t index = 0;
+  auto shard = Route(user_id, &index);
+  if (shard == nullptr) {
+    return Status::Unavailable("shard " + std::to_string(index) + " is down");
+  }
+  return shard->profiles().Get(user_id);
+}
+
+Status ShardedPersonalizationService::KillShard(size_t index) {
+  if (index >= options_.num_shards) {
+    return Status::InvalidArgument("no shard " + std::to_string(index));
+  }
+  std::shared_ptr<PersonalizationService> victim;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    victim = std::move(slots_[index]);
+    slots_[index] = nullptr;
+  }
+  if (victim == nullptr) return Status::Ok();  // Already down.
+  metric_kills_->Add(1);
+  // Dropping the (possibly last) reference outside the lock: in-flight
+  // requests holding their own copy finish first; the final release
+  // drains the shard's worker pool and closes its WAL — routing is never
+  // blocked behind the teardown.
+  victim.reset();
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::RecoverShard(size_t index) {
+  if (index >= options_.num_shards) {
+    return Status::InvalidArgument("no shard " + std::to_string(index));
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (slots_[index] != nullptr) return Status::Ok();  // Already alive.
+  }
+  // Recovery (snapshot + WAL replay) runs outside any lock — the other
+  // shards keep serving while this one rebuilds.
+  QP_ASSIGN_OR_RETURN(std::shared_ptr<PersonalizationService> reopened,
+                      OpenShard(index));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (slots_[index] != nullptr) {
+    return Status::Ok();  // Lost a recover race; keep the winner.
+  }
+  slots_[index] = std::move(reopened);
+  metric_recoveries_->Add(1);
+  return Status::Ok();
+}
+
+bool ShardedPersonalizationService::IsShardAlive(size_t index) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return index < slots_.size() && slots_[index] != nullptr;
+}
+
+size_t ShardedPersonalizationService::alive_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t alive = 0;
+  for (const auto& slot : slots_) {
+    if (slot != nullptr) ++alive;
+  }
+  return alive;
+}
+
+std::shared_ptr<PersonalizationService> ShardedPersonalizationService::Shard(
+    size_t index) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return index < slots_.size() ? slots_[index] : nullptr;
+}
+
+ShardedStats ShardedPersonalizationService::stats() const {
+  ShardedStats stats;
+  stats.router.requests = metric_requests_->Value();
+  stats.router.mutations = metric_mutations_->Value();
+  stats.router.shed = metric_shed_->Value();
+  stats.router.invalidated_entries = metric_invalidated_->Value();
+  stats.router.shard_kills = metric_kills_->Value();
+  stats.router.shard_recoveries = metric_recoveries_->Value();
+  std::vector<std::shared_ptr<PersonalizationService>> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    shards = slots_;
+  }
+  stats.shards.resize(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    stats.shards[i].shard_id = i;
+    stats.shards[i].alive = shards[i] != nullptr;
+    if (shards[i] != nullptr) stats.shards[i].stats = shards[i]->stats();
+  }
+  return stats;
+}
+
+void ShardedPersonalizationService::set_trace_sink(obs::TraceSink* sink) {
+  trace_sink_.store(sink, std::memory_order_release);
+  std::vector<std::shared_ptr<PersonalizationService>> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    shards = slots_;
+  }
+  for (const auto& shard : shards) {
+    if (shard != nullptr) shard->set_trace_sink(sink);
+  }
+}
+
+}  // namespace shard
+}  // namespace qp

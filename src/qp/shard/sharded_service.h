@@ -1,0 +1,177 @@
+#ifndef QP_SHARD_SHARDED_SERVICE_H_
+#define QP_SHARD_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "qp/obs/metrics.h"
+#include "qp/obs/trace.h"
+#include "qp/relational/database.h"
+#include "qp/service/service.h"
+#include "qp/util/status.h"
+
+namespace qp {
+namespace shard {
+
+/// How a ShardedPersonalizationService is laid out.
+struct ShardedOptions {
+  /// Number of shards. Users hash across them (FNV-1a of the user id);
+  /// the assignment is stable for the cluster's lifetime.
+  size_t num_shards = 4;
+  /// Root storage directory; shard i owns `dir`/shard-<i> with its own
+  /// MANIFEST, snapshot and WAL. Must be non-empty: a sharded deployment
+  /// exists to bound per-shard state, which requires durability.
+  std::string dir;
+  /// Per-shard service tuning, applied to every shard. `storage.dir` is
+  /// overridden with the shard subdirectory, `shard_id` with the shard's
+  /// index, and `metrics` with the cluster-wide registry (every shard
+  /// publishes into the same instruments — the registry is get-or-create
+  /// by name, so N shards aggregate cleanly). Set
+  /// `service.storage.hot_capacity` for tiered shards.
+  ServiceOptions service;
+};
+
+/// Router accounting: every routed request/mutation is counted here, on
+/// top of whatever the target shard counts for itself.
+struct RouterStats {
+  uint64_t requests = 0;   // Personalization requests routed.
+  uint64_t mutations = 0;  // Profile mutations routed.
+  /// Requests/mutations refused by the router itself: target shard down,
+  /// or an injected "shard.route" fault.
+  uint64_t shed = 0;
+  /// Selection-cache entries dropped by post-mutation invalidation.
+  uint64_t invalidated_entries = 0;
+  uint64_t shard_kills = 0;
+  uint64_t shard_recoveries = 0;
+};
+
+/// One row of ShardedStats: a shard's liveness plus its full service
+/// stats (storage, cache, tier residency, breaker, scrubber).
+struct ShardRow {
+  size_t shard_id = 0;
+  bool alive = false;
+  ServiceStats stats;  // Zero-valued while the shard is down.
+};
+
+struct ShardedStats {
+  RouterStats router;
+  std::vector<ShardRow> shards;
+};
+
+/// The scale-out front end: N independent PersonalizationServices, each
+/// owning its own durable (optionally tiered) profile store under its
+/// own subdirectory, behind a hash router. A user's profile and its
+/// queries live on exactly one shard, so shards share nothing but the
+/// read-only Database and the metrics registry.
+///
+/// Fault containment is the point: KillShard drops one shard's service
+/// (draining its workers, closing its WAL cleanly) while the other
+/// shards keep serving at full fidelity; requests routed to the dead
+/// shard are shed with Status::Unavailable. RecoverShard reopens the
+/// shard from its own directory — snapshot + WAL replay — and because
+/// every mutation is acknowledged only after its WAL append, a
+/// kill/recover cycle loses nothing that was ever acknowledged.
+///
+/// Thread-safe. Routing takes a shared lock only long enough to copy
+/// the target shard's shared_ptr, so a concurrent kill never races a
+/// request mid-pipeline: the killed service stays alive until the last
+/// in-flight request releases its reference.
+class ShardedPersonalizationService {
+ public:
+  /// Opens (or initializes) every shard under `options.dir`. Fails with
+  /// the first shard's recovery error on corruption.
+  static Result<std::unique_ptr<ShardedPersonalizationService>> Open(
+      const Database* db, ShardedOptions options);
+
+  ~ShardedPersonalizationService();
+
+  ShardedPersonalizationService(const ShardedPersonalizationService&) = delete;
+  ShardedPersonalizationService& operator=(
+      const ShardedPersonalizationService&) = delete;
+
+  /// The stable user -> shard assignment (FNV-1a hash, mod num_shards).
+  size_t ShardFor(const std::string& user_id) const;
+
+  /// Routes one request to its owner shard ("shard.route" fault site).
+  /// A dead target shard sheds the request with Status::Unavailable.
+  PersonalizationResponse Personalize(const PersonalizationRequest& request);
+
+  /// Routes a batch: requests group by owner shard and fan out across
+  /// each shard's worker pool concurrently; response order = request
+  /// order. Requests owned by a dead shard resolve shed.
+  std::vector<PersonalizationResponse> PersonalizeBatchAndWait(
+      std::vector<PersonalizationRequest> requests);
+
+  /// Profile mutations, routed like requests. On success the owner
+  /// shard's selection cache drops exactly this user's entries.
+  Status PutProfile(const std::string& user_id, UserProfile profile);
+  Status UpsertProfile(const std::string& user_id,
+                       const std::vector<AtomicPreference>& preferences);
+  Status RemoveProfile(const std::string& user_id);
+  Result<ProfileSnapshot> GetProfile(const std::string& user_id);
+
+  /// Drops shard `index`'s service: in-flight requests finish (they hold
+  /// a reference), new ones shed, the store closes cleanly. Idempotent —
+  /// killing a dead shard is a no-op.
+  Status KillShard(size_t index);
+
+  /// Reopens shard `index` from its directory (snapshot + WAL replay).
+  /// Every mutation acknowledged before the kill is recovered — the
+  /// zero-loss guarantee the chaos suite asserts. No-op if alive.
+  Status RecoverShard(size_t index);
+
+  bool IsShardAlive(size_t index) const;
+  size_t num_shards() const { return options_.num_shards; }
+  size_t alive_shards() const;
+
+  /// Direct access to one shard's service (nullptr while down) — the
+  /// escape hatch tests and qpshell use for per-shard inspection.
+  std::shared_ptr<PersonalizationService> Shard(size_t index) const;
+
+  ShardedStats stats() const;
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Attaches `sink` to every shard (and to shards recovered later).
+  /// Same contract as PersonalizationService::set_trace_sink.
+  void set_trace_sink(obs::TraceSink* sink);
+
+ private:
+  ShardedPersonalizationService(const Database* db, ShardedOptions options);
+
+  /// Builds shard `index`'s service from its subdirectory.
+  Result<std::shared_ptr<PersonalizationService>> OpenShard(size_t index);
+
+  /// The routing read: copies the target's shared_ptr under the shared
+  /// lock (nullptr = shard down).
+  std::shared_ptr<PersonalizationService> Route(const std::string& user_id,
+                                                size_t* shard_index) const;
+
+  PersonalizationResponse ShedResponse(const std::string& reason) const;
+
+  const Database* db_;
+  ShardedOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  std::atomic<obs::TraceSink*> trace_sink_{nullptr};
+
+  /// Guards the slot table; slots_[i] == nullptr while shard i is down.
+  mutable std::shared_mutex mutex_;
+  std::vector<std::shared_ptr<PersonalizationService>> slots_;
+
+  /// Router instruments (cluster registry, qp_router_*).
+  obs::Counter* metric_requests_ = nullptr;
+  obs::Counter* metric_mutations_ = nullptr;
+  obs::Counter* metric_shed_ = nullptr;
+  obs::Counter* metric_invalidated_ = nullptr;
+  obs::Counter* metric_kills_ = nullptr;
+  obs::Counter* metric_recoveries_ = nullptr;
+};
+
+}  // namespace shard
+}  // namespace qp
+
+#endif  // QP_SHARD_SHARDED_SERVICE_H_

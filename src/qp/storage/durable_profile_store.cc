@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <unordered_map>
 
 #include "qp/storage/record.h"
+#include "qp/util/fault_hub.h"
 #include "qp/util/string_util.h"
 #include "qp/util/timer.h"
 
@@ -33,6 +35,9 @@ DurableProfileStore::DurableProfileStore(const Schema* schema,
       dir_(options_.dir) {
   breaker_backoff_ms_.store(options_.breaker_backoff.count(),
                             std::memory_order_relaxed);
+  if (options_.hot_capacity > 0 && !dir_.empty()) {
+    tier_ = std::make_unique<ProfileTier>(options_.hot_capacity);
+  }
   if (options_.metrics != nullptr) {
     // Thread the registry into every WAL writer this store will create
     // (Recover and each checkpoint rotation construct from options_.wal).
@@ -59,6 +64,17 @@ DurableProfileStore::DurableProfileStore(const Schema* schema,
         options_.metrics->gauge("qp_storage_breaker_open");
     gauge_quarantined_ =
         options_.metrics->gauge("qp_storage_quarantined_profiles");
+    if (tiered()) {
+      metric_tier_hits_ = options_.metrics->counter("qp_tier_hot_hits_total");
+      metric_tier_cold_loads_ =
+          options_.metrics->counter("qp_tier_cold_loads_total");
+      metric_tier_evictions_ =
+          options_.metrics->counter("qp_tier_evictions_total");
+      metric_tier_load_failures_ =
+          options_.metrics->counter("qp_tier_load_failures_total");
+      metric_tier_load_seconds_ =
+          options_.metrics->histogram("qp_tier_load_seconds");
+    }
   }
 }
 
@@ -123,16 +139,31 @@ Status DurableProfileStore::Recover(uint64_t* next_seqno) {
   QP_RETURN_IF_ERROR(manifest_or.status());
   manifest_ = std::move(manifest_or).value();
 
-  // Base state: the snapshot, wholesale. Its checksum is verified
-  // against the manifest before a single profile is parsed.
+  // Base state: the snapshot. Its checksum is verified against the
+  // manifest before a single profile is parsed. A tiered store indexes
+  // the entry headers only — no profile is materialized until its first
+  // Get — so recovery cost and resident set stay O(hot budget), not
+  // O(users).
   if (!manifest_.snapshot_file.empty()) {
-    QP_ASSIGN_OR_RETURN(
-        auto users,
-        LoadSnapshot(fs_, JoinPath(dir_, manifest_.snapshot_file),
-                     manifest_.snapshot_bytes, manifest_.snapshot_crc));
-    for (auto& [user_id, profile] : users) {
-      QP_RETURN_IF_ERROR(store_.Put(user_id, std::move(profile)));
-      ++snapshot_users_loaded_;
+    const std::string snapshot_path = JoinPath(dir_, manifest_.snapshot_file);
+    if (tiered()) {
+      QP_ASSIGN_OR_RETURN(
+          auto entries,
+          IndexSnapshot(fs_, snapshot_path, manifest_.snapshot_bytes,
+                        manifest_.snapshot_crc));
+      for (const SnapshotEntry& entry : entries) {
+        tier_->NoteSnapshotEntry(entry);
+        ++snapshot_users_loaded_;
+      }
+    } else {
+      QP_ASSIGN_OR_RETURN(auto users,
+                          LoadSnapshot(fs_, snapshot_path,
+                                       manifest_.snapshot_bytes,
+                                       manifest_.snapshot_crc));
+      for (auto& [user_id, profile] : users) {
+        QP_RETURN_IF_ERROR(store_.Put(user_id, std::move(profile)));
+        ++snapshot_users_loaded_;
+      }
     }
   }
 
@@ -155,7 +186,13 @@ Status DurableProfileStore::Recover(uint64_t* next_seqno) {
     if (!has_record) break;
     QP_ASSIGN_OR_RETURN(ProfileMutation mutation,
                         DecodeMutation(record.payload));
-    QP_RETURN_IF_ERROR(ApplyMutation(mutation));
+    if (tiered()) {
+      // The overlay absorbs the record; the profile itself stays cold
+      // until first touch.
+      tier_->NoteLogged(mutation, std::string(record.payload));
+    } else {
+      QP_RETURN_IF_ERROR(ApplyMutation(mutation));
+    }
     last_seqno = record.seqno;
     ++records_replayed_;
   }
@@ -228,6 +265,144 @@ Status DurableProfileStore::ApplyMutation(const ProfileMutation& mutation) {
 
 size_t DurableProfileStore::StripeFor(const std::string& user_id) const {
   return std::hash<std::string>{}(user_id) % kNumStripes;
+}
+
+Result<ProfileSnapshot> DurableProfileStore::Get(const std::string& user_id) {
+  if (!tiered()) return store_.Get(user_id);
+  if (auto hit = store_.Get(user_id); hit.ok()) {
+    tier_->CountHotHit();
+    if (metric_tier_hits_ != nullptr) metric_tier_hits_->Add(1);
+    tier_->Touch(user_id);
+    return hit;
+  }
+  // Cold (or truly absent): take the user's stripe so the load
+  // serializes against mutations of the same user, then re-check — a
+  // racing Get may have paged the profile in already.
+  std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
+  if (auto hit = store_.Get(user_id); hit.ok()) {
+    tier_->Touch(user_id);
+    return hit;
+  }
+  return LoadColdLocked(user_id);
+}
+
+Result<ProfileSnapshot> DurableProfileStore::LoadColdLocked(
+    const std::string& user_id) {
+  const ProfileTier::LoadPlan plan = tier_->PlanLoad(user_id);
+  if (!plan.alive) {
+    return Status::NotFound("no profile for user " + user_id);
+  }
+  WallTimer timer;
+  if (Status fault = QP_FAULT_POINT("shard.load"); !fault.ok()) {
+    tier_->CountLoadFailure();
+    if (metric_tier_load_failures_ != nullptr) {
+      metric_tier_load_failures_->Add(1);
+    }
+    return fault;
+  }
+  UserProfile profile;
+  Status built = BuildFromPlan(user_id, plan, &profile);
+  if (!built.ok()) {
+    tier_->CountLoadFailure();
+    if (metric_tier_load_failures_ != nullptr) {
+      metric_tier_load_failures_->Add(1);
+    }
+    return built;
+  }
+  const double millis = timer.ElapsedMillis();
+  tier_->CountColdLoad(millis);
+  if (metric_tier_cold_loads_ != nullptr) metric_tier_cold_loads_->Add(1);
+  if (metric_tier_load_seconds_ != nullptr) {
+    metric_tier_load_seconds_->RecordMillis(millis);
+  }
+  for (;;) {
+    // Install through the validating Put: the reload gets a strictly
+    // larger epoch than the evicted incarnation, so stale cached
+    // selections keyed on the old epoch can never be served again.
+    UserProfile incarnation = profile;
+    QP_RETURN_IF_ERROR(store_.Put(user_id, std::move(incarnation)));
+    tier_->Touch(user_id);
+    // Capture the snapshot *before* rebalancing the budget. Eviction
+    // never takes the victim's stripe, so a concurrent mutator on
+    // another stripe can evict this user between the Put and the Get —
+    // in that rare window the read-back misses and we simply reinstall
+    // (the durable state is complete; only residency was lost).
+    Result<ProfileSnapshot> snapshot = store_.Get(user_id);
+    EvictOverBudget();
+    if (snapshot.ok()) return snapshot;
+  }
+}
+
+Status DurableProfileStore::BuildFromPlan(const std::string& user_id,
+                                          const ProfileTier::LoadPlan& plan,
+                                          UserProfile* profile) {
+  *profile = UserProfile();
+  if (plan.in_snapshot) {
+    // Reading manifest_ under a single stripe is safe: the pointer-and-
+    // name swap happens only under *all* stripes (checkpoint), which any
+    // stripe holder excludes.
+    QP_ASSIGN_OR_RETURN(
+        std::string body,
+        fs_->ReadFileRange(JoinPath(dir_, manifest_.snapshot_file),
+                           plan.offset, plan.length));
+    QP_ASSIGN_OR_RETURN(*profile, UserProfile::Parse(body));
+  }
+  for (const std::string& payload : plan.tail) {
+    QP_ASSIGN_OR_RETURN(ProfileMutation mutation, DecodeMutation(payload));
+    switch (mutation.kind) {
+      case ProfileMutation::Kind::kPut:
+        *profile = std::move(mutation.profile);
+        break;
+      case ProfileMutation::Kind::kUpsert:
+        for (const AtomicPreference& pref : mutation.preferences) {
+          profile->AddOrUpdate(pref);
+        }
+        break;
+      case ProfileMutation::Kind::kRemove:
+        // The tier erases removed users outright; a remove in a live
+        // overlay means the bookkeeping is out of sync with the log.
+        return Status::Internal("remove record in overlay of alive user " +
+                                user_id);
+    }
+  }
+  return Status::Ok();
+}
+
+void DurableProfileStore::EvictOverBudget() {
+  std::vector<std::string> victims = tier_->EvictOverBudget();
+  for (const std::string& victim : victims) {
+    // Dropping the resident copy only — the durable state is already
+    // complete. A racing reload may have lost its residency marker and
+    // will simply fault the profile back in (NotFound here is fine).
+    store_.Remove(victim);
+  }
+  if (!victims.empty() && metric_tier_evictions_ != nullptr) {
+    metric_tier_evictions_->Add(victims.size());
+  }
+}
+
+std::vector<std::pair<std::string, ProfileSnapshot>>
+DurableProfileStore::All() {
+  if (!tiered()) return store_.All();
+  // Fault every alive user through the LRU: memory stays bounded by the
+  // hot budget while the caller walks the full population. Users whose
+  // load fails (injected faults, quarantined damage) are skipped — this
+  // is a debugging/export surface, not a recovery path.
+  std::vector<std::pair<std::string, ProfileSnapshot>> all;
+  for (const std::string& user_id : tier_->AliveUsers()) {
+    if (auto snapshot = Get(user_id); snapshot.ok()) {
+      all.emplace_back(user_id, std::move(snapshot).value());
+    }
+  }
+  return all;
+}
+
+size_t DurableProfileStore::size() const {
+  return tiered() ? tier_->alive_count() : store_.size();
+}
+
+TierStats DurableProfileStore::tier_stats() const {
+  return tiered() ? tier_->stats() : TierStats{};
 }
 
 Status DurableProfileStore::AdmitMutation() {
@@ -361,10 +536,18 @@ Status DurableProfileStore::Put(const std::string& user_id,
     span.Counter("bytes", payload.size());
     QP_RETURN_IF_ERROR(LogMutation(payload));
   }
+  // Tier bookkeeping runs between the WAL append and the in-memory
+  // apply: once a mutation is logged, snapshot + overlay reproduce it,
+  // so eviction at any later point loses nothing acknowledged.
+  if (tiered()) tier_->NoteLogged(mutation, std::move(payload));
   Status status = store_.Put(user_id, std::move(mutation.profile));
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
                             status.message());
+  }
+  if (tiered()) {
+    tier_->Touch(user_id);
+    EvictOverBudget();
   }
   MaybeKickCompaction();
   return Status::Ok();
@@ -379,27 +562,43 @@ Status DurableProfileStore::Upsert(
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
   // Merge under the stripe lock so the validated result is exactly what
-  // replaying this upsert over the logged prefix will produce.
+  // replaying this upsert over the logged prefix will produce. An
+  // upsert of a cold user pages its current state in first — merging
+  // over an empty profile would silently drop the evicted preferences.
   UserProfile merged;
   if (auto current = store_.Get(user_id); current.ok()) {
     merged = *current->profile;
+  } else if (tiered()) {
+    const ProfileTier::LoadPlan plan = tier_->PlanLoad(user_id);
+    if (plan.alive) {
+      WallTimer load_timer;
+      QP_RETURN_IF_ERROR(BuildFromPlan(user_id, plan, &merged));
+      tier_->CountColdLoad(load_timer.ElapsedMillis());
+      if (metric_tier_cold_loads_ != nullptr) metric_tier_cold_loads_->Add(1);
+    }
   }
   for (const AtomicPreference& pref : preferences) {
     merged.AddOrUpdate(pref);
   }
   QP_RETURN_IF_ERROR(merged.Validate(store_.schema()));
 
+  ProfileMutation mutation = ProfileMutation::Upsert(user_id, preferences);
   std::string payload;
-  EncodeMutation(ProfileMutation::Upsert(user_id, preferences), &payload);
+  EncodeMutation(mutation, &payload);
   {
     obs::ScopedSpan span(trace, "wal_append");
     span.Counter("bytes", payload.size());
     QP_RETURN_IF_ERROR(LogMutation(payload));
   }
+  if (tiered()) tier_->NoteLogged(mutation, std::move(payload));
   Status status = store_.Put(user_id, std::move(merged));
   if (!status.ok()) {
     return Status::Internal("logged mutation failed to apply: " +
                             status.message());
+  }
+  if (tiered()) {
+    tier_->Touch(user_id);
+    EvictOverBudget();
   }
   MaybeKickCompaction();
   return Status::Ok();
@@ -411,18 +610,23 @@ Status DurableProfileStore::Remove(const std::string& user_id,
   QP_RETURN_IF_ERROR(AdmitMutation());
 
   std::lock_guard<std::mutex> stripe(stripes_[StripeFor(user_id)]);
+  // Existence check spans both tiers: a cold user is just as removable.
   if (auto current = store_.Get(user_id); !current.ok()) {
-    return current.status();  // Unknown user: nothing to log.
+    if (!tiered() || !tier_->Contains(user_id)) {
+      return current.status();  // Unknown user: nothing to log.
+    }
   }
+  ProfileMutation mutation = ProfileMutation::Remove(user_id);
   std::string payload;
-  EncodeMutation(ProfileMutation::Remove(user_id), &payload);
+  EncodeMutation(mutation, &payload);
   {
     obs::ScopedSpan span(trace, "wal_append");
     span.Counter("bytes", payload.size());
     QP_RETURN_IF_ERROR(LogMutation(payload));
   }
+  if (tiered()) tier_->NoteLogged(mutation, std::move(payload));
   Status status = store_.Remove(user_id);
-  if (!status.ok()) {
+  if (!status.ok() && !(tiered() && status.code() == StatusCode::kNotFound)) {
     return Status::Internal("logged mutation failed to apply: " +
                             status.message());
   }
@@ -485,18 +689,58 @@ Status DurableProfileStore::CheckpointLocked(bool for_recovery) {
     ++seqno;
   }
 
-  SnapshotUsers users;
-  for (auto& [user_id, snapshot] : store_.All()) {
-    users.emplace_back(user_id, snapshot.profile);
-  }
-
   Manifest next;
   next.seqno = seqno;
   next.snapshot_file = SnapshotFileName(seqno);
   next.wal_file = WalFileName(seqno + 1);
-  QP_RETURN_IF_ERROR(WriteSnapshot(fs_, JoinPath(dir_, next.snapshot_file),
-                                   users, &next.snapshot_bytes,
-                                   &next.snapshot_crc));
+  std::vector<SnapshotEntry> new_entries;
+  if (!tiered()) {
+    SnapshotUsers users;
+    for (auto& [user_id, snapshot] : store_.All()) {
+      users.emplace_back(user_id, snapshot.profile);
+    }
+    QP_RETURN_IF_ERROR(WriteSnapshot(fs_, JoinPath(dir_, next.snapshot_file),
+                                     users, &next.snapshot_bytes,
+                                     &next.snapshot_crc));
+  } else {
+    // Tiered merge: every alive user lands in the new snapshot, but only
+    // the resident ones are serialized from memory. A cold user whose
+    // overlay is empty has its body copied verbatim from the old
+    // snapshot (byte-identical, no parse); a cold user with buffered
+    // mutations is rebuilt through the same plan a Get-load uses. All
+    // stripes are held, so the plans are an exact cut.
+    std::unordered_map<std::string, std::shared_ptr<const UserProfile>> hot;
+    for (auto& [user_id, snapshot] : store_.All()) {
+      hot.emplace(user_id, snapshot.profile);
+    }
+    const std::string old_snapshot =
+        manifest_.snapshot_file.empty()
+            ? std::string()
+            : JoinPath(dir_, manifest_.snapshot_file);
+    SnapshotWriter writer(fs_);
+    const auto plans = tier_->CheckpointPlans();
+    QP_RETURN_IF_ERROR(
+        writer.Open(JoinPath(dir_, next.snapshot_file), plans.size()));
+    for (const auto& [user_id, plan] : plans) {
+      if (auto it = hot.find(user_id); it != hot.end()) {
+        QP_RETURN_IF_ERROR(writer.Add(user_id, it->second->Serialize()));
+        continue;
+      }
+      if (plan.in_snapshot && plan.tail.empty()) {
+        QP_ASSIGN_OR_RETURN(
+            std::string body,
+            fs_->ReadFileRange(old_snapshot, plan.offset, plan.length));
+        QP_RETURN_IF_ERROR(writer.Add(user_id, body));
+        continue;
+      }
+      UserProfile rebuilt;
+      QP_RETURN_IF_ERROR(BuildFromPlan(user_id, plan, &rebuilt));
+      QP_RETURN_IF_ERROR(writer.Add(user_id, rebuilt.Serialize()));
+    }
+    QP_RETURN_IF_ERROR(
+        writer.Finish(&next.snapshot_bytes, &next.snapshot_crc));
+    new_entries = writer.TakeEntries();
+  }
   QP_ASSIGN_OR_RETURN(
       std::unique_ptr<WritableFile> new_wal_file,
       fs_->NewWritableFile(JoinPath(dir_, next.wal_file), true));
@@ -519,6 +763,7 @@ Status DurableProfileStore::CheckpointLocked(bool for_recovery) {
   segment_base_bytes_ = 0;
   ++checkpoints_;
   if (metric_checkpoints_ != nullptr) metric_checkpoints_->Add(1);
+  if (tiered()) tier_->ResetAfterCheckpoint(new_entries);
 
   if (!old.snapshot_file.empty() && old.snapshot_file != next.snapshot_file) {
     fs_->RemoveFile(JoinPath(dir_, old.snapshot_file));  // Best effort.

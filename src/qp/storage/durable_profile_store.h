@@ -16,9 +16,11 @@
 
 #include "qp/obs/trace.h"
 #include "qp/service/profile_store.h"
+#include "qp/storage/profile_backend.h"
 #include "qp/storage/record.h"
 #include "qp/storage/scrub.h"
 #include "qp/storage/snapshot.h"
+#include "qp/storage/tier.h"
 #include "qp/storage/wal.h"
 #include "qp/util/file.h"
 #include "qp/util/status.h"
@@ -67,6 +69,17 @@ struct StorageOptions {
   /// 0 disables the background thread; ScrubOnce() still works.
   std::chrono::milliseconds scrub_interval{0};
   bool scrub_auto_repair = true;
+  /// Tiered residency: when > 0, at most this many profiles are resident
+  /// in memory at once. The rest stay cold on disk — recovery indexes
+  /// the snapshot's entry headers instead of materializing profiles, a
+  /// Get of a cold user pages exactly its body in (snapshot range read +
+  /// WAL-overlay replay) under the user's stripe, and installs beyond
+  /// the budget evict the least-recently-used resident. Eviction loses
+  /// nothing: every acknowledged mutation hit the WAL before the ack, so
+  /// disk state always equals acknowledged state. 0 (default) keeps
+  /// every profile resident — the behavior of PR 2–6. Requires a
+  /// storage directory.
+  size_t hot_capacity = 0;
   /// Filesystem to operate on; nullptr = the process-wide POSIX one.
   /// Tests pass a FaultInjectingFileSystem here.
   FileSystem* fs = nullptr;
@@ -77,55 +90,8 @@ struct StorageOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Storage-side counters, surfaced through ServiceStats::storage.
-struct StorageStats {
-  bool durable = false;
-  uint64_t records_appended = 0;  // WAL records over the store's lifetime.
-  uint64_t bytes_appended = 0;    // WAL bytes over the store's lifetime.
-  uint64_t fsyncs = 0;
-  /// Fsync attempts that failed transiently and were retried by the WAL.
-  uint64_t sync_retries = 0;
-  /// Mutations that failed at the WAL (after its retries).
-  uint64_t mutation_failures = 0;
-  /// Times the circuit breaker tripped the store to read-only. A true
-  /// counter: every open — first trip or a failed probe re-opening —
-  /// increments it.
-  uint64_t breaker_trips = 0;
-  /// Half-open recovery accounting: probes attempted, probes that closed
-  /// the breaker, and the breaker generation (bumped on every successful
-  /// recovery — state written before the epoch bump is from a previous
-  /// breaker life).
-  uint64_t breaker_probes = 0;
-  uint64_t breaker_recoveries = 0;
-  uint64_t breaker_epoch = 0;
-  /// The backoff a re-open would currently wait before probing again.
-  uint64_t breaker_backoff_ms = 0;
-  /// True while mutations are being rejected with Unavailable.
-  bool breaker_open = false;
-  /// Integrity scrubber accounting: completed passes, findings (disk CRC
-  /// damage + in-memory invariant violations), repairs, and the profiles
-  /// currently quarantined.
-  uint64_t scrubs = 0;
-  uint64_t scrub_corruptions = 0;
-  uint64_t repairs = 0;
-  uint64_t repair_failures = 0;
-  uint64_t quarantined_profiles = 0;
-  std::string last_scrub_error;
-  uint64_t checkpoints = 0;
-  uint64_t failed_checkpoints = 0;
-  /// Message of the most recent checkpoint/compaction failure; cleared
-  /// when one succeeds again. Background compaction failures are not
-  /// returned to any caller, so this is where they surface.
-  std::string last_checkpoint_error;
-  uint64_t last_appended_seqno = 0;
-  uint64_t last_synced_seqno = 0;
-  uint64_t wal_segment_bytes = 0;  // Live (uncompacted) WAL length.
-  // Recovery outcome of the Open() that produced this store.
-  double recovery_millis = 0.0;
-  uint64_t snapshot_users_loaded = 0;
-  uint64_t records_replayed = 0;
-  uint64_t torn_bytes_truncated = 0;
-};
+// StorageStats and TierStats live in profile_backend.h (the interface
+// this store implements); included above.
 
 /// A crash-safe ProfileStore: every mutation is appended to a CRC32C-
 /// framed write-ahead log before it is applied to the in-memory sharded
@@ -150,7 +116,7 @@ struct StorageStats {
 /// profile can never be served for its successor. Epochs are *not*
 /// persisted: they key in-process caches, and a recovered store starts a
 /// fresh process with a fresh (empty) cache.
-class DurableProfileStore {
+class DurableProfileStore : public ProfileBackend {
  public:
   /// In-memory pass-through (no directory, nothing persisted). When
   /// `metrics` is given the inner ProfileStore publishes its counters
@@ -167,7 +133,7 @@ class DurableProfileStore {
   static Result<std::unique_ptr<DurableProfileStore>> Open(
       const Schema* schema, StorageOptions options, size_t num_shards = 16);
 
-  ~DurableProfileStore();
+  ~DurableProfileStore() override;
 
   DurableProfileStore(const DurableProfileStore&) = delete;
   DurableProfileStore& operator=(const DurableProfileStore&) = delete;
@@ -178,39 +144,43 @@ class DurableProfileStore {
   /// receives a "wal_append" span covering the log write (group commit +
   /// fsync included) — the durability cost of the mutation.
   Status Put(const std::string& user_id, UserProfile profile,
-             obs::RequestTrace* trace = nullptr);
+             obs::RequestTrace* trace = nullptr) override;
   Status Upsert(const std::string& user_id,
                 const std::vector<AtomicPreference>& preferences,
-                obs::RequestTrace* trace = nullptr);
+                obs::RequestTrace* trace = nullptr) override;
   Status Remove(const std::string& user_id,
-                obs::RequestTrace* trace = nullptr);
+                obs::RequestTrace* trace = nullptr) override;
 
   /// Reads delegate to the in-memory store (same snapshot semantics).
-  Result<ProfileSnapshot> Get(const std::string& user_id) const {
-    return store_.Get(user_id);
-  }
-  std::vector<std::pair<std::string, ProfileSnapshot>> All() const {
-    return store_.All();
-  }
-  size_t size() const { return store_.size(); }
-  const Schema& schema() const { return store_.schema(); }
+  /// Under tiering, a miss on an alive-but-cold user pages the profile
+  /// in from snapshot + WAL overlay (the "shard.load" fault site),
+  /// evicting over-budget residents — so a reload always carries a
+  /// strictly larger epoch than the evicted incarnation.
+  Result<ProfileSnapshot> Get(const std::string& user_id) override;
+  std::vector<std::pair<std::string, ProfileSnapshot>> All() override;
+  size_t size() const override;
+  const Schema& schema() const override { return store_.schema(); }
 
-  bool durable() const { return !dir_.empty(); }
+  bool durable() const override { return !dir_.empty(); }
 
   /// Writes a snapshot of the current state and truncates the WAL it
   /// covers. Blocks mutators for the duration. No-op when nothing was
   /// logged since the last checkpoint.
-  Status Checkpoint();
+  Status Checkpoint() override;
 
   /// Forces every acknowledged mutation to stable storage (useful under
   /// FsyncPolicy::kInterval / kNever).
-  Status Sync();
+  Status Sync() override;
 
   /// Flushes, stops background compaction and closes the WAL. Further
   /// mutations fail; reads keep working. Called by the destructor.
-  Status Close();
+  Status Close() override;
 
-  StorageStats storage_stats() const;
+  StorageStats storage_stats() const override;
+
+  /// Residency counters; TierStats::enabled is false unless
+  /// StorageOptions::hot_capacity was set.
+  TierStats tier_stats() const override;
 
   /// One synchronous integrity pass (the background scrubber runs
   /// exactly this on its cadence): re-verify the committed generation on
@@ -219,19 +189,19 @@ class DurableProfileStore {
   /// Returns non-OK only when the pass itself could not run (closed
   /// store) — findings are reported, not returned.
   Status ScrubOnce(ScrubReport* report = nullptr,
-                   obs::RequestTrace* trace = nullptr);
+                   obs::RequestTrace* trace = nullptr) override;
 
   /// Rebuilds one user's profile from durable truth — last good snapshot
   /// + a WAL replay filtered to that user — installs it (validated) and
   /// lifts the quarantine. The repair path behind scrub_auto_repair.
-  Status RepairUser(const std::string& user_id);
+  Status RepairUser(const std::string& user_id) override;
 
   /// Quarantine surface: quarantined users are excluded from
   /// personalization (the service serves their raw queries, degraded)
   /// until repaired. IsQuarantined is hot-path cheap: one relaxed load
   /// while the set is empty.
-  bool IsQuarantined(const std::string& user_id) const;
-  std::vector<std::string> QuarantinedUsers() const;
+  bool IsQuarantined(const std::string& user_id) const override;
+  std::vector<std::string> QuarantinedUsers() const override;
 
   /// Chaos/test backdoor: plants an unvalidated profile in memory (the
   /// WAL and durable state stay intact) — the damage ScrubOnce must
@@ -254,6 +224,19 @@ class DurableProfileStore {
 
   Status Recover(uint64_t* next_seqno);
   Status ApplyMutation(const ProfileMutation& mutation);
+  bool tiered() const { return tier_ != nullptr; }
+  /// Pages one cold (alive, non-resident) user in: snapshot range read +
+  /// overlay replay, validated install, LRU eviction of over-budget
+  /// residents. Caller holds the user's stripe lock and has re-checked
+  /// the in-memory store. The "shard.load" fault site fires here.
+  Result<ProfileSnapshot> LoadColdLocked(const std::string& user_id);
+  /// Rebuilds a profile from a tier load plan (no locks of its own).
+  Status BuildFromPlan(const std::string& user_id,
+                       const ProfileTier::LoadPlan& plan,
+                       UserProfile* profile);
+  /// Drops over-budget residents from memory (their durable state is
+  /// already complete — see StorageOptions::hot_capacity).
+  void EvictOverBudget();
   /// Appends one mutation payload to the WAL under the caller's stripe
   /// lock, driving the circuit breaker: success resets the consecutive-
   /// failure count, failure advances it and trips the breaker at the
@@ -291,6 +274,10 @@ class DurableProfileStore {
   StorageOptions options_;
   FileSystem* fs_ = nullptr;
   std::string dir_;
+
+  /// Residency bookkeeping; null unless StorageOptions::hot_capacity
+  /// enabled tiering. The tier's own mutex orders after stripes/meta.
+  std::unique_ptr<ProfileTier> tier_;
 
   /// Per-user mutation serialization; ordered before meta_mutex_.
   mutable std::array<std::mutex, kNumStripes> stripes_;
@@ -364,6 +351,11 @@ class DurableProfileStore {
   obs::Counter* metric_repair_failures_ = nullptr;
   obs::Gauge* gauge_breaker_open_ = nullptr;
   obs::Gauge* gauge_quarantined_ = nullptr;
+  obs::Counter* metric_tier_hits_ = nullptr;
+  obs::Counter* metric_tier_cold_loads_ = nullptr;
+  obs::Counter* metric_tier_evictions_ = nullptr;
+  obs::Counter* metric_tier_load_failures_ = nullptr;
+  obs::Histogram* metric_tier_load_seconds_ = nullptr;
 
   std::mutex compact_mutex_;
   std::condition_variable compact_cv_;

@@ -121,6 +121,26 @@ Result<std::string> FaultInjectingFileSystem::ReadFile(
   return it->second->data;
 }
 
+Result<std::string> FaultInjectingFileSystem::ReadFileRange(
+    const std::string& path, uint64_t offset, uint64_t length) {
+  // Same fault surface as ReadFile, but O(length): the default
+  // whole-file fallback would make every tiered cold load copy the
+  // entire snapshot.
+  FaultAction fault = QP_FAULT_ACTION("fs.read");
+  fault.Sleep();
+  if (fault.fire && fault.mode != FaultMode::kDelay) {
+    return fault.ToStatus("fs.read");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  const std::string& data = it->second->data;
+  if (offset > data.size() || length > data.size() - offset) {
+    return Status::OutOfRange("read range past EOF in " + path);
+  }
+  return data.substr(offset, length);
+}
+
 Status FaultInjectingFileSystem::Rename(const std::string& from,
                                         const std::string& to) {
   std::lock_guard<std::mutex> lock(mutex_);

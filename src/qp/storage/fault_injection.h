@@ -35,6 +35,8 @@ class FaultInjectingFileSystem : public FileSystem {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override;
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   Status CreateDir(const std::string& path) override;

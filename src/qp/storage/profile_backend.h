@@ -1,0 +1,141 @@
+#ifndef QP_STORAGE_PROFILE_BACKEND_H_
+#define QP_STORAGE_PROFILE_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qp/obs/trace.h"
+#include "qp/pref/preference.h"
+#include "qp/service/profile_store.h"
+#include "qp/storage/scrub.h"
+#include "qp/util/status.h"
+
+namespace qp {
+namespace storage {
+
+/// Storage-side counters, surfaced through ServiceStats::storage.
+struct StorageStats {
+  bool durable = false;
+  uint64_t records_appended = 0;  // WAL records over the store's lifetime.
+  uint64_t bytes_appended = 0;    // WAL bytes over the store's lifetime.
+  uint64_t fsyncs = 0;
+  /// Fsync attempts that failed transiently and were retried by the WAL.
+  uint64_t sync_retries = 0;
+  /// Mutations that failed at the WAL (after its retries).
+  uint64_t mutation_failures = 0;
+  /// Times the circuit breaker tripped the store to read-only. A true
+  /// counter: every open — first trip or a failed probe re-opening —
+  /// increments it.
+  uint64_t breaker_trips = 0;
+  /// Half-open recovery accounting: probes attempted, probes that closed
+  /// the breaker, and the breaker generation (bumped on every successful
+  /// recovery — state written before the epoch bump is from a previous
+  /// breaker life).
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_recoveries = 0;
+  uint64_t breaker_epoch = 0;
+  /// The backoff a re-open would currently wait before probing again.
+  uint64_t breaker_backoff_ms = 0;
+  /// True while mutations are being rejected with Unavailable.
+  bool breaker_open = false;
+  /// Integrity scrubber accounting: completed passes, findings (disk CRC
+  /// damage + in-memory invariant violations), repairs, and the profiles
+  /// currently quarantined.
+  uint64_t scrubs = 0;
+  uint64_t scrub_corruptions = 0;
+  uint64_t repairs = 0;
+  uint64_t repair_failures = 0;
+  uint64_t quarantined_profiles = 0;
+  std::string last_scrub_error;
+  uint64_t checkpoints = 0;
+  uint64_t failed_checkpoints = 0;
+  /// Message of the most recent checkpoint/compaction failure; cleared
+  /// when one succeeds again. Background compaction failures are not
+  /// returned to any caller, so this is where they surface.
+  std::string last_checkpoint_error;
+  uint64_t last_appended_seqno = 0;
+  uint64_t last_synced_seqno = 0;
+  uint64_t wal_segment_bytes = 0;  // Live (uncompacted) WAL length.
+  // Recovery outcome of the Open() that produced this store.
+  double recovery_millis = 0.0;
+  uint64_t snapshot_users_loaded = 0;
+  uint64_t records_replayed = 0;
+  uint64_t torn_bytes_truncated = 0;
+};
+
+/// Hot/cold residency counters of a tiered backend. All zero (and
+/// `enabled` false) for a store that keeps every profile resident.
+struct TierStats {
+  bool enabled = false;
+  size_t hot_capacity = 0;  // Max profiles resident at once.
+  size_t hot_resident = 0;  // Profiles currently in memory.
+  size_t cold_users = 0;    // Alive users currently evicted to disk.
+  uint64_t hot_hits = 0;    // Gets answered from memory.
+  uint64_t cold_loads = 0;  // Gets that paged a profile in from disk.
+  uint64_t evictions = 0;   // Profiles dropped from memory (disk kept).
+  uint64_t load_failures = 0;
+  /// Mutation payloads buffered since the last checkpoint — the WAL
+  /// overlay cold loads replay on top of their snapshot body. Bounded by
+  /// the compaction threshold.
+  uint64_t overlay_records = 0;
+  double load_millis = 0.0;  // Cumulative cold-load wall time.
+};
+
+/// The storage interface the service layer programs against: the full
+/// mutation/read/maintenance surface of a profile store, independent of
+/// how (or whether) state is persisted and which profiles are resident.
+/// DurableProfileStore is the canonical implementation — in-memory,
+/// write-ahead-logged, or tiered hot/cold — and the sharded front end
+/// opens one backend per shard. Mirrors the pluggable-EDB shape: the
+/// engine sees an abstract store, the concrete layer decides residency.
+///
+/// All methods are thread-safe. `Get` is non-const by design: a tiered
+/// backend may fault the profile in from disk (and evict another) on the
+/// way.
+class ProfileBackend {
+ public:
+  virtual ~ProfileBackend() = default;
+
+  /// Mutators mirror ProfileStore but may be logged/persisted first.
+  /// `trace`, when given, receives spans covering the durability cost.
+  virtual Status Put(const std::string& user_id, UserProfile profile,
+                     obs::RequestTrace* trace = nullptr) = 0;
+  virtual Status Upsert(const std::string& user_id,
+                        const std::vector<AtomicPreference>& preferences,
+                        obs::RequestTrace* trace = nullptr) = 0;
+  virtual Status Remove(const std::string& user_id,
+                        obs::RequestTrace* trace = nullptr) = 0;
+
+  /// The user's current snapshot; NotFound for unknown users.
+  virtual Result<ProfileSnapshot> Get(const std::string& user_id) = 0;
+
+  /// Every alive user's snapshot, sorted by user id. A tiered backend
+  /// faults cold users in (and back out) through its LRU to build this —
+  /// a debugging/export surface, not a hot path.
+  virtual std::vector<std::pair<std::string, ProfileSnapshot>> All() = 0;
+
+  /// Alive users, resident or not.
+  virtual size_t size() const = 0;
+  virtual const Schema& schema() const = 0;
+  virtual bool durable() const = 0;
+
+  virtual Status Checkpoint() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+
+  virtual StorageStats storage_stats() const = 0;
+  virtual TierStats tier_stats() const { return TierStats{}; }
+
+  virtual Status ScrubOnce(ScrubReport* report = nullptr,
+                           obs::RequestTrace* trace = nullptr) = 0;
+  virtual Status RepairUser(const std::string& user_id) = 0;
+  virtual bool IsQuarantined(const std::string& user_id) const = 0;
+  virtual std::vector<std::string> QuarantinedUsers() const = 0;
+};
+
+}  // namespace storage
+}  // namespace qp
+
+#endif  // QP_STORAGE_PROFILE_BACKEND_H_

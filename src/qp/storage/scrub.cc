@@ -287,10 +287,16 @@ Status DurableProfileStore::RepairUser(const std::string& user_id) {
       // Validated install through the inner store: rebuilds the graph,
       // bumps the epoch (caches notice), never touches the WAL — the
       // repaired state *is* the replay of what is already logged.
-      return store_.Put(user_id, std::move(rebuilt));
+      QP_RETURN_IF_ERROR(store_.Put(user_id, std::move(rebuilt)));
+      if (tiered()) {
+        tier_->Touch(user_id);
+        EvictOverBudget();
+      }
+      return Status::Ok();
     }
     // Durable truth says the user does not exist; absence is the repair.
     store_.Remove(user_id);
+    if (tiered()) tier_->Erase(user_id);
     return Status::Ok();
   }();
   if (status.ok()) {

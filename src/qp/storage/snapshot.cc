@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
+#include <functional>
 
 #include "qp/util/crc32c.h"
 #include "qp/util/string_util.h"
@@ -106,33 +107,98 @@ Result<Manifest> ReadManifest(FileSystem* fs, const std::string& dir) {
   return manifest;
 }
 
-Status WriteSnapshot(FileSystem* fs, const std::string& path,
-                     const SnapshotUsers& users, uint64_t* bytes,
-                     uint32_t* crc) {
-  std::string content = std::string(kSnapshotHeader) + "\n";
-  content += "count " + std::to_string(users.size()) + "\n";
-  for (const auto& [user_id, profile] : users) {
-    std::string body = profile->Serialize();
-    content += "user " + std::to_string(user_id.size()) + " " +
-               std::to_string(body.size()) + "\n";
-    content += user_id;
-    content += "\n";
-    content += body;
-  }
-  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                      fs->NewWritableFile(path, /*truncate=*/true));
-  QP_RETURN_IF_ERROR(file->Append(content));
-  QP_RETURN_IF_ERROR(file->Sync());
-  QP_RETURN_IF_ERROR(file->Close());
-  *bytes = content.size();
-  *crc = crc32c::Value(content);
+SnapshotWriter::SnapshotWriter(FileSystem* fs) : fs_(fs) {}
+
+Status SnapshotWriter::Flush() {
+  if (buffer_.empty()) return Status::Ok();
+  QP_RETURN_IF_ERROR(file_->Append(buffer_));
+  crc_ = crc32c::Extend(crc_, buffer_.data(), buffer_.size());
+  written_ += buffer_.size();
+  buffer_.clear();
   return Status::Ok();
 }
 
-Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
-    FileSystem* fs, const std::string& path, uint64_t expected_bytes,
-    uint32_t expected_crc) {
-  QP_ASSIGN_OR_RETURN(std::string content, fs->ReadFile(path));
+Status SnapshotWriter::Open(const std::string& path, uint64_t count) {
+  if (file_ != nullptr) return Status::FailedPrecondition("writer is open");
+  auto file_or = fs_->NewWritableFile(path, /*truncate=*/true);
+  if (!file_or.ok()) return status_ = file_or.status();
+  file_ = std::move(file_or).value();
+  declared_count_ = count;
+  buffer_ = std::string(kSnapshotHeader) + "\n";
+  buffer_ += "count " + std::to_string(count) + "\n";
+  return Status::Ok();
+}
+
+Status SnapshotWriter::Add(const std::string& user_id, std::string_view body) {
+  if (!status_.ok()) return status_;
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  if (added_ == declared_count_) {
+    return status_ = Status::FailedPrecondition(
+               "snapshot writer: more entries than the declared count");
+  }
+  ++added_;
+  buffer_ += "user " + std::to_string(user_id.size()) + " " +
+             std::to_string(body.size()) + "\n";
+  buffer_ += user_id;
+  buffer_ += "\n";
+  SnapshotEntry entry;
+  entry.user_id = user_id;
+  entry.offset = written_ + buffer_.size();
+  entry.length = body.size();
+  entries_.push_back(std::move(entry));
+  buffer_.append(body);
+  // 1 MiB write granularity: big enough to amortize syscalls, small
+  // enough that a million-user checkpoint never owns the whole file.
+  constexpr size_t kFlushBytes = 1u << 20;
+  if (buffer_.size() >= kFlushBytes) {
+    Status status = Flush();
+    if (!status.ok()) return status_ = status;
+  }
+  return Status::Ok();
+}
+
+Status SnapshotWriter::Finish(uint64_t* bytes, uint32_t* crc) {
+  if (!status_.ok()) return status_;
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  if (added_ != declared_count_) {
+    return status_ = Status::FailedPrecondition(
+               "snapshot writer: " + std::to_string(added_) +
+               " entries added but " + std::to_string(declared_count_) +
+               " declared");
+  }
+  Status status = Flush();
+  if (!status.ok()) return status_ = status;
+  if (!(status = file_->Sync()).ok()) return status_ = status;
+  if (!(status = file_->Close()).ok()) return status_ = status;
+  *bytes = written_;
+  *crc = crc_;
+  file_.reset();
+  return Status::Ok();
+}
+
+Status WriteSnapshot(FileSystem* fs, const std::string& path,
+                     const SnapshotUsers& users, uint64_t* bytes,
+                     uint32_t* crc) {
+  SnapshotWriter writer(fs);
+  QP_RETURN_IF_ERROR(writer.Open(path, users.size()));
+  for (const auto& [user_id, profile] : users) {
+    QP_RETURN_IF_ERROR(writer.Add(user_id, profile->Serialize()));
+  }
+  return writer.Finish(bytes, crc);
+}
+
+namespace {
+
+/// The one framing walk both readers share: verifies size + CRC against
+/// the manifest, then visits every `user` entry with its id, body view
+/// and the body's byte offset in the file. The visitor decides what to
+/// materialize — LoadSnapshot parses profiles, IndexSnapshot records
+/// positions only.
+Status VerifyAndWalkSnapshot(
+    const std::string& content, const std::string& path,
+    uint64_t expected_bytes, uint32_t expected_crc,
+    const std::function<Status(std::string&&, std::string_view, uint64_t)>&
+        visit) {
   auto corrupt = [&](const std::string& what) {
     return Status::ParseError("corrupt snapshot " + path + ": " + what);
   };
@@ -165,8 +231,6 @@ Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
   uint64_t count;
   if (!ParseUint64(line.substr(6), &count)) return corrupt("bad count");
 
-  std::vector<std::pair<std::string, UserProfile>> users;
-  users.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     if (!read_line(&line) || !StartsWith(line, "user ")) {
       return corrupt("missing user header");
@@ -189,12 +253,48 @@ Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
       return corrupt("user entry past EOF");
     }
     std::string_view body = std::string_view(content).substr(pos, body_len);
+    QP_RETURN_IF_ERROR(visit(std::move(user_id), body, pos));
     pos += body_len;
-    QP_ASSIGN_OR_RETURN(UserProfile profile, UserProfile::Parse(body));
-    users.emplace_back(std::move(user_id), std::move(profile));
   }
   if (pos != content.size()) return corrupt("trailing bytes");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
+    FileSystem* fs, const std::string& path, uint64_t expected_bytes,
+    uint32_t expected_crc) {
+  QP_ASSIGN_OR_RETURN(std::string content, fs->ReadFile(path));
+  std::vector<std::pair<std::string, UserProfile>> users;
+  QP_RETURN_IF_ERROR(VerifyAndWalkSnapshot(
+      content, path, expected_bytes, expected_crc,
+      [&](std::string&& user_id, std::string_view body, uint64_t) -> Status {
+        QP_ASSIGN_OR_RETURN(UserProfile profile, UserProfile::Parse(body));
+        users.emplace_back(std::move(user_id), std::move(profile));
+        return Status::Ok();
+      }));
   return users;
+}
+
+Result<std::vector<SnapshotEntry>> IndexSnapshot(FileSystem* fs,
+                                                 const std::string& path,
+                                                 uint64_t expected_bytes,
+                                                 uint32_t expected_crc) {
+  QP_ASSIGN_OR_RETURN(std::string content, fs->ReadFile(path));
+  std::vector<SnapshotEntry> entries;
+  QP_RETURN_IF_ERROR(VerifyAndWalkSnapshot(
+      content, path, expected_bytes, expected_crc,
+      [&](std::string&& user_id, std::string_view body,
+          uint64_t offset) -> Status {
+        SnapshotEntry entry;
+        entry.user_id = std::move(user_id);
+        entry.offset = offset;
+        entry.length = body.size();
+        entries.push_back(std::move(entry));
+        return Status::Ok();
+      }));
+  return entries;
 }
 
 }  // namespace storage

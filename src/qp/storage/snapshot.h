@@ -59,6 +59,60 @@ Result<std::vector<std::pair<std::string, UserProfile>>> LoadSnapshot(
     FileSystem* fs, const std::string& path, uint64_t expected_bytes,
     uint32_t expected_crc);
 
+/// Where one user's serialized profile body sits inside a snapshot file,
+/// the unit of the tiered store's cold index: a cold profile is paged in
+/// with a single ReadFileRange(offset, length) + UserProfile::Parse, no
+/// other entry touched.
+struct SnapshotEntry {
+  std::string user_id;
+  uint64_t offset = 0;  // Byte offset of the profile body in the file.
+  uint64_t length = 0;  // Body length in bytes.
+};
+
+/// Verifies the whole file (size + CRC32C against the manifest) and
+/// walks only the length-framed entry headers — profile bodies are never
+/// parsed — returning every user's body position. This is how a tiered
+/// recovery indexes a million-user snapshot without materializing a
+/// single profile.
+Result<std::vector<SnapshotEntry>> IndexSnapshot(FileSystem* fs,
+                                                 const std::string& path,
+                                                 uint64_t expected_bytes,
+                                                 uint32_t expected_crc);
+
+/// Streaming counterpart of WriteSnapshot for checkpoints that merge
+/// hot in-memory profiles with cold bodies copied from the previous
+/// snapshot: entries are appended one at a time (buffered, CRC32C
+/// extended incrementally) so the writer never holds the whole snapshot
+/// in memory, and each Add records the body's SnapshotEntry for the next
+/// cold index. Usage: Open (with the exact final entry count — the
+/// format's count header is written up front), Add per user in sorted
+/// order, Finish (flush + fsync + close, reporting bytes and CRC for the
+/// manifest). Any error is sticky and fails Finish.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(FileSystem* fs);
+
+  Status Open(const std::string& path, uint64_t count);
+  Status Add(const std::string& user_id, std::string_view body);
+  Status Finish(uint64_t* bytes, uint32_t* crc);
+
+  /// Body positions of every Add, in Add order. Valid after Finish.
+  std::vector<SnapshotEntry> TakeEntries() { return std::move(entries_); }
+
+ private:
+  Status Flush();
+
+  FileSystem* fs_;
+  std::unique_ptr<WritableFile> file_;
+  std::string buffer_;
+  uint64_t written_ = 0;  // Bytes handed to the file so far.
+  uint32_t crc_ = 0;
+  uint64_t declared_count_ = 0;
+  uint64_t added_ = 0;
+  std::vector<SnapshotEntry> entries_;
+  Status status_;
+};
+
 }  // namespace storage
 }  // namespace qp
 

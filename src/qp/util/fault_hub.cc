@@ -239,9 +239,9 @@ std::string FaultHub::Summary() const {
 
 const std::vector<std::string>& FaultHub::KnownSites() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
-      "fs.append",     "fs.read",      "fs.sync",     "wal.append",
+      "fs.append",     "fs.read",      "fs.sync",      "wal.append",
       "wal.sync",      "service.admit", "cache.lookup", "pool.submit",
-      "exec.disjunct",
+      "exec.disjunct", "shard.route",   "shard.load",
   };
   return *sites;
 }

@@ -94,6 +94,31 @@ class PosixFileSystem : public FileSystem {
     return out;
   }
 
+  Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out(length, '\0');
+    size_t done = 0;
+    while (done < length) {
+      ssize_t n = ::pread(fd, out.data() + done, length - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("pread", path, err);
+      }
+      if (n == 0) break;  // EOF before the range was satisfied.
+      done += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    if (done < length) {
+      return Status::OutOfRange("read range past EOF in " + path);
+    }
+    return out;
+  }
+
   Status Rename(const std::string& from, const std::string& to) override {
     if (::rename(from.c_str(), to.c_str()) != 0) {
       return ErrnoStatus("rename", from + " -> " + to, errno);
@@ -144,6 +169,16 @@ class PosixFileSystem : public FileSystem {
 };
 
 }  // namespace
+
+Result<std::string> FileSystem::ReadFileRange(const std::string& path,
+                                              uint64_t offset,
+                                              uint64_t length) {
+  QP_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  if (offset > content.size() || length > content.size() - offset) {
+    return Status::OutOfRange("read range past EOF in " + path);
+  }
+  return content.substr(offset, length);
+}
 
 FileSystem* DefaultFileSystem() {
   static PosixFileSystem* fs = new PosixFileSystem();

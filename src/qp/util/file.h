@@ -1,6 +1,7 @@
 #ifndef QP_UTIL_FILE_H_
 #define QP_UTIL_FILE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -44,6 +45,17 @@ class FileSystem {
 
   /// Reads the whole file into a string. NotFound if it does not exist.
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Reads exactly `[offset, offset + length)` of the file. OutOfRange
+  /// when the range extends past EOF — a caller holding a stale index
+  /// must find out, not get a short read. The default implementation is
+  /// ReadFile + substr, so every FileSystem (including the fault-
+  /// injecting one, which keeps its read-fault wiring) supports it; the
+  /// POSIX implementation overrides it with pread so the tiered profile
+  /// store can page one cold profile in without touching the rest of a
+  /// multi-megabyte snapshot.
+  virtual Result<std::string> ReadFileRange(const std::string& path,
+                                            uint64_t offset, uint64_t length);
 
   /// Atomically replaces `to` with `from` (rename(2) semantics).
   virtual Status Rename(const std::string& from, const std::string& to) = 0;

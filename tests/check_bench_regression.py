@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate a bench_report.json (JSONL) against the committed baseline.
+
+Usage:
+    tests/check_bench_regression.py BENCH_baseline.json build/bench_report.json
+
+Two kinds of checks, mirroring what a reviewer reads the sidecar for:
+
+  1. Ratio guards: higher-is-better metrics (vectorized-executor speedups,
+     service throughput, shard-cluster closed-loop throughput) must not
+     fall more than MAX_REGRESSION below the committed baseline. Timings
+     jitter; ratios and throughputs on the same machine class stay stable
+     well inside 25%.
+  2. Invariants: booleans the current run must satisfy outright, whatever
+     the baseline says — the shard chaos phase lost no acknowledged
+     mutation, and the tiered resident set stayed inside the hot budget.
+
+A metric present in the baseline but missing from the current report is
+an error (a silently dropped bench is how regressions hide); a metric new
+in the current report is noted and ignored (it becomes binding when the
+baseline is regenerated).
+"""
+
+import json
+import sys
+
+MAX_REGRESSION = 0.25
+
+# (bench, scalar) pairs where current >= baseline * (1 - MAX_REGRESSION)
+# must hold. All are higher-is-better.
+GUARDED = [
+    ("ablation_exec", "vec_speedup"),
+    ("fig8_sq_mq_vs_k", "vec_speedup_sq"),
+    ("fig8_sq_mq_vs_k", "vec_speedup_mq"),
+    ("fig9_sq_mq_vs_l", "vec_speedup_sq"),
+    ("fig9_sq_mq_vs_l", "vec_speedup_mq"),
+    ("service_throughput", "qps/w2_nocache"),
+    ("service_throughput", "qps/w2_cache"),
+    ("shard_scale", "closed_loop_qps"),
+]
+
+# (bench, scalar, required value) the *current* report must satisfy.
+INVARIANTS = [
+    ("shard_scale", "zero_acked_loss", 1),
+    ("shard_scale", "residency_bounded", 1),
+]
+
+
+def load(path):
+    reports = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                # Later lines win: a re-run binary supersedes its own
+                # earlier report within one file.
+                reports[obj["bench"]] = obj
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+    return reports
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    failures = []
+
+    for bench, key, want in INVARIANTS:
+        got = current.get(bench, {}).get("scalars", {}).get(key)
+        if got is None:
+            failures.append(f"{bench}.{key}: missing from current report")
+        elif got != want:
+            failures.append(f"{bench}.{key}: {got} (must be {want})")
+        else:
+            print(f"ok   {bench}.{key} = {got}")
+
+    for bench, key in GUARDED:
+        base = baseline.get(bench, {}).get("scalars", {}).get(key)
+        cur = current.get(bench, {}).get("scalars", {}).get(key)
+        if base is None:
+            print(f"note {bench}.{key}: not in baseline, skipped")
+            continue
+        if cur is None:
+            failures.append(f"{bench}.{key}: in baseline but missing "
+                            f"from current report")
+            continue
+        floor = base * (1.0 - MAX_REGRESSION)
+        verdict = "ok  " if cur >= floor else "FAIL"
+        print(f"{verdict} {bench}.{key}: {cur:.4g} vs baseline "
+              f"{base:.4g} (floor {floor:.4g})")
+        if cur < floor:
+            failures.append(f"{bench}.{key}: {cur:.4g} is more than "
+                            f"{MAX_REGRESSION:.0%} below baseline "
+                            f"{base:.4g}")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbench regression gate passed "
+          f"({len(GUARDED)} guards, {len(INVARIANTS)} invariants)")
+
+
+if __name__ == "__main__":
+    main()

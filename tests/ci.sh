@@ -3,7 +3,8 @@
 #
 #   1. regular build + the whole ctest suite (tier-1: must stay green);
 #   2. the durability/crash-recovery, request-lifecycle, observability,
-#      chaos/robustness and executor-engine suites under ThreadSanitizer
+#      chaos/robustness, executor-engine and shard suites (router
+#      swap-under-load + kill/recover chaos) under ThreadSanitizer
 #      and AddressSanitizer+UBSan via tests/run_sanitized.sh — the
 #      randomized crash-recovery property suite (>= 500 trials), the
 #      overload/admission tests, the metrics/trace accounting tests, the
@@ -23,7 +24,11 @@
 #      ablation_exec / fig8 / fig9 reports record both the tuple and the
 #      vectorized engine plus their speedup ratio), so a regression in
 #      shed/degrade/recovery behaviour or the perf trajectory shows up
-#      as an artifact diff.
+#      as an artifact diff;
+#   5. a regression gate: the fresh bench report is checked against the
+#      committed BENCH_baseline.json — a >25% drop in vec_speedup* or
+#      service/shard throughput, or a violated shard invariant (acked
+#      loss, unbounded residency), fails the run.
 #
 # Usage:
 #   tests/ci.sh            # everything
@@ -45,6 +50,7 @@ LIFECYCLE_FILTER='deadline_test|selection_deadline|executor_cancel|service_lifec
 OBS_FILTER='obs_metrics|obs_trace|service_trace|executor_stats_attribution|service_stats_identity'
 CHAOS_FILTER='fault_hub|breaker_recovery|scrubber_test|bitflip_robustness|chaos_property'
 EXEC_FILTER='batch_table|exec_differential|vectorized_cancel'
+SHARD_FILTER='tiered_store|sharded_service|shard_chaos'
 
 echo "==== [ci] regular build ===="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -64,17 +70,25 @@ echo "==== [ci] sanitized storage + lifecycle + obs + chaos + exec suites ===="
 # 800-trial sweep already ran in stage 1). A failing or hanging trial
 # prints "[chaos] trial N seed=S" / "[diff] trial N seed=S" before it
 # runs, so the log always names the seed to replay.
-QP_CHAOS_TRIALS=100 QP_EXEC_TRIALS=150 \
+# The shard suite rides along: the router swaps shard pointers under a
+# shared_mutex while worker threads personalize, and the kill/recover
+# chaos trials (QP_SHARD_CHAOS_TRIALS=25 per sanitizer) race mutators
+# against shard death — exactly the code TSan/ASan exist to vet.
+QP_CHAOS_TRIALS=100 QP_EXEC_TRIALS=150 QP_SHARD_CHAOS_TRIALS=25 \
   tests/run_sanitized.sh all \
-  -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER|$CHAOS_FILTER|$EXEC_FILTER"
+  -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER|$CHAOS_FILTER|$EXEC_FILTER|$SHARD_FILTER"
 
 echo "==== [ci] QP_FAULTS_DISABLED compile check ===="
 # Production builds compile every fault site to a literal no-op; this
 # gate catches a site whose disabled stub no longer typechecks.
 cmake -B "$ROOT/build-nofaults" -S "$ROOT" -DQP_FAULTS_DISABLED=ON >/dev/null
 cmake --build "$ROOT/build-nofaults" -j "$JOBS" \
-  --target qp_storage qp_service qpshell fault_hub_test
-(cd "$ROOT/build-nofaults" && ctest -R fault_hub_test --output-on-failure)
+  --target qp_storage qp_service qp_shard qpshell fault_hub_test \
+  tiered_store_test sharded_service_test
+# The shard suites run in the stubbed build too: fault-dependent cases
+# GTEST_SKIP themselves, everything else must pass with sites no-opped.
+(cd "$ROOT/build-nofaults" && ctest --output-on-failure \
+  -R 'fault_hub_test|tiered_store_test|sharded_service_test')
 
 echo "==== [ci] benchmark snapshots (JSON) ===="
 REPORT="$ROOT/build/bench_report.json"
@@ -97,7 +111,20 @@ QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/ablation_exec" \
   --benchmark_min_time=0.05 >/dev/null
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fig8_sq_mq_vs_k" >/dev/null
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fig9_sq_mq_vs_l" >/dev/null
+# Sharded scale-out: the zipfian closed loop over 1M distinct users with
+# a bounded hot set, plus the kill/recover phase. The report carries the
+# two acceptance booleans (residency_bounded, zero_acked_loss) that the
+# regression gate below enforces as hard invariants.
+QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/shard_scale" >/dev/null
 echo "wrote $REPORT:"
 cat "$REPORT"
+
+echo "==== [ci] bench regression gate (vs BENCH_baseline.json) ===="
+# Fails on a >25% drop in any vectorized-executor speedup or service /
+# shard-cluster throughput, or on a violated shard invariant. Regenerate
+# the baseline (and review the diff) when a deliberate perf change moves
+# the floor: copy build/bench_report.json over BENCH_baseline.json.
+python3 tests/check_bench_regression.py \
+  "$ROOT/BENCH_baseline.json" "$REPORT"
 
 echo "==== [ci] PASS ===="

@@ -129,6 +129,66 @@ TEST(SelectionCacheTest, ClearDropsEntriesKeepsStats) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(SelectionCacheTest, EraseUserDropsOnlyThatUsersEntries) {
+  SelectionCache cache(16);
+  auto criterion = InterestCriterion::TopCount(5);
+  auto key = [&](const std::string& user, int i) {
+    return SelectionCache::MakeKey(user, 1, "q" + std::to_string(i),
+                                   criterion);
+  };
+  // User-aware inserts for A and B, plus one anonymous (keyed-only)
+  // entry that no per-user invalidation may touch.
+  for (int i = 0; i < 3; ++i) cache.Insert("alice", key("alice", i),
+                                           MakePaths(1));
+  for (int i = 0; i < 2; ++i) cache.Insert("bob", key("bob", i),
+                                           MakePaths(1));
+  cache.Insert(key("anon", 0), MakePaths(1));
+  ASSERT_EQ(cache.size(), 6u);
+
+  // Mutating Alice drops exactly her three entries; Bob's and the
+  // anonymous entry survive untouched.
+  EXPECT_EQ(cache.EraseUser("alice"), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(cache.Lookup(key("alice", i)),
+                                        nullptr);
+  for (int i = 0; i < 2; ++i) EXPECT_NE(cache.Lookup(key("bob", i)),
+                                        nullptr);
+  EXPECT_NE(cache.Lookup(key("anon", 0)), nullptr);
+  EXPECT_EQ(cache.stats().user_invalidations, 3u);
+
+  // Unknown or already-erased users are clean no-ops.
+  EXPECT_EQ(cache.EraseUser("alice"), 0u);
+  EXPECT_EQ(cache.EraseUser("nobody"), 0u);
+  EXPECT_EQ(cache.stats().user_invalidations, 3u);
+}
+
+TEST(SelectionCacheTest, EvictionAndReplaceMaintainUserIndex) {
+  SelectionCache cache(2);
+  auto criterion = InterestCriterion::TopCount(5);
+  auto key = [&](int i) {
+    return SelectionCache::MakeKey("u", 1, "q" + std::to_string(i),
+                                   criterion);
+  };
+  // LRU eviction of a user-owned entry must unindex it: a later
+  // EraseUser sees only what is still resident.
+  cache.Insert("alice", key(0), MakePaths(1));
+  cache.Insert("alice", key(1), MakePaths(1));
+  cache.Insert("alice", key(2), MakePaths(1));  // Evicts key(0).
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.EraseUser("alice"), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Re-inserting the same key under a different owner re-homes it.
+  cache.Insert("alice", key(7), MakePaths(1));
+  cache.Insert("bob", key(7), MakePaths(2));
+  EXPECT_EQ(cache.EraseUser("alice"), 0u);
+  auto hit = cache.Lookup(key(7));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ(cache.EraseUser("bob"), 1u);
+  EXPECT_EQ(cache.Lookup(key(7)), nullptr);
+}
+
 TEST(SelectionCacheTest, ConcurrentMixedAccess) {
   // Hammer one small cache from several threads; correctness here is
   // "no crash, bounded size, every hit returns an intact vector" (TSan
