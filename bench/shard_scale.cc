@@ -12,17 +12,29 @@
 //   closed_loop_requests, closed_loop_qps — zipfian personalization
 //                          throughput against the tiered cluster
 //   tier_hit_rate, tier_cold_loads, tier_evictions
+//   reshard_to_shards, reshard_seconds, reshard_partitions_moved,
+//   reshard_users_moved  — the mid-run live reshard (grow by two) with
+//                          a closed loop racing it
+//   reshard_window_requests, reshard_window_p99_ms — request latency
+//                          p99 *during* the migration window (the
+//                          drain/cutover barrier tax; gated in CI)
+//   reshard_acked_loss, reshard_zero_acked_loss — sampled byte-equality
+//                          of acknowledged state across the reshard
+//                          (reshard_zero_acked_loss must be 1)
 //   chaos_kills, chaos_recoveries, acked_loss, zero_acked_loss —
 //                          per-shard kill/recover with acknowledged
 //                          re-puts in flight; acked_loss counts users
 //                          whose recovered bytes diverged (must be 0)
 // plus the qp_tier_load_seconds cold-load latency histogram.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -225,11 +237,70 @@ void BM_ZipfianClosedLoopAndKillRecover(benchmark::State& state) {
       }
     }
 
-    // Phase 3 — kill/recover every shard in turn with freshly
+    // Phase 3 — live reshard under traffic: grow the cluster by two
+    // shards while a closed loop keeps personalizing against it. The
+    // loop's per-request latency during the migration window measures
+    // the drain/cutover barrier tax; a byte-equality sample across the
+    // reshard measures acknowledged-state loss (must be zero).
+    const size_t kGrownShards = kShards + 2;
+    MigrationStats migration_before = sharded->migration_stats();
+    std::atomic<bool> reshard_done{false};
+    std::vector<double> window_latencies_ms;
+    std::thread window_traffic([&] {
+      Rng traffic_rng(0x7e5a);
+      while (!reshard_done.load(std::memory_order_relaxed)) {
+        PersonalizationRequest request;
+        request.user_id = UserId(ZipfRank(&traffic_rng, kUsers));
+        request.query = queries[window_latencies_ms.size() % queries.size()];
+        request.options.criterion = InterestCriterion::TopCount(4);
+        request.execute = false;
+        auto start = std::chrono::steady_clock::now();
+        PersonalizationResponse response = sharded->Personalize(request);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        if (response.status.ok()) window_latencies_ms.push_back(ms);
+      }
+    });
+    auto reshard_start = std::chrono::steady_clock::now();
+    Status resharded = sharded->Reshard(kGrownShards);
+    double reshard_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      reshard_start)
+            .count();
+    reshard_done.store(true, std::memory_order_relaxed);
+    window_traffic.join();
+    if (!resharded.ok()) {
+      state.SkipWithError("reshard failed");
+      return;
+    }
+    MigrationStats migration_after = sharded->migration_stats();
+    double window_p99_ms = 0.0;
+    if (!window_latencies_ms.empty()) {
+      std::sort(window_latencies_ms.begin(), window_latencies_ms.end());
+      window_p99_ms = window_latencies_ms[static_cast<size_t>(
+          0.99 * static_cast<double>(window_latencies_ms.size() - 1))];
+    }
+    // Sampled byte-equality across the move: ingest acknowledged every
+    // profile, so every sampled user must read back template-identical
+    // from whichever shard owns it now.
+    size_t reshard_loss = 0;
+    Rng verify_rng(0xca11);
+    for (size_t i = 0; i < 512; ++i) {
+      size_t u = static_cast<size_t>(verify_rng.Below(kUsers));
+      auto snapshot = sharded->GetProfile(UserId(u));
+      if (!snapshot.ok() ||
+          snapshot.value().profile->Serialize() !=
+              TemplateFor(u, templates).Serialize()) {
+        ++reshard_loss;
+      }
+    }
+
+    // Phase 4 — kill/recover every shard in turn with freshly
     // acknowledged mutations on it: nothing acknowledged may diverge.
     size_t kills = 0, recoveries = 0, acked_loss = 0;
     Rng chaos_rng(0xdead);
-    for (size_t s = 0; s < kShards; ++s) {
+    for (size_t s = 0; s < sharded->num_shards(); ++s) {
       // Re-put a sample of this shard's users with a *different*
       // template (rotated by one) and require the ack first.
       std::vector<size_t> mutated;
@@ -307,6 +378,23 @@ void BM_ZipfianClosedLoopAndKillRecover(benchmark::State& state) {
     Report().AddScalar("tier_hit_rate", hit_rate);
     Report().AddScalar("tier_cold_loads", static_cast<double>(cold_loads));
     Report().AddScalar("tier_evictions", static_cast<double>(evictions));
+    Report().AddScalar("reshard_to_shards",
+                       static_cast<double>(kGrownShards));
+    Report().AddScalar("reshard_seconds", reshard_seconds);
+    Report().AddScalar(
+        "reshard_partitions_moved",
+        static_cast<double>(migration_after.partitions_migrated -
+                            migration_before.partitions_migrated));
+    Report().AddScalar("reshard_users_moved",
+                       static_cast<double>(migration_after.users_copied -
+                                           migration_before.users_copied));
+    Report().AddScalar("reshard_window_requests",
+                       static_cast<double>(window_latencies_ms.size()));
+    Report().AddScalar("reshard_window_p99_ms", window_p99_ms);
+    Report().AddScalar("reshard_acked_loss",
+                       static_cast<double>(reshard_loss));
+    Report().AddScalar("reshard_zero_acked_loss",
+                       reshard_loss == 0 ? 1.0 : 0.0);
     Report().AddScalar("chaos_kills", static_cast<double>(kills));
     Report().AddScalar("chaos_recoveries", static_cast<double>(recoveries));
     Report().AddScalar("acked_loss", static_cast<double>(acked_loss));

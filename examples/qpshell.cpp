@@ -172,6 +172,12 @@ class Shell {
       KillShard(arg);
     } else if (command == "recover") {
       RecoverShard(arg);
+    } else if (command == "reshard") {
+      Reshard(arg);
+    } else if (command == "migrations") {
+      PrintMigrations();
+    } else if (command == "route") {
+      Route(arg);
     } else {
       std::printf("unknown command \\%s — try \\help\n", command.c_str());
     }
@@ -233,6 +239,13 @@ class Shell {
         "  \\shards off         close the cluster (back to in-process)\n"
         "  \\kill I | \\recover I  drop / reopen shard I — survivors keep\n"
         "                      serving; recovery replays snapshot + WAL\n"
+        "  \\reshard N          live-reshard the open cluster to N shards:\n"
+        "                      per-partition copy -> WAL tail -> dual-write\n"
+        "                      -> atomic cutover, serving throughout\n"
+        "  \\migrations         migration counters + routing version + any\n"
+        "                      journaled in-flight partition moves\n"
+        "  \\route <user>       the user's partition/owner shard + per-shard\n"
+        "                      resident key counts\n"
         "  \\quit\n");
   }
 
@@ -706,6 +719,103 @@ class Shell {
                 static_cast<unsigned long long>(stats.snapshot_users_loaded),
                 static_cast<unsigned long long>(stats.records_replayed),
                 stats.recovery_millis);
+  }
+
+  /// \reshard N: live-reshard the open cluster, printing what moved.
+  void Reshard(const std::string& arg) {
+    if (sharded_ == nullptr) {
+      std::printf("no cluster open — \\shards N first\n");
+      return;
+    }
+    size_t new_shards = static_cast<size_t>(std::atoll(arg.c_str()));
+    if (new_shards == 0) {
+      std::printf("usage: \\reshard N (N >= 1)\n");
+      return;
+    }
+    shard::MigrationStats before = sharded_->migration_stats();
+    if (!Check(sharded_->Reshard(new_shards))) return;
+    shard::MigrationStats after = sharded_->migration_stats();
+    std::printf(
+        "resharded to %zu shards (routing v%llu): %llu partitions moved, "
+        "%llu users copied, %llu tail records, %llu dual writes, %llu "
+        "retries — cluster served throughout\n",
+        sharded_->num_shards(),
+        static_cast<unsigned long long>(sharded_->routing_version()),
+        static_cast<unsigned long long>(after.partitions_migrated -
+                                        before.partitions_migrated),
+        static_cast<unsigned long long>(after.users_copied -
+                                        before.users_copied),
+        static_cast<unsigned long long>(after.tail_records -
+                                        before.tail_records),
+        static_cast<unsigned long long>(after.dual_writes -
+                                        before.dual_writes),
+        static_cast<unsigned long long>(after.retries - before.retries));
+  }
+
+  /// \migrations: lifetime migration counters, the serving routing
+  /// version, and any journaled in-flight partition moves on disk.
+  void PrintMigrations() {
+    if (sharded_ == nullptr) {
+      std::printf("no cluster open — \\shards N first\n");
+      return;
+    }
+    shard::ShardedStats stats = sharded_->stats();
+    const shard::MigrationStats& m = stats.migration;
+    std::printf(
+        "routing v%llu over %zu partitions / %zu shards%s\n"
+        "migrations: %llu committed, %llu aborted, %llu active; %llu users "
+        "copied, %llu tail records, %llu dual writes, %llu retries, %llu "
+        "copy restarts\n",
+        static_cast<unsigned long long>(stats.routing_version),
+        stats.num_partitions, sharded_->num_shards(),
+        m.resharding ? " — RESHARD IN FLIGHT" : "",
+        static_cast<unsigned long long>(m.partitions_migrated),
+        static_cast<unsigned long long>(m.partitions_aborted),
+        static_cast<unsigned long long>(m.active),
+        static_cast<unsigned long long>(m.users_copied),
+        static_cast<unsigned long long>(m.tail_records),
+        static_cast<unsigned long long>(m.dual_writes),
+        static_cast<unsigned long long>(m.retries),
+        static_cast<unsigned long long>(m.copy_restarts));
+    auto journal =
+        shard::ReadMigrationJournal(DefaultFileSystem(), sharded_dir_);
+    if (!journal.ok()) {
+      std::printf("journal: unreadable (%s)\n",
+                  journal.status().ToString().c_str());
+    } else if (journal.value().empty()) {
+      std::printf("journal: clean (no in-flight partition moves)\n");
+    } else {
+      for (const shard::MigrationJournalEntry& entry : journal.value()) {
+        std::printf("journal: partition %u moving shard %u -> %u "
+                    "(resolves on reopen if interrupted)\n",
+                    entry.partition, entry.source, entry.target);
+      }
+    }
+  }
+
+  /// \route <user>: the user's partition + owner shard, then the
+  /// per-shard resident key counts the routing currently produces.
+  void Route(const std::string& arg) {
+    if (sharded_ == nullptr) {
+      std::printf("no cluster open — \\shards N first\n");
+      return;
+    }
+    std::string user = arg.empty() ? profile_name_ : arg;
+    size_t shard_index = sharded_->ShardFor(user);
+    std::printf("'%s' -> partition %zu -> shard %zu (%s) [routing v%llu]\n",
+                user.c_str(), sharded_->PartitionFor(user), shard_index,
+                sharded_->IsShardAlive(shard_index) ? "alive" : "DOWN",
+                static_cast<unsigned long long>(sharded_->routing_version()));
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      auto shard = sharded_->Shard(s);
+      if (shard == nullptr) {
+        std::printf("  shard %zu: DOWN\n", s);
+        continue;
+      }
+      std::printf("  shard %zu: %zu resident keys%s\n", s,
+                  shard->profiles().size(),
+                  s == shard_index ? "  <- owner" : "");
+    }
   }
 
   /// The per-shard table behind \shards / \stats / \health: liveness,

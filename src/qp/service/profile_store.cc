@@ -161,6 +161,18 @@ std::vector<std::pair<std::string, ProfileSnapshot>> ProfileStore::All()
   return out;
 }
 
+std::vector<std::string> ProfileStore::Users() const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const auto& [user_id, entry] : shard->users) {
+      out.push_back(user_id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 size_t ProfileStore::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

@@ -72,6 +72,10 @@ class ProfileStore {
   /// per shard, not a global atomic cut.
   std::vector<std::pair<std::string, ProfileSnapshot>> All() const;
 
+  /// Every user's id, sorted — the body-free companion of All() for
+  /// callers (migration, tiering) that only need to enumerate ownership.
+  std::vector<std::string> Users() const;
+
   size_t size() const;
   const Schema& schema() const { return *schema_; }
 

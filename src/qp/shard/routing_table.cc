@@ -1,0 +1,217 @@
+#include "qp/shard/routing_table.h"
+
+#include <charconv>
+
+#include "qp/util/string_util.h"
+
+namespace qp {
+namespace shard {
+
+const char kRoutingFileName[] = "ROUTING";
+const char kMigrationFileName[] = "MIGRATION";
+
+namespace {
+
+const char kRoutingHeader[] = "qp-routing v1";
+const char kMigrationHeader[] = "qp-migration v1";
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  // from_chars refuses signs, whitespace and overflow, so "-1" is
+  // rejected as corrupt rather than wrapped like strtoull.
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, *out, 10);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseUint32(std::string_view text, uint32_t* out) {
+  uint64_t wide = 0;
+  if (!ParseUint64(text, &wide) || wide > UINT32_MAX) return false;
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+}  // namespace
+
+uint64_t RouteHash(const std::string& user_id) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : user_id) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+RoutingTable RoutingTable::Uniform(size_t num_partitions, size_t num_shards) {
+  RoutingTable table;
+  table.version = 1;
+  table.num_shards = num_shards;
+  table.owner.resize(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    table.owner[p] = static_cast<uint32_t>(p % num_shards);
+  }
+  return table;
+}
+
+std::vector<size_t> RoutingTable::PartitionCounts() const {
+  std::vector<size_t> counts(num_shards, 0);
+  for (uint32_t shard : owner) {
+    if (shard < counts.size()) ++counts[shard];
+  }
+  return counts;
+}
+
+Result<RoutingTable> PlanReshard(const RoutingTable& current,
+                                 size_t new_num_shards) {
+  const size_t num_partitions = current.owner.size();
+  if (new_num_shards == 0) {
+    return Status::InvalidArgument("cannot reshard to zero shards");
+  }
+  if (new_num_shards > num_partitions) {
+    return Status::InvalidArgument(
+        "cannot reshard to " + std::to_string(new_num_shards) +
+        " shards: only " + std::to_string(num_partitions) +
+        " partitions exist");
+  }
+  // Balanced loads: every shard ends within one partition of P/M; ties
+  // give the extra partition to the lowest shard ids.
+  std::vector<size_t> capacity(new_num_shards, num_partitions / new_num_shards);
+  for (size_t s = 0; s < num_partitions % new_num_shards; ++s) ++capacity[s];
+
+  RoutingTable plan = current;
+  plan.num_shards = new_num_shards;
+  // Pass 1: keep every partition whose owner survives and still has
+  // capacity — these never move. Pass 2: pour the rest (retired-shard
+  // partitions + overflow) into the remaining capacity in shard order.
+  std::vector<size_t> kept(new_num_shards, 0);
+  std::vector<size_t> moving;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const uint32_t owner = current.owner[p];
+    if (owner < new_num_shards && kept[owner] < capacity[owner]) {
+      ++kept[owner];
+    } else {
+      moving.push_back(p);
+    }
+  }
+  size_t next_shard = 0;
+  for (size_t p : moving) {
+    while (kept[next_shard] >= capacity[next_shard]) ++next_shard;
+    plan.owner[p] = static_cast<uint32_t>(next_shard);
+    ++kept[next_shard];
+  }
+  return plan;
+}
+
+Status WriteRoutingTable(FileSystem* fs, const std::string& dir,
+                         const RoutingTable& table) {
+  std::string content = std::string(kRoutingHeader) + "\n";
+  content += "version " + std::to_string(table.version) + "\n";
+  content += "shards " + std::to_string(table.num_shards) + "\n";
+  content += "owner";
+  for (uint32_t shard : table.owner) {
+    content += ' ';
+    content += std::to_string(shard);
+  }
+  content += '\n';
+  QP_RETURN_IF_ERROR(
+      WriteFileAtomic(fs, JoinPath(dir, kRoutingFileName), content));
+  return fs->SyncDir(dir);
+}
+
+Result<RoutingTable> ReadRoutingTable(FileSystem* fs, const std::string& dir) {
+  QP_ASSIGN_OR_RETURN(std::string content,
+                      fs->ReadFile(JoinPath(dir, kRoutingFileName)));
+  auto corrupt = [&](const std::string& what) {
+    return Status::ParseError("corrupt routing table in " + dir + ": " + what);
+  };
+  std::vector<std::string> lines = Split(content, '\n');
+  if (lines.empty() || lines[0] != kRoutingHeader) return corrupt("bad header");
+  RoutingTable table;
+  bool saw_version = false, saw_shards = false, saw_owner = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = StripWhitespace(lines[i]);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields[0] == "version" && fields.size() == 2) {
+      if (!ParseUint64(fields[1], &table.version)) {
+        return corrupt("bad version");
+      }
+      saw_version = true;
+    } else if (fields[0] == "shards" && fields.size() == 2) {
+      if (!ParseUint64(fields[1], &table.num_shards)) {
+        return corrupt("bad shard count");
+      }
+      saw_shards = true;
+    } else if (fields[0] == "owner" && fields.size() >= 2) {
+      table.owner.reserve(fields.size() - 1);
+      for (size_t f = 1; f < fields.size(); ++f) {
+        uint32_t shard = 0;
+        if (!ParseUint32(fields[f], &shard)) return corrupt("bad owner");
+        table.owner.push_back(shard);
+      }
+      saw_owner = true;
+    } else {
+      return corrupt("unknown line: " + std::string(line));
+    }
+  }
+  if (!saw_version || !saw_shards || !saw_owner) {
+    return corrupt("missing version, shards or owner line");
+  }
+  if (table.version == 0 || table.num_shards == 0) {
+    return corrupt("zero version or shard count");
+  }
+  for (uint32_t shard : table.owner) {
+    if (shard >= table.num_shards) return corrupt("owner out of range");
+  }
+  return table;
+}
+
+Status WriteMigrationJournal(
+    FileSystem* fs, const std::string& dir,
+    const std::vector<MigrationJournalEntry>& entries) {
+  const std::string path = JoinPath(dir, kMigrationFileName);
+  if (entries.empty()) {
+    if (fs->Exists(path)) QP_RETURN_IF_ERROR(fs->RemoveFile(path));
+    return fs->SyncDir(dir);
+  }
+  std::string content = std::string(kMigrationHeader) + "\n";
+  for (const MigrationJournalEntry& entry : entries) {
+    content += "migrate " + std::to_string(entry.partition) + " " +
+               std::to_string(entry.source) + " " +
+               std::to_string(entry.target) + "\n";
+  }
+  QP_RETURN_IF_ERROR(WriteFileAtomic(fs, path, content));
+  return fs->SyncDir(dir);
+}
+
+Result<std::vector<MigrationJournalEntry>> ReadMigrationJournal(
+    FileSystem* fs, const std::string& dir) {
+  const std::string path = JoinPath(dir, kMigrationFileName);
+  if (!fs->Exists(path)) return std::vector<MigrationJournalEntry>{};
+  QP_ASSIGN_OR_RETURN(std::string content, fs->ReadFile(path));
+  auto corrupt = [&](const std::string& what) {
+    return Status::ParseError("corrupt migration journal in " + dir + ": " +
+                              what);
+  };
+  std::vector<std::string> lines = Split(content, '\n');
+  if (lines.empty() || lines[0] != kMigrationHeader) {
+    return corrupt("bad header");
+  }
+  std::vector<MigrationJournalEntry> entries;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = StripWhitespace(lines[i]);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ' ');
+    MigrationJournalEntry entry;
+    if (fields.size() != 4 || fields[0] != "migrate" ||
+        !ParseUint32(fields[1], &entry.partition) ||
+        !ParseUint32(fields[2], &entry.source) ||
+        !ParseUint32(fields[3], &entry.target)) {
+      return corrupt("bad entry: " + std::string(line));
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+}  // namespace shard
+}  // namespace qp

@@ -1,0 +1,103 @@
+#ifndef QP_SHARD_ROUTING_TABLE_H_
+#define QP_SHARD_ROUTING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qp/util/file.h"
+#include "qp/util/status.h"
+
+namespace qp {
+namespace shard {
+
+/// File names under the cluster root directory.
+extern const char kRoutingFileName[];    // "ROUTING"
+extern const char kMigrationFileName[];  // "MIGRATION"
+
+/// FNV-1a over the user id: stable across runs (unlike std::hash, whose
+/// value is implementation-defined), so a recovered cluster routes every
+/// user to the directory that holds their profile.
+uint64_t RouteHash(const std::string& user_id);
+
+/// The versioned user -> shard map. The hash space is split into a
+/// fixed number of partitions (Redis-cluster style); each partition is
+/// owned by exactly one shard, and live resharding moves whole
+/// partitions — one atomic owner flip per partition, each bumping
+/// `version`. The partition count is fixed for the cluster's lifetime;
+/// only ownership changes.
+///
+/// Persisted as the ROUTING file in the cluster root (atomic
+/// temp+rename, like MANIFEST): the on-disk table is the commit point
+/// of every cutover, so reopening a cluster always routes each user to
+/// the directory that owns their profile — even after a crash mid-
+/// migration.
+struct RoutingTable {
+  static constexpr size_t kDefaultPartitions = 64;
+
+  /// Monotonically increasing; bumped on every persisted change.
+  uint64_t version = 0;
+  /// Shards currently addressable (owners are all < num_shards).
+  uint64_t num_shards = 0;
+  /// owner[p] = shard owning partition p. Size = partition count.
+  std::vector<uint32_t> owner;
+
+  /// A fresh cluster's table: owner[p] = p % num_shards, version 1.
+  /// When num_shards divides num_partitions this routes identically to
+  /// the PR 7 fixed router (hash % num_shards), so pre-routing-table
+  /// shard directories stay valid.
+  static RoutingTable Uniform(size_t num_partitions, size_t num_shards);
+
+  size_t num_partitions() const { return owner.size(); }
+  size_t PartitionFor(const std::string& user_id) const {
+    return static_cast<size_t>(RouteHash(user_id) % owner.size());
+  }
+  size_t ShardFor(const std::string& user_id) const {
+    return owner[PartitionFor(user_id)];
+  }
+  /// Partitions per shard (index = shard id, size = num_shards).
+  std::vector<size_t> PartitionCounts() const;
+};
+
+/// Plans a minimal-movement reshard of `current` onto `new_num_shards`
+/// shards: partition loads are rebalanced to within one partition of
+/// each other while moving as few partitions as possible (growing N->M
+/// moves ~P*(M-N)/M partitions onto the new shards; shrinking moves
+/// only the partitions owned by retired shards). Deterministic: equal
+/// choices resolve in partition/shard order. Returns the target table
+/// (version copied from `current`; the migrator bumps it per cutover).
+Result<RoutingTable> PlanReshard(const RoutingTable& current,
+                                 size_t new_num_shards);
+
+/// Persists `table` as <dir>/ROUTING (atomic rename + SyncDir).
+Status WriteRoutingTable(FileSystem* fs, const std::string& dir,
+                         const RoutingTable& table);
+
+/// Reads <dir>/ROUTING. NotFound when the file does not exist (a fresh
+/// cluster); ParseError on corruption.
+Result<RoutingTable> ReadRoutingTable(FileSystem* fs, const std::string& dir);
+
+/// One in-flight migration, journaled so a crash mid-migration resolves
+/// deterministically on reopen: if the persisted routing table says
+/// `target` owns the partition the cutover committed (finish the source
+/// cleanup), otherwise it never happened (drop the partial copy from
+/// the target). Either way, never a half-moved user.
+struct MigrationJournalEntry {
+  uint32_t partition = 0;
+  uint32_t source = 0;
+  uint32_t target = 0;
+};
+
+/// Rewrites <dir>/MIGRATION with `entries` (atomic rename + SyncDir);
+/// an empty list removes the file.
+Status WriteMigrationJournal(FileSystem* fs, const std::string& dir,
+                             const std::vector<MigrationJournalEntry>& entries);
+
+/// Reads <dir>/MIGRATION; an absent file is an empty journal.
+Result<std::vector<MigrationJournalEntry>> ReadMigrationJournal(
+    FileSystem* fs, const std::string& dir);
+
+}  // namespace shard
+}  // namespace qp
+
+#endif  // QP_SHARD_ROUTING_TABLE_H_

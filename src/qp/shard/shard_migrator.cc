@@ -1,0 +1,377 @@
+#include "qp/shard/shard_migrator.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "qp/obs/trace.h"
+#include "qp/shard/sharded_service.h"
+#include "qp/storage/profile_backend.h"
+#include "qp/util/fault_hub.h"
+
+namespace qp {
+namespace shard {
+
+namespace {
+
+/// Replays one acknowledged source mutation onto the target backend.
+/// Remove of a user the target never saw is clean: the tail may replay
+/// a create+remove pair whose create landed in the copy phase already.
+Status ApplyTail(storage::ProfileBackend& target,
+                 const storage::ProfileMutation& mutation) {
+  switch (mutation.kind) {
+    case storage::ProfileMutation::Kind::kPut:
+      return target.Put(mutation.user_id, mutation.profile);
+    case storage::ProfileMutation::Kind::kUpsert:
+      return target.Upsert(mutation.user_id, mutation.preferences);
+    case storage::ProfileMutation::Kind::kRemove: {
+      Status removed = target.Remove(mutation.user_id);
+      if (removed.code() == StatusCode::kNotFound) return Status::Ok();
+      return removed;
+    }
+  }
+  return Status::Internal("unknown mutation kind");
+}
+
+}  // namespace
+
+ShardMigrator::ShardMigrator(ShardedPersonalizationService* cluster,
+                             MigrationOptions options,
+                             obs::MetricsRegistry* metrics)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()) {
+  metric_migrated_ = metrics->counter("qp_migrate_partitions_total");
+  metric_aborted_ = metrics->counter("qp_migrate_aborts_total");
+  metric_users_copied_ = metrics->counter("qp_migrate_users_copied_total");
+  metric_tail_records_ = metrics->counter("qp_migrate_tail_records_total");
+  metric_dual_writes_ = metrics->counter("qp_migrate_dual_writes_total");
+  metric_retries_ = metrics->counter("qp_migrate_retries_total");
+  metric_copy_restarts_ = metrics->counter("qp_migrate_copy_restarts_total");
+  gauge_active_ = metrics->gauge("qp_migrate_active");
+  gauge_resharding_ = metrics->gauge("qp_migrate_resharding");
+  metric_partition_seconds_ =
+      metrics->histogram("qp_migrate_partition_seconds");
+}
+
+MigrationStats ShardMigrator::stats() const {
+  MigrationStats stats;
+  stats.partitions_migrated = metric_migrated_->Value();
+  stats.partitions_aborted = metric_aborted_->Value();
+  stats.users_copied = metric_users_copied_->Value();
+  stats.tail_records = metric_tail_records_->Value();
+  stats.dual_writes = metric_dual_writes_->Value();
+  stats.retries = metric_retries_->Value();
+  stats.copy_restarts = metric_copy_restarts_->Value();
+  stats.active = static_cast<uint64_t>(gauge_active_->Value());
+  stats.resharding = gauge_resharding_->Value() != 0.0;
+  return stats;
+}
+
+Status ShardMigrator::WithRetries(const char* what,
+                                  const std::function<Status()>& step) {
+  const int attempts = std::max(1, options_.max_attempts);
+  std::chrono::milliseconds backoff = options_.backoff;
+  Status status;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      metric_retries_->Add(1);
+      clock_->SleepFor(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(backoff));
+      backoff = std::min(backoff * 2, options_.backoff_max);
+    }
+    status = step();
+    if (status.ok()) return status;
+    // A tail that fell off the rotated WAL cannot succeed by retrying —
+    // the caller restarts its copy phase instead.
+    if (status.code() == StatusCode::kOutOfRange) return status;
+  }
+  return Status(status.code(), std::string(what) + " failed after " +
+                                   std::to_string(attempts) +
+                                   " attempts: " + status.message());
+}
+
+Status ShardMigrator::CopyUser(const std::string& user_id, uint32_t source,
+                               uint32_t target) {
+  QP_RETURN_IF_ERROR(QP_FAULT_POINT("migrate.copy"));
+  auto source_svc = cluster_->Shard(source);
+  auto target_svc = cluster_->Shard(target);
+  if (source_svc == nullptr) {
+    return Status::Unavailable("source shard " + std::to_string(source) +
+                               " is down");
+  }
+  if (target_svc == nullptr) {
+    return Status::Unavailable("target shard " + std::to_string(target) +
+                               " is down");
+  }
+  auto snapshot_or = source_svc->profiles().Get(user_id);
+  if (!snapshot_or.ok()) {
+    if (snapshot_or.status().code() == StatusCode::kNotFound) {
+      // Removed since we enumerated (or a failed dual-write mirror of a
+      // remove): make the target agree.
+      Status removed = target_svc->profiles().Remove(user_id);
+      if (removed.code() == StatusCode::kNotFound) return Status::Ok();
+      return removed;
+    }
+    return snapshot_or.status();
+  }
+  return target_svc->profiles().Put(user_id, *snapshot_or.value().profile);
+}
+
+Status ShardMigrator::CopyPhase(uint32_t partition, uint32_t source,
+                                uint32_t target, uint64_t* watermark,
+                                obs::RequestTrace* trace) {
+  auto source_svc = cluster_->Shard(source);
+  if (source_svc == nullptr) {
+    return Status::Unavailable("source shard " + std::to_string(source) +
+                               " is down");
+  }
+  // Watermark before enumerating: every mutation acknowledged after it
+  // is replayed by the tail, every state at or before it is captured by
+  // the per-user copies below (a copy races only with mutations the
+  // tail will replay anyway — replay is idempotent).
+  *watermark = source_svc->profiles().storage_stats().last_appended_seqno;
+  const std::vector<std::string> users = source_svc->profiles().Users();
+  uint64_t copied = 0;
+  for (const std::string& user : users) {
+    if (cluster_->PartitionFor(user) != partition) continue;
+    QP_RETURN_IF_ERROR(WithRetries(
+        "copy", [&] { return CopyUser(user, source, target); }));
+    ++copied;
+  }
+  metric_users_copied_->Add(copied);
+  if (trace != nullptr) {
+    const size_t span = trace->StartSpan("copy_accounting");
+    trace->AddCounter(span, "users_copied", copied);
+    trace->EndSpan(span);
+  }
+  return Status::Ok();
+}
+
+Status ShardMigrator::TailRound(uint32_t partition, uint32_t source,
+                                uint32_t target, uint64_t* applied,
+                                bool* caught_up) {
+  *caught_up = false;
+  QP_RETURN_IF_ERROR(QP_FAULT_POINT("migrate.tail"));
+  auto source_svc = cluster_->Shard(source);
+  auto target_svc = cluster_->Shard(target);
+  if (source_svc == nullptr) {
+    return Status::Unavailable("source shard " + std::to_string(source) +
+                               " is down");
+  }
+  if (target_svc == nullptr) {
+    return Status::Unavailable("target shard " + std::to_string(target) +
+                               " is down");
+  }
+  QP_ASSIGN_OR_RETURN(std::vector<storage::WalTailRecord> records,
+                      source_svc->profiles().ReadMutationsAfter(*applied));
+  uint64_t replayed = 0;
+  for (const storage::WalTailRecord& record : records) {
+    *applied = record.seqno;
+    if (cluster_->PartitionFor(record.mutation.user_id) != partition) continue;
+    QP_RETURN_IF_ERROR(ApplyTail(target_svc->profiles(), record.mutation));
+    ++replayed;
+  }
+  metric_tail_records_->Add(replayed);
+  *caught_up = records.empty();
+  return Status::Ok();
+}
+
+Status ShardMigrator::Abort(uint32_t partition, uint32_t source,
+                            uint32_t target, Status cause) {
+  (void)source;  // The source keeps serving untouched — nothing to undo.
+  {
+    auto& ps = *cluster_->partitions_[partition];
+    std::lock_guard<std::mutex> guard(ps.mutex);
+    ps.phase = ShardedPersonalizationService::kIdle;
+    ps.target = 0;
+    ps.dirty.clear();
+  }
+  metric_aborted_->Add(1);
+  // Drop the partial copy. If the target is unreachable the journal
+  // entry stays behind on purpose: reopen resolution sees routing still
+  // naming the source and drops the partial copy then.
+  Status cleanup = WithRetries("abort cleanup", [&] {
+    return cluster_->RemovePartitionUsers(partition, target);
+  });
+  if (cleanup.ok()) {
+    Status journal = WithRetries(
+        "journal remove", [&] { return cluster_->JournalRemove(partition); });
+    (void)journal;  // Reopen resolution is idempotent on a stale entry.
+  }
+  return cause;
+}
+
+Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
+  auto table = cluster_->RoutingSnapshot();
+  if (partition >= table->owner.size()) {
+    return Status::InvalidArgument("no partition " + std::to_string(partition));
+  }
+  const uint32_t source = table->owner[partition];
+  if (source == target) return Status::Ok();
+
+  const int64_t start_ns = clock_->NowNanos();
+  gauge_active_->Add(1.0);
+  obs::TraceSink* sink = cluster_->trace_sink_.load(std::memory_order_acquire);
+  obs::RequestTrace trace;
+  obs::RequestTrace* tp = sink != nullptr ? &trace : nullptr;
+  auto finish = [&](Status status) {
+    gauge_active_->Add(-1.0);
+    metric_partition_seconds_->Record(
+        static_cast<double>(clock_->NowNanos() - start_ns) / 1e9);
+    if (sink != nullptr) {
+      trace.SetDisposition(status.ok() ? "migrated" : "migration_aborted",
+                           /*stopped_phase=*/"");
+      sink->Consume(std::move(trace));
+    }
+    return status;
+  };
+
+  // Journal the intent before anything moves: a crash from here on
+  // resolves deterministically at reopen.
+  Status journaled = WithRetries("journal add", [&] {
+    return cluster_->JournalAdd({partition, source, target});
+  });
+  if (!journaled.ok()) {
+    metric_aborted_->Add(1);
+    return finish(journaled);
+  }
+
+  auto& ps = *cluster_->partitions_[partition];
+  auto set_phase = [&](int phase) {
+    std::lock_guard<std::mutex> guard(ps.mutex);
+    ps.phase = phase;
+    ps.target = target;
+    ps.dirty.clear();
+  };
+  set_phase(ShardedPersonalizationService::kCopying);
+
+  uint64_t applied = 0;
+  int restarts = 0;
+  Status status;
+  for (;;) {
+    {
+      obs::ScopedSpan span(tp, "migrate_copy");
+      status = CopyPhase(partition, source, target, &applied, tp);
+    }
+    if (!status.ok()) return finish(Abort(partition, source, target, status));
+    set_phase(ShardedPersonalizationService::kTailing);
+    bool caught_up = false;
+    {
+      obs::ScopedSpan span(tp, "migrate_tail");
+      do {
+        status = WithRetries("tail", [&] {
+          return TailRound(partition, source, target, &applied, &caught_up);
+        });
+      } while (status.ok() && !caught_up);
+    }
+    if (status.ok()) break;
+    if (status.code() == StatusCode::kOutOfRange &&
+        restarts < options_.max_copy_restarts) {
+      // The source checkpointed the tail away (WAL rotated); start the
+      // copy phase over from a fresh watermark.
+      ++restarts;
+      metric_copy_restarts_->Add(1);
+      applied = 0;
+      set_phase(ShardedPersonalizationService::kCopying);
+      continue;
+    }
+    return finish(Abort(partition, source, target, status));
+  }
+
+  // Barrier: block the partition's mutators, drain the last of the
+  // tail, then reopen mutations in dual-write mode. After this window
+  // target state == source state for every partition user.
+  {
+    std::unique_lock<std::mutex> barrier(ps.mutex);
+    obs::ScopedSpan span(tp, "migrate_drain");
+    bool caught_up = false;
+    do {
+      status = WithRetries("final drain", [&] {
+        return TailRound(partition, source, target, &applied, &caught_up);
+      });
+    } while (status.ok() && !caught_up);
+    if (!status.ok()) {
+      barrier.unlock();
+      return finish(Abort(partition, source, target, status));
+    }
+    ps.dirty.clear();
+    ps.target = target;
+    ps.phase = ShardedPersonalizationService::kDualWrite;
+  }
+
+  if (options_.dual_write_hold.count() > 0) {
+    clock_->SleepFor(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        options_.dual_write_hold));
+  }
+
+  // Cutover barrier: repair any users whose mirror failed during the
+  // window, then persist the owner flip — the atomic commit point.
+  {
+    std::unique_lock<std::mutex> barrier(ps.mutex);
+    obs::ScopedSpan span(tp, "migrate_cutover");
+    std::vector<std::string> dirty(ps.dirty.begin(), ps.dirty.end());
+    std::sort(dirty.begin(), dirty.end());
+    for (const std::string& user : dirty) {
+      status = WithRetries("dirty re-copy",
+                           [&] { return CopyUser(user, source, target); });
+      if (!status.ok()) break;
+    }
+    if (status.ok()) {
+      metric_users_copied_->Add(dirty.size());
+      status = WithRetries("cutover commit", [&] {
+        QP_RETURN_IF_ERROR(QP_FAULT_POINT("migrate.cutover"));
+        return cluster_->CommitRoutingChange(
+            [&](RoutingTable& t) { t.owner[partition] = target; });
+      });
+    }
+    if (!status.ok()) {
+      barrier.unlock();
+      return finish(Abort(partition, source, target, status));
+    }
+    ps.phase = ShardedPersonalizationService::kIdle;
+    ps.target = 0;
+    ps.dirty.clear();
+  }
+
+  // Cleanup outside the barrier: the partition serves from the target
+  // now; the source's leftover copies are garbage. A failure here keeps
+  // the journal entry so reopen resolution finishes the job.
+  {
+    obs::ScopedSpan span(tp, "migrate_cleanup");
+    Status cleanup = WithRetries("source cleanup", [&] {
+      return cluster_->RemovePartitionUsers(partition, source);
+    });
+    if (cleanup.ok()) {
+      Status journal = WithRetries(
+          "journal remove", [&] { return cluster_->JournalRemove(partition); });
+      (void)journal;
+    }
+  }
+  metric_migrated_->Add(1);
+  return finish(Status::Ok());
+}
+
+Status ShardMigrator::MigrateTo(const RoutingTable& plan) {
+  auto current = cluster_->RoutingSnapshot();
+  if (plan.owner.size() != current->owner.size()) {
+    return Status::InvalidArgument(
+        "plan has " + std::to_string(plan.owner.size()) + " partitions, " +
+        "cluster has " + std::to_string(current->owner.size()));
+  }
+  Status first_error;
+  for (uint32_t p = 0; p < plan.owner.size(); ++p) {
+    auto table = cluster_->RoutingSnapshot();
+    if (table->owner[p] == plan.owner[p]) continue;
+    Status status = MigratePartition(p, plan.owner[p]);
+    if (!status.ok() && first_error.ok()) {
+      first_error = Status(status.code(), "partition " + std::to_string(p) +
+                                              ": " + status.message());
+    }
+  }
+  return first_error;
+}
+
+}  // namespace shard
+}  // namespace qp

@@ -1,5 +1,6 @@
 #include "qp/shard/sharded_service.h"
 
+#include <algorithm>
 #include <future>
 #include <unordered_map>
 #include <utility>
@@ -12,18 +13,6 @@ namespace qp {
 namespace shard {
 
 namespace {
-
-/// FNV-1a over the user id: stable across runs (unlike std::hash, whose
-/// value is implementation-defined), so a recovered cluster routes every
-/// user to the directory that holds their profile.
-uint64_t Fnv1a(const std::string& text) {
-  uint64_t hash = 14695981039346656037ull;
-  for (unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
 
 std::string ShardDir(const std::string& root, size_t index) {
   return JoinPath(root, "shard-" + std::to_string(index));
@@ -39,8 +28,7 @@ ShardedPersonalizationService::ShardedPersonalizationService(
                          ? std::make_unique<obs::MetricsRegistry>()
                          : nullptr),
       metrics_(options_.service.metrics != nullptr ? options_.service.metrics
-                                                   : owned_metrics_.get()),
-      slots_(options_.num_shards) {
+                                                   : owned_metrics_.get()) {
   metric_requests_ = metrics_->counter("qp_router_requests_total");
   metric_mutations_ = metrics_->counter("qp_router_mutations_total");
   metric_shed_ = metrics_->counter("qp_router_shed_total");
@@ -48,6 +36,7 @@ ShardedPersonalizationService::ShardedPersonalizationService(
       metrics_->counter("qp_router_invalidated_entries_total");
   metric_kills_ = metrics_->counter("qp_router_shard_kills_total");
   metric_recoveries_ = metrics_->counter("qp_router_shard_recoveries_total");
+  gauge_routing_version_ = metrics_->gauge("qp_router_version");
 }
 
 ShardedPersonalizationService::~ShardedPersonalizationService() = default;
@@ -55,12 +44,12 @@ ShardedPersonalizationService::~ShardedPersonalizationService() = default;
 Result<std::unique_ptr<ShardedPersonalizationService>>
 ShardedPersonalizationService::Open(const Database* db,
                                     ShardedOptions options) {
-  if (options.num_shards == 0) {
-    return Status::InvalidArgument("num_shards must be >= 1");
-  }
   if (options.dir.empty()) {
     return Status::InvalidArgument(
         "ShardedPersonalizationService requires a storage directory");
+  }
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
   }
   std::unique_ptr<ShardedPersonalizationService> sharded(
       new ShardedPersonalizationService(db, std::move(options)));
@@ -68,9 +57,46 @@ ShardedPersonalizationService::Open(const Database* db,
                        ? sharded->options_.service.storage.fs
                        : DefaultFileSystem();
   QP_RETURN_IF_ERROR(fs->CreateDir(sharded->options_.dir));
-  for (size_t i = 0; i < sharded->options_.num_shards; ++i) {
+
+  // The persisted routing table is the truth for an existing cluster;
+  // the options seed a fresh one.
+  RoutingTable table;
+  auto table_or = ReadRoutingTable(fs, sharded->options_.dir);
+  if (table_or.ok()) {
+    table = std::move(table_or).value();
+  } else if (table_or.status().code() == StatusCode::kNotFound) {
+    if (sharded->options_.num_shards == 0) {
+      return Status::InvalidArgument("num_shards must be >= 1");
+    }
+    if (sharded->options_.num_shards > sharded->options_.num_partitions) {
+      return Status::InvalidArgument(
+          "num_shards (" + std::to_string(sharded->options_.num_shards) +
+          ") cannot exceed num_partitions (" +
+          std::to_string(sharded->options_.num_partitions) + ")");
+    }
+    table = RoutingTable::Uniform(sharded->options_.num_partitions,
+                                  sharded->options_.num_shards);
+    QP_RETURN_IF_ERROR(WriteRoutingTable(fs, sharded->options_.dir, table));
+  } else {
+    return table_or.status();
+  }
+
+  sharded->partitions_.reserve(table.num_partitions());
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    sharded->partitions_.push_back(std::make_unique<PartitionState>());
+  }
+  sharded->slots_.assign(table.num_shards, nullptr);
+  for (size_t i = 0; i < table.num_shards; ++i) {
     QP_ASSIGN_OR_RETURN(sharded->slots_[i], sharded->OpenShard(i));
   }
+  sharded->gauge_routing_version_->Set(static_cast<double>(table.version));
+  sharded->routing_ = std::make_shared<const RoutingTable>(std::move(table));
+
+  QP_ASSIGN_OR_RETURN(sharded->journal_,
+                      ReadMigrationJournal(fs, sharded->options_.dir));
+  sharded->migrator_ = std::make_unique<ShardMigrator>(
+      sharded.get(), sharded->options_.migration, sharded->metrics_);
+  QP_RETURN_IF_ERROR(sharded->ResolveJournal());
   return sharded;
 }
 
@@ -91,17 +117,44 @@ ShardedPersonalizationService::OpenShard(size_t index) {
   return service;
 }
 
+std::shared_ptr<const RoutingTable>
+ShardedPersonalizationService::RoutingSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return routing_;
+}
+
+RoutingTable ShardedPersonalizationService::routing() const {
+  return *RoutingSnapshot();
+}
+
+uint64_t ShardedPersonalizationService::routing_version() const {
+  return RoutingSnapshot()->version;
+}
+
 size_t ShardedPersonalizationService::ShardFor(
     const std::string& user_id) const {
-  return Fnv1a(user_id) % options_.num_shards;
+  return RoutingSnapshot()->ShardFor(user_id);
+}
+
+size_t ShardedPersonalizationService::PartitionFor(
+    const std::string& user_id) const {
+  // The partition count is fixed at Open, so no lock is needed.
+  return static_cast<size_t>(RouteHash(user_id) % partitions_.size());
+}
+
+size_t ShardedPersonalizationService::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return slots_.size();
 }
 
 std::shared_ptr<PersonalizationService> ShardedPersonalizationService::Route(
     const std::string& user_id, size_t* shard_index) const {
-  const size_t index = ShardFor(user_id);
-  if (shard_index != nullptr) *shard_index = index;
+  // One lock hold for table + slot: the owner shard and its service are
+  // read from the same routing version.
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return slots_[index];
+  const size_t index = routing_->ShardFor(user_id);
+  if (shard_index != nullptr) *shard_index = index;
+  return index < slots_.size() ? slots_[index] : nullptr;
 }
 
 PersonalizationResponse ShardedPersonalizationService::ShedResponse(
@@ -133,12 +186,15 @@ ShardedPersonalizationService::PersonalizeBatchAndWait(
     std::vector<PersonalizationRequest> requests) {
   std::vector<PersonalizationResponse> responses(requests.size());
 
-  // One consistent routing snapshot for the whole batch: every shard
-  // pointer is copied under a single shared-lock hold, then the fan-out
-  // runs lock-free (a concurrent kill cannot invalidate the copies).
+  // One consistent snapshot of table + slots for the whole batch: every
+  // request routes by the same version and every shard pointer is copied
+  // under a single shared-lock hold, then the fan-out runs lock-free (a
+  // concurrent kill or cutover cannot invalidate the copies).
+  std::shared_ptr<const RoutingTable> table;
   std::vector<std::shared_ptr<PersonalizationService>> shards;
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    table = routing_;
     shards = slots_;
   }
 
@@ -151,8 +207,8 @@ ShardedPersonalizationService::PersonalizeBatchAndWait(
       responses[i] = ShedResponse("shard routing failed: " + fault.message());
       continue;
     }
-    const size_t index = ShardFor(requests[i].user_id);
-    if (shards[index] == nullptr) {
+    const size_t index = table->ShardFor(requests[i].user_id);
+    if (index >= shards.size() || shards[index] == nullptr) {
       responses[i] =
           ShedResponse("shard " + std::to_string(index) + " is down");
       continue;
@@ -181,68 +237,99 @@ ShardedPersonalizationService::PersonalizeBatchAndWait(
   return responses;
 }
 
-Status ShardedPersonalizationService::PutProfile(const std::string& user_id,
-                                                 UserProfile profile) {
+Status ShardedPersonalizationService::RouteMutation(
+    const std::string& user_id,
+    const std::function<Status(PersonalizationService&)>& apply) {
   metric_mutations_->Add(1);
   if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
     metric_shed_->Add(1);
     return Status::Unavailable("shard routing failed: " + fault.message());
   }
-  size_t index = 0;
-  auto shard = Route(user_id, &index);
-  if (shard == nullptr) {
-    metric_shed_->Add(1);
-    return Status::Unavailable("shard " + std::to_string(index) + " is down");
+  const size_t partition = PartitionFor(user_id);
+  PartitionState& ps = *partitions_[partition];
+  // The partition mutex spans route + apply + mirror: this partition's
+  // drain/cutover barriers exclude us, so the owner read below stays
+  // the owner for the whole mutation — a cutover can never strand an
+  // acknowledged write on the losing shard.
+  std::lock_guard<std::mutex> guard(ps.mutex);
+  std::shared_ptr<PersonalizationService> owner_svc;
+  std::shared_ptr<PersonalizationService> mirror_svc;
+  size_t owner = 0;
+  bool dual = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    owner = routing_->owner[partition];
+    owner_svc = owner < slots_.size() ? slots_[owner] : nullptr;
+    if (ps.phase == kDualWrite) {
+      dual = true;
+      mirror_svc = ps.target < slots_.size() ? slots_[ps.target] : nullptr;
+    }
   }
-  QP_RETURN_IF_ERROR(shard->profiles().Put(user_id, std::move(profile)));
+  if (owner_svc == nullptr) {
+    metric_shed_->Add(1);
+    return Status::Unavailable("shard " + std::to_string(owner) + " is down");
+  }
+  // The owner's apply is the acknowledgement; everything after it is
+  // best-effort repair bookkeeping.
+  QP_RETURN_IF_ERROR(apply(*owner_svc));
   metric_invalidated_->Add(
-      static_cast<uint64_t>(shard->InvalidateUserSelections(user_id)));
+      static_cast<uint64_t>(owner_svc->InvalidateUserSelections(user_id)));
+  if (dual) {
+    migrator_->CountDualWrite();
+    Status mirror = mirror_svc != nullptr
+                        ? apply(*mirror_svc)
+                        : Status::Unavailable("migration target is down");
+    if (mirror.ok()) {
+      mirror_svc->InvalidateUserSelections(user_id);
+    } else if (mirror.code() != StatusCode::kNotFound) {
+      // NotFound mirrors a remove the target never saw — already equal.
+      // Anything else leaves the target behind: re-copied at cutover.
+      ps.dirty.insert(user_id);
+    }
+  }
   return Status::Ok();
+}
+
+Status ShardedPersonalizationService::PutProfile(const std::string& user_id,
+                                                 UserProfile profile) {
+  return RouteMutation(user_id, [&](PersonalizationService& svc) {
+    return svc.profiles().Put(user_id, profile);
+  });
 }
 
 Status ShardedPersonalizationService::UpsertProfile(
     const std::string& user_id,
     const std::vector<AtomicPreference>& preferences) {
-  metric_mutations_->Add(1);
-  if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
-    metric_shed_->Add(1);
-    return Status::Unavailable("shard routing failed: " + fault.message());
-  }
-  size_t index = 0;
-  auto shard = Route(user_id, &index);
-  if (shard == nullptr) {
-    metric_shed_->Add(1);
-    return Status::Unavailable("shard " + std::to_string(index) + " is down");
-  }
-  QP_RETURN_IF_ERROR(shard->profiles().Upsert(user_id, preferences));
-  metric_invalidated_->Add(
-      static_cast<uint64_t>(shard->InvalidateUserSelections(user_id)));
-  return Status::Ok();
+  return RouteMutation(user_id, [&](PersonalizationService& svc) {
+    return svc.profiles().Upsert(user_id, preferences);
+  });
 }
 
 Status ShardedPersonalizationService::RemoveProfile(
     const std::string& user_id) {
-  metric_mutations_->Add(1);
-  if (Status fault = QP_FAULT_POINT("shard.route"); !fault.ok()) {
-    metric_shed_->Add(1);
-    return Status::Unavailable("shard routing failed: " + fault.message());
-  }
-  size_t index = 0;
-  auto shard = Route(user_id, &index);
-  if (shard == nullptr) {
-    metric_shed_->Add(1);
-    return Status::Unavailable("shard " + std::to_string(index) + " is down");
-  }
-  QP_RETURN_IF_ERROR(shard->profiles().Remove(user_id));
-  metric_invalidated_->Add(
-      static_cast<uint64_t>(shard->InvalidateUserSelections(user_id)));
-  return Status::Ok();
+  return RouteMutation(user_id, [&](PersonalizationService& svc) {
+    return svc.profiles().Remove(user_id);
+  });
 }
 
 Result<ProfileSnapshot> ShardedPersonalizationService::GetProfile(
     const std::string& user_id) {
+  const uint64_t version = routing_version();
   size_t index = 0;
   auto shard = Route(user_id, &index);
+  if (shard == nullptr) {
+    return Status::Unavailable("shard " + std::to_string(index) + " is down");
+  }
+  auto result = shard->profiles().Get(user_id);
+  if (result.ok() || result.status().code() != StatusCode::kNotFound) {
+    return result;
+  }
+  // NotFound could mean a cutover moved the user between our route and
+  // the read. Reads stay lock-free; one retry under the new version
+  // closes the window (the source's copies outlive the flip briefly, so
+  // the user is never unreadable — at worst found on the new owner).
+  if (routing_version() == version) return result;
+  shard = Route(user_id, &index);
   if (shard == nullptr) {
     return Status::Unavailable("shard " + std::to_string(index) + " is down");
   }
@@ -250,12 +337,12 @@ Result<ProfileSnapshot> ShardedPersonalizationService::GetProfile(
 }
 
 Status ShardedPersonalizationService::KillShard(size_t index) {
-  if (index >= options_.num_shards) {
-    return Status::InvalidArgument("no shard " + std::to_string(index));
-  }
   std::shared_ptr<PersonalizationService> victim;
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (index >= slots_.size()) {
+      return Status::InvalidArgument("no shard " + std::to_string(index));
+    }
     victim = std::move(slots_[index]);
     slots_[index] = nullptr;
   }
@@ -270,11 +357,11 @@ Status ShardedPersonalizationService::KillShard(size_t index) {
 }
 
 Status ShardedPersonalizationService::RecoverShard(size_t index) {
-  if (index >= options_.num_shards) {
-    return Status::InvalidArgument("no shard " + std::to_string(index));
-  }
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (index >= slots_.size()) {
+      return Status::InvalidArgument("no shard " + std::to_string(index));
+    }
     if (slots_[index] != nullptr) return Status::Ok();  // Already alive.
   }
   // Recovery (snapshot + WAL replay) runs outside any lock — the other
@@ -282,12 +369,193 @@ Status ShardedPersonalizationService::RecoverShard(size_t index) {
   QP_ASSIGN_OR_RETURN(std::shared_ptr<PersonalizationService> reopened,
                       OpenShard(index));
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (index >= slots_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(index));
+  }
   if (slots_[index] != nullptr) {
     return Status::Ok();  // Lost a recover race; keep the winner.
   }
   slots_[index] = std::move(reopened);
   metric_recoveries_->Add(1);
   return Status::Ok();
+}
+
+Status ShardedPersonalizationService::PersistRouting(
+    const RoutingTable& table) {
+  FileSystem* fs = options_.service.storage.fs != nullptr
+                       ? options_.service.storage.fs
+                       : DefaultFileSystem();
+  return WriteRoutingTable(fs, options_.dir, table);
+}
+
+void ShardedPersonalizationService::InstallRouting(RoutingTable table) {
+  gauge_routing_version_->SetMax(static_cast<double>(table.version));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  routing_ = std::make_shared<const RoutingTable>(std::move(table));
+}
+
+Status ShardedPersonalizationService::CommitRoutingChange(
+    const std::function<void(RoutingTable&)>& edit) {
+  // Serialized read-edit-persist-install: concurrent cutovers of
+  // different partitions each see the other's committed flip.
+  std::lock_guard<std::mutex> serialize(routing_write_mutex_);
+  RoutingTable next = *RoutingSnapshot();
+  edit(next);
+  next.version += 1;
+  QP_RETURN_IF_ERROR(PersistRouting(next));
+  InstallRouting(std::move(next));
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::JournalAdd(
+    const MigrationJournalEntry& entry) {
+  std::lock_guard<std::mutex> guard(journal_mutex_);
+  QP_RETURN_IF_ERROR(QP_FAULT_POINT("migrate.journal"));
+  std::vector<MigrationJournalEntry> next = journal_;
+  bool replaced = false;
+  for (MigrationJournalEntry& existing : next) {
+    if (existing.partition == entry.partition) {
+      existing = entry;
+      replaced = true;
+    }
+  }
+  if (!replaced) next.push_back(entry);
+  FileSystem* fs = options_.service.storage.fs != nullptr
+                       ? options_.service.storage.fs
+                       : DefaultFileSystem();
+  QP_RETURN_IF_ERROR(WriteMigrationJournal(fs, options_.dir, next));
+  journal_ = std::move(next);
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::JournalRemove(uint32_t partition) {
+  std::lock_guard<std::mutex> guard(journal_mutex_);
+  QP_RETURN_IF_ERROR(QP_FAULT_POINT("migrate.journal"));
+  std::vector<MigrationJournalEntry> next = journal_;
+  next.erase(std::remove_if(next.begin(), next.end(),
+                            [partition](const MigrationJournalEntry& entry) {
+                              return entry.partition == partition;
+                            }),
+             next.end());
+  if (next.size() == journal_.size()) return Status::Ok();  // Not journaled.
+  FileSystem* fs = options_.service.storage.fs != nullptr
+                       ? options_.service.storage.fs
+                       : DefaultFileSystem();
+  QP_RETURN_IF_ERROR(WriteMigrationJournal(fs, options_.dir, next));
+  journal_ = std::move(next);
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::ResolveJournal() {
+  std::vector<MigrationJournalEntry> entries;
+  {
+    std::lock_guard<std::mutex> guard(journal_mutex_);
+    entries = journal_;
+  }
+  for (const MigrationJournalEntry& entry : entries) {
+    auto table = RoutingSnapshot();
+    if (entry.partition >= table->owner.size()) {
+      // A journal from a different layout; nothing it names can route.
+      QP_RETURN_IF_ERROR(JournalRemove(entry.partition));
+      continue;
+    }
+    // The persisted routing table decides: if the cutover committed the
+    // target owns the partition and the source still holds dead copies
+    // (finish the cleanup the crash interrupted); otherwise the
+    // migration never happened and the target holds a partial copy
+    // (drop it). Either way every user ends with exactly one owner.
+    const bool committed = table->owner[entry.partition] == entry.target;
+    const uint32_t loser = committed ? entry.source : entry.target;
+    if (loser != table->owner[entry.partition]) {
+      QP_RETURN_IF_ERROR(RemovePartitionUsers(entry.partition, loser));
+    }
+    QP_RETURN_IF_ERROR(JournalRemove(entry.partition));
+  }
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::RemovePartitionUsers(uint32_t partition,
+                                                           uint32_t shard) {
+  auto svc = Shard(shard);
+  if (svc == nullptr) {
+    return Status::Unavailable("shard " + std::to_string(shard) + " is down");
+  }
+  const std::vector<std::string> users = svc->profiles().Users();
+  for (const std::string& user : users) {
+    if (PartitionFor(user) != partition) continue;
+    Status removed = svc->profiles().Remove(user);
+    if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+      return removed;
+    }
+    svc->InvalidateUserSelections(user);
+  }
+  return Status::Ok();
+}
+
+Status ShardedPersonalizationService::Reshard(size_t new_num_shards) {
+  std::lock_guard<std::mutex> serialize(reshard_mutex_);
+  if (new_num_shards == 0) {
+    return Status::InvalidArgument("cannot reshard to zero shards");
+  }
+  auto current = RoutingSnapshot();
+  QP_ASSIGN_OR_RETURN(RoutingTable plan,
+                      PlanReshard(*current, new_num_shards));
+  migrator_->gauge_resharding_->Set(1.0);
+  Status status = [&]() -> Status {
+    if (new_num_shards > current->num_shards) {
+      // Grow: open the new shard directories first so migrations have
+      // live targets, then commit the count, then move partitions.
+      for (size_t i = current->num_shards; i < new_num_shards; ++i) {
+        {
+          std::shared_lock<std::shared_mutex> lock(mutex_);
+          if (i < slots_.size() && slots_[i] != nullptr) continue;
+        }
+        QP_ASSIGN_OR_RETURN(std::shared_ptr<PersonalizationService> opened,
+                            OpenShard(i));
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        if (slots_.size() < i + 1) slots_.resize(i + 1);
+        if (slots_[i] == nullptr) slots_[i] = std::move(opened);
+      }
+      QP_RETURN_IF_ERROR(CommitRoutingChange(
+          [&](RoutingTable& t) { t.num_shards = new_num_shards; }));
+      return migrator_->MigrateTo(plan);
+    }
+    if (new_num_shards < current->num_shards) {
+      // Shrink: move every partition off the retiring shards first; the
+      // count (and the teardown) commit only when nothing routes there.
+      QP_RETURN_IF_ERROR(migrator_->MigrateTo(plan));
+      auto table = RoutingSnapshot();
+      for (uint32_t p = 0; p < table->owner.size(); ++p) {
+        if (table->owner[p] >= new_num_shards) {
+          return Status::FailedPrecondition(
+              "partition " + std::to_string(p) + " still routes to shard " +
+              std::to_string(table->owner[p]) + "; reshard incomplete");
+        }
+      }
+      QP_RETURN_IF_ERROR(CommitRoutingChange(
+          [&](RoutingTable& t) { t.num_shards = new_num_shards; }));
+      std::vector<std::shared_ptr<PersonalizationService>> retired;
+      {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        for (size_t i = new_num_shards; i < slots_.size(); ++i) {
+          retired.push_back(std::move(slots_[i]));
+        }
+        slots_.resize(new_num_shards);
+      }
+      // Retired services close their (empty) stores outside the lock.
+      retired.clear();
+      return Status::Ok();
+    }
+    // Same count: still converge ownership (a re-run after a partial
+    // failure finishes the leftover moves).
+    return migrator_->MigrateTo(plan);
+  }();
+  migrator_->gauge_resharding_->Set(0.0);
+  return status;
+}
+
+MigrationStats ShardedPersonalizationService::migration_stats() const {
+  return migrator_->stats();
 }
 
 bool ShardedPersonalizationService::IsShardAlive(size_t index) const {
@@ -318,9 +586,12 @@ ShardedStats ShardedPersonalizationService::stats() const {
   stats.router.invalidated_entries = metric_invalidated_->Value();
   stats.router.shard_kills = metric_kills_->Value();
   stats.router.shard_recoveries = metric_recoveries_->Value();
+  stats.num_partitions = partitions_.size();
+  stats.migration = migrator_->stats();
   std::vector<std::shared_ptr<PersonalizationService>> shards;
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    stats.routing_version = routing_->version;
     shards = slots_;
   }
   stats.shards.resize(shards.size());

@@ -3,15 +3,20 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "qp/obs/metrics.h"
 #include "qp/obs/trace.h"
 #include "qp/relational/database.h"
 #include "qp/service/service.h"
+#include "qp/shard/routing_table.h"
+#include "qp/shard/shard_migrator.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -19,13 +24,23 @@ namespace shard {
 
 /// How a ShardedPersonalizationService is laid out.
 struct ShardedOptions {
-  /// Number of shards. Users hash across them (FNV-1a of the user id);
-  /// the assignment is stable for the cluster's lifetime.
+  /// Number of shards a *fresh* cluster starts with. Users hash (FNV-1a)
+  /// onto fixed partitions, partitions map to shards through the
+  /// versioned routing table persisted as <dir>/ROUTING — and once that
+  /// file exists it is the truth: reopening an existing cluster ignores
+  /// this field (the shard count changes only through Reshard()).
   size_t num_shards = 4;
+  /// Hash-space partitions of a fresh cluster — the granularity of live
+  /// resharding, fixed for the cluster's lifetime. With the default 64
+  /// and a power-of-two shard count, routing matches the PR 7 fixed
+  /// hash%N router exactly.
+  size_t num_partitions = RoutingTable::kDefaultPartitions;
   /// Root storage directory; shard i owns `dir`/shard-<i> with its own
   /// MANIFEST, snapshot and WAL. Must be non-empty: a sharded deployment
   /// exists to bound per-shard state, which requires durability.
   std::string dir;
+  /// Retry/backoff tuning for live migration steps (see ShardMigrator).
+  MigrationOptions migration;
   /// Per-shard service tuning, applied to every shard. `storage.dir` is
   /// overridden with the shard subdirectory, `shard_id` with the shard's
   /// index, and `metrics` with the cluster-wide registry (every shard
@@ -59,6 +74,11 @@ struct ShardRow {
 
 struct ShardedStats {
   RouterStats router;
+  /// Routing-table version serving right now (monotonic; bumps on every
+  /// cutover and shard-count change).
+  uint64_t routing_version = 0;
+  size_t num_partitions = 0;
+  MigrationStats migration;
   std::vector<ShardRow> shards;
 };
 
@@ -93,8 +113,16 @@ class ShardedPersonalizationService {
   ShardedPersonalizationService& operator=(
       const ShardedPersonalizationService&) = delete;
 
-  /// The stable user -> shard assignment (FNV-1a hash, mod num_shards).
+  /// The user's owner shard under the *current* routing-table version
+  /// (FNV-1a hash -> partition -> owner). Stable between reshards.
   size_t ShardFor(const std::string& user_id) const;
+
+  /// The user's hash partition — the unit of live migration.
+  size_t PartitionFor(const std::string& user_id) const;
+
+  /// A copy of the routing table serving right now.
+  RoutingTable routing() const;
+  uint64_t routing_version() const;
 
   /// Routes one request to its owner shard ("shard.route" fault site).
   /// A dead target shard sheds the request with Status::Unavailable.
@@ -124,8 +152,24 @@ class ShardedPersonalizationService {
   /// zero-loss guarantee the chaos suite asserts. No-op if alive.
   Status RecoverShard(size_t index);
 
+  /// Live resharding: grows (opening fresh shard directories) or
+  /// shrinks (retiring emptied ones) the cluster to `new_num_shards`,
+  /// migrating every partition that changes owner through the
+  /// ShardMigrator's copy -> tail -> dual-write -> cutover machine. The
+  /// cluster serves throughout: reads and acknowledged writes never
+  /// pause for more than a partition's drain/cutover barrier. Safe to
+  /// re-run after a partial failure — already-moved partitions are
+  /// no-ops. Returns the first partition's error when some partitions
+  /// could not move (their users stay on their source shards; routing
+  /// stays consistent). Serializes concurrent Reshard calls.
+  Status Reshard(size_t new_num_shards);
+
+  MigrationStats migration_stats() const;
+
   bool IsShardAlive(size_t index) const;
-  size_t num_shards() const { return options_.num_shards; }
+  /// Shards currently addressable (routing-table truth, not the fresh-
+  /// cluster seed in ShardedOptions).
+  size_t num_shards() const;
   size_t alive_shards() const;
 
   /// Direct access to one shard's service (nullptr while down) — the
@@ -140,6 +184,28 @@ class ShardedPersonalizationService {
   void set_trace_sink(obs::TraceSink* sink);
 
  private:
+  /// Migration phases a partition moves through; kIdle outside a
+  /// migration. Guarded by the partition's mutex.
+  enum MigrationPhase : int {
+    kIdle = 0,
+    kCopying = 1,
+    kTailing = 2,
+    kDualWrite = 3,
+  };
+
+  /// Per-partition coordination between the mutation path and the
+  /// migrator. Mutators hold `mutex` across route + apply (+ mirror),
+  /// so the migrator's drain/cutover barriers exclude them exactly for
+  /// the final-tail and owner-flip windows — bounded added latency,
+  /// never unavailability.
+  struct PartitionState {
+    std::mutex mutex;
+    int phase = kIdle;    // Guarded by mutex.
+    uint32_t target = 0;  // Valid while phase != kIdle; guarded by mutex.
+    /// Users whose dual-write mirror failed; re-copied at cutover.
+    std::unordered_set<std::string> dirty;  // Guarded by mutex.
+  };
+
   ShardedPersonalizationService(const Database* db, ShardedOptions options);
 
   /// Builds shard `index`'s service from its subdirectory.
@@ -150,6 +216,41 @@ class ShardedPersonalizationService {
   std::shared_ptr<PersonalizationService> Route(const std::string& user_id,
                                                 size_t* shard_index) const;
 
+  /// The current table, one shared-lock hold.
+  std::shared_ptr<const RoutingTable> RoutingSnapshot() const;
+
+  /// Persists `table` as <dir>/ROUTING (the cutover commit point).
+  Status PersistRouting(const RoutingTable& table);
+  /// Swaps the in-memory table (after a successful persist).
+  void InstallRouting(RoutingTable table);
+  /// The serialized read-edit-persist-install cycle every routing
+  /// change goes through: `edit` mutates a copy of the current table,
+  /// the version bumps, the file commits, the pointer swaps. Concurrent
+  /// cutovers of different partitions cannot lose each other's flips.
+  Status CommitRoutingChange(const std::function<void(RoutingTable&)>& edit);
+
+  /// Journal maintenance ("migrate.journal" fault site): the on-disk
+  /// MIGRATION file always mirrors the in-memory entry list.
+  Status JournalAdd(const MigrationJournalEntry& entry);
+  Status JournalRemove(uint32_t partition);
+
+  /// Applies crash-recovery resolution for journaled migrations found
+  /// at Open: cutover committed -> finish the source cleanup, else ->
+  /// drop the partial target copy. Never a half-moved user.
+  Status ResolveJournal();
+
+  /// Deletes every partition-`partition` user from shard `shard` and
+  /// drops their cached selections (cutover cleanup / abort rollback).
+  Status RemovePartitionUsers(uint32_t partition, uint32_t shard);
+
+  /// The mutation path: routes `user_id` under its partition's mutex,
+  /// applies `apply` to the owner (the acknowledgement), and mirrors it
+  /// to the migration target during a dual-write window. Retries the
+  /// routing snapshot when a cutover slips between snapshot and lock.
+  Status RouteMutation(
+      const std::string& user_id,
+      const std::function<Status(PersonalizationService&)>& apply);
+
   PersonalizationResponse ShedResponse(const std::string& reason) const;
 
   const Database* db_;
@@ -158,9 +259,23 @@ class ShardedPersonalizationService {
   obs::MetricsRegistry* metrics_;
   std::atomic<obs::TraceSink*> trace_sink_{nullptr};
 
-  /// Guards the slot table; slots_[i] == nullptr while shard i is down.
+  /// Guards the slot table and the routing pointer; slots_[i] == nullptr
+  /// while shard i is down.
   mutable std::shared_mutex mutex_;
   std::vector<std::shared_ptr<PersonalizationService>> slots_;
+  std::shared_ptr<const RoutingTable> routing_;
+
+  /// Fixed-size (one per partition, never resized after Open), so
+  /// references stay valid without holding mutex_.
+  std::vector<std::unique_ptr<PartitionState>> partitions_;
+
+  /// Serializes Reshard() calls and journal file rewrites.
+  std::mutex reshard_mutex_;
+  std::mutex routing_write_mutex_;
+  mutable std::mutex journal_mutex_;
+  std::vector<MigrationJournalEntry> journal_;
+
+  std::unique_ptr<ShardMigrator> migrator_;
 
   /// Router instruments (cluster registry, qp_router_*).
   obs::Counter* metric_requests_ = nullptr;
@@ -169,6 +284,9 @@ class ShardedPersonalizationService {
   obs::Counter* metric_invalidated_ = nullptr;
   obs::Counter* metric_kills_ = nullptr;
   obs::Counter* metric_recoveries_ = nullptr;
+  obs::Gauge* gauge_routing_version_ = nullptr;
+
+  friend class ShardMigrator;
 };
 
 }  // namespace shard

@@ -13,18 +13,10 @@
 namespace qp {
 namespace storage {
 
-namespace {
-int64_t SteadyNowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
-
 DurableProfileStore::DurableProfileStore(const Schema* schema,
                                          size_t num_shards,
                                          obs::MetricsRegistry* metrics)
-    : store_(schema, num_shards, metrics) {}
+    : store_(schema, num_shards, metrics), clock_(Clock::Real()) {}
 
 DurableProfileStore::DurableProfileStore(const Schema* schema,
                                          size_t num_shards,
@@ -32,6 +24,7 @@ DurableProfileStore::DurableProfileStore(const Schema* schema,
     : store_(schema, num_shards, options.metrics),
       options_(std::move(options)),
       fs_(options_.fs != nullptr ? options_.fs : DefaultFileSystem()),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()),
       dir_(options_.dir) {
   breaker_backoff_ms_.store(options_.breaker_backoff.count(),
                             std::memory_order_relaxed);
@@ -401,6 +394,49 @@ size_t DurableProfileStore::size() const {
   return tiered() ? tier_->alive_count() : store_.size();
 }
 
+std::vector<std::string> DurableProfileStore::Users() const {
+  return tiered() ? tier_->AliveUsers() : store_.Users();
+}
+
+Result<std::vector<WalTailRecord>> DurableProfileStore::ReadMutationsAfter(
+    uint64_t after_seqno) {
+  std::lock_guard<std::mutex> meta(meta_mutex_);
+  if (dir_.empty()) {
+    return Status::Unimplemented("in-memory store has no mutation log");
+  }
+  if (closed_) return Status::FailedPrecondition("store is closed");
+  // Invariant: the live segment's first record is manifest seqno + 1
+  // (Recover anchors the reader there; every rotation names the new
+  // segment that way). Holding meta_mutex_ excludes rotation for the
+  // duration of the read; appends proceed under their stripes.
+  const uint64_t segment_first = manifest_.seqno + 1;
+  if (after_seqno + 1 < segment_first) {
+    return Status::OutOfRange(
+        "mutation log starts at seqno " + std::to_string(segment_first) +
+        "; records after " + std::to_string(after_seqno) +
+        " were compacted away");
+  }
+  QP_ASSIGN_OR_RETURN(std::string content,
+                      fs_->ReadFile(JoinPath(dir_, manifest_.wal_file)));
+  WalReader reader(content, segment_first);
+  std::vector<WalTailRecord> out;
+  WalRecord record;
+  bool has_record = false;
+  for (;;) {
+    // Mid-log corruption is an error; a torn final frame (a concurrent
+    // append caught mid-write — unacknowledged by construction) just
+    // ends the stream.
+    QP_RETURN_IF_ERROR(reader.Next(&record, &has_record));
+    if (!has_record) break;
+    if (record.seqno <= after_seqno) continue;
+    WalTailRecord tail;
+    tail.seqno = record.seqno;
+    QP_ASSIGN_OR_RETURN(tail.mutation, DecodeMutation(record.payload));
+    out.push_back(std::move(tail));
+  }
+  return out;
+}
+
 TierStats DurableProfileStore::tier_stats() const {
   return tiered() ? tier_->stats() : TierStats{};
 }
@@ -412,7 +448,7 @@ Status DurableProfileStore::AdmitMutation() {
     const int64_t opened_ns = breaker_opened_ns_.load(std::memory_order_acquire);
     const int64_t backoff_ms =
         breaker_backoff_ms_.load(std::memory_order_acquire);
-    if (SteadyNowNs() - opened_ns >= backoff_ms * 1000000) {
+    if (clock_->NowNanos() - opened_ns >= backoff_ms * 1000000) {
       int expected = kOpen;
       if (breaker_state_.compare_exchange_strong(expected, kHalfOpen,
                                                  std::memory_order_acq_rel)) {
@@ -451,7 +487,7 @@ void DurableProfileStore::OpenBreaker(BreakerState from) {
     breaker_backoff_ms_.store(options_.breaker_backoff.count(),
                               std::memory_order_relaxed);
   }
-  breaker_opened_ns_.store(SteadyNowNs(), std::memory_order_release);
+  breaker_opened_ns_.store(clock_->NowNanos(), std::memory_order_release);
   breaker_trips_.fetch_add(1, std::memory_order_relaxed);
   if (metric_breaker_trips_ != nullptr) {
     metric_breaker_trips_->Add(1);

@@ -22,6 +22,7 @@
 #include "qp/storage/snapshot.h"
 #include "qp/storage/tier.h"
 #include "qp/storage/wal.h"
+#include "qp/util/clock.h"
 #include "qp/util/file.h"
 #include "qp/util/status.h"
 
@@ -83,6 +84,11 @@ struct StorageOptions {
   /// Filesystem to operate on; nullptr = the process-wide POSIX one.
   /// Tests pass a FaultInjectingFileSystem here.
   FileSystem* fs = nullptr;
+  /// Time source for breaker backoff windows and the scrubber cadence;
+  /// nullptr = Clock::Real(). Tests inject a FakeClock and Advance() it
+  /// instead of sleeping, so backoff expiry is deterministic under
+  /// sanitizer load. Not owned; must outlive the store.
+  Clock* clock = nullptr;
   /// When set, storage event counters (qp_storage_*) and the WAL's own
   /// instruments (qp_wal_*, threaded through WalOptions::metrics) are
   /// published here; recovery outcome gauges are set once at Open. Not
@@ -158,6 +164,19 @@ class DurableProfileStore : public ProfileBackend {
   /// strictly larger epoch than the evicted incarnation.
   Result<ProfileSnapshot> Get(const std::string& user_id) override;
   std::vector<std::pair<std::string, ProfileSnapshot>> All() override;
+
+  /// Alive user ids without loading bodies: the tier index under
+  /// tiering, the in-memory store's key set otherwise.
+  std::vector<std::string> Users() const override;
+
+  /// Streams the live WAL segment's records with seqno > `after_seqno`,
+  /// decoded. OutOfRange once a checkpoint has rotated the requested
+  /// range away (restart from a fresh copy); Unimplemented for a
+  /// non-durable store. A torn final frame ends the stream cleanly — it
+  /// was never acknowledged. See ProfileBackend::ReadMutationsAfter.
+  Result<std::vector<WalTailRecord>> ReadMutationsAfter(
+      uint64_t after_seqno) override;
+
   size_t size() const override;
   const Schema& schema() const override { return store_.schema(); }
 
@@ -273,6 +292,7 @@ class DurableProfileStore : public ProfileBackend {
   ProfileStore store_;
   StorageOptions options_;
   FileSystem* fs_ = nullptr;
+  Clock* clock_ = nullptr;
   std::string dir_;
 
   /// Residency bookkeeping; null unless StorageOptions::hot_capacity

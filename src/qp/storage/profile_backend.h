@@ -9,6 +9,7 @@
 #include "qp/obs/trace.h"
 #include "qp/pref/preference.h"
 #include "qp/service/profile_store.h"
+#include "qp/storage/record.h"
 #include "qp/storage/scrub.h"
 #include "qp/util/status.h"
 
@@ -83,6 +84,14 @@ struct TierStats {
   double load_millis = 0.0;  // Cumulative cold-load wall time.
 };
 
+/// One decoded record of a backend's mutation log, as streamed by
+/// ReadMutationsAfter: the log position plus the mutation it carries.
+/// Seqnos are strictly increasing within one stream.
+struct WalTailRecord {
+  uint64_t seqno = 0;
+  ProfileMutation mutation;
+};
+
 /// The storage interface the service layer programs against: the full
 /// mutation/read/maintenance surface of a profile store, independent of
 /// how (or whether) state is persisted and which profiles are resident.
@@ -115,6 +124,30 @@ class ProfileBackend {
   /// faults cold users in (and back out) through its LRU to build this —
   /// a debugging/export surface, not a hot path.
   virtual std::vector<std::pair<std::string, ProfileSnapshot>> All() = 0;
+
+  /// Every alive user's id, sorted — the body-free companion of All()
+  /// for callers that only need to enumerate ownership (a tiered backend
+  /// answers from its index without paging anything in).
+  virtual std::vector<std::string> Users() const = 0;
+
+  /// Streams the mutation log tail: every acknowledged mutation with a
+  /// sequence number strictly greater than `after_seqno`, in log order.
+  /// The seam live migration drains a source shard through — the copy
+  /// phase records a watermark, then tail catch-up replays everything
+  /// the source acknowledged since. Returns:
+  ///   - OutOfRange when the log no longer reaches back to `after_seqno`
+  ///     (a checkpoint rotated it away) — the caller must restart from a
+  ///     fresh snapshot;
+  ///   - Unimplemented for backends without a mutation log (the
+  ///     default).
+  /// A torn final frame (an append in flight on another thread) is not
+  /// an error: the stream simply ends before it — by construction a torn
+  /// record was never acknowledged to the caller being migrated.
+  virtual Result<std::vector<WalTailRecord>> ReadMutationsAfter(
+      uint64_t after_seqno) {
+    (void)after_seqno;
+    return Status::Unimplemented("backend has no mutation log");
+  }
 
   /// Alive users, resident or not.
   virtual size_t size() const = 0;

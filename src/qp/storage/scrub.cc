@@ -349,8 +349,12 @@ void DurableProfileStore::ScrubLoop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(scrub_mutex_);
-      scrub_cv_.wait_for(lock, options_.scrub_interval,
-                         [this] { return scrub_kick_ || scrub_stop_; });
+      // Through the clock seam: tests drive the cadence with a
+      // FakeClock's Advance() instead of real elapsed time.
+      clock_->WaitFor(scrub_cv_, lock,
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          options_.scrub_interval),
+                      [this] { return scrub_kick_ || scrub_stop_; });
       if (scrub_stop_) return;
       scrub_kick_ = false;
     }

@@ -18,17 +18,6 @@ namespace {
 const char kSnapshotHeader[] = "qp-snapshot v1";
 const char kManifestHeader[] = "qp-manifest v1";
 
-Status WriteFileAtomic(FileSystem* fs, const std::string& path,
-                       std::string_view content) {
-  const std::string tmp = path + ".tmp";
-  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                      fs->NewWritableFile(tmp, /*truncate=*/true));
-  QP_RETURN_IF_ERROR(file->Append(content));
-  QP_RETURN_IF_ERROR(file->Sync());
-  QP_RETURN_IF_ERROR(file->Close());
-  return fs->Rename(tmp, path);
-}
-
 bool ParseUint64(std::string_view text, uint64_t* out) {
   // from_chars refuses signs, whitespace and overflow, so "-1" is
   // rejected as corrupt rather than wrapped to 2^64-1 like strtoull.

@@ -1,0 +1,64 @@
+#include "qp/util/clock.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace qp {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepFor(std::chrono::nanoseconds duration) override {
+    if (duration.count() > 0) std::this_thread::sleep_for(duration);
+  }
+
+  bool WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+               std::chrono::nanoseconds timeout,
+               const std::function<bool()>& pred) override {
+    return cv.wait_for(lock, timeout, pred);
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+bool FakeClock::WaitFor(std::condition_variable& cv,
+                        std::unique_lock<std::mutex>& lock,
+                        std::chrono::nanoseconds timeout,
+                        const std::function<bool()>& pred) {
+  const int64_t deadline = NowNanos() + timeout.count();
+  {
+    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    waiters_.push_back(&cv);
+  }
+  // The deadline is re-checked against the (possibly advanced) fake time
+  // on every wakeup; Advance() notifies the registered cv, so the only
+  // way to be parked here past the deadline is for time not to have
+  // reached it yet.
+  cv.wait(lock, [&] { return pred() || NowNanos() >= deadline; });
+  {
+    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    auto it = std::find(waiters_.begin(), waiters_.end(), &cv);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+  return pred();
+}
+
+void FakeClock::Advance(std::chrono::nanoseconds duration) {
+  now_ns_.fetch_add(duration.count(), std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> guard(waiters_mutex_);
+  for (std::condition_variable* cv : waiters_) cv->notify_all();
+}
+
+}  // namespace qp

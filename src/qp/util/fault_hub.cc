@@ -239,9 +239,10 @@ std::string FaultHub::Summary() const {
 
 const std::vector<std::string>& FaultHub::KnownSites() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
-      "fs.append",     "fs.read",      "fs.sync",      "wal.append",
-      "wal.sync",      "service.admit", "cache.lookup", "pool.submit",
-      "exec.disjunct", "shard.route",   "shard.load",
+      "fs.append",     "fs.read",       "fs.sync",        "wal.append",
+      "wal.sync",      "service.admit", "cache.lookup",   "pool.submit",
+      "exec.disjunct", "shard.route",   "shard.load",     "migrate.copy",
+      "migrate.tail",  "migrate.cutover", "migrate.journal",
   };
   return *sites;
 }

@@ -185,6 +185,17 @@ FileSystem* DefaultFileSystem() {
   return fs;
 }
 
+Status WriteFileAtomic(FileSystem* fs, const std::string& path,
+                       std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  QP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                      fs->NewWritableFile(tmp, /*truncate=*/true));
+  QP_RETURN_IF_ERROR(file->Append(content));
+  QP_RETURN_IF_ERROR(file->Sync());
+  QP_RETURN_IF_ERROR(file->Close());
+  return fs->Rename(tmp, path);
+}
+
 std::string JoinPath(std::string_view dir, std::string_view name) {
   std::string out(dir);
   if (!out.empty() && out.back() != '/') out.push_back('/');

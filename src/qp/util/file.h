@@ -82,6 +82,13 @@ FileSystem* DefaultFileSystem();
 /// Joins a directory and a file name with exactly one separator.
 std::string JoinPath(std::string_view dir, std::string_view name);
 
+/// Writes `content` to `path` via a temp file + atomic rename, synced
+/// before the rename — a crash leaves either the old file or the new
+/// one, never a torn mix. Callers that need the rename itself durable
+/// follow up with fs->SyncDir on the parent directory.
+Status WriteFileAtomic(FileSystem* fs, const std::string& path,
+                       std::string_view content);
+
 }  // namespace qp
 
 #endif  // QP_UTIL_FILE_H_

@@ -11,9 +11,15 @@ Two kinds of checks, mirroring what a reviewer reads the sidecar for:
      fall more than MAX_REGRESSION below the committed baseline. Timings
      jitter; ratios and throughputs on the same machine class stay stable
      well inside 25%.
-  2. Invariants: booleans the current run must satisfy outright, whatever
-     the baseline says — the shard chaos phase lost no acknowledged
-     mutation, and the tiered resident set stayed inside the hot budget.
+  2. Ceiling guards: lower-is-better metrics (breaker recovery latency,
+     the scrubber's throughput tax, request p99 inside the live-reshard
+     migration window) must not exceed baseline * headroom. Absolute
+     latencies jitter more than ratios, so the headroom is generous (2x)
+     — the gate catches order-of-magnitude cliffs, not noise.
+  3. Invariants: booleans the current run must satisfy outright, whatever
+     the baseline says — the shard chaos phase and the live reshard lost
+     no acknowledged mutation, and the tiered resident set stayed inside
+     the hot budget.
 
 A metric present in the baseline but missing from the current report is
 an error (a silently dropped bench is how regressions hide); a metric new
@@ -39,10 +45,19 @@ GUARDED = [
     ("shard_scale", "closed_loop_qps"),
 ]
 
+# (bench, scalar, headroom) where current <= baseline * headroom must
+# hold. All are lower-is-better latencies/taxes.
+GUARDED_MAX = [
+    ("fault_recovery", "breaker_recover_ms", 2.0),
+    ("fault_recovery", "scrub_tax_pct", 2.0),
+    ("shard_scale", "reshard_window_p99_ms", 2.0),
+]
+
 # (bench, scalar, required value) the *current* report must satisfy.
 INVARIANTS = [
     ("shard_scale", "zero_acked_loss", 1),
     ("shard_scale", "residency_bounded", 1),
+    ("shard_scale", "reshard_zero_acked_loss", 1),
 ]
 
 
@@ -98,13 +113,32 @@ def main():
                             f"{MAX_REGRESSION:.0%} below baseline "
                             f"{base:.4g}")
 
+    for bench, key, headroom in GUARDED_MAX:
+        base = baseline.get(bench, {}).get("scalars", {}).get(key)
+        cur = current.get(bench, {}).get("scalars", {}).get(key)
+        if base is None:
+            print(f"note {bench}.{key}: not in baseline, skipped")
+            continue
+        if cur is None:
+            failures.append(f"{bench}.{key}: in baseline but missing "
+                            f"from current report")
+            continue
+        ceiling = base * headroom
+        verdict = "ok  " if cur <= ceiling else "FAIL"
+        print(f"{verdict} {bench}.{key}: {cur:.4g} vs baseline "
+              f"{base:.4g} (ceiling {ceiling:.4g})")
+        if cur > ceiling:
+            failures.append(f"{bench}.{key}: {cur:.4g} is more than "
+                            f"{headroom:g}x the baseline {base:.4g}")
+
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         sys.exit(1)
     print("\nbench regression gate passed "
-          f"({len(GUARDED)} guards, {len(INVARIANTS)} invariants)")
+          f"({len(GUARDED) + len(GUARDED_MAX)} guards, "
+          f"{len(INVARIANTS)} invariants)")
 
 
 if __name__ == "__main__":

@@ -27,8 +27,11 @@
 #      as an artifact diff;
 #   5. a regression gate: the fresh bench report is checked against the
 #      committed BENCH_baseline.json — a >25% drop in vec_speedup* or
-#      service/shard throughput, or a violated shard invariant (acked
-#      loss, unbounded residency), fails the run.
+#      service/shard throughput, a fault-recovery cost (breaker
+#      time-to-recover, scrub tax) or reshard migration-window p99 above
+#      2x its baseline, or a violated shard invariant (acked loss —
+#      kill/recover or live reshard — unbounded residency), fails the
+#      run.
 #
 # Usage:
 #   tests/ci.sh            # everything
@@ -50,7 +53,7 @@ LIFECYCLE_FILTER='deadline_test|selection_deadline|executor_cancel|service_lifec
 OBS_FILTER='obs_metrics|obs_trace|service_trace|executor_stats_attribution|service_stats_identity'
 CHAOS_FILTER='fault_hub|breaker_recovery|scrubber_test|bitflip_robustness|chaos_property'
 EXEC_FILTER='batch_table|exec_differential|vectorized_cancel'
-SHARD_FILTER='tiered_store|sharded_service|shard_chaos'
+SHARD_FILTER='tiered_store|sharded_service|shard_chaos|routing_table|reshard_test|reshard_chaos'
 
 echo "==== [ci] regular build ===="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -74,7 +77,12 @@ echo "==== [ci] sanitized storage + lifecycle + obs + chaos + exec suites ===="
 # shared_mutex while worker threads personalize, and the kill/recover
 # chaos trials (QP_SHARD_CHAOS_TRIALS=25 per sanitizer) race mutators
 # against shard death — exactly the code TSan/ASan exist to vet.
+# The reshard chaos trials (QP_RESHARD_TRIALS=50 per sanitizer, >= 100
+# total) drive the live-migration state machine — copy / WAL tail /
+# dual-write / cutover — under armed migrate.* fault schedules with
+# shard kills landing mid-migration and a mutator racing the barriers.
 QP_CHAOS_TRIALS=100 QP_EXEC_TRIALS=150 QP_SHARD_CHAOS_TRIALS=25 \
+  QP_RESHARD_TRIALS=50 \
   tests/run_sanitized.sh all \
   -R "$STORAGE_FILTER|$LIFECYCLE_FILTER|$OBS_FILTER|$CHAOS_FILTER|$EXEC_FILTER|$SHARD_FILTER"
 
@@ -84,11 +92,12 @@ echo "==== [ci] QP_FAULTS_DISABLED compile check ===="
 cmake -B "$ROOT/build-nofaults" -S "$ROOT" -DQP_FAULTS_DISABLED=ON >/dev/null
 cmake --build "$ROOT/build-nofaults" -j "$JOBS" \
   --target qp_storage qp_service qp_shard qpshell fault_hub_test \
-  tiered_store_test sharded_service_test
+  tiered_store_test sharded_service_test routing_table_test reshard_test
 # The shard suites run in the stubbed build too: fault-dependent cases
-# GTEST_SKIP themselves, everything else must pass with sites no-opped.
+# (including the migrate.* cutover/abort tests) GTEST_SKIP themselves,
+# everything else must pass with sites no-opped.
 (cd "$ROOT/build-nofaults" && ctest --output-on-failure \
-  -R 'fault_hub_test|tiered_store_test|sharded_service_test')
+  -R 'fault_hub_test|tiered_store_test|sharded_service_test|routing_table_test|reshard_test')
 
 echo "==== [ci] benchmark snapshots (JSON) ===="
 REPORT="$ROOT/build/bench_report.json"
@@ -112,9 +121,11 @@ QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/ablation_exec" \
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fig8_sq_mq_vs_k" >/dev/null
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/fig9_sq_mq_vs_l" >/dev/null
 # Sharded scale-out: the zipfian closed loop over 1M distinct users with
-# a bounded hot set, plus the kill/recover phase. The report carries the
-# two acceptance booleans (residency_bounded, zero_acked_loss) that the
-# regression gate below enforces as hard invariants.
+# a bounded hot set, a live reshard (grow by two) under traffic with the
+# migration-window p99 recorded, plus the kill/recover phase. The report
+# carries the acceptance booleans (residency_bounded, zero_acked_loss,
+# reshard_zero_acked_loss) that the regression gate below enforces as
+# hard invariants.
 QP_BENCH_JSON="$REPORT" "$ROOT/build/bench/shard_scale" >/dev/null
 echo "wrote $REPORT:"
 cat "$REPORT"

@@ -189,6 +189,41 @@ TEST(SelectionCacheTest, EvictionAndReplaceMaintainUserIndex) {
   EXPECT_EQ(cache.Lookup(key(7)), nullptr);
 }
 
+TEST(SelectionCacheTest, ReHomingAKeyMovesItsOwnerIndexEntry) {
+  // Regression pin: re-inserting an existing key under a new owner must
+  // unindex the old owner binding *before* touching the slot — the
+  // re-home path once erased the index entry and then dereferenced the
+  // invalidated iterator. The observable contract: the old owner no
+  // longer invalidates the entry, the new owner does, and lookups keep
+  // returning the freshest value throughout.
+  SelectionCache cache(8);
+  auto criterion = InterestCriterion::TopCount(5);
+  std::string key = SelectionCache::MakeKey("shared", 1, "q", criterion);
+
+  cache.Insert("alice", key, MakePaths(1));
+  cache.Insert("bob", key, MakePaths(3));  // Same key, new owner.
+
+  auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 3u);
+
+  EXPECT_EQ(cache.EraseUser("alice"), 0u);  // Alice's binding is gone.
+  ASSERT_NE(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.EraseUser("bob"), 1u);    // Bob owns it now.
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+
+  // Round-trip the other way: owned -> anonymous -> owned again.
+  cache.Insert("carol", key, MakePaths(2));
+  cache.Insert(key, MakePaths(4));  // Anonymous re-home.
+  EXPECT_EQ(cache.EraseUser("carol"), 0u);
+  hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 4u);
+  cache.Insert("dave", key, MakePaths(5));
+  EXPECT_EQ(cache.EraseUser("dave"), 1u);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+}
+
 TEST(SelectionCacheTest, ConcurrentMixedAccess) {
   // Hammer one small cache from several threads; correctness here is
   // "no crash, bounded size, every hit returns an intact vector" (TSan

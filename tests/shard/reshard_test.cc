@@ -1,0 +1,351 @@
+// Live-resharding functional tests: grow and shrink preserve every
+// acknowledged profile with exactly one owner per user, the persisted
+// routing table outlives (and overrides) stale open options, a faulted
+// cutover aborts cleanly and converges on retry, journaled migrations
+// resolve both ways after a crash, and the dual-write window mirrors
+// concurrent mutations without losing an ack.
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/data/movie_db.h"
+#include "qp/pref/profile_generator.h"
+#include "qp/shard/sharded_service.h"
+#include "qp/storage/durable_profile_store.h"
+#include "qp/storage/fault_injection.h"
+#include "qp/storage/record.h"
+#include "qp/util/fault_hub.h"
+
+namespace qp {
+namespace shard {
+namespace {
+
+class ReshardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieDbConfig config;
+    config.num_movies = 120;
+    config.num_actors = 60;
+    config.num_directors = 20;
+    config.num_theatres = 6;
+    config.num_days = 3;
+    config.seed = 20040308;
+    QP_ASSERT_OK_AND_ASSIGN(Database db, GenerateMovieDatabase(config));
+    db_ = std::make_unique<Database>(std::move(db));
+    QP_ASSERT_OK_AND_ASSIGN(auto pools, MovieCandidatePools(*db_));
+    generator_ = std::make_unique<ProfileGenerator>(&db_->schema(),
+                                                    std::move(pools));
+  }
+
+  ShardedOptions Options(size_t num_shards, size_t num_partitions = 16) {
+    ShardedOptions options;
+    options.num_shards = num_shards;
+    options.num_partitions = num_partitions;
+    options.dir = "cluster";
+    options.service.num_workers = 2;
+    options.service.storage.fs = &fs_;
+    options.service.storage.background_compaction = false;
+    options.migration.backoff = std::chrono::milliseconds(0);
+    return options;
+  }
+
+  std::unique_ptr<ShardedPersonalizationService> MustOpen(
+      ShardedOptions options) {
+    auto sharded_or =
+        ShardedPersonalizationService::Open(db_.get(), std::move(options));
+    EXPECT_TRUE(sharded_or.ok()) << sharded_or.status();
+    return sharded_or.ok() ? std::move(sharded_or).value() : nullptr;
+  }
+
+  UserProfile MakeProfile(uint64_t seed) {
+    Rng rng(seed);
+    ProfileGeneratorOptions options;
+    options.num_selections = 8;
+    auto profile = generator_->Generate(options, &rng);
+    EXPECT_TRUE(profile.ok()) << profile.status();
+    return profile.ok() ? std::move(profile).value() : UserProfile();
+  }
+
+  /// Populates `count` users and returns the acknowledged shadow.
+  std::map<std::string, UserProfile> Populate(
+      ShardedPersonalizationService* sharded, size_t count, uint64_t seed) {
+    std::map<std::string, UserProfile> shadow;
+    for (size_t i = 0; i < count; ++i) {
+      std::string user = "u" + std::to_string(i);
+      UserProfile profile = MakeProfile(seed + i);
+      EXPECT_TRUE(sharded->PutProfile(user, profile).ok());
+      shadow[user] = std::move(profile);
+    }
+    return shadow;
+  }
+
+  /// The zero-loss + one-owner check: every shadow user reads back equal
+  /// through the router, and the union of per-shard resident sets is
+  /// exactly the shadow keys with no user on two shards.
+  void ExpectExactlyShadow(ShardedPersonalizationService* sharded,
+                           const std::map<std::string, UserProfile>& shadow) {
+    for (const auto& [user, profile] : shadow) {
+      auto snapshot = sharded->GetProfile(user);
+      ASSERT_TRUE(snapshot.ok())
+          << "acknowledged user " << user << " lost: " << snapshot.status();
+      EXPECT_TRUE(storage::ProfilesEqual(*snapshot.value().profile, profile))
+          << "acknowledged state of " << user << " diverged";
+    }
+    std::set<std::string> resident;
+    for (size_t s = 0; s < sharded->num_shards(); ++s) {
+      auto service = sharded->Shard(s);
+      ASSERT_NE(service, nullptr) << "shard " << s;
+      for (const std::string& user : service->profiles().Users()) {
+        EXPECT_TRUE(resident.insert(user).second)
+            << user << " resident on two shards";
+        EXPECT_EQ(sharded->ShardFor(user), s)
+            << user << " resident off its owner shard";
+      }
+    }
+    std::set<std::string> expected;
+    for (const auto& [user, profile] : shadow) expected.insert(user);
+    EXPECT_EQ(resident, expected);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ProfileGenerator> generator_;
+  storage::FaultInjectingFileSystem fs_;
+};
+
+TEST_F(ReshardTest, GrowPreservesEveryUserWithExactlyOneOwner) {
+  auto sharded = MustOpen(Options(2));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 24, 1000);
+  const uint64_t version_before = sharded->routing_version();
+
+  QP_ASSERT_OK(sharded->Reshard(4));
+
+  EXPECT_EQ(sharded->num_shards(), 4u);
+  EXPECT_GT(sharded->routing_version(), version_before);
+  // 16 partitions over 4 shards: perfectly balanced, 8 partitions moved.
+  std::vector<size_t> counts = sharded->routing().PartitionCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) EXPECT_EQ(counts[s], 4u) << "shard " << s;
+  MigrationStats migration = sharded->migration_stats();
+  EXPECT_EQ(migration.partitions_migrated, 8u);
+  EXPECT_EQ(migration.partitions_aborted, 0u);
+  EXPECT_EQ(migration.active, 0u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+
+  // Resharding to the current count converges as a no-op.
+  QP_ASSERT_OK(sharded->Reshard(4));
+  EXPECT_EQ(sharded->migration_stats().partitions_migrated, 8u);
+}
+
+TEST_F(ReshardTest, ShrinkDrainsRetiredShardsAndTearsThemDown) {
+  auto sharded = MustOpen(Options(4));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 24, 2000);
+
+  QP_ASSERT_OK(sharded->Reshard(2));
+
+  EXPECT_EQ(sharded->num_shards(), 2u);
+  std::vector<size_t> counts = sharded->routing().PartitionCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 8u);
+  EXPECT_EQ(counts[1], 8u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+
+  // And back up: the retired directories are re-opened and re-populated
+  // purely through migration.
+  QP_ASSERT_OK(sharded->Reshard(3));
+  EXPECT_EQ(sharded->num_shards(), 3u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+}
+
+TEST_F(ReshardTest, ReopenAfterReshardRoutingFileWinsOverStaleOptions) {
+  auto sharded = MustOpen(Options(2));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 16, 3000);
+  QP_ASSERT_OK(sharded->Reshard(4));
+  const uint64_t version = sharded->routing_version();
+  sharded.reset();
+
+  // Reopening with the stale fresh-cluster seed (2 shards): the
+  // persisted ROUTING file is the truth.
+  auto reopened = MustOpen(Options(2));
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->num_shards(), 4u);
+  EXPECT_GE(reopened->routing_version(), version);
+  ExpectExactlyShadow(reopened.get(), shadow);
+}
+
+TEST_F(ReshardTest, CutoverFaultAbortsCleanlyAndRetryConverges) {
+#ifdef QP_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  ShardedOptions options = Options(2);
+  options.migration.max_attempts = 2;
+  auto sharded = MustOpen(std::move(options));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 16, 4000);
+
+  {
+    ScopedFaultInjection chaos(11);
+    FaultRule rule;
+    rule.fire_every = 1;
+    FaultHub::Global()->SetRule("migrate.cutover", rule);
+    Status failed = sharded->Reshard(4);
+    EXPECT_FALSE(failed.ok());
+  }
+
+  // Every migration aborted at its commit point: routing never flipped,
+  // every user still serves from its source shard, nothing was lost —
+  // and no partition is left mid-flight.
+  MigrationStats aborted = sharded->migration_stats();
+  EXPECT_EQ(aborted.partitions_migrated, 0u);
+  EXPECT_EQ(aborted.partitions_aborted, 8u);
+  EXPECT_EQ(aborted.active, 0u);
+  EXPECT_GE(aborted.retries, 8u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+
+  // Disarmed, the same reshard converges: already-correct partitions
+  // no-op, the aborted ones migrate.
+  QP_ASSERT_OK(sharded->Reshard(4));
+  EXPECT_EQ(sharded->num_shards(), 4u);
+  EXPECT_EQ(sharded->migration_stats().partitions_migrated, 8u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+}
+
+TEST_F(ReshardTest, JournalResolutionDropsUncommittedPartialCopy) {
+  auto sharded = MustOpen(Options(2));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 8, 5000);
+  const std::string user = "u0";
+  const uint32_t partition =
+      static_cast<uint32_t>(sharded->PartitionFor(user));
+  const uint32_t source = static_cast<uint32_t>(sharded->ShardFor(user));
+  const uint32_t target = 1 - source;
+  sharded.reset();
+
+  // Simulate a crash mid-copy: the target shard holds a partial copy of
+  // the user, the journal records the in-flight migration, but ROUTING
+  // was never flipped — the cutover did not commit.
+  {
+    storage::StorageOptions store_options;
+    store_options.dir = "cluster/shard-" + std::to_string(target);
+    store_options.fs = &fs_;
+    store_options.background_compaction = false;
+    QP_ASSERT_OK_AND_ASSIGN(
+        auto store, storage::DurableProfileStore::Open(&db_->schema(),
+                                                       store_options));
+    QP_ASSERT_OK(store->Put(user, shadow[user]));
+  }
+  QP_ASSERT_OK(WriteMigrationJournal(&fs_, "cluster",
+                                     {{partition, source, target}}));
+
+  // Reopen: the migration never happened. The partial copy is dropped,
+  // the journal is cleared, the source still owns and serves the user.
+  auto reopened = MustOpen(Options(2));
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_FALSE(fs_.Exists("cluster/MIGRATION"));
+  EXPECT_EQ(reopened->ShardFor(user), source);
+  ExpectExactlyShadow(reopened.get(), shadow);
+}
+
+TEST_F(ReshardTest, JournalResolutionFinishesCommittedCutover) {
+  auto sharded = MustOpen(Options(2));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 8, 6000);
+  const std::string user = "u0";
+  const uint32_t partition =
+      static_cast<uint32_t>(sharded->PartitionFor(user));
+  const uint32_t source = static_cast<uint32_t>(sharded->ShardFor(user));
+  const uint32_t target = 1 - source;
+  // Collect everyone sharing the user's partition: the owner flip moves
+  // them all together.
+  std::vector<std::string> comoving;
+  for (const auto& [id, profile] : shadow) {
+    if (sharded->PartitionFor(id) == partition) comoving.push_back(id);
+  }
+  sharded.reset();
+
+  // Simulate a crash between cutover commit and source cleanup: the
+  // target holds the full partition copy, ROUTING has the flipped owner
+  // persisted, the journal entry is still there, and the source still
+  // holds its stale copies.
+  {
+    storage::StorageOptions store_options;
+    store_options.dir = "cluster/shard-" + std::to_string(target);
+    store_options.fs = &fs_;
+    store_options.background_compaction = false;
+    QP_ASSERT_OK_AND_ASSIGN(
+        auto store, storage::DurableProfileStore::Open(&db_->schema(),
+                                                       store_options));
+    for (const std::string& id : comoving) {
+      QP_ASSERT_OK(store->Put(id, shadow[id]));
+    }
+  }
+  QP_ASSERT_OK_AND_ASSIGN(RoutingTable table,
+                          ReadRoutingTable(&fs_, "cluster"));
+  table.owner[partition] = target;
+  ++table.version;
+  QP_ASSERT_OK(WriteRoutingTable(&fs_, "cluster", table));
+  QP_ASSERT_OK(WriteMigrationJournal(&fs_, "cluster",
+                                     {{partition, source, target}}));
+
+  // Reopen: the cutover committed, so resolution finishes the cleanup —
+  // the stale source copies vanish, the journal clears, the target
+  // serves the whole partition.
+  auto reopened = MustOpen(Options(2));
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_FALSE(fs_.Exists("cluster/MIGRATION"));
+  EXPECT_EQ(reopened->ShardFor(user), target);
+  ExpectExactlyShadow(reopened.get(), shadow);
+}
+
+TEST_F(ReshardTest, DualWriteWindowMirrorsConcurrentMutations) {
+  ShardedOptions options = Options(2, /*num_partitions=*/8);
+  options.migration.dual_write_hold = std::chrono::milliseconds(25);
+  auto sharded = MustOpen(std::move(options));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 12, 7000);
+
+  // A mutator hammers every user while the reshard holds each
+  // partition's dual-write window open: mutations landing in the window
+  // are acknowledged by the source and mirrored to the target, so after
+  // cutover the target serves the freshest acknowledged state.
+  std::mutex shadow_mutex;
+  std::atomic<bool> done{false};
+  std::thread mutator([&] {
+    uint64_t round = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      for (size_t i = 0; i < 12; ++i) {
+        std::string user = "u" + std::to_string(i);
+        UserProfile profile = MakeProfile(8000 + round * 31 + i);
+        Status put = sharded->PutProfile(user, profile);
+        ASSERT_TRUE(put.ok()) << put;  // No faults armed: every ack lands.
+        std::lock_guard<std::mutex> lock(shadow_mutex);
+        shadow[user] = std::move(profile);
+      }
+      ++round;
+    }
+  });
+
+  Status resharded = sharded->Reshard(4);
+  done.store(true, std::memory_order_relaxed);
+  mutator.join();
+  QP_ASSERT_OK(resharded);
+
+  EXPECT_GE(sharded->migration_stats().dual_writes, 1u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace qp

@@ -1,0 +1,171 @@
+// RoutingTable / migration-journal unit tests: stable hashing, legacy
+// routing compatibility, minimal-movement reshard planning, and the
+// crash-safe persistence round trips the live migrator builds on.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/test_util.h"
+#include "gtest/gtest.h"
+#include "qp/shard/routing_table.h"
+#include "qp/storage/fault_injection.h"
+#include "qp/util/file.h"
+
+namespace qp {
+namespace shard {
+namespace {
+
+TEST(RouteHashTest, IsStableAndSpreadsUsers) {
+  // FNV-1a is a pure function of the id: same value on every call (and,
+  // unlike std::hash, on every platform/run — reopening a cluster must
+  // route every user back to the directory that holds their profile).
+  EXPECT_EQ(RouteHash("julie"), RouteHash("julie"));
+  EXPECT_NE(RouteHash("julie"), RouteHash("rob"));
+
+  // 64 partitions over a few hundred users: every partition inhabited.
+  std::set<size_t> hit;
+  for (int i = 0; i < 640; ++i) {
+    hit.insert(RouteHash("user" + std::to_string(i)) % 64);
+  }
+  EXPECT_EQ(hit.size(), 64u);
+}
+
+TEST(RoutingTableTest, UniformMatchesLegacyHashRouterForDividingCounts) {
+  // owner[p] = p % N with P = 64 partitions routes identically to the
+  // pre-partition router (hash % N) whenever N divides P — existing
+  // power-of-two clusters keep their user placement.
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    RoutingTable table = RoutingTable::Uniform(64, shards);
+    for (int i = 0; i < 200; ++i) {
+      std::string user = "user" + std::to_string(i);
+      EXPECT_EQ(table.ShardFor(user), RouteHash(user) % shards)
+          << "user " << user << " with " << shards << " shards";
+    }
+  }
+}
+
+TEST(RoutingTableTest, PartitionCountsSumToPartitionCount) {
+  RoutingTable table = RoutingTable::Uniform(64, 3);
+  std::vector<size_t> counts = table.PartitionCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 64u);
+}
+
+TEST(PlanReshardTest, GrowMovesOnlyWhatBalanceRequires) {
+  RoutingTable current = RoutingTable::Uniform(64, 2);
+  QP_ASSERT_OK_AND_ASSIGN(RoutingTable plan, PlanReshard(current, 4));
+  EXPECT_EQ(plan.num_shards, 4u);
+
+  std::vector<size_t> counts = plan.PartitionCounts();
+  for (size_t shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(counts[shard], 16u) << "shard " << shard;
+  }
+  // 2 -> 4 moves exactly half the partitions: the survivors keep their
+  // balanced share in place.
+  size_t moved = 0;
+  for (size_t p = 0; p < 64; ++p) {
+    if (plan.owner[p] != current.owner[p]) ++moved;
+  }
+  EXPECT_EQ(moved, 32u);
+
+  // Deterministic: equal inputs, identical plan.
+  QP_ASSERT_OK_AND_ASSIGN(RoutingTable again, PlanReshard(current, 4));
+  EXPECT_EQ(again.owner, plan.owner);
+}
+
+TEST(PlanReshardTest, ShrinkMovesOnlyRetiredShardsPartitions) {
+  RoutingTable current = RoutingTable::Uniform(64, 4);
+  QP_ASSERT_OK_AND_ASSIGN(RoutingTable plan, PlanReshard(current, 2));
+  std::vector<size_t> counts = plan.PartitionCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 32u);
+  EXPECT_EQ(counts[1], 32u);
+  for (size_t p = 0; p < 64; ++p) {
+    EXPECT_LT(plan.owner[p], 2u);
+    if (current.owner[p] < 2) {
+      // Partitions on surviving shards never move on a shrink.
+      EXPECT_EQ(plan.owner[p], current.owner[p]) << "partition " << p;
+    }
+  }
+}
+
+TEST(PlanReshardTest, RejectsDegenerateTargets) {
+  RoutingTable current = RoutingTable::Uniform(8, 2);
+  EXPECT_FALSE(PlanReshard(current, 0).ok());
+  EXPECT_FALSE(PlanReshard(current, 9).ok());  // More shards than partitions.
+  EXPECT_TRUE(PlanReshard(current, 8).ok());
+}
+
+TEST(RoutingPersistenceTest, RoundTripsThroughDisk) {
+  storage::FaultInjectingFileSystem fs;
+  QP_ASSERT_OK(fs.CreateDir("cluster"));
+  RoutingTable table = RoutingTable::Uniform(16, 3);
+  table.version = 7;
+  table.owner[5] = 2;
+  QP_ASSERT_OK(WriteRoutingTable(&fs, "cluster", table));
+
+  QP_ASSERT_OK_AND_ASSIGN(RoutingTable loaded,
+                          ReadRoutingTable(&fs, "cluster"));
+  EXPECT_EQ(loaded.version, 7u);
+  EXPECT_EQ(loaded.num_shards, 3u);
+  EXPECT_EQ(loaded.owner, table.owner);
+}
+
+TEST(RoutingPersistenceTest, MissingFileIsNotFoundCorruptionIsParseError) {
+  storage::FaultInjectingFileSystem fs;
+  QP_ASSERT_OK(fs.CreateDir("cluster"));
+  EXPECT_EQ(ReadRoutingTable(&fs, "cluster").status().code(),
+            StatusCode::kNotFound);
+
+  QP_ASSERT_OK(WriteFileAtomic(&fs, JoinPath("cluster", kRoutingFileName),
+                               "not a routing table"));
+  EXPECT_EQ(ReadRoutingTable(&fs, "cluster").status().code(),
+            StatusCode::kParseError);
+
+  // An owner pointing past the shard count must not load: routing to a
+  // shard that cannot exist is corruption, not configuration.
+  QP_ASSERT_OK(WriteFileAtomic(&fs, JoinPath("cluster", kRoutingFileName),
+                               "qp-routing v1\nversion 1\nshards 2\n"
+                               "owner 0 1 5\n"));
+  EXPECT_EQ(ReadRoutingTable(&fs, "cluster").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(MigrationJournalTest, RoundTripsAndEmptyListRemovesFile) {
+  storage::FaultInjectingFileSystem fs;
+  QP_ASSERT_OK(fs.CreateDir("cluster"));
+
+  // Absent file = empty journal (a cluster that never migrated).
+  QP_ASSERT_OK_AND_ASSIGN(auto empty, ReadMigrationJournal(&fs, "cluster"));
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<MigrationJournalEntry> entries = {{5, 0, 2}, {9, 1, 3}};
+  QP_ASSERT_OK(WriteMigrationJournal(&fs, "cluster", entries));
+  QP_ASSERT_OK_AND_ASSIGN(auto loaded, ReadMigrationJournal(&fs, "cluster"));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].partition, 5u);
+  EXPECT_EQ(loaded[0].source, 0u);
+  EXPECT_EQ(loaded[0].target, 2u);
+  EXPECT_EQ(loaded[1].partition, 9u);
+
+  // Writing the empty list removes the file entirely: no journal, no
+  // resolution work at the next open.
+  QP_ASSERT_OK(WriteMigrationJournal(&fs, "cluster", {}));
+  EXPECT_FALSE(fs.Exists(JoinPath("cluster", kMigrationFileName)));
+  QP_ASSERT_OK_AND_ASSIGN(auto cleared, ReadMigrationJournal(&fs, "cluster"));
+  EXPECT_TRUE(cleared.empty());
+}
+
+TEST(MigrationJournalTest, CorruptJournalIsParseError) {
+  storage::FaultInjectingFileSystem fs;
+  QP_ASSERT_OK(fs.CreateDir("cluster"));
+  QP_ASSERT_OK(WriteFileAtomic(&fs, JoinPath("cluster", kMigrationFileName),
+                               "qp-migration v1\nmigrate 1 nope 2\n"));
+  EXPECT_EQ(ReadMigrationJournal(&fs, "cluster").status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace qp

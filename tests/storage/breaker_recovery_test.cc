@@ -8,7 +8,6 @@
 #include <chrono>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "common/test_util.h"
 #include "gtest/gtest.h"
@@ -18,6 +17,7 @@
 #include "qp/storage/durable_profile_store.h"
 #include "qp/storage/fault_injection.h"
 #include "qp/storage/record.h"
+#include "qp/util/clock.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -37,6 +37,7 @@ class BreakerRecoveryTest : public ::testing::Test {
     options.breaker_threshold = 2;
     options.breaker_backoff = std::chrono::milliseconds(1);
     options.breaker_backoff_max = std::chrono::milliseconds(50);
+    options.clock = &clock_;
     options.metrics = &metrics_;
     return options;
   }
@@ -57,11 +58,12 @@ class BreakerRecoveryTest : public ::testing::Test {
     ASSERT_TRUE(store->storage_stats().breaker_open);
   }
 
-  void WaitBackoff() {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  /// The breaker consults the injected clock, so "waiting" out the
+  /// backoff is a deterministic advance — no wall-clock sleeps.
+  void WaitBackoff() { clock_.Advance(std::chrono::milliseconds(5)); }
 
   Schema schema_;
+  FakeClock clock_;
   FaultInjectingFileSystem fs_;
   obs::MetricsRegistry metrics_;
 };
@@ -144,8 +146,7 @@ TEST_F(BreakerRecoveryTest, FailedProbeReopensWithDoubledBackoff) {
 
   // Second round: heal, wait out the doubled backoff, recover.
   fs_.SetSyncFailure(false);
-  std::this_thread::sleep_for(
-      std::chrono::milliseconds(stats.breaker_backoff_ms + 5));
+  clock_.Advance(std::chrono::milliseconds(stats.breaker_backoff_ms + 5));
   QP_ASSERT_OK(store->Put("rob", RobProfile()));
   stats = store->storage_stats();
   EXPECT_FALSE(stats.breaker_open);
@@ -164,7 +165,7 @@ TEST_F(BreakerRecoveryTest, BackoffIsCappedAtConfiguredMax) {
 
   // Repeated failed probes double 4 -> 8 -> 10 (capped), never beyond.
   for (int round = 0; round < 4; ++round) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(
+    clock_.Advance(std::chrono::milliseconds(
         store->storage_stats().breaker_backoff_ms + 5));
     EXPECT_FALSE(store->Put("rob", RobProfile()).ok());
     EXPECT_LE(store->storage_stats().breaker_backoff_ms, 10u);
@@ -179,7 +180,7 @@ TEST_F(BreakerRecoveryTest, ZeroBackoffRestoresOneWayBreaker) {
   ASSERT_NE(store, nullptr);
   TripBreaker(store.get());
   fs_.SetSyncFailure(false);
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock_.Advance(std::chrono::milliseconds(10));
 
   // Even with a healthy disk the store stays read-only: backoff 0 means
   // "never probe" (the pre-half-open contract, kept for operators who

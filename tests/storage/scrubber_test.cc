@@ -19,6 +19,7 @@
 #include "qp/storage/record.h"
 #include "qp/storage/scrub.h"
 #include "qp/storage/snapshot.h"
+#include "qp/util/clock.h"
 #include "qp/util/file.h"
 #include "qp/util/status.h"
 
@@ -242,20 +243,24 @@ TEST_F(ScrubberTest, MidLogWalBitFlipIsDetectedAndRepaired) {
 }
 
 TEST_F(ScrubberTest, BackgroundScrubberFindsDamageOnItsOwn) {
+  FakeClock clock;
   StorageOptions options = Options();
   options.scrub_interval = std::chrono::milliseconds(5);
+  options.clock = &clock;
   auto store = MustOpen(std::move(options));
   ASSERT_NE(store, nullptr);
   QP_ASSERT_OK(store->Put("julie", JulieProfile()));
   store->CorruptInMemoryForTest("julie", BogusProfile());
 
   // No explicit ScrubOnce: the cadence thread must detect and repair.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (std::chrono::steady_clock::now() < deadline) {
+  // Its interval waits consult the injected clock, so the test advances
+  // fake time instead of sleeping; the yield gives the scrub thread a
+  // chance to run between advances (ctest's timeout is the backstop).
+  for (;;) {
     StorageStats stats = store->storage_stats();
     if (stats.repairs > 0 && stats.quarantined_profiles == 0) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    clock.Advance(std::chrono::milliseconds(5));
+    std::this_thread::yield();
   }
   StorageStats stats = store->storage_stats();
   EXPECT_GT(stats.scrubs, 0u);
