@@ -164,17 +164,27 @@ Status ShardMigrator::TailRound(uint32_t partition, uint32_t source,
     return Status::Unavailable("target shard " + std::to_string(target) +
                                " is down");
   }
+  // The head observed before the read bounds this round: co-located
+  // partitions keep appending to the shared WAL, so an empty tail is
+  // not the only termination condition — reaching the pre-read head is
+  // enough (every record of the migrating partition at or below it has
+  // been replayed; under the drain barrier none can be in flight).
+  const uint64_t head =
+      source_svc->profiles().storage_stats().last_appended_seqno;
   QP_ASSIGN_OR_RETURN(std::vector<storage::WalTailRecord> records,
                       source_svc->profiles().ReadMutationsAfter(*applied));
-  uint64_t replayed = 0;
   for (const storage::WalTailRecord& record : records) {
+    if (cluster_->PartitionFor(record.mutation.user_id) == partition) {
+      QP_RETURN_IF_ERROR(QP_FAULT_POINT("migrate.apply"));
+      QP_RETURN_IF_ERROR(ApplyTail(target_svc->profiles(), record.mutation));
+      metric_tail_records_->Add(1);
+    }
+    // Only past a successfully applied (or skipped foreign) record: a
+    // transient apply failure must retry from this record, not after it
+    // — advancing first would silently drop an acknowledged mutation.
     *applied = record.seqno;
-    if (cluster_->PartitionFor(record.mutation.user_id) != partition) continue;
-    QP_RETURN_IF_ERROR(ApplyTail(target_svc->profiles(), record.mutation));
-    ++replayed;
   }
-  metric_tail_records_->Add(replayed);
-  *caught_up = records.empty();
+  *caught_up = records.empty() || *applied >= head;
   return Status::Ok();
 }
 
@@ -270,9 +280,18 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
     if (status.code() == StatusCode::kOutOfRange &&
         restarts < options_.max_copy_restarts) {
       // The source checkpointed the tail away (WAL rotated); start the
-      // copy phase over from a fresh watermark.
+      // copy phase over from a fresh watermark. The rotated records may
+      // include removes the first pass's copies now shadow, so the
+      // partial copy is dropped first — the fresh enumeration alone
+      // decides what the target holds.
       ++restarts;
       metric_copy_restarts_->Add(1);
+      status = WithRetries("copy restart cleanup", [&] {
+        return cluster_->RemovePartitionUsers(partition, target);
+      });
+      if (!status.ok()) {
+        return finish(Abort(partition, source, target, status));
+      }
       applied = 0;
       set_phase(ShardedPersonalizationService::kCopying);
       continue;

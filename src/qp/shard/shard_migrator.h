@@ -114,7 +114,10 @@ class ShardMigrator {
                    uint64_t* watermark, obs::RequestTrace* trace);
 
   /// One tail round: read records past *applied, replay the partition's
-  /// onto the target, advance *applied. *caught_up when nothing new.
+  /// onto the target ("migrate.apply" fault site per record), advance
+  /// *applied past each applied record. *caught_up when nothing is new
+  /// or the round reached the head seqno observed before the read (the
+  /// shared WAL never drains while co-located partitions keep writing).
   Status TailRound(uint32_t partition, uint32_t source, uint32_t target,
                    uint64_t* applied, bool* caught_up);
 

@@ -38,27 +38,46 @@ bool FakeClock::WaitFor(std::condition_variable& cv,
                         std::chrono::nanoseconds timeout,
                         const std::function<bool()>& pred) {
   const int64_t deadline = NowNanos() + timeout.count();
+  // (De)register without the caller's lock held: Advance() locks
+  // waiters_mutex_ and then each waiter's mutex, so taking
+  // waiters_mutex_ while holding `lock` would invert that order.
+  // Dropping the lock here is safe — cv.wait re-evaluates the predicate
+  // under the lock before deciding to park.
+  lock.unlock();
   {
     std::lock_guard<std::mutex> guard(waiters_mutex_);
-    waiters_.push_back(&cv);
+    waiters_.push_back({&cv, lock.mutex()});
   }
-  // The deadline is re-checked against the (possibly advanced) fake time
-  // on every wakeup; Advance() notifies the registered cv, so the only
-  // way to be parked here past the deadline is for time not to have
-  // reached it yet.
+  lock.lock();
+  // Advance() acquires `lock`'s mutex before notifying, so a
+  // notification cannot land between this predicate evaluation and the
+  // park: either the waiter is already parked when it arrives, or the
+  // predicate re-reads the already-advanced time.
   cv.wait(lock, [&] { return pred() || NowNanos() >= deadline; });
+  lock.unlock();
   {
     std::lock_guard<std::mutex> guard(waiters_mutex_);
-    auto it = std::find(waiters_.begin(), waiters_.end(), &cv);
+    auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                           [&](const Waiter& waiter) {
+                             return waiter.cv == &cv &&
+                                    waiter.mutex == lock.mutex();
+                           });
     if (it != waiters_.end()) waiters_.erase(it);
   }
+  lock.lock();
   return pred();
 }
 
 void FakeClock::Advance(std::chrono::nanoseconds duration) {
   now_ns_.fetch_add(duration.count(), std::memory_order_acq_rel);
   std::lock_guard<std::mutex> guard(waiters_mutex_);
-  for (std::condition_variable* cv : waiters_) cv->notify_all();
+  for (const Waiter& waiter : waiters_) {
+    // Serialize with the waiter's evaluate-then-park window (see
+    // WaitFor): once this mutex is acquired the waiter is either parked
+    // or has not yet read the advanced time.
+    { std::lock_guard<std::mutex> sync(*waiter.mutex); }
+    waiter.cv->notify_all();
+  }
 }
 
 }  // namespace qp

@@ -74,9 +74,18 @@ class FakeClock : public Clock {
   void Advance(std::chrono::nanoseconds duration);
 
  private:
+  /// A parked WaitFor call. The waiter's mutex is recorded alongside its
+  /// cv because Advance() must acquire it before notifying: notifying
+  /// without it can land between the waiter's predicate evaluation and
+  /// its park, and that wakeup is lost forever.
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mutex;
+  };
+
   std::atomic<int64_t> now_ns_;
   std::mutex waiters_mutex_;
-  std::vector<std::condition_variable*> waiters_;
+  std::vector<Waiter> waiters_;
 };
 
 }  // namespace qp

@@ -242,7 +242,7 @@ const std::vector<std::string>& FaultHub::KnownSites() {
       "fs.append",     "fs.read",       "fs.sync",        "wal.append",
       "wal.sync",      "service.admit", "cache.lookup",   "pool.submit",
       "exec.disjunct", "shard.route",   "shard.load",     "migrate.copy",
-      "migrate.tail",  "migrate.cutover", "migrate.journal",
+      "migrate.tail",  "migrate.apply", "migrate.cutover", "migrate.journal",
   };
   return *sites;
 }

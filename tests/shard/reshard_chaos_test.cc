@@ -58,8 +58,8 @@ int TrialCount() {
 /// acknowledged set exact, which is what the strict post-reopen
 /// equality below depends on.
 const std::vector<std::string> kChaosSites = {
-    "migrate.copy", "migrate.tail", "migrate.cutover", "migrate.journal",
-    "shard.route"};
+    "migrate.copy", "migrate.tail", "migrate.apply", "migrate.cutover",
+    "migrate.journal", "shard.route"};
 
 class ReshardChaosTest : public ::testing::Test {
  protected:

@@ -222,6 +222,121 @@ TEST_F(ReshardTest, CutoverFaultAbortsCleanlyAndRetryConverges) {
   ExpectExactlyShadow(sharded.get(), shadow);
 }
 
+TEST_F(ReshardTest, TailApplyFaultRetriesWithoutLosingAckedMutations) {
+#ifdef QP_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  auto sharded = MustOpen(Options(2));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 24, 9000);
+
+  // One transient target-side failure on the first tail-replayed record:
+  // the retry must re-apply that record, not resume past it.
+  ScopedFaultInjection chaos(17);
+  FaultRule rule;
+  rule.fire_on_nth = 1;
+  rule.max_fires = 1;
+  FaultHub::Global()->SetRule("migrate.apply", rule);
+
+  // The mutator only *creates* users, each with a single acknowledged
+  // write landing past the copy watermark: a tail record the retry
+  // skips is that user lost outright, never masked by a later write.
+  std::mutex shadow_mutex;
+  std::atomic<bool> done{false};
+  std::thread mutator([&] {
+    uint64_t k = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::string user = "tail-m" + std::to_string(k);
+      UserProfile profile = MakeProfile(9100 + k);
+      Status put = sharded->PutProfile(user, profile);
+      ASSERT_TRUE(put.ok()) << put;  // No error faults armed on the ack path.
+      std::lock_guard<std::mutex> lock(shadow_mutex);
+      shadow[user] = std::move(profile);
+      ++k;
+    }
+  });
+
+  // Reshard back and forth until a tail round actually hit the fault
+  // (ctest's timeout is the backstop; in practice the first pass fires).
+  size_t next = 4;
+  while (FaultHub::Global()->fires("migrate.apply") == 0) {
+    QP_ASSERT_OK(sharded->Reshard(next));
+    next = next == 4 ? 2 : 4;
+  }
+  done.store(true, std::memory_order_relaxed);
+  mutator.join();
+
+  EXPECT_GE(FaultHub::Global()->fires("migrate.apply"), 1u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+}
+
+TEST_F(ReshardTest, CopyRestartAfterWalRotationDropsPartialCopy) {
+#ifdef QP_FAULTS_DISABLED
+  GTEST_SKIP() << "fault injection compiled out";
+#endif
+  auto sharded = MustOpen(Options(2));
+  ASSERT_NE(sharded, nullptr);
+  auto shadow = Populate(sharded.get(), 24, 10000);
+
+  // Every tail round stalls at entry, holding each migration in its
+  // tail phase long enough for the remove + checkpoint below to land
+  // between the copy pass and the next tail read.
+  ScopedFaultInjection chaos(19);
+  FaultRule stall;
+  stall.fire_every = 1;
+  stall.mode = FaultMode::kDelay;
+  stall.delay = std::chrono::microseconds(50000);
+  FaultHub::Global()->SetRule("migrate.tail", stall);
+
+  // Each pass: pick a victim whose partition the plan moves, reshard in
+  // the background, wait for the copy pass to land the victim on the
+  // target, then remove the victim (acknowledged by the source) and
+  // checkpoint the source so the WAL tail — carrying the remove —
+  // rotates away. The migration's next tail read gets OutOfRange and
+  // must restart its copy from scratch; resuming over the partial copy
+  // would resurrect the deleted victim after cutover. The stall above
+  // makes the window land in practice on the first pass; if scheduling
+  // starved it, reshard back and try again (ctest timeout backstop).
+  size_t grow = 4;
+  while (sharded->migration_stats().copy_restarts == 0) {
+    RoutingTable current = sharded->routing();
+    auto plan_or = PlanReshard(current, grow);
+    QP_ASSERT_OK(plan_or.status());
+    std::string victim;
+    for (const auto& [user, profile] : shadow) {
+      const size_t p = sharded->PartitionFor(user);
+      if (plan_or.value().owner[p] != current.owner[p]) {
+        victim = user;
+        break;
+      }
+    }
+    ASSERT_FALSE(victim.empty());
+    const size_t victim_partition = sharded->PartitionFor(victim);
+    const uint32_t source = current.owner[victim_partition];
+    const uint32_t target = plan_or.value().owner[victim_partition];
+
+    std::thread resharder([&, grow] {
+      Status resharded = sharded->Reshard(grow);
+      EXPECT_TRUE(resharded.ok()) << resharded;
+    });
+    for (;;) {
+      auto target_svc = sharded->Shard(target);
+      if (target_svc != nullptr && target_svc->profiles().Get(victim).ok()) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    QP_ASSERT_OK(sharded->RemoveProfile(victim));
+    shadow.erase(victim);
+    QP_ASSERT_OK(sharded->Shard(source)->profiles().Checkpoint());
+    resharder.join();
+    grow = grow == 4 ? 2 : 4;
+  }
+
+  EXPECT_GE(sharded->migration_stats().copy_restarts, 1u);
+  ExpectExactlyShadow(sharded.get(), shadow);
+}
+
 TEST_F(ReshardTest, JournalResolutionDropsUncommittedPartialCopy) {
   auto sharded = MustOpen(Options(2));
   ASSERT_NE(sharded, nullptr);
