@@ -22,7 +22,9 @@
 #include "qp/exec/executor.h"
 #include "qp/data/movie_db.h"
 #include "qp/data/paper_example.h"
+#include "qp/obs/flight_recorder.h"
 #include "qp/obs/metrics.h"
+#include "qp/obs/slo.h"
 #include "qp/obs/trace.h"
 #include "qp/pref/profile_learner.h"
 #include "qp/query/sql_parser.h"
@@ -176,6 +178,10 @@ class Shell {
       Reshard(arg);
     } else if (command == "migrations") {
       PrintMigrations();
+    } else if (command == "blackbox") {
+      PrintBlackbox(arg);
+    } else if (command == "slo") {
+      PrintSlo();
     } else if (command == "route") {
       Route(arg);
     } else {
@@ -221,6 +227,13 @@ class Shell {
         "  \\trace on|off       capture per-request pipeline traces during\n"
         "                      \\batch\n"
         "  \\explain            span tree of the last traced request\n"
+        "  \\blackbox [json|clear]  flight recorder — the last few\n"
+        "                      thousand notable events (trace summaries,\n"
+        "                      fault fires, breaker flips, quarantines,\n"
+        "                      migration phases) as a table or JSON\n"
+        "  \\slo                rolling-window availability/latency\n"
+        "                      objectives and burn rates (per shard with\n"
+        "                      a cluster open; else the last \\batch)\n"
         "robustness:\n"
         "  \\chaos <seed>|off   arm a deterministic random fault schedule\n"
         "                      over every fault site (same seed, same\n"
@@ -243,7 +256,8 @@ class Shell {
         "                      per-partition copy -> WAL tail -> dual-write\n"
         "                      -> atomic cutover, serving throughout\n"
         "  \\migrations         migration counters + routing version + any\n"
-        "                      journaled in-flight partition moves\n"
+        "                      journaled in-flight partition moves + the\n"
+        "                      span tree of the last partition migration\n"
         "  \\route <user>       the user's partition/owner shard + per-shard\n"
         "                      resident key counts\n"
         "  \\quit\n");
@@ -525,6 +539,7 @@ class Shell {
       responses = service.PersonalizeBatchAndWait(requests);
       last_stats_ = service.stats();
       last_workers_ = service.num_workers();
+      last_slo_ = service.SloStatus();
       have_stats_ = true;
       service.set_trace_sink(nullptr);
     }
@@ -791,6 +806,93 @@ class Shell {
                     entry.partition, entry.source, entry.target);
       }
     }
+    std::shared_ptr<const obs::RequestTrace> last =
+        sharded_->last_migration_trace();
+    if (last != nullptr) {
+      std::printf("last migration (trace %016llx):\n%s",
+                  static_cast<unsigned long long>(last->trace_id()),
+                  last->ToString().c_str());
+    }
+  }
+
+  /// \blackbox [json|clear]: the in-memory flight recorder — the crash-
+  /// forensics ring of recent notable events across every subsystem.
+  void PrintBlackbox(const std::string& arg) {
+    obs::FlightRecorder* recorder = obs::FlightRecorder::Global();
+    if (arg == "clear") {
+      recorder->Clear();
+      std::printf("flight recorder cleared\n");
+      return;
+    }
+    std::vector<obs::FlightEvent> events = recorder->Dump();
+    if (arg == "json") {
+      std::printf("%s\n", obs::FlightRecorder::ToJson(events).c_str());
+      return;
+    }
+    if (!arg.empty()) {
+      std::printf("usage: \\blackbox [json|clear]\n");
+      return;
+    }
+    if (events.empty()) {
+      std::printf("flight recorder empty — run a \\batch (or \\chaos + "
+                  "\\batch) first\n");
+      return;
+    }
+    for (const obs::FlightEvent& event : events) {
+      std::printf("%6llu %-18s %-24s %-24s a=%llu b=%llu",
+                  static_cast<unsigned long long>(event.sequence),
+                  obs::FlightEventTypeName(event.type),
+                  std::string(event.what_view()).c_str(),
+                  std::string(event.detail_view()).c_str(),
+                  static_cast<unsigned long long>(event.a),
+                  static_cast<unsigned long long>(event.b));
+      if (event.trace_id != 0) {
+        std::printf(" trace=%016llx",
+                    static_cast<unsigned long long>(event.trace_id));
+      }
+      std::printf("\n");
+    }
+    std::printf("%zu events retained (%llu recorded in total)\n",
+                events.size(),
+                static_cast<unsigned long long>(recorder->total_recorded()));
+  }
+
+  /// \slo: rolling-window availability/latency objectives. With a
+  /// cluster open: one live row per shard. Otherwise: the snapshot taken
+  /// at the end of the last \batch (the in-process service is transient,
+  /// so its window dies with it).
+  void PrintSlo() {
+    auto row = [](const char* label, const obs::SloSnapshot& s,
+                  const obs::SloOptions& o) {
+      std::printf(
+          "%s: availability %.4f (target %.3f, burn %.2f), "
+          "latency<%.0fms %.4f (target %.3f, burn %.2f), %llu requests "
+          "in window\n",
+          label, s.availability, o.availability_target,
+          s.availability_burn_rate, o.latency_millis, s.latency_attainment,
+          o.latency_target, s.latency_burn_rate,
+          static_cast<unsigned long long>(s.window_requests));
+    };
+    if (sharded_ != nullptr) {
+      for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+        std::shared_ptr<PersonalizationService> shard = sharded_->Shard(i);
+        char label[32];
+        std::snprintf(label, sizeof(label), "shard %zu", i);
+        if (shard == nullptr) {
+          std::printf("%s: DOWN\n", label);
+          continue;
+        }
+        row(label, shard->SloStatus(), shard->options().slo);
+      }
+      std::printf("burn rate = error budget consumption speed; 1.0 is "
+                  "exactly on budget, >1 is eating into it\n");
+      return;
+    }
+    if (!have_stats_) {
+      std::printf("no SLO window yet — run a \\batch first\n");
+      return;
+    }
+    row("last batch", last_slo_, ServiceOptions().slo);
   }
 
   /// \route <user>: the user's partition + owner shard, then the
@@ -1002,6 +1104,7 @@ class Shell {
   size_t degrade_queue_depth_ = 0;
   ServiceStats last_stats_;
   size_t last_workers_ = 0;
+  obs::SloSnapshot last_slo_;
   bool have_stats_ = false;
   // Observability state shared across \batch services: the registry they
   // publish into (\metrics) and the last-trace sink (\trace, \explain).

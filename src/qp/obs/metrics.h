@@ -140,18 +140,47 @@ enum class ExportFormat {
   kPrometheus,
 };
 
+/// A dimension attached to a metric series. The key set is closed —
+/// `shard`, `partition`, `disposition`, `tier` — which is what keeps the
+/// cardinality budget bounded by construction: shards and partitions are
+/// deployment-sized, dispositions and tiers are enums. Unknown keys are
+/// dropped at registration rather than minted into new series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// The closed label-key set, sorted.
+bool IsAllowedLabelKey(std::string_view key);
+
+/// One labeled series in a snapshot.
+template <typename V>
+struct LabeledSample {
+  std::string name;
+  MetricLabels labels;  // Canonical: sorted by key, allowed keys only.
+  V value;
+};
+
 /// A full registry snapshot, ordered by name (deterministic exports).
+/// Unlabeled series keep the flat vectors (and their emission format)
+/// from the single-node plane; labeled series ride in their own
+/// sections.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<LabeledSample<uint64_t>> labeled_counters;
+  std::vector<LabeledSample<double>> labeled_gauges;
+  std::vector<LabeledSample<HistogramSnapshot>> labeled_histograms;
+  /// name -> HELP text (emitted escaped).
+  std::vector<std::pair<std::string, std::string>> help;
 
   /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   /// "sum":..,"p50":..,"p95":..,"p99":..,"buckets":[[le,count],..]}}} on
-  /// one line.
+  /// one line; when labeled series exist a trailing "labeled" section
+  /// holds them as sub-objects: {"labeled":{"counters":{"name":[
+  /// {"labels":{"shard":"0"},"value":3},..]},..}}.
   std::string ToJson() const;
-  /// `# TYPE` headers plus one sample per line; histograms emit
-  /// cumulative `_bucket{le="..."}` samples, `_sum` and `_count`.
+  /// `# HELP`/`# TYPE` headers plus one sample per line; histograms emit
+  /// cumulative `_bucket{le="..."}` samples, `_sum` and `_count`. Label
+  /// values and help text are escaped per the exposition format.
   std::string ToPrometheusText() const;
   std::string Export(ExportFormat format) const;
 };
@@ -171,16 +200,40 @@ class MetricsRegistry {
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
 
+  /// Labeled series: the same name with different label values is a
+  /// distinct instrument. Keys outside the allowed set are dropped;
+  /// an empty (post-filter) label set is the unlabeled instrument.
+  Counter* counter(std::string_view name, const MetricLabels& labels);
+  Gauge* gauge(std::string_view name, const MetricLabels& labels);
+  Histogram* histogram(std::string_view name, const MetricLabels& labels);
+
+  /// HELP text for a metric family, emitted (escaped) ahead of its
+  /// `# TYPE` line in the Prometheus export.
+  void SetHelp(std::string_view name, std::string_view help);
+
   MetricsSnapshot Snapshot() const;
   std::string Export(ExportFormat format) const {
     return Snapshot().Export(format);
   }
 
  private:
+  template <typename T>
+  struct Labeled {
+    MetricLabels labels;
+    std::unique_ptr<T> instrument;
+  };
+  /// Key: name + canonical label encoding (deterministic iteration).
+  template <typename T>
+  using LabeledMap = std::map<std::string, Labeled<T>, std::less<>>;
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  LabeledMap<Counter> labeled_counters_;
+  LabeledMap<Gauge> labeled_gauges_;
+  LabeledMap<Histogram> labeled_histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace obs

@@ -1,0 +1,79 @@
+#include "qp/obs/slo.h"
+
+#include <chrono>
+
+namespace qp {
+namespace obs {
+
+SloTracker::SloTracker(SloOptions options) : options_(options) {
+  if (options_.buckets < 2) options_.buckets = 2;
+  if (options_.bucket_nanos < 1) options_.bucket_nanos = 1;
+  buckets_ = std::vector<Bucket>(static_cast<size_t>(options_.buckets));
+}
+
+int64_t SloTracker::Now() const {
+  if (options_.now_nanos != nullptr) return options_.now_nanos();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SloTracker::Record(bool served, double latency_millis) {
+  const int64_t epoch = Now() / options_.bucket_nanos;
+  Bucket& bucket = BucketFor(epoch);
+  int64_t current = bucket.epoch.load(std::memory_order_relaxed);
+  if (current != epoch) {
+    // This slot last held a bucket a full window ago; recycle it. The
+    // CAS winner zeroes, losers fall through and count into the fresh
+    // bucket. A straggler from the old epoch racing past the CAS can
+    // leak one count into the new epoch — bounded, documented error.
+    if (bucket.epoch.compare_exchange_strong(current, epoch,
+                                             std::memory_order_relaxed)) {
+      bucket.requests.store(0, std::memory_order_relaxed);
+      bucket.served.store(0, std::memory_order_relaxed);
+      bucket.fast.store(0, std::memory_order_relaxed);
+    }
+  }
+  bucket.requests.fetch_add(1, std::memory_order_relaxed);
+  if (served) bucket.served.fetch_add(1, std::memory_order_relaxed);
+  if (latency_millis <= options_.latency_millis) {
+    bucket.fast.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SloSnapshot SloTracker::Evaluate() const {
+  const int64_t epoch = Now() / options_.bucket_nanos;
+  const int64_t oldest = epoch - static_cast<int64_t>(buckets_.size()) + 1;
+  SloSnapshot snapshot;
+  for (const Bucket& bucket : buckets_) {
+    const int64_t bucket_epoch = bucket.epoch.load(std::memory_order_relaxed);
+    if (bucket_epoch < oldest || bucket_epoch > epoch) continue;
+    snapshot.window_requests +=
+        bucket.requests.load(std::memory_order_relaxed);
+    snapshot.window_served += bucket.served.load(std::memory_order_relaxed);
+    snapshot.window_fast += bucket.fast.load(std::memory_order_relaxed);
+  }
+  if (snapshot.window_requests == 0) return snapshot;
+  const double requests = static_cast<double>(snapshot.window_requests);
+  snapshot.availability = static_cast<double>(snapshot.window_served) / requests;
+  snapshot.latency_attainment =
+      static_cast<double>(snapshot.window_fast) / requests;
+  const double availability_budget = 1.0 - options_.availability_target;
+  const double latency_budget = 1.0 - options_.latency_target;
+  if (availability_budget > 0.0) {
+    snapshot.availability_burn_rate =
+        (1.0 - snapshot.availability) / availability_budget;
+  } else {
+    snapshot.availability_burn_rate = snapshot.availability < 1.0 ? 1e9 : 0.0;
+  }
+  if (latency_budget > 0.0) {
+    snapshot.latency_burn_rate =
+        (1.0 - snapshot.latency_attainment) / latency_budget;
+  } else {
+    snapshot.latency_burn_rate = snapshot.latency_attainment < 1.0 ? 1e9 : 0.0;
+  }
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace qp

@@ -1,0 +1,85 @@
+#ifndef QP_OBS_SLO_H_
+#define QP_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace qp {
+namespace obs {
+
+/// Rolling-window service-level objectives. Two objectives, both over
+/// the same window:
+///   availability: fraction of requests served (full or degraded — not
+///     shed, not deadline-exceeded, not errored) >= availability_target.
+///   latency: fraction of requests under latency_millis >=
+///     latency_target.
+/// The burn rate is observed badness over allowed badness: with a
+/// 99.9% target the error budget is 0.1%, so a window error rate of
+/// 0.5% is a burn rate of 5 — the budget is being consumed 5x faster
+/// than the objective allows. Burn 1.0 = exactly on budget; < 1 =
+/// healthy; the classic paging thresholds are ~14 (fast burn) and ~2
+/// (slow burn).
+struct SloOptions {
+  double availability_target = 0.999;
+  double latency_target = 0.99;
+  double latency_millis = 250.0;
+  /// Rolling window = bucket_nanos * buckets (default 60 x 1s = 1min —
+  /// short enough that a qpshell session or test sees it move).
+  int64_t bucket_nanos = 1'000'000'000;
+  int buckets = 60;
+  /// Injectable time source (tests); nullptr = steady_clock.
+  int64_t (*now_nanos)() = nullptr;
+};
+
+/// A point-in-time evaluation of the objectives.
+struct SloSnapshot {
+  uint64_t window_requests = 0;
+  uint64_t window_served = 0;
+  uint64_t window_fast = 0;
+  double availability = 1.0;         // served / requests (1.0 when idle).
+  double latency_attainment = 1.0;   // fast / requests.
+  double availability_burn_rate = 0.0;
+  double latency_burn_rate = 0.0;
+};
+
+/// Tracks the objectives over a rolling bucket ring. Record is a few
+/// relaxed atomic increments (one epoch check + three adds) — no lock,
+/// so it sits on the request hot path. Bucket recycling under
+/// concurrent writers is racy by design: an increment landing in a
+/// bucket mid-reset can be lost, which bounds the error at one bucket's
+/// worth of a 60-bucket window. Evaluation sums the buckets whose epoch
+/// is inside the window.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = SloOptions());
+
+  /// `served` = the request produced an answer (full/degraded);
+  /// `latency_millis` = wall time, compared against the objective.
+  void Record(bool served, double latency_millis);
+
+  SloSnapshot Evaluate() const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct alignas(64) Bucket {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> fast{0};
+  };
+
+  int64_t Now() const;
+  Bucket& BucketFor(int64_t epoch) {
+    return buckets_[static_cast<size_t>(epoch) % buckets_.size()];
+  }
+
+  SloOptions options_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace obs
+}  // namespace qp
+
+#endif  // QP_OBS_SLO_H_

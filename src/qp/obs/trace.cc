@@ -1,5 +1,7 @@
 #include "qp/obs/trace.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 namespace qp {
@@ -35,7 +37,39 @@ std::string FormatMillis(double millis) {
   return buffer;
 }
 
+std::string FormatId(uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+/// SplitMix64 finalizer: any bit change in the input flips each output
+/// bit with probability ~1/2. Turns the sequential id counter into ids
+/// that double as uniform hashes (HeadSampled uses them directly).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> next{1};
+  uint64_t id = Mix(next.fetch_add(1, std::memory_order_relaxed));
+  // 0 is the "no id" sentinel; the mix maps exactly one input there.
+  return id != 0 ? id : 1;
+}
+
+bool HeadSampled(uint64_t trace_id, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // Top 53 bits as a uniform unit double; the id is already avalanched.
+  double unit = static_cast<double>(trace_id >> 11) * 0x1.0p-53;
+  return unit < rate;
+}
 
 uint64_t TraceSpan::counter(std::string_view name) const {
   for (const auto& [key, value] : counters) {
@@ -55,6 +89,9 @@ size_t RequestTrace::StartSpan(std::string name) {
   TraceSpan span;
   span.name = std::move(name);
   span.depth = static_cast<int>(open_.size());
+  span.span_id = NewTraceId();
+  span.parent_span_id = open_.empty() ? root_parent_span_id_
+                                      : spans_[open_.back()].span_id;
   span.start_millis = SinceStartMillis();
   spans_.push_back(std::move(span));
   open_.push_back(spans_.size() - 1);
@@ -95,7 +132,8 @@ const TraceSpan* RequestTrace::FindSpan(std::string_view name) const {
 }
 
 std::string RequestTrace::ToString() const {
-  std::string out = "trace: disposition=" + disposition_;
+  std::string out = "trace " + FormatId(trace_id_) +
+                    ": disposition=" + disposition_;
   if (!stopped_phase_.empty()) out += " stopped_in=" + stopped_phase_;
   out += " total=" + FormatMillis(total_millis_) + " ms\n";
   for (const TraceSpan& span : spans_) {
@@ -110,7 +148,11 @@ std::string RequestTrace::ToString() const {
 }
 
 std::string RequestTrace::ToJson() const {
-  std::string out = "{\"disposition\":";
+  std::string out = "{\"trace_id\":";
+  AppendJsonString(FormatId(trace_id_), &out);
+  out += ",\"root_parent_span_id\":";
+  AppendJsonString(FormatId(root_parent_span_id_), &out);
+  out += ",\"disposition\":";
   AppendJsonString(disposition_, &out);
   out += ",\"stopped_phase\":";
   AppendJsonString(stopped_phase_, &out);
@@ -122,6 +164,10 @@ std::string RequestTrace::ToJson() const {
     out += "{\"name\":";
     AppendJsonString(span.name, &out);
     out += ",\"depth\":" + std::to_string(span.depth);
+    out += ",\"span_id\":";
+    AppendJsonString(FormatId(span.span_id), &out);
+    out += ",\"parent_span_id\":";
+    AppendJsonString(FormatId(span.parent_span_id), &out);
     out += ",\"start_ms\":" + FormatMillis(span.start_millis);
     out += ",\"duration_ms\":" + FormatMillis(span.duration_millis);
     out += ",\"counters\":{";
@@ -145,6 +191,45 @@ void LastTraceSink::Consume(RequestTrace trace) {
 std::shared_ptr<const RequestTrace> LastTraceSink::last() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return last_;
+}
+
+void FragmentTraceSink::Consume(RequestTrace trace) {
+  auto shared = std::make_shared<const RequestTrace>(std::move(trace));
+  const uint64_t id = shared->trace_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [trace_id, fragments] : traces_) {
+    if (trace_id == id) {
+      fragments.push_back(std::move(shared));
+      return;
+    }
+  }
+  traces_.emplace_back(
+      id, std::vector<std::shared_ptr<const RequestTrace>>{std::move(shared)});
+  if (traces_.size() > capacity_) traces_.erase(traces_.begin());
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> FragmentTraceSink::Fragments(
+    uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, fragments] : traces_) {
+    if (id == trace_id) return fragments;
+  }
+  return {};
+}
+
+std::vector<uint64_t> FragmentTraceSink::TraceIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> ids;
+  ids.reserve(traces_.size());
+  for (const auto& [id, fragments] : traces_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> FragmentTraceSink::Last()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (traces_.empty()) return {};
+  return traces_.back().second;
 }
 
 }  // namespace obs

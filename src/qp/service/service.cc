@@ -1,12 +1,14 @@
 #include "qp/service/service.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "qp/core/query_signature.h"
 #include "qp/core/selection.h"
+#include "qp/obs/flight_recorder.h"
 #include "qp/util/fault_hub.h"
 #include "qp/util/timer.h"
 
@@ -82,29 +84,64 @@ PersonalizationService::PersonalizationService(
              metrics_),
       cache_enabled_(options.cache_capacity > 0),
       pool_(options.num_workers > 0 ? options.num_workers
-                                    : std::thread::hardware_concurrency()) {
+                                    : std::thread::hardware_concurrency()),
+      slo_(options.slo) {
   // Concurrent workers share the database read-only; build every lazy
   // column index up front so Lookup never mutates under them.
   db_->WarmIndexes();
-  inst_.requests = metrics_->counter("qp_service_requests_total");
-  inst_.batches = metrics_->counter("qp_service_batches_total");
-  inst_.errors = metrics_->counter("qp_service_errors_total");
-  inst_.cache_hits = metrics_->counter("qp_service_cache_hits_total");
-  inst_.cache_misses = metrics_->counter("qp_service_cache_misses_total");
-  inst_.cache_bypasses = metrics_->counter("qp_service_cache_bypasses_total");
-  inst_.shed = metrics_->counter("qp_service_shed_total");
-  inst_.deadline_exceeded =
-      metrics_->counter("qp_service_deadline_exceeded_total");
-  inst_.degraded = metrics_->counter("qp_service_degraded_total");
-  inst_.full = metrics_->counter("qp_service_full_total");
-  inst_.max_queue_depth = metrics_->gauge("qp_service_max_queue_depth");
-  inst_.request_seconds = metrics_->histogram("qp_service_request_seconds");
+  // A shard of a cluster labels its instruments {shard="<id>"} so every
+  // shard shares one registry without the stat re-homing the sharded
+  // front end used to do; a standalone service keeps the flat names.
+  obs::MetricLabels labels;
+  if (options_.shard_id >= 0) {
+    labels.emplace_back("shard", std::to_string(options_.shard_id));
+  }
+  auto counter = [&](const char* name) {
+    return metrics_->counter(name, labels);
+  };
+  inst_.requests = counter("qp_service_requests_total");
+  inst_.batches = counter("qp_service_batches_total");
+  inst_.errors = counter("qp_service_errors_total");
+  inst_.cache_hits = counter("qp_service_cache_hits_total");
+  inst_.cache_misses = counter("qp_service_cache_misses_total");
+  inst_.cache_bypasses = counter("qp_service_cache_bypasses_total");
+  inst_.shed = counter("qp_service_shed_total");
+  inst_.deadline_exceeded = counter("qp_service_deadline_exceeded_total");
+  inst_.degraded = counter("qp_service_degraded_total");
+  inst_.full = counter("qp_service_full_total");
+  auto disposition_counter = [&](const char* disposition) {
+    obs::MetricLabels with_disposition = labels;
+    with_disposition.emplace_back("disposition", disposition);
+    return metrics_->counter("qp_service_requests_by_disposition_total",
+                             with_disposition);
+  };
+  inst_.disp_full = disposition_counter("full");
+  inst_.disp_degraded = disposition_counter("degraded");
+  inst_.disp_shed = disposition_counter("shed");
+  inst_.disp_deadline_exceeded = disposition_counter("deadline_exceeded");
+  inst_.disp_error = disposition_counter("error");
+  inst_.max_queue_depth =
+      metrics_->gauge("qp_service_max_queue_depth", labels);
+  inst_.request_seconds =
+      metrics_->histogram("qp_service_request_seconds", labels);
   inst_.selection_seconds =
-      metrics_->histogram("qp_service_selection_seconds");
+      metrics_->histogram("qp_service_selection_seconds", labels);
   inst_.integration_seconds =
-      metrics_->histogram("qp_service_integration_seconds");
+      metrics_->histogram("qp_service_integration_seconds", labels);
   inst_.execution_seconds =
-      metrics_->histogram("qp_service_execution_seconds");
+      metrics_->histogram("qp_service_execution_seconds", labels);
+  metrics_->SetHelp("qp_service_requests_total",
+                    "Requests admitted (counted at admission; dispositions "
+                    "resolve later).");
+  metrics_->SetHelp("qp_service_requests_by_disposition_total",
+                    "Requests by final disposition: full | degraded | shed | "
+                    "deadline_exceeded | error.");
+  metrics_->SetHelp("qp_service_request_seconds",
+                    "End-to-end request latency (seconds), queue wait "
+                    "included.");
+  // The flight recorder wants fault fires even when the storage layer
+  // (whose static registrar usually installs the hook) is not linked in.
+  FaultHub::SetFireListener(&obs::RecordFaultFire);
 }
 
 Result<std::unique_ptr<PersonalizationService>>
@@ -147,14 +184,39 @@ bool PersonalizationService::TryAdmit() {
   return true;
 }
 
-void PersonalizationService::TraceUnranRequest(const char* disposition,
-                                               const char* phase) {
+void PersonalizationService::TraceUnranRequest(
+    const char* disposition, const char* phase,
+    const obs::TraceContext* context) {
   if (!obs::kTracingCompiledIn) return;
+  // An unserved request attains neither objective.
+  slo_.Record(/*served=*/false,
+              std::numeric_limits<double>::infinity());
   obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
   if (sink == nullptr) return;
-  obs::RequestTrace trace;
+  // Tail-keep rules: shed / queue-expired requests are kept even when
+  // not head-sampled — they are exactly the traces an overload
+  // post-mortem needs.
+  const obs::SamplingPolicy& policy = options_.sampling;
+  const std::string_view what = disposition;
+  bool keep = context != nullptr && context->valid() && context->sampled;
+  if (!keep && what == "shed") keep = policy.keep_shed;
+  if (!keep && what == "deadline_exceeded") {
+    keep = policy.keep_deadline_exceeded;
+  }
+  if (!keep) return;
+  obs::RequestTrace trace = context != nullptr && context->valid()
+                                ? obs::RequestTrace(*context)
+                                : obs::RequestTrace();
   trace.SetDisposition(disposition, phase);
+  obs::RecordTraceSummary(trace);
   sink->Consume(std::move(trace));
+}
+
+double PersonalizationService::SlowTraceThresholdMillis() const {
+  if (options_.sampling.slow_millis > 0.0) {
+    return options_.sampling.slow_millis;
+  }
+  return slow_p99_millis_.load(std::memory_order_relaxed);
 }
 
 PersonalizationResponse PersonalizationService::PersonalizeOne(
@@ -167,7 +229,9 @@ PersonalizationResponse PersonalizationService::PersonalizeOne(
     response.disposition = RequestDisposition::kDeadlineExceeded;
     inst_.requests->Add(1);
     inst_.deadline_exceeded->Add(1);
-    TraceUnranRequest("deadline_exceeded", "admission");
+    inst_.disp_deadline_exceeded->Add(1);
+    TraceUnranRequest("deadline_exceeded", "admission",
+                      &request.trace_context);
     return response;
   }
   return PersonalizeInternal(request, &cancel, /*degrade=*/false);
@@ -179,12 +243,42 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
   inst_.requests->Add(1);
   obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
   std::optional<obs::RequestTrace> trace;
-  if (obs::kTracingCompiledIn && sink != nullptr) trace.emplace();
+  // Where the trace context comes from decides who sampled: a valid
+  // context means an upstream edge (the shard router) already made the
+  // head decision and this service only honors it; an empty one makes
+  // this service the edge — it mints the trace id and flips the head
+  // coin itself. Either way the id exists before the pipeline runs, so
+  // a tail-kept trace can still join its distributed family.
+  obs::TraceContext context = request.trace_context;
+  bool tail_candidate = false;
+  // Fault-fire watermark for the tail rule; the sentinel means "not
+  // watching" (hub disarmed or the rule is off) so the common path
+  // never takes the hub's shared lock.
+  constexpr uint64_t kNotWatching = ~uint64_t{0};
+  uint64_t fires_before = kNotWatching;
+  if (obs::kTracingCompiledIn && sink != nullptr) {
+    if (!context.valid()) {
+      context.trace_id = obs::NewTraceId();
+      context.parent_span_id = 0;
+      context.sampled =
+          obs::HeadSampled(context.trace_id, options_.sampling.head_rate);
+    }
+    if (context.sampled) {
+      trace.emplace(context);
+    } else {
+      tail_candidate = true;
+      if (options_.sampling.keep_fault_fired &&
+          FaultHub::Global()->armed()) {
+        fires_before = FaultHub::Global()->total_fires();
+      }
+    }
+  }
 
   WallTimer timer;
   PersonalizationResponse response = RunPipeline(
       request, cancel, degrade, trace.has_value() ? &*trace : nullptr);
-  inst_.request_seconds->RecordMillis(timer.ElapsedMillis());
+  const double elapsed_millis = timer.ElapsedMillis();
+  inst_.request_seconds->RecordMillis(elapsed_millis);
 
   // Exactly one disposition counter per request; the admission paths
   // (shed, expired-in-queue) count theirs at their own sites. `requests`
@@ -192,18 +286,35 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
   // that order for its accounting identity.
   if (!response.status.ok()) {
     inst_.errors->Add(1);
+    inst_.disp_error->Add(1);
   } else if (response.disposition == RequestDisposition::kDegraded) {
     inst_.degraded->Add(1);
+    inst_.disp_degraded->Add(1);
   } else {
     inst_.full->Add(1);
+    inst_.disp_full->Add(1);
   }
 
-  if (trace.has_value()) {
+  if (obs::kTracingCompiledIn) {
+    slo_.Record(response.status.ok(), elapsed_millis);
+    // The slow-trace threshold tracks the live p99; refresh the cached
+    // copy every 1024 completions so the tail rule costs one relaxed
+    // load per request, not a histogram merge.
+    const uint64_t done = completed_.fetch_add(1, std::memory_order_relaxed);
+    if ((done & 1023u) == 1023u && options_.sampling.slow_millis <= 0.0) {
+      slow_p99_millis_.store(inst_.request_seconds->Snapshot().p99() * 1e3,
+                             std::memory_order_relaxed);
+    }
+  }
+
+  if (sink != nullptr && (trace.has_value() || tail_candidate)) {
     std::string phase;
     if (!response.status.ok()) {
-      // The last span opened is where the pipeline stopped.
-      phase = trace->spans().empty() ? "admission"
-                                     : trace->spans().back().name;
+      // The last span opened is where the pipeline stopped. A tail-kept
+      // trace ran without spans, so its stop phase is unknown.
+      phase = !trace.has_value()            ? ""
+              : trace->spans().empty()      ? "admission"
+                                            : trace->spans().back().name;
     } else if (response.disposition == RequestDisposition::kDegraded) {
       if (response.outcome.selection_stats.degraded) {
         phase = "preference_selection";
@@ -213,10 +324,43 @@ PersonalizationResponse PersonalizationService::PersonalizeInternal(
         phase = "admission";  // K stepped down under queue pressure.
       }
     }
-    trace->SetDisposition(
-        response.status.ok() ? ToString(response.disposition) : "error",
-        std::move(phase));
-    sink->Consume(std::move(*trace));
+    const char* disposition =
+        response.status.ok() ? ToString(response.disposition) : "error";
+    if (trace.has_value()) {
+      trace->SetDisposition(disposition, std::move(phase));
+      obs::RecordTraceSummary(*trace);
+      sink->Consume(std::move(*trace));
+    } else {
+      // Tail rules: resurrect a minimal (span-less) trace for outcomes
+      // the head coin must never lose — errors, degradations, slow
+      // requests, and anything a chaos fault touched.
+      const obs::SamplingPolicy& policy = options_.sampling;
+      bool keep = false;
+      if (!response.status.ok()) {
+        keep = policy.keep_errors;
+      } else if (response.disposition == RequestDisposition::kDegraded) {
+        keep = policy.keep_degraded;
+      } else if (response.disposition == RequestDisposition::kShed) {
+        keep = policy.keep_shed;
+      } else if (response.disposition ==
+                 RequestDisposition::kDeadlineExceeded) {
+        keep = policy.keep_deadline_exceeded;
+      }
+      if (!keep) {
+        const double slow = SlowTraceThresholdMillis();
+        keep = slow > 0.0 && elapsed_millis >= slow;
+      }
+      if (!keep && fires_before != kNotWatching &&
+          FaultHub::Global()->total_fires() > fires_before) {
+        keep = true;
+      }
+      if (keep) {
+        obs::RequestTrace tail(context);
+        tail.SetDisposition(disposition, std::move(phase));
+        obs::RecordTraceSummary(tail);
+        sink->Consume(std::move(tail));
+      }
+    }
   }
   return response;
 }
@@ -227,9 +371,14 @@ PersonalizationResponse PersonalizationService::RunPipeline(
   PersonalizationResponse response;
 
   // A sharded deployment stamps which shard served the request on its
-  // trace — the marker the router's observability contract promises.
-  if (options_.shard_id >= 0 && trace != nullptr) {
-    obs::ScopedSpan shard_span(trace, "shard");
+  // trace, and holds the span open across the whole pipeline so the
+  // phase spans nest under it — the distributed tree then reads
+  // router → shard → profile_lookup/cache/selection/execution. A
+  // standalone service (shard_id < 0) keeps its phase spans as roots,
+  // exactly the shape the single-node tooling expects.
+  obs::ScopedSpan shard_span(options_.shard_id >= 0 ? trace : nullptr,
+                             "shard");
+  if (options_.shard_id >= 0) {
     shard_span.Counter("id", static_cast<uint64_t>(options_.shard_id));
   }
 
@@ -430,7 +579,8 @@ PersonalizationService::PersonalizeBatch(
       shed.disposition = RequestDisposition::kShed;
       inst_.requests->Add(1);
       inst_.shed->Add(1);
-      TraceUnranRequest("shed", "admission");
+      inst_.disp_shed->Add(1);
+      TraceUnranRequest("shed", "admission", &request.trace_context);
       std::promise<PersonalizationResponse> promise;
       futures.push_back(promise.get_future());
       promise.set_value(std::move(shed));
@@ -456,7 +606,9 @@ PersonalizationService::PersonalizeBatch(
             response.disposition = RequestDisposition::kDeadlineExceeded;
             inst_.requests->Add(1);
             inst_.deadline_exceeded->Add(1);
-            TraceUnranRequest("deadline_exceeded", "queue");
+            inst_.disp_deadline_exceeded->Add(1);
+            TraceUnranRequest("deadline_exceeded", "queue",
+                              &request.trace_context);
           } else {
             const bool degrade = options_.degrade_queue_depth > 0 &&
                                  depth >= options_.degrade_queue_depth;
@@ -475,7 +627,9 @@ PersonalizationService::PersonalizeBatch(
       shed.disposition = RequestDisposition::kShed;
       inst_.requests->Add(1);
       inst_.shed->Add(1);
-      TraceUnranRequest("shed", "admission");
+      inst_.disp_shed->Add(1);
+      // The request moved into the rejected task; its context is gone.
+      TraceUnranRequest("shed", "admission", nullptr);
       promise->set_value(std::move(shed));
       continue;
     }
@@ -551,6 +705,38 @@ std::string PersonalizationService::DumpMetrics(
         ->Set(static_cast<double>(tier.hot_resident));
     metrics_->gauge("qp_tier_cold_users")
         ->Set(static_cast<double>(tier.cold_users));
+    // The same residency split as a labeled family, so a cluster scrape
+    // can sum/compare tiers without parsing metric names.
+    obs::MetricLabels tier_labels;
+    if (options_.shard_id >= 0) {
+      tier_labels.emplace_back("shard", std::to_string(options_.shard_id));
+    }
+    tier_labels.emplace_back("tier", "hot");
+    metrics_->gauge("qp_tier_resident_users", tier_labels)
+        ->Set(static_cast<double>(tier.hot_resident));
+    tier_labels.back().second = "cold";
+    metrics_->gauge("qp_tier_resident_users", tier_labels)
+        ->Set(static_cast<double>(tier.cold_users));
+  }
+  if (obs::kTracingCompiledIn) {
+    obs::MetricLabels slo_labels;
+    if (options_.shard_id >= 0) {
+      slo_labels.emplace_back("shard", std::to_string(options_.shard_id));
+    }
+    const obs::SloSnapshot slo = slo_.Evaluate();
+    metrics_->gauge("qp_slo_availability", slo_labels)
+        ->Set(slo.availability);
+    metrics_->gauge("qp_slo_availability_burn_rate", slo_labels)
+        ->Set(slo.availability_burn_rate);
+    metrics_->gauge("qp_slo_latency_attainment", slo_labels)
+        ->Set(slo.latency_attainment);
+    metrics_->gauge("qp_slo_latency_burn_rate", slo_labels)
+        ->Set(slo.latency_burn_rate);
+    metrics_->gauge("qp_slo_window_requests", slo_labels)
+        ->Set(static_cast<double>(slo.window_requests));
+    metrics_->SetHelp("qp_slo_availability_burn_rate",
+                      "Error-budget burn multiple over the rolling window "
+                      "(1.0 = burning exactly the budget).");
   }
   return metrics_->Export(format);
 }

@@ -13,6 +13,7 @@
 #include "qp/core/personalizer.h"
 #include "qp/exec/executor.h"
 #include "qp/obs/metrics.h"
+#include "qp/obs/slo.h"
 #include "qp/obs/trace.h"
 #include "qp/relational/database.h"
 #include "qp/service/profile_store.h"
@@ -59,8 +60,17 @@ struct ServiceOptions {
   obs::MetricsRegistry* metrics = nullptr;
   /// Set by the sharded front end: this service is shard `shard_id` of a
   /// ShardedPersonalizationService. >= 0 stamps a "shard" span (with the
-  /// id) on every request trace; -1 (default) = standalone service.
+  /// id) on every request trace and labels this shard's qp_service_*
+  /// instruments with {shard="<id>"}; -1 (default) = standalone service.
   int shard_id = -1;
+  /// Trace sampling: head rate + tail-keep rules (see
+  /// obs::SamplingPolicy). The default traces every request, matching
+  /// the single-node plane; clusters dial head_rate down and rely on the
+  /// tail rules to keep the interesting traces.
+  obs::SamplingPolicy sampling;
+  /// Rolling-window availability/latency objectives; evaluated into
+  /// qp_slo_* gauges at DumpMetrics time and via SloStatus().
+  obs::SloOptions slo;
 };
 
 /// One unit of batch work: personalize (and optionally execute) `query`
@@ -82,6 +92,11 @@ struct PersonalizationRequest {
   /// DeriveOptions(*context, options), and — unless deadline_ms is set —
   /// the context's max_latency_ms doubles as the request budget.
   std::optional<QueryContext> context;
+  /// Distributed-trace propagation: set by the router so the shard's
+  /// trace fragment shares the router's trace_id and hangs under its
+  /// router span. Invalid (default) = this service is the trace edge and
+  /// makes its own head-sampling decision.
+  obs::TraceContext trace_context;
 };
 
 /// How the service resolved a request, for overload accounting: every
@@ -227,8 +242,15 @@ class PersonalizationService {
 
   /// Exports the full registry in the given format, first refreshing
   /// sampled gauges (queue depth, inflight, cache size, live WAL segment
-  /// bytes, breaker state) so the dump is a coherent point-in-time view.
+  /// bytes, breaker state, SLO burn rates) so the dump is a coherent
+  /// point-in-time view.
   std::string DumpMetrics(obs::ExportFormat format) const;
+
+  /// The rolling-window SLO evaluation (availability + latency burn
+  /// rates). Also published as qp_slo_* gauges by DumpMetrics.
+  obs::SloSnapshot SloStatus() const { return slo_.Evaluate(); }
+
+  const ServiceOptions& options() const { return options_; }
 
   /// Per-request pipeline tracing: while a sink is attached, every
   /// request carries an obs::RequestTrace through the pipeline — spans
@@ -266,8 +288,16 @@ class PersonalizationService {
                                       obs::RequestTrace* trace);
 
   /// Builds and delivers the minimal trace for a request that never ran
-  /// (shed at admission, expired in queue). No-op without a sink.
-  void TraceUnranRequest(const char* disposition, const char* phase);
+  /// (shed at admission, expired in queue), honouring the sampling
+  /// policy's tail-keep rules, and records the SLO miss. No-op without a
+  /// sink. `context` (may be null) links the trace to the caller's.
+  void TraceUnranRequest(const char* disposition, const char* phase,
+                         const obs::TraceContext* context);
+
+  /// The slow-trace threshold for the tail sampling rule: the policy's
+  /// explicit slow_millis when set, else a cached rolling p99 of
+  /// qp_service_request_seconds (refreshed every 1024 completions).
+  double SlowTraceThresholdMillis() const;
 
   const Database* db_;
   ServiceOptions options_;
@@ -287,6 +317,14 @@ class PersonalizationService {
 
   std::atomic<obs::TraceSink*> trace_sink_{nullptr};
 
+  /// SLO objectives over the request stream (lock-free ring; see
+  /// obs::SloTracker). Shed/expired requests count as unserved.
+  obs::SloTracker slo_;
+  /// Tail-sampling support: completions since start (drives the p99
+  /// refresh cadence) and the cached p99 in millis.
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<double> slow_p99_millis_{0.0};
+
   /// Hot-path registry instruments, resolved once at construction (the
   /// registry hands out stable pointers). Phase latencies live in
   /// histograms; ServiceStats' *_millis sums are the histogram sums.
@@ -301,6 +339,14 @@ class PersonalizationService {
     obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* degraded = nullptr;
     obs::Counter* full = nullptr;
+    /// The labeled mirror of the per-disposition counters: one
+    /// qp_service_requests_by_disposition_total{disposition=...} series
+    /// each (plus the shard label on a sharded deployment).
+    obs::Counter* disp_full = nullptr;
+    obs::Counter* disp_degraded = nullptr;
+    obs::Counter* disp_shed = nullptr;
+    obs::Counter* disp_deadline_exceeded = nullptr;
+    obs::Counter* disp_error = nullptr;
     obs::Gauge* max_queue_depth = nullptr;
     obs::Histogram* request_seconds = nullptr;
     obs::Histogram* selection_seconds = nullptr;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "qp/obs/flight_recorder.h"
 #include "qp/obs/trace.h"
 #include "qp/shard/sharded_service.h"
 #include "qp/storage/profile_backend.h"
@@ -213,7 +214,8 @@ Status ShardMigrator::Abort(uint32_t partition, uint32_t source,
   return cause;
 }
 
-Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
+Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target,
+                                       const obs::TraceContext& parent) {
   auto table = cluster_->RoutingSnapshot();
   if (partition >= table->owner.size()) {
     return Status::InvalidArgument("no partition " + std::to_string(partition));
@@ -224,16 +226,36 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
   const int64_t start_ns = clock_->NowNanos();
   gauge_active_->Add(1.0);
   obs::TraceSink* sink = cluster_->trace_sink_.load(std::memory_order_acquire);
-  obs::RequestTrace trace;
-  obs::RequestTrace* tp = sink != nullptr ? &trace : nullptr;
+  // The migration's own trace, always built (migrations are rare and the
+  // span record is the post-mortem): a fragment of the owning Reshard
+  // operation when `parent` is valid, standalone otherwise. Retained as
+  // last_trace() for \migrations even when no sink is attached.
+  obs::RequestTrace trace(parent);
+  obs::RequestTrace* tp = &trace;
+  // State-machine transitions land in the flight recorder with the
+  // trace id, so a chaos post-mortem can line a fault fire up against
+  // the phase the partition was in when it hit.
+  auto phase_event = [&](const char* name) {
+    obs::RecordFlightEvent(obs::FlightEventType::kMigrationPhase, name,
+                           /*detail=*/"", partition, target,
+                           trace.trace_id());
+  };
   auto finish = [&](Status status) {
     gauge_active_->Add(-1.0);
     metric_partition_seconds_->Record(
         static_cast<double>(clock_->NowNanos() - start_ns) / 1e9);
-    if (sink != nullptr) {
+    phase_event(status.ok() ? "migrated" : "aborted");
+    if (obs::kTracingCompiledIn) {
       trace.SetDisposition(status.ok() ? "migrated" : "migration_aborted",
                            /*stopped_phase=*/"");
-      sink->Consume(std::move(trace));
+      obs::RecordTraceSummary(trace);
+      auto retained =
+          std::make_shared<const obs::RequestTrace>(std::move(trace));
+      {
+        std::lock_guard<std::mutex> guard(last_trace_mutex_);
+        last_trace_ = retained;
+      }
+      if (sink != nullptr) sink->Consume(*retained);
     }
     return status;
   };
@@ -249,13 +271,16 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
   }
 
   auto& ps = *cluster_->partitions_[partition];
-  auto set_phase = [&](int phase) {
-    std::lock_guard<std::mutex> guard(ps.mutex);
-    ps.phase = phase;
-    ps.target = target;
-    ps.dirty.clear();
+  auto set_phase = [&](int phase, const char* name) {
+    {
+      std::lock_guard<std::mutex> guard(ps.mutex);
+      ps.phase = phase;
+      ps.target = target;
+      ps.dirty.clear();
+    }
+    phase_event(name);
   };
-  set_phase(ShardedPersonalizationService::kCopying);
+  set_phase(ShardedPersonalizationService::kCopying, "copying");
 
   uint64_t applied = 0;
   int restarts = 0;
@@ -266,7 +291,7 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
       status = CopyPhase(partition, source, target, &applied, tp);
     }
     if (!status.ok()) return finish(Abort(partition, source, target, status));
-    set_phase(ShardedPersonalizationService::kTailing);
+    set_phase(ShardedPersonalizationService::kTailing, "tailing");
     bool caught_up = false;
     {
       obs::ScopedSpan span(tp, "migrate_tail");
@@ -293,7 +318,7 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
         return finish(Abort(partition, source, target, status));
       }
       applied = 0;
-      set_phase(ShardedPersonalizationService::kCopying);
+      set_phase(ShardedPersonalizationService::kCopying, "copy_restart");
       continue;
     }
     return finish(Abort(partition, source, target, status));
@@ -319,6 +344,7 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
     ps.target = target;
     ps.phase = ShardedPersonalizationService::kDualWrite;
   }
+  phase_event("dual_write");
 
   if (options_.dual_write_hold.count() > 0) {
     clock_->SleepFor(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -353,6 +379,7 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
     ps.target = 0;
     ps.dirty.clear();
   }
+  phase_event("cutover_committed");
 
   // Cleanup outside the barrier: the partition serves from the target
   // now; the source's leftover copies are garbage. A failure here keeps
@@ -372,7 +399,8 @@ Status ShardMigrator::MigratePartition(uint32_t partition, uint32_t target) {
   return finish(Status::Ok());
 }
 
-Status ShardMigrator::MigrateTo(const RoutingTable& plan) {
+Status ShardMigrator::MigrateTo(const RoutingTable& plan,
+                                const obs::TraceContext& parent) {
   auto current = cluster_->RoutingSnapshot();
   if (plan.owner.size() != current->owner.size()) {
     return Status::InvalidArgument(
@@ -383,13 +411,18 @@ Status ShardMigrator::MigrateTo(const RoutingTable& plan) {
   for (uint32_t p = 0; p < plan.owner.size(); ++p) {
     auto table = cluster_->RoutingSnapshot();
     if (table->owner[p] == plan.owner[p]) continue;
-    Status status = MigratePartition(p, plan.owner[p]);
+    Status status = MigratePartition(p, plan.owner[p], parent);
     if (!status.ok() && first_error.ok()) {
       first_error = Status(status.code(), "partition " + std::to_string(p) +
                                               ": " + status.message());
     }
   }
   return first_error;
+}
+
+std::shared_ptr<const obs::RequestTrace> ShardMigrator::last_trace() const {
+  std::lock_guard<std::mutex> guard(last_trace_mutex_);
+  return last_trace_;
 }
 
 }  // namespace shard

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "qp/obs/metrics.h"
@@ -92,13 +93,23 @@ class ShardMigrator {
   /// routing table and `plan`, in partition order. Partitions that
   /// abort are skipped (the rest still migrate); the first failure is
   /// returned, naming its partition. Ok = the cluster now routes by
-  /// `plan`'s ownership.
-  Status MigrateTo(const RoutingTable& plan);
+  /// `plan`'s ownership. `parent` links every per-partition migration
+  /// trace to the owning operation (the Reshard op trace); an invalid
+  /// context leaves each migration a standalone trace.
+  Status MigrateTo(const RoutingTable& plan,
+                   const obs::TraceContext& parent = obs::TraceContext{});
 
   /// One partition end to end; no-op when `target` already owns it.
-  Status MigratePartition(uint32_t partition, uint32_t target);
+  Status MigratePartition(uint32_t partition, uint32_t target,
+                          const obs::TraceContext& parent =
+                              obs::TraceContext{});
 
   MigrationStats stats() const;
+
+  /// The most recent partition migration's per-step trace (copy, tail,
+  /// drain, cutover, cleanup spans with their counters); nullptr before
+  /// the first migration.
+  std::shared_ptr<const obs::RequestTrace> last_trace() const;
 
   /// Mutation-path hook: counts a mirrored write (see dual phase).
   void CountDualWrite() { metric_dual_writes_->Add(1); }
@@ -135,6 +146,9 @@ class ShardMigrator {
   ShardedPersonalizationService* cluster_;
   MigrationOptions options_;
   Clock* clock_;
+
+  mutable std::mutex last_trace_mutex_;
+  std::shared_ptr<const obs::RequestTrace> last_trace_;
 
   obs::Counter* metric_migrated_ = nullptr;
   obs::Counter* metric_aborted_ = nullptr;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "qp/obs/flight_recorder.h"
 #include "qp/storage/durable_profile_store.h"
 #include "qp/util/fault_hub.h"
 #include "qp/util/file.h"
@@ -166,6 +167,21 @@ PersonalizationResponse ShardedPersonalizationService::ShedResponse(
   return response;
 }
 
+obs::TraceContext ShardedPersonalizationService::EdgeContext(
+    const obs::TraceContext& incoming) const {
+  // The router is the cluster's trace edge: an already-valid context
+  // (e.g. a test standing in for an upstream gateway) is honoured as-is;
+  // otherwise the trace id is minted and the head coin flipped here,
+  // once, for the whole distributed request.
+  obs::TraceContext context = incoming;
+  if (!context.valid()) {
+    context.trace_id = obs::NewTraceId();
+    context.sampled = obs::HeadSampled(
+        context.trace_id, options_.service.sampling.head_rate);
+  }
+  return context;
+}
+
 PersonalizationResponse ShardedPersonalizationService::Personalize(
     const PersonalizationRequest& request) {
   metric_requests_->Add(1);
@@ -178,7 +194,34 @@ PersonalizationResponse ShardedPersonalizationService::Personalize(
   if (shard == nullptr) {
     return ShedResponse("shard " + std::to_string(index) + " is down");
   }
-  return shard->PersonalizeOne(request);
+  obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
+  if (!obs::kTracingCompiledIn || sink == nullptr) {
+    return shard->PersonalizeOne(request);
+  }
+  const obs::TraceContext context = EdgeContext(request.trace_context);
+  if (!context.sampled) {
+    // Not head-sampled: the shard still gets the cluster trace id, so a
+    // tail-kept trace joins its distributed family.
+    PersonalizationRequest routed = request;
+    routed.trace_context = context;
+    return shard->PersonalizeOne(routed);
+  }
+  // The router's own fragment: one span covering route + downstream, the
+  // parent every shard-side span tree hangs under.
+  obs::RequestTrace trace(context);
+  obs::ScopedSpan router_span(&trace, "router");
+  router_span.Counter("shard", index);
+  router_span.Counter("partition", PartitionFor(request.user_id));
+  PersonalizationRequest routed = request;
+  routed.trace_context = trace.ContextForSpan(router_span.index());
+  PersonalizationResponse response = shard->PersonalizeOne(routed);
+  router_span.End();
+  trace.SetDisposition(response.status.ok() ? ToString(response.disposition)
+                                            : "error",
+                       /*stopped_phase=*/"");
+  obs::RecordTraceSummary(trace);
+  sink->Consume(std::move(trace));
+  return response;
 }
 
 std::vector<PersonalizationResponse>
@@ -198,6 +241,18 @@ ShardedPersonalizationService::PersonalizeBatchAndWait(
     shards = slots_;
   }
 
+  obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
+  // Router fragments for head-sampled requests, closed after the fan-in
+  // (their "router" span covers queueing + shard work). Indexes into
+  // `responses`; the traces are built via indices, not ScopedSpan, so
+  // vector growth cannot dangle a span handle.
+  struct RouterFragment {
+    size_t response_index;
+    size_t span;
+    obs::RequestTrace trace;
+  };
+  std::vector<RouterFragment> fragments;
+
   // Group request indexes by owner shard; shed dead-shard and
   // fault-routed requests immediately.
   std::unordered_map<size_t, std::vector<size_t>> by_shard;
@@ -212,6 +267,20 @@ ShardedPersonalizationService::PersonalizeBatchAndWait(
       responses[i] =
           ShedResponse("shard " + std::to_string(index) + " is down");
       continue;
+    }
+    if (obs::kTracingCompiledIn && sink != nullptr) {
+      const obs::TraceContext context =
+          EdgeContext(requests[i].trace_context);
+      if (context.sampled) {
+        RouterFragment fragment{i, 0, obs::RequestTrace(context)};
+        fragment.span = fragment.trace.StartSpan("router");
+        fragment.trace.AddCounter(fragment.span, "shard", index);
+        requests[i].trace_context =
+            fragment.trace.ContextForSpan(fragment.span);
+        fragments.push_back(std::move(fragment));
+      } else {
+        requests[i].trace_context = context;
+      }
     }
     by_shard[index].push_back(i);
   }
@@ -233,6 +302,16 @@ ShardedPersonalizationService::PersonalizeBatchAndWait(
     for (size_t j = 0; j < futures.size(); ++j) {
       responses[request_indexes[j]] = futures[j].get();
     }
+  }
+  for (RouterFragment& fragment : fragments) {
+    const PersonalizationResponse& response =
+        responses[fragment.response_index];
+    fragment.trace.EndSpan(fragment.span);
+    fragment.trace.SetDisposition(
+        response.status.ok() ? ToString(response.disposition) : "error",
+        /*stopped_phase=*/"");
+    obs::RecordTraceSummary(fragment.trace);
+    sink->Consume(std::move(fragment.trace));
   }
   return responses;
 }
@@ -501,6 +580,15 @@ Status ShardedPersonalizationService::Reshard(size_t new_num_shards) {
   QP_ASSIGN_OR_RETURN(RoutingTable plan,
                       PlanReshard(*current, new_num_shards));
   migrator_->gauge_resharding_->Set(1.0);
+  // The reshard operation trace: one "reshard" span the per-partition
+  // migration traces link under (they share its trace_id and parent
+  // their roots at this span). Control-plane operations are rare and
+  // always interesting, so they bypass head sampling.
+  obs::RequestTrace op_trace;
+  const size_t op_span = op_trace.StartSpan("reshard");
+  op_trace.AddCounter(op_span, "from_shards", current->num_shards);
+  op_trace.AddCounter(op_span, "to_shards", new_num_shards);
+  const obs::TraceContext op_context = op_trace.ContextForSpan(op_span);
   Status status = [&]() -> Status {
     if (new_num_shards > current->num_shards) {
       // Grow: open the new shard directories first so migrations have
@@ -518,12 +606,12 @@ Status ShardedPersonalizationService::Reshard(size_t new_num_shards) {
       }
       QP_RETURN_IF_ERROR(CommitRoutingChange(
           [&](RoutingTable& t) { t.num_shards = new_num_shards; }));
-      return migrator_->MigrateTo(plan);
+      return migrator_->MigrateTo(plan, op_context);
     }
     if (new_num_shards < current->num_shards) {
       // Shrink: move every partition off the retiring shards first; the
       // count (and the teardown) commit only when nothing routes there.
-      QP_RETURN_IF_ERROR(migrator_->MigrateTo(plan));
+      QP_RETURN_IF_ERROR(migrator_->MigrateTo(plan, op_context));
       auto table = RoutingSnapshot();
       for (uint32_t p = 0; p < table->owner.size(); ++p) {
         if (table->owner[p] >= new_num_shards) {
@@ -548,14 +636,27 @@ Status ShardedPersonalizationService::Reshard(size_t new_num_shards) {
     }
     // Same count: still converge ownership (a re-run after a partial
     // failure finishes the leftover moves).
-    return migrator_->MigrateTo(plan);
+    return migrator_->MigrateTo(plan, op_context);
   }();
   migrator_->gauge_resharding_->Set(0.0);
+  op_trace.EndSpan(op_span);
+  op_trace.SetDisposition(status.ok() ? "resharded" : "reshard_failed",
+                          /*stopped_phase=*/"");
+  obs::RecordTraceSummary(op_trace);
+  if (obs::TraceSink* sink = trace_sink_.load(std::memory_order_acquire);
+      obs::kTracingCompiledIn && sink != nullptr) {
+    sink->Consume(std::move(op_trace));
+  }
   return status;
 }
 
 MigrationStats ShardedPersonalizationService::migration_stats() const {
   return migrator_->stats();
+}
+
+std::shared_ptr<const obs::RequestTrace>
+ShardedPersonalizationService::last_migration_trace() const {
+  return migrator_->last_trace();
 }
 
 bool ShardedPersonalizationService::IsShardAlive(size_t index) const {

@@ -43,9 +43,12 @@ struct ShardedOptions {
   MigrationOptions migration;
   /// Per-shard service tuning, applied to every shard. `storage.dir` is
   /// overridden with the shard subdirectory, `shard_id` with the shard's
-  /// index, and `metrics` with the cluster-wide registry (every shard
-  /// publishes into the same instruments — the registry is get-or-create
-  /// by name, so N shards aggregate cleanly). Set
+  /// index, and `metrics` with the cluster-wide registry. Each shard
+  /// labels its qp_service_* instruments {shard="<id>"}, so one registry
+  /// carries genuinely per-shard series (no re-homing, no collisions)
+  /// and per-shard stats read back exact. `service.sampling` is the
+  /// cluster's head/tail trace-sampling policy — the router makes the
+  /// head decision and the shards honour it. Set
   /// `service.storage.hot_capacity` for tiered shards.
   ServiceOptions service;
 };
@@ -166,6 +169,12 @@ class ShardedPersonalizationService {
 
   MigrationStats migration_stats() const;
 
+  /// The trace of the last migration driven by this cluster's migrator
+  /// (per-step spans, linked by trace_id to the owning Reshard
+  /// operation); nullptr before the first migration. The \migrations
+  /// span-tree source.
+  std::shared_ptr<const obs::RequestTrace> last_migration_trace() const;
+
   bool IsShardAlive(size_t index) const;
   /// Shards currently addressable (routing-table truth, not the fresh-
   /// cluster seed in ShardedOptions).
@@ -210,6 +219,11 @@ class ShardedPersonalizationService {
 
   /// Builds shard `index`'s service from its subdirectory.
   Result<std::shared_ptr<PersonalizationService>> OpenShard(size_t index);
+
+  /// Resolves the trace context for a request entering through the
+  /// router: honours a valid incoming context, else mints the cluster
+  /// trace id and makes the head sampling decision.
+  obs::TraceContext EdgeContext(const obs::TraceContext& incoming) const;
 
   /// The routing read: copies the target's shared_ptr under the shared
   /// lock (nullptr = shard down).

@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "qp/obs/flight_recorder.h"
 #include "qp/storage/record.h"
 #include "qp/util/fault_hub.h"
 #include "qp/util/string_util.h"
@@ -12,6 +13,20 @@
 
 namespace qp {
 namespace storage {
+
+namespace {
+
+/// FaultHub lives in qp_util, which cannot see qp_obs — the hub exposes
+/// a bare function-pointer listener slot instead, installed here at
+/// static init so every binary linking storage gets fault fires in the
+/// flight recorder (the service constructor installs it too, for
+/// belt and braces).
+[[maybe_unused]] const bool g_fault_listener_installed = [] {
+  FaultHub::SetFireListener(&obs::RecordFaultFire);
+  return true;
+}();
+
+}  // namespace
 
 DurableProfileStore::DurableProfileStore(const Schema* schema,
                                          size_t num_shards,
@@ -452,6 +467,8 @@ Status DurableProfileStore::AdmitMutation() {
       int expected = kOpen;
       if (breaker_state_.compare_exchange_strong(expected, kHalfOpen,
                                                  std::memory_order_acq_rel)) {
+        obs::RecordFlightEvent(obs::FlightEventType::kBreakerTransition,
+                               "open->half_open", dir_);
         // This mutation won the half-open race and carries the probe: a
         // recovery checkpoint that re-tests the disk end to end. On
         // success the breaker is closed and the mutation proceeds
@@ -488,6 +505,10 @@ void DurableProfileStore::OpenBreaker(BreakerState from) {
                               std::memory_order_relaxed);
   }
   breaker_opened_ns_.store(clock_->NowNanos(), std::memory_order_release);
+  obs::RecordFlightEvent(obs::FlightEventType::kBreakerTransition,
+                         from == kHalfOpen ? "half_open->open"
+                                           : "closed->open",
+                         dir_);
   breaker_trips_.fetch_add(1, std::memory_order_relaxed);
   if (metric_breaker_trips_ != nullptr) {
     metric_breaker_trips_->Add(1);
@@ -524,6 +545,8 @@ Status DurableProfileStore::ProbeRecover() {
       gauge_breaker_open_->Set(0.0);
     }
     breaker_state_.store(kClosed, std::memory_order_release);
+    obs::RecordFlightEvent(obs::FlightEventType::kBreakerTransition,
+                           "half_open->closed", dir_);
   } else {
     ++failed_checkpoints_;
     if (metric_failed_checkpoints_ != nullptr) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "qp/graph/personalization_graph.h"
+#include "qp/obs/flight_recorder.h"
 #include "qp/obs/trace.h"
 #include "qp/storage/durable_profile_store.h"
 #include "qp/storage/record.h"
@@ -187,6 +188,8 @@ void DurableProfileStore::ScrubDisk(ScrubReport* report,
     ++report->repaired;
     repairs_.fetch_add(1, std::memory_order_relaxed);
     if (metric_repairs_ != nullptr) metric_repairs_->Add(1);
+    obs::RecordFlightEvent(obs::FlightEventType::kRepair,
+                           "disk_generation", dir_);
   } else {
     ++report->repair_failures;
     repair_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -329,10 +332,20 @@ std::vector<std::string> DurableProfileStore::QuarantinedUsers() const {
 void DurableProfileStore::SetQuarantined(const std::string& user_id,
                                          bool quarantined) {
   std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  bool changed;
   if (quarantined) {
-    quarantined_.insert(user_id);
+    changed = quarantined_.insert(user_id).second;
   } else {
-    quarantined_.erase(user_id);
+    changed = quarantined_.erase(user_id) != 0;
+  }
+  if (changed) {
+    // The chokepoint for every quarantine and release (scrub pass,
+    // repair, re-validated profile), so the flight recorder sees the
+    // exact transition sequence.
+    obs::RecordFlightEvent(quarantined
+                               ? obs::FlightEventType::kQuarantine
+                               : obs::FlightEventType::kRepair,
+                           user_id, dir_);
   }
   quarantine_count_.store(quarantined_.size(), std::memory_order_release);
   if (gauge_quarantined_ != nullptr) {

@@ -35,6 +35,8 @@ uint64_t HashSite(std::string_view site) {
   return h;
 }
 
+std::atomic<FaultHub::FireListener> g_fire_listener{nullptr};
+
 const char* ModeName(FaultMode mode) {
   switch (mode) {
     case FaultMode::kError:
@@ -167,6 +169,12 @@ FaultAction FaultHub::Evaluate(std::string_view site) {
     s->fires.fetch_add(1, std::memory_order_relaxed);
   }
 
+  if (FireListener listener =
+          g_fire_listener.load(std::memory_order_acquire);
+      listener != nullptr) {
+    listener(site, n);
+  }
+
   FaultAction action;
   action.fire = true;
   action.mode = rule.mode;
@@ -174,6 +182,10 @@ FaultAction FaultHub::Evaluate(std::string_view site) {
   action.delay = rule.delay;
   action.partial_fraction = rule.partial_fraction;
   return action;
+}
+
+void FaultHub::SetFireListener(FireListener listener) {
+  g_fire_listener.store(listener, std::memory_order_release);
 }
 
 Status FaultHub::Check(std::string_view site) {

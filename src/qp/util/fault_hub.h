@@ -119,6 +119,15 @@ class FaultHub {
   /// callers that want "everything".
   static const std::vector<std::string>& KnownSites();
 
+  /// Called on every fire (after the max_fires budget admits it) with
+  /// the site name and the 1-based call index. One process-wide slot,
+  /// set at static-init by the observability layer to feed the flight
+  /// recorder; nullptr disables. The listener runs under the hub's
+  /// shared lock and must not call back into the hub. Purely an
+  /// observer: it cannot perturb schedules (no RNG draw happens in it).
+  using FireListener = void (*)(std::string_view site, uint64_t call_index);
+  static void SetFireListener(FireListener listener);
+
  private:
   struct Site {
     std::atomic<uint64_t> calls{0};

@@ -20,6 +20,9 @@ Two kinds of checks, mirroring what a reviewer reads the sidecar for:
      the baseline says — the shard chaos phase and the live reshard lost
      no acknowledged mutation, and the tiered resident set stayed inside
      the hot budget.
+  4. Absolute ceilings: design budgets the current run must stay under
+     regardless of the baseline (the sampled-tracing tax at a 1% head
+     rate must stay below 3%).
 
 A metric present in the baseline but missing from the current report is
 an error (a silently dropped bench is how regressions hide); a metric new
@@ -58,6 +61,19 @@ INVARIANTS = [
     ("shard_scale", "zero_acked_loss", 1),
     ("shard_scale", "residency_bounded", 1),
     ("shard_scale", "reshard_zero_acked_loss", 1),
+    # The SLO gauges must ride in the report, and this bench never sheds
+    # or errors (unbounded queue, no deadlines), so availability is
+    # exactly 1 — anything else means requests are being dropped.
+    ("service_throughput", "slo_availability", 1),
+    ("service_throughput", "slo_availability_burn_rate", 0),
+]
+
+# (bench, scalar, ceiling) absolute bounds on the *current* report,
+# independent of the baseline. Unlike GUARDED_MAX these do not scale
+# with history: the sampled-tracing tax at a 1% head rate is a design
+# budget (< 3% or always-on tracing is not shippable), not a trajectory.
+ABSOLUTE_MAX = [
+    ("service_throughput", "sampled_trace_tax_pct", 3.0),
 ]
 
 
@@ -70,9 +86,16 @@ def load(path):
                 if not line:
                     continue
                 obj = json.loads(line)
-                # Later lines win: a re-run binary supersedes its own
-                # earlier report within one file.
-                reports[obj["bench"]] = obj
+                # Merge per-key, later lines winning on collisions: a
+                # binary run several times with different filters (e.g.
+                # service_throughput's overhead bench needs a longer
+                # measurement window than its throughput benches)
+                # contributes all its scalars to one report.
+                merged = reports.setdefault(
+                    obj["bench"], {"bench": obj["bench"]})
+                for section in ("scalars", "histograms"):
+                    merged.setdefault(section, {}).update(
+                        obj.get(section, {}))
     except (OSError, json.JSONDecodeError, KeyError) as e:
         sys.exit(f"error: cannot load {path}: {e}")
     return reports
@@ -113,6 +136,18 @@ def main():
                             f"{MAX_REGRESSION:.0%} below baseline "
                             f"{base:.4g}")
 
+    for bench, key, ceiling in ABSOLUTE_MAX:
+        cur = current.get(bench, {}).get("scalars", {}).get(key)
+        if cur is None:
+            failures.append(f"{bench}.{key}: missing from current report")
+            continue
+        verdict = "ok  " if cur <= ceiling else "FAIL"
+        print(f"{verdict} {bench}.{key}: {cur:.4g} "
+              f"(absolute ceiling {ceiling:g})")
+        if cur > ceiling:
+            failures.append(f"{bench}.{key}: {cur:.4g} exceeds the "
+                            f"absolute ceiling {ceiling:g}")
+
     for bench, key, headroom in GUARDED_MAX:
         base = baseline.get(bench, {}).get("scalars", {}).get(key)
         cur = current.get(bench, {}).get("scalars", {}).get(key)
@@ -137,7 +172,7 @@ def main():
             print(f"  - {f}", file=sys.stderr)
         sys.exit(1)
     print("\nbench regression gate passed "
-          f"({len(GUARDED) + len(GUARDED_MAX)} guards, "
+          f"({len(GUARDED) + len(GUARDED_MAX) + len(ABSOLUTE_MAX)} guards, "
           f"{len(INVARIANTS)} invariants)")
 
 

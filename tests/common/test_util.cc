@@ -1,7 +1,12 @@
 #include "common/test_util.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+
+#include "qp/obs/flight_recorder.h"
+#include "qp/obs/trace.h"
 
 namespace qp {
 namespace testing_util {
@@ -126,6 +131,23 @@ std::string RowsToString(const std::vector<Row>& rows) {
     out += "\n";
   }
   return out;
+}
+
+std::string DumpFlightRecorderSnapshot(const std::string& label) {
+  if (!obs::kTracingCompiledIn) return "";
+  std::string path = label + "_blackbox.json";
+  if (const char* dir = std::getenv("QP_ARTIFACT_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  const std::string json =
+      obs::FlightRecorder::ToJson(obs::FlightRecorder::Global()->Dump());
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return "";
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "[%s] flight recorder snapshot: %s\n", label.c_str(),
+               path.c_str());
+  return path;
 }
 
 }  // namespace testing_util

@@ -259,6 +259,153 @@ TEST(MetricsExportTest, PrometheusRoundTrip) {
   EXPECT_EQ(last, 3.0) << "last finite bucket holds all observations";
 }
 
+TEST(LabeledMetricsTest, DistinctLabelValuesAreDistinctSeries) {
+  MetricsRegistry registry;
+  registry.counter("qp_requests_total", {{"shard", "0"}})->Add(3);
+  registry.counter("qp_requests_total", {{"shard", "1"}})->Add(5);
+  // Same series again: the pointer is stable and the count accumulates.
+  registry.counter("qp_requests_total", {{"shard", "0"}})->Add(2);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.labeled_counters.size(), 2u);
+  EXPECT_EQ(snapshot.labeled_counters[0].value, 5u);  // shard=0.
+  EXPECT_EQ(snapshot.labeled_counters[1].value, 5u);  // shard=1.
+}
+
+TEST(LabeledMetricsTest, UnknownKeysDropAndEmptyFallsBackToUnlabeled) {
+  MetricsRegistry registry;
+  // "user_id" is outside the closed key set: minting a series per user
+  // would be an unbounded-cardinality leak, so the key is dropped and
+  // this lands on the unlabeled instrument.
+  registry.counter("qp_requests_total", {{"user_id", "julie"}})->Add(1);
+  EXPECT_EQ(registry.counter("qp_requests_total")->Value(), 1u);
+  EXPECT_TRUE(registry.Snapshot().labeled_counters.empty());
+
+  // A mixed set keeps only the allowed key.
+  registry.counter("qp_requests_total",
+                   {{"user_id", "julie"}, {"shard", "2"}})
+      ->Add(1);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.labeled_counters.size(), 1u);
+  ASSERT_EQ(snapshot.labeled_counters[0].labels.size(), 1u);
+  EXPECT_EQ(snapshot.labeled_counters[0].labels[0].first, "shard");
+}
+
+TEST(LabeledMetricsTest, PrometheusLabeledRoundTripWithEscaping) {
+  MetricsRegistry registry;
+  // A label value exercising every escape the exposition format
+  // defines: backslash, double quote, newline.
+  const std::string nasty = "a\\b\"c\nd";
+  registry.counter("qp_disp_total", {{"disposition", nasty}})->Add(7);
+  registry.gauge("qp_residency", {{"tier", "hot"}, {"shard", "3"}})
+      ->Set(12.5);
+  registry.SetHelp("qp_disp_total", "Dispositions\nby outcome \\ label");
+  std::string text = registry.Export(ExportFormat::kPrometheus);
+
+  testing_util::PrometheusMetrics parsed;
+  ASSERT_TRUE(ParsePrometheusText(text, &parsed)) << text;
+  // The independent parser unescapes back to the raw values.
+  bool found_counter = false, found_gauge = false;
+  for (const auto& series : parsed.series) {
+    if (series.name == "qp_disp_total" && !series.labels.empty()) {
+      ASSERT_EQ(series.labels.size(), 1u);
+      EXPECT_EQ(series.labels[0].first, "disposition");
+      EXPECT_EQ(series.labels[0].second, nasty);
+      EXPECT_EQ(series.value, 7.0);
+      found_counter = true;
+    }
+    if (series.name == "qp_residency" && series.labels.size() == 2) {
+      // Canonical order: sorted by key (shard before tier).
+      EXPECT_EQ(series.labels[0].first, "shard");
+      EXPECT_EQ(series.labels[0].second, "3");
+      EXPECT_EQ(series.labels[1].first, "tier");
+      EXPECT_EQ(series.labels[1].second, "hot");
+      EXPECT_EQ(series.value, 12.5);
+      found_gauge = true;
+    }
+  }
+  EXPECT_TRUE(found_counter) << text;
+  EXPECT_TRUE(found_gauge) << text;
+  EXPECT_EQ(parsed.helps["qp_disp_total"],
+            "Dispositions\nby outcome \\ label");
+}
+
+TEST(LabeledMetricsTest, JsonLabeledSectionRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("qp_disp_total", {{"disposition", "shed"}})->Add(4);
+  registry.histogram("qp_lat_seconds", {{"shard", "1"}})->Record(0.05);
+  std::string json = registry.Export(ExportFormat::kJson);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue* labeled = root.Find("labeled");
+  ASSERT_NE(labeled, nullptr) << json;
+  const JsonValue* counters = labeled->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* series_list = counters->Find("qp_disp_total");
+  ASSERT_NE(series_list, nullptr);
+  ASSERT_EQ(series_list->array.size(), 1u);
+  const JsonValue* labels = series_list->array[0].Find("labels");
+  ASSERT_NE(labels, nullptr);
+  const JsonValue* disposition = labels->Find("disposition");
+  ASSERT_NE(disposition, nullptr);
+  EXPECT_EQ(disposition->str, "shed");
+  const JsonValue* value = series_list->array[0].Find("value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number, 4.0);
+
+  const JsonValue* histograms = labeled->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_NE(histograms->Find("qp_lat_seconds"), nullptr);
+}
+
+TEST(LabeledMetricsTest, NoLabeledSectionWhenNoneRegistered) {
+  MetricsRegistry registry;
+  registry.counter("qp_requests_total")->Add(1);
+  std::string json = registry.Export(ExportFormat::kJson);
+  EXPECT_EQ(json.find("\"labeled\""), std::string::npos) << json;
+}
+
+TEST(LabeledMetricsTest, ConcurrentLabeledWritersRoundTripExactly) {
+  // 4 threads hammer per-shard and per-disposition series while others
+  // register fresh label values; afterwards the Prometheus export must
+  // round-trip to exactly the recorded totals. The sanitized CI stage
+  // runs this under TSan.
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      std::string shard = std::to_string(t % 2);
+      Counter* mine =
+          registry.counter("qp_conc_total", {{"shard", shard}});
+      for (int i = 0; i < kPerThread; ++i) {
+        mine->Add(1);
+        if (i % 1000 == 0) {
+          // Re-registration of an existing series must return the same
+          // instrument even while other threads register new ones.
+          registry
+              .counter("qp_churn_total",
+                       {{"partition", std::to_string(i / 1000)}})
+              ->Add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  testing_util::PrometheusMetrics parsed;
+  ASSERT_TRUE(
+      ParsePrometheusText(registry.Export(ExportFormat::kPrometheus),
+                          &parsed));
+  double total = 0;
+  for (const auto& series : parsed.series) {
+    if (series.name == "qp_conc_total") total += series.value;
+  }
+  EXPECT_EQ(total, static_cast<double>(kThreads) * kPerThread);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace qp

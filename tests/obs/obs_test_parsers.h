@@ -148,13 +148,46 @@ class JsonParser {
   size_t pos_ = 0;
 };
 
-/// Parsed Prometheus text exposition: plain samples by name, histogram
-/// bucket samples by (name, le-label), and the `# TYPE` declarations.
+/// One sample line of the exposition, with its label set unescaped back
+/// to the raw values the registry was given.
+struct PrometheusSeries {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Parsed Prometheus text exposition: plain samples keyed by the series
+/// text exactly as emitted (bare name when unlabeled), every sample
+/// structurally in `series` (labels unescaped), unlabeled histogram
+/// buckets by (name, le), plus the `# TYPE` / `# HELP` declarations.
 struct PrometheusMetrics {
   std::map<std::string, double> samples;
+  std::vector<PrometheusSeries> series;
   std::map<std::string, std::map<std::string, double>> buckets;
   std::map<std::string, std::string> types;
+  std::map<std::string, std::string> helps;
 };
+
+/// Unescapes a HELP text or label value: \\ -> backslash, \n -> newline,
+/// and (for label values) \" -> quote. Returns false on a dangling or
+/// unknown escape.
+inline bool PromUnescape(std::string_view in, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\') {
+      out->push_back(in[i]);
+      continue;
+    }
+    if (++i >= in.size()) return false;
+    switch (in[i]) {
+      case '\\': out->push_back('\\'); break;
+      case 'n': out->push_back('\n'); break;
+      case '"': out->push_back('"'); break;
+      default: return false;
+    }
+  }
+  return true;
+}
 
 inline bool ParsePrometheusText(const std::string& text,
                                 PrometheusMetrics* out) {
@@ -166,35 +199,68 @@ inline bool ParsePrometheusText(const std::string& text,
     pos = eol + 1;
     if (line.empty()) continue;
     if (line[0] == '#') {
-      // "# TYPE <name> <type>"
+      // "# TYPE <name> <type>" / "# HELP <name> <escaped text>"
       if (line.rfind("# TYPE ", 0) == 0) {
         std::string rest = line.substr(7);
         size_t space = rest.find(' ');
         if (space == std::string::npos) return false;
         (*out).types[rest.substr(0, space)] = rest.substr(space + 1);
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        std::string rest = line.substr(7);
+        size_t space = rest.find(' ');
+        if (space == std::string::npos) return false;
+        std::string help;
+        if (!PromUnescape(rest.substr(space + 1), &help)) return false;
+        (*out).helps[rest.substr(0, space)] = std::move(help);
       }
       continue;
     }
-    size_t space = line.rfind(' ');
-    if (space == std::string::npos) return false;
-    std::string name = line.substr(0, space);
-    double value = std::strtod(line.c_str() + space + 1, nullptr);
-    size_t brace = name.find('{');
-    if (brace == std::string::npos) {
-      (*out).samples[name] = value;
-      continue;
+    // "<name>[{k="v",...}] <value>" — scanned left to right with
+    // escape-aware label values, since a value may contain any byte
+    // (spaces and braces included).
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    PrometheusSeries sample;
+    sample.name = line.substr(0, i);
+    if (sample.name.empty()) return false;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t key_start = i;
+        while (i < line.size() && line[i] != '=') ++i;
+        if (i + 1 >= line.size() || line[i + 1] != '"') return false;
+        std::string key = line.substr(key_start, i - key_start);
+        i += 2;  // '="'
+        std::string raw;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) return false;
+            raw.push_back(line[i]);
+            raw.push_back(line[i + 1]);
+            i += 2;
+          } else {
+            raw.push_back(line[i++]);
+          }
+        }
+        if (i >= line.size()) return false;
+        ++i;  // closing quote
+        std::string value;
+        if (!PromUnescape(raw, &value)) return false;
+        sample.labels.emplace_back(std::move(key), std::move(value));
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // '}'
     }
-    // Only histogram buckets carry labels: name_bucket{le="<bound>"}.
-    std::string base = name.substr(0, brace);
-    std::string labels = name.substr(brace);
-    const std::string prefix = "{le=\"";
-    if (labels.rfind(prefix, 0) != 0 || labels.size() < prefix.size() + 2 ||
-        labels.substr(labels.size() - 2) != "\"}") {
-      return false;
+    if (i >= line.size() || line[i] != ' ') return false;
+    sample.value = std::strtod(line.c_str() + i + 1, nullptr);
+    (*out).samples[line.substr(0, i)] = sample.value;
+    if (sample.labels.size() == 1 && sample.labels[0].first == "le") {
+      // The pre-label-support bucket view, still what the histogram
+      // round-trip tests read for unlabeled histograms.
+      (*out).buckets[sample.name][sample.labels[0].second] = sample.value;
     }
-    std::string le =
-        labels.substr(prefix.size(), labels.size() - prefix.size() - 2);
-    (*out).buckets[base][le] = value;
+    (*out).series.push_back(std::move(sample));
   }
   return true;
 }

@@ -261,6 +261,7 @@ TEST_F(ReshardChaosTest, ReshardUnderFaultsKillsAndTrafficLosesNothing) {
     if (::testing::Test::HasFailure()) {
       std::fprintf(stderr, "[reshard-chaos] FAILED at seed=%llu\n",
                    static_cast<unsigned long long>(seed));
+      testing_util::DumpFlightRecorderSnapshot("reshard-chaos");
       return;
     }
   }
